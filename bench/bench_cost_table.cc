@@ -1,0 +1,95 @@
+// Experiment E8: the analytic cost table implied by Figures 1-4.
+//
+// For every protocol (PrN, PrA, PrC homogeneous; PrAny over mixed sets)
+// and both outcomes, sweeps the participant count and reports messages,
+// forced log writes and total log records per transaction. Expected
+// shapes: PrC cheapest on commits (no commit acks, lazy participant
+// commit records), PrA cheapest on aborts (nothing logged, no acks);
+// PrAny tracks the cheaper native side per outcome, paying one forced
+// initiation record for mixed sets.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+struct Config {
+  const char* label;
+  ProtocolKind coordinator;
+  ProtocolKind native;
+  // Per-participant protocol chosen by index (cycled).
+  std::vector<ProtocolKind> cycle;
+};
+
+void Run() {
+  const std::vector<Config> configs = {
+      {"PrN (homogeneous)", ProtocolKind::kPrN, ProtocolKind::kPrN,
+       {ProtocolKind::kPrN}},
+      {"PrA (homogeneous)", ProtocolKind::kPrA, ProtocolKind::kPrA,
+       {ProtocolKind::kPrA}},
+      {"PrC (homogeneous)", ProtocolKind::kPrC, ProtocolKind::kPrC,
+       {ProtocolKind::kPrC}},
+      {"PrAny (PrA+PrC mix)", ProtocolKind::kPrAny, ProtocolKind::kPrN,
+       {ProtocolKind::kPrA, ProtocolKind::kPrC}},
+      {"PrAny (PrN+PrA+PrC mix)", ProtocolKind::kPrAny, ProtocolKind::kPrN,
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}},
+  };
+  const std::vector<size_t> participant_counts = {2, 4, 8, 16};
+
+  std::printf("== bench_cost_table: per-transaction cost by protocol, "
+              "outcome and participant count n ==\n\n");
+  for (const Config& config : configs) {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"outcome", "n", "messages", "forced writes",
+                    "log records", "coord forced", "checks"});
+    for (Outcome outcome : {Outcome::kCommit, Outcome::kAbort}) {
+      for (size_t n : participant_counts) {
+        std::vector<ProtocolKind> participants;
+        for (size_t i = 0; i < n; ++i) {
+          participants.push_back(config.cycle[i % config.cycle.size()]);
+        }
+        FlowResult r =
+            RunFlow(config.coordinator, config.native, participants, outcome);
+        rows.push_back(
+            {ToString(outcome), std::to_string(n),
+             std::to_string(r.total_messages),
+             std::to_string(r.coord_forced + r.part_forced),
+             std::to_string(r.coord_appends + r.part_appends),
+             std::to_string(r.coord_forced), r.correct ? "ok" : "FAIL"});
+      }
+    }
+    std::printf("%s\n%s\n", config.label, RenderTable(rows).c_str());
+  }
+
+  // The summary comparison the paper's appendix argues over, at n = 4.
+  std::printf("Head-to-head at n=4 (messages + forced writes):\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "commit cost", "abort cost"});
+  for (const Config& config : configs) {
+    std::vector<ProtocolKind> participants;
+    for (size_t i = 0; i < 4; ++i) {
+      participants.push_back(config.cycle[i % config.cycle.size()]);
+    }
+    auto cost = [&](Outcome o) {
+      FlowResult r =
+          RunFlow(config.coordinator, config.native, participants, o);
+      return r.total_messages +
+             static_cast<int64_t>(r.coord_forced + r.part_forced);
+    };
+    rows.push_back({config.label, std::to_string(cost(Outcome::kCommit)),
+                    std::to_string(cost(Outcome::kAbort))});
+  }
+  std::printf("%s\n", RenderTable(rows).c_str());
+}
+
+}  // namespace
+}  // namespace prany
+
+int main() {
+  prany::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Experiment E7 (Theorem 3 measured): the exhaustive crash-point sweep,
+// head to head across coordinator strategies.
+//
+// For each coordinator, runs one single-transaction scenario per
+// (participant mix x outcome x crash point x crash target) over the
+// standard mixes and reports how many scenarios failed each correctness
+// criterion. Expected shape: PrAny all-zero (Theorem 3); U2PC with
+// non-zero atomicity failures (Theorem 1); C2PC with zero atomicity but
+// non-zero operational failures (Theorem 2).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+void Run() {
+  std::printf("== bench_prany_sweep: exhaustive crash sweep over the "
+              "standard participant mixes ==\n\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"coordinator", "scenarios", "atomicity fail",
+                  "safe-state fail", "operational fail", "non-quiescent"});
+  struct V {
+    const char* label;
+    ProtocolKind kind;
+    ProtocolKind native;
+  };
+  for (const V& v : {V{"PrAny", ProtocolKind::kPrAny, ProtocolKind::kPrN},
+                     V{"U2PC(PrN)", ProtocolKind::kU2PC, ProtocolKind::kPrN},
+                     V{"U2PC(PrA)", ProtocolKind::kU2PC, ProtocolKind::kPrA},
+                     V{"U2PC(PrC)", ProtocolKind::kU2PC, ProtocolKind::kPrC},
+                     V{"C2PC", ProtocolKind::kC2PC, ProtocolKind::kPrN}}) {
+    SweepResult s = RunCrashSweep(v.kind, v.native, StandardMixes());
+    rows.push_back({v.label, std::to_string(s.scenarios),
+                    std::to_string(s.atomicity_failures),
+                    std::to_string(s.safe_state_failures),
+                    std::to_string(s.operational_failures),
+                    std::to_string(s.non_quiescent)});
+  }
+  std::printf("%s\n", RenderTable(rows).c_str());
+  std::printf(
+      "Each scenario: one transaction, one injected crash at a named\n"
+      "protocol point (5 coordinator points, 6 per participant), the\n"
+      "crashed site down for 1s, run to quiescence, all three checkers\n"
+      "evaluated. PrAny must be all-zero (Theorem 3); U2PC rows show\n"
+      "Theorem 1; the C2PC row shows Theorem 2 (operational only).\n"
+      "Note U2PC/C2PC sweeps include homogeneous mixes, where they are\n"
+      "correct — the failures concentrate in the mixed-presumption rows.\n");
+}
+
+}  // namespace
+}  // namespace prany
+
+int main() {
+  prany::Run();
+  return 0;
+}

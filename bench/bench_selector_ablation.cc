@@ -1,0 +1,104 @@
+// Experiment E12: what the §4.1 dynamic protocol selection saves.
+//
+// Runs homogeneous workloads (all-PrN, all-PrA, all-PrC) and a mixed
+// workload under (a) PrAny with the selector and (b) PrAny forced into
+// mixed mode for every transaction, comparing forced log writes and
+// messages per transaction. Expected shape: on homogeneous sets the
+// selector recovers the native protocol's cost exactly — most visibly the
+// skipped forced initiation record for PrN/PrA sets — while on mixed sets
+// the two configurations coincide.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "harness/run_result.h"
+#include "harness/workload.h"
+
+namespace prany {
+namespace {
+
+struct AblationResult {
+  double msgs_per_txn;
+  double forced_per_txn;
+  double records_per_txn;
+  bool correct;
+};
+
+AblationResult RunConfig(ProtocolKind participant_protocol, bool mixed_pool,
+                         bool always_mixed_mode) {
+  SystemConfig cfg;
+  cfg.seed = 33;
+  System system(cfg);
+  CoordinatorSpec spec;
+  spec.kind = ProtocolKind::kPrAny;
+  spec.prany_always_mixed_mode = always_mixed_mode;
+  system.AddSiteWithSpec(ProtocolKind::kPrN, spec);
+  if (mixed_pool) {
+    system.AddSite(ProtocolKind::kPrN);
+    system.AddSite(ProtocolKind::kPrA);
+    system.AddSite(ProtocolKind::kPrC);
+    system.AddSite(ProtocolKind::kPrA);
+  } else {
+    for (int i = 0; i < 4; ++i) system.AddSite(participant_protocol);
+  }
+
+  WorkloadConfig wl;
+  wl.num_txns = 300;
+  wl.min_participants = 2;
+  wl.max_participants = 4;
+  wl.no_vote_probability = 0.2;
+  wl.coordinators = {0};
+  wl.participant_pool = {1, 2, 3, 4};
+  WorkloadGenerator gen(&system, wl);
+  gen.GenerateAndSchedule();
+  system.Run();
+  RunSummary s = Summarize(system);
+  double txns = static_cast<double>(s.txns_begun);
+  return AblationResult{
+      static_cast<double>(s.messages_total) / txns,
+      static_cast<double>(s.forced_appends) / txns,
+      static_cast<double>(s.log_appends) / txns,
+      s.AllCorrect()};
+}
+
+void Run() {
+  std::printf("== bench_selector_ablation: PrAny with vs. without the "
+              "Section 4.1 protocol selector (300 txns, 20%% aborts) ==\n\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"participant set", "config", "msgs/txn",
+                  "forced writes/txn", "log records/txn", "checks"});
+  struct Case {
+    const char* label;
+    ProtocolKind protocol;
+    bool mixed;
+  };
+  for (const Case& c :
+       {Case{"all PrN", ProtocolKind::kPrN, false},
+        Case{"all PrA", ProtocolKind::kPrA, false},
+        Case{"all PrC", ProtocolKind::kPrC, false},
+        Case{"mixed PrN/PrA/PrC", ProtocolKind::kPrN, true}}) {
+    for (bool always_mixed : {false, true}) {
+      AblationResult r = RunConfig(c.protocol, c.mixed, always_mixed);
+      rows.push_back({c.label,
+                      always_mixed ? "always-PrAny-mode" : "with selector",
+                      StrFormat("%.2f", r.msgs_per_txn),
+                      StrFormat("%.2f", r.forced_per_txn),
+                      StrFormat("%.2f", r.records_per_txn),
+                      r.correct ? "ok" : "FAIL"});
+    }
+  }
+  std::printf("%s\n", RenderTable(rows).c_str());
+  std::printf(
+      "The selector's saving is the homogeneous rows' delta: pure PrN/PrA\n"
+      "sets skip the forced initiation record entirely, and pure-mode ack\n"
+      "sets match the native protocol. Mixed rows coincide by design.\n");
+}
+
+}  // namespace
+}  // namespace prany
+
+int main() {
+  prany::Run();
+  return 0;
+}

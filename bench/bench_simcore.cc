@@ -1,0 +1,105 @@
+// Wall-clock microbenchmarks of the substrate (google-benchmark): event
+// loop throughput, message/log-record codecs, stable-log appends, and
+// end-to-end simulated transactions per wall second. These gate the
+// simulator itself — the protocol experiments above report *simulated*
+// cost, this one reports what the harness costs to run.
+
+#include <benchmark/benchmark.h>
+
+#include "harness/system.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "wal/log_record.h"
+#include "wal/stable_log.h"
+
+namespace prany {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(1);
+    int sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.Schedule(static_cast<SimDuration>(i % 97), [&sink]() { ++sink; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1'000)->Arg(10'000);
+
+void BM_MessageEncode(benchmark::State& state) {
+  Message msg = Message::Decision(123456, 3, 9, Outcome::kCommit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.Encode());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageEncode);
+
+void BM_MessageDecode(benchmark::State& state) {
+  std::vector<uint8_t> wire =
+      Message::Decision(123456, 3, 9, Outcome::kCommit).Encode();
+  for (auto _ : state) {
+    Result<Message> decoded = Message::Decode(wire);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageDecode);
+
+void BM_LogRecordRoundTrip(benchmark::State& state) {
+  std::vector<ParticipantInfo> participants;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
+    participants.push_back({i, static_cast<ProtocolKind>(i % 3)});
+  }
+  LogRecord rec =
+      LogRecord::Initiation(42, ProtocolKind::kPrAny, participants);
+  for (auto _ : state) {
+    Result<LogRecord> decoded = LogRecord::Decode(rec.Encode());
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogRecordRoundTrip)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_StableLogAppendForced(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    StableLog log;
+    state.ResumeTiming();
+    for (int i = 0; i < 1'000; ++i) {
+      log.Append(LogRecord::Commit(static_cast<TxnId>(i)), /*force=*/true);
+    }
+    benchmark::DoNotOptimize(log.StableSize());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_StableLogAppendForced);
+
+void BM_EndToEndTransactions(benchmark::State& state) {
+  // Simulated transactions fully processed (PrAny, 3 mixed participants)
+  // per wall second.
+  for (auto _ : state) {
+    SystemConfig cfg;
+    cfg.seed = 1;
+    System system(cfg);
+    system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+    system.AddSite(ProtocolKind::kPrN);
+    system.AddSite(ProtocolKind::kPrA);
+    system.AddSite(ProtocolKind::kPrC);
+    for (int i = 0; i < state.range(0); ++i) {
+      system.Submit(0, {1, 2, 3});
+    }
+    system.Run();
+    benchmark::DoNotOptimize(system.metrics().Get("coord.forget"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndToEndTransactions)->Arg(100)->Arg(1'000);
+
+}  // namespace
+}  // namespace prany
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Experiment E10: coordinator throughput under a mixed workload.
+//
+// Sweeps the offered load (mean interarrival time) against a PrAny
+// coordinator over a heterogeneous federation and reports simulated
+// throughput, mean/percentile commit latency, protocol-table high-water
+// mark and per-transaction I/O. Also compares coordinator variants at a
+// fixed load. Expected shape: throughput tracks offered load (the
+// simulated coordinator pipeline has no queueing bottleneck) while the
+// table high-water mark grows with load; C2PC's residual entries grow
+// with the mixed-transaction count.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "harness/run_result.h"
+#include "harness/workload.h"
+
+namespace prany {
+namespace {
+
+RunSummary RunLoad(ProtocolKind coordinator, double interarrival_us,
+                   uint32_t txns, size_t* max_table, SimTime* makespan) {
+  SystemConfig cfg;
+  cfg.seed = 42;
+  System system(cfg);
+  system.AddSite(ProtocolKind::kPrN, coordinator, ProtocolKind::kPrN);
+  system.AddSite(ProtocolKind::kPrN);
+  system.AddSite(ProtocolKind::kPrN);
+  system.AddSite(ProtocolKind::kPrA);
+  system.AddSite(ProtocolKind::kPrA);
+  system.AddSite(ProtocolKind::kPrC);
+  system.AddSite(ProtocolKind::kPrC);
+
+  WorkloadConfig wl;
+  wl.num_txns = txns;
+  wl.min_participants = 2;
+  wl.max_participants = 4;
+  wl.no_vote_probability = 0.1;
+  wl.mean_interarrival_us = interarrival_us;
+  wl.coordinators = {0};
+  wl.participant_pool = {1, 2, 3, 4, 5, 6};
+  WorkloadGenerator gen(&system, wl);
+  gen.GenerateAndSchedule();
+  RunStats stats = system.Run();
+  *max_table = system.site(0)->coordinator()->table().MaxSize();
+  *makespan = stats.end_time;
+  return Summarize(system);
+}
+
+void Run() {
+  std::printf("== bench_throughput: PrAny coordinator under offered-load "
+              "sweep (1000 txns, 6 mixed participants) ==\n\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"interarrival us", "txns/s (sim)", "commit p50 us",
+                  "commit p95 us", "table max", "msgs/txn",
+                  "forced writes/txn", "checks"});
+  for (double ia : {10'000.0, 5'000.0, 2'000.0, 1'000.0, 500.0, 200.0}) {
+    size_t max_table = 0;
+    SimTime makespan = 0;
+    RunSummary s = RunLoad(ProtocolKind::kPrAny, ia, 1'000, &max_table,
+                           &makespan);
+    double tput = 1e6 * static_cast<double>(s.commits + s.aborts) /
+                  static_cast<double>(makespan);
+    rows.push_back(
+        {StrFormat("%.0f", ia), StrFormat("%.0f", tput),
+         StrFormat("%.0f", s.commit_latency.p50),
+         StrFormat("%.0f", s.commit_latency.p95),
+         std::to_string(max_table),
+         StrFormat("%.1f", static_cast<double>(s.messages_total) /
+                               static_cast<double>(s.txns_begun)),
+         StrFormat("%.1f", static_cast<double>(s.forced_appends) /
+                               static_cast<double>(s.txns_begun)),
+         s.AllCorrect() ? "ok" : "FAIL"});
+  }
+  std::printf("%s\n", RenderTable(rows).c_str());
+
+  std::printf("Coordinator variants at 1ms interarrival, 500 txns:\n");
+  std::vector<std::vector<std::string>> vrows;
+  vrows.push_back({"coordinator", "txns/s (sim)", "msgs/txn",
+                   "forced writes/txn", "residual entries", "atomic",
+                   "operational"});
+  struct V {
+    const char* label;
+    ProtocolKind kind;
+  };
+  for (const V& v :
+       {V{"PrAny", ProtocolKind::kPrAny}, V{"U2PC(PrN)", ProtocolKind::kU2PC},
+        V{"C2PC", ProtocolKind::kC2PC}}) {
+    size_t max_table = 0;
+    SimTime makespan = 0;
+    RunSummary s = RunLoad(v.kind, 1'000.0, 500, &max_table, &makespan);
+    double tput = 1e6 * static_cast<double>(s.commits + s.aborts) /
+                  static_cast<double>(makespan);
+    vrows.push_back(
+        {v.label, StrFormat("%.0f", tput),
+         StrFormat("%.1f", static_cast<double>(s.messages_total) /
+                               static_cast<double>(s.txns_begun)),
+         StrFormat("%.1f", static_cast<double>(s.forced_appends) /
+                               static_cast<double>(s.txns_begun)),
+         std::to_string(s.residual_table_entries),
+         s.atomicity.ok() ? "yes" : "NO",
+         s.operational.ok() ? "yes" : "NO"});
+  }
+  std::printf("%s\n", RenderTable(vrows).c_str());
+  std::printf(
+      "Note: failure-free runs keep U2PC atomic (its flaw needs the\n"
+      "adversarial schedules of bench_violation_rates); C2PC already\n"
+      "leaks protocol-table entries here (Theorem 2).\n");
+}
+
+}  // namespace
+}  // namespace prany
+
+int main() {
+  prany::Run();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Experiment E5: atomicity-violation rates under the §2 / Theorem 1
+// adversarial schedules, across coordinator variants.
+//
+// Part 1 runs the paper's exact counterexamples (coordinator native
+// protocol x outcome, participants {PrA, PrC}, decision-window crash of
+// the non-acknowledging participant) and reports which violate.
+// Part 2 is a randomized campaign: many seeds of a mixed workload with
+// random decision-window crashes, reporting the fraction of transactions
+// whose atomicity broke. Expected shape: U2PC > 0 exactly on the
+// mismatched-presumption cases; PrAny and C2PC identically zero (C2PC
+// paying with unbounded protocol-table residue instead).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "harness/run_result.h"
+#include "harness/scenario.h"
+#include "harness/workload.h"
+
+namespace prany {
+namespace {
+
+void DeterministicSchedules() {
+  std::printf("Part 1: the paper's deterministic schedules "
+              "(participants {PrA, PrC}):\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"coordinator", "outcome", "atomicity", "safe state",
+                  "operational", "matches paper"});
+  struct Case {
+    const char* label;
+    ProtocolKind kind;
+    ProtocolKind native;
+    Outcome outcome;
+    bool expect_violation;  // Theorem 1 parts I-III
+  };
+  const std::vector<Case> cases = {
+      {"U2PC(PrN)", ProtocolKind::kU2PC, ProtocolKind::kPrN,
+       Outcome::kCommit, true},   // Part I
+      {"U2PC(PrA)", ProtocolKind::kU2PC, ProtocolKind::kPrA,
+       Outcome::kCommit, true},   // Part II
+      {"U2PC(PrC)", ProtocolKind::kU2PC, ProtocolKind::kPrC,
+       Outcome::kAbort, true},    // Part III
+      {"U2PC(PrN)", ProtocolKind::kU2PC, ProtocolKind::kPrN,
+       Outcome::kAbort, false},   // agreeing presumption
+      {"U2PC(PrC)", ProtocolKind::kU2PC, ProtocolKind::kPrC,
+       Outcome::kCommit, false},  // agreeing presumption
+      {"C2PC", ProtocolKind::kC2PC, ProtocolKind::kPrN, Outcome::kCommit,
+       false},
+      {"C2PC", ProtocolKind::kC2PC, ProtocolKind::kPrN, Outcome::kAbort,
+       false},
+      {"PrAny", ProtocolKind::kPrAny, ProtocolKind::kPrN, Outcome::kCommit,
+       false},
+      {"PrAny", ProtocolKind::kPrAny, ProtocolKind::kPrN, Outcome::kAbort,
+       false},
+  };
+  for (const Case& c : cases) {
+    ScenarioResult r =
+        RunIncompatiblePresumptionScenario(c.kind, c.native, c.outcome);
+    bool violated = !r.summary.atomicity.ok();
+    rows.push_back({c.label, ToString(c.outcome),
+                    violated ? "VIOLATED" : "ok",
+                    r.summary.safe_state.ok() ? "ok" : "VIOLATED",
+                    r.summary.operational.ok() ? "ok" : "FAILED",
+                    violated == c.expect_violation ? "yes" : "NO"});
+  }
+  std::printf("%s\n", RenderTable(rows).c_str());
+}
+
+void RandomizedCampaign() {
+  std::printf("Part 2: randomized campaign — 40 seeds x 30 mixed txns, "
+              "random decision-window crashes (p=0.03, long outages):\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"coordinator", "txns", "violated txns", "rate",
+                  "residual entries", "presumed answers"});
+  struct V {
+    const char* label;
+    ProtocolKind kind;
+    ProtocolKind native;
+  };
+  for (const V& v : {V{"U2PC(PrN)", ProtocolKind::kU2PC, ProtocolKind::kPrN},
+                     V{"U2PC(PrC)", ProtocolKind::kU2PC, ProtocolKind::kPrC},
+                     V{"C2PC", ProtocolKind::kC2PC, ProtocolKind::kPrN},
+                     V{"PrAny", ProtocolKind::kPrAny, ProtocolKind::kPrN}}) {
+    uint64_t txns = 0, violated = 0, residual = 0;
+    int64_t presumed = 0;
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+      SystemConfig cfg;
+      cfg.seed = seed;
+      cfg.max_events = 5'000'000;
+      System system(cfg);
+      system.AddSite(ProtocolKind::kPrN, v.kind, v.native);
+      system.AddSite(ProtocolKind::kPrA);
+      system.AddSite(ProtocolKind::kPrA);
+      system.AddSite(ProtocolKind::kPrC);
+      system.AddSite(ProtocolKind::kPrC);
+      system.injector().SetRandomCrashes(0.03, 300'000, 900'000);
+      system.injector().SetRandomCrashBudget(6);
+      WorkloadConfig wl;
+      wl.num_txns = 30;
+      wl.min_participants = 2;
+      wl.max_participants = 4;
+      wl.no_vote_probability = 0.3;
+      wl.coordinators = {0};
+      wl.participant_pool = {1, 2, 3, 4};
+      WorkloadGenerator gen(&system, wl);
+      gen.GenerateAndSchedule();
+      system.Run();
+      RunSummary s = Summarize(system);
+      txns += static_cast<uint64_t>(s.txns_begun);
+      violated += s.atomicity.violations.size();
+      residual += s.residual_table_entries;
+      presumed += s.presumed_answers;
+    }
+    rows.push_back({v.label, std::to_string(txns),
+                    std::to_string(violated),
+                    StrFormat("%.2f%%", 100.0 * static_cast<double>(violated) /
+                                            static_cast<double>(txns)),
+                    std::to_string(residual), std::to_string(presumed)});
+  }
+  std::printf("%s\n", RenderTable(rows).c_str());
+}
+
+}  // namespace
+}  // namespace prany
+
+int main() {
+  std::printf("== bench_violation_rates: Theorem 1 measured ==\n\n");
+  prany::DeterministicSchedules();
+  prany::RandomizedCampaign();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Failure storm: a heterogeneous federation under sustained chaos —
+// message loss, duplication, and random site crashes at arbitrary
+// protocol points — with every transaction's fate machine-checked at the
+// end. Run it with different seeds; the checks hold for all of them.
+//
+//   ./build/examples/failure_storm [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/run_result.h"
+#include "harness/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace prany;
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
+
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.drop_probability = 0.05;      // 5% of messages vanish
+  cfg.duplicate_probability = 0.05; // 5% are delivered twice
+  cfg.max_events = 20'000'000;
+  System system(cfg);
+
+  // Two PrAny coordinators and six participants across all variants.
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);  // 0
+  system.AddSite(ProtocolKind::kPrA, ProtocolKind::kPrAny);  // 1
+  system.AddSite(ProtocolKind::kPrN);                        // 2
+  system.AddSite(ProtocolKind::kPrN);                        // 3
+  system.AddSite(ProtocolKind::kPrA);                        // 4
+  system.AddSite(ProtocolKind::kPrA);                        // 5
+  system.AddSite(ProtocolKind::kPrC);                        // 6
+  system.AddSite(ProtocolKind::kPrC);                        // 7
+
+  // Sites fall over at random protocol points, for up to 200ms each.
+  system.injector().SetRandomCrashes(/*p=*/0.005, /*min_downtime=*/2'000,
+                                     /*max_downtime=*/200'000);
+  system.injector().SetRandomCrashBudget(40);
+
+  WorkloadConfig wl;
+  wl.num_txns = 250;
+  wl.min_participants = 2;
+  wl.max_participants = 5;
+  wl.no_vote_probability = 0.15;
+  wl.mean_interarrival_us = 2'500;
+  wl.coordinators = {0, 1};
+  wl.participant_pool = {2, 3, 4, 5, 6, 7};
+  WorkloadGenerator generator(&system, wl);
+  generator.GenerateAndSchedule();
+
+  RunStats stats = system.Run();
+  RunSummary summary = Summarize(system);
+
+  std::printf("=== failure storm (seed %llu) ===\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("simulated %.1f ms in %llu events%s\n\n",
+              static_cast<double>(stats.end_time) / 1000.0,
+              static_cast<unsigned long long>(stats.events_executed),
+              stats.hit_event_limit ? " (EVENT LIMIT HIT)" : "");
+  std::printf("%s\n", summary.ToString().c_str());
+
+  const NetworkStats& net = system.net().stats();
+  std::printf("network: %llu sent, %llu dropped, %llu duplicated, %llu "
+              "lost to down sites\n",
+              static_cast<unsigned long long>(net.messages_sent),
+              static_cast<unsigned long long>(net.messages_dropped),
+              static_cast<unsigned long long>(net.messages_duplicated),
+              static_cast<unsigned long long>(net.messages_lost_down));
+
+  if (!summary.AllCorrect() || stats.hit_event_limit) {
+    std::printf("\nSTORM SURFACED A BUG — full history follows:\n%s",
+                system.history().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nAll %lld transactions atomic; every site forgot "
+              "everything; logs fully collectible. (Theorem 3 held.)\n",
+              static_cast<long long>(summary.txns_begun));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Interoperability audit: the paper's §2 motivating example run against
+// every integration strategy.
+//
+// A transaction spans a PrA participant and a PrC participant. The
+// decision lands, the participant whose protocol would NOT acknowledge it
+// crashes before making the decision durable, and it recovers only after
+// the coordinator has forgotten the transaction. We run this schedule
+// against U2PC (each native protocol), C2PC and PrAny, and print what
+// each strategy got wrong — an executable tour of Theorems 1-3.
+
+#include <cstdio>
+
+#include "harness/scenario.h"
+
+namespace {
+
+void Audit(const char* label, prany::ProtocolKind kind,
+           prany::ProtocolKind native, prany::Outcome outcome) {
+  using namespace prany;
+  ScenarioResult r =
+      RunIncompatiblePresumptionScenario(kind, native, outcome);
+  std::printf("--- %s, %s decision ---\n", label,
+              ToString(outcome).c_str());
+  std::printf("  PrA participant finally: %s\n",
+              r.enforced.count(1) ? ToString(r.enforced.at(1)).c_str()
+                                  : "(never enforced)");
+  std::printf("  PrC participant finally: %s\n",
+              r.enforced.count(2) ? ToString(r.enforced.at(2)).c_str()
+                                  : "(never enforced)");
+  std::printf("  atomicity: %-8s  safe state: %-8s  operational: %s\n",
+              r.summary.atomicity.ok() ? "OK" : "VIOLATED",
+              r.summary.safe_state.ok() ? "OK" : "VIOLATED",
+              r.summary.operational.ok() ? "OK" : "FAILED");
+  if (!r.summary.operational.ok()) {
+    for (const std::string& p : r.summary.operational.problems) {
+      std::printf("    - %s\n", p.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace prany;
+  std::printf(
+      "=== incompatible-presumptions audit ===\n"
+      "Schedule: coordinator decides; the participant whose protocol\n"
+      "does not acknowledge that outcome crashes before logging it and\n"
+      "recovers after the coordinator forgot the transaction (§2).\n\n");
+
+  std::printf("================ U2PC: Theorem 1 ================\n");
+  Audit("U2PC speaking PrN", ProtocolKind::kU2PC, ProtocolKind::kPrN,
+        Outcome::kCommit);  // Part I
+  Audit("U2PC speaking PrA", ProtocolKind::kU2PC, ProtocolKind::kPrA,
+        Outcome::kCommit);  // Part II
+  Audit("U2PC speaking PrC", ProtocolKind::kU2PC, ProtocolKind::kPrC,
+        Outcome::kAbort);   // Part III
+
+  std::printf("================ C2PC: Theorem 2 ================\n");
+  Audit("C2PC (never forgets, never presumes)", ProtocolKind::kC2PC,
+        ProtocolKind::kPrN, Outcome::kCommit);
+  Audit("C2PC (never forgets, never presumes)", ProtocolKind::kC2PC,
+        ProtocolKind::kPrN, Outcome::kAbort);
+
+  std::printf("================ PrAny: Theorem 3 ===============\n");
+  Audit("PrAny (dynamic presumption)", ProtocolKind::kPrAny,
+        ProtocolKind::kPrN, Outcome::kCommit);
+  Audit("PrAny (dynamic presumption)", ProtocolKind::kPrAny,
+        ProtocolKind::kPrN, Outcome::kAbort);
+
+  std::printf(
+      "Verdict: U2PC forgets too early and answers late inquiries with\n"
+      "its own presumption (atomicity violations); C2PC stays atomic by\n"
+      "never forgetting (unbounded protocol table); PrAny forgets after\n"
+      "exactly the acknowledgments that leave a single valid presumption\n"
+      "per inquirer — atomic AND operationally correct.\n");
+  return 0;
+}

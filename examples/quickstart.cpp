@@ -1,0 +1,45 @@
+// Quickstart: commit one distributed transaction across a heterogeneous
+// federation with a PrAny coordinator, and watch the protocol run.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "harness/run_result.h"
+#include "harness/system.h"
+
+int main() {
+  using namespace prany;
+
+  // 1. Build the federation: one coordinator site running PrAny and three
+  //    participant sites, each speaking a different 2PC variant (their
+  //    protocols are registered in the coordinator's stable PCP table).
+  System system;
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);  // site 0
+  system.AddSite(ProtocolKind::kPrN);                        // site 1
+  system.AddSite(ProtocolKind::kPrA);                        // site 2
+  system.AddSite(ProtocolKind::kPrC);                        // site 3
+
+  // 2. Turn on tracing so the protocol is visible.
+  system.sim().trace().Enable();
+
+  // 3. Submit a transaction that executed at sites 1-3 and run the
+  //    simulation to quiescence. The selector (§4.1 of the paper) sees a
+  //    mixed participant set and picks PrAny mode.
+  TxnId txn = system.Submit(/*coordinator=*/0, /*participants=*/{1, 2, 3});
+  system.Run();
+
+  // 4. Show what happened on the wire and in the logs.
+  std::printf("=== protocol trace (txn %llu) ===\n%s\n",
+              static_cast<unsigned long long>(txn),
+              system.sim().trace().ToString().c_str());
+  std::printf("=== ACTA history of significant events ===\n%s\n",
+              system.history().ToString().c_str());
+
+  // 5. Evaluate the paper's correctness criteria over the recorded run.
+  RunSummary summary = Summarize(system);
+  std::printf("=== run summary ===\n%s\n", summary.ToString().c_str());
+  return summary.AllCorrect() ? 0 : 1;
+}

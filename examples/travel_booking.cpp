@@ -1,0 +1,118 @@
+// Travel booking across three independently-operated databases — the
+// multi-database interoperability scenario the paper's introduction
+// motivates (electronic commerce / multi-organizational workflows).
+//
+//   airline reservations  : a PrA system (commercial mainstream)
+//   hotel inventory       : a PrC system (commit-optimized)
+//   payment processor     : a PrN system (vanilla 2PC)
+//
+// The travel agency's transaction manager coordinates bookings with
+// PrAny. We book three trips: one clean commit, one aborted because the
+// hotel is sold out (votes no), and one where the hotel database crashes
+// at the worst possible moment — after receiving the commit decision,
+// before making it durable — and recovers only after the coordinator has
+// forgotten the booking. PrAny's dynamic presumption answers its inquiry
+// correctly.
+
+#include <cstdio>
+
+#include "harness/run_result.h"
+#include "harness/system.h"
+
+namespace {
+
+constexpr prany::SiteId kAgency = 0;
+constexpr prany::SiteId kAirline = 1;
+constexpr prany::SiteId kHotel = 2;
+constexpr prany::SiteId kPayments = 3;
+
+const char* SiteName(prany::SiteId site) {
+  switch (site) {
+    case kAgency:
+      return "agency";
+    case kAirline:
+      return "airline(PrA)";
+    case kHotel:
+      return "hotel(PrC)";
+    case kPayments:
+      return "payments(PrN)";
+    default:
+      return "?";
+  }
+}
+
+void ReportBooking(const prany::System& system, prany::TxnId txn,
+                   const char* label) {
+  using namespace prany;
+  const SigEvent* decide = system.history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.type == SigEventType::kCoordDecide;
+      });
+  std::printf("booking %llu (%s): decision = %s\n",
+              static_cast<unsigned long long>(txn), label,
+              decide == nullptr ? "none"
+                                : ToString(*decide->outcome).c_str());
+  for (const SigEvent& e : system.history().events()) {
+    if (e.txn == txn && e.type == SigEventType::kPartEnforce) {
+      std::printf("  %-14s applied %s\n", SiteName(e.site),
+                  ToString(*e.outcome).c_str());
+    }
+    if (e.txn == txn && e.type == SigEventType::kCoordRespond) {
+      std::printf("  agency answered %s's inquiry: %s%s\n",
+                  SiteName(e.peer), ToString(*e.outcome).c_str(),
+                  e.by_presumption ? " (by the inquirer's presumption)"
+                                   : " (from the protocol table)");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace prany;
+
+  System system;
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);  // agency
+  system.AddSite(ProtocolKind::kPrA);                        // airline
+  system.AddSite(ProtocolKind::kPrC);                        // hotel
+  system.AddSite(ProtocolKind::kPrN);                        // payments
+
+  // Trip 1: everything available — must commit everywhere.
+  TxnId trip1 = system.Submit(kAgency, {kAirline, kHotel, kPayments});
+
+  // Trip 2: the hotel is sold out and votes no — global abort.
+  Transaction t2 = system.MakeTransaction(kAgency,
+                                          {kAirline, kHotel, kPayments},
+                                          {{kHotel, Vote::kNo}});
+  system.SubmitAt(system.sim().Now() + 10'000, t2);
+
+  // Trip 3: the hotel database crashes on receiving the commit decision,
+  // before logging it, and stays down for a full second — long past the
+  // point where the agency forgot the booking (the airline and payment
+  // systems acknowledged). On recovery the hotel is in doubt and asks the
+  // agency; PrAny answers with the *hotel's* protocol presumption
+  // (PrC -> commit), which matches the real outcome.
+  Transaction t3 =
+      system.MakeTransaction(kAgency, {kAirline, kHotel, kPayments});
+  system.SubmitAt(system.sim().Now() + 20'000, t3);
+  system.injector().CrashAtPoint(kHotel,
+                                 CrashPoint::kPartOnDecisionReceived,
+                                 t3.id, /*downtime=*/1'000'000);
+
+  system.Run();
+
+  std::printf("=== travel agency over PrA + PrC + PrN databases ===\n\n");
+  ReportBooking(system, trip1, "all available");
+  ReportBooking(system, t2.id, "hotel sold out");
+  ReportBooking(system, t3.id, "hotel crashed at decision time");
+
+  RunSummary summary = Summarize(system);
+  std::printf("\n=== correctness over the whole day ===\n%s",
+              summary.operational.ToString().c_str());
+  std::printf("(hotel site crashed %llu time(s); %lld inquiries were "
+              "answered by presumption)\n",
+              static_cast<unsigned long long>(
+                  system.site(kHotel)->crash_count()),
+              static_cast<long long>(summary.presumed_answers));
+  return summary.AllCorrect() ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+#include "common/bytes.h"
+
+namespace prany {
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  PutRaw(s.data(), s.size());
+}
+
+void ByteWriter::PutRaw(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+Status ByteReader::GetU8(uint8_t* out) { return GetFixed(out); }
+Status ByteReader::GetU16(uint16_t* out) { return GetFixed(out); }
+Status ByteReader::GetU32(uint32_t* out) { return GetFixed(out); }
+Status ByteReader::GetU64(uint64_t* out) { return GetFixed(out); }
+
+Status ByteReader::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::Corruption("truncated varint");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::GetString(std::string* out) {
+  uint64_t len = 0;
+  PRANY_RETURN_NOT_OK(GetVarint(&len));
+  if (len > remaining()) {
+    return Status::Corruption("truncated string payload");
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + pos_),
+              static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return Status::OK();
+}
+
+}  // namespace prany

@@ -1,0 +1,94 @@
+// Bounds-checked binary encoding/decoding used by the wire (net/message)
+// and stable-log (wal/log_record) codecs.
+//
+// Encoding is little-endian fixed-width for integral types plus
+// length-prefixed byte strings. Decoding returns Status errors (never
+// crashes) so that corrupted log tails and truncated frames are handled
+// gracefully — a database-system requirement, not a nicety.
+
+#ifndef PRANY_COMMON_BYTES_H_
+#define PRANY_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prany {
+
+/// Append-only binary encoder.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+
+  /// Unsigned LEB128 varint (1-10 bytes).
+  void PutVarint(uint64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void PutString(const std::string& s);
+
+  /// Raw bytes, no length prefix.
+  void PutRaw(const void* data, size_t n);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked binary decoder over a byte span.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU16(uint16_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetVarint(uint64_t* out);
+  Status GetString(std::string* out);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  Status GetFixed(T* out) {
+    if (remaining() < sizeof(T)) {
+      return Status::Corruption("truncated fixed-width field");
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_BYTES_H_

@@ -1,0 +1,76 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace prany {
+
+namespace {
+const std::vector<double>& EmptySamples() {
+  static const std::vector<double> kEmpty;
+  return kEmpty;
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+}  // namespace
+
+void MetricsRegistry::Add(const std::string& name, int64_t delta) {
+  counters_[name] += delta;
+}
+
+int64_t MetricsRegistry::Get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  distributions_[name].push_back(value);
+}
+
+DistributionStats MetricsRegistry::Summarize(const std::string& name) const {
+  DistributionStats stats;
+  auto it = distributions_.find(name);
+  if (it == distributions_.end() || it->second.empty()) return stats;
+  std::vector<double> sorted = it->second;
+  std::sort(sorted.begin(), sorted.end());
+  stats.count = sorted.size();
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  stats.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+               static_cast<double>(sorted.size());
+  stats.p50 = Percentile(sorted, 0.50);
+  stats.p95 = Percentile(sorted, 0.95);
+  stats.p99 = Percentile(sorted, 0.99);
+  return stats;
+}
+
+const std::vector<double>& MetricsRegistry::samples(
+    const std::string& name) const {
+  auto it = distributions_.find(name);
+  return it == distributions_.end() ? EmptySamples() : it->second;
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  distributions_.clear();
+}
+
+std::string MetricsRegistry::ToString(const std::string& prefix) const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
+    out << name << " = " << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace prany

@@ -1,0 +1,64 @@
+// A small metrics registry: named counters and value distributions.
+//
+// Sites, the network and the log all record into a MetricsRegistry owned by
+// the System; the bench harness and the checkers read them back out. Keys
+// are plain strings ("net.msg.prepare", "wal.forced_writes", ...) so new
+// metrics never require plumbing changes.
+
+#ifndef PRANY_COMMON_METRICS_H_
+#define PRANY_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prany {
+
+/// Summary statistics over a recorded distribution.
+struct DistributionStats {
+  uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Named counters + distributions. Not thread-safe (single-threaded sim).
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void Add(const std::string& name, int64_t delta = 1);
+
+  /// Current value of counter `name`; 0 if never touched.
+  int64_t Get(const std::string& name) const;
+
+  /// Records one sample into distribution `name`.
+  void Observe(const std::string& name, double value);
+
+  /// Summarizes distribution `name` (all-zero stats if empty).
+  DistributionStats Summarize(const std::string& name) const;
+
+  /// All counters, sorted by name.
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+  /// All samples of a distribution (empty if none).
+  const std::vector<double>& samples(const std::string& name) const;
+
+  /// Drops all counters and distributions.
+  void Reset();
+
+  /// Multi-line "name = value" dump of all counters, optionally filtered to
+  /// names starting with `prefix`.
+  std::string ToString(const std::string& prefix = "") const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, std::vector<double>> distributions_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_METRICS_H_

@@ -1,0 +1,52 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace prany {
+
+uint64_t Rng::Uniform(uint64_t lo, uint64_t hi) {
+  PRANY_CHECK(lo <= hi);
+  std::uniform_int_distribution<uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  PRANY_CHECK(mean > 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+size_t Rng::Index(size_t n) {
+  PRANY_CHECK(n >= 1);
+  return static_cast<size_t>(Uniform(0, n - 1));
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  PRANY_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(Uniform(0, n - 1 - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace prany

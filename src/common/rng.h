@@ -1,0 +1,52 @@
+// Deterministic pseudo-random source. Every stochastic decision in the
+// simulator (latency draws, message drops, workload arrivals) flows through
+// one seeded Rng so that runs are exactly reproducible.
+
+#ifndef PRANY_COMMON_RNG_H_
+#define PRANY_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace prany {
+
+/// Seeded mersenne-twister wrapper with the distributions the simulator
+/// needs. Not thread-safe; the simulator is single-threaded by design.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Picks a uniformly random element index for a container of size n >= 1.
+  size_t Index(size_t n);
+
+  /// Returns k distinct values sampled uniformly from [0, n). k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Forks an independent deterministic child stream. Child streams keep
+  /// subsystem randomness decoupled (e.g. workload vs. network) so adding
+  /// draws in one does not perturb the other.
+  Rng Fork();
+
+ private:
+  std::mt19937_64 engine_;
+  uint64_t seed_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_RNG_H_

@@ -1,0 +1,178 @@
+// Arrow/RocksDB-style Status and Result<T> error handling.
+//
+// The prany library does not throw exceptions: fallible operations return
+// Status (or Result<T> when they produce a value). Programming errors are
+// reported via PRANY_CHECK, which aborts the process.
+
+#ifndef PRANY_COMMON_STATUS_H_
+#define PRANY_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace prany {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kCorruption = 5,     ///< Malformed on-disk/on-wire bytes.
+  kFailedPrecondition = 6,
+  kUnavailable = 7,    ///< Target site is down / unreachable.
+  kInternal = 8,
+};
+
+/// Lightweight status object: kOk (cheap) or an error code + message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace internal
+
+/// Aborts the process with a diagnostic if `cond` is false. For programming
+/// errors only — recoverable failures must use Status.
+#define PRANY_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::prany::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                  \
+  } while (false)
+
+#define PRANY_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::prany::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                   \
+  } while (false)
+
+/// Propagates an error Status from an expression.
+#define PRANY_RETURN_NOT_OK(expr)             \
+  do {                                        \
+    ::prany::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define PRANY_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto PRANY_CONCAT_(res_, __LINE__) = (rexpr);   \
+  if (!PRANY_CONCAT_(res_, __LINE__).ok())        \
+    return PRANY_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(PRANY_CONCAT_(res_, __LINE__)).ValueOrDie()
+
+#define PRANY_CONCAT_IMPL_(a, b) a##b
+#define PRANY_CONCAT_(a, b) PRANY_CONCAT_IMPL_(a, b)
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_STATUS_H_

@@ -1,0 +1,63 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace prany {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows,
+                        bool header_separator) {
+  if (rows.empty()) return "";
+  size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += "  ";
+      out += PadRight(rows[r][c], widths[c]);
+    }
+    out += "\n";
+    if (r == 0 && header_separator) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (c > 0) out += "  ";
+        out += std::string(widths[c], '-');
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace prany

@@ -1,0 +1,43 @@
+// Small string/formatting helpers shared by traces, benches and examples.
+
+#ifndef PRANY_COMMON_STRING_UTIL_H_
+#define PRANY_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prany {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with `sep` using std::to_string-able values.
+template <typename Container>
+std::string JoinNumbers(const Container& values, const std::string& sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& v : values) {
+    if (!first) out += sep;
+    out += std::to_string(v);
+    first = false;
+  }
+  return out;
+}
+
+/// Fixed-width left-aligned cell for plain-text tables.
+std::string PadRight(const std::string& s, size_t width);
+
+/// Fixed-width right-aligned cell for plain-text tables.
+std::string PadLeft(const std::string& s, size_t width);
+
+/// Renders a simple aligned plain-text table. `rows` includes the header
+/// row if desired; a separator line is inserted after the first row when
+/// `header_separator` is true.
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows,
+                        bool header_separator = true);
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_STRING_UTIL_H_

@@ -1,0 +1,25 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace prany {
+
+void TraceLog::Emit(SimTime time, std::string text) {
+  if (!enabled_) return;
+  if (echo_) {
+    std::fprintf(stderr, "t=%lluus %s\n",
+                 static_cast<unsigned long long>(time), text.c_str());
+  }
+  events_.push_back(TraceEvent{time, std::move(text)});
+}
+
+std::string TraceLog::ToString() const {
+  std::ostringstream out;
+  for (const TraceEvent& e : events_) {
+    out << "t=" << e.time << "us " << e.text << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace prany

@@ -1,0 +1,51 @@
+// Structured trace sink for protocol debugging and the example programs.
+//
+// Components emit one-line trace events ("t=1200us site=2 PREPARE received
+// txn=7"). Tracing is off by default; examples and failing tests turn it on
+// to print a readable protocol timeline.
+
+#ifndef PRANY_COMMON_TRACE_H_
+#define PRANY_COMMON_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace prany {
+
+/// One trace line with its simulated timestamp.
+struct TraceEvent {
+  SimTime time = 0;
+  std::string text;
+};
+
+/// Collects (and optionally echoes) trace events.
+class TraceLog {
+ public:
+  /// When enabled, events are retained (and echoed if `echo` was set).
+  void Enable(bool echo_to_stderr = false) {
+    enabled_ = true;
+    echo_ = echo_to_stderr;
+  }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Emit(SimTime time, std::string text);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// All events joined as "t=<time>us <text>" lines.
+  std::string ToString() const;
+
+ private:
+  bool enabled_ = false;
+  bool echo_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_TRACE_H_

@@ -1,0 +1,69 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace prany {
+
+std::string ToString(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kPrN:
+      return "PrN";
+    case ProtocolKind::kPrA:
+      return "PrA";
+    case ProtocolKind::kPrC:
+      return "PrC";
+    case ProtocolKind::kU2PC:
+      return "U2PC";
+    case ProtocolKind::kC2PC:
+      return "C2PC";
+    case ProtocolKind::kPrAny:
+      return "PrAny";
+  }
+  return "unknown";
+}
+
+std::string ToString(Outcome outcome) {
+  return outcome == Outcome::kCommit ? "commit" : "abort";
+}
+
+std::string ToString(Vote vote) {
+  switch (vote) {
+    case Vote::kYes:
+      return "yes";
+    case Vote::kNo:
+      return "no";
+    case Vote::kReadOnly:
+      return "read-only";
+  }
+  return "unknown";
+}
+
+bool IsBaseProtocol(ProtocolKind kind) {
+  return kind == ProtocolKind::kPrN || kind == ProtocolKind::kPrA ||
+         kind == ProtocolKind::kPrC;
+}
+
+bool ParseProtocolKind(const std::string& name, ProtocolKind* out) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "prn" || lower == "2pc") {
+    *out = ProtocolKind::kPrN;
+  } else if (lower == "pra") {
+    *out = ProtocolKind::kPrA;
+  } else if (lower == "prc") {
+    *out = ProtocolKind::kPrC;
+  } else if (lower == "u2pc") {
+    *out = ProtocolKind::kU2PC;
+  } else if (lower == "c2pc") {
+    *out = ProtocolKind::kC2PC;
+  } else if (lower == "prany") {
+    *out = ProtocolKind::kPrAny;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace prany

@@ -1,0 +1,107 @@
+// Core identifier and enumeration types shared by every prany module.
+//
+// Terminology follows the paper (Al-Houmaily & Chrysanthis, PODS 1999):
+//  - A *site* hosts a transaction manager that may act as coordinator
+//    and/or participant.
+//  - Each participant site runs one of the classic two-phase-commit
+//    variants: PrN (presumed nothing / basic 2PC), PrA (presumed abort) or
+//    PrC (presumed commit).
+//  - A coordinator runs one of the above, or one of the integration
+//    protocols: U2PC (union 2PC), C2PC (coordinator 2PC) or PrAny
+//    (presumed any, the paper's contribution).
+
+#ifndef PRANY_COMMON_TYPES_H_
+#define PRANY_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace prany {
+
+/// Identifies a site (node) in the distributed system.
+using SiteId = uint32_t;
+
+/// Identifies a distributed transaction. Unique across the whole run.
+using TxnId = uint64_t;
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = uint64_t;
+
+/// A duration in simulated microseconds.
+using SimDuration = uint64_t;
+
+/// Sentinel for "no site".
+inline constexpr SiteId kInvalidSite = static_cast<SiteId>(-1);
+
+/// Sentinel for "no transaction".
+inline constexpr TxnId kInvalidTxn = static_cast<TxnId>(-1);
+
+/// The atomic commit protocol spoken by a site.
+///
+/// The first three are the classic 2PC variants a *participant* may use
+/// (and a homogeneous coordinator as well). The last three are coordinator-
+/// side integration protocols for heterogeneous participant sets.
+enum class ProtocolKind : uint8_t {
+  kPrN = 0,   ///< Presumed nothing (basic 2PC), Figure 2 of the paper.
+  kPrA = 1,   ///< Presumed abort, Figure 3.
+  kPrC = 2,   ///< Presumed commit, Figure 4.
+  kU2PC = 3,  ///< Union 2PC: native protocol + "ignore violations" (S2).
+  kC2PC = 4,  ///< Coordinator 2PC: never forgets until all acks (S3).
+  kPrAny = 5  ///< Presumed any, the paper's contribution (S4).
+};
+
+/// Final outcome of a transaction.
+enum class Outcome : uint8_t {
+  kCommit = 0,
+  kAbort = 1,
+};
+
+/// A participant's vote in the voting phase.
+///
+/// kReadOnly is the classic R* read-only optimization the paper's §5
+/// names as integrable under its operational-correctness criterion: a
+/// participant whose subtransaction wrote nothing votes read-only,
+/// releases its resources immediately, writes no log records, and is
+/// excluded from the decision phase entirely.
+enum class Vote : uint8_t {
+  kYes = 0,
+  kNo = 1,
+  kReadOnly = 2,
+};
+
+/// Returns the inverse outcome.
+inline Outcome Opposite(Outcome o) {
+  return o == Outcome::kCommit ? Outcome::kAbort : Outcome::kCommit;
+}
+
+/// A participant in a distributed transaction together with the 2PC
+/// variant its site speaks. Initiation log records and the PCP table are
+/// lists of these.
+struct ParticipantInfo {
+  SiteId site = kInvalidSite;
+  ProtocolKind protocol = ProtocolKind::kPrN;
+
+  bool operator==(const ParticipantInfo& other) const {
+    return site == other.site && protocol == other.protocol;
+  }
+};
+
+/// Human-readable name ("PrN", "PrAny", ...).
+std::string ToString(ProtocolKind kind);
+
+/// Human-readable name ("commit" / "abort").
+std::string ToString(Outcome outcome);
+
+/// Human-readable name ("yes" / "no").
+std::string ToString(Vote vote);
+
+/// True for the three base participant protocols (PrN, PrA, PrC).
+bool IsBaseProtocol(ProtocolKind kind);
+
+/// Parses "PrN"/"PrA"/"PrC"/"U2PC"/"C2PC"/"PrAny" (case-insensitive).
+/// Returns false if the name is not recognized.
+bool ParseProtocolKind(const std::string& name, ProtocolKind* out);
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_TYPES_H_

@@ -1,0 +1,133 @@
+#include "core/prany_coordinator.h"
+
+#include "common/status.h"
+#include "core/presumption.h"
+#include "core/protocol_selector.h"
+
+namespace prany {
+
+PrAnyCoordinator::PrAnyCoordinator(EngineContext ctx, const PcpTable* pcp,
+                                   bool always_mixed_mode)
+    : CoordinatorBase(std::move(ctx), ProtocolKind::kPrAny),
+      pcp_(pcp),
+      app_(pcp),
+      always_mixed_mode_(always_mixed_mode) {
+  PRANY_CHECK(pcp != nullptr);
+}
+
+ProtocolKind PrAnyCoordinator::SelectMode(const Transaction& txn) {
+  // §4.1: consult the APP (backed by the stable PCP) for each active
+  // participant's protocol; homogeneous sets use their native protocol.
+  std::vector<ParticipantInfo> resolved;
+  resolved.reserve(txn.participants.size());
+  for (const ParticipantInfo& p : txn.participants) {
+    std::optional<ProtocolKind> protocol = app_.ProtocolFor(p.site);
+    PRANY_CHECK_MSG(protocol.has_value(),
+                    "participant missing from the PCP table");
+    PRANY_CHECK_MSG(*protocol == p.protocol,
+                    "transaction descriptor disagrees with the PCP");
+    resolved.push_back(ParticipantInfo{p.site, *protocol});
+  }
+  if (always_mixed_mode_) return ProtocolKind::kPrAny;
+  return SelectCommitProtocol(resolved);
+}
+
+bool PrAnyCoordinator::WritesInitiation(ProtocolKind mode) const {
+  // Figure 1: PrAny forces an initiation record (with the participants'
+  // protocols); pure-PrC mode keeps PrC's initiation record; pure PrN/PrA
+  // modes write none.
+  return mode == ProtocolKind::kPrC || mode == ProtocolKind::kPrAny;
+}
+
+DecisionLogPolicy PrAnyCoordinator::DecisionPolicy(ProtocolKind mode,
+                                                   Outcome outcome) const {
+  if (mode == ProtocolKind::kPrN) return DecisionLogPolicy::kForced;
+  // PrA, PrC and PrAny modes all force commit records and never log
+  // aborts (Figure 1(b): no decision record on abort).
+  return outcome == Outcome::kCommit ? DecisionLogPolicy::kForced
+                                     : DecisionLogPolicy::kNone;
+}
+
+bool PrAnyCoordinator::DecisionNamesParticipants(ProtocolKind mode) const {
+  // Only modes without an initiation record need the participants in the
+  // decision record for recovery.
+  return mode == ProtocolKind::kPrN || mode == ProtocolKind::kPrA;
+}
+
+std::set<SiteId> PrAnyCoordinator::ExpectedAckers(const CoordTxnState& st,
+                                                  Outcome outcome) const {
+  // The uniform PrAny rule: await exactly the participants whose protocol
+  // acknowledges this outcome. For homogeneous (pure-mode) sets this
+  // degenerates to the native protocol's expectation.
+  return AckersAmong(st.participants, outcome);
+}
+
+std::pair<Outcome, bool> PrAnyCoordinator::AnswerUnknownInquiry(
+    TxnId txn, SiteId inquirer) {
+  (void)txn;
+  // §4.2: dynamically adopt the presumption of the inquiring participant's
+  // protocol, looked up in the stable PCP.
+  std::optional<ProtocolKind> protocol = pcp_->ProtocolFor(inquirer);
+  if (!protocol.has_value()) {
+    // An inquirer that left the federation; abort is the conservative
+    // answer (and flagged in metrics for the operator).
+    ctx().Count("prany.unknown_inquirer");
+    return {Outcome::kAbort, /*by_presumption=*/true};
+  }
+  return {PresumptionOf(*protocol), /*by_presumption=*/true};
+}
+
+void PrAnyCoordinator::RecoverTxn(const TxnLogSummary& summary) {
+  if (!summary.has_initiation) {
+    // Decision record without initiation: PrN or PrA mode was used
+    // (§4.2). Both re-send the recorded decision to every participant.
+    if (!summary.decision.has_value()) return;
+    ProtocolKind mode = summary.participants.empty()
+                            ? ProtocolKind::kPrN
+                            : summary.participants.front().protocol;
+    ReinitiateDecision(summary.txn, mode, summary.participants,
+                       *summary.decision, SitesOf(summary.participants));
+    return;
+  }
+
+  if (summary.commit_protocol == ProtocolKind::kPrC) {
+    // Pure-PrC mode: commit record eliminates the initiation; otherwise
+    // re-initiate the abort and collect the acks for the END record.
+    if (summary.decision == Outcome::kCommit) {
+      ctx().log->ReleaseTransaction(summary.txn);
+      return;
+    }
+    ReinitiateDecision(summary.txn, ProtocolKind::kPrC, summary.participants,
+                       Outcome::kAbort, SitesOf(summary.participants));
+    return;
+  }
+
+  // PrAny mode. Initiation + commit record -> re-submit commit to the PrN
+  // and PrA participants (not PrC, per PrC's rules); initiation only ->
+  // abort, re-submitted to the PrN and PrC participants (not PrA,
+  // footnote 4).
+  Outcome outcome = summary.decision == Outcome::kCommit ? Outcome::kCommit
+                                                         : Outcome::kAbort;
+  std::set<SiteId> recipients = AckersAmong(summary.participants, outcome);
+  ReinitiateDecision(summary.txn, ProtocolKind::kPrAny, summary.participants,
+                     outcome, recipients);
+}
+
+void PrAnyCoordinator::DidBegin(const CoordTxnState& st) {
+  for (const ParticipantInfo& p : st.participants) {
+    Status status = app_.Activate(p.site);
+    PRANY_CHECK_MSG(status.ok(), status.ToString());
+  }
+}
+
+void PrAnyCoordinator::WillForget(const CoordTxnState& st) {
+  for (const ParticipantInfo& p : st.participants) {
+    // Deactivation tolerates a crash having cleared the APP: recovery
+    // re-activates via DidBegin (ReinitiateDecision), so refcounts match
+    // unless the entry predates the crash — which cannot happen, as the
+    // crash also wiped the protocol table.
+    app_.Deactivate(p.site).ok();
+  }
+}
+
+}  // namespace prany

@@ -1,0 +1,76 @@
+// Presumed Any (PrAny) — the paper's contribution (§4).
+//
+// A PrAny coordinator integrates PrN, PrA and PrC participants while
+// remaining operationally correct (Definition 1):
+//
+//  * Per-transaction protocol selection (§4.1): homogeneous participant
+//    sets run their native protocol; mixed sets run PrAny mode, which
+//    force-writes an initiation record listing each participant *and its
+//    protocol*.
+//  * Outcome-dependent acknowledgment sets: commits are acknowledged by
+//    the PrN and PrA participants (PrC participants presume commit);
+//    aborts by the PrN and PrC participants (PrA participants presume
+//    abort). The coordinator forgets as soon as exactly those acks are in
+//    and writes a non-forced END record.
+//  * Dynamic presumption adoption (§4.2): PrAny makes no a-priori
+//    presumption; an inquiry about a forgotten transaction is answered
+//    with the presumption of the *inquirer's* protocol, looked up in the
+//    stable PCP table. The safe-state argument (Definition 2, Theorem 3):
+//    after a commit, only PrC participants can still inquire (everyone
+//    else acked) and they are told commit; after an abort, only PrA
+//    participants can still inquire and they are told abort.
+//  * Recovery (§4.2): decision record without initiation -> a pure
+//    PrN/PrA-mode transaction, re-send the decision; initiation recorded
+//    as PrC-mode -> PrC rules; initiation recorded as PrAny-mode ->
+//    initiation-only means abort (re-sent to PrN+PrC participants only,
+//    footnote 4), initiation+commit means commit (re-sent to PrN+PrA
+//    participants only).
+
+#ifndef PRANY_CORE_PRANY_COORDINATOR_H_
+#define PRANY_CORE_PRANY_COORDINATOR_H_
+
+#include <utility>
+
+#include "protocol/coordinator_base.h"
+#include "txn/pcp_table.h"
+
+namespace prany {
+
+class PrAnyCoordinator : public CoordinatorBase {
+ public:
+  /// `pcp` is the stable participants'-commit-protocol table; it must
+  /// outlive the coordinator. The in-memory APP view is owned here.
+  /// `always_mixed_mode` disables the §4.1 selector (every transaction
+  /// runs full PrAny mode) — an ablation knob for measuring what the
+  /// dynamic selection saves; see bench_selector_ablation.
+  PrAnyCoordinator(EngineContext ctx, const PcpTable* pcp,
+                   bool always_mixed_mode = false);
+
+  const AppTable& app() const { return app_; }
+
+  /// Crash support for the volatile APP view (called by the Site).
+  void ClearApp() { app_.Clear(); }
+
+ protected:
+  ProtocolKind SelectMode(const Transaction& txn) override;
+  bool WritesInitiation(ProtocolKind mode) const override;
+  DecisionLogPolicy DecisionPolicy(ProtocolKind mode,
+                                   Outcome outcome) const override;
+  bool DecisionNamesParticipants(ProtocolKind mode) const override;
+  std::set<SiteId> ExpectedAckers(const CoordTxnState& st,
+                                  Outcome outcome) const override;
+  std::pair<Outcome, bool> AnswerUnknownInquiry(TxnId txn,
+                                                SiteId inquirer) override;
+  void RecoverTxn(const TxnLogSummary& summary) override;
+  void DidBegin(const CoordTxnState& st) override;
+  void WillForget(const CoordTxnState& st) override;
+
+ private:
+  const PcpTable* pcp_;
+  AppTable app_;
+  bool always_mixed_mode_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_CORE_PRANY_COORDINATOR_H_

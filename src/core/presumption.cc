@@ -1,0 +1,29 @@
+#include "core/presumption.h"
+
+#include "common/status.h"
+
+namespace prany {
+
+Outcome PresumptionOf(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kPrN:
+    case ProtocolKind::kPrA:
+      return Outcome::kAbort;
+    case ProtocolKind::kPrC:
+      return Outcome::kCommit;
+    default:
+      PRANY_CHECK_MSG(false,
+                      "integration protocols have no static presumption");
+      return Outcome::kAbort;
+  }
+}
+
+bool HasExplicitPresumption(ProtocolKind kind) {
+  return kind == ProtocolKind::kPrA || kind == ProtocolKind::kPrC;
+}
+
+bool PresumptionsCompatible(ProtocolKind a, ProtocolKind b) {
+  return PresumptionOf(a) == PresumptionOf(b);
+}
+
+}  // namespace prany

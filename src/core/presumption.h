@@ -1,0 +1,35 @@
+// Presumption semantics of the base protocols (§§2-3 and appendix).
+//
+// A presumption is the outcome a coordinator attributes to a transaction
+// it holds no information about. PrA presumes abort; PrC presumes commit;
+// PrN has a *hidden* abort presumption (active transactions at the time of
+// a coordinator failure are considered aborted). The incompatibility the
+// paper studies is exactly that PrA's and PrC's presumptions conflict.
+//
+// PrAny's key move (§4.2) is to make the presumption *dynamic*: a
+// coordinator that has forgotten a transaction answers each inquiry with
+// the presumption of the inquirer's own protocol.
+
+#ifndef PRANY_CORE_PRESUMPTION_H_
+#define PRANY_CORE_PRESUMPTION_H_
+
+#include "common/types.h"
+
+namespace prany {
+
+/// The outcome a `kind` coordinator/participant presumes for a forgotten
+/// transaction. CHECKs on non-base kinds (integration protocols do not
+/// have a single static presumption — that is the paper's point).
+Outcome PresumptionOf(ProtocolKind kind);
+
+/// True for protocols whose presumption is explicit in their design (PrA,
+/// PrC); false for PrN, whose abort presumption is hidden.
+bool HasExplicitPresumption(ProtocolKind kind);
+
+/// True iff the two protocols' presumptions agree — i.e. they can be
+/// integrated by a forgetful coordinator without PrAny's machinery.
+bool PresumptionsCompatible(ProtocolKind a, ProtocolKind b);
+
+}  // namespace prany
+
+#endif  // PRANY_CORE_PRESUMPTION_H_

@@ -1,0 +1,23 @@
+#include "core/protocol_selector.h"
+
+#include "common/status.h"
+
+namespace prany {
+
+bool IsHomogeneous(const std::vector<ParticipantInfo>& participants) {
+  PRANY_CHECK(!participants.empty());
+  ProtocolKind first = participants.front().protocol;
+  for (const ParticipantInfo& p : participants) {
+    if (p.protocol != first) return false;
+  }
+  return true;
+}
+
+ProtocolKind SelectCommitProtocol(
+    const std::vector<ParticipantInfo>& participants) {
+  PRANY_CHECK(!participants.empty());
+  if (IsHomogeneous(participants)) return participants.front().protocol;
+  return ProtocolKind::kPrAny;
+}
+
+}  // namespace prany

@@ -1,0 +1,33 @@
+// Per-transaction commit-protocol selection (§4.1).
+//
+// A PrAny coordinator consults its APP and picks the cheapest sound
+// protocol for each transaction: if all participants speak the same base
+// protocol it simply runs that protocol (no extra logging); any mixed set
+// runs PrAny mode.
+//
+// Deviation note (recorded in DESIGN.md): the paper mandates PrAny
+// whenever PrA mixes with PrN or PrC and leaves the {PrN, PrC}-only mix
+// unspecified; we run PrAny for every mixed set — sound, and one rule
+// instead of two.
+
+#ifndef PRANY_CORE_PROTOCOL_SELECTOR_H_
+#define PRANY_CORE_PROTOCOL_SELECTOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace prany {
+
+/// True iff all participants speak the same protocol.
+bool IsHomogeneous(const std::vector<ParticipantInfo>& participants);
+
+/// The commit protocol a PrAny coordinator uses for this participant set:
+/// the common base protocol if homogeneous, kPrAny otherwise.
+/// CHECKs on an empty participant set.
+ProtocolKind SelectCommitProtocol(
+    const std::vector<ParticipantInfo>& participants);
+
+}  // namespace prany
+
+#endif  // PRANY_CORE_PROTOCOL_SELECTOR_H_

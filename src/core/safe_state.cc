@@ -1,0 +1,105 @@
+#include "core/safe_state.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace prany {
+
+std::string SafeStateReport::ToString() const {
+  std::ostringstream out;
+  out << "safe state: " << (ok() ? "OK" : "VIOLATED") << " ("
+      << txns_checked << " txns, " << responses_checked
+      << " responses checked)\n";
+  for (const SafeStateViolation& v : violations) {
+    out << "  txn " << v.txn << ": " << v.description << "\n";
+  }
+  return out.str();
+}
+
+bool SafeStateChecker::HoldsFor(const EventLog& history, TxnId txn,
+                                std::string* why) {
+  // First pass: the transaction's decided outcome (first Decide wins;
+  // conflicting decides are the atomicity checker's department).
+  std::optional<Outcome> decided;
+  for (const SigEvent& e : history.events()) {
+    if (e.txn == txn && e.type == SigEventType::kCoordDecide) {
+      decided = *e.outcome;
+      break;
+    }
+  }
+  const Outcome required = decided.value_or(Outcome::kAbort);
+
+  std::optional<uint64_t> first_forget_seq;
+  bool ok = true;
+
+  // Sites that already enforced the *required* outcome, with the sequence
+  // number of their first such enforcement (stale-inquiry exemption).
+  std::map<SiteId, uint64_t> enforced_at;
+
+  for (const SigEvent& e : history.events()) {
+    if (e.txn != txn) continue;
+    switch (e.type) {
+      case SigEventType::kCoordForget:
+        if (!first_forget_seq.has_value()) first_forget_seq = e.seq;
+        break;
+      case SigEventType::kPartEnforce:
+        if (*e.outcome == required &&
+            enforced_at.find(e.site) == enforced_at.end()) {
+          enforced_at[e.site] = e.seq;
+        }
+        break;
+      case SigEventType::kCoordRespond: {
+        // The criterion constrains responses after DeletePT; responses
+        // before it come from the protocol table and must match trivially,
+        // so we check them too (a stricter, still-sound reading).
+        // Stale-inquiry exemption (see header): a mismatched reply to a
+        // participant that already enforced the required outcome answers
+        // a delayed duplicate inquiry and is ignored by its recipient.
+        if (*e.outcome != required) {
+          auto it = enforced_at.find(e.peer);
+          if (it != enforced_at.end() && it->second < e.seq) {
+            break;
+          }
+        }
+        if (*e.outcome != required) {
+          ok = false;
+          if (why != nullptr) {
+            *why += StrFormat(
+                "responded %s to site %u but transaction outcome is %s%s; ",
+                ToString(*e.outcome).c_str(), e.peer,
+                ToString(required).c_str(),
+                (first_forget_seq.has_value() && e.seq > *first_forget_seq)
+                    ? " (after DeletePT)"
+                    : "");
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return ok;
+}
+
+SafeStateReport SafeStateChecker::Check(const EventLog& history) {
+  SafeStateReport report;
+  for (TxnId txn : history.Txns()) {
+    ++report.txns_checked;
+    for (const SigEvent& e : history.events()) {
+      if (e.txn == txn && e.type == SigEventType::kCoordRespond) {
+        ++report.responses_checked;
+      }
+    }
+    std::string why;
+    if (!HoldsFor(history, txn, &why)) {
+      report.violations.push_back(SafeStateViolation{txn, why});
+    }
+  }
+  return report;
+}
+
+}  // namespace prany

@@ -1,0 +1,68 @@
+// Executable form of the paper's safe-state criterion (Definition 2).
+//
+// SafeState_C(T) holds iff either
+//   Decide_C(Abort_T) ∈ H  and  for every subtransaction t_i,
+//     (DeletePT_C(T) -> INQ_{t_i})  implies  Respond_C(Abort_{t_i}) ∈ H,
+// or the symmetric clause with Commit. Informally: once the coordinator
+// has forgotten T, exactly one presumption may remain possible — the one
+// matching T's actual outcome — so every post-forget inquiry must be
+// answered with that outcome.
+//
+// The checker evaluates the criterion over a recorded history. U2PC runs
+// under the Theorem 1 schedules violate it; PrAny runs never do
+// (Theorem 3).
+//
+// Stale-inquiry refinement: the paper's proofs assume INQ_{t_i} comes
+// from a participant still in doubt ("only a participant that employs PrC
+// might inquire about the decision in the future"). Over an asynchronous
+// network, an inquiry can also be a long-delayed duplicate from a
+// participant that has since received the decision, enforced it, and
+// acknowledged it — the very acknowledgment that allowed the coordinator
+// to forget. The reply to such a message lands on a participant with no
+// memory of the transaction, which ignores it (footnote 5), so it cannot
+// affect atomicity. The checker therefore exempts a mismatched response
+// when the inquirer had already enforced the transaction's decided
+// outcome before the response was issued; every genuine Theorem-1
+// violation (the inquirer still in doubt) is still flagged.
+
+#ifndef PRANY_CORE_SAFE_STATE_H_
+#define PRANY_CORE_SAFE_STATE_H_
+
+#include <string>
+#include <vector>
+
+#include "history/event_log.h"
+
+namespace prany {
+
+/// One transaction whose post-forget responses contradict its outcome.
+struct SafeStateViolation {
+  TxnId txn = kInvalidTxn;
+  std::string description;
+};
+
+/// Result of evaluating Definition 2 over a history.
+struct SafeStateReport {
+  std::vector<SafeStateViolation> violations;
+  uint64_t txns_checked = 0;
+  uint64_t responses_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+class SafeStateChecker {
+ public:
+  /// Evaluates SafeState over every transaction in the history.
+  static SafeStateReport Check(const EventLog& history);
+
+  /// Evaluates SafeState for a single transaction. Returns true iff the
+  /// criterion holds; on failure, appends an explanation to `why` (if
+  /// non-null).
+  static bool HoldsFor(const EventLog& history, TxnId txn,
+                       std::string* why = nullptr);
+};
+
+}  // namespace prany
+
+#endif  // PRANY_CORE_SAFE_STATE_H_

@@ -1,0 +1,41 @@
+#include "harness/failure_injector.h"
+
+namespace prany {
+
+void FailureInjector::CrashAtPoint(SiteId site, CrashPoint point, TxnId txn,
+                                   SimDuration downtime, uint32_t skip) {
+  rules_.push_back(PointRule{site, point, txn, downtime, skip});
+}
+
+void FailureInjector::SetRandomCrashes(double p, SimDuration min_downtime,
+                                       SimDuration max_downtime) {
+  random_p_ = p;
+  random_min_downtime_ = min_downtime;
+  random_max_downtime_ = max_downtime;
+}
+
+std::optional<SimDuration> FailureInjector::Probe(SiteId site,
+                                                  CrashPoint point,
+                                                  TxnId txn) {
+  for (PointRule& rule : rules_) {
+    if (rule.fired || rule.site != site || rule.point != point) continue;
+    if (rule.txn != kInvalidTxn && rule.txn != txn) continue;
+    if (rule.skip > 0) {
+      --rule.skip;
+      continue;
+    }
+    rule.fired = true;
+    ++crashes_injected_;
+    return rule.downtime;
+  }
+  if (random_p_ > 0.0 &&
+      (random_budget_ == 0 || random_crashes_ < random_budget_) &&
+      rng_.Bernoulli(random_p_)) {
+    ++random_crashes_;
+    ++crashes_injected_;
+    return rng_.Uniform(random_min_downtime_, random_max_downtime_);
+  }
+  return std::nullopt;
+}
+
+}  // namespace prany

@@ -1,0 +1,96 @@
+#include "harness/run_result.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace prany {
+
+RunSummary Summarize(const System& system) {
+  RunSummary s;
+  const MetricsRegistry& m = system.metrics();
+
+  s.txns_begun = m.Get("coord.begin") + m.Get("coord.recovery_reinitiate");
+  s.commits = m.Get("coord.decide_commit");
+  s.aborts = m.Get("coord.decide_abort");
+  s.vote_timeouts = m.Get("coord.vote_timeout");
+  s.presumed_answers = m.Get("coord.answered_by_presumption");
+  s.decision_resends = m.Get("coord.decision_resend");
+
+  for (const auto& [name, value] : m.counters()) {
+    constexpr const char* kPrefix = "net.msg.";
+    if (name.rfind(kPrefix, 0) == 0) {
+      s.messages_by_type[name.substr(strlen(kPrefix))] = value;
+      s.messages_total += value;
+    }
+  }
+  s.bytes_sent = m.Get("net.bytes");
+
+  for (size_t i = 0; i < system.site_count(); ++i) {
+    const Site* site = system.site(static_cast<SiteId>(i));
+    const LogStats& log = site->wal()->stats();
+    s.log_appends += log.appends;
+    s.forced_appends += log.forced_appends;
+    s.flushes += log.flushes;
+    s.max_protocol_table =
+        std::max(s.max_protocol_table, site->coordinator()->table().MaxSize());
+    s.residual_table_entries += site->coordinator()->table().Size();
+    s.residual_unreleased_txns += site->wal()->UnreleasedTxns().size();
+    s.crashes += site->crash_count();
+  }
+
+  s.commit_latency = m.Summarize("coord.commit_latency_us");
+  s.abort_latency = m.Summarize("coord.abort_latency_us");
+
+  s.atomicity = system.CheckAtomicity();
+  s.safe_state = system.CheckSafeState();
+  s.operational = system.CheckOperational();
+  return s;
+}
+
+std::string RunSummary::ToString() const {
+  std::ostringstream out;
+  out << StrFormat(
+      "txns=%lld commits=%lld aborts=%lld timeouts=%lld crashes=%llu\n",
+      static_cast<long long>(txns_begun), static_cast<long long>(commits),
+      static_cast<long long>(aborts), static_cast<long long>(vote_timeouts),
+      static_cast<unsigned long long>(crashes));
+  out << StrFormat("messages=%lld (", static_cast<long long>(messages_total));
+  bool first = true;
+  for (const auto& [type, count] : messages_by_type) {
+    if (!first) out << ", ";
+    out << type << "=" << count;
+    first = false;
+  }
+  out << StrFormat(") bytes=%lld\n", static_cast<long long>(bytes_sent));
+  out << StrFormat(
+      "log: appends=%llu forced=%llu flushes=%llu\n",
+      static_cast<unsigned long long>(log_appends),
+      static_cast<unsigned long long>(forced_appends),
+      static_cast<unsigned long long>(flushes));
+  out << StrFormat(
+      "tables: max=%zu residual=%zu unreleased_log_txns=%zu\n",
+      max_protocol_table, residual_table_entries, residual_unreleased_txns);
+  if (commit_latency.count > 0) {
+    out << StrFormat("commit latency us: mean=%.0f p50=%.0f p95=%.0f\n",
+                     commit_latency.mean, commit_latency.p50,
+                     commit_latency.p95);
+  }
+  if (abort_latency.count > 0) {
+    out << StrFormat("abort latency us:  mean=%.0f p50=%.0f p95=%.0f\n",
+                     abort_latency.mean, abort_latency.p50,
+                     abort_latency.p95);
+  }
+  out << StrFormat(
+      "resends=%lld presumed_answers=%lld\n",
+      static_cast<long long>(decision_resends),
+      static_cast<long long>(presumed_answers));
+  out << atomicity.ToString();
+  out << safe_state.ToString();
+  out << operational.ToString();
+  return out.str();
+}
+
+}  // namespace prany

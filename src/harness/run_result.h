@@ -1,0 +1,64 @@
+// End-of-run aggregation: message/IO counts, latencies, table high-water
+// marks, and the three correctness reports, in one printable summary.
+
+#ifndef PRANY_HARNESS_RUN_RESULT_H_
+#define PRANY_HARNESS_RUN_RESULT_H_
+
+#include <map>
+#include <string>
+
+#include "harness/system.h"
+
+namespace prany {
+
+/// Aggregate results of one run (collect with Summarize after Run()).
+struct RunSummary {
+  // Transactions.
+  int64_t txns_begun = 0;
+  int64_t commits = 0;
+  int64_t aborts = 0;
+  int64_t vote_timeouts = 0;
+
+  // Network.
+  std::map<std::string, int64_t> messages_by_type;
+  int64_t messages_total = 0;
+  int64_t bytes_sent = 0;
+
+  // Logging (summed over all sites).
+  uint64_t log_appends = 0;
+  uint64_t forced_appends = 0;
+  uint64_t flushes = 0;
+
+  // Memory.
+  size_t max_protocol_table = 0;        ///< Max across sites.
+  size_t residual_table_entries = 0;    ///< Entries left at quiescence.
+  size_t residual_unreleased_txns = 0;  ///< Log txns left unreleasable.
+
+  // Latency (coordinator begin -> forget).
+  DistributionStats commit_latency;
+  DistributionStats abort_latency;
+
+  // Failure counts.
+  uint64_t crashes = 0;
+  int64_t presumed_answers = 0;
+  int64_t decision_resends = 0;
+
+  // Correctness.
+  AtomicityReport atomicity;
+  SafeStateReport safe_state;
+  OperationalReport operational;
+
+  /// Whether the run quiesced and all checks passed.
+  bool AllCorrect() const {
+    return atomicity.ok() && safe_state.ok() && operational.ok();
+  }
+
+  std::string ToString() const;
+};
+
+/// Collects a RunSummary from a quiesced system (runs the checkers).
+RunSummary Summarize(const System& system);
+
+}  // namespace prany
+
+#endif  // PRANY_HARNESS_RUN_RESULT_H_

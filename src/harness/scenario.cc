@@ -1,0 +1,293 @@
+#include "harness/scenario.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace prany {
+
+namespace {
+
+/// Simulated time at which a ForceAbort lands strictly after every
+/// participant prepared and strictly before the first vote reaches the
+/// coordinator (one-way latency 500us; forced writes add `fw`).
+SimTime AbortInstant(SimDuration fw) { return 800 + fw; }
+
+/// Builds a system with site 0 as coordinator and one site per entry of
+/// `participant_protocols`.
+std::unique_ptr<System> BuildSystem(
+    ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
+    const std::vector<ProtocolKind>& participant_protocols,
+    uint64_t seed, SimDuration forced_write_latency, uint64_t max_events) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.timing.forced_write_latency = forced_write_latency;
+  cfg.max_events = max_events;
+  auto system = std::make_unique<System>(cfg);
+  // The coordinator site's own participant protocol is irrelevant here
+  // (it never participates in these scenarios).
+  system->AddSite(ProtocolKind::kPrN, coordinator_kind, u2pc_native);
+  for (ProtocolKind p : participant_protocols) {
+    system->AddSite(p, ProtocolKind::kPrAny);
+  }
+  return system;
+}
+
+std::vector<SiteId> ParticipantSites(size_t n) {
+  std::vector<SiteId> out;
+  for (size_t i = 0; i < n; ++i) out.push_back(static_cast<SiteId>(i + 1));
+  return out;
+}
+
+void ScheduleForceAbort(System* system, TxnId txn, SimDuration fw) {
+  system->sim().ScheduleAt(AbortInstant(fw), [system, txn]() {
+    system->site(0)->coordinator()->ForceAbort(txn);
+  });
+}
+
+}  // namespace
+
+FlowResult RunFlow(ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
+                   const std::vector<ProtocolKind>& participant_protocols,
+                   Outcome outcome, uint64_t seed,
+                   SimDuration forced_write_latency) {
+  auto system =
+      BuildSystem(coordinator_kind, u2pc_native, participant_protocols, seed,
+                  forced_write_latency, /*max_events=*/1'000'000);
+  Transaction txn = system->MakeTransaction(
+      0, ParticipantSites(participant_protocols.size()));
+  system->SubmitAt(0, txn);
+  if (outcome == Outcome::kAbort) {
+    ScheduleForceAbort(system.get(), txn.id, forced_write_latency);
+  }
+  system->Run();
+
+  FlowResult result;
+  result.outcome = outcome;
+  for (const auto& [name, value] : system->metrics().counters()) {
+    constexpr const char* kMsgPrefix = "net.msg.";
+    constexpr const char* kModePrefix = "coord.mode.";
+    if (name.rfind(kMsgPrefix, 0) == 0) {
+      result.messages[name.substr(strlen(kMsgPrefix))] = value;
+      result.total_messages += value;
+    } else if (name.rfind(kModePrefix, 0) == 0 && value > 0) {
+      ProtocolKind mode;
+      if (ParseProtocolKind(name.substr(strlen(kModePrefix)), &mode)) {
+        result.mode = mode;
+      }
+    }
+  }
+  result.coord_appends = system->site(0)->wal()->stats().appends;
+  result.coord_forced = system->site(0)->wal()->stats().forced_appends;
+  for (size_t i = 0; i < participant_protocols.size(); ++i) {
+    const LogStats& stats =
+        system->site(static_cast<SiteId>(i + 1))->wal()->stats();
+    result.part_appends += stats.appends;
+    result.part_forced += stats.forced_appends;
+  }
+
+  const SigEvent* decide = system->history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn.id && e.type == SigEventType::kCoordDecide;
+      });
+  const SigEvent* forget = system->history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn.id && e.type == SigEventType::kCoordForget;
+      });
+  if (decide != nullptr) {
+    result.decision_latency_us = static_cast<double>(decide->time);
+  }
+  if (forget != nullptr) {
+    result.completion_latency_us = static_cast<double>(forget->time);
+  }
+  result.correct = system->CheckAtomicity().ok() &&
+                   system->CheckSafeState().ok() &&
+                   system->CheckOperational().ok();
+  return result;
+}
+
+ScenarioResult RunIncompatiblePresumptionScenario(
+    ProtocolKind coordinator_kind, ProtocolKind u2pc_native, Outcome outcome,
+    uint64_t seed) {
+  auto system = BuildSystem(coordinator_kind, u2pc_native,
+                            {ProtocolKind::kPrA, ProtocolKind::kPrC}, seed,
+                            /*forced_write_latency=*/0,
+                            /*max_events=*/1'000'000);
+  Transaction txn = system->MakeTransaction(0, {1, 2});
+  system->SubmitAt(0, txn);
+  if (outcome == Outcome::kAbort) {
+    ScheduleForceAbort(system.get(), txn.id, 0);
+  }
+
+  // The participant whose protocol does not acknowledge `outcome` fails on
+  // receiving the decision, before writing it to its stable log — §2's
+  // schedule — and recovers long after the coordinator forgot.
+  SiteId victim = outcome == Outcome::kCommit ? 2 : 1;  // PrC : PrA.
+  system->injector().CrashAtPoint(victim,
+                                  CrashPoint::kPartOnDecisionReceived,
+                                  txn.id, /*downtime=*/1'000'000);
+
+  ScenarioResult result;
+  result.run = system->Run();
+  result.summary = Summarize(*system);
+  for (const SigEvent& e : system->history().events()) {
+    if (e.txn == txn.id && e.type == SigEventType::kPartEnforce) {
+      result.enforced[e.site] = *e.outcome;
+    }
+  }
+  return result;
+}
+
+SweepResult RunCrashSweep(
+    ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
+    const std::vector<std::vector<ProtocolKind>>& participant_mixes,
+    SimDuration downtime, uint64_t seed) {
+  SweepResult sweep;
+  uint64_t scenario_seed = seed;
+  for (const std::vector<ProtocolKind>& mix : participant_mixes) {
+    for (Outcome outcome : {Outcome::kCommit, Outcome::kAbort}) {
+      struct Target {
+        SiteId site;
+        CrashPoint point;
+      };
+      std::vector<Target> targets;
+      for (CrashPoint p : kCoordinatorCrashPoints) {
+        targets.push_back({0, p});
+      }
+      for (size_t i = 0; i < mix.size(); ++i) {
+        for (CrashPoint p : kParticipantCrashPoints) {
+          targets.push_back({static_cast<SiteId>(i + 1), p});
+        }
+      }
+      for (const Target& target : targets) {
+        ++sweep.scenarios;
+        auto system =
+            BuildSystem(coordinator_kind, u2pc_native, mix,
+                        ++scenario_seed, /*forced_write_latency=*/0,
+                        /*max_events=*/500'000);
+        Transaction txn =
+            system->MakeTransaction(0, ParticipantSites(mix.size()));
+        system->SubmitAt(0, txn);
+        if (outcome == Outcome::kAbort) {
+          ScheduleForceAbort(system.get(), txn.id, 0);
+        }
+        system->injector().CrashAtPoint(target.site, target.point, txn.id,
+                                        downtime);
+        RunStats run = system->Run();
+
+        auto describe = [&](const char* what) {
+          if (sweep.failure_descriptions.size() < 50) {
+            std::string mix_names;
+            for (ProtocolKind p : mix) mix_names += ToString(p) + " ";
+            sweep.failure_descriptions.push_back(StrFormat(
+                "%s: mix=[%s] outcome=%s crash site=%u at %s", what,
+                mix_names.c_str(), ToString(outcome).c_str(), target.site,
+                ToString(target.point).c_str()));
+          }
+        };
+        if (run.hit_event_limit) {
+          ++sweep.non_quiescent;
+          describe("non-quiescent");
+          continue;
+        }
+        if (!system->CheckAtomicity().ok()) {
+          ++sweep.atomicity_failures;
+          describe("atomicity");
+        }
+        if (!system->CheckSafeState().ok()) {
+          ++sweep.safe_state_failures;
+          describe("safe-state");
+        }
+        if (!system->CheckOperational().ok()) {
+          ++sweep.operational_failures;
+          describe("operational");
+        }
+      }
+    }
+  }
+  return sweep;
+}
+
+SweepResult RunSingleOmissionSweep(
+    ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
+    const std::vector<ProtocolKind>& participant_protocols, Outcome outcome,
+    uint64_t seed) {
+  auto run_once = [&](std::optional<uint64_t> drop_index,
+                      uint64_t* messages_sent) {
+    auto system =
+        BuildSystem(coordinator_kind, u2pc_native, participant_protocols,
+                    seed, /*forced_write_latency=*/0,
+                    /*max_events=*/500'000);
+    if (drop_index.has_value()) {
+      system->net().DropSendIndex(*drop_index);
+    }
+    Transaction txn = system->MakeTransaction(
+        0, ParticipantSites(participant_protocols.size()));
+    system->SubmitAt(0, txn);
+    if (outcome == Outcome::kAbort) {
+      ScheduleForceAbort(system.get(), txn.id, 0);
+    }
+    RunStats run = system->Run();
+    if (messages_sent != nullptr) {
+      *messages_sent = system->net().SendsSoFar();
+    }
+    return std::make_tuple(run.hit_event_limit,
+                           system->CheckAtomicity().ok(),
+                           system->CheckSafeState().ok(),
+                           system->CheckOperational().ok());
+  };
+
+  uint64_t baseline_messages = 0;
+  run_once(std::nullopt, &baseline_messages);
+
+  SweepResult sweep;
+  for (uint64_t n = 1; n <= baseline_messages; ++n) {
+    ++sweep.scenarios;
+    auto [hit_limit, atomic, safe, operational] = run_once(n, nullptr);
+    auto describe = [&](const char* what) {
+      if (sweep.failure_descriptions.size() < 50) {
+        sweep.failure_descriptions.push_back(StrFormat(
+            "%s: %s outcome=%s dropped message #%llu", what,
+            ToString(coordinator_kind).c_str(), ToString(outcome).c_str(),
+            static_cast<unsigned long long>(n)));
+      }
+    };
+    if (hit_limit) {
+      ++sweep.non_quiescent;
+      describe("non-quiescent");
+      continue;
+    }
+    if (!atomic) {
+      ++sweep.atomicity_failures;
+      describe("atomicity");
+    }
+    if (!safe) {
+      ++sweep.safe_state_failures;
+      describe("safe-state");
+    }
+    if (!operational) {
+      ++sweep.operational_failures;
+      describe("operational");
+    }
+  }
+  return sweep;
+}
+
+std::vector<std::vector<ProtocolKind>> StandardMixes() {
+  using P = ProtocolKind;
+  return {
+      {P::kPrN, P::kPrN},           // homogeneous PrN
+      {P::kPrA, P::kPrA},           // homogeneous PrA
+      {P::kPrC, P::kPrC},           // homogeneous PrC
+      {P::kPrA, P::kPrC},           // the paper's motivating mix
+      {P::kPrN, P::kPrA},
+      {P::kPrN, P::kPrC},
+      {P::kPrN, P::kPrA, P::kPrC},  // all three
+      {P::kPrA, P::kPrA, P::kPrC},
+      {P::kPrA, P::kPrC, P::kPrC},
+  };
+}
+
+}  // namespace prany

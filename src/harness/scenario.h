@@ -1,0 +1,117 @@
+// Canned experiment scenarios shared by the tests, benches and examples:
+//   * single-transaction protocol flows (the executable form of
+//     Figures 1-4),
+//   * the incompatible-presumption crash schedules behind Theorem 1,
+//   * exhaustive crash-point sweeps behind Theorem 3.
+
+#ifndef PRANY_HARNESS_SCENARIO_H_
+#define PRANY_HARNESS_SCENARIO_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/run_result.h"
+#include "harness/system.h"
+
+namespace prany {
+
+/// Measured costs of one failure-free transaction flow.
+struct FlowResult {
+  Outcome outcome = Outcome::kCommit;
+  ProtocolKind mode = ProtocolKind::kPrN;  ///< Mode the coordinator chose.
+
+  // Message counts by type name ("PREPARE", "VOTE", "DECISION", "ACK").
+  std::map<std::string, int64_t> messages;
+  int64_t total_messages = 0;
+
+  // Coordinator-site log I/O.
+  uint64_t coord_appends = 0;
+  uint64_t coord_forced = 0;
+
+  // Participant-site log I/O (summed).
+  uint64_t part_appends = 0;
+  uint64_t part_forced = 0;
+
+  /// Coordinator begin -> decision durable.
+  double decision_latency_us = 0;
+  /// Coordinator begin -> transaction forgotten.
+  double completion_latency_us = 0;
+
+  bool correct = false;  ///< All three checkers passed.
+};
+
+/// Runs one failure-free transaction: a coordinator of `coordinator_kind`
+/// (with `u2pc_native` when kU2PC) against participants speaking
+/// `participant_protocols`. Abort outcomes are produced with ForceAbort
+/// while every participant is prepared, matching the paper's abort-case
+/// figures. `forced_write_latency` > 0 separates protocols by forced-write
+/// count in the latency columns.
+FlowResult RunFlow(ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
+                   const std::vector<ProtocolKind>& participant_protocols,
+                   Outcome outcome, uint64_t seed = 1,
+                   SimDuration forced_write_latency = 0);
+
+/// Result of one adversarial-schedule scenario.
+struct ScenarioResult {
+  RunStats run;
+  RunSummary summary;
+  /// Outcome each participant site finally enforced (from the history).
+  std::map<SiteId, Outcome> enforced;
+};
+
+/// The §2 / Theorem 1 schedule: coordinator (site 0) of
+/// `coordinator_kind`, participants {site 1: PrA, site 2: PrC}. For a
+/// commit outcome, the PrC participant crashes on receiving the decision;
+/// for an abort, the PrA participant does. The crashed participant
+/// recovers only after the coordinator has forgotten the transaction and
+/// inquires. U2PC coordinators answer with their native presumption and
+/// violate atomicity; PrAny adopts the inquirer's presumption and does
+/// not; C2PC stays consistent but never forgets.
+ScenarioResult RunIncompatiblePresumptionScenario(
+    ProtocolKind coordinator_kind, ProtocolKind u2pc_native, Outcome outcome,
+    uint64_t seed = 1);
+
+/// Aggregate result of an exhaustive crash sweep.
+struct SweepResult {
+  uint64_t scenarios = 0;
+  uint64_t atomicity_failures = 0;
+  uint64_t safe_state_failures = 0;
+  uint64_t operational_failures = 0;
+  uint64_t non_quiescent = 0;
+  std::vector<std::string> failure_descriptions;
+
+  bool AllCorrect() const {
+    return atomicity_failures == 0 && safe_state_failures == 0 &&
+           operational_failures == 0 && non_quiescent == 0;
+  }
+};
+
+/// Runs one single-transaction scenario per (crash point x crash target x
+/// outcome) for each participant-protocol mix, and evaluates all checkers.
+/// Crash targets are the coordinator (site 0) for coordinator points and
+/// each participant for participant points. `downtime` is chosen long
+/// enough that the coordinator forgets before the crashed site returns.
+SweepResult RunCrashSweep(
+    ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
+    const std::vector<std::vector<ProtocolKind>>& participant_mixes,
+    SimDuration downtime = 1'000'000, uint64_t seed = 1);
+
+/// Common participant-protocol mixes used across tests and benches.
+std::vector<std::vector<ProtocolKind>> StandardMixes();
+
+/// Exhaustive single-omission sweep: runs the failure-free scenario once
+/// to count its messages (M), then re-runs it M times, silently dropping
+/// the n-th message of run n. Every run must quiesce (retransmission,
+/// inquiries and presumptions absorb any single loss) and satisfy all
+/// three checkers. A model-checker-flavoured complement to the random
+/// loss tests.
+SweepResult RunSingleOmissionSweep(
+    ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
+    const std::vector<ProtocolKind>& participant_protocols, Outcome outcome,
+    uint64_t seed = 1);
+
+}  // namespace prany
+
+#endif  // PRANY_HARNESS_SCENARIO_H_

@@ -1,0 +1,141 @@
+#include "harness/site.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "core/prany_coordinator.h"
+#include "protocol/coordinator_c2pc.h"
+#include "protocol/coordinator_pra.h"
+#include "protocol/coordinator_prc.h"
+#include "protocol/coordinator_prn.h"
+#include "protocol/coordinator_u2pc.h"
+
+namespace prany {
+
+namespace {
+std::unique_ptr<CoordinatorBase> MakeCoordinator(const CoordinatorSpec& spec,
+                                                 const EngineContext& ctx,
+                                                 const PcpTable* pcp) {
+  switch (spec.kind) {
+    case ProtocolKind::kPrN:
+      return std::make_unique<CoordinatorPrN>(ctx);
+    case ProtocolKind::kPrA:
+      return std::make_unique<CoordinatorPrA>(ctx);
+    case ProtocolKind::kPrC:
+      return std::make_unique<CoordinatorPrC>(ctx);
+    case ProtocolKind::kU2PC:
+      return std::make_unique<CoordinatorU2PC>(ctx, spec.u2pc_native);
+    case ProtocolKind::kC2PC:
+      return std::make_unique<CoordinatorC2PC>(ctx, spec.c2pc_resend_cap);
+    case ProtocolKind::kPrAny:
+      return std::make_unique<PrAnyCoordinator>(ctx, pcp,
+                                                spec.prany_always_mixed_mode);
+  }
+  PRANY_CHECK_MSG(false, "unknown coordinator kind");
+  return nullptr;
+}
+}  // namespace
+
+Site::Site(SiteId id, ProtocolKind participant_protocol, CoordinatorSpec spec,
+           Simulator* sim, Network* net, EventLog* history,
+           MetricsRegistry* metrics, const PcpTable* pcp,
+           TimingConfig timing)
+    : id_(id), sim_(sim), history_(history), log_("wal", metrics) {
+  EngineContext ctx;
+  ctx.self = id;
+  ctx.sim = sim;
+  ctx.net = net;
+  ctx.log = &log_;
+  ctx.history = history;
+  ctx.metrics = metrics;
+  ctx.timing = timing;
+  ctx.is_up = [this]() { return up_; };
+  ctx.crash_probe = [this](CrashPoint point, TxnId txn) {
+    if (!crash_probe_handler_) return false;
+    std::optional<SimDuration> downtime =
+        crash_probe_handler_(id_, point, txn);
+    if (!downtime.has_value()) return false;
+    sim_->Trace(StrFormat("site %u crash injected at %s txn=%llu", id_,
+                          ToString(point).c_str(),
+                          static_cast<unsigned long long>(txn)));
+    Crash(*downtime);
+    return true;
+  };
+
+  participant_ = std::make_unique<ParticipantEngine>(ctx, participant_protocol);
+  coordinator_ = MakeCoordinator(spec, ctx, pcp);
+  is_prany_ = spec.kind == ProtocolKind::kPrAny;
+  net->RegisterEndpoint(id, this);
+}
+
+Site::~Site() = default;
+
+void Site::OnMessage(const Message& msg) {
+  if (!up_) return;  // Defensive; the network already drops to down sites.
+  switch (msg.type) {
+    case MessageType::kPrepare:
+      participant_->OnPrepare(msg);
+      break;
+    case MessageType::kDecision:
+      participant_->OnDecision(msg);
+      break;
+    case MessageType::kInquiryReply:
+      participant_->OnInquiryReply(msg);
+      break;
+    case MessageType::kVote:
+      coordinator_->OnVote(msg);
+      break;
+    case MessageType::kAck:
+      coordinator_->OnAck(msg);
+      break;
+    case MessageType::kInquiry:
+      coordinator_->OnInquiry(msg);
+      break;
+  }
+}
+
+void Site::Crash(SimDuration downtime) {
+  PRANY_CHECK_MSG(up_, "crashing a site that is already down");
+  up_ = false;
+  ++crash_count_;
+  history_->Record(SigEvent{.time = sim_->Now(),
+                            .type = SigEventType::kSiteCrash,
+                            .site = id_});
+  sim_->Trace(StrFormat("site %u CRASH (down for %lluus)", id_,
+                        static_cast<unsigned long long>(downtime)));
+  // Volatile state is lost: the unflushed log tail, both engines' tables,
+  // and the PrAny APP view.
+  log_.Crash();
+  participant_->Crash();
+  coordinator_->Crash();
+  if (is_prany_) {
+    static_cast<PrAnyCoordinator*>(coordinator_.get())->ClearApp();
+  }
+  sim_->Schedule(downtime, [this]() { Recover(); },
+                 StrFormat("site%u.recover", id_));
+}
+
+void Site::Recover() {
+  up_ = true;
+  history_->Record(SigEvent{.time = sim_->Now(),
+                            .type = SigEventType::kSiteRecover,
+                            .site = id_});
+  sim_->Trace(StrFormat("site %u RECOVER", id_));
+  coordinator_->Recover();
+  participant_->Recover();
+}
+
+void Site::SetCrashProbeHandler(CrashProbeHandler handler) {
+  crash_probe_handler_ = std::move(handler);
+}
+
+SiteEndState Site::EndState() const {
+  SiteEndState state;
+  state.site = id_;
+  state.coord_table_size = coordinator_->table().Size();
+  state.participant_entries = participant_->ActiveTxns();
+  state.unreleased_txns = log_.UnreleasedTxns();
+  state.stable_log_records = log_.StableSize();
+  return state;
+}
+
+}  // namespace prany

@@ -1,0 +1,97 @@
+// One site of the distributed system: a stable log, a participant engine,
+// a coordinator engine, and the crash/recovery lifecycle, all bound to the
+// simulated network.
+//
+// Fail-stop semantics (§1 of the paper): a down site receives nothing and
+// executes nothing; volatile state (protocol table, participant table,
+// APP view, unflushed log tail) is lost; on recovery the engines re-build
+// their state from the stable log and resume the protocol.
+
+#ifndef PRANY_HARNESS_SITE_H_
+#define PRANY_HARNESS_SITE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "history/operational_checker.h"
+#include "protocol/coordinator_base.h"
+#include "protocol/participant.h"
+#include "txn/pcp_table.h"
+
+namespace prany {
+
+/// Which coordinator variant a site runs.
+struct CoordinatorSpec {
+  ProtocolKind kind = ProtocolKind::kPrAny;
+  /// For kind == kU2PC: the native protocol the coordinator speaks.
+  ProtocolKind u2pc_native = ProtocolKind::kPrN;
+  /// For kind == kC2PC: retransmission cap (entries that can never
+  /// complete must not retransmit forever).
+  uint32_t c2pc_resend_cap = 3;
+
+  /// For kind == kPrAny: disable the §4.1 selector (ablation knob).
+  bool prany_always_mixed_mode = false;
+};
+
+/// A full site (participant + coordinator roles).
+class Site : public NetworkEndpoint {
+ public:
+  /// `pcp` must outlive the site (owned by the System).
+  Site(SiteId id, ProtocolKind participant_protocol, CoordinatorSpec spec,
+       Simulator* sim, Network* net, EventLog* history,
+       MetricsRegistry* metrics, const PcpTable* pcp, TimingConfig timing);
+  ~Site() override;
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  // NetworkEndpoint:
+  void OnMessage(const Message& msg) override;
+  bool IsUp() const override { return up_; }
+
+  SiteId id() const { return id_; }
+  ProtocolKind participant_protocol() const {
+    return participant_->protocol();
+  }
+
+  /// Crashes the site now; it recovers after `downtime`.
+  void Crash(SimDuration downtime);
+
+  /// Handler consulted at every CrashPoint probe; a non-nullopt return is
+  /// the downtime of an injected crash. Installed by the FailureInjector.
+  using CrashProbeHandler =
+      std::function<std::optional<SimDuration>(SiteId, CrashPoint, TxnId)>;
+  void SetCrashProbeHandler(CrashProbeHandler handler);
+
+  CoordinatorBase* coordinator() { return coordinator_.get(); }
+  const CoordinatorBase* coordinator() const { return coordinator_.get(); }
+  ParticipantEngine* participant() { return participant_.get(); }
+  const ParticipantEngine* participant() const { return participant_.get(); }
+  StableLog* wal() { return &log_; }
+  const StableLog* wal() const { return &log_; }
+
+  uint64_t crash_count() const { return crash_count_; }
+
+  /// Snapshot for the operational-correctness checker.
+  SiteEndState EndState() const;
+
+ private:
+  void Recover();
+
+  SiteId id_;
+  Simulator* sim_;
+  EventLog* history_;
+  StableLog log_;
+  std::unique_ptr<ParticipantEngine> participant_;
+  std::unique_ptr<CoordinatorBase> coordinator_;
+  bool is_prany_ = false;
+  bool up_ = true;
+  uint64_t crash_count_ = 0;
+  CrashProbeHandler crash_probe_handler_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_HARNESS_SITE_H_

@@ -1,0 +1,128 @@
+#include "harness/system.h"
+
+#include "common/status.h"
+
+namespace prany {
+
+System::System(SystemConfig config)
+    : config_(config),
+      sim_(config.seed),
+      net_(&sim_, &metrics_),
+      injector_(sim_.rng().Fork()) {
+  net_.SetDefaultLatency(
+      std::make_unique<FixedLatency>(config.fixed_latency));
+  net_.SetDropProbability(config.drop_probability);
+  net_.SetDuplicateProbability(config.duplicate_probability);
+}
+
+System::~System() = default;
+
+Site* System::AddSite(ProtocolKind participant_protocol,
+                      ProtocolKind coordinator_kind,
+                      ProtocolKind u2pc_native) {
+  CoordinatorSpec spec;
+  spec.kind = coordinator_kind;
+  spec.u2pc_native = u2pc_native;
+  return AddSiteWithSpec(participant_protocol, spec);
+}
+
+Site* System::AddSiteWithSpec(ProtocolKind participant_protocol,
+                              const CoordinatorSpec& spec) {
+  SiteId id = static_cast<SiteId>(sites_.size());
+  Status registered = pcp_.RegisterSite(id, participant_protocol);
+  PRANY_CHECK_MSG(registered.ok(), registered.ToString());
+
+  auto site = std::make_unique<Site>(id, participant_protocol, spec, &sim_,
+                                     &net_, &history_, &metrics_, &pcp_,
+                                     config_.timing);
+  site->SetCrashProbeHandler(
+      [this](SiteId s, CrashPoint point, TxnId txn) {
+        return injector_.Probe(s, point, txn);
+      });
+  sites_.push_back(std::move(site));
+  return sites_.back().get();
+}
+
+Transaction System::MakeTransaction(SiteId coordinator,
+                                    const std::vector<SiteId>& participants,
+                                    const std::map<SiteId, Vote>& votes) {
+  Transaction txn;
+  txn.id = txn_ids_.Next();
+  txn.coordinator = coordinator;
+  for (SiteId p : participants) {
+    std::optional<ProtocolKind> protocol = pcp_.ProtocolFor(p);
+    PRANY_CHECK_MSG(protocol.has_value(), "participant not registered");
+    txn.participants.push_back(ParticipantInfo{p, *protocol});
+  }
+  txn.planned_votes = votes;
+  Status valid = txn.Validate();
+  PRANY_CHECK_MSG(valid.ok(), valid.ToString());
+  return txn;
+}
+
+void System::SubmitAt(SimTime when, const Transaction& txn) {
+  sim_.ScheduleAt(when, [this, txn]() {
+    // Install the planned votes (the result of each participant's local
+    // execution), then start commit processing at the coordinator. A
+    // coordinator that is down at submission time drops the transaction —
+    // it never reached commit processing.
+    for (const auto& [site_id, vote] : txn.planned_votes) {
+      site(site_id)->participant()->SetPlannedVote(txn.id, vote);
+    }
+    Site* coord = site(txn.coordinator);
+    if (!coord->IsUp()) {
+      metrics_.Add("system.dropped_submissions");
+      return;
+    }
+    coord->coordinator()->BeginCommit(txn);
+  });
+}
+
+TxnId System::Submit(SiteId coordinator,
+                     const std::vector<SiteId>& participants,
+                     const std::map<SiteId, Vote>& votes) {
+  Transaction txn = MakeTransaction(coordinator, participants, votes);
+  SubmitAt(sim_.Now(), txn);
+  return txn.id;
+}
+
+void System::ScheduleCrash(SiteId site_id, SimTime when,
+                           SimDuration downtime) {
+  sim_.ScheduleAt(when, [this, site_id, downtime]() {
+    Site* s = site(site_id);
+    if (s->IsUp()) s->Crash(downtime);
+  });
+}
+
+RunStats System::Run() { return sim_.Run(config_.max_events); }
+
+std::vector<SiteEndState> System::EndStates() const {
+  std::vector<SiteEndState> out;
+  out.reserve(sites_.size());
+  for (const auto& site : sites_) out.push_back(site->EndState());
+  return out;
+}
+
+AtomicityReport System::CheckAtomicity() const {
+  return AtomicityChecker::Check(history_);
+}
+
+SafeStateReport System::CheckSafeState() const {
+  return SafeStateChecker::Check(history_);
+}
+
+OperationalReport System::CheckOperational() const {
+  return OperationalChecker::Check(history_, EndStates());
+}
+
+Site* System::site(SiteId id) {
+  PRANY_CHECK_MSG(id < sites_.size(), "unknown site id");
+  return sites_[id].get();
+}
+
+const Site* System::site(SiteId id) const {
+  PRANY_CHECK_MSG(id < sites_.size(), "unknown site id");
+  return sites_[id].get();
+}
+
+}  // namespace prany

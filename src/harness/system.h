@@ -1,0 +1,114 @@
+// The top-level harness: builds a federation of sites over one simulated
+// network, submits transactions, runs to quiescence, and evaluates the
+// paper's correctness criteria over the recorded history.
+//
+// This is the main public entry point of the library — see
+// examples/quickstart.cc for typical use.
+
+#ifndef PRANY_HARNESS_SYSTEM_H_
+#define PRANY_HARNESS_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/safe_state.h"
+#include "harness/failure_injector.h"
+#include "harness/site.h"
+#include "history/operational_checker.h"
+#include "net/network.h"
+#include "txn/transaction.h"
+
+namespace prany {
+
+/// Construction-time parameters for a System.
+struct SystemConfig {
+  uint64_t seed = 1;
+  TimingConfig timing;
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  /// Fixed one-way message latency; replaceable afterwards via
+  /// net().SetDefaultLatency().
+  SimDuration fixed_latency = 500;
+  /// Safety valve for Run(): the simulation stops after this many events.
+  uint64_t max_events = 50'000'000;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config = {});
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Adds a site speaking `participant_protocol` (as participant) and
+  /// running `coordinator_kind` (as coordinator; `u2pc_native` applies to
+  /// kU2PC only). Site ids are assigned sequentially from 0. The site is
+  /// registered in the shared PCP table.
+  Site* AddSite(ProtocolKind participant_protocol,
+                ProtocolKind coordinator_kind = ProtocolKind::kPrAny,
+                ProtocolKind u2pc_native = ProtocolKind::kPrN);
+
+  /// Full-control variant of AddSite.
+  Site* AddSiteWithSpec(ProtocolKind participant_protocol,
+                        const CoordinatorSpec& spec);
+
+  /// Builds a transaction descriptor with protocols resolved from the PCP.
+  Transaction MakeTransaction(SiteId coordinator,
+                              const std::vector<SiteId>& participants,
+                              const std::map<SiteId, Vote>& votes = {});
+
+  /// Schedules commit processing of `txn` at simulated time `when`
+  /// (participants' planned votes are installed at submission time).
+  void SubmitAt(SimTime when, const Transaction& txn);
+
+  /// Convenience: MakeTransaction + SubmitAt(now). Returns the txn id.
+  TxnId Submit(SiteId coordinator, const std::vector<SiteId>& participants,
+               const std::map<SiteId, Vote>& votes = {});
+
+  /// Schedules a timed crash of `site` at `when`, down for `downtime`.
+  void ScheduleCrash(SiteId site, SimTime when, SimDuration downtime);
+
+  /// Runs the event loop until quiescence (or the event cap).
+  RunStats Run();
+
+  /// End-of-run site snapshots for the operational checker.
+  std::vector<SiteEndState> EndStates() const;
+
+  // Correctness evaluations over the recorded history / end state.
+  AtomicityReport CheckAtomicity() const;
+  SafeStateReport CheckSafeState() const;
+  OperationalReport CheckOperational() const;
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  EventLog& history() { return history_; }
+  const EventLog& history() const { return history_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  FailureInjector& injector() { return injector_; }
+  const PcpTable& pcp() const { return pcp_; }
+
+  Site* site(SiteId id);
+  const Site* site(SiteId id) const;
+  size_t site_count() const { return sites_.size(); }
+
+  TxnIdGenerator& txn_ids() { return txn_ids_; }
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  EventLog history_;
+  Network net_;
+  PcpTable pcp_;
+  FailureInjector injector_;
+  TxnIdGenerator txn_ids_;
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_HARNESS_SYSTEM_H_

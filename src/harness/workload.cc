@@ -1,0 +1,61 @@
+#include "harness/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace prany {
+
+WorkloadGenerator::WorkloadGenerator(System* system, WorkloadConfig config)
+    : system_(system),
+      config_(std::move(config)),
+      rng_(system->sim().rng().Fork()) {
+  PRANY_CHECK(!config_.coordinators.empty());
+  PRANY_CHECK(!config_.participant_pool.empty());
+  PRANY_CHECK(config_.min_participants >= 1);
+  PRANY_CHECK(config_.min_participants <= config_.max_participants);
+}
+
+std::vector<TxnId> WorkloadGenerator::GenerateAndSchedule() {
+  std::vector<TxnId> ids;
+  ids.reserve(config_.num_txns);
+  SimTime when = system_->sim().Now();
+  for (uint32_t i = 0; i < config_.num_txns; ++i) {
+    when += static_cast<SimDuration>(
+        std::llround(rng_.Exponential(config_.mean_interarrival_us)));
+
+    SiteId coordinator =
+        config_.coordinators[rng_.Index(config_.coordinators.size())];
+
+    std::vector<SiteId> candidates;
+    candidates.reserve(config_.participant_pool.size());
+    for (SiteId s : config_.participant_pool) {
+      if (s != coordinator) candidates.push_back(s);
+    }
+    PRANY_CHECK_MSG(!candidates.empty(),
+                    "participant pool contains only the coordinator");
+
+    uint32_t want = static_cast<uint32_t>(rng_.Uniform(
+        config_.min_participants, config_.max_participants));
+    want = std::min<uint32_t>(want, static_cast<uint32_t>(candidates.size()));
+    std::vector<size_t> picks =
+        rng_.SampleWithoutReplacement(candidates.size(), want);
+    std::vector<SiteId> participants;
+    participants.reserve(picks.size());
+    for (size_t p : picks) participants.push_back(candidates[p]);
+
+    std::map<SiteId, Vote> votes;
+    if (rng_.Bernoulli(config_.no_vote_probability)) {
+      votes[participants[rng_.Index(participants.size())]] = Vote::kNo;
+    }
+
+    Transaction txn =
+        system_->MakeTransaction(coordinator, participants, votes);
+    system_->SubmitAt(when, txn);
+    ids.push_back(txn.id);
+  }
+  return ids;
+}
+
+}  // namespace prany

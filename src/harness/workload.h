@@ -1,0 +1,53 @@
+// Randomized multi-transaction workload generation for throughput,
+// memory-growth and soak experiments.
+
+#ifndef PRANY_HARNESS_WORKLOAD_H_
+#define PRANY_HARNESS_WORKLOAD_H_
+
+#include <vector>
+
+#include "harness/system.h"
+
+namespace prany {
+
+/// Parameters of a generated workload.
+struct WorkloadConfig {
+  uint32_t num_txns = 100;
+
+  /// Participant-set size range (inclusive). Sites are sampled without
+  /// replacement from `participant_pool`, excluding the coordinator.
+  uint32_t min_participants = 2;
+  uint32_t max_participants = 4;
+
+  /// Probability that a transaction carries one randomly chosen no-voter
+  /// (i.e. aborts during voting).
+  double no_vote_probability = 0.0;
+
+  /// Mean exponential interarrival time between submissions.
+  double mean_interarrival_us = 2'000.0;
+
+  /// Coordinators are drawn uniformly from this list.
+  std::vector<SiteId> coordinators;
+
+  /// Candidate participant sites.
+  std::vector<SiteId> participant_pool;
+};
+
+/// Generates and schedules a workload against a System.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(System* system, WorkloadConfig config);
+
+  /// Builds all transactions and schedules their submissions starting at
+  /// the current simulated time. Returns the generated transaction ids.
+  std::vector<TxnId> GenerateAndSchedule();
+
+ private:
+  System* system_;
+  WorkloadConfig config_;
+  Rng rng_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_HARNESS_WORKLOAD_H_

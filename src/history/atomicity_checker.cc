@@ -1,0 +1,86 @@
+#include "history/atomicity_checker.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace prany {
+
+std::string AtomicityReport::ToString() const {
+  std::ostringstream out;
+  out << "atomicity: " << (ok() ? "OK" : "VIOLATED") << " ("
+      << txns_checked << " txns checked, " << violations.size()
+      << " violations)\n";
+  for (const AtomicityViolation& v : violations) {
+    out << "  txn " << v.txn << ": " << v.description << "\n";
+  }
+  return out.str();
+}
+
+AtomicityReport AtomicityChecker::Check(const EventLog& history) {
+  struct TxnFacts {
+    std::optional<Outcome> decided;
+    bool decided_conflicting = false;
+    // site -> outcomes it enforced (re-enforcement after recovery is legal
+    // if the outcome is unchanged).
+    std::map<SiteId, std::set<Outcome>> enforced;
+  };
+
+  std::map<TxnId, TxnFacts> facts;
+  for (const SigEvent& e : history.events()) {
+    if (e.txn == kInvalidTxn) continue;
+    TxnFacts& f = facts[e.txn];
+    switch (e.type) {
+      case SigEventType::kCoordDecide:
+        if (f.decided.has_value() && *f.decided != *e.outcome) {
+          f.decided_conflicting = true;
+        }
+        f.decided = *e.outcome;
+        break;
+      case SigEventType::kPartEnforce:
+        f.enforced[e.site].insert(*e.outcome);
+        break;
+      default:
+        break;
+    }
+  }
+
+  AtomicityReport report;
+  report.txns_checked = facts.size();
+  for (const auto& [txn, f] : facts) {
+    if (f.decided_conflicting) {
+      report.violations.push_back(
+          {txn, "coordinator decided both commit and abort"});
+    }
+    std::set<Outcome> all_enforced;
+    for (const auto& [site, outcomes] : f.enforced) {
+      if (outcomes.size() > 1) {
+        report.violations.push_back(
+            {txn, StrFormat("site %u enforced both commit and abort", site)});
+      }
+      all_enforced.insert(outcomes.begin(), outcomes.end());
+    }
+    if (all_enforced.size() > 1) {
+      report.violations.push_back(
+          {txn, "different sites enforced different outcomes"});
+    }
+    if (f.decided.has_value() && all_enforced.size() == 1 &&
+        *all_enforced.begin() != *f.decided) {
+      // A site enforced the opposite of the coordinator's decision. With
+      // yes-votes required for commit, the only legal divergence is a
+      // unilateral abort *before* any commit decision — which cannot
+      // coexist with a commit decision at all; flag everything else.
+      report.violations.push_back(
+          {txn,
+           StrFormat("coordinator decided %s but sites enforced %s",
+                     ToString(*f.decided).c_str(),
+                     ToString(*all_enforced.begin()).c_str())});
+    }
+  }
+  return report;
+}
+
+}  // namespace prany

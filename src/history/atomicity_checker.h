@@ -1,0 +1,41 @@
+// Functional-correctness (global atomicity) checker.
+//
+// Evaluates, over a recorded history, the property Theorem 1 shows U2PC
+// violates: all sites that enforce an outcome for a transaction enforce
+// the *same* outcome, and that outcome matches every decision the
+// coordinator made for the transaction.
+
+#ifndef PRANY_HISTORY_ATOMICITY_CHECKER_H_
+#define PRANY_HISTORY_ATOMICITY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "history/event_log.h"
+
+namespace prany {
+
+/// One detected atomicity violation.
+struct AtomicityViolation {
+  TxnId txn = kInvalidTxn;
+  std::string description;
+};
+
+/// Result of an atomicity check.
+struct AtomicityReport {
+  std::vector<AtomicityViolation> violations;
+  uint64_t txns_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+/// Checks global atomicity over a history.
+class AtomicityChecker {
+ public:
+  static AtomicityReport Check(const EventLog& history);
+};
+
+}  // namespace prany
+
+#endif  // PRANY_HISTORY_ATOMICITY_CHECKER_H_

@@ -1,0 +1,99 @@
+#include "history/event_log.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace prany {
+
+std::string ToString(SigEventType type) {
+  switch (type) {
+    case SigEventType::kTxnSubmitted:
+      return "TxnSubmitted";
+    case SigEventType::kCoordDecide:
+      return "Decide";
+    case SigEventType::kCoordForget:
+      return "DeletePT";
+    case SigEventType::kCoordInquiryRecv:
+      return "Inquiry";
+    case SigEventType::kCoordRespond:
+      return "Respond";
+    case SigEventType::kPartPrepared:
+      return "Prepared";
+    case SigEventType::kPartEnforce:
+      return "Enforce";
+    case SigEventType::kPartForget:
+      return "PartForget";
+    case SigEventType::kSiteCrash:
+      return "Crash";
+    case SigEventType::kSiteRecover:
+      return "Recover";
+  }
+  return "Unknown";
+}
+
+std::string SigEvent::ToString() const {
+  std::string out = StrFormat(
+      "#%llu t=%llu %s site=%u", static_cast<unsigned long long>(seq),
+      static_cast<unsigned long long>(time),
+      prany::ToString(type).c_str(), site);
+  if (txn != kInvalidTxn) {
+    out += StrFormat(" txn=%llu", static_cast<unsigned long long>(txn));
+  }
+  if (outcome.has_value()) {
+    out += StrFormat(" outcome=%s", prany::ToString(*outcome).c_str());
+  }
+  if (peer != kInvalidSite) {
+    out += StrFormat(" peer=%u", peer);
+  }
+  if (by_presumption) {
+    out += " by_presumption";
+  }
+  return out;
+}
+
+const SigEvent& EventLog::Record(SigEvent event) {
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+  return events_.back();
+}
+
+std::vector<const SigEvent*> EventLog::ForTxn(TxnId txn) const {
+  std::vector<const SigEvent*> out;
+  for (const SigEvent& e : events_) {
+    if (e.txn == txn) out.push_back(&e);
+  }
+  return out;
+}
+
+const SigEvent* EventLog::FirstWhere(
+    const std::function<bool(const SigEvent&)>& pred) const {
+  for (const SigEvent& e : events_) {
+    if (pred(e)) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<TxnId> EventLog::Txns() const {
+  std::set<TxnId> seen;
+  for (const SigEvent& e : events_) {
+    if (e.txn != kInvalidTxn) seen.insert(e.txn);
+  }
+  return std::vector<TxnId>(seen.begin(), seen.end());
+}
+
+void EventLog::Clear() {
+  events_.clear();
+  next_seq_ = 1;
+}
+
+std::string EventLog::ToString() const {
+  std::ostringstream out;
+  for (const SigEvent& e : events_) {
+    out << e.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace prany

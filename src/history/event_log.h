@@ -1,0 +1,93 @@
+// ACTA-style history of significant events (§3 of the paper).
+//
+// The paper expresses its safety criterion in ACTA, a first-order logic
+// over the complete execution history H with a precedence relation (->).
+// We reproduce that machinery executably: every run records the paper's
+// significant events — DecideC, DeletePT (forgetting), INQ, RespondC,
+// participant enforcement/forgetting, crashes and recoveries — into one
+// globally ordered EventLog, and the correctness criteria (Definition 1,
+// Definition 2) are evaluated as predicates over the recorded history.
+
+#ifndef PRANY_HISTORY_EVENT_LOG_H_
+#define PRANY_HISTORY_EVENT_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace prany {
+
+/// The significant-event vocabulary.
+enum class SigEventType : uint8_t {
+  kTxnSubmitted = 0,       ///< Commit processing begins at the coordinator.
+  kCoordDecide = 1,        ///< DecideC(Commit/Abort) — outcome is durable
+                           ///< (or, for never-logged aborts, chosen).
+  kCoordForget = 2,        ///< DeletePT(T) — entry erased from the
+                           ///< protocol table.
+  kCoordInquiryRecv = 3,   ///< INQ_ti received from participant `peer`.
+  kCoordRespond = 4,       ///< RespondC(Outcome_ti) to participant `peer`.
+  kPartPrepared = 5,       ///< Participant force-logged PREPARED, voted yes.
+  kPartEnforce = 6,        ///< Participant enforced (applied) an outcome.
+  kPartForget = 7,         ///< Participant discarded all info for the txn.
+  kSiteCrash = 8,
+  kSiteRecover = 9,
+};
+
+/// Human-readable type name.
+std::string ToString(SigEventType type);
+
+/// One significant event. `seq` is the global precedence order (the
+/// paper's ->): e precedes e' iff e.seq < e'.seq.
+struct SigEvent {
+  uint64_t seq = 0;
+  SimTime time = 0;
+  SigEventType type = SigEventType::kTxnSubmitted;
+  SiteId site = kInvalidSite;  ///< Where the event happened.
+  TxnId txn = kInvalidTxn;     ///< kInvalidTxn for crash/recover.
+  std::optional<Outcome> outcome;  ///< Decide/Respond/Enforce.
+  SiteId peer = kInvalidSite;  ///< Inquiry/Respond counterpart.
+  bool by_presumption = false; ///< Respond answered by presumption.
+
+  std::string ToString() const;
+};
+
+/// The complete, globally ordered history of one run.
+class EventLog {
+ public:
+  /// Records an event; assigns its sequence number and returns it.
+  const SigEvent& Record(SigEvent event);
+
+  const std::vector<SigEvent>& events() const { return events_; }
+
+  /// All events of `txn`, in order.
+  std::vector<const SigEvent*> ForTxn(TxnId txn) const;
+
+  /// First event matching the predicate, or nullptr.
+  const SigEvent* FirstWhere(
+      const std::function<bool(const SigEvent&)>& pred) const;
+
+  /// The precedence relation: true iff `a` happened before `b`.
+  static bool Precedes(const SigEvent& a, const SigEvent& b) {
+    return a.seq < b.seq;
+  }
+
+  /// Transactions that appear in the history.
+  std::vector<TxnId> Txns() const;
+
+  void Clear();
+
+  /// Multi-line dump for diagnostics.
+  std::string ToString() const;
+
+ private:
+  uint64_t next_seq_ = 1;
+  std::vector<SigEvent> events_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_HISTORY_EVENT_LOG_H_

@@ -1,0 +1,61 @@
+// Operational-correctness checker (Definition 1 of the paper).
+//
+// The integration of ACPs is operationally correct iff
+//   (1) coordinator and participants reach consistent decisions regardless
+//       of failures (functional correctness / atomicity),
+//   (2) the coordinator can eventually discard all information pertaining
+//       to terminated transactions from its protocol table and garbage
+//       collect its log,
+//   (3) all participants can eventually forget transactions and garbage
+//       collect their logs.
+//
+// Clause 1 is evaluated over the history; clauses 2 and 3 are evaluated
+// over the sites' end-of-run state (protocol/participant tables and
+// unreleased log transactions) once the system has quiesced. C2PC fails
+// clause 2 by construction (Theorem 2); PrAny passes all three
+// (Theorem 3).
+
+#ifndef PRANY_HISTORY_OPERATIONAL_CHECKER_H_
+#define PRANY_HISTORY_OPERATIONAL_CHECKER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "history/atomicity_checker.h"
+#include "history/event_log.h"
+
+namespace prany {
+
+/// End-of-run snapshot of one site, assembled by the harness.
+struct SiteEndState {
+  SiteId site = kInvalidSite;
+  size_t coord_table_size = 0;       ///< In-flight protocol-table entries.
+  size_t participant_entries = 0;    ///< In-flight participant entries.
+  std::set<TxnId> unreleased_txns;   ///< Log records not GC-able.
+  size_t stable_log_records = 0;
+};
+
+/// Result of the Definition-1 evaluation.
+struct OperationalReport {
+  AtomicityReport atomicity;                   ///< Clause 1.
+  bool coordinators_forget = true;             ///< Clause 2.
+  bool participants_forget = true;             ///< Clause 3.
+  std::vector<std::string> problems;
+
+  bool ok() const {
+    return atomicity.ok() && coordinators_forget && participants_forget;
+  }
+  std::string ToString() const;
+};
+
+/// Evaluates Definition 1 over a quiesced run.
+class OperationalChecker {
+ public:
+  static OperationalReport Check(const EventLog& history,
+                                 const std::vector<SiteEndState>& sites);
+};
+
+}  // namespace prany
+
+#endif  // PRANY_HISTORY_OPERATIONAL_CHECKER_H_

@@ -1,0 +1,48 @@
+#include "net/latency_model.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace prany {
+
+SimDuration FixedLatency::Draw(Rng* rng, size_t bytes) {
+  (void)rng;
+  (void)bytes;
+  return latency_;
+}
+
+UniformLatency::UniformLatency(SimDuration lo, SimDuration hi)
+    : lo_(lo), hi_(hi) {
+  PRANY_CHECK(lo <= hi);
+}
+
+SimDuration UniformLatency::Draw(Rng* rng, size_t bytes) {
+  (void)bytes;
+  return rng->Uniform(lo_, hi_);
+}
+
+ExponentialLatency::ExponentialLatency(SimDuration base, double mean_tail)
+    : base_(base), mean_tail_(mean_tail) {
+  PRANY_CHECK(mean_tail > 0.0);
+}
+
+SimDuration ExponentialLatency::Draw(Rng* rng, size_t bytes) {
+  (void)bytes;
+  return base_ + static_cast<SimDuration>(
+                     std::llround(rng->Exponential(mean_tail_)));
+}
+
+BandwidthLatency::BandwidthLatency(SimDuration propagation,
+                                   double bytes_per_us)
+    : propagation_(propagation), bytes_per_us_(bytes_per_us) {
+  PRANY_CHECK(bytes_per_us > 0.0);
+}
+
+SimDuration BandwidthLatency::Draw(Rng* rng, size_t bytes) {
+  (void)rng;
+  return propagation_ + static_cast<SimDuration>(std::llround(
+                            static_cast<double>(bytes) / bytes_per_us_));
+}
+
+}  // namespace prany

@@ -1,0 +1,70 @@
+// Pluggable one-way message latency models.
+//
+// The cost-table and trace tests use FixedLatency for byte-exact
+// determinism; throughput/latency benches use uniform or exponential
+// models to exercise reordering and timeout paths.
+
+#ifndef PRANY_NET_LATENCY_MODEL_H_
+#define PRANY_NET_LATENCY_MODEL_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace prany {
+
+/// Draws a one-way delivery latency for a message of `bytes` size.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual SimDuration Draw(Rng* rng, size_t bytes) = 0;
+};
+
+/// Constant latency; messages between a pair never reorder.
+class FixedLatency : public LatencyModel {
+ public:
+  explicit FixedLatency(SimDuration latency) : latency_(latency) {}
+  SimDuration Draw(Rng* rng, size_t bytes) override;
+
+ private:
+  SimDuration latency_;
+};
+
+/// Uniform latency in [lo, hi].
+class UniformLatency : public LatencyModel {
+ public:
+  UniformLatency(SimDuration lo, SimDuration hi);
+  SimDuration Draw(Rng* rng, size_t bytes) override;
+
+ private:
+  SimDuration lo_;
+  SimDuration hi_;
+};
+
+/// base + Exp(mean) tail — a common WAN approximation.
+class ExponentialLatency : public LatencyModel {
+ public:
+  ExponentialLatency(SimDuration base, double mean_tail);
+  SimDuration Draw(Rng* rng, size_t bytes) override;
+
+ private:
+  SimDuration base_;
+  double mean_tail_;
+};
+
+/// propagation + bytes/bandwidth transmission delay.
+class BandwidthLatency : public LatencyModel {
+ public:
+  /// `bytes_per_us` must be > 0.
+  BandwidthLatency(SimDuration propagation, double bytes_per_us);
+  SimDuration Draw(Rng* rng, size_t bytes) override;
+
+ private:
+  SimDuration propagation_;
+  double bytes_per_us_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_NET_LATENCY_MODEL_H_

@@ -1,0 +1,171 @@
+#include "net/message.h"
+
+#include "common/string_util.h"
+
+namespace prany {
+
+namespace {
+// Wire format version byte; bumping it invalidates old frames.
+constexpr uint8_t kWireVersion = 1;
+}  // namespace
+
+std::string ToString(MessageType type) {
+  switch (type) {
+    case MessageType::kPrepare:
+      return "PREPARE";
+    case MessageType::kVote:
+      return "VOTE";
+    case MessageType::kDecision:
+      return "DECISION";
+    case MessageType::kAck:
+      return "ACK";
+    case MessageType::kInquiry:
+      return "INQUIRY";
+    case MessageType::kInquiryReply:
+      return "INQUIRY_REPLY";
+  }
+  return "UNKNOWN";
+}
+
+Message Message::Prepare(TxnId txn, SiteId from, SiteId to) {
+  Message m;
+  m.type = MessageType::kPrepare;
+  m.txn = txn;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+Message Message::MakeVote(TxnId txn, SiteId from, SiteId to, Vote vote) {
+  Message m;
+  m.type = MessageType::kVote;
+  m.txn = txn;
+  m.from = from;
+  m.to = to;
+  m.vote = vote;
+  return m;
+}
+
+Message Message::Decision(TxnId txn, SiteId from, SiteId to,
+                          Outcome outcome) {
+  Message m;
+  m.type = MessageType::kDecision;
+  m.txn = txn;
+  m.from = from;
+  m.to = to;
+  m.outcome = outcome;
+  return m;
+}
+
+Message Message::Ack(TxnId txn, SiteId from, SiteId to, Outcome outcome) {
+  Message m;
+  m.type = MessageType::kAck;
+  m.txn = txn;
+  m.from = from;
+  m.to = to;
+  m.outcome = outcome;
+  return m;
+}
+
+Message Message::Inquiry(TxnId txn, SiteId from, SiteId to) {
+  Message m;
+  m.type = MessageType::kInquiry;
+  m.txn = txn;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+Message Message::InquiryReply(TxnId txn, SiteId from, SiteId to,
+                              Outcome outcome, bool by_presumption) {
+  Message m;
+  m.type = MessageType::kInquiryReply;
+  m.txn = txn;
+  m.from = from;
+  m.to = to;
+  m.outcome = outcome;
+  m.by_presumption = by_presumption;
+  return m;
+}
+
+std::vector<uint8_t> Message::Encode() const {
+  ByteWriter w;
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(txn);
+  w.PutU32(from);
+  w.PutU32(to);
+  w.PutU8(static_cast<uint8_t>(vote));
+  w.PutU8(static_cast<uint8_t>(outcome));
+  w.PutU8(by_presumption ? 1 : 0);
+  return w.TakeBytes();
+}
+
+Result<Message> Message::Decode(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint8_t version = 0;
+  PRANY_RETURN_NOT_OK(r.GetU8(&version));
+  if (version != kWireVersion) {
+    return Status::Corruption("unsupported wire version");
+  }
+  Message m;
+  uint8_t type = 0, vote = 0, outcome = 0, by_presumption = 0;
+  PRANY_RETURN_NOT_OK(r.GetU8(&type));
+  if (type > static_cast<uint8_t>(MessageType::kInquiryReply)) {
+    return Status::Corruption("unknown message type");
+  }
+  m.type = static_cast<MessageType>(type);
+  PRANY_RETURN_NOT_OK(r.GetU64(&m.txn));
+  PRANY_RETURN_NOT_OK(r.GetU32(&m.from));
+  PRANY_RETURN_NOT_OK(r.GetU32(&m.to));
+  PRANY_RETURN_NOT_OK(r.GetU8(&vote));
+  if (vote > static_cast<uint8_t>(Vote::kReadOnly)) {
+    return Status::Corruption("invalid vote");
+  }
+  m.vote = static_cast<Vote>(vote);
+  PRANY_RETURN_NOT_OK(r.GetU8(&outcome));
+  if (outcome > static_cast<uint8_t>(Outcome::kAbort)) {
+    return Status::Corruption("invalid outcome");
+  }
+  m.outcome = static_cast<Outcome>(outcome);
+  PRANY_RETURN_NOT_OK(r.GetU8(&by_presumption));
+  if (by_presumption > 1) {
+    return Status::Corruption("non-canonical boolean");
+  }
+  m.by_presumption = by_presumption == 1;
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after message");
+  }
+  return m;
+}
+
+size_t Message::WireSize() const { return Encode().size(); }
+
+std::string Message::ToString() const {
+  std::string head = prany::ToString(type);
+  switch (type) {
+    case MessageType::kVote:
+      head += StrFormat("(%s)", prany::ToString(vote).c_str());
+      break;
+    case MessageType::kDecision:
+    case MessageType::kAck:
+      head += StrFormat("(%s)", prany::ToString(outcome).c_str());
+      break;
+    case MessageType::kInquiryReply:
+      head += StrFormat("(%s%s)", prany::ToString(outcome).c_str(),
+                        by_presumption ? ",presumed" : "");
+      break;
+    default:
+      break;
+  }
+  return StrFormat("%s txn=%llu %u->%u", head.c_str(),
+                   static_cast<unsigned long long>(txn), from, to);
+}
+
+bool Message::operator==(const Message& other) const {
+  return type == other.type && txn == other.txn && from == other.from &&
+         to == other.to && vote == other.vote && outcome == other.outcome &&
+         by_presumption == other.by_presumption;
+}
+
+}  // namespace prany

@@ -1,0 +1,85 @@
+// Wire messages exchanged by the commit protocols, plus a binary codec.
+//
+// The message vocabulary is exactly the paper's (Figures 1-4):
+//   PREPARE        coordinator -> participant   (voting phase request)
+//   VOTE           participant -> coordinator   (yes / no)
+//   DECISION       coordinator -> participant   (commit / abort)
+//   ACK            participant -> coordinator   (decision acknowledgment)
+//   INQUIRY        participant -> coordinator   (in-doubt recovery question)
+//   INQUIRY_REPLY  coordinator -> participant   (decision or presumption)
+//
+// Messages are serialized on send and deserialized on delivery so that the
+// simulation measures realistic byte volumes and exercises a real codec.
+
+#ifndef PRANY_NET_MESSAGE_H_
+#define PRANY_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace prany {
+
+/// Kind of protocol message.
+enum class MessageType : uint8_t {
+  kPrepare = 0,
+  kVote = 1,
+  kDecision = 2,
+  kAck = 3,
+  kInquiry = 4,
+  kInquiryReply = 5,
+};
+
+/// Human-readable message-type name ("PREPARE", ...).
+std::string ToString(MessageType type);
+
+/// One protocol message. Fields beyond (type, txn, from, to) are only
+/// meaningful for the message types that carry them.
+struct Message {
+  MessageType type = MessageType::kPrepare;
+  TxnId txn = kInvalidTxn;
+  SiteId from = kInvalidSite;
+  SiteId to = kInvalidSite;
+
+  /// For kVote.
+  Vote vote = Vote::kYes;
+
+  /// For kDecision, kAck and kInquiryReply: which outcome.
+  Outcome outcome = Outcome::kCommit;
+
+  /// For kInquiryReply: true when the coordinator answered from memory or
+  /// log; false when it answered *by presumption* after forgetting the
+  /// transaction. Carried for observability (history/ checkers); protocol
+  /// logic never branches on it.
+  bool by_presumption = false;
+
+  static Message Prepare(TxnId txn, SiteId from, SiteId to);
+  static Message MakeVote(TxnId txn, SiteId from, SiteId to, Vote vote);
+  static Message Decision(TxnId txn, SiteId from, SiteId to, Outcome outcome);
+  static Message Ack(TxnId txn, SiteId from, SiteId to, Outcome outcome);
+  static Message Inquiry(TxnId txn, SiteId from, SiteId to);
+  static Message InquiryReply(TxnId txn, SiteId from, SiteId to,
+                              Outcome outcome, bool by_presumption);
+
+  /// Serializes to wire bytes.
+  std::vector<uint8_t> Encode() const;
+
+  /// Parses wire bytes; rejects truncated or malformed frames.
+  static Result<Message> Decode(const std::vector<uint8_t>& bytes);
+
+  /// Encoded size in bytes (used for network byte accounting).
+  size_t WireSize() const;
+
+  /// One-line rendering for traces, e.g. "DECISION(commit) txn=7 3->1".
+  std::string ToString() const;
+
+  bool operator==(const Message& other) const;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_NET_MESSAGE_H_

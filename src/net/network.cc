@@ -1,0 +1,150 @@
+#include "net/network.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace prany {
+
+Network::Network(Simulator* sim, MetricsRegistry* metrics)
+    : sim_(sim), metrics_(metrics), rng_(sim->rng().Fork()) {
+  default_latency_ = std::make_unique<FixedLatency>(500);
+}
+
+void Network::RegisterEndpoint(SiteId site, NetworkEndpoint* endpoint) {
+  PRANY_CHECK(endpoint != nullptr);
+  endpoints_[site] = endpoint;
+}
+
+void Network::SetDefaultLatency(std::unique_ptr<LatencyModel> model) {
+  PRANY_CHECK(model != nullptr);
+  default_latency_ = std::move(model);
+}
+
+void Network::SetLinkLatency(SiteId from, SiteId to,
+                             std::unique_ptr<LatencyModel> model) {
+  PRANY_CHECK(model != nullptr);
+  link_latency_[{from, to}] = std::move(model);
+}
+
+void Network::SetDropProbability(double p) { drop_probability_ = p; }
+
+void Network::SetDuplicateProbability(double p) {
+  duplicate_probability_ = p;
+}
+
+void Network::Partition(const std::set<SiteId>& group_a,
+                        const std::set<SiteId>& group_b) {
+  for (SiteId a : group_a) {
+    for (SiteId b : group_b) {
+      blocked_links_.insert({a, b});
+      blocked_links_.insert({b, a});
+    }
+  }
+}
+
+void Network::HealPartition() { blocked_links_.clear(); }
+
+void Network::DropNext(MessageType type, TxnId txn, SiteId from, SiteId to) {
+  drop_rules_.push_back(DropRule{type, txn, from, to});
+}
+
+void Network::DropSendIndex(uint64_t index) {
+  drop_send_indexes_.insert(index);
+}
+
+bool Network::IsBlocked(SiteId from, SiteId to) const {
+  return blocked_links_.count({from, to}) > 0;
+}
+
+bool Network::MatchesDropRule(const Message& msg) {
+  for (auto it = drop_rules_.begin(); it != drop_rules_.end(); ++it) {
+    if (it->type == msg.type && it->txn == msg.txn && it->from == msg.from &&
+        it->to == msg.to) {
+      drop_rules_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+LatencyModel* Network::ModelFor(SiteId from, SiteId to) {
+  auto it = link_latency_.find({from, to});
+  if (it != link_latency_.end()) return it->second.get();
+  return default_latency_.get();
+}
+
+void Network::Send(const Message& msg) {
+  PRANY_CHECK(msg.from != kInvalidSite && msg.to != kInvalidSite);
+  std::vector<uint8_t> wire = msg.Encode();
+  ++stats_.messages_sent;
+  stats_.bytes_sent += wire.size();
+  if (metrics_ != nullptr) {
+    metrics_->Add("net.msg." + ToString(msg.type));
+    metrics_->Add("net.bytes", static_cast<int64_t>(wire.size()));
+  }
+  sim_->Trace(StrFormat("net send %s", msg.ToString().c_str()));
+
+  if (IsBlocked(msg.from, msg.to)) {
+    ++stats_.messages_blocked;
+    sim_->Trace(StrFormat("net blocked %s", msg.ToString().c_str()));
+    return;
+  }
+  if (MatchesDropRule(msg)) {
+    ++stats_.messages_dropped;
+    sim_->Trace(StrFormat("net targeted-drop %s", msg.ToString().c_str()));
+    return;
+  }
+  if (drop_send_indexes_.count(++send_index_) > 0) {
+    ++stats_.messages_dropped;
+    sim_->Trace(StrFormat("net indexed-drop #%llu %s",
+                          static_cast<unsigned long long>(send_index_),
+                          msg.ToString().c_str()));
+    return;
+  }
+  if (rng_.Bernoulli(drop_probability_)) {
+    ++stats_.messages_dropped;
+    sim_->Trace(StrFormat("net random-drop %s", msg.ToString().c_str()));
+    return;
+  }
+
+  ScheduleDelivery(msg, wire);
+  if (rng_.Bernoulli(duplicate_probability_)) {
+    ++stats_.messages_duplicated;
+    ScheduleDelivery(msg, wire);
+  }
+}
+
+void Network::ScheduleDelivery(const Message& msg,
+                               const std::vector<uint8_t>& wire) {
+  SimDuration latency = ModelFor(msg.from, msg.to)->Draw(&rng_, wire.size());
+  SimTime deliver_at = sim_->Now() + latency;
+  if (fifo_links_) {
+    // Session ordering: never deliver before anything sent earlier on the
+    // same directed link (ties resolve in send order via event seq).
+    SimTime& last = last_delivery_[{msg.from, msg.to}];
+    if (deliver_at < last) deliver_at = last;
+    last = deliver_at;
+  }
+  sim_->ScheduleAt(
+      deliver_at,
+      [this, wire]() {
+        Result<Message> decoded = Message::Decode(wire);
+        // The fail-stop network never corrupts frames; a decode failure
+        // here is a codec bug.
+        PRANY_CHECK_MSG(decoded.ok(), decoded.status().ToString());
+        const Message& msg = *decoded;
+        auto it = endpoints_.find(msg.to);
+        PRANY_CHECK_MSG(it != endpoints_.end(), "unknown destination site");
+        if (!it->second->IsUp()) {
+          ++stats_.messages_lost_down;
+          sim_->Trace(StrFormat("net lost(down) %s", msg.ToString().c_str()));
+          return;
+        }
+        ++stats_.messages_delivered;
+        sim_->Trace(StrFormat("net deliver %s", msg.ToString().c_str()));
+        it->second->OnMessage(msg);
+      },
+      "net.deliver");
+}
+
+}  // namespace prany

@@ -1,0 +1,155 @@
+// Simulated message-passing network connecting the sites.
+//
+// Failure semantics (matching the paper's omission-failure model, §1):
+//   - Messages may be lost (per-network drop probability, plus targeted
+//     one-shot drop rules for scenario construction).
+//   - Messages may be duplicated.
+//   - Links may be partitioned (both directions blocked until healed).
+//   - A message delivered while its destination is down is lost — exactly
+//     the behaviour the paper's recovery procedures must tolerate.
+// Messages are never corrupted in flight (fail-stop model); the codec's
+// corruption handling is exercised by the WAL crash-tail path and tests.
+//
+// Ordering: links are FIFO per directed (src, dst) pair by default,
+// modelling the session-ordered channels (e.g. TCP) the paper's protocols
+// implicitly assume. This matters: with arbitrary per-message reordering
+// a decision can overtake its own PREPARE, a memoryless participant
+// acknowledges the decision (footnote 5), the coordinator forgets, and
+// the late PREPARE then creates an in-doubt participant that must be
+// answered by presumption — which no forgetful protocol can always answer
+// consistently. SetFifoLinks(false) exposes that mode for adversarial
+// tests (see tests/integration/reordering_test.cc).
+
+#ifndef PRANY_NET_NETWORK_H_
+#define PRANY_NET_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/latency_model.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace prany {
+
+/// Receives delivered messages. Implemented by harness::Site.
+class NetworkEndpoint {
+ public:
+  virtual ~NetworkEndpoint() = default;
+
+  /// Called at delivery time with the decoded message.
+  virtual void OnMessage(const Message& msg) = 0;
+
+  /// Down endpoints lose the message (omission failure).
+  virtual bool IsUp() const = 0;
+};
+
+/// Aggregate network statistics.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;       ///< Random or rule-based drops.
+  uint64_t messages_lost_down = 0;     ///< Destination was down.
+  uint64_t messages_blocked = 0;       ///< Partitioned link.
+  uint64_t messages_duplicated = 0;
+  uint64_t bytes_sent = 0;
+};
+
+/// The network fabric. One per System.
+class Network {
+ public:
+  /// `metrics` may be null; when set, per-message-type counters are kept
+  /// there under "net.msg.<TYPE>".
+  Network(Simulator* sim, MetricsRegistry* metrics = nullptr);
+
+  /// Registers the handler for `site`. A site must be registered before
+  /// any message addressed to it is delivered.
+  void RegisterEndpoint(SiteId site, NetworkEndpoint* endpoint);
+
+  /// Default latency model for all links (fixed 500us if never set).
+  void SetDefaultLatency(std::unique_ptr<LatencyModel> model);
+
+  /// Overrides the latency model for the directed link from->to.
+  void SetLinkLatency(SiteId from, SiteId to,
+                      std::unique_ptr<LatencyModel> model);
+
+  /// Per-directed-link FIFO delivery (default true; see the header
+  /// comment for why turning it off breaks every forgetful protocol).
+  void SetFifoLinks(bool fifo) { fifo_links_ = fifo; }
+
+  /// Probability that any message is silently dropped.
+  void SetDropProbability(double p);
+
+  /// Probability that a delivered message is delivered twice.
+  void SetDuplicateProbability(double p);
+
+  /// Blocks both directions between every pair (a, b) with a in group_a and
+  /// b in group_b, until HealPartition().
+  void Partition(const std::set<SiteId>& group_a,
+                 const std::set<SiteId>& group_b);
+
+  /// Removes all partition rules.
+  void HealPartition();
+
+  /// Installs a one-shot targeted drop: the next message matching
+  /// (type, txn, from, to) is dropped. Used to build the paper's
+  /// counterexample timings deterministically.
+  void DropNext(MessageType type, TxnId txn, SiteId from, SiteId to);
+
+  /// Drops the `index`-th message handed to Send (1-based, counted over
+  /// the network's lifetime). The workhorse of the exhaustive
+  /// single-omission sweeps: enumerate a failure-free run's sends, then
+  /// re-run the scenario once per index.
+  void DropSendIndex(uint64_t index);
+
+  /// Messages handed to Send so far (the index space of DropSendIndex).
+  uint64_t SendsSoFar() const { return send_index_; }
+
+  /// Serializes, routes and schedules delivery of `msg` (msg.from/to must
+  /// be set). Send never fails from the sender's perspective: losses are
+  /// silent, per the omission model.
+  void Send(const Message& msg);
+
+  const NetworkStats& stats() const { return stats_; }
+
+  Simulator* sim() { return sim_; }
+
+ private:
+  struct DropRule {
+    MessageType type;
+    TxnId txn;
+    SiteId from;
+    SiteId to;
+  };
+
+  bool IsBlocked(SiteId from, SiteId to) const;
+  bool MatchesDropRule(const Message& msg);
+  LatencyModel* ModelFor(SiteId from, SiteId to);
+  void ScheduleDelivery(const Message& msg, const std::vector<uint8_t>& wire);
+
+  Simulator* sim_;
+  MetricsRegistry* metrics_;
+  Rng rng_;
+  std::map<SiteId, NetworkEndpoint*> endpoints_;
+  std::unique_ptr<LatencyModel> default_latency_;
+  std::map<std::pair<SiteId, SiteId>, std::unique_ptr<LatencyModel>>
+      link_latency_;
+  double drop_probability_ = 0.0;
+  double duplicate_probability_ = 0.0;
+  bool fifo_links_ = true;
+  std::map<std::pair<SiteId, SiteId>, SimTime> last_delivery_;
+  std::set<std::pair<SiteId, SiteId>> blocked_links_;
+  std::vector<DropRule> drop_rules_;
+  uint64_t send_index_ = 0;
+  std::set<uint64_t> drop_send_indexes_;
+  NetworkStats stats_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_NET_NETWORK_H_

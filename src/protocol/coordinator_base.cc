@@ -1,0 +1,363 @@
+#include "protocol/coordinator_base.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace prany {
+
+CoordinatorBase::CoordinatorBase(EngineContext ctx, ProtocolKind kind)
+    : ctx_(std::move(ctx)), kind_(kind) {}
+
+CoordinatorBase::~CoordinatorBase() = default;
+
+ProtocolKind CoordinatorBase::SelectMode(const Transaction& txn) {
+  (void)txn;
+  return kind_;
+}
+
+void CoordinatorBase::BeginCommit(const Transaction& txn) {
+  Status valid = txn.Validate();
+  PRANY_CHECK_MSG(valid.ok(), valid.ToString());
+  PRANY_CHECK_MSG(txn.coordinator == ctx_.self,
+                  "transaction coordinated elsewhere");
+
+  ProtocolKind mode = SelectMode(txn);
+  CoordTxnState st;
+  st.txn = txn.id;
+  st.mode = mode;
+  st.participants = txn.participants;
+  st.phase = CoordPhase::kVoting;
+  st.begin_time = ctx_.sim->Now();
+  CoordTxnState& entry = table_.Insert(std::move(st));
+
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kTxnSubmitted,
+                                .site = ctx_.self,
+                                .txn = txn.id});
+  ctx_.Count("coord.begin");
+  ctx_.Count("coord.mode." + ToString(mode));
+  ctx_.Trace(StrFormat("coord %u begin %s mode=%s", ctx_.self,
+                       txn.ToString().c_str(), ToString(mode).c_str()));
+  DidBegin(entry);
+
+  SimDuration send_delay = 0;
+  if (WritesInitiation(mode)) {
+    ctx_.log->Append(
+        LogRecord::Initiation(txn.id, mode, txn.participants),
+        /*force=*/true);
+    if (ctx_.MaybeCrash(CrashPoint::kCoordAfterInitiationLogged, txn.id)) {
+      return;
+    }
+    send_delay = ctx_.timing.forced_write_latency;
+  }
+
+  for (const ParticipantInfo& p : txn.participants) {
+    ctx_.Send(Message::Prepare(txn.id, ctx_.self, p.site), send_delay);
+  }
+  if (ctx_.MaybeCrash(CrashPoint::kCoordAfterPreparesSent, txn.id)) return;
+
+  StartVoteTimer(txn.id);
+}
+
+void CoordinatorBase::OnVote(const Message& msg) {
+  CoordTxnState* st = table_.Find(msg.txn);
+  if (st == nullptr) {
+    ctx_.Count("coord.vote_for_unknown_txn");
+    return;
+  }
+  if (st->phase != CoordPhase::kVoting) {
+    ctx_.Count("coord.vote_after_decision");
+    return;
+  }
+  if (!st->HasParticipant(msg.from)) {
+    ctx_.Count("coord.vote_from_non_participant");
+    return;
+  }
+  if (msg.vote == Vote::kNo) {
+    st->no_votes.insert(msg.from);
+    st->yes_votes.erase(msg.from);
+    Decide(msg.txn, Outcome::kAbort);
+    return;
+  }
+  if (msg.vote == Vote::kReadOnly) {
+    st->read_only.insert(msg.from);
+    ctx_.Count("coord.read_only_vote");
+  } else {
+    st->yes_votes.insert(msg.from);
+  }
+  if (st->yes_votes.size() + st->read_only.size() ==
+      st->participants.size()) {
+    Decide(msg.txn, Outcome::kCommit);
+  }
+}
+
+void CoordinatorBase::Decide(TxnId txn, Outcome outcome) {
+  CoordTxnState* st = table_.Find(txn);
+  if (st == nullptr || st->phase != CoordPhase::kVoting) return;
+
+  st->phase = CoordPhase::kDeciding;
+  st->decision = outcome;
+  vote_timers_.erase(txn);
+
+  // Commit goes to everyone that stayed in the protocol; abort
+  // additionally skips no-voters (they aborted unilaterally). Read-only
+  // voters left at voting time (§5's optimization) and get nothing. A
+  // silent participant may be prepared with its vote lost, so it stays a
+  // recipient (a never-prepared one harmlessly acknowledges, footnote 5).
+  std::set<SiteId> recipients = SitesOf(st->participants);
+  for (SiteId ro : st->read_only) recipients.erase(ro);
+  if (outcome == Outcome::kAbort) {
+    for (SiteId no_voter : st->no_votes) recipients.erase(no_voter);
+  }
+
+  DecisionLogPolicy policy = DecisionPolicy(st->mode, outcome);
+  if (recipients.empty()) {
+    // Nobody is prepared (all read-only and/or unilaterally aborted):
+    // there is no decision phase to recover, so nothing is logged — the
+    // fully-read-only fast path of the R* optimization.
+    policy = DecisionLogPolicy::kNone;
+  }
+  if (policy == DecisionLogPolicy::kForced) {
+    LogRecord rec = DecisionNamesParticipants(st->mode)
+                        ? LogRecord::DecisionWithParticipants(
+                              txn, outcome, st->participants)
+                        : LogRecord::Decision(txn, outcome);
+    ctx_.log->Append(rec, /*force=*/true);
+  }
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kCoordDecide,
+                                .site = ctx_.self,
+                                .txn = txn,
+                                .outcome = outcome});
+  ctx_.Count(outcome == Outcome::kCommit ? "coord.decide_commit"
+                                         : "coord.decide_abort");
+  if (ctx_.MaybeCrash(CrashPoint::kCoordAfterDecisionMade, txn)) return;
+
+  std::set<SiteId> ackers = ExpectedAckers(*st, outcome);
+  st->pending_acks.clear();
+  for (SiteId s : ackers) {
+    if (recipients.count(s) > 0) st->pending_acks.insert(s);
+  }
+  st->acks_expected = !st->pending_acks.empty();
+
+  SimDuration delay = policy == DecisionLogPolicy::kForced
+                          ? ctx_.timing.forced_write_latency
+                          : 0;
+  SendDecisionMessages(*st, recipients, delay);
+  if (ctx_.MaybeCrash(CrashPoint::kCoordAfterDecisionSent, txn)) return;
+
+  if (!st->pending_acks.empty()) {
+    StartResendTimer(txn);
+  }
+  MaybeComplete(txn);
+}
+
+void CoordinatorBase::SendDecisionMessages(const CoordTxnState& st,
+                                           const std::set<SiteId>& recipients,
+                                           SimDuration delay) {
+  for (SiteId site : recipients) {
+    ctx_.Send(Message::Decision(st.txn, ctx_.self, site, *st.decision),
+              delay);
+  }
+}
+
+void CoordinatorBase::OnAck(const Message& msg) {
+  CoordTxnState* st = table_.Find(msg.txn);
+  if (st == nullptr) {
+    // Acknowledgment for a forgotten transaction (e.g. a duplicate, or a
+    // footnote-5 ack racing with completion). Nothing to do.
+    ctx_.Count("coord.ack_for_unknown_txn");
+    return;
+  }
+  if (st->phase != CoordPhase::kDeciding || !st->decision.has_value() ||
+      msg.outcome != *st->decision) {
+    ctx_.Count("coord.stale_ack");
+    return;
+  }
+  if (st->pending_acks.erase(msg.from) == 0) {
+    // An acknowledgment this coordinator's protocol does not expect — the
+    // "violation" a U2PC coordinator ignores (§2).
+    ctx_.Count("coord.ignored_unexpected_ack");
+    return;
+  }
+  MaybeComplete(msg.txn);
+}
+
+void CoordinatorBase::MaybeComplete(TxnId txn) {
+  CoordTxnState* st = table_.Find(txn);
+  if (st == nullptr || st->phase != CoordPhase::kDeciding ||
+      !st->pending_acks.empty()) {
+    return;
+  }
+  if (ctx_.MaybeCrash(CrashPoint::kCoordBeforeForget, txn)) return;
+
+  // An END record is needed exactly when acknowledgments were awaited:
+  // it closes the open decision (PrN/PrA commit, C2PC) or initiation
+  // (PrC/PrAny abort, PrAny commit) state in the log.
+  if (st->acks_expected) {
+    ctx_.log->Append(LogRecord::End(txn), /*force=*/false);
+  }
+
+  WillForget(*st);
+  if (ctx_.metrics != nullptr) {
+    double latency =
+        static_cast<double>(ctx_.sim->Now() - st->begin_time);
+    ctx_.metrics->Observe("coord.latency_us", latency);
+    ctx_.metrics->Observe(*st->decision == Outcome::kCommit
+                              ? "coord.commit_latency_us"
+                              : "coord.abort_latency_us",
+                          latency);
+  }
+  ctx_.Count("coord.forget");
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kCoordForget,
+                                .site = ctx_.self,
+                                .txn = txn});
+  resend_timers_.erase(txn);
+  table_.Erase(txn);
+  ctx_.log->ReleaseTransaction(txn);
+  ctx_.log->Truncate();
+}
+
+void CoordinatorBase::OnInquiry(const Message& msg) {
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kCoordInquiryRecv,
+                                .site = ctx_.self,
+                                .txn = msg.txn,
+                                .peer = msg.from});
+  ctx_.Count("coord.inquiry");
+
+  CoordTxnState* st = table_.Find(msg.txn);
+  Outcome outcome;
+  bool by_presumption;
+  if (st != nullptr && st->decision.has_value()) {
+    outcome = *st->decision;
+    by_presumption = false;
+  } else if (st != nullptr) {
+    // Still collecting votes; the inquirer will retry after we decide.
+    ctx_.Count("coord.inquiry_during_voting");
+    return;
+  } else {
+    std::tie(outcome, by_presumption) =
+        AnswerUnknownInquiry(msg.txn, msg.from);
+    if (by_presumption) ctx_.Count("coord.answered_by_presumption");
+  }
+
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kCoordRespond,
+                                .site = ctx_.self,
+                                .txn = msg.txn,
+                                .outcome = outcome,
+                                .peer = msg.from,
+                                .by_presumption = by_presumption});
+  ctx_.Send(Message::InquiryReply(msg.txn, ctx_.self, msg.from, outcome,
+                                  by_presumption));
+}
+
+void CoordinatorBase::StartVoteTimer(TxnId txn) {
+  auto timer = std::make_unique<OneShotTimer>(ctx_.sim);
+  timer->Arm(
+      ctx_.timing.vote_timeout,
+      [this, txn]() {
+        CoordTxnState* st = table_.Find(txn);
+        if (st == nullptr || st->phase != CoordPhase::kVoting) return;
+        ctx_.Count("coord.vote_timeout");
+        ctx_.Trace(StrFormat("coord %u vote timeout txn=%llu", ctx_.self,
+                             static_cast<unsigned long long>(txn)));
+        Decide(txn, Outcome::kAbort);
+      },
+      StrFormat("coord.vote_timeout txn=%llu",
+                static_cast<unsigned long long>(txn)));
+  vote_timers_[txn] = std::move(timer);
+}
+
+void CoordinatorBase::StartResendTimer(TxnId txn) {
+  ResendState state;
+  state.timer = std::make_unique<PeriodicTimer>(ctx_.sim);
+  PeriodicTimer* timer = state.timer.get();
+  timer->Start(
+      ctx_.timing.decision_resend_interval,
+      [this, txn, timer]() {
+        CoordTxnState* st = table_.Find(txn);
+        if (st == nullptr || st->phase != CoordPhase::kDeciding ||
+            st->pending_acks.empty()) {
+          timer->Stop();
+          return;
+        }
+        auto it = resend_timers_.find(txn);
+        PRANY_CHECK(it != resend_timers_.end());
+        uint32_t cap = ctx_.timing.max_decision_resends;
+        if (cap != 0 && it->second.resends >= cap) {
+          // Give up pushing; in-doubt participants still converge by
+          // pulling with inquiries. The entry stays in the table — for
+          // C2PC, forever (Theorem 2).
+          timer->Stop();
+          return;
+        }
+        ++it->second.resends;
+        ctx_.Count("coord.decision_resend");
+        SendDecisionMessages(*st, st->pending_acks, /*delay=*/0);
+      },
+      StrFormat("coord.resend txn=%llu",
+                static_cast<unsigned long long>(txn)));
+  resend_timers_[txn] = std::move(state);
+}
+
+void CoordinatorBase::ReinitiateDecision(
+    TxnId txn, ProtocolKind mode, std::vector<ParticipantInfo> participants,
+    Outcome outcome, const std::set<SiteId>& recipients) {
+  CoordTxnState st;
+  st.txn = txn;
+  st.mode = mode;
+  st.participants = std::move(participants);
+  st.phase = CoordPhase::kDeciding;
+  st.decision = outcome;
+  st.begin_time = ctx_.sim->Now();
+  CoordTxnState& entry = table_.Insert(std::move(st));
+  DidBegin(entry);
+
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kCoordDecide,
+                                .site = ctx_.self,
+                                .txn = txn,
+                                .outcome = outcome});
+  ctx_.Count("coord.recovery_reinitiate");
+
+  std::set<SiteId> ackers = ExpectedAckers(entry, outcome);
+  entry.pending_acks.clear();
+  for (SiteId s : ackers) {
+    if (recipients.count(s) > 0) entry.pending_acks.insert(s);
+  }
+  entry.acks_expected = !entry.pending_acks.empty();
+  SendDecisionMessages(entry, recipients, /*delay=*/0);
+  if (!entry.pending_acks.empty()) {
+    StartResendTimer(txn);
+  }
+  MaybeComplete(txn);
+}
+
+void CoordinatorBase::Crash() {
+  vote_timers_.clear();
+  resend_timers_.clear();
+  table_.Clear();
+}
+
+void CoordinatorBase::Recover() {
+  auto summaries = LogAnalyzer::Analyze(ctx_.log->StableRecords());
+  for (const auto& [txn, summary] : summaries) {
+    if (summary.has_prepared) continue;  // Participant-side transaction.
+    if (summary.has_end) {
+      // Completed before the crash; only the garbage collection was lost.
+      ctx_.log->ReleaseTransaction(txn);
+      continue;
+    }
+    if (!summary.has_initiation && !summary.decision.has_value()) {
+      continue;  // Stray record (e.g. nothing coordinator-side).
+    }
+    if (table_.Find(txn) != nullptr) continue;  // Already re-initiated.
+    RecoverTxn(summary);
+  }
+  ctx_.log->Truncate();
+}
+
+}  // namespace prany

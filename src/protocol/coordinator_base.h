@@ -1,0 +1,160 @@
+// Shared coordinator-side two-phase-commit machinery.
+//
+// Every coordinator variant in the paper runs the same two phases: send
+// PREPARE and collect votes; then decide, log per its policy, send the
+// decision, await the acknowledgments it expects, and finally forget the
+// transaction. The variants differ ONLY in five policy dimensions, which
+// subclasses provide:
+//
+//   1. whether an initiation record is forced before the voting phase
+//      (PrC, PrAny);
+//   2. which decision records are logged, whether they are forced, and
+//      whether they name the participants (PrN/PrA decision records must:
+//      they have no initiation record for recovery to consult);
+//   3. which participants' acknowledgments are awaited before forgetting;
+//   4. how an inquiry about a forgotten/unknown transaction is answered
+//      (the protocol's *presumption* — fixed for PrN/PrA/PrC/U2PC,
+//      dynamic per inquirer for PrAny, never-presume for C2PC);
+//   5. how a transaction found in the log during crash recovery is
+//      re-initiated (§4.2).
+//
+// A uniform consequence the base exploits: an END record is written
+// exactly when at least one acknowledgment was expected — true for every
+// variant in Figures 1-4.
+
+#ifndef PRANY_PROTOCOL_COORDINATOR_BASE_H_
+#define PRANY_PROTOCOL_COORDINATOR_BASE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/message.h"
+#include "protocol/engine_context.h"
+#include "protocol/protocol_traits.h"
+#include "sim/timer.h"
+#include "txn/protocol_table.h"
+#include "txn/transaction.h"
+#include "wal/log_analyzer.h"
+
+namespace prany {
+
+/// How a decision is logged at the coordinator.
+enum class DecisionLogPolicy : uint8_t {
+  kForced = 0,  ///< Force-written before the decision is sent.
+  kNone = 1,    ///< Not logged at all (the presumed outcome).
+};
+
+/// Base class for all coordinator variants.
+class CoordinatorBase {
+ public:
+  CoordinatorBase(EngineContext ctx, ProtocolKind kind);
+  virtual ~CoordinatorBase();
+
+  CoordinatorBase(const CoordinatorBase&) = delete;
+  CoordinatorBase& operator=(const CoordinatorBase&) = delete;
+
+  /// The coordinator's protocol (kPrN..kPrAny).
+  ProtocolKind kind() const { return kind_; }
+
+  /// Starts commit processing for a finished transaction whose coordinator
+  /// is this site. `txn` must validate.
+  void BeginCommit(const Transaction& txn);
+
+  /// Message entry points (called by the Site's dispatcher).
+  void OnVote(const Message& msg);
+  void OnAck(const Message& msg);
+  void OnInquiry(const Message& msg);
+
+  /// Unilaterally aborts a transaction still in its voting phase (e.g. the
+  /// transaction was picked as a global-deadlock victim). No-op once a
+  /// decision exists. This is how the figure-exact abort flows — all
+  /// participants prepared, decision abort — are produced.
+  void ForceAbort(TxnId txn) { Decide(txn, Outcome::kAbort); }
+
+  /// Site crash: wipes the protocol table and all timers.
+  void Crash();
+
+  /// Site recovery: re-builds the protocol table from the stable log and
+  /// re-initiates unfinished decision phases (§4.2).
+  void Recover();
+
+  /// The volatile protocol table (exposed for checkers and tests).
+  const ProtocolTable& table() const { return table_; }
+
+ protected:
+  // ---- policy hooks -----------------------------------------------------
+
+  /// Commit protocol used for this transaction. Pure protocols return
+  /// their own kind; PrAny selects per §4.1.
+  virtual ProtocolKind SelectMode(const Transaction& txn);
+
+  /// Whether `mode` force-writes an initiation record before voting.
+  virtual bool WritesInitiation(ProtocolKind mode) const = 0;
+
+  /// Logging policy for a decision under `mode`.
+  virtual DecisionLogPolicy DecisionPolicy(ProtocolKind mode,
+                                           Outcome outcome) const = 0;
+
+  /// Whether the coordinator decision record names the participants.
+  virtual bool DecisionNamesParticipants(ProtocolKind mode) const = 0;
+
+  /// Participants whose acknowledgment must arrive before forgetting.
+  virtual std::set<SiteId> ExpectedAckers(const CoordTxnState& st,
+                                          Outcome outcome) const = 0;
+
+  /// Reply for an inquiry about a transaction absent from the protocol
+  /// table. Returns (outcome, answered_by_presumption).
+  virtual std::pair<Outcome, bool> AnswerUnknownInquiry(TxnId txn,
+                                                        SiteId inquirer) = 0;
+
+  /// Re-initiates one unfinished transaction found in the log (§4.2).
+  virtual void RecoverTxn(const TxnLogSummary& summary) = 0;
+
+  /// Notification hooks (PrAny maintains its APP table here).
+  virtual void DidBegin(const CoordTxnState& st) { (void)st; }
+  virtual void WillForget(const CoordTxnState& st) { (void)st; }
+
+  // ---- shared machinery for subclasses ----------------------------------
+
+  /// Transitions `txn` to the decision phase with `outcome`: logs per
+  /// policy, sends the decision, arms retransmission, and completes
+  /// immediately if no acknowledgment is expected.
+  void Decide(TxnId txn, Outcome outcome);
+
+  /// Recovery helper: re-inserts a protocol-table entry in the decision
+  /// phase and re-sends `outcome` to `recipients` (PrAny restricts the
+  /// recipients per footnote 4; other protocols send to everyone).
+  void ReinitiateDecision(TxnId txn, ProtocolKind mode,
+                          std::vector<ParticipantInfo> participants,
+                          Outcome outcome,
+                          const std::set<SiteId>& recipients);
+
+  EngineContext& ctx() { return ctx_; }
+  ProtocolTable& mutable_table() { return table_; }
+
+ private:
+  void SendDecisionMessages(const CoordTxnState& st,
+                            const std::set<SiteId>& recipients,
+                            SimDuration delay);
+  void StartVoteTimer(TxnId txn);
+  void StartResendTimer(TxnId txn);
+  void MaybeComplete(TxnId txn);
+
+  EngineContext ctx_;
+  ProtocolKind kind_;
+  ProtocolTable table_;
+
+  struct ResendState {
+    std::unique_ptr<PeriodicTimer> timer;
+    uint32_t resends = 0;
+  };
+  std::map<TxnId, std::unique_ptr<OneShotTimer>> vote_timers_;
+  std::map<TxnId, ResendState> resend_timers_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_COORDINATOR_BASE_H_

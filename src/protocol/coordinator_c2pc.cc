@@ -1,0 +1,67 @@
+#include "protocol/coordinator_c2pc.h"
+
+#include "wal/log_analyzer.h"
+
+namespace prany {
+
+namespace {
+EngineContext WithResendCap(EngineContext ctx, uint32_t cap) {
+  if (ctx.timing.max_decision_resends == 0) {
+    ctx.timing.max_decision_resends = cap;
+  }
+  return ctx;
+}
+}  // namespace
+
+CoordinatorC2PC::CoordinatorC2PC(EngineContext ctx,
+                                 uint32_t max_decision_resends)
+    : CoordinatorBase(WithResendCap(std::move(ctx), max_decision_resends),
+                      ProtocolKind::kC2PC) {}
+
+bool CoordinatorC2PC::WritesInitiation(ProtocolKind mode) const {
+  (void)mode;
+  return false;
+}
+
+DecisionLogPolicy CoordinatorC2PC::DecisionPolicy(ProtocolKind mode,
+                                                  Outcome outcome) const {
+  (void)mode;
+  (void)outcome;
+  // Every decision is forced so inquiries never need a presumption.
+  return DecisionLogPolicy::kForced;
+}
+
+bool CoordinatorC2PC::DecisionNamesParticipants(ProtocolKind mode) const {
+  (void)mode;
+  return true;
+}
+
+std::set<SiteId> CoordinatorC2PC::ExpectedAckers(const CoordTxnState& st,
+                                                 Outcome outcome) const {
+  (void)outcome;
+  // The defining rule: wait for everyone — even participants whose
+  // protocol will never acknowledge this outcome (Theorem 2).
+  return SitesOf(st.participants);
+}
+
+std::pair<Outcome, bool> CoordinatorC2PC::AnswerUnknownInquiry(
+    TxnId txn, SiteId inquirer) {
+  (void)inquirer;
+  // Never presume: consult the stable log. Since every decision is
+  // force-logged, absence of a decision record proves no decision was
+  // made, and abort is a sound answer.
+  auto summaries = LogAnalyzer::Analyze(ctx().log->StableRecords());
+  auto it = summaries.find(txn);
+  if (it != summaries.end() && it->second.decision.has_value()) {
+    return {*it->second.decision, /*by_presumption=*/false};
+  }
+  return {Outcome::kAbort, /*by_presumption=*/false};
+}
+
+void CoordinatorC2PC::RecoverTxn(const TxnLogSummary& summary) {
+  if (!summary.decision.has_value()) return;
+  ReinitiateDecision(summary.txn, ProtocolKind::kC2PC, summary.participants,
+                     *summary.decision, SitesOf(summary.participants));
+}
+
+}  // namespace prany

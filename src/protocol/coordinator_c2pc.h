@@ -1,0 +1,48 @@
+// Coordinator two-phase commit (C2PC) — the second strawman of §3.
+//
+// C2PC repairs U2PC's premature forgetting by *never* forgetting a
+// transaction until every participant has acknowledged the decision, and
+// by never answering an inquiry with a presumption. To make the
+// no-presumption rule sound across coordinator crashes, this concretization
+// force-logs every decision (PrN-style, naming the participants); an
+// unknown transaction with no decision record then provably never decided,
+// so "abort" is a sound answer, not a presumption.
+//
+// The price is Theorem 2: PrA participants never acknowledge aborts and
+// PrC participants never acknowledge commits, so entries for
+// mixed-presumption transactions stay in the protocol table — and their
+// records in the log — forever. Decision retransmission is therefore
+// capped (in-doubt participants still converge by inquiring); the leaked
+// entries are what bench_c2pc_memory measures.
+
+#ifndef PRANY_PROTOCOL_COORDINATOR_C2PC_H_
+#define PRANY_PROTOCOL_COORDINATOR_C2PC_H_
+
+#include <utility>
+
+#include "protocol/coordinator_base.h"
+
+namespace prany {
+
+class CoordinatorC2PC : public CoordinatorBase {
+ public:
+  /// Retransmission is capped (default 3) so runs quiesce despite entries
+  /// that can never complete.
+  explicit CoordinatorC2PC(EngineContext ctx,
+                           uint32_t max_decision_resends = 3);
+
+ protected:
+  bool WritesInitiation(ProtocolKind mode) const override;
+  DecisionLogPolicy DecisionPolicy(ProtocolKind mode,
+                                   Outcome outcome) const override;
+  bool DecisionNamesParticipants(ProtocolKind mode) const override;
+  std::set<SiteId> ExpectedAckers(const CoordTxnState& st,
+                                  Outcome outcome) const override;
+  std::pair<Outcome, bool> AnswerUnknownInquiry(TxnId txn,
+                                                SiteId inquirer) override;
+  void RecoverTxn(const TxnLogSummary& summary) override;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_COORDINATOR_C2PC_H_

@@ -1,0 +1,43 @@
+#include "protocol/coordinator_pra.h"
+
+namespace prany {
+
+bool CoordinatorPrA::WritesInitiation(ProtocolKind mode) const {
+  (void)mode;
+  return false;
+}
+
+DecisionLogPolicy CoordinatorPrA::DecisionPolicy(ProtocolKind mode,
+                                                 Outcome outcome) const {
+  (void)mode;
+  return outcome == Outcome::kCommit ? DecisionLogPolicy::kForced
+                                     : DecisionLogPolicy::kNone;
+}
+
+bool CoordinatorPrA::DecisionNamesParticipants(ProtocolKind mode) const {
+  (void)mode;
+  return true;
+}
+
+std::set<SiteId> CoordinatorPrA::ExpectedAckers(const CoordTxnState& st,
+                                                Outcome outcome) const {
+  if (outcome == Outcome::kAbort) return {};  // Aborts are fire-and-forget.
+  return SitesOf(st.participants);
+}
+
+std::pair<Outcome, bool> CoordinatorPrA::AnswerUnknownInquiry(
+    TxnId txn, SiteId inquirer) {
+  (void)txn;
+  (void)inquirer;
+  return {Outcome::kAbort, /*by_presumption=*/true};
+}
+
+void CoordinatorPrA::RecoverTxn(const TxnLogSummary& summary) {
+  // Only commits are ever logged under PrA; aborted transactions left no
+  // trace and are covered by the presumption.
+  if (!summary.decision.has_value()) return;
+  ReinitiateDecision(summary.txn, ProtocolKind::kPrA, summary.participants,
+                     *summary.decision, SitesOf(summary.participants));
+}
+
+}  // namespace prany

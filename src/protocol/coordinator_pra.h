@@ -1,0 +1,38 @@
+// Presumed-abort coordinator — Figure 3 of the paper.
+//
+// Makes PrN's hidden abort presumption explicit: aborted transactions are
+// never logged and never acknowledged — the coordinator forgets them the
+// moment the abort messages leave. Commits still force a decision record
+// (naming the participants), await every acknowledgment, and write END.
+// Any inquiry about an unknown transaction is answered "abort", by
+// presumption.
+
+#ifndef PRANY_PROTOCOL_COORDINATOR_PRA_H_
+#define PRANY_PROTOCOL_COORDINATOR_PRA_H_
+
+#include <utility>
+
+#include "protocol/coordinator_base.h"
+
+namespace prany {
+
+class CoordinatorPrA : public CoordinatorBase {
+ public:
+  explicit CoordinatorPrA(EngineContext ctx)
+      : CoordinatorBase(std::move(ctx), ProtocolKind::kPrA) {}
+
+ protected:
+  bool WritesInitiation(ProtocolKind mode) const override;
+  DecisionLogPolicy DecisionPolicy(ProtocolKind mode,
+                                   Outcome outcome) const override;
+  bool DecisionNamesParticipants(ProtocolKind mode) const override;
+  std::set<SiteId> ExpectedAckers(const CoordTxnState& st,
+                                  Outcome outcome) const override;
+  std::pair<Outcome, bool> AnswerUnknownInquiry(TxnId txn,
+                                                SiteId inquirer) override;
+  void RecoverTxn(const TxnLogSummary& summary) override;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_COORDINATOR_PRA_H_

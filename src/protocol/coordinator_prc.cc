@@ -1,0 +1,48 @@
+#include "protocol/coordinator_prc.h"
+
+namespace prany {
+
+bool CoordinatorPrC::WritesInitiation(ProtocolKind mode) const {
+  (void)mode;
+  return true;
+}
+
+DecisionLogPolicy CoordinatorPrC::DecisionPolicy(ProtocolKind mode,
+                                                 Outcome outcome) const {
+  (void)mode;
+  return outcome == Outcome::kCommit ? DecisionLogPolicy::kForced
+                                     : DecisionLogPolicy::kNone;
+}
+
+bool CoordinatorPrC::DecisionNamesParticipants(ProtocolKind mode) const {
+  (void)mode;
+  return false;  // The initiation record already names them.
+}
+
+std::set<SiteId> CoordinatorPrC::ExpectedAckers(const CoordTxnState& st,
+                                                Outcome outcome) const {
+  if (outcome == Outcome::kCommit) return {};  // Commit is fire-and-forget.
+  return SitesOf(st.participants);
+}
+
+std::pair<Outcome, bool> CoordinatorPrC::AnswerUnknownInquiry(
+    TxnId txn, SiteId inquirer) {
+  (void)txn;
+  (void)inquirer;
+  return {Outcome::kCommit, /*by_presumption=*/true};
+}
+
+void CoordinatorPrC::RecoverTxn(const TxnLogSummary& summary) {
+  if (summary.decision == Outcome::kCommit) {
+    // Initiation + commit: the commit record eliminated the initiation;
+    // the transaction was already forgotten, only GC remained.
+    ctx().log->ReleaseTransaction(summary.txn);
+    return;
+  }
+  // Initiation without a commit record: abort per PrC's recovery rule and
+  // collect the acknowledgments the END record needs.
+  ReinitiateDecision(summary.txn, ProtocolKind::kPrC, summary.participants,
+                     Outcome::kAbort, SitesOf(summary.participants));
+}
+
+}  // namespace prany

@@ -1,0 +1,39 @@
+// Presumed-commit coordinator — Figure 4 of the paper.
+//
+// Interprets missing information as *commit*. To make that sound, the
+// coordinator force-writes an initiation record (with the participant
+// identities) before the voting phase; a forced commit record then
+// logically eliminates it and the transaction is forgotten immediately —
+// no commit acknowledgments. Aborts are the expensive side: not logged,
+// but every participant must acknowledge before the END record closes the
+// open initiation.
+
+#ifndef PRANY_PROTOCOL_COORDINATOR_PRC_H_
+#define PRANY_PROTOCOL_COORDINATOR_PRC_H_
+
+#include <utility>
+
+#include "protocol/coordinator_base.h"
+
+namespace prany {
+
+class CoordinatorPrC : public CoordinatorBase {
+ public:
+  explicit CoordinatorPrC(EngineContext ctx)
+      : CoordinatorBase(std::move(ctx), ProtocolKind::kPrC) {}
+
+ protected:
+  bool WritesInitiation(ProtocolKind mode) const override;
+  DecisionLogPolicy DecisionPolicy(ProtocolKind mode,
+                                   Outcome outcome) const override;
+  bool DecisionNamesParticipants(ProtocolKind mode) const override;
+  std::set<SiteId> ExpectedAckers(const CoordTxnState& st,
+                                  Outcome outcome) const override;
+  std::pair<Outcome, bool> AnswerUnknownInquiry(TxnId txn,
+                                                SiteId inquirer) override;
+  void RecoverTxn(const TxnLogSummary& summary) override;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_COORDINATOR_PRC_H_

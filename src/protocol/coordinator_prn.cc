@@ -1,0 +1,46 @@
+#include "protocol/coordinator_prn.h"
+
+namespace prany {
+
+bool CoordinatorPrN::WritesInitiation(ProtocolKind mode) const {
+  (void)mode;
+  return false;
+}
+
+DecisionLogPolicy CoordinatorPrN::DecisionPolicy(ProtocolKind mode,
+                                                 Outcome outcome) const {
+  (void)mode;
+  (void)outcome;
+  // PrN explicitly logs every decision, forced (Figure 2).
+  return DecisionLogPolicy::kForced;
+}
+
+bool CoordinatorPrN::DecisionNamesParticipants(ProtocolKind mode) const {
+  (void)mode;
+  return true;  // No initiation record: recovery reads them from here.
+}
+
+std::set<SiteId> CoordinatorPrN::ExpectedAckers(const CoordTxnState& st,
+                                                Outcome outcome) const {
+  (void)outcome;
+  return SitesOf(st.participants);  // Everyone acknowledges everything.
+}
+
+std::pair<Outcome, bool> CoordinatorPrN::AnswerUnknownInquiry(
+    TxnId txn, SiteId inquirer) {
+  (void)txn;
+  (void)inquirer;
+  // The hidden presumption: an unknown transaction was active at the time
+  // of a failure and is considered aborted.
+  return {Outcome::kAbort, /*by_presumption=*/true};
+}
+
+void CoordinatorPrN::RecoverTxn(const TxnLogSummary& summary) {
+  // The only coordinator-side PrN records are decision records (with the
+  // participant list) and END records; the base skips ended transactions.
+  if (!summary.decision.has_value()) return;
+  ReinitiateDecision(summary.txn, ProtocolKind::kPrN, summary.participants,
+                     *summary.decision, SitesOf(summary.participants));
+}
+
+}  // namespace prany

@@ -1,0 +1,37 @@
+// Presumed-nothing (basic 2PC) coordinator — Figure 2 of the paper.
+//
+// Treats commits and aborts uniformly: the decision record is always
+// force-written (naming the participants — there is no initiation record),
+// every participant must acknowledge, and an END record closes the
+// transaction. After a coordinator failure, transactions with no log
+// records are answered "abort" — PrN's *hidden* presumption (appendix).
+
+#ifndef PRANY_PROTOCOL_COORDINATOR_PRN_H_
+#define PRANY_PROTOCOL_COORDINATOR_PRN_H_
+
+#include <utility>
+
+#include "protocol/coordinator_base.h"
+
+namespace prany {
+
+class CoordinatorPrN : public CoordinatorBase {
+ public:
+  explicit CoordinatorPrN(EngineContext ctx)
+      : CoordinatorBase(std::move(ctx), ProtocolKind::kPrN) {}
+
+ protected:
+  bool WritesInitiation(ProtocolKind mode) const override;
+  DecisionLogPolicy DecisionPolicy(ProtocolKind mode,
+                                   Outcome outcome) const override;
+  bool DecisionNamesParticipants(ProtocolKind mode) const override;
+  std::set<SiteId> ExpectedAckers(const CoordTxnState& st,
+                                  Outcome outcome) const override;
+  std::pair<Outcome, bool> AnswerUnknownInquiry(TxnId txn,
+                                                SiteId inquirer) override;
+  void RecoverTxn(const TxnLogSummary& summary) override;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_COORDINATOR_PRN_H_

@@ -1,0 +1,90 @@
+#include "protocol/coordinator_u2pc.h"
+
+#include "common/status.h"
+
+namespace prany {
+
+CoordinatorU2PC::CoordinatorU2PC(EngineContext ctx, ProtocolKind native)
+    : CoordinatorBase(std::move(ctx), ProtocolKind::kU2PC), native_(native) {
+  PRANY_CHECK_MSG(IsBaseProtocol(native),
+                  "U2PC wraps a base protocol (PrN, PrA or PrC)");
+}
+
+ProtocolKind CoordinatorU2PC::SelectMode(const Transaction& txn) {
+  (void)txn;
+  return native_;  // U2PC always speaks its own protocol.
+}
+
+bool CoordinatorU2PC::WritesInitiation(ProtocolKind mode) const {
+  return mode == ProtocolKind::kPrC;
+}
+
+DecisionLogPolicy CoordinatorU2PC::DecisionPolicy(ProtocolKind mode,
+                                                  Outcome outcome) const {
+  if (mode == ProtocolKind::kPrN) return DecisionLogPolicy::kForced;
+  // PrA and PrC both skip logging the outcome their presumption covers.
+  Outcome presumed =
+      mode == ProtocolKind::kPrA ? Outcome::kAbort : Outcome::kCommit;
+  // PrC presumes commit yet *forces* commit records (they eliminate the
+  // initiation record); only aborts go unlogged. PrA skips abort records.
+  if (mode == ProtocolKind::kPrC) {
+    return outcome == Outcome::kCommit ? DecisionLogPolicy::kForced
+                                       : DecisionLogPolicy::kNone;
+  }
+  return outcome == presumed ? DecisionLogPolicy::kNone
+                             : DecisionLogPolicy::kForced;
+}
+
+bool CoordinatorU2PC::DecisionNamesParticipants(ProtocolKind mode) const {
+  return mode != ProtocolKind::kPrC;
+}
+
+bool CoordinatorU2PC::NativeExpectsAcks(Outcome outcome) const {
+  switch (native_) {
+    case ProtocolKind::kPrN:
+      return true;
+    case ProtocolKind::kPrA:
+      return outcome == Outcome::kCommit;
+    case ProtocolKind::kPrC:
+      return outcome == Outcome::kAbort;
+    default:
+      return true;
+  }
+}
+
+std::set<SiteId> CoordinatorU2PC::ExpectedAckers(const CoordTxnState& st,
+                                                 Outcome outcome) const {
+  if (!NativeExpectsAcks(outcome)) return {};
+  // The U2PC adjustment (§2): among the participants the native protocol
+  // would await, wait only for those whose own protocol actually
+  // acknowledges this outcome — the others would block completion forever.
+  return AckersAmong(st.participants, outcome);
+}
+
+std::pair<Outcome, bool> CoordinatorU2PC::AnswerUnknownInquiry(
+    TxnId txn, SiteId inquirer) {
+  (void)txn;
+  (void)inquirer;
+  // The native presumption, regardless of who asks — the root cause of
+  // the Theorem 1 violations.
+  Outcome presumed = native_ == ProtocolKind::kPrC ? Outcome::kCommit
+                                                   : Outcome::kAbort;
+  return {presumed, /*by_presumption=*/true};
+}
+
+void CoordinatorU2PC::RecoverTxn(const TxnLogSummary& summary) {
+  if (summary.has_initiation) {  // Native PrC.
+    if (summary.decision == Outcome::kCommit) {
+      ctx().log->ReleaseTransaction(summary.txn);
+      return;
+    }
+    ReinitiateDecision(summary.txn, native_, summary.participants,
+                       Outcome::kAbort, SitesOf(summary.participants));
+    return;
+  }
+  if (!summary.decision.has_value()) return;
+  ReinitiateDecision(summary.txn, native_, summary.participants,
+                     *summary.decision, SitesOf(summary.participants));
+}
+
+}  // namespace prany

@@ -1,0 +1,55 @@
+// Union two-phase commit (U2PC) — the strawman integration of §2.
+//
+// A U2PC coordinator follows its *native* protocol (PrN, PrA or PrC) while
+// talking to heterogeneous participants. It knows which participants will
+// never acknowledge a given outcome, so it waits only for the ones that
+// will ("the coordinator forgets the outcome once it has received the
+// acknowledgment of the PrC participant, knowing that the PrA will never
+// acknowledge such a decision"), and it ignores acknowledgments its
+// protocol does not expect. Crucially, it answers inquiries about
+// forgotten transactions with its *native* presumption.
+//
+// Theorem 1 shows this forgets too early: a participant whose presumption
+// disagrees with the coordinator's can be told the wrong outcome. This
+// class exists so the theorem is reproduced by running code — see
+// tests/integration/u2pc_violation_test.cc and bench_violation_rates.
+
+#ifndef PRANY_PROTOCOL_COORDINATOR_U2PC_H_
+#define PRANY_PROTOCOL_COORDINATOR_U2PC_H_
+
+#include <utility>
+
+#include "protocol/coordinator_base.h"
+
+namespace prany {
+
+class CoordinatorU2PC : public CoordinatorBase {
+ public:
+  /// `native` must be a base protocol; it is the protocol this coordinator
+  /// "speaks" (logging, end records, presumption).
+  CoordinatorU2PC(EngineContext ctx, ProtocolKind native);
+
+  ProtocolKind native() const { return native_; }
+
+ protected:
+  ProtocolKind SelectMode(const Transaction& txn) override;
+  bool WritesInitiation(ProtocolKind mode) const override;
+  DecisionLogPolicy DecisionPolicy(ProtocolKind mode,
+                                   Outcome outcome) const override;
+  bool DecisionNamesParticipants(ProtocolKind mode) const override;
+  std::set<SiteId> ExpectedAckers(const CoordTxnState& st,
+                                  Outcome outcome) const override;
+  std::pair<Outcome, bool> AnswerUnknownInquiry(TxnId txn,
+                                                SiteId inquirer) override;
+  void RecoverTxn(const TxnLogSummary& summary) override;
+
+ private:
+  /// Whether the native protocol awaits acknowledgments for `outcome`.
+  bool NativeExpectsAcks(Outcome outcome) const;
+
+  ProtocolKind native_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_COORDINATOR_U2PC_H_

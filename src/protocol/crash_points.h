@@ -1,0 +1,79 @@
+// Named instrumentation points where a site may be crashed.
+//
+// The paper's proofs quantify over failure *timings* ("the participant
+// fails after it has received the final outcome but before writing it in
+// its stable log"). Each such timing is a named point; the protocol
+// engines probe the failure injector at every point, and a positive probe
+// crashes the site exactly there. This turns the proofs' adversarial
+// schedules into deterministic, enumerable test inputs.
+
+#ifndef PRANY_PROTOCOL_CRASH_POINTS_H_
+#define PRANY_PROTOCOL_CRASH_POINTS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace prany {
+
+/// Where, within the protocol, a crash is injected.
+enum class CrashPoint : uint8_t {
+  // Coordinator-side points.
+  kCoordAfterInitiationLogged = 0,  ///< Initiation record durable, no
+                                    ///< PREPAREs sent yet.
+  kCoordAfterPreparesSent = 1,
+  kCoordAfterDecisionMade = 2,      ///< Decision durable (or chosen, for
+                                    ///< never-logged aborts); nothing sent.
+  kCoordAfterDecisionSent = 3,      ///< Decision messages out, acks pending.
+  kCoordBeforeForget = 4,           ///< All acks in, end record not yet
+                                    ///< written.
+
+  // Participant-side points.
+  kPartOnPrepareReceived = 5,       ///< PREPARE arrived, nothing logged.
+  kPartAfterPreparedLogged = 6,     ///< PREPARED durable, vote not sent.
+  kPartAfterVoteSent = 7,
+  kPartOnDecisionReceived = 8,      ///< Decision arrived, decision record
+                                    ///< not yet written — the Theorem 1
+                                    ///< window.
+  kPartAfterDecisionLogged = 9,     ///< Decision record appended (maybe
+                                    ///< non-forced), ack not sent.
+  kPartAfterAckSent = 10,
+};
+
+inline constexpr std::array<CrashPoint, 11> kAllCrashPoints = {
+    CrashPoint::kCoordAfterInitiationLogged,
+    CrashPoint::kCoordAfterPreparesSent,
+    CrashPoint::kCoordAfterDecisionMade,
+    CrashPoint::kCoordAfterDecisionSent,
+    CrashPoint::kCoordBeforeForget,
+    CrashPoint::kPartOnPrepareReceived,
+    CrashPoint::kPartAfterPreparedLogged,
+    CrashPoint::kPartAfterVoteSent,
+    CrashPoint::kPartOnDecisionReceived,
+    CrashPoint::kPartAfterDecisionLogged,
+    CrashPoint::kPartAfterAckSent,
+};
+
+inline constexpr std::array<CrashPoint, 5> kCoordinatorCrashPoints = {
+    CrashPoint::kCoordAfterInitiationLogged,
+    CrashPoint::kCoordAfterPreparesSent,
+    CrashPoint::kCoordAfterDecisionMade,
+    CrashPoint::kCoordAfterDecisionSent,
+    CrashPoint::kCoordBeforeForget,
+};
+
+inline constexpr std::array<CrashPoint, 6> kParticipantCrashPoints = {
+    CrashPoint::kPartOnPrepareReceived,
+    CrashPoint::kPartAfterPreparedLogged,
+    CrashPoint::kPartAfterVoteSent,
+    CrashPoint::kPartOnDecisionReceived,
+    CrashPoint::kPartAfterDecisionLogged,
+    CrashPoint::kPartAfterAckSent,
+};
+
+/// Human-readable point name.
+std::string ToString(CrashPoint point);
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_CRASH_POINTS_H_

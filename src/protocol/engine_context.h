@@ -1,0 +1,91 @@
+// Services a protocol engine (coordinator or participant) receives from
+// its hosting Site: the event loop, the network, its stable log, the
+// shared history recorder, metrics, and the failure-injection probe.
+
+#ifndef PRANY_PROTOCOL_ENGINE_CONTEXT_H_
+#define PRANY_PROTOCOL_ENGINE_CONTEXT_H_
+
+#include <functional>
+
+#include "common/metrics.h"
+#include "history/event_log.h"
+#include "net/network.h"
+#include "protocol/crash_points.h"
+#include "sim/simulator.h"
+#include "wal/stable_log.h"
+
+namespace prany {
+
+/// Timeout and retry policy shared by all engines of a system.
+struct TimingConfig {
+  /// Coordinator: how long to wait for votes before deciding abort.
+  SimDuration vote_timeout = 50'000;  // 50 ms
+
+  /// Coordinator: decision retransmission period while acks are missing.
+  SimDuration decision_resend_interval = 20'000;
+
+  /// Coordinator: 0 = retransmit until acked. C2PC sets a finite cap so
+  /// runs quiesce even though its entries can never complete (the
+  /// participant side still converges via pull-based inquiries).
+  uint32_t max_decision_resends = 0;
+
+  /// Participant: period between in-doubt INQUIRY retries.
+  SimDuration inquiry_interval = 20'000;
+
+  /// Simulated latency of one forced log write (charged before the write
+  /// "completes"; non-forced appends are free at append time).
+  SimDuration forced_write_latency = 0;
+};
+
+/// Dependency bundle handed to engines by their Site.
+struct EngineContext {
+  SiteId self = kInvalidSite;
+  Simulator* sim = nullptr;
+  Network* net = nullptr;
+  StableLog* log = nullptr;
+  EventLog* history = nullptr;
+  MetricsRegistry* metrics = nullptr;  ///< May be null.
+  TimingConfig timing;
+
+  /// Failure-injection probe. Called by engines at every CrashPoint; when
+  /// it returns true the site has *already crashed* (volatile state is
+  /// gone) and the engine must return immediately without touching its
+  /// members. Null means "never crash here".
+  std::function<bool(CrashPoint, TxnId)> crash_probe;
+
+  /// Liveness query for deferred sends (null means "always up").
+  std::function<bool()> is_up;
+
+  /// Convenience: probe the failure injector at `point`.
+  bool MaybeCrash(CrashPoint point, TxnId txn) const {
+    return crash_probe != nullptr && crash_probe(point, txn);
+  }
+
+  void Count(const std::string& name, int64_t delta = 1) const {
+    if (metrics != nullptr) metrics->Add(name, delta);
+  }
+
+  void Trace(std::string text) const { sim->Trace(std::move(text)); }
+
+  /// Sends `msg` after `delay` (used to charge forced-write latency to the
+  /// messages that depend on the write). The send is suppressed if the
+  /// site crashed in the meantime. delay == 0 sends immediately.
+  void Send(const Message& msg, SimDuration delay = 0) const {
+    if (delay == 0) {
+      net->Send(msg);
+      return;
+    }
+    Network* net_ptr = net;
+    std::function<bool()> up = is_up;
+    sim->Schedule(
+        delay,
+        [net_ptr, up, msg]() {
+          if (up == nullptr || up()) net_ptr->Send(msg);
+        },
+        "ctx.deferred_send");
+  }
+};
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_ENGINE_CONTEXT_H_

@@ -1,0 +1,186 @@
+#include "protocol/participant.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "net/message.h"
+#include "wal/log_analyzer.h"
+
+namespace prany {
+
+ParticipantEngine::ParticipantEngine(EngineContext ctx, ProtocolKind protocol)
+    : ctx_(std::move(ctx)), protocol_(protocol) {
+  PRANY_CHECK_MSG(IsBaseProtocol(protocol),
+                  "participants speak PrN, PrA or PrC");
+}
+
+ParticipantEngine::~ParticipantEngine() = default;
+
+void ParticipantEngine::SetPlannedVote(TxnId txn, Vote vote) {
+  planned_votes_[txn] = vote;
+}
+
+void ParticipantEngine::OnPrepare(const Message& msg) {
+  TxnId txn = msg.txn;
+  if (ctx_.MaybeCrash(CrashPoint::kPartOnPrepareReceived, txn)) return;
+
+  auto it = prepared_.find(txn);
+  if (it != prepared_.end()) {
+    // Duplicate PREPARE (network duplication): we are prepared, so the
+    // original vote was yes — resend it.
+    ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kYes));
+    return;
+  }
+
+  Vote vote = Vote::kYes;
+  if (auto planned = planned_votes_.find(txn);
+      planned != planned_votes_.end()) {
+    vote = planned->second;
+  }
+
+  if (vote == Vote::kReadOnly) {
+    // Read-only optimization (§5 / R*): nothing was written here, so the
+    // outcome is irrelevant to this site — vote read-only, log nothing,
+    // release everything and leave the protocol immediately. The
+    // coordinator will not send this site the decision.
+    ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                  .type = SigEventType::kPartForget,
+                                  .site = ctx_.self,
+                                  .txn = txn});
+    ctx_.Count("part.vote_read_only");
+    ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kReadOnly));
+    return;
+  }
+
+  if (vote == Vote::kNo) {
+    // Local failure: abort unilaterally, tell the coordinator, and forget.
+    // Nothing was logged, so there is nothing to recover (§ appendix:
+    // a participant that never voted yes may abort on its own).
+    ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                  .type = SigEventType::kPartEnforce,
+                                  .site = ctx_.self,
+                                  .txn = txn,
+                                  .outcome = Outcome::kAbort});
+    ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                  .type = SigEventType::kPartForget,
+                                  .site = ctx_.self,
+                                  .txn = txn});
+    ctx_.Count("part.vote_no");
+    ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kNo));
+    return;
+  }
+
+  // Vote yes: force-write PREPARED before the vote leaves the site
+  // (Figures 1-4: every variant forces the prepared record).
+  ctx_.log->Append(LogRecord::Prepared(txn, msg.from), /*force=*/true);
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kPartPrepared,
+                                .site = ctx_.self,
+                                .txn = txn});
+  if (ctx_.MaybeCrash(CrashPoint::kPartAfterPreparedLogged, txn)) return;
+
+  StartInquiryTimer(txn, msg.from);
+  ctx_.Count("part.prepared");
+  ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kYes),
+            ctx_.timing.forced_write_latency);
+  if (ctx_.MaybeCrash(CrashPoint::kPartAfterVoteSent, txn)) return;
+}
+
+void ParticipantEngine::OnDecision(const Message& msg) {
+  if (ctx_.MaybeCrash(CrashPoint::kPartOnDecisionReceived, msg.txn)) return;
+  HandleOutcome(msg.txn, msg.from, msg.outcome);
+}
+
+void ParticipantEngine::OnInquiryReply(const Message& msg) {
+  // An inquiry reply *is* the final decision as far as the participant is
+  // concerned; the handling is identical (§4.2).
+  if (ctx_.MaybeCrash(CrashPoint::kPartOnDecisionReceived, msg.txn)) return;
+  HandleOutcome(msg.txn, msg.from, msg.outcome);
+}
+
+void ParticipantEngine::HandleOutcome(TxnId txn, SiteId coordinator,
+                                      Outcome outcome) {
+  auto it = prepared_.find(txn);
+  if (it == prepared_.end()) {
+    // Footnote 5: a participant without any memory of the transaction is
+    // assumed to have already enforced the decision — simply acknowledge.
+    ctx_.Count("part.no_memory_ack");
+    SendAckIfExpected(txn, coordinator, outcome);
+    return;
+  }
+
+  // Write the decision record; whether it is forced is the protocol's
+  // signature cost (PrA: aborts lazy; PrC: commits lazy; PrN: both forced).
+  bool force = ParticipantForcesDecision(protocol_, outcome);
+  ctx_.log->Append(LogRecord::Decision(txn, outcome), force);
+  if (ctx_.MaybeCrash(CrashPoint::kPartAfterDecisionLogged, txn)) return;
+
+  EnforceAndForget(txn, outcome);
+  SendAckIfExpected(txn, coordinator, outcome);
+  if (ctx_.MaybeCrash(CrashPoint::kPartAfterAckSent, txn)) return;
+}
+
+void ParticipantEngine::EnforceAndForget(TxnId txn, Outcome outcome) {
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kPartEnforce,
+                                .site = ctx_.self,
+                                .txn = txn,
+                                .outcome = outcome});
+  ctx_.Count(outcome == Outcome::kCommit ? "part.enforced_commit"
+                                         : "part.enforced_abort");
+  prepared_.erase(txn);
+  ctx_.log->ReleaseTransaction(txn);
+  ctx_.log->Truncate();
+  ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                .type = SigEventType::kPartForget,
+                                .site = ctx_.self,
+                                .txn = txn});
+}
+
+void ParticipantEngine::SendAckIfExpected(TxnId txn, SiteId coordinator,
+                                          Outcome outcome) {
+  if (!ParticipantAcks(protocol_, outcome)) return;
+  // Acks that follow a forced decision write are delayed by the write.
+  SimDuration delay = ParticipantForcesDecision(protocol_, outcome)
+                          ? ctx_.timing.forced_write_latency
+                          : 0;
+  ctx_.Send(Message::Ack(txn, ctx_.self, coordinator, outcome), delay);
+}
+
+void ParticipantEngine::StartInquiryTimer(TxnId txn, SiteId coordinator) {
+  PreparedTxn entry;
+  entry.coordinator = coordinator;
+  entry.inquiry_timer = std::make_unique<PeriodicTimer>(ctx_.sim);
+  SiteId self = ctx_.self;
+  Network* net = ctx_.net;
+  entry.inquiry_timer->Start(
+      ctx_.timing.inquiry_interval,
+      [net, txn, self, coordinator]() {
+        net->Send(Message::Inquiry(txn, self, coordinator));
+      },
+      StrFormat("part.inquiry txn=%llu",
+                static_cast<unsigned long long>(txn)));
+  prepared_[txn] = std::move(entry);
+}
+
+void ParticipantEngine::Crash() { prepared_.clear(); }
+
+void ParticipantEngine::Recover() {
+  auto summaries = LogAnalyzer::Analyze(ctx_.log->StableRecords());
+  for (const auto& [txn, summary] : summaries) {
+    if (!summary.has_prepared) continue;  // Coordinator-side records.
+    if (summary.decision.has_value()) {
+      // Crashed between writing the decision record and forgetting:
+      // re-enforce (redo; idempotent) and forget. If the coordinator still
+      // needs an acknowledgment it will retransmit the decision and the
+      // no-memory path will acknowledge it.
+      EnforceAndForget(txn, *summary.decision);
+      continue;
+    }
+    // In doubt: resume periodic inquiries and ask immediately (§4.2).
+    StartInquiryTimer(txn, summary.coordinator);
+    ctx_.Count("part.recovered_in_doubt");
+    ctx_.net->Send(Message::Inquiry(txn, ctx_.self, summary.coordinator));
+  }
+}
+
+}  // namespace prany

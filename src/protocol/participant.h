@@ -1,0 +1,92 @@
+// The participant-side protocol engine.
+//
+// One engine per site handles all transactions in which the site
+// participates. PrN, PrA and PrC participants share this engine — their
+// behavioural differences (which decisions they acknowledge, which
+// decision records they force) are entirely captured by ParticipantTraits,
+// exactly as Figures 2-4 of the paper differ only in those columns.
+//
+// Lifecycle per transaction:
+//   PREPARE arrives -> vote no  -> enforce local abort, reply VOTE(no),
+//                                  forget immediately
+//                   -> vote yes -> force-write PREPARED, reply VOTE(yes),
+//                                  start the in-doubt inquiry timer
+//   DECISION / INQUIRY_REPLY arrives while prepared
+//                   -> write decision record (forced per traits), enforce,
+//                      acknowledge per traits, forget
+//   DECISION for an unknown transaction
+//                   -> acknowledge per traits (footnote 5 of the paper: a
+//                      participant with no memory has already enforced and
+//                      forgotten the decision)
+//   crash           -> volatile state lost; recovery re-builds from the
+//                      stable log: in-doubt transactions resume inquiring,
+//                      decided ones re-enforce (redo) and are forgotten.
+
+#ifndef PRANY_PROTOCOL_PARTICIPANT_H_
+#define PRANY_PROTOCOL_PARTICIPANT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/types.h"
+#include "protocol/engine_context.h"
+#include "protocol/protocol_traits.h"
+#include "sim/timer.h"
+
+namespace prany {
+
+/// Participant engine for one site.
+class ParticipantEngine {
+ public:
+  /// `protocol` must be a base protocol (PrN, PrA or PrC).
+  ParticipantEngine(EngineContext ctx, ProtocolKind protocol);
+  ~ParticipantEngine();
+
+  ParticipantEngine(const ParticipantEngine&) = delete;
+  ParticipantEngine& operator=(const ParticipantEngine&) = delete;
+
+  ProtocolKind protocol() const { return protocol_; }
+
+  /// Registers how this site will vote for `txn` when asked to prepare
+  /// (defaults to yes). Models the outcome of local execution.
+  void SetPlannedVote(TxnId txn, Vote vote);
+
+  /// Message entry points (called by the Site's dispatcher).
+  void OnPrepare(const Message& msg);
+  void OnDecision(const Message& msg);        // kDecision
+  void OnInquiryReply(const Message& msg);    // kInquiryReply
+
+  /// Site crash: volatile state is wiped (the stable log is crashed by the
+  /// Site, which owns it).
+  void Crash();
+
+  /// Site recovery: rebuild from the stable log (already crash-truncated).
+  void Recover();
+
+  /// In-flight (prepared, in-doubt) transactions.
+  size_t ActiveTxns() const { return prepared_.size(); }
+  bool IsInDoubt(TxnId txn) const { return prepared_.count(txn) > 0; }
+
+ private:
+  struct PreparedTxn {
+    SiteId coordinator = kInvalidSite;
+    std::unique_ptr<PeriodicTimer> inquiry_timer;
+  };
+
+  /// Shared tail of OnDecision/OnInquiryReply.
+  void HandleOutcome(TxnId txn, SiteId coordinator, Outcome outcome);
+
+  void StartInquiryTimer(TxnId txn, SiteId coordinator);
+  void SendAckIfExpected(TxnId txn, SiteId coordinator, Outcome outcome);
+  void EnforceAndForget(TxnId txn, Outcome outcome);
+
+  EngineContext ctx_;
+  ProtocolKind protocol_;
+  std::map<TxnId, Vote> planned_votes_;
+  std::map<TxnId, PreparedTxn> prepared_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_PARTICIPANT_H_

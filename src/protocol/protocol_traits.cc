@@ -1,0 +1,89 @@
+#include "protocol/protocol_traits.h"
+
+#include "common/status.h"
+#include "protocol/crash_points.h"
+
+namespace prany {
+
+const ParticipantTraits& TraitsFor(ProtocolKind kind) {
+  // Figures 2-4 of the paper, column by column.
+  static const ParticipantTraits kPrNTraits{/*ack_commit=*/true,
+                                            /*ack_abort=*/true,
+                                            /*force_commit_record=*/true,
+                                            /*force_abort_record=*/true};
+  static const ParticipantTraits kPrATraits{/*ack_commit=*/true,
+                                            /*ack_abort=*/false,
+                                            /*force_commit_record=*/true,
+                                            /*force_abort_record=*/false};
+  static const ParticipantTraits kPrCTraits{/*ack_commit=*/false,
+                                            /*ack_abort=*/true,
+                                            /*force_commit_record=*/false,
+                                            /*force_abort_record=*/true};
+  switch (kind) {
+    case ProtocolKind::kPrN:
+      return kPrNTraits;
+    case ProtocolKind::kPrA:
+      return kPrATraits;
+    case ProtocolKind::kPrC:
+      return kPrCTraits;
+    default:
+      PRANY_CHECK_MSG(false, "traits exist only for base protocols");
+      return kPrNTraits;
+  }
+}
+
+bool ParticipantAcks(ProtocolKind kind, Outcome outcome) {
+  const ParticipantTraits& t = TraitsFor(kind);
+  return outcome == Outcome::kCommit ? t.ack_commit : t.ack_abort;
+}
+
+bool ParticipantForcesDecision(ProtocolKind kind, Outcome outcome) {
+  const ParticipantTraits& t = TraitsFor(kind);
+  return outcome == Outcome::kCommit ? t.force_commit_record
+                                     : t.force_abort_record;
+}
+
+std::set<SiteId> AckersAmong(const std::vector<ParticipantInfo>& participants,
+                             Outcome outcome) {
+  std::set<SiteId> out;
+  for (const ParticipantInfo& p : participants) {
+    if (ParticipantAcks(p.protocol, outcome)) out.insert(p.site);
+  }
+  return out;
+}
+
+std::set<SiteId> SitesOf(const std::vector<ParticipantInfo>& participants) {
+  std::set<SiteId> out;
+  for (const ParticipantInfo& p : participants) out.insert(p.site);
+  return out;
+}
+
+std::string ToString(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kCoordAfterInitiationLogged:
+      return "coord.after_initiation_logged";
+    case CrashPoint::kCoordAfterPreparesSent:
+      return "coord.after_prepares_sent";
+    case CrashPoint::kCoordAfterDecisionMade:
+      return "coord.after_decision_made";
+    case CrashPoint::kCoordAfterDecisionSent:
+      return "coord.after_decision_sent";
+    case CrashPoint::kCoordBeforeForget:
+      return "coord.before_forget";
+    case CrashPoint::kPartOnPrepareReceived:
+      return "part.on_prepare_received";
+    case CrashPoint::kPartAfterPreparedLogged:
+      return "part.after_prepared_logged";
+    case CrashPoint::kPartAfterVoteSent:
+      return "part.after_vote_sent";
+    case CrashPoint::kPartOnDecisionReceived:
+      return "part.on_decision_received";
+    case CrashPoint::kPartAfterDecisionLogged:
+      return "part.after_decision_logged";
+    case CrashPoint::kPartAfterAckSent:
+      return "part.after_ack_sent";
+  }
+  return "unknown";
+}
+
+}  // namespace prany

@@ -1,0 +1,49 @@
+// Participant-side behavioural differences between PrN, PrA and PrC,
+// transcribed from Figures 2, 3 and 4 of the paper.
+//
+//            | acks commit | acks abort | forces commit rec | forces abort rec
+//   PrN      |    yes      |    yes     |       yes         |      yes
+//   PrA      |    yes      |    no      |       yes         |      no
+//   PrC      |    no       |    yes     |       no          |      yes
+//
+// The asymmetry is the whole point: each presumed protocol skips the ack
+// and the forced decision write on the outcome its presumption covers.
+
+#ifndef PRANY_PROTOCOL_PROTOCOL_TRAITS_H_
+#define PRANY_PROTOCOL_PROTOCOL_TRAITS_H_
+
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace prany {
+
+/// Participant behaviour knobs for one base protocol.
+struct ParticipantTraits {
+  bool ack_commit = true;
+  bool ack_abort = true;
+  bool force_commit_record = true;
+  bool force_abort_record = true;
+};
+
+/// Traits for a base protocol (PrN/PrA/PrC). CHECKs on non-base kinds.
+const ParticipantTraits& TraitsFor(ProtocolKind kind);
+
+/// Whether a `kind` participant acknowledges a `outcome` decision.
+bool ParticipantAcks(ProtocolKind kind, Outcome outcome);
+
+/// Whether a `kind` participant force-writes its `outcome` decision
+/// record (non-forced otherwise).
+bool ParticipantForcesDecision(ProtocolKind kind, Outcome outcome);
+
+/// The subset of `participants` whose protocol acknowledges `outcome`.
+std::set<SiteId> AckersAmong(const std::vector<ParticipantInfo>& participants,
+                             Outcome outcome);
+
+/// All participant sites.
+std::set<SiteId> SitesOf(const std::vector<ParticipantInfo>& participants);
+
+}  // namespace prany
+
+#endif  // PRANY_PROTOCOL_PROTOCOL_TRAITS_H_

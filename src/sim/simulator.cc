@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace prany {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::Schedule(SimDuration delay, Callback cb,
+                            std::string label) {
+  return ScheduleAt(now_ + delay, std::move(cb), std::move(label));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, Callback cb, std::string label) {
+  PRANY_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  PRANY_CHECK(cb != nullptr);
+  uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(cb), std::move(label)});
+  return EventId{seq};
+}
+
+void Simulator::Cancel(EventId id) {
+  if (!id.valid()) return;
+  cancelled_.insert(id.seq);
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+RunStats Simulator::Run(uint64_t max_events, SimTime until) {
+  RunStats stats;
+  while (true) {
+    // Drop cancelled events from the front without counting them.
+    while (!queue_.empty() && cancelled_.count(queue_.top().seq) > 0) {
+      cancelled_.erase(queue_.top().seq);
+      queue_.pop();
+    }
+    if (queue_.empty()) break;
+    if (queue_.top().time > until) {
+      stats.hit_time_limit = true;
+      break;
+    }
+    if (stats.events_executed >= max_events) {
+      stats.hit_event_limit = true;
+      break;
+    }
+    Step();
+    ++stats.events_executed;
+  }
+  stats.end_time = now_;
+  return stats;
+}
+
+}  // namespace prany

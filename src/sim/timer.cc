@@ -1,0 +1,52 @@
+#include "sim/timer.h"
+
+namespace prany {
+
+void OneShotTimer::Arm(SimDuration delay, std::function<void()> cb,
+                       std::string label) {
+  Cancel();
+  pending_ = sim_->Schedule(
+      delay,
+      [this, cb = std::move(cb)]() {
+        pending_ = EventId{};
+        cb();
+      },
+      std::move(label));
+}
+
+void OneShotTimer::Cancel() {
+  if (pending_.valid()) {
+    sim_->Cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+void PeriodicTimer::Start(SimDuration period, std::function<void()> cb,
+                          std::string label) {
+  Stop();
+  period_ = period;
+  cb_ = std::move(cb);
+  label_ = std::move(label);
+  running_ = true;
+  pending_ = sim_->Schedule(period_, [this]() { FireAndReschedule(); },
+                            label_);
+}
+
+void PeriodicTimer::Stop() {
+  if (pending_.valid()) {
+    sim_->Cancel(pending_);
+    pending_ = EventId{};
+  }
+  running_ = false;
+}
+
+void PeriodicTimer::FireAndReschedule() {
+  pending_ = EventId{};
+  cb_();
+  if (running_) {
+    pending_ = sim_->Schedule(period_, [this]() { FireAndReschedule(); },
+                              label_);
+  }
+}
+
+}  // namespace prany

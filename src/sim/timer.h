@@ -1,0 +1,73 @@
+// Restartable one-shot and periodic timers over the Simulator.
+//
+// Protocol engines use these for decision retransmission and participant
+// in-doubt inquiries. Timers are owned by their engine and automatically
+// cancel on destruction, so a forgotten transaction leaves no stray events
+// keeping the simulation alive.
+
+#ifndef PRANY_SIM_TIMER_H_
+#define PRANY_SIM_TIMER_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace prany {
+
+/// One-shot timer. Arm() replaces any pending firing.
+class OneShotTimer {
+ public:
+  explicit OneShotTimer(Simulator* sim) : sim_(sim) {}
+  ~OneShotTimer() { Cancel(); }
+
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  /// Schedules `cb` to fire after `delay`, replacing any pending firing.
+  void Arm(SimDuration delay, std::function<void()> cb,
+           std::string label = "timer");
+
+  /// Cancels the pending firing (no-op if not armed).
+  void Cancel();
+
+  bool armed() const { return pending_.valid(); }
+
+ private:
+  Simulator* sim_;
+  EventId pending_;
+};
+
+/// Periodic timer: fires every `period` until stopped. The callback runs
+/// before the next firing is scheduled, so it may Stop() the timer.
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(Simulator* sim) : sim_(sim) {}
+  ~PeriodicTimer() { Stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts firing every `period`, first firing after `period`.
+  void Start(SimDuration period, std::function<void()> cb,
+             std::string label = "periodic");
+
+  void Stop();
+
+  bool running() const { return running_; }
+
+ private:
+  void FireAndReschedule();
+
+  Simulator* sim_;
+  SimDuration period_ = 0;
+  std::function<void()> cb_;
+  std::string label_;
+  EventId pending_;
+  bool running_ = false;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_SIM_TIMER_H_

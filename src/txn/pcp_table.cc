@@ -1,0 +1,67 @@
+#include "txn/pcp_table.h"
+
+namespace prany {
+
+Status PcpTable::RegisterSite(SiteId site, ProtocolKind protocol) {
+  if (site == kInvalidSite) {
+    return Status::InvalidArgument("invalid site id");
+  }
+  if (!IsBaseProtocol(protocol)) {
+    return Status::InvalidArgument(
+        "participants must speak PrN, PrA or PrC");
+  }
+  sites_[site] = protocol;
+  return Status::OK();
+}
+
+Status PcpTable::UnregisterSite(SiteId site) {
+  if (sites_.erase(site) == 0) {
+    return Status::NotFound("site not registered");
+  }
+  return Status::OK();
+}
+
+std::optional<ProtocolKind> PcpTable::ProtocolFor(SiteId site) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ParticipantInfo> PcpTable::AllSites() const {
+  std::vector<ParticipantInfo> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, protocol] : sites_) {
+    out.push_back(ParticipantInfo{site, protocol});
+  }
+  return out;
+}
+
+Status AppTable::Activate(SiteId site) {
+  if (!pcp_->ProtocolFor(site).has_value()) {
+    return Status::NotFound("site not in PCP");
+  }
+  ++active_[site];
+  return Status::OK();
+}
+
+Status AppTable::Deactivate(SiteId site) {
+  auto it = active_.find(site);
+  if (it == active_.end()) {
+    return Status::NotFound("site not active");
+  }
+  if (--it->second == 0) active_.erase(it);
+  return Status::OK();
+}
+
+std::optional<ProtocolKind> AppTable::ProtocolFor(SiteId site) const {
+  if (active_.count(site) == 0) {
+    ++cache_misses_;
+  }
+  return pcp_->ProtocolFor(site);
+}
+
+bool AppTable::IsActive(SiteId site) const {
+  return active_.count(site) > 0;
+}
+
+}  // namespace prany

@@ -1,0 +1,79 @@
+// Participants' Commit Protocol (PCP) table and its in-memory Active
+// Participants' Protocols (APP) view (§4 of the paper).
+//
+// The PCP maps every site in the federation to the 2PC variant it speaks.
+// It is kept on stable storage and updated when sites join or leave, so it
+// survives coordinator crashes — this is what lets a recovering or
+// forgetful PrAny coordinator adopt the *inquirer's* presumption. The APP
+// is the main-memory subset covering sites with active transactions; the
+// protocol selector (§4.1) reads it on the hot path.
+
+#ifndef PRANY_TXN_PCP_TABLE_H_
+#define PRANY_TXN_PCP_TABLE_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace prany {
+
+/// The stable site -> protocol registry.
+class PcpTable {
+ public:
+  /// Registers (or re-registers, e.g. after an upgrade) a site. Only base
+  /// protocols are valid for participants.
+  Status RegisterSite(SiteId site, ProtocolKind protocol);
+
+  /// Removes a site that left the federation.
+  Status UnregisterSite(SiteId site);
+
+  /// Protocol of `site`, or nullopt if unknown.
+  std::optional<ProtocolKind> ProtocolFor(SiteId site) const;
+
+  /// All registered sites with their protocols.
+  std::vector<ParticipantInfo> AllSites() const;
+
+  size_t Size() const { return sites_.size(); }
+
+ private:
+  std::map<SiteId, ProtocolKind> sites_;
+};
+
+/// Main-memory view over the PCP restricted to sites with active
+/// transactions. Reference-counted: a site stays in the APP while at least
+/// one in-flight transaction involves it. Volatile — cleared by a crash
+/// and repopulated as recovery re-activates transactions.
+class AppTable {
+ public:
+  explicit AppTable(const PcpTable* pcp) : pcp_(pcp) {}
+
+  /// Notes that an in-flight transaction involves `site`. The site must be
+  /// registered in the PCP.
+  Status Activate(SiteId site);
+
+  /// Releases one activation of `site`.
+  Status Deactivate(SiteId site);
+
+  /// Protocol of an *active* site; falls back to the stable PCP (a cache
+  /// miss, counted separately) for inactive ones.
+  std::optional<ProtocolKind> ProtocolFor(SiteId site) const;
+
+  bool IsActive(SiteId site) const;
+  size_t ActiveSites() const { return active_.size(); }
+  uint64_t CacheMisses() const { return cache_misses_; }
+
+  /// Crash: volatile view lost.
+  void Clear() { active_.clear(); }
+
+ private:
+  const PcpTable* pcp_;
+  std::map<SiteId, uint32_t> active_;  // site -> refcount
+  mutable uint64_t cache_misses_ = 0;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_TXN_PCP_TABLE_H_

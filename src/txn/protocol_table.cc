@@ -1,0 +1,55 @@
+#include "txn/protocol_table.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace prany {
+
+ProtocolKind CoordTxnState::ProtocolOf(SiteId site) const {
+  for (const ParticipantInfo& p : participants) {
+    if (p.site == site) return p.protocol;
+  }
+  PRANY_CHECK_MSG(false, "site is not a participant of this transaction");
+  return ProtocolKind::kPrN;
+}
+
+bool CoordTxnState::HasParticipant(SiteId site) const {
+  return std::any_of(
+      participants.begin(), participants.end(),
+      [site](const ParticipantInfo& p) { return p.site == site; });
+}
+
+CoordTxnState& ProtocolTable::Insert(CoordTxnState state) {
+  TxnId txn = state.txn;
+  auto [it, inserted] = entries_.emplace(txn, std::move(state));
+  PRANY_CHECK_MSG(inserted, "duplicate protocol-table entry");
+  max_size_ = std::max(max_size_, entries_.size());
+  return it->second;
+}
+
+CoordTxnState* ProtocolTable::Find(TxnId txn) {
+  auto it = entries_.find(txn);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CoordTxnState* ProtocolTable::Find(TxnId txn) const {
+  auto it = entries_.find(txn);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ProtocolTable::Erase(TxnId txn) { return entries_.erase(txn) > 0; }
+
+void ProtocolTable::Clear() { entries_.clear(); }
+
+std::vector<TxnId> ProtocolTable::TxnIds() const {
+  std::vector<TxnId> out;
+  out.reserve(entries_.size());
+  for (const auto& [txn, state] : entries_) {
+    (void)state;
+    out.push_back(txn);
+  }
+  return out;
+}
+
+}  // namespace prany

@@ -1,0 +1,93 @@
+// The coordinator's volatile protocol table.
+//
+// One entry per in-flight transaction on the coordinator. The table lives
+// in main memory: it is wiped by a crash and rebuilt from the stable log
+// during recovery (§4.2). "Forgetting" a transaction (DeletePT in the
+// paper's ACTA formulation) is exactly erasing its entry here.
+//
+// The table records its own high-water mark because Theorem 2's failure
+// mode — C2PC entries that can never be deleted — is measured as unbounded
+// growth of precisely this structure.
+
+#ifndef PRANY_TXN_PROTOCOL_TABLE_H_
+#define PRANY_TXN_PROTOCOL_TABLE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace prany {
+
+/// Commit-processing phase of one coordinator-side transaction.
+enum class CoordPhase : uint8_t {
+  kVoting = 0,    ///< PREPAREs sent, collecting votes.
+  kDeciding = 1,  ///< Decision made and sent, collecting acks.
+};
+
+/// Coordinator-side volatile state for one transaction.
+struct CoordTxnState {
+  TxnId txn = kInvalidTxn;
+
+  /// Protocol the coordinator chose for this transaction (for PrAny
+  /// coordinators this may be any of PrN/PrA/PrC/PrAny, §4.1).
+  ProtocolKind mode = ProtocolKind::kPrN;
+
+  std::vector<ParticipantInfo> participants;
+  CoordPhase phase = CoordPhase::kVoting;
+
+  /// Votes received so far (voting phase).
+  std::set<SiteId> yes_votes;
+  std::set<SiteId> no_votes;
+
+  /// Read-only voters: they left the protocol at voting time and are
+  /// excluded from the decision phase (§5's read-only optimization).
+  std::set<SiteId> read_only;
+
+  /// Decision, once made.
+  std::optional<Outcome> decision;
+
+  /// Participants whose acknowledgment is still awaited (decision phase).
+  std::set<SiteId> pending_acks;
+
+  /// Whether any acknowledgment was expected when the decision went out;
+  /// drives the END record (which closes an ack-collection phase).
+  bool acks_expected = false;
+
+  SimTime begin_time = 0;
+
+  ProtocolKind ProtocolOf(SiteId site) const;
+  bool HasParticipant(SiteId site) const;
+};
+
+/// Map of in-flight transactions with a high-water mark.
+class ProtocolTable {
+ public:
+  /// Inserts a fresh entry; CHECKs on duplicate txn.
+  CoordTxnState& Insert(CoordTxnState state);
+
+  /// Entry lookup; nullptr if absent (= forgotten).
+  CoordTxnState* Find(TxnId txn);
+  const CoordTxnState* Find(TxnId txn) const;
+
+  /// Forgets a transaction (DeletePT). Returns false if absent.
+  bool Erase(TxnId txn);
+
+  /// Wipes the table (site crash).
+  void Clear();
+
+  size_t Size() const { return entries_.size(); }
+  size_t MaxSize() const { return max_size_; }
+
+  std::vector<TxnId> TxnIds() const;
+
+ private:
+  std::map<TxnId, CoordTxnState> entries_;
+  size_t max_size_ = 0;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_TXN_PROTOCOL_TABLE_H_

@@ -1,0 +1,85 @@
+#include "txn/transaction.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace prany {
+
+std::vector<SiteId> Transaction::ParticipantSites() const {
+  std::vector<SiteId> out;
+  out.reserve(participants.size());
+  for (const ParticipantInfo& p : participants) out.push_back(p.site);
+  return out;
+}
+
+ProtocolKind Transaction::ProtocolOf(SiteId site) const {
+  for (const ParticipantInfo& p : participants) {
+    if (p.site == site) return p.protocol;
+  }
+  PRANY_CHECK_MSG(false, "site is not a participant");
+  return ProtocolKind::kPrN;
+}
+
+bool Transaction::HasParticipant(SiteId site) const {
+  for (const ParticipantInfo& p : participants) {
+    if (p.site == site) return true;
+  }
+  return false;
+}
+
+bool Transaction::AllVotesYes() const {
+  // Read-only votes do not block a commit.
+  for (const auto& [site, vote] : planned_votes) {
+    if (vote == Vote::kNo && HasParticipant(site)) return false;
+  }
+  return true;
+}
+
+Status Transaction::Validate() const {
+  if (id == kInvalidTxn) {
+    return Status::InvalidArgument("transaction id not set");
+  }
+  if (coordinator == kInvalidSite) {
+    return Status::InvalidArgument("coordinator not set");
+  }
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  std::set<SiteId> seen;
+  for (const ParticipantInfo& p : participants) {
+    if (!seen.insert(p.site).second) {
+      return Status::InvalidArgument("duplicate participant site");
+    }
+    if (!IsBaseProtocol(p.protocol)) {
+      return Status::InvalidArgument(
+          "participants must speak PrN, PrA or PrC");
+    }
+    if (p.site == coordinator) {
+      return Status::InvalidArgument(
+          "coordinator cannot also be a participant in this model");
+    }
+  }
+  for (const auto& [site, vote] : planned_votes) {
+    (void)vote;
+    if (seen.count(site) == 0) {
+      return Status::InvalidArgument("planned vote for non-participant");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Transaction::ToString() const {
+  std::string out = StrFormat("txn %llu coord=%u participants=[",
+                              static_cast<unsigned long long>(id),
+                              coordinator);
+  for (size_t i = 0; i < participants.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("%u:%s", participants[i].site,
+                     prany::ToString(participants[i].protocol).c_str());
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace prany

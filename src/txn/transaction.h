@@ -1,0 +1,62 @@
+// Distributed transaction descriptor.
+//
+// The paper abstracts transactions down to the commit-relevant facts: who
+// coordinates, which sites participate (and which protocol each speaks),
+// and how each participant will vote once asked to prepare. Data
+// operations are irrelevant to atomic commitment and are not modelled.
+
+#ifndef PRANY_TXN_TRANSACTION_H_
+#define PRANY_TXN_TRANSACTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace prany {
+
+/// A distributed transaction ready for commit processing.
+struct Transaction {
+  TxnId id = kInvalidTxn;
+  SiteId coordinator = kInvalidSite;
+  std::vector<ParticipantInfo> participants;
+
+  /// How each participant will vote when it receives PREPARE. Participants
+  /// missing from the map vote yes. (A "no" models a local
+  /// serialization/integrity failure at that site.)
+  std::map<SiteId, Vote> planned_votes;
+
+  /// Participant sites only (no protocols).
+  std::vector<SiteId> ParticipantSites() const;
+
+  /// The protocol spoken by participant `site`; CHECKs that it is one.
+  ProtocolKind ProtocolOf(SiteId site) const;
+
+  bool HasParticipant(SiteId site) const;
+
+  /// True iff every participant votes yes, i.e. the coordinator will
+  /// decide commit absent failures.
+  bool AllVotesYes() const;
+
+  /// Validates structure: unique participant sites, base protocols only,
+  /// coordinator set, planned votes reference participants.
+  Status Validate() const;
+
+  /// e.g. "txn 7 coord=0 participants=[1:PrA,2:PrC]".
+  std::string ToString() const;
+};
+
+/// Monotonic transaction-id source (one per System).
+class TxnIdGenerator {
+ public:
+  TxnId Next() { return next_++; }
+
+ private:
+  TxnId next_ = 1;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_TXN_TRANSACTION_H_

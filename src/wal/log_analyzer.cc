@@ -1,0 +1,39 @@
+#include "wal/log_analyzer.h"
+
+namespace prany {
+
+std::map<TxnId, TxnLogSummary> LogAnalyzer::Analyze(
+    const std::vector<LogRecord>& records) {
+  std::map<TxnId, TxnLogSummary> out;
+  for (const LogRecord& rec : records) {
+    TxnLogSummary& summary = out[rec.txn];
+    summary.txn = rec.txn;
+    switch (rec.type) {
+      case LogRecordType::kInitiation:
+        summary.has_initiation = true;
+        summary.participants = rec.participants;
+        summary.commit_protocol = rec.commit_protocol;
+        break;
+      case LogRecordType::kPrepared:
+        summary.has_prepared = true;
+        summary.coordinator = rec.coordinator;
+        break;
+      case LogRecordType::kCommit:
+      case LogRecordType::kAbort:
+        summary.decision = rec.DecisionOutcome();
+        // PrN/PrA coordinator decision records carry the participant list
+        // (they have no initiation record); participant-side decision
+        // records leave it empty.
+        if (!rec.participants.empty()) {
+          summary.participants = rec.participants;
+        }
+        break;
+      case LogRecordType::kEnd:
+        summary.has_end = true;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace prany

@@ -1,0 +1,55 @@
+// Recovery-time log analysis (the "analyze the stable log" step of §4.2).
+//
+// Both coordinators and participants rebuild their volatile state after a
+// crash by scanning their stable log. LogAnalyzer condenses the scan into
+// one summary per transaction; the protocol-specific *interpretation* of a
+// summary (which protocol was used, what to re-initiate, what presumption
+// applies) lives in the protocol engines.
+
+#ifndef PRANY_WAL_LOG_ANALYZER_H_
+#define PRANY_WAL_LOG_ANALYZER_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "wal/log_record.h"
+
+namespace prany {
+
+/// Everything the stable log says about one transaction.
+struct TxnLogSummary {
+  TxnId txn = kInvalidTxn;
+
+  // Coordinator-side facts.
+  bool has_initiation = false;
+  /// Valid iff has_initiation: the recorded participant set + protocols
+  /// and the commit protocol chosen for the transaction.
+  std::vector<ParticipantInfo> participants;
+  ProtocolKind commit_protocol = ProtocolKind::kPrN;
+
+  /// kCommit/kAbort decision record, if any (coordinator or participant).
+  std::optional<Outcome> decision;
+
+  bool has_end = false;
+
+  // Participant-side facts.
+  bool has_prepared = false;
+  /// Valid iff has_prepared: whom to inquire with.
+  SiteId coordinator = kInvalidSite;
+
+  /// Participant is in doubt: voted yes, never learned the outcome.
+  bool InDoubt() const { return has_prepared && !decision.has_value(); }
+};
+
+/// Scans records (LSN order) into per-transaction summaries.
+class LogAnalyzer {
+ public:
+  /// Builds summaries from a stable-log scan.
+  static std::map<TxnId, TxnLogSummary> Analyze(
+      const std::vector<LogRecord>& records);
+};
+
+}  // namespace prany
+
+#endif  // PRANY_WAL_LOG_ANALYZER_H_

@@ -1,0 +1,181 @@
+#include "wal/log_record.h"
+
+#include "common/string_util.h"
+
+namespace prany {
+
+namespace {
+constexpr uint8_t kLogFormatVersion = 1;
+// Guards against pathological participant lists in corrupted records.
+constexpr uint64_t kMaxParticipants = 1 << 20;
+}  // namespace
+
+std::string ToString(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kInitiation:
+      return "INITIATION";
+    case LogRecordType::kPrepared:
+      return "PREPARED";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+    case LogRecordType::kAbort:
+      return "ABORT";
+    case LogRecordType::kEnd:
+      return "END";
+  }
+  return "UNKNOWN";
+}
+
+LogRecord LogRecord::Initiation(TxnId txn, ProtocolKind commit_protocol,
+                                std::vector<ParticipantInfo> participants) {
+  LogRecord r;
+  r.type = LogRecordType::kInitiation;
+  r.txn = txn;
+  r.commit_protocol = commit_protocol;
+  r.participants = std::move(participants);
+  return r;
+}
+
+LogRecord LogRecord::Prepared(TxnId txn, SiteId coordinator) {
+  LogRecord r;
+  r.type = LogRecordType::kPrepared;
+  r.txn = txn;
+  r.coordinator = coordinator;
+  return r;
+}
+
+LogRecord LogRecord::Commit(TxnId txn) {
+  LogRecord r;
+  r.type = LogRecordType::kCommit;
+  r.txn = txn;
+  return r;
+}
+
+LogRecord LogRecord::Abort(TxnId txn) {
+  LogRecord r;
+  r.type = LogRecordType::kAbort;
+  r.txn = txn;
+  return r;
+}
+
+LogRecord LogRecord::End(TxnId txn) {
+  LogRecord r;
+  r.type = LogRecordType::kEnd;
+  r.txn = txn;
+  return r;
+}
+
+LogRecord LogRecord::Decision(TxnId txn, Outcome outcome) {
+  return outcome == Outcome::kCommit ? Commit(txn) : Abort(txn);
+}
+
+LogRecord LogRecord::DecisionWithParticipants(
+    TxnId txn, Outcome outcome, std::vector<ParticipantInfo> participants) {
+  LogRecord r = Decision(txn, outcome);
+  r.participants = std::move(participants);
+  return r;
+}
+
+Outcome LogRecord::DecisionOutcome() const {
+  PRANY_CHECK(IsDecision());
+  return type == LogRecordType::kCommit ? Outcome::kCommit : Outcome::kAbort;
+}
+
+std::vector<uint8_t> LogRecord::Encode() const {
+  ByteWriter w;
+  w.PutU8(kLogFormatVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(txn);
+  if (type == LogRecordType::kInitiation) {
+    w.PutU8(static_cast<uint8_t>(commit_protocol));
+  }
+  if (type == LogRecordType::kInitiation || IsDecision()) {
+    w.PutVarint(participants.size());
+    for (const ParticipantInfo& p : participants) {
+      w.PutU32(p.site);
+      w.PutU8(static_cast<uint8_t>(p.protocol));
+    }
+  }
+  if (type == LogRecordType::kPrepared) {
+    w.PutU32(coordinator);
+  }
+  return w.TakeBytes();
+}
+
+Result<LogRecord> LogRecord::Decode(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint8_t version = 0;
+  PRANY_RETURN_NOT_OK(r.GetU8(&version));
+  if (version != kLogFormatVersion) {
+    return Status::Corruption("unsupported log format version");
+  }
+  LogRecord rec;
+  uint8_t type = 0;
+  PRANY_RETURN_NOT_OK(r.GetU8(&type));
+  if (type > static_cast<uint8_t>(LogRecordType::kEnd)) {
+    return Status::Corruption("unknown log record type");
+  }
+  rec.type = static_cast<LogRecordType>(type);
+  PRANY_RETURN_NOT_OK(r.GetU64(&rec.txn));
+  if (rec.type == LogRecordType::kInitiation) {
+    uint8_t protocol = 0;
+    PRANY_RETURN_NOT_OK(r.GetU8(&protocol));
+    if (protocol > static_cast<uint8_t>(ProtocolKind::kPrAny)) {
+      return Status::Corruption("invalid commit protocol");
+    }
+    rec.commit_protocol = static_cast<ProtocolKind>(protocol);
+  }
+  if (rec.type == LogRecordType::kInitiation || rec.IsDecision()) {
+    uint64_t count = 0;
+    PRANY_RETURN_NOT_OK(r.GetVarint(&count));
+    if (count > kMaxParticipants) {
+      return Status::Corruption("implausible participant count");
+    }
+    rec.participants.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      ParticipantInfo p;
+      PRANY_RETURN_NOT_OK(r.GetU32(&p.site));
+      uint8_t pproto = 0;
+      PRANY_RETURN_NOT_OK(r.GetU8(&pproto));
+      if (pproto > static_cast<uint8_t>(ProtocolKind::kPrAny)) {
+        return Status::Corruption("invalid participant protocol");
+      }
+      p.protocol = static_cast<ProtocolKind>(pproto);
+      rec.participants.push_back(p);
+    }
+  }
+  if (rec.type == LogRecordType::kPrepared) {
+    PRANY_RETURN_NOT_OK(r.GetU32(&rec.coordinator));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after log record");
+  }
+  return rec;
+}
+
+std::string LogRecord::ToString() const {
+  std::string out = StrFormat("%s txn=%llu", prany::ToString(type).c_str(),
+                              static_cast<unsigned long long>(txn));
+  if (type == LogRecordType::kInitiation) {
+    out += StrFormat(" protocol=%s participants=[",
+                     prany::ToString(commit_protocol).c_str());
+    for (size_t i = 0; i < participants.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrFormat("%u:%s", participants[i].site,
+                       prany::ToString(participants[i].protocol).c_str());
+    }
+    out += "]";
+  } else if (type == LogRecordType::kPrepared) {
+    out += StrFormat(" coordinator=%u", coordinator);
+  }
+  return out;
+}
+
+bool LogRecord::operator==(const LogRecord& other) const {
+  return type == other.type && txn == other.txn &&
+         participants == other.participants &&
+         commit_protocol == other.commit_protocol &&
+         coordinator == other.coordinator;
+}
+
+}  // namespace prany

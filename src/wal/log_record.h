@@ -1,0 +1,101 @@
+// Stable-log record types for the commit protocols, with a binary codec.
+//
+// The record vocabulary is the union of what Figures 1-4 of the paper
+// write:
+//   INITIATION  coordinator, forced   (PrC and PrAny only) — participant
+//               identities *and their protocols* (PrAny §4.1)
+//   PREPARED    participant, forced   — before voting yes; names the
+//               coordinator so recovery knows whom to ask
+//   COMMIT      decision record, forced or not depending on protocol/role
+//   ABORT       decision record, forced or not depending on protocol/role
+//   END         coordinator, non-forced — transaction is forgotten;
+//               earlier records are garbage-collectible
+//
+// Which records are written, and which of them are force-written, is the
+// essence of the presumed-nothing/abort/commit distinction; the protocol
+// engines own those choices — this module only represents and stores them.
+
+#ifndef PRANY_WAL_LOG_RECORD_H_
+#define PRANY_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace prany {
+
+/// Kind of stable-log record.
+enum class LogRecordType : uint8_t {
+  kInitiation = 0,
+  kPrepared = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kEnd = 4,
+};
+
+/// Human-readable record-type name ("INITIATION", ...).
+std::string ToString(LogRecordType type);
+
+/// One log record. `lsn` is assigned by StableLog on append.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kCommit;
+  TxnId txn = kInvalidTxn;
+  uint64_t lsn = 0;
+
+  /// kInitiation: the transaction's participants and the protocol each
+  /// speaks. Also carried by *coordinator-side* decision records under
+  /// protocols without an initiation record (PrN, PrA): their recovery has
+  /// no other way to learn whom to re-contact. Participant-side decision
+  /// records leave this empty.
+  std::vector<ParticipantInfo> participants;
+
+  /// kInitiation only: the commit protocol the coordinator chose for this
+  /// transaction (PrC for a pure-PrC set, PrAny for a mixed set).
+  ProtocolKind commit_protocol = ProtocolKind::kPrN;
+
+  /// kPrepared only: the coordinator to inquire with after a failure.
+  SiteId coordinator = kInvalidSite;
+
+  static LogRecord Initiation(TxnId txn, ProtocolKind commit_protocol,
+                              std::vector<ParticipantInfo> participants);
+  static LogRecord Prepared(TxnId txn, SiteId coordinator);
+  static LogRecord Commit(TxnId txn);
+  static LogRecord Abort(TxnId txn);
+  static LogRecord End(TxnId txn);
+
+  /// Decision record helper: kCommit or kAbort from an Outcome.
+  static LogRecord Decision(TxnId txn, Outcome outcome);
+
+  /// Coordinator-side decision record that additionally names the
+  /// participants (required by PrN/PrA recovery, which has no initiation
+  /// record to consult).
+  static LogRecord DecisionWithParticipants(
+      TxnId txn, Outcome outcome, std::vector<ParticipantInfo> participants);
+
+  /// True for kCommit / kAbort.
+  bool IsDecision() const {
+    return type == LogRecordType::kCommit || type == LogRecordType::kAbort;
+  }
+
+  /// Precondition: IsDecision().
+  Outcome DecisionOutcome() const;
+
+  /// Serializes the record body (excluding lsn, which is positional).
+  std::vector<uint8_t> Encode() const;
+
+  /// Parses a record body; rejects truncated/malformed bytes.
+  static Result<LogRecord> Decode(const std::vector<uint8_t>& bytes);
+
+  /// One-line rendering for traces, e.g. "COMMIT txn=7".
+  std::string ToString() const;
+
+  bool operator==(const LogRecord& other) const;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_WAL_LOG_RECORD_H_

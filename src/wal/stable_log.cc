@@ -1,0 +1,92 @@
+#include "wal/stable_log.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace prany {
+
+StableLog::StableLog(std::string metric_prefix, MetricsRegistry* metrics)
+    : metric_prefix_(std::move(metric_prefix)), metrics_(metrics) {}
+
+uint64_t StableLog::Append(const LogRecord& record, bool force) {
+  LogRecord stamped = record;
+  stamped.lsn = next_lsn_++;
+  buffer_.push_back(StoredRecord{stamped.lsn, stamped.txn, stamped.Encode()});
+  ++stats_.appends;
+  if (metrics_ != nullptr) {
+    metrics_->Add(metric_prefix_ + ".appends");
+    metrics_->Add(metric_prefix_ + ".append." + ToString(record.type));
+  }
+  if (force) {
+    ++stats_.forced_appends;
+    if (metrics_ != nullptr) {
+      metrics_->Add(metric_prefix_ + ".forced_appends");
+    }
+    Flush();
+  }
+  return stamped.lsn;
+}
+
+void StableLog::Flush() {
+  if (buffer_.empty()) return;
+  ++stats_.flushes;
+  for (StoredRecord& rec : buffer_) {
+    stats_.bytes_flushed += rec.bytes.size();
+    stable_.push_back(std::move(rec));
+  }
+  buffer_.clear();
+  if (metrics_ != nullptr) {
+    metrics_->Add(metric_prefix_ + ".flushes");
+  }
+}
+
+void StableLog::Crash() {
+  buffer_.clear();
+}
+
+std::vector<LogRecord> StableLog::StableRecords() const {
+  std::vector<LogRecord> out;
+  out.reserve(stable_.size());
+  for (const StoredRecord& rec : stable_) {
+    Result<LogRecord> decoded = LogRecord::Decode(rec.bytes);
+    PRANY_CHECK_MSG(decoded.ok(), decoded.status().ToString());
+    LogRecord r = std::move(decoded).ValueOrDie();
+    r.lsn = rec.lsn;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool StableLog::HasRecordsFor(TxnId txn) const {
+  return std::any_of(stable_.begin(), stable_.end(),
+                     [txn](const StoredRecord& r) { return r.txn == txn; });
+}
+
+void StableLog::ReleaseTransaction(TxnId txn) { released_.insert(txn); }
+
+size_t StableLog::Truncate() {
+  size_t before = stable_.size();
+  stable_.erase(std::remove_if(stable_.begin(), stable_.end(),
+                               [this](const StoredRecord& r) {
+                                 return released_.count(r.txn) > 0;
+                               }),
+                stable_.end());
+  size_t removed = before - stable_.size();
+  stats_.records_truncated += removed;
+  if (metrics_ != nullptr && removed > 0) {
+    metrics_->Add(metric_prefix_ + ".truncated",
+                  static_cast<int64_t>(removed));
+  }
+  return removed;
+}
+
+std::set<TxnId> StableLog::UnreleasedTxns() const {
+  std::set<TxnId> out;
+  for (const StoredRecord& rec : stable_) {
+    if (released_.count(rec.txn) == 0) out.insert(rec.txn);
+  }
+  return out;
+}
+
+}  // namespace prany

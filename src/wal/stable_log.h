@@ -1,0 +1,104 @@
+// Per-site stable log with explicit forced / non-forced write semantics.
+//
+// Model: Append() places the encoded record in a volatile buffer; a
+// *forced* append flushes the buffer (the new record and everything queued
+// before it) to stable storage before returning, charging one forced-write
+// I/O. A site crash discards the volatile buffer — non-forced records that
+// were never flushed are simply gone, which is exactly the window the
+// paper's presumptions are designed around (e.g. a PrA participant losing
+// its non-forced abort record, §2).
+//
+// Garbage collection: a coordinator/participant calls ReleaseTransaction()
+// once a transaction may be forgotten; Truncate() then physically removes
+// released transactions' records. The operational-correctness checker
+// (Definition 1, clauses 2-3) asserts that every terminated transaction is
+// eventually released on every site.
+
+#ifndef PRANY_WAL_STABLE_LOG_H_
+#define PRANY_WAL_STABLE_LOG_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "wal/log_record.h"
+
+namespace prany {
+
+/// I/O statistics for one site's log.
+struct LogStats {
+  uint64_t appends = 0;          ///< Records appended (any kind).
+  uint64_t forced_appends = 0;   ///< Records appended with force=true.
+  uint64_t flushes = 0;          ///< Physical forced-write I/Os.
+  uint64_t bytes_flushed = 0;
+  uint64_t records_truncated = 0;
+};
+
+/// One site's stable log.
+class StableLog {
+ public:
+  /// `metrics` may be null; when set, counters are recorded under
+  /// "wal.<name>" plus the per-site prefix chosen by the harness.
+  explicit StableLog(std::string metric_prefix = "wal",
+                     MetricsRegistry* metrics = nullptr);
+
+  /// Appends `record`; assigns and returns its LSN. When `force` is true
+  /// the record (and all earlier buffered records) is durable on return.
+  uint64_t Append(const LogRecord& record, bool force);
+
+  /// Flushes the volatile buffer (group write). No-op if empty.
+  void Flush();
+
+  /// Simulates a crash: the volatile buffer is lost. Stable records
+  /// survive.
+  void Crash();
+
+  /// Decoded stable records in LSN order. A corrupted stable record is a
+  /// programming error (stable storage does not decay in the fail-stop
+  /// model) and trips a CHECK.
+  std::vector<LogRecord> StableRecords() const;
+
+  /// True if some stable record for `txn` exists (post-Truncate view).
+  bool HasRecordsFor(TxnId txn) const;
+
+  /// Marks `txn`'s records as garbage-collectible.
+  void ReleaseTransaction(TxnId txn);
+
+  /// Physically removes records of released transactions; returns how many
+  /// records were dropped.
+  size_t Truncate();
+
+  /// Transactions that still have stable records and were never released.
+  /// C2PC's failure of Definition 1 shows up as this set growing without
+  /// bound.
+  std::set<TxnId> UnreleasedTxns() const;
+
+  /// Number of stable (not yet truncated) records.
+  size_t StableSize() const { return stable_.size(); }
+
+  /// Number of buffered, not-yet-durable records.
+  size_t VolatileSize() const { return buffer_.size(); }
+
+  const LogStats& stats() const { return stats_; }
+
+ private:
+  struct StoredRecord {
+    uint64_t lsn;
+    TxnId txn;
+    std::vector<uint8_t> bytes;
+  };
+
+  std::string metric_prefix_;
+  MetricsRegistry* metrics_;
+  uint64_t next_lsn_ = 1;
+  std::vector<StoredRecord> stable_;
+  std::vector<StoredRecord> buffer_;
+  std::set<TxnId> released_;
+  LogStats stats_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_WAL_STABLE_LOG_H_

@@ -1,0 +1,130 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0102030405060708ull);
+  ByteReader r(w.bytes());
+  uint8_t a;
+  uint16_t b;
+  uint32_t c;
+  uint64_t d;
+  ASSERT_TRUE(r.GetU8(&a).ok());
+  ASSERT_TRUE(r.GetU16(&b).ok());
+  ASSERT_TRUE(r.GetU32(&c).ok());
+  ASSERT_TRUE(r.GetU64(&d).ok());
+  EXPECT_EQ(a, 0xab);
+  EXPECT_EQ(b, 0x1234);
+  EXPECT_EQ(c, 0xdeadbeefu);
+  EXPECT_EQ(d, 0x0102030405060708ull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(BytesTest, VarintSmallValuesAreOneByte) {
+  for (uint64_t v : {0ull, 1ull, 127ull}) {
+    ByteWriter w;
+    w.PutVarint(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+  }
+}
+
+TEST(BytesTest, VarintRoundTripSweep) {
+  // Property sweep over boundary values of each 7-bit group.
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384, 1u << 20,
+                                  (1ull << 32) - 1, 1ull << 32,
+                                  ~0ull, ~0ull - 1};
+  for (uint64_t v : values) {
+    ByteWriter w;
+    w.PutVarint(v);
+    ByteReader r(w.bytes());
+    uint64_t out = 0;
+    ASSERT_TRUE(r.GetVarint(&out).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string("\x00\x01\x02", 3));
+  ByteReader r(w.bytes());
+  std::string a, b, c;
+  ASSERT_TRUE(r.GetString(&a).ok());
+  ASSERT_TRUE(r.GetString(&b).ok());
+  ASSERT_TRUE(r.GetString(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string("\x00\x01\x02", 3));
+}
+
+TEST(BytesTest, TruncatedFixedFieldIsCorruption) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(w.bytes());
+  uint32_t out;
+  EXPECT_TRUE(r.GetU32(&out).IsCorruption());
+}
+
+TEST(BytesTest, TruncatedVarintIsCorruption) {
+  std::vector<uint8_t> bytes = {0x80, 0x80};  // continuation never ends
+  ByteReader r(bytes.data(), bytes.size());
+  uint64_t out;
+  EXPECT_TRUE(r.GetVarint(&out).IsCorruption());
+}
+
+TEST(BytesTest, OverlongVarintIsCorruption) {
+  std::vector<uint8_t> bytes(11, 0x80);
+  bytes.push_back(0x01);
+  ByteReader r(bytes.data(), bytes.size());
+  uint64_t out;
+  EXPECT_TRUE(r.GetVarint(&out).IsCorruption());
+}
+
+TEST(BytesTest, StringLengthBeyondBufferIsCorruption) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes
+  w.PutRaw("abc", 3);
+  ByteReader r(w.bytes());
+  std::string out;
+  EXPECT_TRUE(r.GetString(&out).IsCorruption());
+}
+
+TEST(BytesTest, ReaderTracksPositionAndRemaining) {
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  uint32_t v;
+  ASSERT_TRUE(r.GetU32(&v).ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+}
+
+TEST(BytesTest, TakeBytesMovesBuffer) {
+  ByteWriter w;
+  w.PutU8(5);
+  std::vector<uint8_t> taken = w.TakeBytes();
+  EXPECT_EQ(taken.size(), 1u);
+}
+
+}  // namespace
+}  // namespace prany

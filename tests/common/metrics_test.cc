@@ -1,0 +1,100 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(MetricsTest, CountersStartAtZero) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.Get("never.touched"), 0);
+}
+
+TEST(MetricsTest, AddAccumulates) {
+  MetricsRegistry m;
+  m.Add("a");
+  m.Add("a", 4);
+  m.Add("a", -2);
+  EXPECT_EQ(m.Get("a"), 3);
+}
+
+TEST(MetricsTest, CountersAreIndependent) {
+  MetricsRegistry m;
+  m.Add("x", 5);
+  m.Add("y", 7);
+  EXPECT_EQ(m.Get("x"), 5);
+  EXPECT_EQ(m.Get("y"), 7);
+}
+
+TEST(MetricsTest, SummarizeEmptyDistribution) {
+  MetricsRegistry m;
+  DistributionStats s = m.Summarize("nothing");
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(MetricsTest, SummarizeSingleSample) {
+  MetricsRegistry m;
+  m.Observe("lat", 42.0);
+  DistributionStats s = m.Summarize("lat");
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.p50, 42.0);
+  EXPECT_EQ(s.p99, 42.0);
+}
+
+TEST(MetricsTest, SummarizeKnownDistribution) {
+  MetricsRegistry m;
+  for (int i = 1; i <= 100; ++i) m.Observe("d", static_cast<double>(i));
+  DistributionStats s = m.Summarize("d");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.5, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.5);
+  EXPECT_NEAR(s.p99, 99.0, 1.5);
+}
+
+TEST(MetricsTest, PercentilesHandleUnsortedInput) {
+  MetricsRegistry m;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) m.Observe("d", v);
+  DistributionStats s = m.Summarize("d");
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_EQ(s.p50, 5.0);
+}
+
+TEST(MetricsTest, SamplesAccessor) {
+  MetricsRegistry m;
+  m.Observe("d", 1.0);
+  m.Observe("d", 2.0);
+  EXPECT_EQ(m.samples("d").size(), 2u);
+  EXPECT_TRUE(m.samples("other").empty());
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  MetricsRegistry m;
+  m.Add("c", 3);
+  m.Observe("d", 1.0);
+  m.Reset();
+  EXPECT_EQ(m.Get("c"), 0);
+  EXPECT_EQ(m.Summarize("d").count, 0u);
+}
+
+TEST(MetricsTest, ToStringFiltersByPrefix) {
+  MetricsRegistry m;
+  m.Add("net.msg.PREPARE", 2);
+  m.Add("wal.appends", 5);
+  std::string all = m.ToString();
+  EXPECT_NE(all.find("net.msg.PREPARE = 2"), std::string::npos);
+  EXPECT_NE(all.find("wal.appends = 5"), std::string::npos);
+  std::string net_only = m.ToString("net.");
+  EXPECT_NE(net_only.find("net.msg.PREPARE"), std::string::npos);
+  EXPECT_EQ(net_only.find("wal.appends"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prany

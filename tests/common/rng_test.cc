@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace prany {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1'000'000), b.Uniform(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform(0, 1'000'000) != b.Uniform(0, 1'000'000)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(5, 5), 5u);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kTrials = 10'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCalibrated) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Exponential(500.0);
+  EXPECT_NEAR(sum / kTrials, 500.0, 25.0);
+}
+
+TEST(RngTest, IndexCoversAllSlots) {
+  Rng rng(17);
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(19);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<size_t> s = rng.SampleWithoutReplacement(10, 6);
+    ASSERT_EQ(s.size(), 6u);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 6u);
+    EXPECT_LT(*std::max_element(s.begin(), s.end()), 10u);
+  }
+}
+
+TEST(RngTest, SampleFullPopulationIsPermutation) {
+  Rng rng(23);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(8, 8);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(RngTest, ForkIsDeterministicButIndependent) {
+  Rng a(99), b(99);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  // Forks of identical parents agree with each other...
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fa.Uniform(0, 1 << 30), fb.Uniform(0, 1 << 30));
+  }
+  // ...and do not replay the parent's stream.
+  Rng c(99);
+  Rng fc = c.Fork();
+  EXPECT_NE(fc.Uniform(0, 1 << 30), c.Uniform(0, 1 << 30));
+}
+
+TEST(RngDeathTest, InvalidArgumentsAbort) {
+  Rng rng(1);
+  EXPECT_DEATH({ rng.Uniform(5, 4); }, "PRANY_CHECK");
+  EXPECT_DEATH({ rng.Index(0); }, "PRANY_CHECK");
+  EXPECT_DEATH({ rng.Exponential(0.0); }, "PRANY_CHECK");
+  EXPECT_DEATH({ rng.SampleWithoutReplacement(3, 4); }, "PRANY_CHECK");
+}
+
+}  // namespace
+}  // namespace prany

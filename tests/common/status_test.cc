@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such txn");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "no such txn");
+  EXPECT_EQ(s.ToString(), "NotFound: no such txn");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status s = Status::Corruption("bad bytes");
+  EXPECT_FALSE(s.IsNotFound());
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Corruption("truncated"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err(Status::NotFound("x"));
+  EXPECT_EQ(err.ValueOr(7), 7);
+  Result<int> ok(3);
+  EXPECT_EQ(ok.ValueOr(7), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailsThrough() {
+  PRANY_RETURN_NOT_OK(Status::Unavailable("down"));
+  return Status::OK();
+}
+
+Status Succeeds() {
+  PRANY_RETURN_NOT_OK(Status::OK());
+  return Status::AlreadyExists("reached end");
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(FailsThrough().IsUnavailable());
+  EXPECT_TRUE(Succeeds().IsAlreadyExists());
+}
+
+Result<int> Double(Result<int> in) {
+  PRANY_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  EXPECT_EQ(*Double(21), 42);
+  EXPECT_TRUE(Double(Status::NotFound("x")).status().IsNotFound());
+}
+
+TEST(StatusDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "ValueOrDie");
+}
+
+TEST(StatusDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ PRANY_CHECK_MSG(false, "nope"); }, "PRANY_CHECK failed");
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,66 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d", 7), "x=7");
+  EXPECT_EQ(StrFormat("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StringUtilTest, StrFormatEmpty) {
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StringUtilTest, JoinNumbers) {
+  std::vector<int> v = {1, 2, 3};
+  EXPECT_EQ(JoinNumbers(v, ","), "1,2,3");
+  EXPECT_EQ(JoinNumbers(std::vector<int>{}, ","), "");
+  EXPECT_EQ(JoinNumbers(std::vector<int>{9}, ","), "9");
+}
+
+TEST(StringUtilTest, PadRight) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");  // never truncates
+}
+
+TEST(StringUtilTest, PadLeft) {
+  EXPECT_EQ(PadLeft("42", 5), "   42");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StringUtilTest, RenderTableAlignsColumns) {
+  std::string t = RenderTable({{"name", "count"}, {"prepare", "2"},
+                               {"ack", "10"}});
+  // Header separator present, columns aligned on the widest cell.
+  EXPECT_NE(t.find("name     count"), std::string::npos);
+  EXPECT_NE(t.find("-------"), std::string::npos);
+  EXPECT_NE(t.find("prepare  2"), std::string::npos);
+  EXPECT_NE(t.find("ack      10"), std::string::npos);
+}
+
+TEST(StringUtilTest, RenderTableWithoutSeparator) {
+  std::string t = RenderTable({{"a", "b"}, {"c", "d"}}, false);
+  EXPECT_EQ(t.find("--"), std::string::npos);
+}
+
+TEST(StringUtilTest, RenderTableEmpty) {
+  EXPECT_EQ(RenderTable({}), "");
+}
+
+TEST(StringUtilTest, RenderTableRaggedRows) {
+  std::string t = RenderTable({{"a", "b", "c"}, {"x"}});
+  EXPECT_NE(t.find("a  b  c"), std::string::npos);
+  EXPECT_NE(t.find("x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,51 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(TraceTest, DisabledByDefault) {
+  TraceLog trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.Emit(10, "dropped");
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceTest, EnabledRetainsEventsInOrder) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(10, "first");
+  trace.Emit(20, "second");
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].time, 10u);
+  EXPECT_EQ(trace.events()[0].text, "first");
+  EXPECT_EQ(trace.events()[1].text, "second");
+}
+
+TEST(TraceTest, DisableStopsRecording) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(1, "kept");
+  trace.Disable();
+  trace.Emit(2, "dropped");
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(TraceTest, ClearEmpties) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(1, "a");
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceTest, ToStringFormatsLines) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(1500, "site 2 PREPARE");
+  EXPECT_EQ(trace.ToString(), "t=1500us site 2 PREPARE\n");
+}
+
+}  // namespace
+}  // namespace prany

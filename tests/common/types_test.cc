@@ -1,0 +1,73 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(TypesTest, ProtocolNames) {
+  EXPECT_EQ(ToString(ProtocolKind::kPrN), "PrN");
+  EXPECT_EQ(ToString(ProtocolKind::kPrA), "PrA");
+  EXPECT_EQ(ToString(ProtocolKind::kPrC), "PrC");
+  EXPECT_EQ(ToString(ProtocolKind::kU2PC), "U2PC");
+  EXPECT_EQ(ToString(ProtocolKind::kC2PC), "C2PC");
+  EXPECT_EQ(ToString(ProtocolKind::kPrAny), "PrAny");
+}
+
+TEST(TypesTest, OutcomeAndVoteNames) {
+  EXPECT_EQ(ToString(Outcome::kCommit), "commit");
+  EXPECT_EQ(ToString(Outcome::kAbort), "abort");
+  EXPECT_EQ(ToString(Vote::kYes), "yes");
+  EXPECT_EQ(ToString(Vote::kNo), "no");
+}
+
+TEST(TypesTest, Opposite) {
+  EXPECT_EQ(Opposite(Outcome::kCommit), Outcome::kAbort);
+  EXPECT_EQ(Opposite(Outcome::kAbort), Outcome::kCommit);
+}
+
+TEST(TypesTest, IsBaseProtocol) {
+  EXPECT_TRUE(IsBaseProtocol(ProtocolKind::kPrN));
+  EXPECT_TRUE(IsBaseProtocol(ProtocolKind::kPrA));
+  EXPECT_TRUE(IsBaseProtocol(ProtocolKind::kPrC));
+  EXPECT_FALSE(IsBaseProtocol(ProtocolKind::kU2PC));
+  EXPECT_FALSE(IsBaseProtocol(ProtocolKind::kC2PC));
+  EXPECT_FALSE(IsBaseProtocol(ProtocolKind::kPrAny));
+}
+
+TEST(TypesTest, ParseProtocolKindRoundTripsAllKinds) {
+  for (ProtocolKind k :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC,
+        ProtocolKind::kU2PC, ProtocolKind::kC2PC, ProtocolKind::kPrAny}) {
+    ProtocolKind parsed;
+    ASSERT_TRUE(ParseProtocolKind(ToString(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+}
+
+TEST(TypesTest, ParseIsCaseInsensitiveAndHasAliases) {
+  ProtocolKind k;
+  ASSERT_TRUE(ParseProtocolKind("prany", &k));
+  EXPECT_EQ(k, ProtocolKind::kPrAny);
+  ASSERT_TRUE(ParseProtocolKind("2PC", &k));
+  EXPECT_EQ(k, ProtocolKind::kPrN);
+}
+
+TEST(TypesTest, ParseRejectsUnknown) {
+  ProtocolKind k;
+  EXPECT_FALSE(ParseProtocolKind("3pc", &k));
+  EXPECT_FALSE(ParseProtocolKind("", &k));
+}
+
+TEST(TypesTest, ParticipantInfoEquality) {
+  ParticipantInfo a{1, ProtocolKind::kPrA};
+  ParticipantInfo b{1, ProtocolKind::kPrA};
+  ParticipantInfo c{1, ProtocolKind::kPrC};
+  ParticipantInfo d{2, ProtocolKind::kPrA};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+}  // namespace
+}  // namespace prany

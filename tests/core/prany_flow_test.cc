@@ -1,0 +1,144 @@
+// Figure 1 of the paper as executable traces: PrAny's normal-processing
+// message and logging pattern, plus the §4.1 dynamic protocol selection.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+const std::vector<ProtocolKind> kPaperMix = {ProtocolKind::kPrA,
+                                             ProtocolKind::kPrC};
+
+FlowResult PrAnyFlow(const std::vector<ProtocolKind>& mix, Outcome outcome) {
+  return RunFlow(ProtocolKind::kPrAny, ProtocolKind::kPrN, mix, outcome);
+}
+
+TEST(PrAnyFlowTest, Figure1aCommitCase) {
+  FlowResult r = PrAnyFlow(kPaperMix, Outcome::kCommit);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.mode, ProtocolKind::kPrAny);
+  // Coordinator: forced initiation, forced commit, non-forced end.
+  EXPECT_EQ(r.coord_appends, 3u);
+  EXPECT_EQ(r.coord_forced, 2u);
+  // Messages: 2 PREPARE, 2 VOTE, 2 DECISION, and exactly ONE ack — the
+  // PrA participant's; the PrC participant commits silently (Figure 1a).
+  EXPECT_EQ(r.messages["PREPARE"], 2);
+  EXPECT_EQ(r.messages["VOTE"], 2);
+  EXPECT_EQ(r.messages["DECISION"], 2);
+  EXPECT_EQ(r.messages["ACK"], 1);
+  // Participants: PrA forces prepared+commit; PrC forces prepared, lazy
+  // commit record.
+  EXPECT_EQ(r.part_appends, 4u);
+  EXPECT_EQ(r.part_forced, 3u);
+}
+
+TEST(PrAnyFlowTest, Figure1bAbortCase) {
+  FlowResult r = PrAnyFlow(kPaperMix, Outcome::kAbort);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.mode, ProtocolKind::kPrAny);
+  // Coordinator: forced initiation, NO abort record, non-forced end.
+  EXPECT_EQ(r.coord_appends, 2u);
+  EXPECT_EQ(r.coord_forced, 1u);
+  // Exactly one ack — the PrC participant's (Figure 1b); the PrA
+  // participant aborts silently with a non-forced abort record.
+  EXPECT_EQ(r.messages["ACK"], 1);
+  EXPECT_EQ(r.part_appends, 4u);
+  EXPECT_EQ(r.part_forced, 3u);
+}
+
+TEST(PrAnyFlowTest, ThreeWayMixAckSetsAreOutcomeDependent) {
+  std::vector<ProtocolKind> mix = {ProtocolKind::kPrN, ProtocolKind::kPrA,
+                                   ProtocolKind::kPrC};
+  FlowResult commit = PrAnyFlow(mix, Outcome::kCommit);
+  EXPECT_TRUE(commit.correct);
+  EXPECT_EQ(commit.messages["ACK"], 2);  // PrN + PrA acknowledge commits
+  FlowResult abort = PrAnyFlow(mix, Outcome::kAbort);
+  EXPECT_TRUE(abort.correct);
+  EXPECT_EQ(abort.messages["ACK"], 2);  // PrN + PrC acknowledge aborts
+}
+
+TEST(PrAnyFlowTest, SelectorRunsNativeProtocolForHomogeneousSets) {
+  // §4.1: no initiation record for pure-PrN / pure-PrA transactions.
+  FlowResult prn = PrAnyFlow({ProtocolKind::kPrN, ProtocolKind::kPrN},
+                             Outcome::kCommit);
+  EXPECT_EQ(prn.mode, ProtocolKind::kPrN);
+  EXPECT_EQ(prn.coord_appends, 2u);  // decision + end, no initiation
+  EXPECT_EQ(prn.messages["ACK"], 2);
+
+  FlowResult pra = PrAnyFlow({ProtocolKind::kPrA, ProtocolKind::kPrA},
+                             Outcome::kAbort);
+  EXPECT_EQ(pra.mode, ProtocolKind::kPrA);
+  EXPECT_EQ(pra.coord_appends, 0u);  // pure-PrA abort logs nothing
+  EXPECT_EQ(pra.messages["ACK"], 0);
+
+  FlowResult prc = PrAnyFlow({ProtocolKind::kPrC, ProtocolKind::kPrC},
+                             Outcome::kCommit);
+  EXPECT_EQ(prc.mode, ProtocolKind::kPrC);
+  EXPECT_EQ(prc.coord_appends, 2u);  // initiation + commit
+  EXPECT_EQ(prc.coord_forced, 2u);
+  EXPECT_EQ(prc.messages["ACK"], 0);
+}
+
+TEST(PrAnyFlowTest, PrAnyModeCostSitsBetweenTheNativeExtremes) {
+  // The integration price: PrAny-mode commits cost one ack less than PrN
+  // (the PrC member is silent) but one forced initiation record more than
+  // PrA.
+  FlowResult mixed = PrAnyFlow(kPaperMix, Outcome::kCommit);
+  FlowResult pure_prn = PrAnyFlow({ProtocolKind::kPrN, ProtocolKind::kPrN},
+                                  Outcome::kCommit);
+  FlowResult pure_pra = PrAnyFlow({ProtocolKind::kPrA, ProtocolKind::kPrA},
+                                  Outcome::kCommit);
+  EXPECT_LT(mixed.total_messages, pure_prn.total_messages);
+  EXPECT_EQ(mixed.coord_forced, pure_pra.coord_forced + 1);
+}
+
+TEST(PrAnyFlowTest, EndRecordWrittenInBothOutcomes) {
+  // Figure 1 shows "Write End Log Record" on both sides; verify via the
+  // coordinator's append counts (commit: init+commit+end; abort:
+  // init+end).
+  FlowResult commit = PrAnyFlow(kPaperMix, Outcome::kCommit);
+  FlowResult abort = PrAnyFlow(kPaperMix, Outcome::kAbort);
+  EXPECT_EQ(commit.coord_appends - commit.coord_forced, 1u);
+  EXPECT_EQ(abort.coord_appends - abort.coord_forced, 1u);
+}
+
+TEST(PrAnyFlowTest, NoVoteParticipantTriggersAbortFlow) {
+  // A genuine no-vote (not ForceAbort): the no-voter aborts unilaterally
+  // and receives no decision message.
+  SystemConfig cfg;
+  auto system = std::make_unique<System>(cfg);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system->AddSite(ProtocolKind::kPrA);
+  system->AddSite(ProtocolKind::kPrC);
+  TxnId txn = system->Submit(0, {1, 2}, {{1, Vote::kNo}});
+  system->Run();
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+  // Only the yes-voter (site 2) gets the abort decision.
+  EXPECT_EQ(system->metrics().Get("net.msg.DECISION"), 1);
+  EXPECT_EQ(system->metrics().Get("coord.decide_abort"), 1);
+  int aborts_enforced = 0;
+  for (const SigEvent& e : system->history().events()) {
+    if (e.txn == txn && e.type == SigEventType::kPartEnforce) {
+      EXPECT_EQ(*e.outcome, Outcome::kAbort);
+      ++aborts_enforced;
+    }
+  }
+  EXPECT_EQ(aborts_enforced, 2);
+}
+
+TEST(PrAnyFlowTest, WideMixedTransaction) {
+  std::vector<ProtocolKind> mix;
+  for (int i = 0; i < 12; ++i) {
+    mix.push_back(static_cast<ProtocolKind>(i % 3));
+  }
+  FlowResult r = PrAnyFlow(mix, Outcome::kCommit);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.messages["PREPARE"], 12);
+  EXPECT_EQ(r.messages["ACK"], 8);  // 4 PrN + 4 PrA
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,188 @@
+// PrAny crash recovery (§4.2): log analysis, mode determination,
+// re-initiation rules (footnote 4), and dynamic presumption adoption.
+
+#include <gtest/gtest.h>
+
+#include "core/prany_coordinator.h"
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+struct PrAnyRun {
+  std::unique_ptr<System> system;
+  TxnId txn;
+};
+
+PrAnyRun RunPrAnyWithCrash(const std::vector<ProtocolKind>& participants,
+                           CrashPoint point, SiteId target,
+                           SimDuration downtime, bool force_abort) {
+  SystemConfig cfg;
+  cfg.seed = 3;
+  auto system = std::make_unique<System>(cfg);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  std::vector<SiteId> sites;
+  for (ProtocolKind p : participants) {
+    system->AddSite(p);
+    sites.push_back(static_cast<SiteId>(sites.size() + 1));
+  }
+  TxnId txn = system->Submit(0, sites);
+  if (force_abort) {
+    system->sim().ScheduleAt(800, [sys = system.get(), txn]() {
+      sys->site(0)->coordinator()->ForceAbort(txn);
+    });
+  }
+  system->injector().CrashAtPoint(target, point, txn, downtime);
+  system->Run();
+  return PrAnyRun{std::move(system), txn};
+}
+
+std::map<SiteId, Outcome> Enforcements(const System& system, TxnId txn) {
+  std::map<SiteId, Outcome> out;
+  for (const SigEvent& e : system.history().events()) {
+    if (e.txn == txn && e.type == SigEventType::kPartEnforce) {
+      out[e.site] = *e.outcome;
+    }
+  }
+  return out;
+}
+
+const std::vector<ProtocolKind> kPaperMix = {ProtocolKind::kPrA,
+                                             ProtocolKind::kPrC};
+
+TEST(PrAnyRecoveryTest, InitiationOnlyMeansAbortToNonPrAOnly) {
+  // §4.2: "the coordinator submits an abort decision to the PrN and PrC
+  // participants. It does not include the PrA participants" (footnote 4).
+  PrAnyRun r = RunPrAnyWithCrash(
+      {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC},
+      CrashPoint::kCoordAfterInitiationLogged, /*target=*/0,
+      /*downtime=*/5'000, /*force_abort=*/false);
+  // PREPAREs never left; recovery sends the abort to exactly the PrN and
+  // PrC participants (2 decision messages), never to the PrA one.
+  EXPECT_EQ(r.system->metrics().Get("net.msg.DECISION"), 2);
+  EXPECT_TRUE(r.system->CheckOperational().ok())
+      << r.system->CheckOperational().ToString();
+}
+
+TEST(PrAnyRecoveryTest, InitiationPlusCommitResendsToNonPrCOnly) {
+  // Crash after the commit record was forced but before any decision
+  // message left: recovery re-submits commit to PrN+PrA but not PrC.
+  PrAnyRun r = RunPrAnyWithCrash(
+      {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC},
+      CrashPoint::kCoordAfterDecisionMade, /*target=*/0,
+      /*downtime=*/5'000, /*force_abort=*/false);
+  auto enforced = Enforcements(*r.system, r.txn);
+  ASSERT_EQ(enforced.size(), 3u);
+  for (const auto& [site, outcome] : enforced) {
+    EXPECT_EQ(outcome, Outcome::kCommit) << "site " << site;
+  }
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+  // The PrC participant was not a decision recipient; it learned the
+  // outcome by inquiring and being answered with PrC's presumption, OR
+  // from the rebuilt protocol table if it asked before completion.
+  const SigEvent* respond =
+      r.system->history().FirstWhere([&](const SigEvent& e) {
+        return e.txn == r.txn && e.type == SigEventType::kCoordRespond &&
+               e.peer == 3;
+      });
+  ASSERT_NE(respond, nullptr);
+  EXPECT_EQ(*respond->outcome, Outcome::kCommit);
+}
+
+TEST(PrAnyRecoveryTest, AbortAfterDecisionSentIsStableAcrossCrash) {
+  PrAnyRun r = RunPrAnyWithCrash(kPaperMix,
+                                 CrashPoint::kCoordAfterDecisionSent,
+                                 /*target=*/0, /*downtime=*/5'000,
+                                 /*force_abort=*/true);
+  auto enforced = Enforcements(*r.system, r.txn);
+  for (const auto& [site, outcome] : enforced) {
+    EXPECT_EQ(outcome, Outcome::kAbort) << "site " << site;
+  }
+  EXPECT_TRUE(r.system->CheckOperational().ok())
+      << r.system->CheckOperational().ToString();
+}
+
+TEST(PrAnyRecoveryTest, PureModeDecisionWithoutInitiationIsReinitiated) {
+  // Homogeneous PrA set -> pure PrA mode: the commit record (with the
+  // participant list, no initiation record) drives recovery.
+  PrAnyRun r = RunPrAnyWithCrash({ProtocolKind::kPrA, ProtocolKind::kPrA},
+                                 CrashPoint::kCoordAfterDecisionMade,
+                                 /*target=*/0, /*downtime=*/5'000,
+                                 /*force_abort=*/false);
+  auto enforced = Enforcements(*r.system, r.txn);
+  ASSERT_EQ(enforced.size(), 2u);
+  for (const auto& [site, outcome] : enforced) {
+    EXPECT_EQ(outcome, Outcome::kCommit) << "site " << site;
+  }
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+}
+
+TEST(PrAnyRecoveryTest, DynamicPresumptionAnswersPrCInquirerCommit) {
+  // The §4.2 signature move: after forgetting a committed transaction,
+  // the coordinator answers a late PrC inquirer "commit" *because the
+  // inquirer speaks PrC* — with no log lookup.
+  PrAnyRun r = RunPrAnyWithCrash(kPaperMix,
+                                 CrashPoint::kPartOnDecisionReceived,
+                                 /*target=*/2,  // the PrC participant
+                                 /*downtime=*/500'000,
+                                 /*force_abort=*/false);
+  auto enforced = Enforcements(*r.system, r.txn);
+  EXPECT_EQ(enforced.at(1), Outcome::kCommit);
+  EXPECT_EQ(enforced.at(2), Outcome::kCommit);
+  EXPECT_GT(r.system->metrics().Get("coord.answered_by_presumption"), 0);
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+}
+
+TEST(PrAnyRecoveryTest, DynamicPresumptionAnswersPrAInquirerAbort) {
+  PrAnyRun r = RunPrAnyWithCrash(kPaperMix,
+                                 CrashPoint::kPartOnDecisionReceived,
+                                 /*target=*/1,  // the PrA participant
+                                 /*downtime=*/500'000,
+                                 /*force_abort=*/true);
+  auto enforced = Enforcements(*r.system, r.txn);
+  EXPECT_EQ(enforced.at(1), Outcome::kAbort);
+  EXPECT_EQ(enforced.at(2), Outcome::kAbort);
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+}
+
+TEST(PrAnyRecoveryTest, DoubleCrashCoordinatorThenSameParticipant) {
+  // Coordinator crashes after the commit record; later the PrC
+  // participant crashes on the re-sent... (it is not a recipient) — on the
+  // inquiry reply. Both recover; outcome must stay commit everywhere.
+  SystemConfig cfg;
+  cfg.seed = 11;
+  auto system = std::make_unique<System>(cfg);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system->AddSite(ProtocolKind::kPrA);
+  system->AddSite(ProtocolKind::kPrC);
+  TxnId txn = system->Submit(0, {1, 2});
+  system->injector().CrashAtPoint(0, CrashPoint::kCoordAfterDecisionMade,
+                                  txn, /*downtime=*/30'000);
+  system->injector().CrashAtPoint(2, CrashPoint::kPartOnDecisionReceived,
+                                  txn, /*downtime=*/200'000);
+  system->Run();
+  auto enforced = Enforcements(*system, txn);
+  ASSERT_EQ(enforced.size(), 2u);
+  EXPECT_EQ(enforced.at(1), Outcome::kCommit);
+  EXPECT_EQ(enforced.at(2), Outcome::kCommit);
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+  EXPECT_GE(system->site(0)->crash_count() + system->site(2)->crash_count(),
+            2u);
+}
+
+TEST(PrAnyRecoveryTest, AppViewIsRebuiltConsistently) {
+  // After a crash wipes the APP, recovery re-activates exactly the
+  // participants of re-initiated transactions, and completion drains it.
+  PrAnyRun r = RunPrAnyWithCrash(kPaperMix,
+                                 CrashPoint::kCoordAfterDecisionMade,
+                                 /*target=*/0, /*downtime=*/5'000,
+                                 /*force_abort=*/false);
+  const auto* coordinator = static_cast<const PrAnyCoordinator*>(
+      r.system->site(0)->coordinator());
+  EXPECT_EQ(coordinator->app().ActiveSites(), 0u);
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,54 @@
+#include "core/presumption.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(PresumptionTest, PrAPresumesAbort) {
+  EXPECT_EQ(PresumptionOf(ProtocolKind::kPrA), Outcome::kAbort);
+}
+
+TEST(PresumptionTest, PrCPresumesCommit) {
+  EXPECT_EQ(PresumptionOf(ProtocolKind::kPrC), Outcome::kCommit);
+}
+
+TEST(PresumptionTest, PrNHasHiddenAbortPresumption) {
+  // The appendix: "there is a hidden presumption in PrN by which the
+  // coordinator considers all active transactions at the time of the
+  // failure as aborted ones."
+  EXPECT_EQ(PresumptionOf(ProtocolKind::kPrN), Outcome::kAbort);
+  EXPECT_FALSE(HasExplicitPresumption(ProtocolKind::kPrN));
+}
+
+TEST(PresumptionTest, ExplicitPresumptions) {
+  EXPECT_TRUE(HasExplicitPresumption(ProtocolKind::kPrA));
+  EXPECT_TRUE(HasExplicitPresumption(ProtocolKind::kPrC));
+}
+
+TEST(PresumptionTest, CompatibilityMatrix) {
+  // PrN and PrA agree (both abort); PrC conflicts with both — the
+  // incompatibility the whole paper is about.
+  EXPECT_TRUE(
+      PresumptionsCompatible(ProtocolKind::kPrN, ProtocolKind::kPrA));
+  EXPECT_FALSE(
+      PresumptionsCompatible(ProtocolKind::kPrA, ProtocolKind::kPrC));
+  EXPECT_FALSE(
+      PresumptionsCompatible(ProtocolKind::kPrN, ProtocolKind::kPrC));
+  for (ProtocolKind k :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    EXPECT_TRUE(PresumptionsCompatible(k, k));
+  }
+}
+
+TEST(PresumptionDeathTest, IntegrationProtocolsHaveNoStaticPresumption) {
+  EXPECT_DEATH({ PresumptionOf(ProtocolKind::kPrAny); },
+               "no static presumption");
+  EXPECT_DEATH({ PresumptionOf(ProtocolKind::kU2PC); },
+               "no static presumption");
+  EXPECT_DEATH({ PresumptionOf(ProtocolKind::kC2PC); },
+               "no static presumption");
+}
+
+}  // namespace
+}  // namespace prany

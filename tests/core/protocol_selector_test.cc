@@ -1,0 +1,70 @@
+#include "core/protocol_selector.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+std::vector<ParticipantInfo> Mix(std::vector<ProtocolKind> kinds) {
+  std::vector<ParticipantInfo> out;
+  SiteId id = 1;
+  for (ProtocolKind k : kinds) out.push_back({id++, k});
+  return out;
+}
+
+TEST(SelectorTest, HomogeneousDetection) {
+  EXPECT_TRUE(IsHomogeneous(Mix({ProtocolKind::kPrA})));
+  EXPECT_TRUE(IsHomogeneous(Mix({ProtocolKind::kPrA, ProtocolKind::kPrA})));
+  EXPECT_FALSE(
+      IsHomogeneous(Mix({ProtocolKind::kPrA, ProtocolKind::kPrC})));
+}
+
+TEST(SelectorTest, HomogeneousSetsUseTheirNativeProtocol) {
+  // §4.1: "The coordinator selects PrN if all the participants use PrN..."
+  for (ProtocolKind k :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    EXPECT_EQ(SelectCommitProtocol(Mix({k, k, k})), k);
+    EXPECT_EQ(SelectCommitProtocol(Mix({k})), k);
+  }
+}
+
+TEST(SelectorTest, PrAMixedWithOthersSelectsPrAny) {
+  // §4.1: "In the event that some of the participants employ PrA while
+  // the others employ PrN or PrC, the coordinator selects PrAny."
+  EXPECT_EQ(SelectCommitProtocol(Mix({ProtocolKind::kPrA,
+                                      ProtocolKind::kPrC})),
+            ProtocolKind::kPrAny);
+  EXPECT_EQ(SelectCommitProtocol(Mix({ProtocolKind::kPrA,
+                                      ProtocolKind::kPrN})),
+            ProtocolKind::kPrAny);
+  EXPECT_EQ(SelectCommitProtocol(Mix({ProtocolKind::kPrN,
+                                      ProtocolKind::kPrA,
+                                      ProtocolKind::kPrC})),
+            ProtocolKind::kPrAny);
+}
+
+TEST(SelectorTest, PrNPrCMixAlsoSelectsPrAny) {
+  // Documented deviation: the paper leaves this mix unspecified; we run
+  // PrAny (sound) rather than adding a special case.
+  EXPECT_EQ(SelectCommitProtocol(Mix({ProtocolKind::kPrN,
+                                      ProtocolKind::kPrC})),
+            ProtocolKind::kPrAny);
+}
+
+TEST(SelectorTest, OrderInsensitive) {
+  EXPECT_EQ(SelectCommitProtocol(Mix({ProtocolKind::kPrC,
+                                      ProtocolKind::kPrA})),
+            ProtocolKind::kPrAny);
+  EXPECT_EQ(SelectCommitProtocol(Mix({ProtocolKind::kPrC,
+                                      ProtocolKind::kPrC,
+                                      ProtocolKind::kPrC})),
+            ProtocolKind::kPrC);
+}
+
+TEST(SelectorDeathTest, EmptySetAborts) {
+  EXPECT_DEATH({ SelectCommitProtocol({}); }, "PRANY_CHECK");
+  EXPECT_DEATH({ IsHomogeneous({}); }, "PRANY_CHECK");
+}
+
+}  // namespace
+}  // namespace prany

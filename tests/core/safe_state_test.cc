@@ -1,0 +1,144 @@
+// Definition 2 (safe state) evaluated over synthetic and recorded
+// histories.
+
+#include "core/safe_state.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+SigEvent Decide(TxnId txn, Outcome o) {
+  return SigEvent{.type = SigEventType::kCoordDecide,
+                  .site = 0,
+                  .txn = txn,
+                  .outcome = o};
+}
+SigEvent Forget(TxnId txn) {
+  return SigEvent{.type = SigEventType::kCoordForget, .site = 0, .txn = txn};
+}
+SigEvent Respond(TxnId txn, Outcome o, SiteId peer, bool presumed) {
+  return SigEvent{.type = SigEventType::kCoordRespond,
+                  .site = 0,
+                  .txn = txn,
+                  .outcome = o,
+                  .peer = peer,
+                  .by_presumption = presumed};
+}
+
+TEST(SafeStateTest, EmptyHistoryIsSafe) {
+  EventLog history;
+  SafeStateReport report = SafeStateChecker::Check(history);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.txns_checked, 0u);
+}
+
+TEST(SafeStateTest, DecideWithoutInquiriesIsSafe) {
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Forget(1));
+  EXPECT_TRUE(SafeStateChecker::Check(history).ok());
+}
+
+TEST(SafeStateTest, MatchingPostForgetResponseIsSafe) {
+  // The second clause of Definition 2: committed, and every post-DeletePT
+  // inquiry answered commit.
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Forget(1));
+  history.Record(Respond(1, Outcome::kCommit, 2, /*presumed=*/true));
+  SafeStateReport report = SafeStateChecker::Check(history);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.responses_checked, 1u);
+}
+
+TEST(SafeStateTest, ContradictingPostForgetResponseViolates) {
+  // The U2PC failure shape: decided abort, forgot, answered commit.
+  EventLog history;
+  history.Record(Decide(1, Outcome::kAbort));
+  history.Record(Forget(1));
+  history.Record(Respond(1, Outcome::kCommit, 2, /*presumed=*/true));
+  SafeStateReport report = SafeStateChecker::Check(history);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].txn, 1u);
+  EXPECT_NE(report.violations[0].description.find("after DeletePT"),
+            std::string::npos);
+}
+
+TEST(SafeStateTest, PreForgetResponsesMustMatchToo) {
+  // Responses from the live protocol table must match by construction; a
+  // mismatch is a protocol bug and is flagged (stricter-but-sound
+  // reading, documented in the header).
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Respond(1, Outcome::kAbort, 2, /*presumed=*/false));
+  EXPECT_FALSE(SafeStateChecker::Check(history).ok());
+}
+
+TEST(SafeStateTest, UndecidedTxnMustBeAnsweredAbort) {
+  // No decision in H at all (coordinator lost it pre-decision): only the
+  // abort presumption is sound.
+  EventLog history;
+  history.Record(Respond(1, Outcome::kAbort, 2, /*presumed=*/true));
+  EXPECT_TRUE(SafeStateChecker::Check(history).ok());
+  history.Record(Respond(1, Outcome::kCommit, 3, /*presumed=*/true));
+  EXPECT_FALSE(SafeStateChecker::Check(history).ok());
+}
+
+TEST(SafeStateTest, TransactionsAreIndependent) {
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Forget(1));
+  history.Record(Respond(1, Outcome::kAbort, 2, true));  // violation
+  history.Record(Decide(2, Outcome::kAbort));
+  history.Record(Forget(2));
+  history.Record(Respond(2, Outcome::kAbort, 2, true));  // fine
+  SafeStateReport report = SafeStateChecker::Check(history);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].txn, 1u);
+  EXPECT_EQ(report.txns_checked, 2u);
+}
+
+TEST(SafeStateTest, HoldsForExplainsTheFailure) {
+  EventLog history;
+  history.Record(Decide(7, Outcome::kAbort));
+  history.Record(Forget(7));
+  history.Record(Respond(7, Outcome::kCommit, 4, true));
+  std::string why;
+  EXPECT_FALSE(SafeStateChecker::HoldsFor(history, 7, &why));
+  EXPECT_NE(why.find("responded commit"), std::string::npos);
+  EXPECT_NE(why.find("abort"), std::string::npos);
+  EXPECT_TRUE(SafeStateChecker::HoldsFor(history, 8));  // absent txn
+}
+
+TEST(SafeStateTest, MultipleForgetsUseTheFirst) {
+  // Forget, recovery re-insertion, forget again: responses after the
+  // FIRST forget are already constrained.
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Forget(1));
+  history.Record(Decide(1, Outcome::kCommit));  // recovery re-initiation
+  history.Record(Forget(1));
+  history.Record(Respond(1, Outcome::kCommit, 2, true));
+  EXPECT_TRUE(SafeStateChecker::Check(history).ok());
+}
+
+TEST(SafeStateTest, EndToEndPrAnyHistorySatisfiesDefinition2) {
+  // A real recorded history from the adversarial schedule: PrAny's
+  // responses must satisfy the criterion (Theorem 3's core argument).
+  ScenarioResult r = RunIncompatiblePresumptionScenario(
+      ProtocolKind::kPrAny, ProtocolKind::kPrN, Outcome::kCommit);
+  EXPECT_TRUE(r.summary.safe_state.ok());
+  EXPECT_GT(r.summary.safe_state.responses_checked, 0u);
+}
+
+TEST(SafeStateTest, EndToEndU2PCHistoryViolatesDefinition2) {
+  ScenarioResult r = RunIncompatiblePresumptionScenario(
+      ProtocolKind::kU2PC, ProtocolKind::kPrN, Outcome::kCommit);
+  EXPECT_FALSE(r.summary.safe_state.ok());
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,114 @@
+#include "harness/failure_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+FailureInjector MakeInjector() { return FailureInjector(Rng(1)); }
+
+TEST(FailureInjectorTest, NoRulesNeverCrashes) {
+  FailureInjector injector = MakeInjector();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector
+                     .Probe(0, CrashPoint::kPartOnDecisionReceived, 1)
+                     .has_value());
+  }
+  EXPECT_EQ(injector.crashes_injected(), 0u);
+}
+
+TEST(FailureInjectorTest, PointRuleFiresOnceOnExactMatch) {
+  FailureInjector injector = MakeInjector();
+  injector.CrashAtPoint(2, CrashPoint::kPartOnDecisionReceived, 7,
+                        /*downtime=*/1'000);
+  // Wrong site / point / txn: no fire.
+  EXPECT_FALSE(injector
+                   .Probe(1, CrashPoint::kPartOnDecisionReceived, 7)
+                   .has_value());
+  EXPECT_FALSE(
+      injector.Probe(2, CrashPoint::kPartAfterAckSent, 7).has_value());
+  EXPECT_FALSE(injector
+                   .Probe(2, CrashPoint::kPartOnDecisionReceived, 8)
+                   .has_value());
+  // Exact match fires with the configured downtime...
+  auto downtime = injector.Probe(2, CrashPoint::kPartOnDecisionReceived, 7);
+  ASSERT_TRUE(downtime.has_value());
+  EXPECT_EQ(*downtime, 1'000u);
+  // ...and only once.
+  EXPECT_FALSE(injector
+                   .Probe(2, CrashPoint::kPartOnDecisionReceived, 7)
+                   .has_value());
+  EXPECT_EQ(injector.crashes_injected(), 1u);
+}
+
+TEST(FailureInjectorTest, WildcardTxnMatchesAny) {
+  FailureInjector injector = MakeInjector();
+  injector.CrashAtPoint(2, CrashPoint::kPartAfterVoteSent, kInvalidTxn,
+                        500);
+  EXPECT_TRUE(
+      injector.Probe(2, CrashPoint::kPartAfterVoteSent, 42).has_value());
+}
+
+TEST(FailureInjectorTest, SkipCountDelaysFiring) {
+  FailureInjector injector = MakeInjector();
+  injector.CrashAtPoint(0, CrashPoint::kCoordAfterDecisionMade, kInvalidTxn,
+                        500, /*skip=*/2);
+  EXPECT_FALSE(injector
+                   .Probe(0, CrashPoint::kCoordAfterDecisionMade, 1)
+                   .has_value());
+  EXPECT_FALSE(injector
+                   .Probe(0, CrashPoint::kCoordAfterDecisionMade, 2)
+                   .has_value());
+  EXPECT_TRUE(injector
+                  .Probe(0, CrashPoint::kCoordAfterDecisionMade, 3)
+                  .has_value());
+}
+
+TEST(FailureInjectorTest, MultipleRulesFireIndependently) {
+  FailureInjector injector = MakeInjector();
+  injector.CrashAtPoint(1, CrashPoint::kPartAfterVoteSent, kInvalidTxn, 100);
+  injector.CrashAtPoint(2, CrashPoint::kPartAfterVoteSent, kInvalidTxn, 200);
+  EXPECT_EQ(*injector.Probe(2, CrashPoint::kPartAfterVoteSent, 1), 200u);
+  EXPECT_EQ(*injector.Probe(1, CrashPoint::kPartAfterVoteSent, 1), 100u);
+  EXPECT_EQ(injector.crashes_injected(), 2u);
+}
+
+TEST(FailureInjectorTest, RandomCrashesRespectProbabilityAndRange) {
+  FailureInjector injector = MakeInjector();
+  injector.SetRandomCrashes(0.5, 100, 200);
+  int fires = 0;
+  constexpr int kTrials = 2'000;
+  for (int i = 0; i < kTrials; ++i) {
+    auto downtime = injector.Probe(0, CrashPoint::kPartAfterVoteSent, 1);
+    if (downtime.has_value()) {
+      ++fires;
+      EXPECT_GE(*downtime, 100u);
+      EXPECT_LE(*downtime, 200u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fires) / kTrials, 0.5, 0.05);
+}
+
+TEST(FailureInjectorTest, RandomCrashBudgetCapsInjections) {
+  FailureInjector injector = MakeInjector();
+  injector.SetRandomCrashes(1.0, 100, 100);
+  injector.SetRandomCrashBudget(3);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.Probe(0, CrashPoint::kPartAfterVoteSent, 1).has_value()) {
+      ++fires;
+    }
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(FailureInjectorTest, PointRulesTakePriorityOverBudgetAccounting) {
+  FailureInjector injector = MakeInjector();
+  injector.SetRandomCrashes(0.0, 0, 0);
+  injector.CrashAtPoint(0, CrashPoint::kPartAfterVoteSent, kInvalidTxn, 50);
+  EXPECT_TRUE(
+      injector.Probe(0, CrashPoint::kPartAfterVoteSent, 1).has_value());
+}
+
+}  // namespace
+}  // namespace prany

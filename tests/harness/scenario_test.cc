@@ -1,0 +1,100 @@
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(ScenarioTest, RunFlowReportsConsistentTotals) {
+  FlowResult r = RunFlow(ProtocolKind::kPrN, ProtocolKind::kPrN,
+                         {ProtocolKind::kPrN, ProtocolKind::kPrN},
+                         Outcome::kCommit);
+  int64_t sum = 0;
+  for (const auto& [type, count] : r.messages) {
+    (void)type;
+    sum += count;
+  }
+  EXPECT_EQ(sum, r.total_messages);
+  EXPECT_TRUE(r.correct);
+  EXPECT_GE(r.coord_appends, r.coord_forced);
+  EXPECT_GE(r.part_appends, r.part_forced);
+}
+
+TEST(ScenarioTest, RunFlowIsDeterministic) {
+  auto run = [] {
+    return RunFlow(ProtocolKind::kPrAny, ProtocolKind::kPrN,
+                   {ProtocolKind::kPrA, ProtocolKind::kPrC},
+                   Outcome::kCommit, /*seed=*/3);
+  };
+  FlowResult a = run();
+  FlowResult b = run();
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.completion_latency_us, b.completion_latency_us);
+  EXPECT_EQ(a.coord_forced, b.coord_forced);
+}
+
+TEST(ScenarioTest, ForcedWriteLatencyShiftsTheTimeline) {
+  FlowResult fast = RunFlow(ProtocolKind::kPrN, ProtocolKind::kPrN,
+                            {ProtocolKind::kPrN}, Outcome::kCommit,
+                            /*seed=*/1, /*forced_write_latency=*/0);
+  FlowResult slow = RunFlow(ProtocolKind::kPrN, ProtocolKind::kPrN,
+                            {ProtocolKind::kPrN}, Outcome::kCommit,
+                            /*seed=*/1, /*forced_write_latency=*/2'000);
+  EXPECT_GT(slow.completion_latency_us, fast.completion_latency_us);
+  // Same logical protocol, identical counts.
+  EXPECT_EQ(slow.total_messages, fast.total_messages);
+}
+
+TEST(ScenarioTest, IncompatiblePresumptionScenarioShape) {
+  ScenarioResult r = RunIncompatiblePresumptionScenario(
+      ProtocolKind::kPrAny, ProtocolKind::kPrN, Outcome::kCommit);
+  // Sites 1 (PrA) and 2 (PrC) both enforced; one site crashed exactly
+  // once (the victim).
+  EXPECT_EQ(r.enforced.size(), 2u);
+  EXPECT_EQ(r.summary.crashes, 1u);
+  EXPECT_FALSE(r.run.hit_event_limit);
+}
+
+TEST(ScenarioTest, SweepCountsScenariosExactly) {
+  // One 2-participant mix: (5 coord + 2x6 participant points) x 2
+  // outcomes = 34.
+  SweepResult sweep = RunCrashSweep(
+      ProtocolKind::kPrAny, ProtocolKind::kPrN,
+      {{ProtocolKind::kPrA, ProtocolKind::kPrC}});
+  EXPECT_EQ(sweep.scenarios, 34u);
+  EXPECT_TRUE(sweep.AllCorrect());
+}
+
+TEST(ScenarioTest, SweepRecordsFailureDescriptions) {
+  SweepResult sweep = RunCrashSweep(
+      ProtocolKind::kU2PC, ProtocolKind::kPrC,
+      {{ProtocolKind::kPrA, ProtocolKind::kPrC}});
+  EXPECT_GT(sweep.atomicity_failures, 0u);
+  ASSERT_FALSE(sweep.failure_descriptions.empty());
+  EXPECT_NE(sweep.failure_descriptions[0].find("mix=["), std::string::npos);
+}
+
+TEST(ScenarioTest, StandardMixesCoverHomogeneousAndMixedSets) {
+  auto mixes = StandardMixes();
+  EXPECT_GE(mixes.size(), 8u);
+  int homogeneous = 0, mixed = 0;
+  for (const auto& mix : mixes) {
+    bool homo = true;
+    for (ProtocolKind p : mix) homo = homo && p == mix.front();
+    homo ? ++homogeneous : ++mixed;
+    // The paper's participants are always base-protocol sites.
+    for (ProtocolKind p : mix) EXPECT_TRUE(IsBaseProtocol(p));
+  }
+  EXPECT_GE(homogeneous, 3);
+  EXPECT_GE(mixed, 4);
+  // The paper's motivating mix is present.
+  bool has_paper_mix = false;
+  for (const auto& mix : mixes) {
+    has_paper_mix |= mix == std::vector<ProtocolKind>{ProtocolKind::kPrA,
+                                                      ProtocolKind::kPrC};
+  }
+  EXPECT_TRUE(has_paper_mix);
+}
+
+}  // namespace
+}  // namespace prany

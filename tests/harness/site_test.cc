@@ -1,0 +1,132 @@
+#include "harness/site.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/system.h"
+
+namespace prany {
+namespace {
+
+TEST(SiteTest, ExposesItsConfiguration) {
+  System system;
+  Site* site = system.AddSite(ProtocolKind::kPrA, ProtocolKind::kU2PC,
+                              ProtocolKind::kPrC);
+  EXPECT_EQ(site->id(), 0u);
+  EXPECT_EQ(site->participant_protocol(), ProtocolKind::kPrA);
+  EXPECT_EQ(site->coordinator()->kind(), ProtocolKind::kU2PC);
+  EXPECT_TRUE(site->IsUp());
+  EXPECT_EQ(site->crash_count(), 0u);
+}
+
+TEST(SiteTest, EveryCoordinatorKindConstructs) {
+  System system;
+  EXPECT_EQ(system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrN)
+                ->coordinator()
+                ->kind(),
+            ProtocolKind::kPrN);
+  EXPECT_EQ(system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrA)
+                ->coordinator()
+                ->kind(),
+            ProtocolKind::kPrA);
+  EXPECT_EQ(system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrC)
+                ->coordinator()
+                ->kind(),
+            ProtocolKind::kPrC);
+  EXPECT_EQ(system.AddSite(ProtocolKind::kPrN, ProtocolKind::kU2PC)
+                ->coordinator()
+                ->kind(),
+            ProtocolKind::kU2PC);
+  EXPECT_EQ(system.AddSite(ProtocolKind::kPrN, ProtocolKind::kC2PC)
+                ->coordinator()
+                ->kind(),
+            ProtocolKind::kC2PC);
+  EXPECT_EQ(system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny)
+                ->coordinator()
+                ->kind(),
+            ProtocolKind::kPrAny);
+}
+
+TEST(SiteTest, CrashTakesStateDownAndRecoveryRestoresLiveness) {
+  System system;
+  Site* site = system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  site->wal()->Append(LogRecord::End(1), /*force=*/false);
+  EXPECT_EQ(site->wal()->VolatileSize(), 1u);
+  site->Crash(/*downtime=*/1'000);
+  EXPECT_FALSE(site->IsUp());
+  EXPECT_EQ(site->crash_count(), 1u);
+  // The volatile log tail is gone.
+  EXPECT_EQ(site->wal()->VolatileSize(), 0u);
+  system.sim().Run();
+  EXPECT_TRUE(site->IsUp());
+}
+
+TEST(SiteTest, DownSiteIgnoresDirectMessages) {
+  System system;
+  Site* coordinator_site =
+      system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrA);
+  coordinator_site->Crash(10'000);
+  // Defensive-path check: even a direct OnMessage call while down is a
+  // no-op (the network already drops messages to down sites).
+  coordinator_site->OnMessage(Message::Inquiry(5, 1, 0));
+  system.sim().Run();
+  EXPECT_EQ(system.history().FirstWhere([](const SigEvent& e) {
+    return e.type == SigEventType::kCoordInquiryRecv;
+  }),
+            nullptr);
+}
+
+TEST(SiteTest, MessageDispatchRoutesByType) {
+  System system;
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  Site* participant = system.AddSite(ProtocolKind::kPrA);
+  // A PREPARE routed to the participant engine produces a vote.
+  participant->OnMessage(Message::Prepare(7, 0, 1));
+  system.sim().Run(100, 2'000);
+  EXPECT_EQ(system.metrics().Get("net.msg.VOTE"), 1);
+  EXPECT_TRUE(participant->participant()->IsInDoubt(7));
+}
+
+TEST(SiteTest, EndStateSnapshotsTables) {
+  System system;
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  Site* participant = system.AddSite(ProtocolKind::kPrA);
+  participant->OnMessage(Message::Prepare(7, 0, 1));
+  system.sim().Run(100, 2'000);
+  SiteEndState state = participant->EndState();
+  EXPECT_EQ(state.site, 1u);
+  EXPECT_EQ(state.participant_entries, 1u);   // in doubt
+  EXPECT_EQ(state.coord_table_size, 0u);
+  EXPECT_EQ(state.unreleased_txns.size(), 1u);  // its prepared record
+}
+
+TEST(SiteTest, CrashProbeHandlerDrivesInjectedCrashes) {
+  System system;
+  Site* coordinator_site =
+      system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrA);
+  int probes = 0;
+  coordinator_site->SetCrashProbeHandler(
+      [&](SiteId site, CrashPoint point, TxnId txn)
+          -> std::optional<SimDuration> {
+        ++probes;
+        EXPECT_EQ(site, 0u);
+        (void)point;
+        (void)txn;
+        return std::nullopt;
+      });
+  system.Submit(0, {1});
+  system.Run();
+  EXPECT_GT(probes, 0);
+  EXPECT_EQ(coordinator_site->crash_count(), 0u);
+}
+
+TEST(SiteDeathTest, CrashingADownSiteAborts) {
+  System system;
+  Site* site = system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  site->Crash(1'000);
+  EXPECT_DEATH({ site->Crash(1'000); }, "already down");
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,149 @@
+#include "harness/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/run_result.h"
+
+namespace prany {
+namespace {
+
+std::unique_ptr<System> MakeFederation(uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  auto system = std::make_unique<System>(cfg);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);  // coordinator
+  system->AddSite(ProtocolKind::kPrN);
+  system->AddSite(ProtocolKind::kPrA);
+  system->AddSite(ProtocolKind::kPrA);
+  system->AddSite(ProtocolKind::kPrC);
+  system->AddSite(ProtocolKind::kPrC);
+  return system;
+}
+
+WorkloadConfig BaseConfig() {
+  WorkloadConfig cfg;
+  cfg.num_txns = 50;
+  cfg.min_participants = 2;
+  cfg.max_participants = 4;
+  cfg.coordinators = {0};
+  cfg.participant_pool = {1, 2, 3, 4, 5};
+  return cfg;
+}
+
+TEST(WorkloadTest, GeneratesRequestedNumberOfTxns) {
+  auto system = MakeFederation();
+  WorkloadGenerator gen(system.get(), BaseConfig());
+  std::vector<TxnId> ids = gen.GenerateAndSchedule();
+  EXPECT_EQ(ids.size(), 50u);
+  system->Run();
+  EXPECT_EQ(system->metrics().Get("coord.begin"), 50);
+  EXPECT_TRUE(system->CheckOperational().ok());
+}
+
+TEST(WorkloadTest, AllYesWorkloadOnlyCommits) {
+  auto system = MakeFederation();
+  WorkloadConfig cfg = BaseConfig();
+  cfg.no_vote_probability = 0.0;
+  WorkloadGenerator gen(system.get(), cfg);
+  gen.GenerateAndSchedule();
+  system->Run();
+  EXPECT_EQ(system->metrics().Get("coord.decide_commit"), 50);
+  EXPECT_EQ(system->metrics().Get("coord.decide_abort"), 0);
+}
+
+TEST(WorkloadTest, NoVoteProbabilityOneOnlyAborts) {
+  auto system = MakeFederation();
+  WorkloadConfig cfg = BaseConfig();
+  cfg.no_vote_probability = 1.0;
+  WorkloadGenerator gen(system.get(), cfg);
+  gen.GenerateAndSchedule();
+  system->Run();
+  EXPECT_EQ(system->metrics().Get("coord.decide_commit"), 0);
+  EXPECT_EQ(system->metrics().Get("coord.decide_abort"), 50);
+  EXPECT_TRUE(system->CheckOperational().ok());
+}
+
+TEST(WorkloadTest, MixedAbortRateLandsBetween) {
+  auto system = MakeFederation();
+  WorkloadConfig cfg = BaseConfig();
+  cfg.num_txns = 200;
+  cfg.no_vote_probability = 0.3;
+  WorkloadGenerator gen(system.get(), cfg);
+  gen.GenerateAndSchedule();
+  system->Run();
+  int64_t aborts = system->metrics().Get("coord.decide_abort");
+  EXPECT_GT(aborts, 30);
+  EXPECT_LT(aborts, 90);
+  EXPECT_TRUE(system->CheckOperational().ok());
+}
+
+TEST(WorkloadTest, ParticipantCountsRespectBounds) {
+  auto system = MakeFederation();
+  WorkloadConfig cfg = BaseConfig();
+  cfg.min_participants = 3;
+  cfg.max_participants = 3;
+  WorkloadGenerator gen(system.get(), cfg);
+  gen.GenerateAndSchedule();
+  system->Run();
+  // Every txn has exactly 3 participants: 3 prepares each.
+  EXPECT_EQ(system->metrics().Get("net.msg.PREPARE"), 50 * 3);
+}
+
+TEST(WorkloadTest, CoordinatorNeverParticipatesInItsOwnTxns) {
+  auto system = MakeFederation();
+  WorkloadConfig cfg = BaseConfig();
+  cfg.participant_pool = {0, 1, 2};  // pool includes the coordinator
+  WorkloadGenerator gen(system.get(), cfg);
+  gen.GenerateAndSchedule();
+  system->Run();
+  // Would CHECK-fail inside Transaction::Validate otherwise; also verify
+  // no prepares were addressed to site 0.
+  EXPECT_TRUE(system->CheckOperational().ok());
+}
+
+TEST(WorkloadTest, DeterministicForFixedSeed) {
+  auto run = [](uint64_t seed) {
+    auto system = MakeFederation(seed);
+    WorkloadGenerator gen(system.get(), BaseConfig());
+    gen.GenerateAndSchedule();
+    system->Run();
+    return system->net().stats().messages_sent;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(WorkloadTest, MultipleCoordinatorsShareTheLoad) {
+  SystemConfig sys_cfg;
+  auto system = std::make_unique<System>(sys_cfg);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  for (int i = 0; i < 4; ++i) system->AddSite(ProtocolKind::kPrA);
+  WorkloadConfig cfg = BaseConfig();
+  cfg.coordinators = {0, 1};
+  cfg.participant_pool = {2, 3, 4, 5};
+  cfg.num_txns = 100;
+  WorkloadGenerator gen(system.get(), cfg);
+  gen.GenerateAndSchedule();
+  system->Run();
+  size_t max0 = system->site(0)->coordinator()->table().MaxSize();
+  size_t max1 = system->site(1)->coordinator()->table().MaxSize();
+  EXPECT_GT(max0, 0u);
+  EXPECT_GT(max1, 0u);
+  EXPECT_TRUE(system->CheckOperational().ok());
+}
+
+TEST(WorkloadDeathTest, InvalidConfigAborts) {
+  auto system = MakeFederation();
+  WorkloadConfig cfg = BaseConfig();
+  cfg.coordinators.clear();
+  EXPECT_DEATH({ WorkloadGenerator bad(system.get(), cfg); },
+               "PRANY_CHECK");
+  cfg = BaseConfig();
+  cfg.min_participants = 5;
+  cfg.max_participants = 2;
+  EXPECT_DEATH({ WorkloadGenerator bad(system.get(), cfg); },
+               "PRANY_CHECK");
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,122 @@
+#include "history/atomicity_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+SigEvent Decide(TxnId txn, Outcome o) {
+  return SigEvent{.type = SigEventType::kCoordDecide,
+                  .site = 0,
+                  .txn = txn,
+                  .outcome = o};
+}
+SigEvent Enforce(TxnId txn, SiteId site, Outcome o) {
+  return SigEvent{.type = SigEventType::kPartEnforce,
+                  .site = site,
+                  .txn = txn,
+                  .outcome = o};
+}
+
+TEST(AtomicityCheckerTest, EmptyHistoryIsClean) {
+  EventLog history;
+  AtomicityReport report = AtomicityChecker::Check(history);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.txns_checked, 0u);
+}
+
+TEST(AtomicityCheckerTest, ConsistentCommitIsClean) {
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Enforce(1, 1, Outcome::kCommit));
+  history.Record(Enforce(1, 2, Outcome::kCommit));
+  EXPECT_TRUE(AtomicityChecker::Check(history).ok());
+}
+
+TEST(AtomicityCheckerTest, MixedEnforcementsAreAViolation) {
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Enforce(1, 1, Outcome::kCommit));
+  history.Record(Enforce(1, 2, Outcome::kAbort));
+  AtomicityReport report = AtomicityChecker::Check(history);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].txn, 1u);
+}
+
+TEST(AtomicityCheckerTest, EnforcementAgainstDecisionIsAViolation) {
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Enforce(1, 1, Outcome::kAbort));
+  history.Record(Enforce(1, 2, Outcome::kAbort));
+  AtomicityReport report = AtomicityChecker::Check(history);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].description.find("decided commit"),
+            std::string::npos);
+}
+
+TEST(AtomicityCheckerTest, ConflictingDecisionsAreAViolation) {
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Decide(1, Outcome::kAbort));
+  EXPECT_FALSE(AtomicityChecker::Check(history).ok());
+}
+
+TEST(AtomicityCheckerTest, RepeatedIdenticalDecisionsAreFine) {
+  // Recovery re-initiation records a second Decide with the same outcome.
+  EventLog history;
+  history.Record(Decide(1, Outcome::kAbort));
+  history.Record(Decide(1, Outcome::kAbort));
+  history.Record(Enforce(1, 1, Outcome::kAbort));
+  EXPECT_TRUE(AtomicityChecker::Check(history).ok());
+}
+
+TEST(AtomicityCheckerTest, ReEnforcementSameOutcomeIsFine) {
+  // Participant redo after recovery.
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Enforce(1, 1, Outcome::kCommit));
+  history.Record(Enforce(1, 1, Outcome::kCommit));
+  EXPECT_TRUE(AtomicityChecker::Check(history).ok());
+}
+
+TEST(AtomicityCheckerTest, SameSiteBothOutcomesIsAViolation) {
+  EventLog history;
+  history.Record(Enforce(1, 1, Outcome::kCommit));
+  history.Record(Enforce(1, 1, Outcome::kAbort));
+  AtomicityReport report = AtomicityChecker::Check(history);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].description.find("site 1"),
+            std::string::npos);
+}
+
+TEST(AtomicityCheckerTest, DecisionWithoutEnforcementsIsClean) {
+  // A transaction aborted before any participant prepared.
+  EventLog history;
+  history.Record(Decide(1, Outcome::kAbort));
+  EXPECT_TRUE(AtomicityChecker::Check(history).ok());
+}
+
+TEST(AtomicityCheckerTest, ViolationsAreScopedToTheirTxn) {
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Enforce(1, 1, Outcome::kCommit));
+  history.Record(Decide(2, Outcome::kCommit));
+  history.Record(Enforce(2, 1, Outcome::kCommit));
+  history.Record(Enforce(2, 2, Outcome::kAbort));
+  AtomicityReport report = AtomicityChecker::Check(history);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].txn, 2u);
+  EXPECT_EQ(report.txns_checked, 2u);
+}
+
+TEST(AtomicityCheckerTest, ToStringSummarizes) {
+  EventLog history;
+  history.Record(Enforce(1, 1, Outcome::kCommit));
+  history.Record(Enforce(1, 2, Outcome::kAbort));
+  std::string s = AtomicityChecker::Check(history).ToString();
+  EXPECT_NE(s.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(s.find("txn 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prany

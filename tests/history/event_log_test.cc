@@ -1,0 +1,102 @@
+#include "history/event_log.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+SigEvent Make(SigEventType type, TxnId txn, SiteId site = 0) {
+  return SigEvent{.type = type, .site = site, .txn = txn};
+}
+
+TEST(EventLogTest, RecordAssignsMonotoneSequence) {
+  EventLog log;
+  const SigEvent& a = log.Record(Make(SigEventType::kTxnSubmitted, 1));
+  uint64_t a_seq = a.seq;
+  const SigEvent& b = log.Record(Make(SigEventType::kCoordDecide, 1));
+  EXPECT_GT(b.seq, a_seq);
+  EXPECT_EQ(log.events().size(), 2u);
+}
+
+TEST(EventLogTest, PrecedesIsSequenceOrder) {
+  EventLog log;
+  log.Record(Make(SigEventType::kTxnSubmitted, 1));
+  log.Record(Make(SigEventType::kCoordDecide, 1));
+  const SigEvent& a = log.events()[0];
+  const SigEvent& b = log.events()[1];
+  EXPECT_TRUE(EventLog::Precedes(a, b));
+  EXPECT_FALSE(EventLog::Precedes(b, a));
+}
+
+TEST(EventLogTest, ForTxnFilters) {
+  EventLog log;
+  log.Record(Make(SigEventType::kTxnSubmitted, 1));
+  log.Record(Make(SigEventType::kTxnSubmitted, 2));
+  log.Record(Make(SigEventType::kCoordDecide, 1));
+  auto events = log.ForTxn(1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->type, SigEventType::kTxnSubmitted);
+  EXPECT_EQ(events[1]->type, SigEventType::kCoordDecide);
+  EXPECT_TRUE(log.ForTxn(99).empty());
+}
+
+TEST(EventLogTest, FirstWhere) {
+  EventLog log;
+  log.Record(Make(SigEventType::kTxnSubmitted, 1));
+  log.Record(Make(SigEventType::kCoordDecide, 1));
+  log.Record(Make(SigEventType::kCoordDecide, 2));
+  const SigEvent* found = log.FirstWhere([](const SigEvent& e) {
+    return e.type == SigEventType::kCoordDecide;
+  });
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->txn, 1u);
+  EXPECT_EQ(log.FirstWhere([](const SigEvent& e) {
+    return e.type == SigEventType::kSiteCrash;
+  }),
+            nullptr);
+}
+
+TEST(EventLogTest, TxnsListsDistinctIds) {
+  EventLog log;
+  log.Record(Make(SigEventType::kTxnSubmitted, 3));
+  log.Record(Make(SigEventType::kTxnSubmitted, 1));
+  log.Record(Make(SigEventType::kCoordDecide, 3));
+  log.Record(SigEvent{.type = SigEventType::kSiteCrash, .site = 0});
+  EXPECT_EQ(log.Txns(), (std::vector<TxnId>{1, 3}));
+}
+
+TEST(EventLogTest, ClearResets) {
+  EventLog log;
+  log.Record(Make(SigEventType::kTxnSubmitted, 1));
+  log.Clear();
+  EXPECT_TRUE(log.events().empty());
+  const SigEvent& e = log.Record(Make(SigEventType::kTxnSubmitted, 2));
+  EXPECT_EQ(e.seq, 1u);
+}
+
+TEST(EventLogTest, ToStringRendersEvents) {
+  EventLog log;
+  SigEvent e = Make(SigEventType::kCoordRespond, 7, 3);
+  e.outcome = Outcome::kCommit;
+  e.peer = 5;
+  e.by_presumption = true;
+  log.Record(e);
+  std::string s = log.ToString();
+  EXPECT_NE(s.find("Respond"), std::string::npos);
+  EXPECT_NE(s.find("txn=7"), std::string::npos);
+  EXPECT_NE(s.find("site=3"), std::string::npos);
+  EXPECT_NE(s.find("peer=5"), std::string::npos);
+  EXPECT_NE(s.find("outcome=commit"), std::string::npos);
+  EXPECT_NE(s.find("by_presumption"), std::string::npos);
+}
+
+TEST(EventLogTest, AllTypeNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i <= static_cast<int>(SigEventType::kSiteRecover); ++i) {
+    names.insert(ToString(static_cast<SigEventType>(i)));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+}  // namespace
+}  // namespace prany

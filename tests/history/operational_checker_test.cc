@@ -1,0 +1,114 @@
+#include "history/operational_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+SiteEndState CleanSite(SiteId id) {
+  SiteEndState s;
+  s.site = id;
+  return s;
+}
+
+TEST(OperationalCheckerTest, CleanRunPasses) {
+  EventLog history;
+  history.Record(SigEvent{.type = SigEventType::kCoordDecide,
+                          .site = 0,
+                          .txn = 1,
+                          .outcome = Outcome::kCommit});
+  history.Record(SigEvent{.type = SigEventType::kPartEnforce,
+                          .site = 1,
+                          .txn = 1,
+                          .outcome = Outcome::kCommit});
+  OperationalReport report =
+      OperationalChecker::Check(history, {CleanSite(0), CleanSite(1)});
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.atomicity.ok());
+  EXPECT_TRUE(report.coordinators_forget);
+  EXPECT_TRUE(report.participants_forget);
+}
+
+TEST(OperationalCheckerTest, Clause1FailsOnAtomicityViolation) {
+  EventLog history;
+  history.Record(SigEvent{.type = SigEventType::kPartEnforce,
+                          .site = 1,
+                          .txn = 1,
+                          .outcome = Outcome::kCommit});
+  history.Record(SigEvent{.type = SigEventType::kPartEnforce,
+                          .site = 2,
+                          .txn = 1,
+                          .outcome = Outcome::kAbort});
+  OperationalReport report =
+      OperationalChecker::Check(history, {CleanSite(0)});
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.atomicity.ok());
+  EXPECT_TRUE(report.coordinators_forget);  // clauses are independent
+}
+
+TEST(OperationalCheckerTest, Clause2FailsOnResidualTableEntries) {
+  EventLog history;
+  SiteEndState leaky = CleanSite(0);
+  leaky.coord_table_size = 3;
+  OperationalReport report = OperationalChecker::Check(history, {leaky});
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.coordinators_forget);
+  EXPECT_TRUE(report.participants_forget);
+  ASSERT_FALSE(report.problems.empty());
+  EXPECT_NE(report.problems[0].find("protocol-table entries"),
+            std::string::npos);
+}
+
+TEST(OperationalCheckerTest, Clause2FailsOnUnreleasableLog) {
+  EventLog history;
+  SiteEndState leaky = CleanSite(0);
+  leaky.unreleased_txns = {1, 2};
+  OperationalReport report = OperationalChecker::Check(history, {leaky});
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.coordinators_forget);
+}
+
+TEST(OperationalCheckerTest, Clause3FailsOnResidualParticipantEntries) {
+  EventLog history;
+  SiteEndState leaky = CleanSite(1);
+  leaky.participant_entries = 1;
+  OperationalReport report = OperationalChecker::Check(history, {leaky});
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.participants_forget);
+  EXPECT_TRUE(report.coordinators_forget);
+}
+
+TEST(OperationalCheckerTest, ProblemsNameTheSite) {
+  EventLog history;
+  SiteEndState leaky = CleanSite(7);
+  leaky.coord_table_size = 1;
+  OperationalReport report = OperationalChecker::Check(history, {leaky});
+  ASSERT_FALSE(report.problems.empty());
+  EXPECT_NE(report.problems[0].find("site 7"), std::string::npos);
+}
+
+TEST(OperationalCheckerTest, ToStringListsAllClauses) {
+  EventLog history;
+  std::string s =
+      OperationalChecker::Check(history, {CleanSite(0)}).ToString();
+  EXPECT_NE(s.find("clause 1"), std::string::npos);
+  EXPECT_NE(s.find("clause 2"), std::string::npos);
+  EXPECT_NE(s.find("clause 3"), std::string::npos);
+  EXPECT_NE(s.find("OK"), std::string::npos);
+}
+
+TEST(OperationalCheckerTest, MultipleSitesAggregated) {
+  EventLog history;
+  SiteEndState a = CleanSite(0);
+  SiteEndState b = CleanSite(1);
+  b.participant_entries = 2;
+  SiteEndState c = CleanSite(2);
+  c.coord_table_size = 1;
+  OperationalReport report = OperationalChecker::Check(history, {a, b, c});
+  EXPECT_FALSE(report.coordinators_forget);
+  EXPECT_FALSE(report.participants_forget);
+  EXPECT_EQ(report.problems.size(), 2u);
+}
+
+}  // namespace
+}  // namespace prany

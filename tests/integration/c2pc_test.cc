@@ -1,0 +1,154 @@
+// Theorem 2, executably: a C2PC coordinator achieves functional
+// correctness (atomicity) but not operational correctness — entries for
+// transactions with a mixed-presumption participant set can never be
+// deleted from its protocol table, and their log records can never be
+// garbage collected.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+#include "harness/workload.h"
+
+namespace prany {
+namespace {
+
+std::unique_ptr<System> C2pcSystem() {
+  SystemConfig cfg;
+  cfg.seed = 5;
+  auto system = std::make_unique<System>(cfg);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kC2PC);
+  system->AddSite(ProtocolKind::kPrN);  // 1
+  system->AddSite(ProtocolKind::kPrA);  // 2
+  system->AddSite(ProtocolKind::kPrC);  // 3
+  return system;
+}
+
+TEST(Theorem2Test, PartI_CommitWithPrCParticipantNeverForgets) {
+  auto system = C2pcSystem();
+  TxnId txn = system->Submit(0, {2, 3});  // {PrA, PrC}, commit
+  system->Run();
+  // Functionally correct: both participants committed.
+  EXPECT_TRUE(system->CheckAtomicity().ok());
+  // Operationally incorrect: the PrC participant never acks a commit, so
+  // the entry and its log records are stuck.
+  EXPECT_EQ(system->site(0)->coordinator()->table().Size(), 1u);
+  EXPECT_EQ(system->site(0)->wal()->UnreleasedTxns().count(txn), 1u);
+  OperationalReport op = system->CheckOperational();
+  EXPECT_TRUE(op.atomicity.ok());
+  EXPECT_FALSE(op.coordinators_forget);
+}
+
+TEST(Theorem2Test, PartIII_AbortWithPrAParticipantNeverForgets) {
+  auto system = C2pcSystem();
+  TxnId txn = system->Submit(0, {2, 3});
+  system->sim().ScheduleAt(800, [sys = system.get(), txn]() {
+    sys->site(0)->coordinator()->ForceAbort(txn);
+  });
+  system->Run();
+  EXPECT_TRUE(system->CheckAtomicity().ok());
+  // The PrA participant never acks an abort.
+  EXPECT_EQ(system->site(0)->coordinator()->table().Size(), 1u);
+  EXPECT_FALSE(system->CheckOperational().ok());
+}
+
+TEST(Theorem2Test, CompatibleOutcomesDoComplete) {
+  // The stuckness is outcome-dependent: aborts complete against
+  // {PrN, PrC} (both ack aborts), commits against {PrN, PrA}.
+  auto commit_system = C2pcSystem();
+  commit_system->Submit(0, {1, 2});  // {PrN, PrA} commit: both ack
+  commit_system->Run();
+  EXPECT_TRUE(commit_system->CheckOperational().ok())
+      << commit_system->CheckOperational().ToString();
+
+  auto abort_system = C2pcSystem();
+  TxnId txn = abort_system->Submit(0, {1, 3});  // {PrN, PrC}
+  abort_system->sim().ScheduleAt(800, [sys = abort_system.get(), txn]() {
+    sys->site(0)->coordinator()->ForceAbort(txn);
+  });
+  abort_system->Run();
+  EXPECT_TRUE(abort_system->CheckOperational().ok());
+}
+
+TEST(Theorem2Test, ProtocolTableGrowsWithoutBoundUnderMixedLoad) {
+  // The operational consequence: table size is monotone in the number of
+  // mixed-presumption transactions — C2PC "remembers forever".
+  auto system = C2pcSystem();
+  constexpr int kTxns = 40;
+  for (int i = 0; i < kTxns; ++i) {
+    system->Submit(0, {2, 3});  // every commit pins an entry
+  }
+  system->Run();
+  EXPECT_TRUE(system->CheckAtomicity().ok());
+  EXPECT_EQ(system->site(0)->coordinator()->table().Size(),
+            static_cast<size_t>(kTxns));
+  EXPECT_EQ(system->site(0)->wal()->UnreleasedTxns().size(),
+            static_cast<size_t>(kTxns));
+}
+
+TEST(Theorem2Test, PrAnyUnderTheSameLoadStaysFlat) {
+  // The control for the memory experiment (and Theorem 3's clause 2).
+  SystemConfig cfg;
+  cfg.seed = 5;
+  System system(cfg);
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrA);
+  system.AddSite(ProtocolKind::kPrC);
+  for (int i = 0; i < 40; ++i) system.Submit(0, {1, 2});
+  system.Run();
+  EXPECT_EQ(system.site(0)->coordinator()->table().Size(), 0u);
+  EXPECT_TRUE(system.site(0)->wal()->UnreleasedTxns().empty());
+  EXPECT_TRUE(system.CheckOperational().ok());
+}
+
+TEST(Theorem2Test, StuckEntriesStillAnswerInquiriesCorrectly) {
+  // Functional correctness is preserved *because* C2PC never presumes:
+  // a late inquirer is answered from the table entry that never died.
+  auto system = C2pcSystem();
+  TxnId txn = system->Submit(0, {2, 3});
+  // The PrC participant crashes on the decision and recovers much later.
+  system->injector().CrashAtPoint(3, CrashPoint::kPartOnDecisionReceived,
+                                  txn, /*downtime=*/1'000'000);
+  system->Run();
+  EXPECT_TRUE(system->CheckAtomicity().ok());
+  EXPECT_TRUE(system->CheckSafeState().ok());
+  // It answered from memory, not by presumption.
+  EXPECT_EQ(system->metrics().Get("coord.answered_by_presumption"), 0);
+  const SigEvent* respond =
+      system->history().FirstWhere([&](const SigEvent& e) {
+        return e.txn == txn && e.type == SigEventType::kCoordRespond;
+      });
+  ASSERT_NE(respond, nullptr);
+  EXPECT_EQ(*respond->outcome, Outcome::kCommit);
+  EXPECT_FALSE(respond->by_presumption);
+}
+
+TEST(Theorem2Test, ResendCapKeepsRunsQuiescent) {
+  // Without the retransmission cap a stuck entry would retransmit
+  // forever; verify the run quiesces and the resend count respects the
+  // cap.
+  auto system = C2pcSystem();
+  system->Submit(0, {2, 3});
+  RunStats stats = system->Run();
+  EXPECT_FALSE(stats.hit_event_limit);
+  EXPECT_LE(system->metrics().Get("coord.decision_resend"), 3);
+}
+
+TEST(Theorem2Test, MixedWorkloadFunctionallyCorrectOperationallyLeaky) {
+  auto system = C2pcSystem();
+  WorkloadConfig cfg;
+  cfg.num_txns = 60;
+  cfg.min_participants = 2;
+  cfg.max_participants = 3;
+  cfg.no_vote_probability = 0.25;
+  cfg.coordinators = {0};
+  cfg.participant_pool = {1, 2, 3};
+  WorkloadGenerator gen(system.get(), cfg);
+  gen.GenerateAndSchedule();
+  system->Run();
+  EXPECT_TRUE(system->CheckAtomicity().ok());
+  EXPECT_FALSE(system->CheckOperational().ok());
+  EXPECT_GT(system->site(0)->coordinator()->table().Size(), 0u);
+}
+
+}  // namespace
+}  // namespace prany

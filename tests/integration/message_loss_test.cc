@@ -1,0 +1,168 @@
+// Omission failures on the wire: every protocol message of every type can
+// be lost; timeouts, retransmission, inquiries and presumptions must
+// still drive every run to a correct, quiescent end state.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+#include "harness/workload.h"
+
+namespace prany {
+namespace {
+
+std::unique_ptr<System> MixedSystem(uint64_t seed, double drop_p,
+                                    double dup_p = 0.0) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.drop_probability = drop_p;
+  cfg.duplicate_probability = dup_p;
+  cfg.max_events = 5'000'000;
+  auto system = std::make_unique<System>(cfg);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system->AddSite(ProtocolKind::kPrN);
+  system->AddSite(ProtocolKind::kPrA);
+  system->AddSite(ProtocolKind::kPrC);
+  return system;
+}
+
+TEST(MessageLossTest, TargetedLossOfEachMessageType) {
+  struct Case {
+    MessageType type;
+    SiteId from, to;
+  };
+  // One run per lost message kind on a mixed {PrA, PrC} commit.
+  std::vector<Case> cases = {
+      {MessageType::kPrepare, 0, 2},   // PrA never hears the prepare
+      {MessageType::kPrepare, 0, 3},
+      {MessageType::kVote, 2, 0},      // a vote is lost -> timeout abort
+      {MessageType::kVote, 3, 0},
+      {MessageType::kDecision, 0, 2},  // decision lost -> inquiry
+      {MessageType::kDecision, 0, 3},
+      {MessageType::kAck, 2, 0},       // ack lost -> decision resend
+  };
+  for (const Case& c : cases) {
+    auto system = MixedSystem(/*seed=*/17, /*drop_p=*/0.0);
+    TxnId txn = system->Submit(0, {2, 3});
+    system->net().DropNext(c.type, txn, c.from, c.to);
+    RunStats run = system->Run();
+    ASSERT_FALSE(run.hit_event_limit) << ToString(c.type);
+    EXPECT_TRUE(system->CheckAtomicity().ok())
+        << ToString(c.type) << " " << c.from << "->" << c.to;
+    EXPECT_TRUE(system->CheckOperational().ok())
+        << ToString(c.type) << "\n"
+        << system->CheckOperational().ToString();
+  }
+}
+
+TEST(MessageLossTest, LostVoteForcesTimeoutAbortNotInconsistency) {
+  auto system = MixedSystem(29, 0.0);
+  TxnId txn = system->Submit(0, {2, 3});
+  system->net().DropNext(MessageType::kVote, txn, 2, 0);
+  system->Run();
+  EXPECT_EQ(system->metrics().Get("coord.vote_timeout"), 1);
+  EXPECT_EQ(system->metrics().Get("coord.decide_abort"), 1);
+  // The prepared participant whose vote vanished still aborts (via the
+  // abort decision or its own inquiry).
+  int aborts = 0;
+  for (const SigEvent& e : system->history().events()) {
+    if (e.type == SigEventType::kPartEnforce) {
+      EXPECT_EQ(*e.outcome, Outcome::kAbort);
+      ++aborts;
+    }
+  }
+  EXPECT_EQ(aborts, 2);
+}
+
+TEST(MessageLossTest, LostPrCCommitDecisionResolvesByPresumption) {
+  // PrC commits draw no acks, so the coordinator cannot detect the loss;
+  // the participant's own inquiry plus the commit presumption must close
+  // the gap — the classic argument for PrC.
+  auto system = MixedSystem(31, 0.0);
+  TxnId txn = system->Submit(0, {2, 3});
+  system->net().DropNext(MessageType::kDecision, txn, 0, 3);
+  system->Run();
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+  const SigEvent* enforce = system->history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.site == 3 &&
+               e.type == SigEventType::kPartEnforce;
+      });
+  ASSERT_NE(enforce, nullptr);
+  EXPECT_EQ(*enforce->outcome, Outcome::kCommit);
+}
+
+class RandomLossTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RandomLossTest, WorkloadSurvivesUniformLoss) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto system = MixedSystem(seed, GetParam());
+    WorkloadConfig cfg;
+    cfg.num_txns = 30;
+    cfg.min_participants = 2;
+    cfg.max_participants = 3;
+    cfg.no_vote_probability = 0.2;
+    cfg.coordinators = {0};
+    cfg.participant_pool = {1, 2, 3};
+    WorkloadGenerator gen(system.get(), cfg);
+    gen.GenerateAndSchedule();
+    RunStats run = system->Run();
+    ASSERT_FALSE(run.hit_event_limit) << "seed " << seed;
+    EXPECT_TRUE(system->CheckAtomicity().ok()) << "seed " << seed;
+    EXPECT_TRUE(system->CheckSafeState().ok()) << "seed " << seed;
+    EXPECT_TRUE(system->CheckOperational().ok())
+        << "seed " << seed << "\n"
+        << system->CheckOperational().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, RandomLossTest,
+                         ::testing::Values(0.01, 0.05, 0.15),
+                         [](const auto& info) {
+                           return "p" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST(MessageLossTest, DuplicationIsHarmless) {
+  auto system = MixedSystem(37, /*drop_p=*/0.0, /*dup_p=*/1.0);
+  system->Submit(0, {1, 2, 3});
+  RunStats run = system->Run();
+  ASSERT_FALSE(run.hit_event_limit);
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+  EXPECT_GT(system->net().stats().messages_duplicated, 0u);
+}
+
+TEST(MessageLossTest, LossPlusDuplicationPlusCrash) {
+  auto system = MixedSystem(41, /*drop_p=*/0.05, /*dup_p=*/0.2);
+  TxnId txn = system->Submit(0, {2, 3});
+  system->injector().CrashAtPoint(3, CrashPoint::kPartOnDecisionReceived,
+                                  txn, /*downtime=*/200'000);
+  RunStats run = system->Run();
+  ASSERT_FALSE(run.hit_event_limit);
+  EXPECT_TRUE(system->CheckAtomicity().ok());
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+}
+
+TEST(MessageLossTest, TemporaryPartitionHealsAndCompletes) {
+  auto system = MixedSystem(43, 0.0);
+  TxnId txn = system->Submit(0, {2, 3});
+  (void)txn;
+  // Partition the coordinator from the PrC participant during the
+  // decision phase; heal after 200ms.
+  system->sim().ScheduleAt(900, [sys = system.get()]() {
+    sys->net().Partition({0}, {3});
+  });
+  system->sim().ScheduleAt(200'000, [sys = system.get()]() {
+    sys->net().HealPartition();
+  });
+  RunStats run = system->Run();
+  ASSERT_FALSE(run.hit_event_limit);
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+  EXPECT_GT(system->net().stats().messages_blocked, 0u);
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,172 @@
+// §2 of the paper, step by step. The section opens with two worked
+// examples of a PrC-speaking U2PC coordinator over one PrA and one PrC
+// participant — a commit that works (with an ignored "violation" ack) and
+// an abort that silently arms the atomicity bug. These tests walk the
+// narrative and assert every observable the text mentions.
+
+#include <gtest/gtest.h>
+
+#include "harness/run_result.h"
+#include "harness/system.h"
+
+namespace prany {
+namespace {
+
+std::unique_ptr<System> Section2System(uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  auto system = std::make_unique<System>(cfg);
+  // "the coordinator and one of the participants employ PrC while the
+  // other participant employs PrA"
+  system->AddSite(ProtocolKind::kPrC, ProtocolKind::kU2PC,
+                  ProtocolKind::kPrC);
+  system->AddSite(ProtocolKind::kPrA);  // 1
+  system->AddSite(ProtocolKind::kPrC);  // 2
+  return system;
+}
+
+TEST(PaperSection2Test, FirstExampleCommitWithIgnoredAck) {
+  // "In the event that the coordinator ... makes a commit final decision,
+  // in accordance to PrC, the coordinator does not expect any commit
+  // acknowledgment messages. However, the PrA participant will
+  // acknowledge the commit decision. ... the coordinator will not
+  // consider this message since this message is a violation of its
+  // protocol."
+  auto system = Section2System();
+  TxnId txn = system->Submit(0, {1, 2});
+  system->Run();
+
+  // The commit succeeded at both participants.
+  int commits = 0;
+  for (const SigEvent& e : system->history().events()) {
+    if (e.txn == txn && e.type == SigEventType::kPartEnforce) {
+      EXPECT_EQ(*e.outcome, Outcome::kCommit);
+      ++commits;
+    }
+  }
+  EXPECT_EQ(commits, 2);
+
+  // The PrA participant did send its commit ack...
+  EXPECT_EQ(system->metrics().Get("net.msg.ACK"), 1);
+  // ...and the coordinator did not consider it: having forgotten the
+  // transaction the moment the commit record was forced, the ack arrives
+  // for an unknown transaction and is dropped.
+  EXPECT_EQ(system->metrics().Get("coord.ack_for_unknown_txn") +
+                system->metrics().Get("coord.ignored_unexpected_ack"),
+            1);
+
+  // "it will be able to forget about the transaction ... once it makes
+  // the commit final decision": the commit record is the last
+  // coordinator-side write; no END record is ever written.
+  EXPECT_EQ(system->site(0)->wal()->stats().appends, 2u);  // init + commit
+  EXPECT_EQ(system->site(0)->coordinator()->table().Size(), 0u);
+  EXPECT_TRUE(system->CheckOperational().ok());
+}
+
+TEST(PaperSection2Test, FirstExampleLateInquiryAnsweredByPrCPresumption) {
+  // "Since the coordinator employs PrC, it will always be able to respond
+  // to the inquiries of the participants in case of a failure with a
+  // commit final decision, using the PrC presumption."
+  auto system = Section2System();
+  TxnId txn = system->Submit(0, {1, 2});
+  // The PrC participant misses the commit and recovers much later.
+  system->injector().CrashAtPoint(2, CrashPoint::kPartOnDecisionReceived,
+                                  txn, /*downtime=*/400'000);
+  system->Run();
+  const SigEvent* respond = system->history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.type == SigEventType::kCoordRespond &&
+               e.peer == 2;
+      });
+  ASSERT_NE(respond, nullptr);
+  EXPECT_EQ(*respond->outcome, Outcome::kCommit);
+  EXPECT_TRUE(respond->by_presumption);
+  // Commit case: presumptions agree, everything stays correct.
+  EXPECT_TRUE(system->CheckOperational().ok());
+}
+
+TEST(PaperSection2Test, SecondExampleAbortForgetsOnPrCAckAlone) {
+  // "the coordinator forgets the outcome of the transaction once it has
+  // received the acknowledgment of the PrC participant, knowing that the
+  // PrA will never acknowledge such a decision."
+  auto system = Section2System();
+  TxnId txn = system->Submit(0, {1, 2});
+  system->sim().ScheduleAt(800, [sys = system.get(), txn]() {
+    sys->site(0)->coordinator()->ForceAbort(txn);
+  });
+  system->Run();
+  // One ack total (the PrC participant's), and the transaction is gone
+  // from the protocol table.
+  EXPECT_EQ(system->metrics().Get("net.msg.ACK"), 1);
+  EXPECT_EQ(system->site(0)->coordinator()->table().Size(), 0u);
+  // Failure-free, the premature forgetting is invisible.
+  EXPECT_TRUE(system->CheckAtomicity().ok());
+}
+
+TEST(PaperSection2Test, SecondExampleTheAtomicityViolation) {
+  // "if the PrA participant fails after it has received the final outcome
+  // but before writing it in its stable log, the participant will inquire
+  // ... the coordinator ... will wrongly respond with a commit final
+  // decision (using the PrC presumption) which clearly violates the
+  // atomicity of the transaction."
+  auto system = Section2System();
+  TxnId txn = system->Submit(0, {1, 2});
+  system->sim().ScheduleAt(800, [sys = system.get(), txn]() {
+    sys->site(0)->coordinator()->ForceAbort(txn);
+  });
+  system->injector().CrashAtPoint(1, CrashPoint::kPartOnDecisionReceived,
+                                  txn, /*downtime=*/400'000);
+  system->Run();
+
+  // The wrong reply happened, by presumption:
+  const SigEvent* respond = system->history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.type == SigEventType::kCoordRespond &&
+               e.peer == 1;
+      });
+  ASSERT_NE(respond, nullptr);
+  EXPECT_EQ(*respond->outcome, Outcome::kCommit);
+  EXPECT_TRUE(respond->by_presumption);
+
+  // And the atomicity of the transaction is violated exactly as stated:
+  std::map<SiteId, Outcome> enforced;
+  for (const SigEvent& e : system->history().events()) {
+    if (e.txn == txn && e.type == SigEventType::kPartEnforce) {
+      enforced[e.site] = *e.outcome;
+    }
+  }
+  EXPECT_EQ(enforced.at(1), Outcome::kCommit);  // PrA wrongly committed
+  EXPECT_EQ(enforced.at(2), Outcome::kAbort);   // PrC aborted
+  EXPECT_FALSE(system->CheckAtomicity().ok());
+  EXPECT_FALSE(system->CheckSafeState().ok());
+}
+
+TEST(PaperSection2Test, PrAnyRepairsBothExamples) {
+  // Re-run both §2 schedules under PrAny: the commit case answers the
+  // PrC inquirer commit, the abort case answers the PrA inquirer abort —
+  // "a PrAny coordinator dynamically adopts the presumption of an
+  // inquiring participant's protocol" (§4.2).
+  for (Outcome outcome : {Outcome::kCommit, Outcome::kAbort}) {
+    SystemConfig cfg;
+    System system(cfg);
+    system.AddSite(ProtocolKind::kPrC, ProtocolKind::kPrAny);
+    system.AddSite(ProtocolKind::kPrA);
+    system.AddSite(ProtocolKind::kPrC);
+    TxnId txn = system.Submit(0, {1, 2});
+    if (outcome == Outcome::kAbort) {
+      system.sim().ScheduleAt(800, [&system, txn]() {
+        system.site(0)->coordinator()->ForceAbort(txn);
+      });
+    }
+    SiteId victim = outcome == Outcome::kCommit ? 2 : 1;
+    system.injector().CrashAtPoint(
+        victim, CrashPoint::kPartOnDecisionReceived, txn, 400'000);
+    system.Run();
+    EXPECT_TRUE(system.CheckAtomicity().ok()) << ToString(outcome);
+    EXPECT_TRUE(system.CheckSafeState().ok()) << ToString(outcome);
+    EXPECT_TRUE(system.CheckOperational().ok()) << ToString(outcome);
+  }
+}
+
+}  // namespace
+}  // namespace prany

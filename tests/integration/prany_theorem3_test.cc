@@ -1,0 +1,173 @@
+// Theorem 3, executably: PrAny satisfies the operational correctness
+// criterion. The proof's case analysis becomes an exhaustive sweep over
+// participant-protocol mixes x outcomes x crash points x crash targets,
+// with the safe-state predicate (Definition 2) and all three clauses of
+// Definition 1 machine-checked on every run.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+std::string JoinFailures(const SweepResult& sweep) {
+  std::string all;
+  for (const auto& d : sweep.failure_descriptions) all += d + "\n";
+  return all;
+}
+
+TEST(Theorem3Test, ExhaustiveCrashSweepOverStandardMixes) {
+  SweepResult sweep = RunCrashSweep(ProtocolKind::kPrAny,
+                                    ProtocolKind::kPrN, StandardMixes());
+  EXPECT_GT(sweep.scenarios, 300u);
+  EXPECT_TRUE(sweep.AllCorrect()) << JoinFailures(sweep);
+}
+
+TEST(Theorem3Test, SweepWithLongOutages) {
+  // Longer downtime exercises the forgotten-transaction / dynamic-
+  // presumption paths rather than the protocol-table paths.
+  SweepResult sweep =
+      RunCrashSweep(ProtocolKind::kPrAny, ProtocolKind::kPrN,
+                    {{ProtocolKind::kPrA, ProtocolKind::kPrC},
+                     {ProtocolKind::kPrN, ProtocolKind::kPrA,
+                      ProtocolKind::kPrC}},
+                    /*downtime=*/5'000'000);
+  EXPECT_TRUE(sweep.AllCorrect()) << JoinFailures(sweep);
+}
+
+TEST(Theorem3Test, SweepWithShortOutages) {
+  // Short downtime exercises races between recovery, retransmission and
+  // inquiry traffic.
+  SweepResult sweep =
+      RunCrashSweep(ProtocolKind::kPrAny, ProtocolKind::kPrN,
+                    {{ProtocolKind::kPrA, ProtocolKind::kPrC},
+                     {ProtocolKind::kPrA, ProtocolKind::kPrA,
+                      ProtocolKind::kPrC}},
+                    /*downtime=*/1'000);
+  EXPECT_TRUE(sweep.AllCorrect()) << JoinFailures(sweep);
+}
+
+TEST(Theorem3Test, U2PCFailsTheSameSweepPrAnyPasses) {
+  // Head-to-head on the paper's mix: same scenarios, opposite verdicts.
+  std::vector<std::vector<ProtocolKind>> mixes = {
+      {ProtocolKind::kPrA, ProtocolKind::kPrC}};
+  SweepResult prany =
+      RunCrashSweep(ProtocolKind::kPrAny, ProtocolKind::kPrN, mixes);
+  SweepResult u2pc_prn =
+      RunCrashSweep(ProtocolKind::kU2PC, ProtocolKind::kPrN, mixes);
+  SweepResult u2pc_prc =
+      RunCrashSweep(ProtocolKind::kU2PC, ProtocolKind::kPrC, mixes);
+  EXPECT_TRUE(prany.AllCorrect()) << JoinFailures(prany);
+  EXPECT_GT(u2pc_prn.atomicity_failures + u2pc_prc.atomicity_failures, 0u);
+}
+
+TEST(Theorem3Test, C2PCFailsOnlyTheOperationalClauses) {
+  std::vector<std::vector<ProtocolKind>> mixes = {
+      {ProtocolKind::kPrA, ProtocolKind::kPrC}};
+  SweepResult c2pc =
+      RunCrashSweep(ProtocolKind::kC2PC, ProtocolKind::kPrN, mixes);
+  EXPECT_EQ(c2pc.atomicity_failures, 0u) << JoinFailures(c2pc);
+  EXPECT_EQ(c2pc.safe_state_failures, 0u);
+  EXPECT_GT(c2pc.operational_failures, 0u);
+}
+
+TEST(Theorem3Test, DoubleFaultSchedules) {
+  // Coordinator and one participant crash in the same transaction, at
+  // every coordinator-point x participant-point combination, on the
+  // paper's mix, both outcomes.
+  const std::vector<ProtocolKind> mix = {ProtocolKind::kPrA,
+                                         ProtocolKind::kPrC};
+  uint64_t scenarios = 0;
+  for (Outcome outcome : {Outcome::kCommit, Outcome::kAbort}) {
+    for (CrashPoint coord_point : kCoordinatorCrashPoints) {
+      for (CrashPoint part_point : kParticipantCrashPoints) {
+        for (SiteId victim : {SiteId{1}, SiteId{2}}) {
+          ++scenarios;
+          SystemConfig cfg;
+          cfg.seed = scenarios;
+          cfg.max_events = 500'000;
+          System system(cfg);
+          system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+          system.AddSite(mix[0]);
+          system.AddSite(mix[1]);
+          TxnId txn = system.Submit(0, {1, 2});
+          if (outcome == Outcome::kAbort) {
+            system.sim().ScheduleAt(800, [&system, txn]() {
+              system.site(0)->coordinator()->ForceAbort(txn);
+            });
+          }
+          system.injector().CrashAtPoint(0, coord_point, txn, 40'000);
+          system.injector().CrashAtPoint(victim, part_point, txn, 70'000);
+          RunStats run = system.Run();
+          ASSERT_FALSE(run.hit_event_limit)
+              << ToString(coord_point) << " + " << ToString(part_point);
+          EXPECT_TRUE(system.CheckAtomicity().ok() &&
+                      system.CheckSafeState().ok() &&
+                      system.CheckOperational().ok())
+              << ToString(outcome) << " coord@" << ToString(coord_point)
+              << " site" << victim << "@" << ToString(part_point) << "\n"
+              << system.CheckOperational().ToString();
+        }
+      }
+    }
+  }
+  EXPECT_EQ(scenarios, 2u * 5u * 6u * 2u);
+}
+
+TEST(Theorem3Test, RepeatedCrashesOfTheSameSite) {
+  // The same participant crashes on the decision *and again* on the
+  // inquiry reply after recovering — eventual delivery must still hold.
+  SystemConfig cfg;
+  cfg.seed = 77;
+  System system(cfg);
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrA);
+  system.AddSite(ProtocolKind::kPrC);
+  TxnId txn = system.Submit(0, {1, 2});
+  system.injector().CrashAtPoint(2, CrashPoint::kPartOnDecisionReceived,
+                                 txn, /*downtime=*/100'000);
+  // The second rule hits the *inquiry reply* delivery (same crash point).
+  system.injector().CrashAtPoint(2, CrashPoint::kPartOnDecisionReceived,
+                                 txn, /*downtime=*/100'000);
+  system.Run();
+  EXPECT_TRUE(system.CheckOperational().ok())
+      << system.CheckOperational().ToString();
+  EXPECT_EQ(system.site(2)->crash_count(), 2u);
+  const SigEvent* enforce = system.history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.type == SigEventType::kPartEnforce &&
+               e.site == 2;
+      });
+  ASSERT_NE(enforce, nullptr);
+  EXPECT_EQ(*enforce->outcome, Outcome::kCommit);
+}
+
+TEST(Theorem3Test, ConcurrentMixedTransactionsWithCrashes) {
+  SystemConfig cfg;
+  cfg.seed = 13;
+  cfg.max_events = 2'000'000;
+  System system(cfg);
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrN);
+  system.AddSite(ProtocolKind::kPrA);
+  system.AddSite(ProtocolKind::kPrC);
+  for (int i = 0; i < 20; ++i) {
+    system.Submit(0, {1, 2, 3});
+    system.Submit(0, {2, 3});
+  }
+  // Timed mid-flight crashes of participants and the coordinator.
+  system.ScheduleCrash(2, 1'200, 30'000);
+  system.ScheduleCrash(3, 2'000, 50'000);
+  system.ScheduleCrash(0, 2'500, 20'000);
+  RunStats run = system.Run();
+  ASSERT_FALSE(run.hit_event_limit);
+  EXPECT_TRUE(system.CheckAtomicity().ok())
+      << system.CheckAtomicity().ToString();
+  EXPECT_TRUE(system.CheckSafeState().ok());
+  EXPECT_TRUE(system.CheckOperational().ok())
+      << system.CheckOperational().ToString();
+}
+
+}  // namespace
+}  // namespace prany

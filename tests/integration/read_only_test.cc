@@ -1,0 +1,217 @@
+// The read-only optimization (§5 of the paper, via R* [15]): participants
+// whose subtransaction wrote nothing vote read-only, leave the protocol at
+// voting time, log nothing and never receive the decision — and the
+// integration must stay operationally correct under crashes.
+
+#include <gtest/gtest.h>
+
+#include "harness/run_result.h"
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+std::unique_ptr<System> MixedSystem(uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  auto system = std::make_unique<System>(cfg);
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system->AddSite(ProtocolKind::kPrN);  // 1
+  system->AddSite(ProtocolKind::kPrA);  // 2
+  system->AddSite(ProtocolKind::kPrC);  // 3
+  return system;
+}
+
+TEST(ReadOnlyTest, ReadOnlyVoterIsExcludedFromDecisionPhase) {
+  auto system = MixedSystem();
+  TxnId txn = system->Submit(0, {1, 2, 3}, {{2, Vote::kReadOnly}});
+  system->Run();
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+  EXPECT_EQ(system->metrics().Get("coord.decide_commit"), 1);
+  // Decision went to the two update participants only.
+  EXPECT_EQ(system->metrics().Get("net.msg.DECISION"), 2);
+  // The read-only site logged nothing at all.
+  EXPECT_EQ(system->site(2)->wal()->stats().appends, 0u);
+  // And never enforced an outcome for the txn.
+  const SigEvent* enforce = system->history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.site == 2 &&
+               e.type == SigEventType::kPartEnforce;
+      });
+  EXPECT_EQ(enforce, nullptr);
+}
+
+TEST(ReadOnlyTest, FullyReadOnlyTransactionSkipsTheDecisionPhase) {
+  auto system = MixedSystem();
+  system->Submit(0, {1, 2, 3},
+                 {{1, Vote::kReadOnly},
+                  {2, Vote::kReadOnly},
+                  {3, Vote::kReadOnly}});
+  system->Run();
+  EXPECT_TRUE(system->CheckOperational().ok());
+  EXPECT_EQ(system->metrics().Get("net.msg.DECISION"), 0);
+  EXPECT_EQ(system->metrics().Get("net.msg.ACK"), 0);
+  // No participant logged anything; the PrAny coordinator paid only its
+  // initiation record (forced before the votes could reveal the fast
+  // path).
+  for (SiteId s : {SiteId{1}, SiteId{2}, SiteId{3}}) {
+    EXPECT_EQ(system->site(s)->wal()->stats().appends, 0u) << s;
+  }
+  EXPECT_EQ(system->site(0)->wal()->stats().appends, 1u);
+}
+
+TEST(ReadOnlyTest, ReadOnlyVotePlusNoVoteAborts) {
+  auto system = MixedSystem();
+  TxnId txn = system->Submit(0, {1, 2, 3},
+                             {{1, Vote::kReadOnly}, {2, Vote::kNo}});
+  system->Run();
+  EXPECT_TRUE(system->CheckOperational().ok());
+  EXPECT_EQ(system->metrics().Get("coord.decide_abort"), 1);
+  // Only the yes-voter (site 3) gets the abort.
+  EXPECT_EQ(system->metrics().Get("net.msg.DECISION"), 1);
+  const SigEvent* enforce = system->history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.site == 3 &&
+               e.type == SigEventType::kPartEnforce;
+      });
+  ASSERT_NE(enforce, nullptr);
+  EXPECT_EQ(*enforce->outcome, Outcome::kAbort);
+}
+
+TEST(ReadOnlyTest, AllReadOnlyOrNoVotersLogsNothingAnywhere) {
+  auto system = MixedSystem();
+  system->Submit(0, {1, 2}, {{1, Vote::kReadOnly}, {2, Vote::kNo}});
+  system->Run();
+  EXPECT_TRUE(system->CheckOperational().ok());
+  // Abort with no prepared participants: nothing to send, nothing to log
+  // — not even at a PrAny coordinator... except the initiation record,
+  // which is forced before the votes arrive.
+  EXPECT_EQ(system->metrics().Get("net.msg.DECISION"), 0);
+  EXPECT_LE(system->site(0)->wal()->stats().appends, 1u);
+}
+
+TEST(ReadOnlyTest, LostReadOnlyVoteDegradesToTimeoutAbort) {
+  auto system = MixedSystem();
+  TxnId txn = system->Submit(0, {2, 3}, {{2, Vote::kReadOnly}});
+  system->net().DropNext(MessageType::kVote, txn, 2, 0);
+  system->Run();
+  EXPECT_EQ(system->metrics().Get("coord.vote_timeout"), 1);
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+}
+
+TEST(ReadOnlyTest, ReadOnlySiteCrashAfterVotingIsInvisible) {
+  auto system = MixedSystem();
+  TxnId txn = system->Submit(0, {2, 3}, {{2, Vote::kReadOnly}});
+  system->injector().CrashAtPoint(2, CrashPoint::kPartAfterVoteSent, txn,
+                                  /*downtime=*/500'000);
+  system->Run();
+  EXPECT_TRUE(system->CheckOperational().ok());
+  // The read-only site logged nothing, so its recovery has nothing to do
+  // and it never inquires.
+  EXPECT_EQ(system->metrics().Get("net.msg.INQUIRY"), 0);
+}
+
+TEST(ReadOnlyTest, CoordinatorCrashWithReadOnlyVotersRecovers) {
+  // PrAny coordinator crashes after the (forced) commit record; the
+  // read-only participant must never be contacted during recovery.
+  auto system = MixedSystem();
+  TxnId txn = system->Submit(0, {1, 2, 3}, {{2, Vote::kReadOnly}});
+  system->injector().CrashAtPoint(0, CrashPoint::kCoordAfterDecisionMade,
+                                  txn, /*downtime=*/10'000);
+  system->Run();
+  EXPECT_TRUE(system->CheckAtomicity().ok());
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+  // No message of any kind was ever addressed to the read-only site after
+  // its vote: prepare only.
+  // (Recovery re-sends the commit to the PrN participant; PrC is excluded
+  // by footnote-4 handling; the read-only PrA site already left.)
+  const SigEvent* enforce = system->history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.site == 2 &&
+               e.type == SigEventType::kPartEnforce;
+      });
+  EXPECT_EQ(enforce, nullptr);
+}
+
+TEST(ReadOnlyTest, CostSavingIsMeasurable) {
+  // Same transaction shape with and without a read-only member: the
+  // optimized run saves the member's two log writes and its decision/ack
+  // messages.
+  auto baseline = MixedSystem(7);
+  baseline->Submit(0, {1, 2, 3});
+  baseline->Run();
+  RunSummary base = Summarize(*baseline);
+
+  auto optimized = MixedSystem(7);
+  optimized->Submit(0, {1, 2, 3}, {{1, Vote::kReadOnly}});
+  optimized->Run();
+  RunSummary opt = Summarize(*optimized);
+
+  EXPECT_TRUE(base.AllCorrect());
+  EXPECT_TRUE(opt.AllCorrect());
+  EXPECT_LT(opt.messages_total, base.messages_total);
+  EXPECT_LT(opt.forced_appends, base.forced_appends);
+}
+
+class ReadOnlyCrashSweepTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ReadOnlyCrashSweepTest, EveryCrashPointWithAReadOnlyMember) {
+  // One read-only member (site 1) + two update members; crash each site
+  // at each of its points; everything must stay correct.
+  uint64_t seed = 1000;
+  for (Outcome outcome : {Outcome::kCommit, Outcome::kAbort}) {
+    struct Target {
+      SiteId site;
+      CrashPoint point;
+    };
+    std::vector<Target> targets;
+    for (CrashPoint p : kCoordinatorCrashPoints) targets.push_back({0, p});
+    for (SiteId s : {SiteId{1}, SiteId{2}, SiteId{3}}) {
+      for (CrashPoint p : kParticipantCrashPoints) targets.push_back({s, p});
+    }
+    for (const Target& t : targets) {
+      SystemConfig cfg;
+      cfg.seed = ++seed;
+      cfg.max_events = 500'000;
+      System system(cfg);
+      system.AddSite(ProtocolKind::kPrN, GetParam(), ProtocolKind::kPrN);
+      // A PrAny coordinator handles a mixed set; the pure-PrN control
+      // runs over its own homogeneous participants.
+      bool mixed = GetParam() == ProtocolKind::kPrAny;
+      system.AddSite(mixed ? ProtocolKind::kPrA : ProtocolKind::kPrN);
+      system.AddSite(ProtocolKind::kPrN);
+      system.AddSite(mixed ? ProtocolKind::kPrC : ProtocolKind::kPrN);
+      Transaction txn = system.MakeTransaction(
+          0, {1, 2, 3}, {{1, Vote::kReadOnly}});
+      system.SubmitAt(0, txn);
+      if (outcome == Outcome::kAbort) {
+        system.sim().ScheduleAt(800, [&system, &txn]() {
+          system.site(0)->coordinator()->ForceAbort(txn.id);
+        });
+      }
+      system.injector().CrashAtPoint(t.site, t.point, txn.id, 200'000);
+      RunStats run = system.Run();
+      ASSERT_FALSE(run.hit_event_limit);
+      EXPECT_TRUE(system.CheckAtomicity().ok() &&
+                  system.CheckSafeState().ok() &&
+                  system.CheckOperational().ok())
+          << ToString(outcome) << " site" << t.site << "@"
+          << ToString(t.point) << "\n"
+          << system.CheckOperational().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Coordinators, ReadOnlyCrashSweepTest,
+                         ::testing::Values(ProtocolKind::kPrAny,
+                                           ProtocolKind::kPrN),
+                         [](const auto& info) {
+                           return ToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace prany

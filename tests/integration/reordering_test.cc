@@ -1,0 +1,171 @@
+// Message reordering: with randomized per-message latency, messages of
+// the same transaction overtake each other (votes arrive after the
+// timeout-abort, retransmitted decisions race inquiry replies, prepares
+// land after the coordinator decided). The protocols must converge to a
+// correct quiescent state regardless.
+
+#include <gtest/gtest.h>
+
+#include "harness/run_result.h"
+#include "harness/workload.h"
+
+namespace prany {
+namespace {
+
+std::unique_ptr<System> JitterySystem(uint64_t seed, SimDuration min_lat,
+                                      SimDuration max_lat) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.max_events = 10'000'000;
+  auto system = std::make_unique<System>(cfg);
+  system->net().SetDefaultLatency(
+      std::make_unique<UniformLatency>(min_lat, max_lat));
+  system->AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system->AddSite(ProtocolKind::kPrN);
+  system->AddSite(ProtocolKind::kPrA);
+  system->AddSite(ProtocolKind::kPrC);
+  return system;
+}
+
+TEST(ReorderingTest, ModerateJitterWorkload) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto system = JitterySystem(seed, 100, 5'000);
+    WorkloadConfig wl;
+    wl.num_txns = 40;
+    wl.min_participants = 2;
+    wl.max_participants = 3;
+    wl.no_vote_probability = 0.2;
+    wl.mean_interarrival_us = 1'000;
+    wl.coordinators = {0};
+    wl.participant_pool = {1, 2, 3};
+    WorkloadGenerator gen(system.get(), wl);
+    gen.GenerateAndSchedule();
+    RunStats run = system->Run();
+    ASSERT_FALSE(run.hit_event_limit) << "seed " << seed;
+    RunSummary s = Summarize(*system);
+    EXPECT_TRUE(s.AllCorrect()) << "seed " << seed << "\n" << s.ToString();
+  }
+}
+
+TEST(ReorderingTest, LatencyExceedingVoteTimeout) {
+  // Latencies can exceed the 50ms vote timeout: the coordinator aborts
+  // while PREPAREs and votes are still in flight. Late-prepared
+  // participants are resolved by their inquiries and the coordinator's
+  // answers (from the table or by presumption).
+  for (uint64_t seed = 20; seed <= 26; ++seed) {
+    auto system = JitterySystem(seed, 1'000, 80'000);
+    for (int i = 0; i < 10; ++i) {
+      system->Submit(0, {1, 2, 3});
+    }
+    RunStats run = system->Run();
+    ASSERT_FALSE(run.hit_event_limit) << "seed " << seed;
+    RunSummary s = Summarize(*system);
+    EXPECT_TRUE(s.AllCorrect()) << "seed " << seed << "\n" << s.ToString();
+    // With these latencies some transactions must have timed out.
+    EXPECT_GT(s.vote_timeouts + s.commits, 0);
+  }
+}
+
+TEST(ReorderingTest, LateVoteAfterDecisionIsCountedAndIgnored) {
+  auto system = JitterySystem(42, 100, 100);  // deterministic base
+  // Slow down one vote past the timeout window using a slow link.
+  system->net().SetLinkLatency(2, 0,
+                               std::make_unique<FixedLatency>(70'000));
+  system->Submit(0, {1, 2});
+  system->Run();
+  // The slow voter's YES arrived after the timeout abort.
+  EXPECT_EQ(system->metrics().Get("coord.vote_timeout"), 1);
+  EXPECT_GE(system->metrics().Get("coord.vote_after_decision") +
+                system->metrics().Get("coord.vote_for_unknown_txn"),
+            1);
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+}
+
+TEST(ReorderingTest, JitterPlusLossPlusCrashes) {
+  for (uint64_t seed = 30; seed <= 34; ++seed) {
+    auto system = JitterySystem(seed, 100, 10'000);
+    system->net().SetDropProbability(0.05);
+    system->injector().SetRandomCrashes(0.004, 5'000, 120'000);
+    system->injector().SetRandomCrashBudget(10);
+    WorkloadConfig wl;
+    wl.num_txns = 30;
+    wl.min_participants = 2;
+    wl.max_participants = 3;
+    wl.no_vote_probability = 0.15;
+    wl.coordinators = {0};
+    wl.participant_pool = {1, 2, 3};
+    WorkloadGenerator gen(system.get(), wl);
+    gen.GenerateAndSchedule();
+    RunStats run = system->Run();
+    ASSERT_FALSE(run.hit_event_limit) << "seed " << seed;
+    RunSummary s = Summarize(*system);
+    EXPECT_TRUE(s.AllCorrect()) << "seed " << seed << "\n" << s.ToString();
+  }
+}
+
+TEST(ReorderingTest, WithoutFifoLinksADecisionCanOvertakeItsPrepare) {
+  // The model-boundary demonstration (see net/network.h): on a link with
+  // arbitrary per-message reordering, an abort overtakes a slow PREPARE
+  // to a PrC participant. Having no memory of the transaction, the
+  // participant acknowledges the abort (footnote 5); the coordinator
+  // forgets; the stale PREPARE then makes the participant prepared and
+  // in-doubt, and the only available answer is the PrC presumption —
+  // commit — while everyone else aborted. Even PrAny cannot survive
+  // unordered channels; the paper's protocols assume session ordering.
+  auto run = [](bool fifo) {
+    SystemConfig cfg;
+    cfg.seed = 5;
+    System system(cfg);
+    system.net().SetFifoLinks(fifo);
+    system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+    system.AddSite(ProtocolKind::kPrN);
+    system.AddSite(ProtocolKind::kPrC);
+    // The PREPARE to the PrC site is pathologically slow (past the vote
+    // timeout); every later 0->2 message is fast.
+    system.net().SetLinkLatency(0, 2,
+                                std::make_unique<FixedLatency>(80'000));
+    TxnId txn = system.Submit(0, {1, 2});
+    system.sim().ScheduleAt(100, [&system]() {
+      system.net().SetLinkLatency(0, 2,
+                                  std::make_unique<FixedLatency>(500));
+    });
+    system.Run();
+    (void)txn;
+    return AtomicityChecker::Check(system.history()).ok();
+  };
+  EXPECT_FALSE(run(/*fifo=*/false));  // unordered links: divergence
+  EXPECT_TRUE(run(/*fifo=*/true));    // session ordering restores safety
+}
+
+TEST(BlockingTest, InDoubtParticipantBlocksWhileCoordinatorIsDown) {
+  // The classic 2PC blocking property (the paper's premise: "ACPs are
+  // blocking in the case of failures"): a prepared participant cannot
+  // resolve while the coordinator is down — it stays in doubt, inquiring
+  // fruitlessly — and resolves promptly once the coordinator recovers.
+  SystemConfig cfg;
+  cfg.seed = 50;
+  System system(cfg);
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrA);
+  system.AddSite(ProtocolKind::kPrC);
+  TxnId txn = system.Submit(0, {1, 2});
+  // Coordinator crashes after deciding commit (record durable, nothing
+  // sent) and stays down 300ms.
+  system.injector().CrashAtPoint(0, CrashPoint::kCoordAfterDecisionMade,
+                                 txn, /*downtime=*/300'000);
+  // While the coordinator is down, both participants are in doubt.
+  system.sim().Run(1'000'000, /*until=*/200'000);
+  EXPECT_TRUE(system.site(1)->participant()->IsInDoubt(txn));
+  EXPECT_TRUE(system.site(2)->participant()->IsInDoubt(txn));
+  EXPECT_GT(system.metrics().Get("net.msg.INQUIRY"), 2);
+  // After recovery everything resolves.
+  system.Run();
+  EXPECT_FALSE(system.site(1)->participant()->IsInDoubt(txn));
+  EXPECT_FALSE(system.site(2)->participant()->IsInDoubt(txn));
+  EXPECT_TRUE(system.CheckOperational().ok())
+      << system.CheckOperational().ToString();
+}
+
+}  // namespace
+}  // namespace prany

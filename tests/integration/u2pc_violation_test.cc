@@ -1,0 +1,132 @@
+// Theorem 1, executably: "It is impossible to ensure global atomicity of
+// distributed transactions executed at both PrA and PrC participants with
+// a coordinator using U2PC." Each part of the proof is one deterministic
+// failure schedule whose atomicity violation the checkers must detect —
+// and PrAny, under the *identical* schedule, must not violate.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+// Part I: PrN-native U2PC coordinator, commit decision. The PrC
+// participant fails on receiving the commit, recovers after the
+// coordinator forgot (the PrA participant's ack sufficed), inquires, and
+// is told "abort" by PrN's hidden presumption.
+TEST(Theorem1Test, PartI_PrNCoordinatorCommitViolation) {
+  ScenarioResult r = RunIncompatiblePresumptionScenario(
+      ProtocolKind::kU2PC, ProtocolKind::kPrN, Outcome::kCommit);
+  ASSERT_FALSE(r.summary.atomicity.ok());
+  // Exactly the proof's final state: PrA committed, PrC aborted.
+  EXPECT_EQ(r.enforced.at(1), Outcome::kCommit);  // PrA participant
+  EXPECT_EQ(r.enforced.at(2), Outcome::kAbort);   // PrC participant
+  EXPECT_FALSE(r.summary.safe_state.ok());
+  EXPECT_FALSE(r.summary.operational.ok());
+  // The wrong answer was given *by presumption*.
+  EXPECT_GT(r.summary.presumed_answers, 0);
+}
+
+// Part II: same schedule, PrA-native coordinator.
+TEST(Theorem1Test, PartII_PrACoordinatorCommitViolation) {
+  ScenarioResult r = RunIncompatiblePresumptionScenario(
+      ProtocolKind::kU2PC, ProtocolKind::kPrA, Outcome::kCommit);
+  ASSERT_FALSE(r.summary.atomicity.ok());
+  EXPECT_EQ(r.enforced.at(1), Outcome::kCommit);
+  EXPECT_EQ(r.enforced.at(2), Outcome::kAbort);
+}
+
+// Part III (the paper's §2 motivating example): PrC-native coordinator,
+// abort decision. The PrA participant fails after receiving the abort but
+// before logging it, recovers after the coordinator forgot (the PrC
+// participant's ack sufficed), inquires, and is told "commit" by PrC's
+// presumption.
+TEST(Theorem1Test, PartIII_PrCCoordinatorAbortViolation) {
+  ScenarioResult r = RunIncompatiblePresumptionScenario(
+      ProtocolKind::kU2PC, ProtocolKind::kPrC, Outcome::kAbort);
+  ASSERT_FALSE(r.summary.atomicity.ok());
+  EXPECT_EQ(r.enforced.at(1), Outcome::kCommit);  // PrA wrongly commits
+  EXPECT_EQ(r.enforced.at(2), Outcome::kAbort);   // PrC correctly aborted
+}
+
+// The complementary schedules where the native presumption happens to
+// agree with the outcome do NOT violate — the violation is specifically
+// a cross-presumption phenomenon.
+TEST(Theorem1Test, AgreeingPresumptionSchedulesAreSafe) {
+  // PrN/PrA coordinators + abort: the late PrA inquirer is told abort.
+  for (ProtocolKind native : {ProtocolKind::kPrN, ProtocolKind::kPrA}) {
+    ScenarioResult r = RunIncompatiblePresumptionScenario(
+        ProtocolKind::kU2PC, native, Outcome::kAbort);
+    EXPECT_TRUE(r.summary.atomicity.ok()) << ToString(native);
+  }
+  // PrC coordinator + commit: the late PrC inquirer is told commit.
+  ScenarioResult r = RunIncompatiblePresumptionScenario(
+      ProtocolKind::kU2PC, ProtocolKind::kPrC, Outcome::kCommit);
+  EXPECT_TRUE(r.summary.atomicity.ok());
+}
+
+// Control: PrAny under every one of the theorem's schedules stays atomic.
+class PrAnyControlTest
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, Outcome>> {};
+
+TEST_P(PrAnyControlTest, PrAnySurvivesTheTheoremSchedule) {
+  auto [native, outcome] = GetParam();
+  (void)native;  // PrAny takes no native protocol; sweep outcomes only.
+  ScenarioResult r = RunIncompatiblePresumptionScenario(
+      ProtocolKind::kPrAny, ProtocolKind::kPrN, outcome);
+  EXPECT_TRUE(r.summary.AllCorrect())
+      << r.summary.operational.ToString();
+  // Both participants enforce the decided outcome.
+  ASSERT_EQ(r.enforced.size(), 2u);
+  for (const auto& [site, enforced] : r.enforced) {
+    EXPECT_EQ(enforced, outcome) << "site " << site;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, PrAnyControlTest,
+    ::testing::Combine(::testing::Values(ProtocolKind::kPrN),
+                       ::testing::Values(Outcome::kCommit,
+                                         Outcome::kAbort)),
+    [](const auto& info) {
+      return ToString(std::get<1>(info.param)) + "_schedule";
+    });
+
+// The violation requires the coordinator to forget before the inquiry:
+// if the victim recovers while the coordinator still remembers, U2PC
+// answers correctly from its protocol table.
+TEST(Theorem1Test, EarlyRecoveryMasksTheBug) {
+  SystemConfig cfg;
+  System system(cfg);
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kU2PC,
+                 ProtocolKind::kPrN);
+  system.AddSite(ProtocolKind::kPrA);
+  system.AddSite(ProtocolKind::kPrC);
+  TxnId txn = system.Submit(0, {1, 2});
+  // PrC participant crashes on the decision but recovers quickly; the
+  // PrA ack arrives ~1 RTT later, so holding the PrA participant's ack
+  // hostage is unnecessary: recover *before* the coordinator can forget.
+  system.injector().CrashAtPoint(2, CrashPoint::kPartOnDecisionReceived,
+                                 txn, /*downtime=*/100);
+  system.net().DropNext(MessageType::kAck, txn, 1, 0);  // delay forget
+  system.Run();
+  EXPECT_TRUE(system.CheckAtomicity().ok());
+}
+
+// Under a workload of many transactions, every mixed-participant abort
+// with the adversarial crash produces a violation; homogeneous
+// transactions never do. (Bulk version of the theorem.)
+TEST(Theorem1Test, RepeatedSchedulesViolateEveryTime) {
+  int violations = 0;
+  for (int i = 0; i < 10; ++i) {
+    ScenarioResult r = RunIncompatiblePresumptionScenario(
+        ProtocolKind::kU2PC, ProtocolKind::kPrC, Outcome::kAbort,
+        /*seed=*/100 + i);
+    if (!r.summary.atomicity.ok()) ++violations;
+  }
+  EXPECT_EQ(violations, 10);
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,139 @@
+// Property tests: the wire and log codecs must never crash, hang or
+// accept-then-corrupt on arbitrary bytes — they either decode something
+// that re-encodes to the same bytes, or they return Corruption.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "wal/log_record.h"
+
+namespace prany {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Rng* rng, size_t max_len) {
+  std::vector<uint8_t> bytes(rng->Uniform(0, max_len));
+  for (uint8_t& b : bytes) {
+    b = static_cast<uint8_t>(rng->Uniform(0, 255));
+  }
+  return bytes;
+}
+
+TEST(CodecFuzzTest, MessageDecodeNeverCrashesOnRandomBytes) {
+  Rng rng(1234);
+  int decoded_ok = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    std::vector<uint8_t> bytes = RandomBytes(&rng, 64);
+    Result<Message> decoded = Message::Decode(bytes);
+    if (decoded.ok()) {
+      ++decoded_ok;
+      // Round-trip stability: whatever was accepted re-encodes to the
+      // exact input.
+      EXPECT_EQ(decoded->Encode(), bytes);
+    }
+  }
+  // Random bytes are overwhelmingly rejected (strict validation).
+  EXPECT_LT(decoded_ok, 100);
+}
+
+TEST(CodecFuzzTest, LogRecordDecodeNeverCrashesOnRandomBytes) {
+  Rng rng(5678);
+  for (int i = 0; i < 20'000; ++i) {
+    std::vector<uint8_t> bytes = RandomBytes(&rng, 96);
+    Result<LogRecord> decoded = LogRecord::Decode(bytes);
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded->Encode(), bytes);
+    }
+  }
+}
+
+TEST(CodecFuzzTest, MessageBitflipsAreRejectedOrRoundTrip) {
+  // Mutate every single byte of a valid frame through several values.
+  Rng rng(42);
+  std::vector<Message> seeds = {
+      Message::Prepare(7, 1, 2),
+      Message::MakeVote(7, 2, 1, Vote::kReadOnly),
+      Message::InquiryReply(9, 1, 2, Outcome::kAbort, true),
+  };
+  for (const Message& seed : seeds) {
+    std::vector<uint8_t> wire = seed.Encode();
+    for (size_t pos = 0; pos < wire.size(); ++pos) {
+      for (int trial = 0; trial < 4; ++trial) {
+        std::vector<uint8_t> mutated = wire;
+        mutated[pos] = static_cast<uint8_t>(rng.Uniform(0, 255));
+        Result<Message> decoded = Message::Decode(mutated);
+        if (decoded.ok()) {
+          EXPECT_EQ(decoded->Encode(), mutated);
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecFuzzTest, LogRecordTruncationSweep) {
+  // Every strict prefix of every record type must be rejected.
+  std::vector<LogRecord> records = {
+      LogRecord::Initiation(1, ProtocolKind::kPrAny,
+                            {{1, ProtocolKind::kPrA},
+                             {2, ProtocolKind::kPrC}}),
+      LogRecord::Prepared(2, 7),
+      LogRecord::DecisionWithParticipants(3, Outcome::kCommit,
+                                          {{4, ProtocolKind::kPrN}}),
+      LogRecord::Abort(4),
+      LogRecord::End(5),
+  };
+  for (const LogRecord& rec : records) {
+    std::vector<uint8_t> bytes = rec.Encode();
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+      EXPECT_FALSE(LogRecord::Decode(prefix).ok())
+          << ToString(rec.type) << " cut=" << cut;
+    }
+  }
+}
+
+TEST(CodecFuzzTest, RandomValidMessagesRoundTripExactly) {
+  Rng rng(77);
+  for (int i = 0; i < 5'000; ++i) {
+    Message m;
+    m.type = static_cast<MessageType>(rng.Uniform(0, 5));
+    m.txn = rng.Uniform(0, ~0ull - 1);
+    m.from = static_cast<SiteId>(rng.Uniform(0, 1 << 20));
+    m.to = static_cast<SiteId>(rng.Uniform(0, 1 << 20));
+    m.vote = static_cast<Vote>(rng.Uniform(0, 2));
+    m.outcome = static_cast<Outcome>(rng.Uniform(0, 1));
+    m.by_presumption = rng.Bernoulli(0.5);
+    Result<Message> decoded = Message::Decode(m.Encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, m);
+  }
+}
+
+TEST(CodecFuzzTest, RandomValidLogRecordsRoundTripExactly) {
+  Rng rng(88);
+  for (int i = 0; i < 2'000; ++i) {
+    LogRecord rec;
+    rec.type = static_cast<LogRecordType>(rng.Uniform(0, 4));
+    rec.txn = rng.Uniform(0, ~0ull - 1);
+    if (rec.type == LogRecordType::kInitiation) {
+      rec.commit_protocol = static_cast<ProtocolKind>(rng.Uniform(0, 5));
+    }
+    if (rec.type == LogRecordType::kInitiation || rec.IsDecision()) {
+      size_t n = rng.Uniform(0, 8);
+      for (size_t p = 0; p < n; ++p) {
+        rec.participants.push_back(
+            {static_cast<SiteId>(rng.Uniform(0, 1000)),
+             static_cast<ProtocolKind>(rng.Uniform(0, 2))});
+      }
+    }
+    if (rec.type == LogRecordType::kPrepared) {
+      rec.coordinator = static_cast<SiteId>(rng.Uniform(0, 1000));
+    }
+    Result<LogRecord> decoded = LogRecord::Decode(rec.Encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, rec);
+  }
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,72 @@
+#include "net/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(LatencyModelTest, FixedIsConstant) {
+  Rng rng(1);
+  FixedLatency model(250);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.Draw(&rng, 100), 250u);
+  }
+}
+
+TEST(LatencyModelTest, FixedIgnoresSize) {
+  Rng rng(1);
+  FixedLatency model(250);
+  EXPECT_EQ(model.Draw(&rng, 0), model.Draw(&rng, 1 << 20));
+}
+
+TEST(LatencyModelTest, UniformStaysInRange) {
+  Rng rng(2);
+  UniformLatency model(100, 200);
+  for (int i = 0; i < 1000; ++i) {
+    SimDuration d = model.Draw(&rng, 10);
+    EXPECT_GE(d, 100u);
+    EXPECT_LE(d, 200u);
+  }
+}
+
+TEST(LatencyModelTest, UniformDegenerate) {
+  Rng rng(2);
+  UniformLatency model(150, 150);
+  EXPECT_EQ(model.Draw(&rng, 10), 150u);
+}
+
+TEST(LatencyModelTest, ExponentialAtLeastBase) {
+  Rng rng(3);
+  ExponentialLatency model(100, 50.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(model.Draw(&rng, 10), 100u);
+  }
+}
+
+TEST(LatencyModelTest, ExponentialMeanRoughlyBasePlusTail) {
+  Rng rng(4);
+  ExponentialLatency model(100, 50.0);
+  double sum = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(model.Draw(&rng, 10));
+  }
+  EXPECT_NEAR(sum / kTrials, 150.0, 5.0);
+}
+
+TEST(LatencyModelTest, BandwidthScalesWithSize) {
+  Rng rng(5);
+  BandwidthLatency model(100, /*bytes_per_us=*/10.0);
+  EXPECT_EQ(model.Draw(&rng, 0), 100u);
+  EXPECT_EQ(model.Draw(&rng, 100), 110u);
+  EXPECT_EQ(model.Draw(&rng, 1000), 200u);
+}
+
+TEST(LatencyModelDeathTest, InvalidConstructionAborts) {
+  EXPECT_DEATH({ UniformLatency bad(10, 5); }, "PRANY_CHECK");
+  EXPECT_DEATH({ ExponentialLatency bad(0, 0.0); }, "PRANY_CHECK");
+  EXPECT_DEATH({ BandwidthLatency bad(0, 0.0); }, "PRANY_CHECK");
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,122 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(MessageTest, FactoriesSetFields) {
+  Message p = Message::Prepare(7, 0, 1);
+  EXPECT_EQ(p.type, MessageType::kPrepare);
+  EXPECT_EQ(p.txn, 7u);
+  EXPECT_EQ(p.from, 0u);
+  EXPECT_EQ(p.to, 1u);
+
+  Message v = Message::MakeVote(7, 1, 0, Vote::kNo);
+  EXPECT_EQ(v.type, MessageType::kVote);
+  EXPECT_EQ(v.vote, Vote::kNo);
+
+  Message d = Message::Decision(7, 0, 1, Outcome::kAbort);
+  EXPECT_EQ(d.type, MessageType::kDecision);
+  EXPECT_EQ(d.outcome, Outcome::kAbort);
+
+  Message a = Message::Ack(7, 1, 0, Outcome::kCommit);
+  EXPECT_EQ(a.type, MessageType::kAck);
+  EXPECT_EQ(a.outcome, Outcome::kCommit);
+
+  Message i = Message::Inquiry(7, 1, 0);
+  EXPECT_EQ(i.type, MessageType::kInquiry);
+
+  Message r = Message::InquiryReply(7, 0, 1, Outcome::kCommit, true);
+  EXPECT_EQ(r.type, MessageType::kInquiryReply);
+  EXPECT_TRUE(r.by_presumption);
+}
+
+TEST(MessageTest, EncodeDecodeRoundTripAllTypes) {
+  std::vector<Message> msgs = {
+      Message::Prepare(1, 2, 3),
+      Message::MakeVote(4, 5, 6, Vote::kNo),
+      Message::Decision(7, 8, 9, Outcome::kCommit),
+      Message::Ack(10, 11, 12, Outcome::kAbort),
+      Message::Inquiry(13, 14, 15),
+      Message::InquiryReply(16, 17, 18, Outcome::kAbort, true),
+  };
+  for (const Message& m : msgs) {
+    Result<Message> decoded = Message::Decode(m.Encode());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, m);
+  }
+}
+
+TEST(MessageTest, RoundTripExtremeIds) {
+  Message m = Message::Prepare(~0ull - 1, ~0u - 1, 0);
+  Result<Message> decoded = Message::Decode(m.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(MessageTest, DecodeRejectsTruncatedFrame) {
+  std::vector<uint8_t> bytes = Message::Prepare(1, 2, 3).Encode();
+  bytes.resize(bytes.size() - 1);
+  EXPECT_TRUE(Message::Decode(bytes).status().IsCorruption());
+}
+
+TEST(MessageTest, DecodeRejectsTrailingBytes) {
+  std::vector<uint8_t> bytes = Message::Prepare(1, 2, 3).Encode();
+  bytes.push_back(0x00);
+  EXPECT_TRUE(Message::Decode(bytes).status().IsCorruption());
+}
+
+TEST(MessageTest, DecodeRejectsBadVersion) {
+  std::vector<uint8_t> bytes = Message::Prepare(1, 2, 3).Encode();
+  bytes[0] = 99;
+  EXPECT_TRUE(Message::Decode(bytes).status().IsCorruption());
+}
+
+TEST(MessageTest, DecodeRejectsUnknownType) {
+  std::vector<uint8_t> bytes = Message::Prepare(1, 2, 3).Encode();
+  bytes[1] = 42;
+  EXPECT_TRUE(Message::Decode(bytes).status().IsCorruption());
+}
+
+TEST(MessageTest, DecodeRejectsInvalidEnumPayloads) {
+  std::vector<uint8_t> bytes = Message::MakeVote(1, 2, 3, Vote::kYes).Encode();
+  // vote byte is at offset 1 + 1 + 8 + 4 + 4 = 18.
+  bytes[18] = 9;
+  EXPECT_TRUE(Message::Decode(bytes).status().IsCorruption());
+
+  bytes = Message::Decision(1, 2, 3, Outcome::kCommit).Encode();
+  bytes[19] = 9;  // outcome byte
+  EXPECT_TRUE(Message::Decode(bytes).status().IsCorruption());
+}
+
+TEST(MessageTest, DecodeEmptyFrame) {
+  EXPECT_TRUE(Message::Decode({}).status().IsCorruption());
+}
+
+TEST(MessageTest, WireSizeMatchesEncoding) {
+  Message m = Message::Ack(1, 2, 3, Outcome::kCommit);
+  EXPECT_EQ(m.WireSize(), m.Encode().size());
+}
+
+TEST(MessageTest, ToStringIsInformative) {
+  EXPECT_EQ(Message::Prepare(7, 3, 1).ToString(), "PREPARE txn=7 3->1");
+  EXPECT_EQ(Message::Decision(7, 3, 1, Outcome::kCommit).ToString(),
+            "DECISION(commit) txn=7 3->1");
+  EXPECT_EQ(Message::MakeVote(7, 1, 3, Vote::kNo).ToString(),
+            "VOTE(no) txn=7 1->3");
+  EXPECT_EQ(Message::InquiryReply(7, 3, 1, Outcome::kAbort, true).ToString(),
+            "INQUIRY_REPLY(abort,presumed) txn=7 3->1");
+}
+
+TEST(MessageTest, TypeNames) {
+  EXPECT_EQ(ToString(MessageType::kPrepare), "PREPARE");
+  EXPECT_EQ(ToString(MessageType::kVote), "VOTE");
+  EXPECT_EQ(ToString(MessageType::kDecision), "DECISION");
+  EXPECT_EQ(ToString(MessageType::kAck), "ACK");
+  EXPECT_EQ(ToString(MessageType::kInquiry), "INQUIRY");
+  EXPECT_EQ(ToString(MessageType::kInquiryReply), "INQUIRY_REPLY");
+}
+
+}  // namespace
+}  // namespace prany

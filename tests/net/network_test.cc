@@ -1,0 +1,215 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+// Test endpoint that records deliveries and can be taken down.
+class RecordingEndpoint : public NetworkEndpoint {
+ public:
+  void OnMessage(const Message& msg) override { received.push_back(msg); }
+  bool IsUp() const override { return up; }
+
+  std::vector<Message> received;
+  bool up = true;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(1), net_(&sim_, &metrics_) {
+    net_.RegisterEndpoint(0, &a_);
+    net_.RegisterEndpoint(1, &b_);
+  }
+
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  Network net_;
+  RecordingEndpoint a_;
+  RecordingEndpoint b_;
+};
+
+TEST_F(NetworkTest, DeliversWithDefaultLatency) {
+  net_.Send(Message::Prepare(1, 0, 1));
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].type, MessageType::kPrepare);
+  EXPECT_EQ(sim_.Now(), 500u);  // default FixedLatency(500)
+}
+
+TEST_F(NetworkTest, CustomDefaultLatency) {
+  net_.SetDefaultLatency(std::make_unique<FixedLatency>(1234));
+  net_.Send(Message::Prepare(1, 0, 1));
+  sim_.Run();
+  EXPECT_EQ(sim_.Now(), 1234u);
+}
+
+TEST_F(NetworkTest, PerLinkLatencyOverride) {
+  net_.SetLinkLatency(0, 1, std::make_unique<FixedLatency>(50));
+  net_.Send(Message::Prepare(1, 0, 1));
+  net_.Send(Message::Prepare(2, 1, 0));  // uses default 500
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  ASSERT_EQ(a_.received.size(), 1u);
+  EXPECT_EQ(sim_.Now(), 500u);
+}
+
+TEST_F(NetworkTest, DropProbabilityOneDropsEverything) {
+  net_.SetDropProbability(1.0);
+  for (int i = 0; i < 10; ++i) net_.Send(Message::Prepare(i, 0, 1));
+  sim_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(net_.stats().messages_dropped, 10u);
+  EXPECT_EQ(net_.stats().messages_delivered, 0u);
+}
+
+TEST_F(NetworkTest, DuplicateProbabilityOneDeliversTwice) {
+  net_.SetDuplicateProbability(1.0);
+  net_.Send(Message::Prepare(1, 0, 1));
+  sim_.Run();
+  EXPECT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(net_.stats().messages_duplicated, 1u);
+}
+
+TEST_F(NetworkTest, DownDestinationLosesMessage) {
+  b_.up = false;
+  net_.Send(Message::Prepare(1, 0, 1));
+  sim_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(net_.stats().messages_lost_down, 1u);
+}
+
+TEST_F(NetworkTest, DownAtSendUpAtDeliveryIsDelivered) {
+  // Liveness is evaluated at delivery time, not send time.
+  b_.up = false;
+  net_.Send(Message::Prepare(1, 0, 1));
+  sim_.Schedule(100, [this]() { b_.up = true; });
+  sim_.Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+  net_.Partition({0}, {1});
+  net_.Send(Message::Prepare(1, 0, 1));
+  net_.Send(Message::Prepare(2, 1, 0));
+  sim_.Run();
+  EXPECT_TRUE(a_.received.empty());
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(net_.stats().messages_blocked, 2u);
+}
+
+TEST_F(NetworkTest, HealPartitionRestoresDelivery) {
+  net_.Partition({0}, {1});
+  net_.Send(Message::Prepare(1, 0, 1));
+  net_.HealPartition();
+  net_.Send(Message::Prepare(2, 0, 1));
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].txn, 2u);
+}
+
+TEST_F(NetworkTest, PartitionDoesNotAffectThirdParties) {
+  RecordingEndpoint c;
+  net_.RegisterEndpoint(2, &c);
+  net_.Partition({0}, {1});
+  net_.Send(Message::Prepare(1, 0, 2));
+  sim_.Run();
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, TargetedDropIsOneShot) {
+  net_.DropNext(MessageType::kAck, 7, 1, 0);
+  net_.Send(Message::Ack(7, 1, 0, Outcome::kCommit));  // dropped
+  net_.Send(Message::Ack(7, 1, 0, Outcome::kCommit));  // delivered
+  sim_.Run();
+  EXPECT_EQ(a_.received.size(), 1u);
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, TargetedDropMatchesExactly) {
+  net_.DropNext(MessageType::kAck, 7, 1, 0);
+  net_.Send(Message::Ack(8, 1, 0, Outcome::kCommit));  // wrong txn
+  net_.Send(Message::Prepare(7, 1, 0));                // wrong type
+  sim_.Run();
+  EXPECT_EQ(a_.received.size(), 2u);
+  EXPECT_EQ(net_.stats().messages_dropped, 0u);
+}
+
+TEST_F(NetworkTest, StatsCountSendsAndBytes) {
+  net_.Send(Message::Prepare(1, 0, 1));
+  net_.Send(Message::Prepare(2, 1, 0));
+  sim_.Run();
+  EXPECT_EQ(net_.stats().messages_sent, 2u);
+  EXPECT_EQ(net_.stats().messages_delivered, 2u);
+  EXPECT_GT(net_.stats().bytes_sent, 0u);
+}
+
+TEST_F(NetworkTest, MetricsCountPerMessageType) {
+  net_.Send(Message::Prepare(1, 0, 1));
+  net_.Send(Message::Prepare(2, 0, 1));
+  net_.Send(Message::Ack(1, 1, 0, Outcome::kCommit));
+  sim_.Run();
+  EXPECT_EQ(metrics_.Get("net.msg.PREPARE"), 2);
+  EXPECT_EQ(metrics_.Get("net.msg.ACK"), 1);
+}
+
+TEST_F(NetworkTest, FifoLinksPreserveSendOrderUnderJitter) {
+  net_.SetDefaultLatency(std::make_unique<UniformLatency>(10, 10'000));
+  for (TxnId i = 0; i < 50; ++i) {
+    net_.Send(Message::Prepare(i, 0, 1));
+  }
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 50u);
+  for (TxnId i = 0; i < 50; ++i) {
+    EXPECT_EQ(b_.received[i].txn, i);
+  }
+}
+
+TEST_F(NetworkTest, FifoOrderingIsPerDirectedLink) {
+  // A slow 0->1 message must not delay 1->0 traffic.
+  net_.SetLinkLatency(0, 1, std::make_unique<FixedLatency>(10'000));
+  net_.SetLinkLatency(1, 0, std::make_unique<FixedLatency>(100));
+  net_.Send(Message::Prepare(1, 0, 1));
+  net_.Send(Message::MakeVote(1, 1, 0, Vote::kYes));
+  sim_.Step();  // first delivery
+  EXPECT_EQ(a_.received.size(), 1u);  // the fast reverse-direction message
+  EXPECT_TRUE(b_.received.empty());
+  sim_.Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, NonFifoModeAllowsOvertaking) {
+  net_.SetFifoLinks(false);
+  // First message slow, second fast: the second overtakes.
+  net_.SetLinkLatency(0, 1, std::make_unique<FixedLatency>(10'000));
+  net_.Send(Message::Prepare(1, 0, 1));
+  net_.SetLinkLatency(0, 1, std::make_unique<FixedLatency>(100));
+  net_.Send(Message::Decision(1, 0, 1, Outcome::kAbort));
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[0].type, MessageType::kDecision);
+  EXPECT_EQ(b_.received[1].type, MessageType::kPrepare);
+}
+
+TEST_F(NetworkTest, FifoModeClampsTheLaterSend) {
+  // Same shape as above but with FIFO (the default): send order holds.
+  net_.SetLinkLatency(0, 1, std::make_unique<FixedLatency>(10'000));
+  net_.Send(Message::Prepare(1, 0, 1));
+  net_.SetLinkLatency(0, 1, std::make_unique<FixedLatency>(100));
+  net_.Send(Message::Decision(1, 0, 1, Outcome::kAbort));
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[0].type, MessageType::kPrepare);
+  EXPECT_EQ(b_.received[1].type, MessageType::kDecision);
+}
+
+TEST_F(NetworkTest, MessageSurvivesWireRoundTrip) {
+  Message m = Message::InquiryReply(9, 0, 1, Outcome::kAbort, true);
+  net_.Send(m);
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0], m);
+}
+
+}  // namespace
+}  // namespace prany

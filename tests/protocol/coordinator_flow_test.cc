@@ -1,0 +1,185 @@
+// Trace tests: each coordinator variant must produce exactly the message
+// and log-write pattern of its figure in the paper (Figures 2-4; PrAny's
+// Figure 1 is covered in core/prany_flow_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+struct FlowCase {
+  ProtocolKind coordinator;
+  Outcome outcome;
+  size_t n;  // homogeneous participants, same protocol as the coordinator
+
+  // Expected counts.
+  int64_t prepares, votes, decisions, acks;
+  uint64_t coord_appends, coord_forced;
+  uint64_t part_appends, part_forced;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<FlowCase>& info) {
+  return ToString(info.param.coordinator) + "_" +
+         ToString(info.param.outcome) + "_n" +
+         std::to_string(info.param.n);
+}
+
+class HomogeneousFlowTest : public ::testing::TestWithParam<FlowCase> {};
+
+TEST_P(HomogeneousFlowTest, MatchesFigure) {
+  const FlowCase& c = GetParam();
+  std::vector<ProtocolKind> participants(c.n, c.coordinator);
+  FlowResult r = RunFlow(c.coordinator, ProtocolKind::kPrN, participants,
+                         c.outcome);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.mode, c.coordinator);
+  EXPECT_EQ(r.messages["PREPARE"], c.prepares);
+  EXPECT_EQ(r.messages["VOTE"], c.votes);
+  EXPECT_EQ(r.messages["DECISION"], c.decisions);
+  EXPECT_EQ(r.messages["ACK"], c.acks);
+  EXPECT_EQ(r.messages["INQUIRY"], 0);  // failure-free: nobody in doubt
+  EXPECT_EQ(r.coord_appends, c.coord_appends);
+  EXPECT_EQ(r.coord_forced, c.coord_forced);
+  EXPECT_EQ(r.part_appends, c.part_appends);
+  EXPECT_EQ(r.part_forced, c.part_forced);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figures2To4, HomogeneousFlowTest,
+    ::testing::Values(
+        // Figure 2 — PrN: forced decision record, everyone acks, END.
+        FlowCase{ProtocolKind::kPrN, Outcome::kCommit, 2,
+                 2, 2, 2, 2, 2, 1, 4, 4},
+        FlowCase{ProtocolKind::kPrN, Outcome::kAbort, 2,
+                 2, 2, 2, 2, 2, 1, 4, 4},
+        FlowCase{ProtocolKind::kPrN, Outcome::kCommit, 4,
+                 4, 4, 4, 4, 2, 1, 8, 8},
+        // Figure 3 — PrA: aborts leave no coordinator log records and
+        // draw no acks; participants do not force abort records.
+        FlowCase{ProtocolKind::kPrA, Outcome::kCommit, 2,
+                 2, 2, 2, 2, 2, 1, 4, 4},
+        FlowCase{ProtocolKind::kPrA, Outcome::kAbort, 2,
+                 2, 2, 2, 0, 0, 0, 4, 2},
+        FlowCase{ProtocolKind::kPrA, Outcome::kAbort, 4,
+                 4, 4, 4, 0, 0, 0, 8, 4},
+        // Figure 4 — PrC: forced initiation; commits draw no acks and no
+        // END; aborts draw acks from everyone and an END.
+        FlowCase{ProtocolKind::kPrC, Outcome::kCommit, 2,
+                 2, 2, 2, 0, 2, 2, 4, 2},
+        FlowCase{ProtocolKind::kPrC, Outcome::kAbort, 2,
+                 2, 2, 2, 2, 2, 1, 4, 4},
+        FlowCase{ProtocolKind::kPrC, Outcome::kCommit, 4,
+                 4, 4, 4, 0, 2, 2, 8, 4}),
+    CaseName);
+
+TEST(FlowCostShapeTest, PrCIsCheapestOnCommitsPrAOnAborts) {
+  // The classic asymmetry the paper builds on, measured end to end.
+  auto total_cost = [](ProtocolKind p, Outcome o) {
+    std::vector<ProtocolKind> participants(3, p);
+    FlowResult r = RunFlow(p, ProtocolKind::kPrN, participants, o);
+    return r.total_messages +
+           static_cast<int64_t>(r.coord_forced + r.part_forced);
+  };
+  // Commits: PrC < PrA == PrN (no commit acks, no forced participant
+  // commit records; the initiation record costs one forced write).
+  EXPECT_LT(total_cost(ProtocolKind::kPrC, Outcome::kCommit),
+            total_cost(ProtocolKind::kPrA, Outcome::kCommit));
+  EXPECT_EQ(total_cost(ProtocolKind::kPrA, Outcome::kCommit),
+            total_cost(ProtocolKind::kPrN, Outcome::kCommit));
+  // Aborts: PrA < PrN and PrA < PrC.
+  EXPECT_LT(total_cost(ProtocolKind::kPrA, Outcome::kAbort),
+            total_cost(ProtocolKind::kPrN, Outcome::kAbort));
+  EXPECT_LT(total_cost(ProtocolKind::kPrA, Outcome::kAbort),
+            total_cost(ProtocolKind::kPrC, Outcome::kAbort));
+}
+
+TEST(FlowLatencyTest, ForcedWritesLengthenTheCriticalPath) {
+  // With a 1ms forced-write cost, a PrC commit completes at the
+  // coordinator faster than a PrN commit completes (PrN waits for acks
+  // that sit behind each participant's forced commit record).
+  std::vector<ProtocolKind> prc(2, ProtocolKind::kPrC);
+  std::vector<ProtocolKind> prn(2, ProtocolKind::kPrN);
+  FlowResult fast = RunFlow(ProtocolKind::kPrC, ProtocolKind::kPrN, prc,
+                            Outcome::kCommit, 1, /*forced_write_latency=*/1000);
+  FlowResult slow = RunFlow(ProtocolKind::kPrN, ProtocolKind::kPrN, prn,
+                            Outcome::kCommit, 1, /*forced_write_latency=*/1000);
+  ASSERT_TRUE(fast.correct);
+  ASSERT_TRUE(slow.correct);
+  EXPECT_LT(fast.completion_latency_us, slow.completion_latency_us);
+}
+
+TEST(FlowTest, SingleParticipantFlows) {
+  for (ProtocolKind p :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    for (Outcome o : {Outcome::kCommit, Outcome::kAbort}) {
+      FlowResult r = RunFlow(p, ProtocolKind::kPrN, {p}, o);
+      EXPECT_TRUE(r.correct) << ToString(p) << "/" << ToString(o);
+      EXPECT_EQ(r.messages["PREPARE"], 1);
+    }
+  }
+}
+
+TEST(FlowTest, WideTransactionScalesLinearly) {
+  std::vector<ProtocolKind> participants(16, ProtocolKind::kPrN);
+  FlowResult r = RunFlow(ProtocolKind::kPrN, ProtocolKind::kPrN,
+                         participants, Outcome::kCommit);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.total_messages, 4 * 16);
+  EXPECT_EQ(r.part_forced, 32u);
+}
+
+TEST(FlowTest, DecisionPrecedesCompletion) {
+  std::vector<ProtocolKind> participants(2, ProtocolKind::kPrN);
+  FlowResult r = RunFlow(ProtocolKind::kPrN, ProtocolKind::kPrN,
+                         participants, Outcome::kCommit);
+  EXPECT_GT(r.decision_latency_us, 0.0);
+  EXPECT_GT(r.completion_latency_us, r.decision_latency_us);
+}
+
+TEST(U2PCFlowTest, FailureFreeHeterogeneousRunsAreCorrect) {
+  // Without failures U2PC is indistinguishable from a correct protocol —
+  // that is exactly why the paper needs the adversarial schedules of §2.
+  for (ProtocolKind native :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    for (Outcome o : {Outcome::kCommit, Outcome::kAbort}) {
+      FlowResult r = RunFlow(ProtocolKind::kU2PC, native,
+                             {ProtocolKind::kPrA, ProtocolKind::kPrC}, o);
+      EXPECT_TRUE(r.correct) << ToString(native) << "/" << ToString(o);
+    }
+  }
+}
+
+TEST(U2PCFlowTest, WaitsOnlyForWillingAckers) {
+  // U2PC-PrC abort over {PrA, PrC}: only the PrC participant acks; the
+  // run must still complete (the §2 "knowing that the PrA will never
+  // acknowledge" adjustment).
+  FlowResult r = RunFlow(ProtocolKind::kU2PC, ProtocolKind::kPrC,
+                         {ProtocolKind::kPrA, ProtocolKind::kPrC},
+                         Outcome::kAbort);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.messages["ACK"], 1);
+}
+
+TEST(C2PCFlowTest, MixedCommitNeverCompletes) {
+  // Theorem 2 in one flow: the PrC participant never acks the commit, so
+  // the C2PC coordinator cannot forget — operational correctness fails
+  // even though atomicity holds.
+  FlowResult r = RunFlow(ProtocolKind::kC2PC, ProtocolKind::kPrN,
+                         {ProtocolKind::kPrA, ProtocolKind::kPrC},
+                         Outcome::kCommit);
+  EXPECT_FALSE(r.correct);
+  EXPECT_EQ(r.completion_latency_us, 0.0);  // no forget event ever
+}
+
+TEST(C2PCFlowTest, HomogeneousPrNFlowsComplete) {
+  FlowResult r = RunFlow(ProtocolKind::kC2PC, ProtocolKind::kPrN,
+                         {ProtocolKind::kPrN, ProtocolKind::kPrN},
+                         Outcome::kCommit);
+  EXPECT_TRUE(r.correct);
+  EXPECT_GT(r.completion_latency_us, 0.0);
+}
+
+}  // namespace
+}  // namespace prany

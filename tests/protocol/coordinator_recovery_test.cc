@@ -1,0 +1,199 @@
+// Coordinator crash-recovery behaviour, protocol by protocol (§4.2 and the
+// appendix's per-variant recovery rules).
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+// Builds coordinator site 0 (`kind`/`native`) plus one site per entry of
+// `participants`, submits one all-yes transaction, and applies `crash`.
+struct RecoveryRun {
+  std::unique_ptr<System> system;
+  TxnId txn;
+};
+
+RecoveryRun RunWithCoordinatorCrash(
+    ProtocolKind kind, ProtocolKind native,
+    const std::vector<ProtocolKind>& participants, CrashPoint point,
+    SimDuration downtime, bool force_abort = false) {
+  SystemConfig cfg;
+  cfg.seed = 7;
+  auto system = std::make_unique<System>(cfg);
+  system->AddSite(ProtocolKind::kPrN, kind, native);
+  std::vector<SiteId> sites;
+  for (ProtocolKind p : participants) {
+    system->AddSite(p);
+    sites.push_back(static_cast<SiteId>(sites.size() + 1));
+  }
+  TxnId txn = system->Submit(0, sites);
+  if (force_abort) {
+    system->sim().ScheduleAt(800, [sys = system.get(), txn]() {
+      sys->site(0)->coordinator()->ForceAbort(txn);
+    });
+  }
+  system->injector().CrashAtPoint(0, point, txn, downtime);
+  system->Run();
+  return RecoveryRun{std::move(system), txn};
+}
+
+int CountDecides(const System& system, TxnId txn, Outcome outcome) {
+  int n = 0;
+  for (const SigEvent& e : system.history().events()) {
+    if (e.txn == txn && e.type == SigEventType::kCoordDecide &&
+        *e.outcome == outcome) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int CountEnforces(const System& system, TxnId txn, Outcome outcome) {
+  int n = 0;
+  for (const SigEvent& e : system.history().events()) {
+    if (e.txn == txn && e.type == SigEventType::kPartEnforce &&
+        *e.outcome == outcome) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(PrNRecoveryTest, ReinitiatesLoggedCommitAfterCrash) {
+  RecoveryRun r = RunWithCoordinatorCrash(
+      ProtocolKind::kPrN, ProtocolKind::kPrN,
+      {ProtocolKind::kPrN, ProtocolKind::kPrN},
+      CrashPoint::kCoordAfterDecisionMade, /*downtime=*/5'000);
+  // Decision was durable before the crash; recovery re-submits it.
+  EXPECT_GE(CountDecides(*r.system, r.txn, Outcome::kCommit), 2);
+  EXPECT_EQ(CountEnforces(*r.system, r.txn, Outcome::kCommit), 2);
+  EXPECT_TRUE(r.system->CheckOperational().ok())
+      << r.system->CheckOperational().ToString();
+}
+
+TEST(PrNRecoveryTest, VotingPhaseCrashResolvesByHiddenPresumption) {
+  // Crash after PREPAREs were sent but before any decision: PrN logs
+  // nothing during voting, so the transaction vanishes from the
+  // coordinator; in-doubt participants learn "abort" by the hidden
+  // presumption.
+  RecoveryRun r = RunWithCoordinatorCrash(
+      ProtocolKind::kPrN, ProtocolKind::kPrN,
+      {ProtocolKind::kPrN, ProtocolKind::kPrN},
+      CrashPoint::kCoordAfterPreparesSent, /*downtime=*/200'000);
+  EXPECT_EQ(CountEnforces(*r.system, r.txn, Outcome::kAbort), 2);
+  EXPECT_EQ(CountEnforces(*r.system, r.txn, Outcome::kCommit), 0);
+  EXPECT_GT(r.system->metrics().Get("coord.answered_by_presumption"), 0);
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+}
+
+TEST(PrARecoveryTest, AbortLeavesNoTraceAndPresumptionCovers) {
+  RecoveryRun r = RunWithCoordinatorCrash(
+      ProtocolKind::kPrA, ProtocolKind::kPrA,
+      {ProtocolKind::kPrA, ProtocolKind::kPrA},
+      CrashPoint::kCoordAfterDecisionMade, /*downtime=*/200'000,
+      /*force_abort=*/true);
+  // Nothing was logged for the abort: exactly one Decide event (recovery
+  // re-initiates nothing) and the participants abort via inquiries.
+  EXPECT_EQ(CountDecides(*r.system, r.txn, Outcome::kAbort), 1);
+  EXPECT_EQ(CountEnforces(*r.system, r.txn, Outcome::kAbort), 2);
+  EXPECT_GT(r.system->metrics().Get("coord.answered_by_presumption"), 0);
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+}
+
+TEST(PrARecoveryTest, CommitIsReinitiatedFromTheLog) {
+  RecoveryRun r = RunWithCoordinatorCrash(
+      ProtocolKind::kPrA, ProtocolKind::kPrA,
+      {ProtocolKind::kPrA, ProtocolKind::kPrA},
+      CrashPoint::kCoordAfterDecisionMade, /*downtime=*/5'000);
+  EXPECT_GE(CountDecides(*r.system, r.txn, Outcome::kCommit), 2);
+  EXPECT_EQ(CountEnforces(*r.system, r.txn, Outcome::kCommit), 2);
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+}
+
+TEST(PrCRecoveryTest, InitiationOnlyCrashAbortsPerRecoveryRule) {
+  // Crash right after the initiation record: no PREPARE ever left the
+  // site. Recovery finds the open initiation and re-initiates an abort;
+  // participants that never heard of the transaction acknowledge it
+  // (footnote 5).
+  RecoveryRun r = RunWithCoordinatorCrash(
+      ProtocolKind::kPrC, ProtocolKind::kPrC,
+      {ProtocolKind::kPrC, ProtocolKind::kPrC},
+      CrashPoint::kCoordAfterInitiationLogged, /*downtime=*/5'000);
+  EXPECT_EQ(CountDecides(*r.system, r.txn, Outcome::kAbort), 1);
+  EXPECT_EQ(CountEnforces(*r.system, r.txn, Outcome::kCommit), 0);
+  OperationalReport op = r.system->CheckOperational();
+  EXPECT_TRUE(op.ok()) << op.ToString();
+  EXPECT_EQ(r.system->site(0)->coordinator()->table().Size(), 0u);
+}
+
+TEST(PrCRecoveryTest, LoggedCommitIsCoveredByThePresumption) {
+  // Crash after the commit record but before sending it: recovery
+  // releases the transaction (the commit record eliminated the
+  // initiation) and the in-doubt participants are answered "commit" by
+  // presumption.
+  RecoveryRun r = RunWithCoordinatorCrash(
+      ProtocolKind::kPrC, ProtocolKind::kPrC,
+      {ProtocolKind::kPrC, ProtocolKind::kPrC},
+      CrashPoint::kCoordAfterDecisionMade, /*downtime=*/200'000);
+  EXPECT_EQ(CountDecides(*r.system, r.txn, Outcome::kCommit), 1);
+  EXPECT_EQ(CountEnforces(*r.system, r.txn, Outcome::kCommit), 2);
+  EXPECT_GT(r.system->metrics().Get("coord.answered_by_presumption"), 0);
+  EXPECT_TRUE(r.system->CheckOperational().ok());
+}
+
+TEST(C2PCRecoveryTest, StuckEntriesSurviveTheCrash) {
+  // A mixed-commit C2PC entry is stuck (the PrC participant never acks);
+  // a crash plus recovery must faithfully re-build the stuck entry from
+  // the log — C2PC "never forgets", even across failures.
+  RecoveryRun r = RunWithCoordinatorCrash(
+      ProtocolKind::kC2PC, ProtocolKind::kPrN,
+      {ProtocolKind::kPrA, ProtocolKind::kPrC},
+      CrashPoint::kCoordAfterDecisionSent, /*downtime=*/5'000);
+  EXPECT_TRUE(r.system->CheckAtomicity().ok());
+  EXPECT_EQ(r.system->site(0)->coordinator()->table().Size(), 1u);
+  EXPECT_FALSE(r.system->CheckOperational().ok());
+}
+
+TEST(U2PCRecoveryTest, NativePrCReinitiatesAbortAfterInitiationCrash) {
+  RecoveryRun r = RunWithCoordinatorCrash(
+      ProtocolKind::kU2PC, ProtocolKind::kPrC,
+      {ProtocolKind::kPrA, ProtocolKind::kPrC},
+      CrashPoint::kCoordAfterInitiationLogged, /*downtime=*/5'000);
+  EXPECT_EQ(CountDecides(*r.system, r.txn, Outcome::kAbort), 1);
+  EXPECT_TRUE(r.system->CheckAtomicity().ok());
+}
+
+class PureCoordinatorSweepTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(PureCoordinatorSweepTest, HomogeneousCrashSweepIsFullyCorrect) {
+  // Every pure protocol, over its own homogeneous participants, must
+  // survive every crash point at every site (the appendix's claim that
+  // PrN/PrA/PrC are individually correct).
+  std::vector<std::vector<ProtocolKind>> mixes = {
+      {GetParam(), GetParam()},
+      {GetParam(), GetParam(), GetParam()},
+  };
+  SweepResult sweep = RunCrashSweep(GetParam(), GetParam(), mixes);
+  EXPECT_TRUE(sweep.AllCorrect()) << [&] {
+    std::string all;
+    for (const auto& d : sweep.failure_descriptions) all += d + "\n";
+    return all;
+  }();
+  // Per mix and outcome: 5 coordinator points + 6 points per participant.
+  // n=2 -> 17 targets, n=3 -> 23; two outcomes each.
+  EXPECT_EQ(sweep.scenarios, 2u * (17 + 23));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBase, PureCoordinatorSweepTest,
+                         ::testing::Values(ProtocolKind::kPrN,
+                                           ProtocolKind::kPrA,
+                                           ProtocolKind::kPrC),
+                         [](const auto& info) {
+                           return ToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace prany

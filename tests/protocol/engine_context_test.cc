@@ -1,0 +1,97 @@
+#include "protocol/engine_context.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+class SinkEndpoint : public NetworkEndpoint {
+ public:
+  void OnMessage(const Message& msg) override { received.push_back(msg); }
+  bool IsUp() const override { return true; }
+  std::vector<Message> received;
+};
+
+class EngineContextTest : public ::testing::Test {
+ protected:
+  EngineContextTest() : sim_(1), net_(&sim_, &metrics_) {
+    net_.RegisterEndpoint(0, &sink_);
+    ctx_.self = 1;
+    ctx_.sim = &sim_;
+    ctx_.net = &net_;
+    ctx_.log = &log_;
+    ctx_.history = &history_;
+    ctx_.metrics = &metrics_;
+  }
+
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  Network net_;
+  EventLog history_;
+  StableLog log_;
+  SinkEndpoint sink_;
+  EngineContext ctx_;
+};
+
+TEST_F(EngineContextTest, ImmediateSendGoesStraightToTheNetwork) {
+  ctx_.Send(Message::Inquiry(1, 1, 0));
+  EXPECT_EQ(net_.stats().messages_sent, 1u);
+  sim_.Run();
+  EXPECT_EQ(sink_.received.size(), 1u);
+}
+
+TEST_F(EngineContextTest, DeferredSendWaitsForTheDelay) {
+  ctx_.Send(Message::Inquiry(1, 1, 0), /*delay=*/1'000);
+  EXPECT_EQ(net_.stats().messages_sent, 0u);  // not yet on the wire
+  sim_.Run();
+  EXPECT_EQ(sink_.received.size(), 1u);
+  EXPECT_GE(sim_.Now(), 1'000u);
+}
+
+TEST_F(EngineContextTest, DeferredSendSuppressedIfSiteWentDown) {
+  bool up = true;
+  ctx_.is_up = [&up]() { return up; };
+  ctx_.Send(Message::Inquiry(1, 1, 0), /*delay=*/1'000);
+  sim_.Schedule(500, [&up]() { up = false; });  // crash mid-delay
+  sim_.Run();
+  EXPECT_EQ(net_.stats().messages_sent, 0u);
+  EXPECT_TRUE(sink_.received.empty());
+}
+
+TEST_F(EngineContextTest, MaybeCrashWithoutProbeIsFalse) {
+  EXPECT_FALSE(ctx_.MaybeCrash(CrashPoint::kPartAfterVoteSent, 1));
+}
+
+TEST_F(EngineContextTest, MaybeCrashDelegatesToProbe) {
+  std::vector<std::pair<CrashPoint, TxnId>> probed;
+  ctx_.crash_probe = [&](CrashPoint point, TxnId txn) {
+    probed.push_back({point, txn});
+    return txn == 7;
+  };
+  EXPECT_FALSE(ctx_.MaybeCrash(CrashPoint::kPartAfterVoteSent, 1));
+  EXPECT_TRUE(ctx_.MaybeCrash(CrashPoint::kPartOnDecisionReceived, 7));
+  ASSERT_EQ(probed.size(), 2u);
+  EXPECT_EQ(probed[1].first, CrashPoint::kPartOnDecisionReceived);
+}
+
+TEST_F(EngineContextTest, CountIsNullSafe) {
+  ctx_.Count("some.metric", 3);
+  EXPECT_EQ(metrics_.Get("some.metric"), 3);
+  EngineContext bare = ctx_;
+  bare.metrics = nullptr;
+  bare.Count("other.metric");  // must not crash
+}
+
+TEST_F(EngineContextTest, TimingDefaultsAreSane) {
+  TimingConfig timing;
+  EXPECT_GT(timing.vote_timeout, 0u);
+  EXPECT_GT(timing.decision_resend_interval, 0u);
+  EXPECT_GT(timing.inquiry_interval, 0u);
+  EXPECT_EQ(timing.max_decision_resends, 0u);  // unlimited by default
+  // Timeouts comfortably exceed a request-reply round trip at the default
+  // 500us one-way latency, so failure-free runs never time out.
+  EXPECT_GT(timing.vote_timeout, 2u * 500u * 2u);
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,184 @@
+// The inquiry-answering matrix: what each coordinator variant replies
+// when asked about a transaction it holds no information about. This is
+// the presumption table at the heart of the paper, exercised through the
+// real message path (a late inquirer after the coordinator has forgotten
+// or never knew the transaction).
+
+#include <gtest/gtest.h>
+
+#include "harness/system.h"
+
+namespace prany {
+namespace {
+
+// Sends an INQUIRY from `inquirer` about a transaction the coordinator
+// never heard of, and returns the reply outcome.
+struct InquiryReplyInfo {
+  Outcome outcome;
+  bool by_presumption;
+};
+
+InquiryReplyInfo AskAboutUnknownTxn(ProtocolKind coordinator_kind,
+                                    ProtocolKind native,
+                                    ProtocolKind inquirer_protocol) {
+  System system;
+  system.AddSite(ProtocolKind::kPrN, coordinator_kind, native);
+  system.AddSite(inquirer_protocol);
+  constexpr TxnId kGhostTxn = 4242;
+  system.net().Send(Message::Inquiry(kGhostTxn, 1, 0));
+  system.Run();
+  const SigEvent* respond = system.history().FirstWhere(
+      [](const SigEvent& e) {
+        return e.type == SigEventType::kCoordRespond;
+      });
+  EXPECT_NE(respond, nullptr);
+  return InquiryReplyInfo{*respond->outcome, respond->by_presumption};
+}
+
+TEST(InquiryMatrixTest, PrNHiddenPresumptionIsAbortForEveryone) {
+  for (ProtocolKind inquirer :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    InquiryReplyInfo r =
+        AskAboutUnknownTxn(ProtocolKind::kPrN, ProtocolKind::kPrN, inquirer);
+    EXPECT_EQ(r.outcome, Outcome::kAbort) << ToString(inquirer);
+    EXPECT_TRUE(r.by_presumption);
+  }
+}
+
+TEST(InquiryMatrixTest, PrAPresumesAbortForEveryone) {
+  for (ProtocolKind inquirer :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    InquiryReplyInfo r =
+        AskAboutUnknownTxn(ProtocolKind::kPrA, ProtocolKind::kPrA, inquirer);
+    EXPECT_EQ(r.outcome, Outcome::kAbort) << ToString(inquirer);
+  }
+}
+
+TEST(InquiryMatrixTest, PrCPresumesCommitForEveryone) {
+  for (ProtocolKind inquirer :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    InquiryReplyInfo r =
+        AskAboutUnknownTxn(ProtocolKind::kPrC, ProtocolKind::kPrC, inquirer);
+    EXPECT_EQ(r.outcome, Outcome::kCommit) << ToString(inquirer);
+  }
+}
+
+TEST(InquiryMatrixTest, U2PCAnswersItsNativePresumptionRegardlessOfAsker) {
+  // The root cause of Theorem 1 in one assertion block.
+  for (ProtocolKind inquirer :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    EXPECT_EQ(AskAboutUnknownTxn(ProtocolKind::kU2PC, ProtocolKind::kPrN,
+                                 inquirer)
+                  .outcome,
+              Outcome::kAbort);
+    EXPECT_EQ(AskAboutUnknownTxn(ProtocolKind::kU2PC, ProtocolKind::kPrA,
+                                 inquirer)
+                  .outcome,
+              Outcome::kAbort);
+    EXPECT_EQ(AskAboutUnknownTxn(ProtocolKind::kU2PC, ProtocolKind::kPrC,
+                                 inquirer)
+                  .outcome,
+              Outcome::kCommit);
+  }
+}
+
+TEST(InquiryMatrixTest, PrAnyAdoptsTheInquirersPresumption) {
+  // §4.2: "a PrAny coordinator dynamically adopts the presumption of an
+  // inquiring participant's protocol."
+  EXPECT_EQ(AskAboutUnknownTxn(ProtocolKind::kPrAny, ProtocolKind::kPrN,
+                               ProtocolKind::kPrN)
+                .outcome,
+            Outcome::kAbort);
+  EXPECT_EQ(AskAboutUnknownTxn(ProtocolKind::kPrAny, ProtocolKind::kPrN,
+                               ProtocolKind::kPrA)
+                .outcome,
+            Outcome::kAbort);
+  EXPECT_EQ(AskAboutUnknownTxn(ProtocolKind::kPrAny, ProtocolKind::kPrN,
+                               ProtocolKind::kPrC)
+                .outcome,
+            Outcome::kCommit);
+}
+
+TEST(InquiryMatrixTest, PrAnyAnswersAreMarkedAsPresumed) {
+  InquiryReplyInfo r = AskAboutUnknownTxn(
+      ProtocolKind::kPrAny, ProtocolKind::kPrN, ProtocolKind::kPrC);
+  EXPECT_TRUE(r.by_presumption);
+}
+
+TEST(InquiryMatrixTest, C2PCNeverAnswersByPresumption) {
+  for (ProtocolKind inquirer :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    InquiryReplyInfo r = AskAboutUnknownTxn(ProtocolKind::kC2PC,
+                                            ProtocolKind::kPrN, inquirer);
+    // With forced decision logging, "no record" proves "never decided":
+    // abort is a sound log-based answer, not a presumption.
+    EXPECT_EQ(r.outcome, Outcome::kAbort);
+    EXPECT_FALSE(r.by_presumption);
+  }
+}
+
+TEST(InquiryMatrixTest, LiveEntryAnswersFromTheTableNotThePresumption) {
+  // While the transaction is still in the decision phase, every
+  // coordinator answers the actual decision — even when it contradicts
+  // its presumption (here: PrC coordinator answering "abort").
+  System system;
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrC);
+  system.AddSite(ProtocolKind::kPrC);
+  system.AddSite(ProtocolKind::kPrC);
+  TxnId txn = system.Submit(0, {1, 2}, {{1, Vote::kNo}});
+  // The abort decision holds the entry open until both acks arrive; an
+  // early inquiry from site 2 is answered from the table.
+  system.net().DropNext(MessageType::kDecision, txn, 0, 2);
+  system.Run();
+  const SigEvent* respond = system.history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.txn == txn && e.type == SigEventType::kCoordRespond;
+      });
+  ASSERT_NE(respond, nullptr);
+  EXPECT_EQ(*respond->outcome, Outcome::kAbort);
+  EXPECT_FALSE(respond->by_presumption);
+  EXPECT_TRUE(system.CheckOperational().ok());
+}
+
+TEST(InquiryMatrixTest, InquiryDuringVotingIsDeferred) {
+  // An inquiry that lands while the coordinator is still collecting votes
+  // gets no reply (the inquirer retries after the decision); the episode
+  // is counted for observability.
+  System system;
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrA);
+  system.AddSite(ProtocolKind::kPrC);
+  TxnId txn = system.Submit(0, {1, 2});
+  // Lose one vote so the voting phase outlives the first inquiry round
+  // (vote timeout 50ms > inquiry interval 20ms).
+  system.net().DropNext(MessageType::kVote, txn, 2, 0);
+  system.Run();
+  EXPECT_GT(system.metrics().Get("coord.inquiry_during_voting"), 0);
+  // Everything still terminates correctly via the timeout abort.
+  EXPECT_TRUE(system.CheckOperational().ok())
+      << system.CheckOperational().ToString();
+}
+
+TEST(InquiryMatrixTest, PrAnyUnknownInquirerIsAnsweredAbort) {
+  // An inquirer that is not in the PCP (left the federation): abort is
+  // the conservative reply, and it is counted for the operator.
+  System system;
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  Site* ghost_site = system.AddSite(ProtocolKind::kPrC);
+  (void)ghost_site;
+  PRANY_CHECK(system.pcp().Size() == 2);
+  // Simulate departure: unregister site 1 from the PCP after setup.
+  const_cast<PcpTable&>(system.pcp()).UnregisterSite(1).ok();
+  system.net().Send(Message::Inquiry(99, 1, 0));
+  system.Run();
+  const SigEvent* respond = system.history().FirstWhere(
+      [](const SigEvent& e) {
+        return e.type == SigEventType::kCoordRespond;
+      });
+  ASSERT_NE(respond, nullptr);
+  EXPECT_EQ(*respond->outcome, Outcome::kAbort);
+  EXPECT_EQ(system.metrics().Get("prany.unknown_inquirer"), 1);
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,269 @@
+#include "protocol/participant.h"
+
+#include <gtest/gtest.h>
+
+#include "wal/log_analyzer.h"
+
+namespace prany {
+namespace {
+
+constexpr SiteId kCoordinator = 0;
+constexpr SiteId kSelf = 1;
+
+// Captures everything the participant sends to the coordinator.
+class CoordinatorStub : public NetworkEndpoint {
+ public:
+  void OnMessage(const Message& msg) override { received.push_back(msg); }
+  bool IsUp() const override { return true; }
+  std::vector<Message> received;
+
+  std::vector<Message> OfType(MessageType type) const {
+    std::vector<Message> out;
+    for (const Message& m : received) {
+      if (m.type == type) out.push_back(m);
+    }
+    return out;
+  }
+};
+
+class ParticipantTest : public ::testing::TestWithParam<ProtocolKind> {
+ protected:
+  ParticipantTest() : sim_(1), net_(&sim_, &metrics_) {
+    net_.RegisterEndpoint(kCoordinator, &coordinator_);
+    EngineContext ctx;
+    ctx.self = kSelf;
+    ctx.sim = &sim_;
+    ctx.net = &net_;
+    ctx.log = &log_;
+    ctx.history = &history_;
+    ctx.metrics = &metrics_;
+    engine_ = std::make_unique<ParticipantEngine>(ctx, GetParam());
+  }
+
+  // Runs long enough to deliver any immediate sends but bounded: an
+  // in-doubt participant's periodic inquiry timer keeps the event queue
+  // non-empty forever by design.
+  void Settle() { sim_.Run(10'000, sim_.Now() + 1'000); }
+
+  void Prepare(TxnId txn = 1) {
+    engine_->OnPrepare(Message::Prepare(txn, kCoordinator, kSelf));
+    Settle();
+  }
+
+  void Decide(Outcome outcome, TxnId txn = 1) {
+    engine_->OnDecision(
+        Message::Decision(txn, kCoordinator, kSelf, outcome));
+    Settle();
+  }
+
+  std::map<TxnId, TxnLogSummary> LogSummaries() {
+    return LogAnalyzer::Analyze(log_.StableRecords());
+  }
+
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  Network net_;
+  EventLog history_;
+  StableLog log_;
+  CoordinatorStub coordinator_;
+  std::unique_ptr<ParticipantEngine> engine_;
+};
+
+TEST_P(ParticipantTest, YesVoteForcesPreparedRecordFirst) {
+  Prepare();
+  auto votes = coordinator_.OfType(MessageType::kVote);
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_EQ(votes[0].vote, Vote::kYes);
+  // The prepared record is durable (forced) and names the coordinator.
+  auto summaries = LogSummaries();
+  ASSERT_TRUE(summaries.count(1));
+  EXPECT_TRUE(summaries.at(1).has_prepared);
+  EXPECT_EQ(summaries.at(1).coordinator, kCoordinator);
+  EXPECT_EQ(log_.stats().forced_appends, 1u);
+  EXPECT_TRUE(engine_->IsInDoubt(1));
+}
+
+TEST_P(ParticipantTest, NoVoteAbortsUnilaterallyWithoutLogging) {
+  engine_->SetPlannedVote(1, Vote::kNo);
+  Prepare();
+  auto votes = coordinator_.OfType(MessageType::kVote);
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_EQ(votes[0].vote, Vote::kNo);
+  EXPECT_EQ(log_.stats().appends, 0u);
+  EXPECT_FALSE(engine_->IsInDoubt(1));
+  // The unilateral abort is a significant event.
+  const SigEvent* enforce = history_.FirstWhere([](const SigEvent& e) {
+    return e.type == SigEventType::kPartEnforce;
+  });
+  ASSERT_NE(enforce, nullptr);
+  EXPECT_EQ(*enforce->outcome, Outcome::kAbort);
+}
+
+TEST_P(ParticipantTest, CommitDecisionEnforcesAndForgets) {
+  Prepare();
+  Decide(Outcome::kCommit);
+  EXPECT_FALSE(engine_->IsInDoubt(1));
+  EXPECT_EQ(engine_->ActiveTxns(), 0u);
+  const SigEvent* enforce = history_.FirstWhere([](const SigEvent& e) {
+    return e.type == SigEventType::kPartEnforce;
+  });
+  ASSERT_NE(enforce, nullptr);
+  EXPECT_EQ(*enforce->outcome, Outcome::kCommit);
+  // The participant released and truncated its records.
+  EXPECT_TRUE(log_.UnreleasedTxns().empty());
+}
+
+TEST_P(ParticipantTest, AckMatrixMatchesTraits) {
+  Prepare(1);
+  Decide(Outcome::kCommit, 1);
+  size_t commit_acks = coordinator_.OfType(MessageType::kAck).size();
+  EXPECT_EQ(commit_acks > 0,
+            ParticipantAcks(GetParam(), Outcome::kCommit));
+
+  coordinator_.received.clear();
+  Prepare(2);
+  Decide(Outcome::kAbort, 2);
+  size_t abort_acks = coordinator_.OfType(MessageType::kAck).size();
+  EXPECT_EQ(abort_acks > 0, ParticipantAcks(GetParam(), Outcome::kAbort));
+}
+
+TEST_P(ParticipantTest, DecisionRecordForcedPerTraits) {
+  Prepare();
+  uint64_t forced_before = log_.stats().forced_appends;
+  Decide(Outcome::kCommit);
+  uint64_t forced_delta = log_.stats().forced_appends - forced_before;
+  EXPECT_EQ(forced_delta,
+            ParticipantForcesDecision(GetParam(), Outcome::kCommit) ? 1u
+                                                                    : 0u);
+}
+
+TEST_P(ParticipantTest, NoMemoryDecisionGetsFootnote5Ack) {
+  // Decision for a transaction this participant has no memory of: it must
+  // simply acknowledge (if its protocol acknowledges that outcome).
+  Decide(Outcome::kCommit, 99);
+  size_t acks = coordinator_.OfType(MessageType::kAck).size();
+  EXPECT_EQ(acks > 0, ParticipantAcks(GetParam(), Outcome::kCommit));
+  EXPECT_EQ(log_.stats().appends, 0u);  // and writes nothing
+}
+
+TEST_P(ParticipantTest, InDoubtParticipantInquiresPeriodically) {
+  Prepare();
+  // No decision arrives; run well past several inquiry intervals.
+  sim_.Run(1'000, /*until=*/100'000);
+  auto inquiries = coordinator_.OfType(MessageType::kInquiry);
+  EXPECT_GE(inquiries.size(), 3u);
+  EXPECT_EQ(inquiries[0].to, kCoordinator);
+}
+
+TEST_P(ParticipantTest, InquiryStopsAfterDecision) {
+  Prepare();
+  Decide(Outcome::kCommit);
+  size_t inquiries_at_decision =
+      coordinator_.OfType(MessageType::kInquiry).size();
+  sim_.Run(1'000, /*until=*/200'000);
+  EXPECT_EQ(coordinator_.OfType(MessageType::kInquiry).size(),
+            inquiries_at_decision);
+}
+
+TEST_P(ParticipantTest, InquiryReplyActsAsDecision) {
+  Prepare();
+  engine_->OnInquiryReply(
+      Message::InquiryReply(1, kCoordinator, kSelf, Outcome::kAbort, true));
+  Settle();
+  EXPECT_FALSE(engine_->IsInDoubt(1));
+  const SigEvent* enforce = history_.FirstWhere([](const SigEvent& e) {
+    return e.type == SigEventType::kPartEnforce;
+  });
+  ASSERT_NE(enforce, nullptr);
+  EXPECT_EQ(*enforce->outcome, Outcome::kAbort);
+}
+
+TEST_P(ParticipantTest, DuplicatePrepareResendsYesVote) {
+  Prepare();
+  Prepare();
+  EXPECT_EQ(coordinator_.OfType(MessageType::kVote).size(), 2u);
+  EXPECT_EQ(log_.stats().forced_appends, 1u);  // prepared logged once
+}
+
+TEST_P(ParticipantTest, CrashWipesVolatileState) {
+  Prepare();
+  log_.Crash();
+  engine_->Crash();
+  EXPECT_EQ(engine_->ActiveTxns(), 0u);
+}
+
+TEST_P(ParticipantTest, RecoveryResumesInDoubtTransactions) {
+  Prepare();
+  log_.Crash();
+  engine_->Crash();
+  coordinator_.received.clear();
+  engine_->Recover();
+  sim_.Run(1'000, /*until=*/sim_.Now() + 50'000);
+  // Recovery inquires immediately, then keeps inquiring.
+  auto inquiries = coordinator_.OfType(MessageType::kInquiry);
+  EXPECT_GE(inquiries.size(), 2u);
+  EXPECT_TRUE(engine_->IsInDoubt(1));
+}
+
+TEST_P(ParticipantTest, RecoveryRedoesDecidedTransactions) {
+  // Force both records stable, then crash between decision-write and
+  // forgetting (simulated by crashing the engine only).
+  Prepare();
+  bool forced = ParticipantForcesDecision(GetParam(), Outcome::kAbort);
+  log_.Append(LogRecord::Abort(1), forced);
+  log_.Flush();  // make the abort record stable regardless of traits
+  engine_->Crash();
+  engine_->Recover();
+  Settle();
+  EXPECT_FALSE(engine_->IsInDoubt(1));
+  EXPECT_TRUE(log_.UnreleasedTxns().empty());
+  const SigEvent* enforce = history_.FirstWhere([](const SigEvent& e) {
+    return e.type == SigEventType::kPartEnforce;
+  });
+  ASSERT_NE(enforce, nullptr);
+  EXPECT_EQ(*enforce->outcome, Outcome::kAbort);
+}
+
+TEST_P(ParticipantTest, LostNonForcedDecisionLeavesInDoubt) {
+  // The §2 window: a decision record that was written non-forced is lost
+  // in the crash, so the participant must be in doubt again.
+  if (ParticipantForcesDecision(GetParam(), Outcome::kAbort)) {
+    GTEST_SKIP() << "protocol forces its abort record";
+  }
+  Prepare();
+  log_.Append(LogRecord::Abort(1), /*force=*/false);
+  log_.Crash();  // abort record gone; prepared record survives
+  engine_->Crash();
+  coordinator_.received.clear();
+  engine_->Recover();
+  sim_.Run(100, /*until=*/sim_.Now() + 600);  // deliver the first inquiry
+  EXPECT_TRUE(engine_->IsInDoubt(1));
+  EXPECT_FALSE(coordinator_.OfType(MessageType::kInquiry).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaseProtocols, ParticipantTest,
+                         ::testing::Values(ProtocolKind::kPrN,
+                                           ProtocolKind::kPrA,
+                                           ProtocolKind::kPrC),
+                         [](const auto& info) {
+                           return ToString(info.param);
+                         });
+
+TEST(ParticipantDeathTest, NonBaseProtocolAborts) {
+  Simulator sim(1);
+  MetricsRegistry metrics;
+  Network net(&sim, &metrics);
+  EventLog history;
+  StableLog log;
+  EngineContext ctx;
+  ctx.self = 1;
+  ctx.sim = &sim;
+  ctx.net = &net;
+  ctx.log = &log;
+  ctx.history = &history;
+  EXPECT_DEATH({ ParticipantEngine bad(ctx, ProtocolKind::kPrAny); },
+               "PrN, PrA or PrC");
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,108 @@
+#include "protocol/protocol_traits.h"
+
+#include <gtest/gtest.h>
+
+#include "protocol/crash_points.h"
+
+namespace prany {
+namespace {
+
+// The traits tables ARE Figures 2-4 of the paper; these tests transcribe
+// the figures cell by cell.
+
+TEST(TraitsTest, PrNActsOnEverything) {
+  const ParticipantTraits& t = TraitsFor(ProtocolKind::kPrN);
+  EXPECT_TRUE(t.ack_commit);
+  EXPECT_TRUE(t.ack_abort);
+  EXPECT_TRUE(t.force_commit_record);
+  EXPECT_TRUE(t.force_abort_record);
+}
+
+TEST(TraitsTest, PrASkipsAbortSide) {
+  const ParticipantTraits& t = TraitsFor(ProtocolKind::kPrA);
+  EXPECT_TRUE(t.ack_commit);
+  EXPECT_FALSE(t.ack_abort);
+  EXPECT_TRUE(t.force_commit_record);
+  EXPECT_FALSE(t.force_abort_record);
+}
+
+TEST(TraitsTest, PrCSkipsCommitSide) {
+  const ParticipantTraits& t = TraitsFor(ProtocolKind::kPrC);
+  EXPECT_FALSE(t.ack_commit);
+  EXPECT_TRUE(t.ack_abort);
+  EXPECT_FALSE(t.force_commit_record);
+  EXPECT_TRUE(t.force_abort_record);
+}
+
+TEST(TraitsTest, ParticipantAcksMatrix) {
+  EXPECT_TRUE(ParticipantAcks(ProtocolKind::kPrN, Outcome::kCommit));
+  EXPECT_TRUE(ParticipantAcks(ProtocolKind::kPrN, Outcome::kAbort));
+  EXPECT_TRUE(ParticipantAcks(ProtocolKind::kPrA, Outcome::kCommit));
+  EXPECT_FALSE(ParticipantAcks(ProtocolKind::kPrA, Outcome::kAbort));
+  EXPECT_FALSE(ParticipantAcks(ProtocolKind::kPrC, Outcome::kCommit));
+  EXPECT_TRUE(ParticipantAcks(ProtocolKind::kPrC, Outcome::kAbort));
+}
+
+TEST(TraitsTest, EachProtocolSkipsExactlyItsPresumedSide) {
+  // The structural signature of presumed protocols: the side a protocol
+  // does not acknowledge is the side it does not force-log either.
+  for (ProtocolKind kind :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    for (Outcome o : {Outcome::kCommit, Outcome::kAbort}) {
+      EXPECT_EQ(ParticipantAcks(kind, o), ParticipantForcesDecision(kind, o))
+          << ToString(kind) << "/" << ToString(o);
+    }
+  }
+}
+
+TEST(TraitsTest, AckersAmongSplitsTheMixedSet) {
+  std::vector<ParticipantInfo> mixed = {{1, ProtocolKind::kPrN},
+                                        {2, ProtocolKind::kPrA},
+                                        {3, ProtocolKind::kPrC}};
+  EXPECT_EQ(AckersAmong(mixed, Outcome::kCommit), (std::set<SiteId>{1, 2}));
+  EXPECT_EQ(AckersAmong(mixed, Outcome::kAbort), (std::set<SiteId>{1, 3}));
+}
+
+TEST(TraitsTest, AckersAmongHomogeneousSets) {
+  std::vector<ParticipantInfo> all_prc = {{1, ProtocolKind::kPrC},
+                                          {2, ProtocolKind::kPrC}};
+  EXPECT_TRUE(AckersAmong(all_prc, Outcome::kCommit).empty());
+  EXPECT_EQ(AckersAmong(all_prc, Outcome::kAbort),
+            (std::set<SiteId>{1, 2}));
+
+  std::vector<ParticipantInfo> all_pra = {{1, ProtocolKind::kPrA}};
+  EXPECT_EQ(AckersAmong(all_pra, Outcome::kCommit), (std::set<SiteId>{1}));
+  EXPECT_TRUE(AckersAmong(all_pra, Outcome::kAbort).empty());
+}
+
+TEST(TraitsTest, SitesOf) {
+  std::vector<ParticipantInfo> mixed = {{4, ProtocolKind::kPrN},
+                                        {2, ProtocolKind::kPrA}};
+  EXPECT_EQ(SitesOf(mixed), (std::set<SiteId>{2, 4}));
+  EXPECT_TRUE(SitesOf({}).empty());
+}
+
+TEST(CrashPointTest, AllPointsHaveNames) {
+  for (CrashPoint p : kAllCrashPoints) {
+    EXPECT_NE(ToString(p), "unknown");
+  }
+}
+
+TEST(CrashPointTest, PointListsPartitionTheSpace) {
+  EXPECT_EQ(kCoordinatorCrashPoints.size() + kParticipantCrashPoints.size(),
+            kAllCrashPoints.size());
+  for (CrashPoint p : kCoordinatorCrashPoints) {
+    EXPECT_EQ(ToString(p).rfind("coord.", 0), 0u) << ToString(p);
+  }
+  for (CrashPoint p : kParticipantCrashPoints) {
+    EXPECT_EQ(ToString(p).rfind("part.", 0), 0u) << ToString(p);
+  }
+}
+
+TEST(TraitsDeathTest, NonBaseProtocolAborts) {
+  EXPECT_DEATH({ TraitsFor(ProtocolKind::kPrAny); }, "base protocols");
+  EXPECT_DEATH({ TraitsFor(ProtocolKind::kU2PC); }, "base protocols");
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,97 @@
+// U2PC policy behaviour per native protocol, observed through complete
+// flows: which outcomes are logged, who is awaited, when the coordinator
+// forgets. These pin down the §2 semantics that the integration tests
+// then weaponize.
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace prany {
+namespace {
+
+const std::vector<ProtocolKind> kMix = {ProtocolKind::kPrN,
+                                        ProtocolKind::kPrA,
+                                        ProtocolKind::kPrC};
+
+FlowResult U2pcFlow(ProtocolKind native, Outcome outcome) {
+  return RunFlow(ProtocolKind::kU2PC, native, kMix, outcome);
+}
+
+TEST(U2pcPolicyTest, PrNNativeLogsEverythingAndAwaitsWillingAckers) {
+  FlowResult commit = U2pcFlow(ProtocolKind::kPrN, Outcome::kCommit);
+  // Forced decision record + END after the PrN+PrA acks (PrC never acks
+  // commits and must not be awaited).
+  EXPECT_EQ(commit.coord_appends, 2u);
+  EXPECT_EQ(commit.coord_forced, 1u);
+  EXPECT_EQ(commit.messages["ACK"], 2);
+  EXPECT_TRUE(commit.correct);
+
+  FlowResult abort = U2pcFlow(ProtocolKind::kPrN, Outcome::kAbort);
+  EXPECT_EQ(abort.coord_appends, 2u);   // abort record + END
+  EXPECT_EQ(abort.messages["ACK"], 2);  // PrN + PrC
+  EXPECT_TRUE(abort.correct);
+}
+
+TEST(U2pcPolicyTest, PrANativeSkipsAbortBookkeeping) {
+  FlowResult abort = U2pcFlow(ProtocolKind::kPrA, Outcome::kAbort);
+  // Native PrA: no abort record, no END, no acks awaited — the
+  // coordinator forgets the moment the aborts leave...
+  EXPECT_EQ(abort.coord_appends, 0u);
+  // ...yet the PrN and PrC participants still ack per their own
+  // protocols; the coordinator ignores those late acks.
+  EXPECT_EQ(abort.messages["ACK"], 2);
+  EXPECT_EQ(abort.completion_latency_us, abort.decision_latency_us);
+  EXPECT_TRUE(abort.correct);  // failure-free: the flaw is invisible
+
+  FlowResult commit = U2pcFlow(ProtocolKind::kPrA, Outcome::kCommit);
+  EXPECT_EQ(commit.coord_appends, 2u);  // commit record + END
+  EXPECT_EQ(commit.messages["ACK"], 2);
+}
+
+TEST(U2pcPolicyTest, PrCNativeKeepsInitiationDiscipline) {
+  FlowResult commit = U2pcFlow(ProtocolKind::kPrC, Outcome::kCommit);
+  // Initiation + commit records, both forced; forgets at the commit; the
+  // PrN and PrA acks arrive unrequested.
+  EXPECT_EQ(commit.coord_appends, 2u);
+  EXPECT_EQ(commit.coord_forced, 2u);
+  EXPECT_EQ(commit.completion_latency_us, commit.decision_latency_us);
+  EXPECT_EQ(commit.messages["ACK"], 2);
+
+  FlowResult abort = U2pcFlow(ProtocolKind::kPrC, Outcome::kAbort);
+  // Initiation + END; waits for the PrN and PrC abort acks only.
+  EXPECT_EQ(abort.coord_appends, 2u);
+  EXPECT_EQ(abort.coord_forced, 1u);
+  EXPECT_EQ(abort.messages["ACK"], 2);
+  EXPECT_GT(abort.completion_latency_us, abort.decision_latency_us);
+}
+
+TEST(U2pcPolicyTest, ModeReportsTheNativeProtocol) {
+  for (ProtocolKind native :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    FlowResult r = U2pcFlow(native, Outcome::kCommit);
+    EXPECT_EQ(r.mode, native);
+  }
+}
+
+TEST(U2pcPolicyTest, HomogeneousSetsBehaveExactlyLikeTheNativeProtocol) {
+  // With participants that all speak the native protocol, U2PC *is* that
+  // protocol: identical message and log counts.
+  for (ProtocolKind native :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    for (Outcome outcome : {Outcome::kCommit, Outcome::kAbort}) {
+      std::vector<ProtocolKind> homogeneous(3, native);
+      FlowResult u2pc = RunFlow(ProtocolKind::kU2PC, native, homogeneous,
+                                outcome);
+      FlowResult pure = RunFlow(native, native, homogeneous, outcome);
+      EXPECT_EQ(u2pc.total_messages, pure.total_messages)
+          << ToString(native) << "/" << ToString(outcome);
+      EXPECT_EQ(u2pc.coord_appends, pure.coord_appends);
+      EXPECT_EQ(u2pc.coord_forced, pure.coord_forced);
+      EXPECT_EQ(u2pc.part_forced, pure.part_forced);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,167 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(SimulatorTest, TimeStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0u);
+}
+
+TEST(SimulatorTest, StepAdvancesToEventTime) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(100, [&]() { fired = true; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(SimulatorTest, StepOnEmptyQueueReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&]() { order.push_back(3); });
+  sim.Schedule(100, [&]() { order.push_back(1); });
+  sim.Schedule(200, [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TieBreakIsScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(100, [&]() { order.push_back(1); });
+  sim.Schedule(100, [&]() { order.push_back(2); });
+  sim.Schedule(100, [&]() { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) sim.Schedule(10, recurse);
+  };
+  sim.Schedule(10, recurse);
+  RunStats stats = sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(stats.events_executed, 5u);
+  EXPECT_EQ(sim.Now(), 50u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(100, [&]() { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(100, [&]() { order.push_back(1); });
+  EventId id = sim.Schedule(200, [&]() { order.push_back(2); });
+  sim.Schedule(300, [&]() { order.push_back(3); });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulatorTest, CancelAfterFiringIsNoOp) {
+  Simulator sim;
+  EventId id = sim.Schedule(10, []() {});
+  sim.Run();
+  sim.Cancel(id);  // must not affect later events
+  bool fired = false;
+  sim.Schedule(10, [&]() { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelInvalidIdIsNoOp) {
+  Simulator sim;
+  sim.Cancel(EventId{});
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunHonorsEventLimit) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> forever = [&]() {
+    ++count;
+    sim.Schedule(1, forever);
+  };
+  sim.Schedule(1, forever);
+  RunStats stats = sim.Run(/*max_events=*/50);
+  EXPECT_TRUE(stats.hit_event_limit);
+  EXPECT_EQ(count, 50);
+}
+
+TEST(SimulatorTest, RunHonorsTimeLimit) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> forever = [&]() {
+    ++count;
+    sim.Schedule(10, forever);
+  };
+  sim.Schedule(10, forever);
+  RunStats stats = sim.Run(1'000'000, /*until=*/100);
+  EXPECT_TRUE(stats.hit_time_limit);
+  EXPECT_EQ(count, 10);  // events at t=10..100
+  EXPECT_LE(sim.Now(), 100u);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  sim.Schedule(10, []() {});
+  EventId id = sim.Schedule(20, []() {});
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  sim.Schedule(50, []() {});
+  sim.Step();
+  SimTime fired_at = 0;
+  sim.ScheduleAt(120, [&]() { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, 120u);
+}
+
+TEST(SimulatorTest, TraceRecordsWhenEnabled) {
+  Simulator sim;
+  sim.trace().Enable();
+  sim.Schedule(10, [&]() { sim.Trace("hello"); });
+  sim.Run();
+  ASSERT_EQ(sim.trace().events().size(), 1u);
+  EXPECT_EQ(sim.trace().events()[0].time, 10u);
+  EXPECT_EQ(sim.trace().events()[0].text, "hello");
+}
+
+TEST(SimulatorTest, TraceDisabledByDefault) {
+  Simulator sim;
+  sim.Trace("dropped");
+  EXPECT_TRUE(sim.trace().events().empty());
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.Schedule(100, []() {});
+  sim.Step();
+  EXPECT_DEATH({ sim.ScheduleAt(50, []() {}); }, "past");
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,124 @@
+#include "sim/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(OneShotTimerTest, FiresOnce) {
+  Simulator sim;
+  OneShotTimer timer(&sim);
+  int fired = 0;
+  timer.Arm(100, [&]() { ++fired; });
+  EXPECT_TRUE(timer.armed());
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(OneShotTimerTest, RearmReplacesPending) {
+  Simulator sim;
+  OneShotTimer timer(&sim);
+  std::vector<int> fired;
+  timer.Arm(100, [&]() { fired.push_back(1); });
+  timer.Arm(200, [&]() { fired.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+  EXPECT_EQ(sim.Now(), 200u);
+}
+
+TEST(OneShotTimerTest, CancelPreventsFiring) {
+  Simulator sim;
+  OneShotTimer timer(&sim);
+  bool fired = false;
+  timer.Arm(100, [&]() { fired = true; });
+  timer.Cancel();
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(OneShotTimerTest, DestructionCancels) {
+  Simulator sim;
+  bool fired = false;
+  {
+    OneShotTimer timer(&sim);
+    timer.Arm(100, [&]() { fired = true; });
+  }
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(OneShotTimerTest, CanRearmFromOwnCallback) {
+  Simulator sim;
+  OneShotTimer timer(&sim);
+  int fired = 0;
+  std::function<void()> cb = [&]() {
+    if (++fired < 3) timer.Arm(50, cb);
+  };
+  timer.Arm(50, cb);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), 150u);
+}
+
+TEST(PeriodicTimerTest, FiresEveryPeriod) {
+  Simulator sim;
+  PeriodicTimer timer(&sim);
+  std::vector<SimTime> times;
+  timer.Start(100, [&]() {
+    times.push_back(sim.Now());
+    if (times.size() == 4) timer.Stop();
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{100, 200, 300, 400}));
+}
+
+TEST(PeriodicTimerTest, StopFromOutsideCallback) {
+  Simulator sim;
+  PeriodicTimer timer(&sim);
+  int fired = 0;
+  timer.Start(100, [&]() { ++fired; });
+  sim.Schedule(250, [&]() { timer.Stop(); });
+  sim.Run();
+  EXPECT_EQ(fired, 2);  // t=100, t=200
+}
+
+TEST(PeriodicTimerTest, DestructionStops) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTimer timer(&sim);
+    timer.Start(10, [&]() { ++fired; });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PeriodicTimerTest, RestartResetsPhase) {
+  Simulator sim;
+  PeriodicTimer timer(&sim);
+  std::vector<SimTime> times;
+  timer.Start(100, [&]() { times.push_back(sim.Now()); });
+  sim.Schedule(150, [&]() {
+    timer.Start(100, [&]() {
+      times.push_back(sim.Now());
+      if (times.size() >= 3) timer.Stop();
+    });
+  });
+  sim.Run();
+  // First firing at 100, then restart at 150 -> firings at 250, 350.
+  EXPECT_EQ(times, (std::vector<SimTime>{100, 250, 350}));
+}
+
+TEST(PeriodicTimerTest, RunningFlag) {
+  Simulator sim;
+  PeriodicTimer timer(&sim);
+  EXPECT_FALSE(timer.running());
+  timer.Start(10, []() {});
+  EXPECT_TRUE(timer.running());
+  timer.Stop();
+  EXPECT_FALSE(timer.running());
+}
+
+}  // namespace
+}  // namespace prany

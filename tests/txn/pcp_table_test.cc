@@ -1,0 +1,113 @@
+#include "txn/pcp_table.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(PcpTableTest, RegisterAndLookup) {
+  PcpTable pcp;
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrA).ok());
+  ASSERT_TRUE(pcp.RegisterSite(2, ProtocolKind::kPrC).ok());
+  EXPECT_EQ(pcp.ProtocolFor(1), ProtocolKind::kPrA);
+  EXPECT_EQ(pcp.ProtocolFor(2), ProtocolKind::kPrC);
+  EXPECT_FALSE(pcp.ProtocolFor(3).has_value());
+  EXPECT_EQ(pcp.Size(), 2u);
+}
+
+TEST(PcpTableTest, ReRegistrationUpdatesProtocol) {
+  // A site upgrading its DBMS (the PCP "is updated when a new site joins
+  // or leaves").
+  PcpTable pcp;
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrN).ok());
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrC).ok());
+  EXPECT_EQ(pcp.ProtocolFor(1), ProtocolKind::kPrC);
+  EXPECT_EQ(pcp.Size(), 1u);
+}
+
+TEST(PcpTableTest, RejectsInvalidSiteAndProtocol) {
+  PcpTable pcp;
+  EXPECT_TRUE(pcp.RegisterSite(kInvalidSite, ProtocolKind::kPrA)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      pcp.RegisterSite(1, ProtocolKind::kPrAny).IsInvalidArgument());
+  EXPECT_TRUE(
+      pcp.RegisterSite(1, ProtocolKind::kU2PC).IsInvalidArgument());
+}
+
+TEST(PcpTableTest, Unregister) {
+  PcpTable pcp;
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrA).ok());
+  EXPECT_TRUE(pcp.UnregisterSite(1).ok());
+  EXPECT_FALSE(pcp.ProtocolFor(1).has_value());
+  EXPECT_TRUE(pcp.UnregisterSite(1).IsNotFound());
+}
+
+TEST(PcpTableTest, AllSites) {
+  PcpTable pcp;
+  ASSERT_TRUE(pcp.RegisterSite(2, ProtocolKind::kPrC).ok());
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrA).ok());
+  std::vector<ParticipantInfo> all = pcp.AllSites();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].site, 1u);  // sorted by site id
+  EXPECT_EQ(all[1].site, 2u);
+}
+
+TEST(AppTableTest, ActivateRequiresPcpMembership) {
+  PcpTable pcp;
+  AppTable app(&pcp);
+  EXPECT_TRUE(app.Activate(1).IsNotFound());
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrA).ok());
+  EXPECT_TRUE(app.Activate(1).ok());
+  EXPECT_TRUE(app.IsActive(1));
+}
+
+TEST(AppTableTest, RefcountedActivation) {
+  PcpTable pcp;
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrA).ok());
+  AppTable app(&pcp);
+  ASSERT_TRUE(app.Activate(1).ok());
+  ASSERT_TRUE(app.Activate(1).ok());
+  ASSERT_TRUE(app.Deactivate(1).ok());
+  EXPECT_TRUE(app.IsActive(1));  // one activation still live
+  ASSERT_TRUE(app.Deactivate(1).ok());
+  EXPECT_FALSE(app.IsActive(1));
+  EXPECT_TRUE(app.Deactivate(1).IsNotFound());
+}
+
+TEST(AppTableTest, ProtocolForFallsBackToPcp) {
+  PcpTable pcp;
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrC).ok());
+  AppTable app(&pcp);
+  EXPECT_EQ(app.ProtocolFor(1), ProtocolKind::kPrC);  // miss: not active
+  EXPECT_EQ(app.CacheMisses(), 1u);
+  ASSERT_TRUE(app.Activate(1).ok());
+  EXPECT_EQ(app.ProtocolFor(1), ProtocolKind::kPrC);  // hit
+  EXPECT_EQ(app.CacheMisses(), 1u);
+}
+
+TEST(AppTableTest, ClearIsVolatileLoss) {
+  PcpTable pcp;
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrA).ok());
+  AppTable app(&pcp);
+  ASSERT_TRUE(app.Activate(1).ok());
+  app.Clear();
+  EXPECT_FALSE(app.IsActive(1));
+  EXPECT_EQ(app.ActiveSites(), 0u);
+  // The stable PCP still answers.
+  EXPECT_EQ(app.ProtocolFor(1), ProtocolKind::kPrA);
+}
+
+TEST(AppTableTest, ActiveSitesCount) {
+  PcpTable pcp;
+  ASSERT_TRUE(pcp.RegisterSite(1, ProtocolKind::kPrA).ok());
+  ASSERT_TRUE(pcp.RegisterSite(2, ProtocolKind::kPrC).ok());
+  AppTable app(&pcp);
+  ASSERT_TRUE(app.Activate(1).ok());
+  ASSERT_TRUE(app.Activate(2).ok());
+  ASSERT_TRUE(app.Activate(2).ok());
+  EXPECT_EQ(app.ActiveSites(), 2u);
+}
+
+}  // namespace
+}  // namespace prany

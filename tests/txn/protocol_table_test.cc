@@ -1,0 +1,87 @@
+#include "txn/protocol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+CoordTxnState MakeState(TxnId txn) {
+  CoordTxnState st;
+  st.txn = txn;
+  st.mode = ProtocolKind::kPrAny;
+  st.participants = {{1, ProtocolKind::kPrA}, {2, ProtocolKind::kPrC}};
+  return st;
+}
+
+TEST(ProtocolTableTest, InsertAndFind) {
+  ProtocolTable table;
+  table.Insert(MakeState(1));
+  ASSERT_NE(table.Find(1), nullptr);
+  EXPECT_EQ(table.Find(1)->mode, ProtocolKind::kPrAny);
+  EXPECT_EQ(table.Find(2), nullptr);
+}
+
+TEST(ProtocolTableTest, EraseForgets) {
+  ProtocolTable table;
+  table.Insert(MakeState(1));
+  EXPECT_TRUE(table.Erase(1));
+  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_FALSE(table.Erase(1));
+}
+
+TEST(ProtocolTableTest, SizeAndMaxSize) {
+  ProtocolTable table;
+  table.Insert(MakeState(1));
+  table.Insert(MakeState(2));
+  table.Insert(MakeState(3));
+  EXPECT_EQ(table.Size(), 3u);
+  table.Erase(2);
+  EXPECT_EQ(table.Size(), 2u);
+  EXPECT_EQ(table.MaxSize(), 3u);  // high-water mark persists
+}
+
+TEST(ProtocolTableTest, ClearWipesEntriesButKeepsHighWaterMark) {
+  ProtocolTable table;
+  table.Insert(MakeState(1));
+  table.Insert(MakeState(2));
+  table.Clear();
+  EXPECT_EQ(table.Size(), 0u);
+  EXPECT_EQ(table.MaxSize(), 2u);
+}
+
+TEST(ProtocolTableTest, TxnIdsSorted) {
+  ProtocolTable table;
+  table.Insert(MakeState(5));
+  table.Insert(MakeState(2));
+  table.Insert(MakeState(9));
+  EXPECT_EQ(table.TxnIds(), (std::vector<TxnId>{2, 5, 9}));
+}
+
+TEST(ProtocolTableTest, InsertReturnsLiveReference) {
+  ProtocolTable table;
+  CoordTxnState& ref = table.Insert(MakeState(1));
+  ref.yes_votes.insert(1);
+  EXPECT_EQ(table.Find(1)->yes_votes.size(), 1u);
+}
+
+TEST(CoordTxnStateTest, ProtocolOfAndHasParticipant) {
+  CoordTxnState st = MakeState(1);
+  EXPECT_EQ(st.ProtocolOf(1), ProtocolKind::kPrA);
+  EXPECT_EQ(st.ProtocolOf(2), ProtocolKind::kPrC);
+  EXPECT_TRUE(st.HasParticipant(2));
+  EXPECT_FALSE(st.HasParticipant(7));
+}
+
+TEST(ProtocolTableDeathTest, DuplicateInsertAborts) {
+  ProtocolTable table;
+  table.Insert(MakeState(1));
+  EXPECT_DEATH({ table.Insert(MakeState(1)); }, "duplicate");
+}
+
+TEST(CoordTxnStateDeathTest, ProtocolOfNonParticipantAborts) {
+  CoordTxnState st = MakeState(1);
+  EXPECT_DEATH({ st.ProtocolOf(99); }, "not a participant");
+}
+
+}  // namespace
+}  // namespace prany

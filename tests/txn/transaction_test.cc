@@ -1,0 +1,110 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+Transaction MakeValid() {
+  Transaction txn;
+  txn.id = 1;
+  txn.coordinator = 0;
+  txn.participants = {{1, ProtocolKind::kPrA}, {2, ProtocolKind::kPrC}};
+  return txn;
+}
+
+TEST(TransactionTest, ValidTransactionValidates) {
+  EXPECT_TRUE(MakeValid().Validate().ok());
+}
+
+TEST(TransactionTest, ParticipantSites) {
+  EXPECT_EQ(MakeValid().ParticipantSites(), (std::vector<SiteId>{1, 2}));
+}
+
+TEST(TransactionTest, ProtocolOf) {
+  Transaction txn = MakeValid();
+  EXPECT_EQ(txn.ProtocolOf(1), ProtocolKind::kPrA);
+  EXPECT_EQ(txn.ProtocolOf(2), ProtocolKind::kPrC);
+}
+
+TEST(TransactionTest, HasParticipant) {
+  Transaction txn = MakeValid();
+  EXPECT_TRUE(txn.HasParticipant(1));
+  EXPECT_FALSE(txn.HasParticipant(9));
+}
+
+TEST(TransactionTest, AllVotesYesByDefault) {
+  EXPECT_TRUE(MakeValid().AllVotesYes());
+}
+
+TEST(TransactionTest, NoVoteDetected) {
+  Transaction txn = MakeValid();
+  txn.planned_votes[2] = Vote::kNo;
+  EXPECT_FALSE(txn.AllVotesYes());
+  txn.planned_votes[2] = Vote::kYes;
+  EXPECT_TRUE(txn.AllVotesYes());
+}
+
+TEST(TransactionTest, ValidationRejectsMissingId) {
+  Transaction txn = MakeValid();
+  txn.id = kInvalidTxn;
+  EXPECT_TRUE(txn.Validate().IsInvalidArgument());
+}
+
+TEST(TransactionTest, ValidationRejectsMissingCoordinator) {
+  Transaction txn = MakeValid();
+  txn.coordinator = kInvalidSite;
+  EXPECT_TRUE(txn.Validate().IsInvalidArgument());
+}
+
+TEST(TransactionTest, ValidationRejectsEmptyParticipants) {
+  Transaction txn = MakeValid();
+  txn.participants.clear();
+  EXPECT_TRUE(txn.Validate().IsInvalidArgument());
+}
+
+TEST(TransactionTest, ValidationRejectsDuplicateParticipants) {
+  Transaction txn = MakeValid();
+  txn.participants.push_back({1, ProtocolKind::kPrN});
+  EXPECT_TRUE(txn.Validate().IsInvalidArgument());
+}
+
+TEST(TransactionTest, ValidationRejectsNonBaseProtocol) {
+  Transaction txn = MakeValid();
+  txn.participants[0].protocol = ProtocolKind::kPrAny;
+  EXPECT_TRUE(txn.Validate().IsInvalidArgument());
+}
+
+TEST(TransactionTest, ValidationRejectsCoordinatorAsParticipant) {
+  Transaction txn = MakeValid();
+  txn.participants.push_back({0, ProtocolKind::kPrN});
+  EXPECT_TRUE(txn.Validate().IsInvalidArgument());
+}
+
+TEST(TransactionTest, ValidationRejectsVoteForNonParticipant) {
+  Transaction txn = MakeValid();
+  txn.planned_votes[42] = Vote::kNo;
+  EXPECT_TRUE(txn.Validate().IsInvalidArgument());
+}
+
+TEST(TransactionTest, ToStringShowsParticipants) {
+  std::string s = MakeValid().ToString();
+  EXPECT_NE(s.find("txn 1"), std::string::npos);
+  EXPECT_NE(s.find("coord=0"), std::string::npos);
+  EXPECT_NE(s.find("1:PrA"), std::string::npos);
+  EXPECT_NE(s.find("2:PrC"), std::string::npos);
+}
+
+TEST(TxnIdGeneratorTest, MonotoneFromOne) {
+  TxnIdGenerator gen;
+  EXPECT_EQ(gen.Next(), 1u);
+  EXPECT_EQ(gen.Next(), 2u);
+  EXPECT_EQ(gen.Next(), 3u);
+}
+
+TEST(TransactionDeathTest, ProtocolOfUnknownSiteAborts) {
+  EXPECT_DEATH({ MakeValid().ProtocolOf(9); }, "not a participant");
+}
+
+}  // namespace
+}  // namespace prany

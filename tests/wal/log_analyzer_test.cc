@@ -1,0 +1,95 @@
+#include "wal/log_analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(LogAnalyzerTest, EmptyLog) {
+  EXPECT_TRUE(LogAnalyzer::Analyze({}).empty());
+}
+
+TEST(LogAnalyzerTest, GroupsByTransaction) {
+  auto summaries = LogAnalyzer::Analyze({
+      LogRecord::Commit(1),
+      LogRecord::Prepared(2, 0),
+      LogRecord::End(1),
+  });
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_TRUE(summaries.at(1).has_end);
+  EXPECT_EQ(summaries.at(1).decision, Outcome::kCommit);
+  EXPECT_TRUE(summaries.at(2).has_prepared);
+}
+
+TEST(LogAnalyzerTest, InitiationCarriesParticipantsAndMode) {
+  auto summaries = LogAnalyzer::Analyze({LogRecord::Initiation(
+      5, ProtocolKind::kPrAny,
+      {{1, ProtocolKind::kPrA}, {2, ProtocolKind::kPrC}})});
+  const TxnLogSummary& s = summaries.at(5);
+  EXPECT_TRUE(s.has_initiation);
+  EXPECT_EQ(s.commit_protocol, ProtocolKind::kPrAny);
+  ASSERT_EQ(s.participants.size(), 2u);
+  EXPECT_EQ(s.participants[1].protocol, ProtocolKind::kPrC);
+}
+
+TEST(LogAnalyzerTest, CoordinatorDecisionRecordSuppliesParticipants) {
+  // PrN/PrA-style decision record: no initiation, participants embedded.
+  auto summaries = LogAnalyzer::Analyze({LogRecord::DecisionWithParticipants(
+      7, Outcome::kCommit, {{3, ProtocolKind::kPrN}})});
+  const TxnLogSummary& s = summaries.at(7);
+  EXPECT_FALSE(s.has_initiation);
+  EXPECT_EQ(s.decision, Outcome::kCommit);
+  ASSERT_EQ(s.participants.size(), 1u);
+}
+
+TEST(LogAnalyzerTest, ParticipantSideDecisionLeavesParticipantsEmpty) {
+  auto summaries = LogAnalyzer::Analyze({
+      LogRecord::Prepared(7, 0),
+      LogRecord::Commit(7),
+  });
+  const TxnLogSummary& s = summaries.at(7);
+  EXPECT_TRUE(s.has_prepared);
+  EXPECT_EQ(s.coordinator, 0u);
+  EXPECT_EQ(s.decision, Outcome::kCommit);
+  EXPECT_TRUE(s.participants.empty());
+  EXPECT_FALSE(s.InDoubt());
+}
+
+TEST(LogAnalyzerTest, InDoubtDetection) {
+  auto summaries = LogAnalyzer::Analyze({LogRecord::Prepared(9, 4)});
+  EXPECT_TRUE(summaries.at(9).InDoubt());
+  EXPECT_EQ(summaries.at(9).coordinator, 4u);
+}
+
+TEST(LogAnalyzerTest, AbortDecision) {
+  auto summaries = LogAnalyzer::Analyze({
+      LogRecord::Prepared(3, 0),
+      LogRecord::Abort(3),
+  });
+  EXPECT_EQ(summaries.at(3).decision, Outcome::kAbort);
+}
+
+TEST(LogAnalyzerTest, FullPrAnyCommitSequence) {
+  auto summaries = LogAnalyzer::Analyze({
+      LogRecord::Initiation(1, ProtocolKind::kPrAny,
+                            {{1, ProtocolKind::kPrA}}),
+      LogRecord::Commit(1),
+      LogRecord::End(1),
+  });
+  const TxnLogSummary& s = summaries.at(1);
+  EXPECT_TRUE(s.has_initiation);
+  EXPECT_EQ(s.decision, Outcome::kCommit);
+  EXPECT_TRUE(s.has_end);
+}
+
+TEST(LogAnalyzerTest, LaterRecordsOverrideDecision) {
+  // Not expected in real runs, but analysis must be last-writer-wins.
+  auto summaries = LogAnalyzer::Analyze({
+      LogRecord::Abort(2),
+      LogRecord::Commit(2),
+  });
+  EXPECT_EQ(summaries.at(2).decision, Outcome::kCommit);
+}
+
+}  // namespace
+}  // namespace prany

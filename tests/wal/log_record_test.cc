@@ -1,0 +1,144 @@
+#include "wal/log_record.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+std::vector<ParticipantInfo> SampleParticipants() {
+  return {{1, ProtocolKind::kPrA}, {2, ProtocolKind::kPrC},
+          {3, ProtocolKind::kPrN}};
+}
+
+TEST(LogRecordTest, FactoriesSetFields) {
+  LogRecord init = LogRecord::Initiation(7, ProtocolKind::kPrAny,
+                                         SampleParticipants());
+  EXPECT_EQ(init.type, LogRecordType::kInitiation);
+  EXPECT_EQ(init.txn, 7u);
+  EXPECT_EQ(init.commit_protocol, ProtocolKind::kPrAny);
+  EXPECT_EQ(init.participants.size(), 3u);
+
+  LogRecord prep = LogRecord::Prepared(7, 0);
+  EXPECT_EQ(prep.type, LogRecordType::kPrepared);
+  EXPECT_EQ(prep.coordinator, 0u);
+
+  EXPECT_EQ(LogRecord::Commit(7).type, LogRecordType::kCommit);
+  EXPECT_EQ(LogRecord::Abort(7).type, LogRecordType::kAbort);
+  EXPECT_EQ(LogRecord::End(7).type, LogRecordType::kEnd);
+}
+
+TEST(LogRecordTest, DecisionHelper) {
+  EXPECT_EQ(LogRecord::Decision(1, Outcome::kCommit).type,
+            LogRecordType::kCommit);
+  EXPECT_EQ(LogRecord::Decision(1, Outcome::kAbort).type,
+            LogRecordType::kAbort);
+}
+
+TEST(LogRecordTest, DecisionWithParticipants) {
+  LogRecord rec = LogRecord::DecisionWithParticipants(
+      5, Outcome::kCommit, SampleParticipants());
+  EXPECT_EQ(rec.type, LogRecordType::kCommit);
+  EXPECT_EQ(rec.participants.size(), 3u);
+}
+
+TEST(LogRecordTest, IsDecisionAndOutcome) {
+  EXPECT_TRUE(LogRecord::Commit(1).IsDecision());
+  EXPECT_TRUE(LogRecord::Abort(1).IsDecision());
+  EXPECT_FALSE(LogRecord::End(1).IsDecision());
+  EXPECT_FALSE(LogRecord::Prepared(1, 0).IsDecision());
+  EXPECT_EQ(LogRecord::Commit(1).DecisionOutcome(), Outcome::kCommit);
+  EXPECT_EQ(LogRecord::Abort(1).DecisionOutcome(), Outcome::kAbort);
+}
+
+TEST(LogRecordTest, RoundTripAllTypes) {
+  std::vector<LogRecord> records = {
+      LogRecord::Initiation(1, ProtocolKind::kPrC, SampleParticipants()),
+      LogRecord::Initiation(2, ProtocolKind::kPrAny, {}),
+      LogRecord::Prepared(3, 42),
+      LogRecord::Commit(4),
+      LogRecord::Abort(5),
+      LogRecord::End(6),
+      LogRecord::DecisionWithParticipants(7, Outcome::kAbort,
+                                          SampleParticipants()),
+  };
+  for (const LogRecord& rec : records) {
+    Result<LogRecord> decoded = LogRecord::Decode(rec.Encode());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, rec) << rec.ToString();
+  }
+}
+
+TEST(LogRecordTest, RoundTripLargeParticipantList) {
+  std::vector<ParticipantInfo> many;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    many.push_back({i, static_cast<ProtocolKind>(i % 3)});
+  }
+  LogRecord rec = LogRecord::Initiation(9, ProtocolKind::kPrAny, many);
+  Result<LogRecord> decoded = LogRecord::Decode(rec.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->participants.size(), 1000u);
+  EXPECT_EQ(*decoded, rec);
+}
+
+TEST(LogRecordTest, DecodeRejectsTruncation) {
+  std::vector<uint8_t> bytes =
+      LogRecord::Initiation(1, ProtocolKind::kPrC, SampleParticipants())
+          .Encode();
+  for (size_t cut = 1; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_TRUE(LogRecord::Decode(truncated).status().IsCorruption())
+        << "cut=" << cut;
+  }
+}
+
+TEST(LogRecordTest, DecodeRejectsTrailingGarbage) {
+  std::vector<uint8_t> bytes = LogRecord::Commit(1).Encode();
+  bytes.push_back(0xff);
+  EXPECT_TRUE(LogRecord::Decode(bytes).status().IsCorruption());
+}
+
+TEST(LogRecordTest, DecodeRejectsBadVersionAndType) {
+  std::vector<uint8_t> bytes = LogRecord::Commit(1).Encode();
+  std::vector<uint8_t> bad_version = bytes;
+  bad_version[0] = 0;
+  EXPECT_TRUE(LogRecord::Decode(bad_version).status().IsCorruption());
+  std::vector<uint8_t> bad_type = bytes;
+  bad_type[1] = 50;
+  EXPECT_TRUE(LogRecord::Decode(bad_type).status().IsCorruption());
+}
+
+TEST(LogRecordTest, DecodeRejectsInvalidProtocol) {
+  std::vector<uint8_t> bytes =
+      LogRecord::Initiation(1, ProtocolKind::kPrC, {}).Encode();
+  // commit_protocol byte follows version(1) + type(1) + txn(8).
+  bytes[10] = 77;
+  EXPECT_TRUE(LogRecord::Decode(bytes).status().IsCorruption());
+}
+
+TEST(LogRecordTest, ToStringShowsStructure) {
+  LogRecord rec = LogRecord::Initiation(
+      7, ProtocolKind::kPrAny, {{1, ProtocolKind::kPrA}});
+  std::string s = rec.ToString();
+  EXPECT_NE(s.find("INITIATION"), std::string::npos);
+  EXPECT_NE(s.find("txn=7"), std::string::npos);
+  EXPECT_NE(s.find("protocol=PrAny"), std::string::npos);
+  EXPECT_NE(s.find("1:PrA"), std::string::npos);
+
+  EXPECT_NE(LogRecord::Prepared(7, 3).ToString().find("coordinator=3"),
+            std::string::npos);
+}
+
+TEST(LogRecordTest, TypeNames) {
+  EXPECT_EQ(ToString(LogRecordType::kInitiation), "INITIATION");
+  EXPECT_EQ(ToString(LogRecordType::kPrepared), "PREPARED");
+  EXPECT_EQ(ToString(LogRecordType::kCommit), "COMMIT");
+  EXPECT_EQ(ToString(LogRecordType::kAbort), "ABORT");
+  EXPECT_EQ(ToString(LogRecordType::kEnd), "END");
+}
+
+TEST(LogRecordDeathTest, DecisionOutcomeOnNonDecisionAborts) {
+  EXPECT_DEATH({ LogRecord::End(1).DecisionOutcome(); }, "PRANY_CHECK");
+}
+
+}  // namespace
+}  // namespace prany

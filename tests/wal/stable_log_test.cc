@@ -1,0 +1,159 @@
+#include "wal/stable_log.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(StableLogTest, ForcedAppendIsImmediatelyStable) {
+  StableLog log;
+  log.Append(LogRecord::Commit(1), /*force=*/true);
+  EXPECT_EQ(log.StableSize(), 1u);
+  EXPECT_EQ(log.VolatileSize(), 0u);
+}
+
+TEST(StableLogTest, NonForcedAppendStaysVolatile) {
+  StableLog log;
+  log.Append(LogRecord::End(1), /*force=*/false);
+  EXPECT_EQ(log.StableSize(), 0u);
+  EXPECT_EQ(log.VolatileSize(), 1u);
+}
+
+TEST(StableLogTest, ForcedAppendFlushesEarlierBufferedRecords) {
+  // A forced write is a group flush: everything queued before it becomes
+  // durable too — the non-forced records are *lazy*, not skippable.
+  StableLog log;
+  log.Append(LogRecord::End(1), false);
+  log.Append(LogRecord::Commit(2), true);
+  EXPECT_EQ(log.StableSize(), 2u);
+  EXPECT_EQ(log.stats().flushes, 1u);
+}
+
+TEST(StableLogTest, CrashLosesVolatileTailOnly) {
+  StableLog log;
+  log.Append(LogRecord::Prepared(1, 0), true);
+  log.Append(LogRecord::Abort(1), false);  // the PrA-participant window
+  log.Crash();
+  std::vector<LogRecord> records = log.StableRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, LogRecordType::kPrepared);
+}
+
+TEST(StableLogTest, LsnsAreMonotoneAcrossCrash) {
+  StableLog log;
+  uint64_t a = log.Append(LogRecord::Commit(1), true);
+  log.Append(LogRecord::End(1), false);
+  log.Crash();
+  uint64_t c = log.Append(LogRecord::Commit(2), true);
+  EXPECT_LT(a, c);
+  std::vector<LogRecord> records = log.StableRecords();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_LT(records[0].lsn, records[1].lsn);
+}
+
+TEST(StableLogTest, StableRecordsDecodeRoundTrip) {
+  StableLog log;
+  LogRecord init = LogRecord::Initiation(
+      5, ProtocolKind::kPrAny,
+      {{1, ProtocolKind::kPrA}, {2, ProtocolKind::kPrC}});
+  log.Append(init, true);
+  std::vector<LogRecord> records = log.StableRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], init);
+}
+
+TEST(StableLogTest, HasRecordsFor) {
+  StableLog log;
+  log.Append(LogRecord::Commit(1), true);
+  EXPECT_TRUE(log.HasRecordsFor(1));
+  EXPECT_FALSE(log.HasRecordsFor(2));
+}
+
+TEST(StableLogTest, TruncateRemovesOnlyReleasedTxns) {
+  StableLog log;
+  log.Append(LogRecord::Commit(1), true);
+  log.Append(LogRecord::End(1), true);
+  log.Append(LogRecord::Commit(2), true);
+  log.ReleaseTransaction(1);
+  EXPECT_EQ(log.Truncate(), 2u);
+  EXPECT_FALSE(log.HasRecordsFor(1));
+  EXPECT_TRUE(log.HasRecordsFor(2));
+}
+
+TEST(StableLogTest, TruncateWithoutReleaseIsNoOp) {
+  StableLog log;
+  log.Append(LogRecord::Commit(1), true);
+  EXPECT_EQ(log.Truncate(), 0u);
+  EXPECT_EQ(log.StableSize(), 1u);
+}
+
+TEST(StableLogTest, ReleaseCoversLaterFlushedRecords) {
+  // A non-forced record of an already-released txn that flushes later must
+  // still be collectible.
+  StableLog log;
+  log.Append(LogRecord::End(1), false);
+  log.ReleaseTransaction(1);
+  log.Flush();
+  EXPECT_TRUE(log.UnreleasedTxns().empty());
+  EXPECT_EQ(log.Truncate(), 1u);
+}
+
+TEST(StableLogTest, UnreleasedTxns) {
+  StableLog log;
+  log.Append(LogRecord::Commit(1), true);
+  log.Append(LogRecord::Commit(2), true);
+  log.Append(LogRecord::Commit(3), true);
+  log.ReleaseTransaction(2);
+  std::set<TxnId> unreleased = log.UnreleasedTxns();
+  EXPECT_EQ(unreleased, (std::set<TxnId>{1, 3}));
+}
+
+TEST(StableLogTest, StatsCountAppendsAndFlushes) {
+  StableLog log;
+  log.Append(LogRecord::Commit(1), true);
+  log.Append(LogRecord::End(1), false);
+  log.Append(LogRecord::Commit(2), true);
+  const LogStats& stats = log.stats();
+  EXPECT_EQ(stats.appends, 3u);
+  EXPECT_EQ(stats.forced_appends, 2u);
+  EXPECT_EQ(stats.flushes, 2u);
+  EXPECT_GT(stats.bytes_flushed, 0u);
+}
+
+TEST(StableLogTest, ExplicitFlushDrainsBuffer) {
+  StableLog log;
+  log.Append(LogRecord::End(1), false);
+  log.Append(LogRecord::End(2), false);
+  log.Flush();
+  EXPECT_EQ(log.StableSize(), 2u);
+  EXPECT_EQ(log.stats().flushes, 1u);
+  log.Flush();  // empty buffer: no extra I/O
+  EXPECT_EQ(log.stats().flushes, 1u);
+}
+
+TEST(StableLogTest, MetricsIntegration) {
+  MetricsRegistry metrics;
+  StableLog log("wal", &metrics);
+  log.Append(LogRecord::Commit(1), true);
+  log.Append(LogRecord::End(1), false);
+  EXPECT_EQ(metrics.Get("wal.appends"), 2);
+  EXPECT_EQ(metrics.Get("wal.forced_appends"), 1);
+  EXPECT_EQ(metrics.Get("wal.append.COMMIT"), 1);
+  EXPECT_EQ(metrics.Get("wal.append.END"), 1);
+  log.ReleaseTransaction(1);
+  log.Truncate();
+  EXPECT_EQ(metrics.Get("wal.truncated"), 1);
+}
+
+TEST(StableLogTest, CrashThenTruncateInteraction) {
+  StableLog log;
+  log.Append(LogRecord::Commit(1), true);
+  log.Append(LogRecord::End(1), false);
+  log.Crash();  // END lost
+  log.ReleaseTransaction(1);
+  EXPECT_EQ(log.Truncate(), 1u);  // only the stable COMMIT existed
+  EXPECT_EQ(log.StableSize(), 0u);
+}
+
+}  // namespace
+}  // namespace prany

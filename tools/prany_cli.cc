@@ -1,0 +1,232 @@
+// prany_cli — run a configurable commit-protocol scenario from the shell.
+//
+// Examples:
+//   # the paper's §2 counterexample, with the full protocol trace:
+//   prany_cli --coordinator=U2PC --native=PrC --participants=PrA,PrC
+//             --outcome=abort --crash-site=1
+//             --crash-point=part.on_decision_received --trace
+//
+//   # a 100-transaction PrAny workload with 5% message loss:
+//   prany_cli --coordinator=PrAny --participants=PrN,PrA,PrC
+//             --txns=100 --loss=0.05 --seed=7
+//
+// Exit status: 0 if all correctness checks passed, 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/run_result.h"
+#include "harness/workload.h"
+#include "protocol/crash_points.h"
+
+namespace prany {
+namespace {
+
+struct Options {
+  ProtocolKind coordinator = ProtocolKind::kPrAny;
+  ProtocolKind native = ProtocolKind::kPrN;
+  std::vector<ProtocolKind> participants = {ProtocolKind::kPrA,
+                                            ProtocolKind::kPrC};
+  Outcome outcome = Outcome::kCommit;
+  std::optional<SiteId> crash_site;
+  std::optional<CrashPoint> crash_point;
+  SimDuration downtime = 1'000'000;
+  uint64_t seed = 1;
+  double loss = 0.0;
+  uint32_t txns = 1;
+  bool trace = false;
+  bool show_history = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --coordinator=PrN|PrA|PrC|U2PC|C2PC|PrAny   (default PrAny)\n"
+      "  --native=PrN|PrA|PrC          U2PC's native protocol\n"
+      "  --participants=P1,P2,...      base protocols (default PrA,PrC)\n"
+      "  --outcome=commit|abort        single-txn mode outcome\n"
+      "  --txns=N                      workload mode when N > 1\n"
+      "  --crash-site=ID               inject a crash at this site\n"
+      "  --crash-point=NAME            e.g. part.on_decision_received\n"
+      "  --downtime=USECS              crash duration (default 1s)\n"
+      "  --loss=P                      message drop probability\n"
+      "  --seed=N                      deterministic seed\n"
+      "  --trace                       print the protocol trace\n"
+      "  --history                     print the ACTA event history\n"
+      "crash points:\n",
+      argv0);
+  for (CrashPoint p : kAllCrashPoints) {
+    std::fprintf(stderr, "  %s\n", ToString(p).c_str());
+  }
+}
+
+bool ParseCrashPoint(const std::string& name, CrashPoint* out) {
+  for (CrashPoint p : kAllCrashPoints) {
+    if (ToString(p) == name) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseOutcome(const std::string& name, Outcome* out) {
+  if (name == "commit") {
+    *out = Outcome::kCommit;
+  } else if (name == "abort") {
+    *out = Outcome::kAbort;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseParticipants(const std::string& list,
+                       std::vector<ProtocolKind>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    std::string token = list.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    ProtocolKind kind;
+    if (token.empty() || !ParseProtocolKind(token, &kind) ||
+        !IsBaseProtocol(kind)) {
+      return false;
+    }
+    out->push_back(kind);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::optional<std::string> {
+      std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--trace") {
+      opts->trace = true;
+    } else if (arg == "--history") {
+      opts->show_history = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (auto v = value_of("--coordinator")) {
+      if (!ParseProtocolKind(*v, &opts->coordinator)) return false;
+    } else if (auto v = value_of("--native")) {
+      if (!ParseProtocolKind(*v, &opts->native) ||
+          !IsBaseProtocol(opts->native)) {
+        return false;
+      }
+    } else if (auto v = value_of("--participants")) {
+      if (!ParseParticipants(*v, &opts->participants)) return false;
+    } else if (auto v = value_of("--outcome")) {
+      if (!ParseOutcome(*v, &opts->outcome)) return false;
+    } else if (auto v = value_of("--crash-site")) {
+      opts->crash_site = static_cast<SiteId>(std::strtoul(
+          v->c_str(), nullptr, 10));
+    } else if (auto v = value_of("--crash-point")) {
+      CrashPoint point;
+      if (!ParseCrashPoint(*v, &point)) return false;
+      opts->crash_point = point;
+    } else if (auto v = value_of("--downtime")) {
+      opts->downtime = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = value_of("--seed")) {
+      opts->seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = value_of("--loss")) {
+      opts->loss = std::strtod(v->c_str(), nullptr);
+    } else if (auto v = value_of("--txns")) {
+      opts->txns = static_cast<uint32_t>(
+          std::strtoul(v->c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunScenario(const Options& opts) {
+  SystemConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.drop_probability = opts.loss;
+  cfg.max_events = 50'000'000;
+  System system(cfg);
+  if (opts.trace) system.sim().trace().Enable();
+
+  system.AddSite(ProtocolKind::kPrN, opts.coordinator, opts.native);
+  std::vector<SiteId> participant_sites;
+  for (ProtocolKind p : opts.participants) {
+    system.AddSite(p);
+    participant_sites.push_back(
+        static_cast<SiteId>(participant_sites.size() + 1));
+  }
+
+  if (opts.txns <= 1) {
+    Transaction txn = system.MakeTransaction(0, participant_sites);
+    system.SubmitAt(0, txn);
+    if (opts.outcome == Outcome::kAbort) {
+      system.sim().ScheduleAt(800, [&system, &txn]() {
+        system.site(0)->coordinator()->ForceAbort(txn.id);
+      });
+    }
+    if (opts.crash_site.has_value() && opts.crash_point.has_value()) {
+      system.injector().CrashAtPoint(*opts.crash_site, *opts.crash_point,
+                                     txn.id, opts.downtime);
+    }
+  } else {
+    WorkloadConfig wl;
+    wl.num_txns = opts.txns;
+    wl.min_participants = 1;
+    wl.max_participants =
+        static_cast<uint32_t>(participant_sites.size());
+    wl.no_vote_probability = opts.outcome == Outcome::kAbort ? 1.0 : 0.1;
+    wl.coordinators = {0};
+    wl.participant_pool = participant_sites;
+    WorkloadGenerator gen(&system, wl);
+    gen.GenerateAndSchedule();
+    if (opts.crash_site.has_value() && opts.crash_point.has_value()) {
+      system.injector().CrashAtPoint(*opts.crash_site, *opts.crash_point,
+                                     kInvalidTxn, opts.downtime);
+    }
+  }
+
+  RunStats stats = system.Run();
+  if (opts.trace) {
+    std::printf("=== trace ===\n%s\n",
+                system.sim().trace().ToString().c_str());
+  }
+  if (opts.show_history) {
+    std::printf("=== history ===\n%s\n",
+                system.history().ToString().c_str());
+  }
+  RunSummary summary = Summarize(system);
+  std::printf("%s", summary.ToString().c_str());
+  if (stats.hit_event_limit) {
+    std::printf("WARNING: event limit hit before quiescence\n");
+    return 1;
+  }
+  return summary.AllCorrect() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace prany
+
+int main(int argc, char** argv) {
+  prany::Options opts;
+  if (!prany::ParseArgs(argc, argv, &opts)) {
+    prany::Usage(argv[0]);
+    return 2;
+  }
+  return prany::RunScenario(opts);
+}
