@@ -12,6 +12,7 @@
 
 #include "common/string_util.h"
 #include "harness/system.h"
+#include "harness/observability.h"
 
 namespace prany {
 namespace {
@@ -93,7 +94,8 @@ void Run() {
 }  // namespace
 }  // namespace prany
 
-int main() {
+int main(int argc, char** argv) {
+  prany::ObservabilityScope observability(&argc, argv);
   prany::Run();
   return 0;
 }

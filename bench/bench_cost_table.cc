@@ -13,6 +13,7 @@
 
 #include "common/string_util.h"
 #include "harness/scenario.h"
+#include "harness/observability.h"
 
 namespace prany {
 namespace {
@@ -89,7 +90,8 @@ void Run() {
 }  // namespace
 }  // namespace prany
 
-int main() {
+int main(int argc, char** argv) {
+  prany::ObservabilityScope observability(&argc, argv);
   prany::Run();
   return 0;
 }

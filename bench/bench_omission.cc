@@ -15,6 +15,7 @@
 #include "harness/run_result.h"
 #include "harness/scenario.h"
 #include "harness/workload.h"
+#include "harness/observability.h"
 
 namespace prany {
 namespace {
@@ -102,7 +103,8 @@ void OmissionVerdicts() {
 }  // namespace
 }  // namespace prany
 
-int main() {
+int main(int argc, char** argv) {
+  prany::ObservabilityScope observability(&argc, argv);
   std::printf("== bench_omission: message-loss overhead and single-"
               "omission verdicts ==\n\n");
   prany::LossRateSweep();

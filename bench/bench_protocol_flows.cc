@@ -11,6 +11,7 @@
 
 #include "common/string_util.h"
 #include "harness/scenario.h"
+#include "harness/observability.h"
 
 namespace prany {
 namespace {
@@ -68,7 +69,8 @@ void Run() {
 }  // namespace
 }  // namespace prany
 
-int main() {
+int main(int argc, char** argv) {
+  prany::ObservabilityScope observability(&argc, argv);
   prany::Run();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "common/string_util.h"
 #include "harness/run_result.h"
 #include "harness/system.h"
+#include "harness/observability.h"
 
 namespace prany {
 namespace {
@@ -94,7 +95,8 @@ void Run() {
 }  // namespace
 }  // namespace prany
 
-int main() {
+int main(int argc, char** argv) {
+  prany::ObservabilityScope observability(&argc, argv);
   prany::Run();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "common/string_util.h"
 #include "harness/run_result.h"
 #include "harness/workload.h"
+#include "harness/observability.h"
 
 namespace prany {
 namespace {
@@ -98,7 +99,8 @@ void Run() {
 }  // namespace
 }  // namespace prany
 
-int main() {
+int main(int argc, char** argv) {
+  prany::ObservabilityScope observability(&argc, argv);
   prany::Run();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "net/message.h"
 #include "sim/simulator.h"
 #include "wal/log_record.h"
+#include "harness/observability.h"
 #include "wal/stable_log.h"
 
 namespace prany {
@@ -102,4 +103,13 @@ BENCHMARK(BM_EndToEndTransactions)->Arg(100)->Arg(1'000);
 }  // namespace
 }  // namespace prany
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the shared --trace-json / --metrics-json
+// flags are stripped before google-benchmark sees the argument list.
+int main(int argc, char** argv) {
+  prany::ObservabilityScope observability(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "harness/run_result.h"
 #include "harness/scenario.h"
 #include "harness/workload.h"
+#include "harness/observability.h"
 
 namespace prany {
 namespace {
@@ -124,7 +125,8 @@ void RandomizedCampaign() {
 }  // namespace
 }  // namespace prany
 
-int main() {
+int main(int argc, char** argv) {
+  prany::ObservabilityScope observability(&argc, argv);
   std::printf("== bench_violation_rates: Theorem 1 measured ==\n\n");
   prany::DeterministicSchedules();
   prany::RandomizedCampaign();

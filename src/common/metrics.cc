@@ -53,6 +53,13 @@ DistributionStats MetricsRegistry::Summarize(const std::string& name) const {
   return stats;
 }
 
+std::vector<std::string> MetricsRegistry::DistributionNames() const {
+  std::vector<std::string> names;
+  names.reserve(distributions_.size());
+  for (const auto& [name, samples] : distributions_) names.push_back(name);
+  return names;
+}
+
 const std::vector<double>& MetricsRegistry::samples(
     const std::string& name) const {
   auto it = distributions_.find(name);

@@ -44,6 +44,9 @@ class MetricsRegistry {
   /// All counters, sorted by name.
   const std::map<std::string, int64_t>& counters() const { return counters_; }
 
+  /// Names of all recorded distributions, sorted.
+  std::vector<std::string> DistributionNames() const;
+
   /// All samples of a distribution (empty if none).
   const std::vector<double>& samples(const std::string& name) const;
 

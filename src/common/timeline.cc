@@ -1,0 +1,136 @@
+#include "common/timeline.h"
+
+#include <sstream>
+
+namespace prany {
+
+namespace {
+void KeepEarliest(std::optional<SimTime>* slot, SimTime t) {
+  if (!slot->has_value() || t < **slot) *slot = t;
+}
+void KeepLatest(std::optional<SimTime>* slot, SimTime t) {
+  if (!slot->has_value() || t > **slot) *slot = t;
+}
+}  // namespace
+
+SimDuration TxnTimeline::VotingLatency() const {
+  if (!begin.has_value() || !decided.has_value() || *decided < *begin) {
+    return 0;
+  }
+  return *decided - *begin;
+}
+
+SimDuration TxnTimeline::DecisionLatency() const {
+  if (!decided.has_value() || !forgotten.has_value() ||
+      *forgotten < *decided) {
+    return 0;
+  }
+  return *forgotten - *decided;
+}
+
+SimDuration TxnTimeline::TotalLatency() const {
+  if (!Complete() || *forgotten < *begin) return 0;
+  return *forgotten - *begin;
+}
+
+std::string TxnTimeline::ToString() const {
+  std::ostringstream out;
+  out << "txn " << txn;
+  if (mode.has_value()) out << " mode=" << prany::ToString(*mode);
+  if (outcome.has_value()) out << " " << prany::ToString(*outcome);
+  out << " msgs=" << messages << " appends=" << log_appends << "("
+      << forced_writes << " forced)";
+  if (Complete()) {
+    out << " voting=" << VotingLatency() << "us decision="
+        << DecisionLatency() << "us total=" << TotalLatency() << "us";
+  } else {
+    out << " incomplete";
+  }
+  if (messages_lost > 0) out << " lost=" << messages_lost;
+  if (resends > 0) out << " resends=" << resends;
+  if (inquiries > 0) out << " inquiries=" << inquiries;
+  return out.str();
+}
+
+std::map<TxnId, TxnTimeline> BuildTimelines(
+    const std::vector<TraceEvent>& events) {
+  std::map<TxnId, TxnTimeline> timelines;
+  for (const TraceEvent& e : events) {
+    if (e.txn == kInvalidTxn) continue;
+    TxnTimeline& t = timelines[e.txn];
+    t.txn = e.txn;
+    switch (e.kind) {
+      case TraceEventKind::kCoordBegin:
+        KeepEarliest(&t.begin, e.time);
+        t.coordinator = e.site;
+        if (e.protocol.has_value()) t.mode = e.protocol;
+        break;
+      case TraceEventKind::kCoordDecide:
+        KeepEarliest(&t.decided, e.time);
+        if (e.outcome.has_value()) t.outcome = e.outcome;
+        if (t.coordinator == kInvalidSite) t.coordinator = e.site;
+        break;
+      case TraceEventKind::kCoordForget:
+        KeepLatest(&t.forgotten, e.time);
+        break;
+      case TraceEventKind::kCoordResend:
+        ++t.resends;
+        break;
+      case TraceEventKind::kMsgSend:
+        ++t.messages;
+        ++t.messages_by_type[e.label];
+        if (e.label == "PREPARE") KeepEarliest(&t.first_prepare_sent, e.time);
+        break;
+      case TraceEventKind::kMsgDeliver:
+        if (e.label == "VOTE") KeepLatest(&t.last_vote_delivered, e.time);
+        if (e.label == "ACK") KeepLatest(&t.last_ack_delivered, e.time);
+        break;
+      case TraceEventKind::kMsgDrop:
+      case TraceEventKind::kMsgLostDown:
+      case TraceEventKind::kMsgBlocked:
+        ++t.messages_lost;
+        break;
+      case TraceEventKind::kWalAppend:
+        ++t.log_appends;
+        if (e.forced) ++t.forced_writes;
+        break;
+      case TraceEventKind::kPartInquiry:
+        ++t.inquiries;
+        break;
+      default:
+        break;
+    }
+  }
+  return timelines;
+}
+
+void ObserveTimeline(const TxnTimeline& timeline, MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->Observe("txn.messages", static_cast<double>(timeline.messages));
+  metrics->Observe("txn.log_appends",
+                   static_cast<double>(timeline.log_appends));
+  metrics->Observe("txn.forced_writes",
+                   static_cast<double>(timeline.forced_writes));
+  if (!timeline.Complete()) return;
+  metrics->Observe("txn.latency.total_us",
+                   static_cast<double>(timeline.TotalLatency()));
+  metrics->Observe("txn.latency.voting_us",
+                   static_cast<double>(timeline.VotingLatency()));
+  metrics->Observe("txn.latency.decision_us",
+                   static_cast<double>(timeline.DecisionLatency()));
+  if (timeline.outcome.has_value()) {
+    metrics->Observe(*timeline.outcome == Outcome::kCommit
+                         ? "txn.latency.commit_us"
+                         : "txn.latency.abort_us",
+                     static_cast<double>(timeline.TotalLatency()));
+  }
+}
+
+void RecordTimelineMetrics(const std::map<TxnId, TxnTimeline>& timelines,
+                           MetricsRegistry* metrics) {
+  for (const auto& [txn, timeline] : timelines) {
+    ObserveTimeline(timeline, metrics);
+  }
+}
+
+}  // namespace prany

@@ -1,0 +1,80 @@
+// Per-transaction timelines aggregated from the structured trace.
+//
+// One TxnTimeline condenses a transaction's trace events into the
+// quantities the paper's figures are drawn in: phase boundary timestamps
+// (begin -> votes -> decision -> acks -> forget), message counts by type,
+// and log-append / forced-write counts summed over every site. The
+// harness feeds these into MetricsRegistry distributions ("txn.latency.*",
+// "txn.messages", "txn.forced_writes") after each run, and the Chrome
+// trace exporter renders the phases as duration slices on the
+// coordinator's track.
+
+#ifndef PRANY_COMMON_TIMELINE_H_
+#define PRANY_COMMON_TIMELINE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace prany {
+
+/// Everything the trace says about one transaction, condensed.
+struct TxnTimeline {
+  TxnId txn = kInvalidTxn;
+  SiteId coordinator = kInvalidSite;
+  std::optional<ProtocolKind> mode;  ///< Commit protocol the coord chose.
+  std::optional<Outcome> outcome;
+
+  // Phase boundary timestamps (unset if the phase never happened).
+  std::optional<SimTime> begin;                ///< kCoordBegin.
+  std::optional<SimTime> first_prepare_sent;   ///< First PREPARE send.
+  std::optional<SimTime> last_vote_delivered;  ///< Last VOTE delivery.
+  std::optional<SimTime> decided;              ///< kCoordDecide.
+  std::optional<SimTime> last_ack_delivered;   ///< Last ACK delivery.
+  std::optional<SimTime> forgotten;            ///< kCoordForget.
+
+  // Cost counters, summed over all sites.
+  uint64_t messages = 0;  ///< Messages handed to the network.
+  std::map<std::string, uint64_t> messages_by_type;
+  uint64_t log_appends = 0;
+  uint64_t forced_writes = 0;  ///< Appends with force=true.
+  uint64_t messages_lost = 0;  ///< Drops + partition blocks + down losses.
+  uint64_t resends = 0;
+  uint64_t inquiries = 0;
+
+  /// True once the coordinator forgot the transaction (C2PC's leaked
+  /// entries never complete; their latencies are meaningless).
+  bool Complete() const { return begin.has_value() && forgotten.has_value(); }
+
+  /// Voting phase: begin -> decision (0 if either end is missing).
+  SimDuration VotingLatency() const;
+  /// Decision phase: decision -> forget (0 if either end is missing).
+  SimDuration DecisionLatency() const;
+  /// Whole protocol: begin -> forget (0 unless Complete()).
+  SimDuration TotalLatency() const;
+
+  /// One-line summary for logs and failure messages.
+  std::string ToString() const;
+};
+
+/// Groups `events` by transaction id (events without a txn are skipped).
+std::map<TxnId, TxnTimeline> BuildTimelines(
+    const std::vector<TraceEvent>& events);
+
+/// Records one transaction's timeline into `metrics`:
+///   txn.messages, txn.log_appends, txn.forced_writes   (distributions)
+///   txn.latency.total_us / voting_us / decision_us     (Complete() only)
+///   txn.latency.commit_us or txn.latency.abort_us      (Complete() only)
+void ObserveTimeline(const TxnTimeline& timeline, MetricsRegistry* metrics);
+
+/// ObserveTimeline over every timeline in the map.
+void RecordTimelineMetrics(const std::map<TxnId, TxnTimeline>& timelines,
+                           MetricsRegistry* metrics);
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_TIMELINE_H_

@@ -5,19 +5,151 @@
 
 namespace prany {
 
-void TraceLog::Emit(SimTime time, std::string text) {
+std::string ToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kNote:
+      return "NOTE";
+    case TraceEventKind::kMsgSend:
+      return "MSG_SEND";
+    case TraceEventKind::kMsgDeliver:
+      return "MSG_DELIVER";
+    case TraceEventKind::kMsgDrop:
+      return "MSG_DROP";
+    case TraceEventKind::kMsgDuplicate:
+      return "MSG_DUPLICATE";
+    case TraceEventKind::kMsgLostDown:
+      return "MSG_LOST_DOWN";
+    case TraceEventKind::kMsgBlocked:
+      return "MSG_BLOCKED";
+    case TraceEventKind::kWalAppend:
+      return "WAL_APPEND";
+    case TraceEventKind::kWalForce:
+      return "WAL_FORCE";
+    case TraceEventKind::kWalCrashLoss:
+      return "WAL_CRASH_LOSS";
+    case TraceEventKind::kWalTruncate:
+      return "WAL_TRUNCATE";
+    case TraceEventKind::kCoordBegin:
+      return "COORD_BEGIN";
+    case TraceEventKind::kCoordDecide:
+      return "COORD_DECIDE";
+    case TraceEventKind::kCoordForget:
+      return "COORD_FORGET";
+    case TraceEventKind::kCoordVoteTimeout:
+      return "COORD_VOTE_TIMEOUT";
+    case TraceEventKind::kCoordResend:
+      return "COORD_RESEND";
+    case TraceEventKind::kCoordInquiryRecv:
+      return "COORD_INQUIRY_RECV";
+    case TraceEventKind::kCoordReply:
+      return "COORD_REPLY";
+    case TraceEventKind::kCoordPresume:
+      return "COORD_PRESUME";
+    case TraceEventKind::kCoordRecover:
+      return "COORD_RECOVER";
+    case TraceEventKind::kPartPrepared:
+      return "PART_PREPARED";
+    case TraceEventKind::kPartVote:
+      return "PART_VOTE";
+    case TraceEventKind::kPartEnforce:
+      return "PART_ENFORCE";
+    case TraceEventKind::kPartForget:
+      return "PART_FORGET";
+    case TraceEventKind::kPartInquiry:
+      return "PART_INQUIRY";
+    case TraceEventKind::kPartRecover:
+      return "PART_RECOVER";
+    case TraceEventKind::kSiteCrash:
+      return "SITE_CRASH";
+    case TraceEventKind::kSiteRecover:
+      return "SITE_RECOVER";
+  }
+  return "UNKNOWN";
+}
+
+const char* TraceCategory(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kNote:
+      return "note";
+    case TraceEventKind::kMsgSend:
+    case TraceEventKind::kMsgDeliver:
+    case TraceEventKind::kMsgDrop:
+    case TraceEventKind::kMsgDuplicate:
+    case TraceEventKind::kMsgLostDown:
+    case TraceEventKind::kMsgBlocked:
+      return "net";
+    case TraceEventKind::kWalAppend:
+    case TraceEventKind::kWalForce:
+    case TraceEventKind::kWalCrashLoss:
+    case TraceEventKind::kWalTruncate:
+      return "wal";
+    case TraceEventKind::kCoordBegin:
+    case TraceEventKind::kCoordDecide:
+    case TraceEventKind::kCoordForget:
+    case TraceEventKind::kCoordVoteTimeout:
+    case TraceEventKind::kCoordResend:
+    case TraceEventKind::kCoordInquiryRecv:
+    case TraceEventKind::kCoordReply:
+    case TraceEventKind::kCoordPresume:
+    case TraceEventKind::kCoordRecover:
+      return "coord";
+    case TraceEventKind::kPartPrepared:
+    case TraceEventKind::kPartVote:
+    case TraceEventKind::kPartEnforce:
+    case TraceEventKind::kPartForget:
+    case TraceEventKind::kPartInquiry:
+    case TraceEventKind::kPartRecover:
+      return "part";
+    case TraceEventKind::kSiteCrash:
+    case TraceEventKind::kSiteRecover:
+      return "site";
+  }
+  return "note";
+}
+
+std::string TraceEvent::ToString() const {
+  if (kind == TraceEventKind::kNote) return detail;
+  std::ostringstream out;
+  out << prany::ToString(kind);
+  if (!label.empty()) out << " " << label;
+  if (outcome.has_value()) out << "(" << prany::ToString(*outcome) << ")";
+  if (txn != kInvalidTxn) out << " txn=" << txn;
+  if (site != kInvalidSite) {
+    out << " " << site;
+    if (peer != kInvalidSite) out << "->" << peer;
+  } else if (peer != kInvalidSite) {
+    out << " peer=" << peer;
+  }
+  if (protocol.has_value()) out << " proto=" << prany::ToString(*protocol);
+  if (forced) out << " forced";
+  if (by_presumption) out << " by-presumption";
+  if (value != 0) out << " value=" << value;
+  if (!detail.empty()) out << " (" << detail << ")";
+  return out.str();
+}
+
+void TraceLog::Emit(TraceEvent event) {
   if (!enabled_) return;
   if (echo_) {
     std::fprintf(stderr, "t=%lluus %s\n",
-                 static_cast<unsigned long long>(time), text.c_str());
+                 static_cast<unsigned long long>(event.time),
+                 event.ToString().c_str());
   }
-  events_.push_back(TraceEvent{time, std::move(text)});
+  events_.push_back(std::move(event));
+}
+
+void TraceLog::Emit(SimTime time, std::string text) {
+  TraceEvent event;
+  event.time = time;
+  event.kind = TraceEventKind::kNote;
+  event.detail = std::move(text);
+  Emit(std::move(event));
 }
 
 std::string TraceLog::ToString() const {
   std::ostringstream out;
   for (const TraceEvent& e : events_) {
-    out << "t=" << e.time << "us " << e.text << "\n";
+    out << "t=" << e.time << "us " << e.ToString() << "\n";
   }
   return out.str();
 }

@@ -1,13 +1,21 @@
-// Structured trace sink for protocol debugging and the example programs.
+// Structured trace layer: every subsystem (network, stable log, protocol
+// engines, site lifecycle) emits typed TraceEvents into one per-run
+// TraceLog owned by the Simulator.
 //
-// Components emit one-line trace events ("t=1200us site=2 PREPARE received
-// txn=7"). Tracing is off by default; examples and failing tests turn it on
-// to print a readable protocol timeline.
+// The paper's entire argument is conducted in per-transaction timelines —
+// who sent which message, who forced which log record, when (Figures 1-5).
+// Typed events make those timelines first-class artifacts: tests assert
+// them arrow-for-arrow (trace_query.h), the harness aggregates them into
+// per-transaction phase latencies and cost counts (timeline.h), and tools
+// export them as Chrome trace-event JSON loadable in Perfetto
+// (trace_export.h).
+//
+// Tracing is off by default; when disabled, Emit is a cheap no-op.
 
 #ifndef PRANY_COMMON_TRACE_H_
 #define PRANY_COMMON_TRACE_H_
 
-#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,13 +23,82 @@
 
 namespace prany {
 
-/// One trace line with its simulated timestamp.
-struct TraceEvent {
-  SimTime time = 0;
-  std::string text;
+/// What happened. Grouped by the emitting layer; see docs/OBSERVABILITY.md
+/// for the full catalogue with field conventions.
+enum class TraceEventKind : uint8_t {
+  /// Free-text diagnostic line (legacy Emit(time, text) entry point).
+  kNote = 0,
+
+  // -- network fabric (site = sender for send-side kinds, receiver for
+  //    delivery-side kinds; peer = the other end; label = message type).
+  kMsgSend,       ///< Message handed to the network.
+  kMsgDeliver,    ///< Message delivered to an up endpoint.
+  kMsgDrop,       ///< Dropped (detail: "random", "targeted", "indexed").
+  kMsgDuplicate,  ///< A second delivery was scheduled.
+  kMsgLostDown,   ///< Destination was down at delivery time.
+  kMsgBlocked,    ///< Link partitioned at send time.
+
+  // -- stable log (label = record type; forced = append force flag).
+  kWalAppend,     ///< Record appended (value = lsn).
+  kWalForce,      ///< Physical forced-write I/O (value = records flushed).
+  kWalCrashLoss,  ///< Crash discarded the volatile tail (value = records).
+  kWalTruncate,   ///< GC removed released records (value = records).
+
+  // -- coordinator engine (protocol = commit protocol in use).
+  kCoordBegin,        ///< Commit processing started (voting phase).
+  kCoordDecide,       ///< Decision reached (outcome set).
+  kCoordForget,       ///< Entry erased; log records released.
+  kCoordVoteTimeout,  ///< Voting phase timed out (decision will be abort).
+  kCoordResend,       ///< Decision retransmitted to unacked participants.
+  kCoordInquiryRecv,  ///< INQUIRY received (peer = inquirer).
+  kCoordReply,        ///< INQUIRY answered (by_presumption when presumed).
+  kCoordPresume,      ///< PrAny adopted the inquirer's presumption
+                      ///< (protocol = the inquirer's protocol).
+  kCoordRecover,      ///< Unfinished decision phase re-initiated (§4.2).
+
+  // -- participant engine.
+  kPartPrepared,  ///< PREPARED force-logged; vote will be yes.
+  kPartVote,      ///< Vote sent (detail = "yes"/"no"/"read-only").
+  kPartEnforce,   ///< Outcome enforced locally (outcome set).
+  kPartForget,    ///< Participant released the transaction.
+  kPartInquiry,   ///< In-doubt INQUIRY sent (peer = coordinator).
+  kPartRecover,   ///< Post-crash log analysis acted on this transaction.
+
+  // -- site lifecycle.
+  kSiteCrash,    ///< Site failed (value = scheduled downtime in us).
+  kSiteRecover,  ///< Site back up; engines recovering from the log.
 };
 
-/// Collects (and optionally echoes) trace events.
+/// Human-readable kind name ("MSG_SEND", "COORD_DECIDE", ...).
+std::string ToString(TraceEventKind kind);
+
+/// Coarse layer of a kind: "note", "net", "wal", "coord", "part", "site".
+/// Used as the Chrome trace-event category.
+const char* TraceCategory(TraceEventKind kind);
+
+/// One structured trace event. Only `time` and `kind` are always
+/// meaningful; the other fields follow the per-kind conventions above and
+/// default to "absent" (kInvalidSite / kInvalidTxn / nullopt / empty).
+struct TraceEvent {
+  SimTime time = 0;
+  TraceEventKind kind = TraceEventKind::kNote;
+  SiteId site = kInvalidSite;  ///< Emitting site.
+  TxnId txn = kInvalidTxn;
+  SiteId peer = kInvalidSite;  ///< Message destination / inquirer / etc.
+  std::optional<ProtocolKind> protocol;
+  std::optional<Outcome> outcome;
+  bool forced = false;          ///< kWalAppend: force flag.
+  bool by_presumption = false;  ///< kCoordReply: answered by presumption.
+  uint64_t value = 0;           ///< Kind-specific count (bytes, lsn, ...).
+  std::string label;   ///< Message type / log record type name.
+  std::string detail;  ///< Free text (the whole line for kNote).
+
+  /// One-line rendering, e.g. "MSG_SEND DECISION(commit) txn=7 0->2".
+  /// kNote events render as their detail text alone.
+  std::string ToString() const;
+};
+
+/// Collects (and optionally echoes to stderr) trace events.
 class TraceLog {
  public:
   /// When enabled, events are retained (and echoed if `echo` was set).
@@ -32,12 +109,16 @@ class TraceLog {
   void Disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
+  /// Records a structured event (no-op while disabled).
+  void Emit(TraceEvent event);
+
+  /// Legacy free-text entry point: records a kNote event.
   void Emit(SimTime time, std::string text);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   void Clear() { events_.clear(); }
 
-  /// All events joined as "t=<time>us <text>" lines.
+  /// All events joined as "t=<time>us <event>" lines.
   std::string ToString() const;
 
  private:

@@ -1,0 +1,178 @@
+#include "common/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace prany {
+
+namespace {
+
+/// Track id for events that carry no site (simulator-level notes).
+constexpr uint64_t kSimTrack = 999999;
+
+uint64_t TrackOf(SiteId site) {
+  return site == kInvalidSite ? kSimTrack : static_cast<uint64_t>(site);
+}
+
+std::string JsonNumber(double value) {
+  // %.12g round-trips every count and microsecond value we record while
+  // staying valid JSON (no trailing garbage, no locale commas).
+  std::string s = StrFormat("%.12g", value);
+  return s;
+}
+
+void AppendThreadMetadata(std::ostringstream* out, uint64_t tid,
+                          const std::string& name, bool* first) {
+  if (!*first) *out << ",\n";
+  *first = false;
+  *out << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const std::map<TxnId, TxnTimeline>& timelines) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Name one track per site (plus the simulator track if used).
+  std::set<uint64_t> tracks;
+  for (const TraceEvent& e : events) tracks.insert(TrackOf(e.site));
+  for (const auto& [txn, t] : timelines) {
+    if (t.coordinator != kInvalidSite) tracks.insert(TrackOf(t.coordinator));
+  }
+  for (uint64_t tid : tracks) {
+    AppendThreadMetadata(&out, tid,
+                         tid == kSimTrack ? "sim"
+                                          : "site " + std::to_string(tid),
+                         &first);
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",\n";
+    first = false;
+    std::string name = ToString(e.kind);
+    if (!e.label.empty()) name += " " + e.label;
+    out << "  {\"name\":\"" << JsonEscape(name) << "\",\"cat\":\""
+        << TraceCategory(e.kind) << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+        << e.time << ",\"pid\":0,\"tid\":" << TrackOf(e.site) << ",\"args\":{";
+    const char* sep = "";
+    auto arg = [&](const char* key, const std::string& value, bool quote) {
+      out << sep << "\"" << key << "\":";
+      if (quote) {
+        out << "\"" << JsonEscape(value) << "\"";
+      } else {
+        out << value;
+      }
+      sep = ",";
+    };
+    if (e.txn != kInvalidTxn) arg("txn", std::to_string(e.txn), false);
+    if (e.peer != kInvalidSite) arg("peer", std::to_string(e.peer), false);
+    if (e.protocol.has_value()) arg("protocol", ToString(*e.protocol), true);
+    if (e.outcome.has_value()) arg("outcome", ToString(*e.outcome), true);
+    if (e.forced) arg("forced", "true", false);
+    if (e.by_presumption) arg("by_presumption", "true", false);
+    if (e.value != 0) arg("value", std::to_string(e.value), false);
+    if (!e.detail.empty()) arg("detail", e.detail, true);
+    out << "}}";
+  }
+
+  // Phase slices: voting (begin -> decide) and decision (decide -> forget)
+  // as duration events on the coordinator's track.
+  for (const auto& [txn, t] : timelines) {
+    uint64_t tid = TrackOf(t.coordinator);
+    std::string mode = t.mode.has_value() ? ToString(*t.mode) : "?";
+    auto slice = [&](const char* phase, SimTime start, SimTime end) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "  {\"name\":\"txn " << txn << " " << phase
+          << "\",\"cat\":\"txn\",\"ph\":\"X\",\"ts\":" << start
+          << ",\"dur\":" << (end - start) << ",\"pid\":0,\"tid\":" << tid
+          << ",\"args\":{\"txn\":" << txn << ",\"mode\":\""
+          << JsonEscape(mode) << "\"}}";
+    };
+    if (t.begin.has_value() && t.decided.has_value() &&
+        *t.decided >= *t.begin) {
+      slice("voting", *t.begin, *t.decided);
+    }
+    if (t.decided.has_value() && t.forgotten.has_value() &&
+        *t.forgotten >= *t.decided) {
+      slice("decision", *t.decided, *t.forgotten);
+    }
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+std::string MetricsJson(const MetricsRegistry& metrics) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  const char* sep = "\n";
+  for (const auto& [name, value] : metrics.counters()) {
+    out << sep << "    \"" << JsonEscape(name) << "\": " << value;
+    sep = ",\n";
+  }
+  out << "\n  },\n  \"distributions\": {";
+  sep = "\n";
+  for (const std::string& name : metrics.DistributionNames()) {
+    DistributionStats s = metrics.Summarize(name);
+    out << sep << "    \"" << JsonEscape(name) << "\": {\"count\": "
+        << s.count << ", \"min\": " << JsonNumber(s.min)
+        << ", \"max\": " << JsonNumber(s.max)
+        << ", \"mean\": " << JsonNumber(s.mean)
+        << ", \"p50\": " << JsonNumber(s.p50)
+        << ", \"p95\": " << JsonNumber(s.p95)
+        << ", \"p99\": " << JsonNumber(s.p99) << "}";
+    sep = ",\n";
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << content;
+  out.flush();
+  return out.good();
+}
+
+}  // namespace prany

@@ -1,0 +1,47 @@
+// Machine-readable exporters for the structured trace and the metrics
+// registry.
+//
+// ChromeTraceJson emits the Chrome trace-event format (the JSON array
+// flavour wrapped in {"traceEvents": [...]}), loadable in Perfetto or
+// chrome://tracing: one track ("thread") per site, instant events for
+// every TraceEvent, and duration slices for each transaction's voting and
+// decision phases on its coordinator's track. MetricsJson dumps every
+// counter and distribution summary. Both are wired into prany_cli
+// (--trace-json / --metrics-json) and every bench binary; see
+// docs/OBSERVABILITY.md.
+
+#ifndef PRANY_COMMON_TRACE_EXPORT_H_
+#define PRANY_COMMON_TRACE_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/timeline.h"
+#include "common/trace.h"
+
+namespace prany {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& text);
+
+/// Renders `events` (plus per-transaction phase slices from `timelines`)
+/// as Chrome trace-event JSON. Timestamps are simulated microseconds,
+/// which is exactly the unit the format expects.
+std::string ChromeTraceJson(
+    const std::vector<TraceEvent>& events,
+    const std::map<TxnId, TxnTimeline>& timelines = {});
+
+/// Renders all counters and distribution summaries as one JSON object:
+/// {"counters": {...}, "distributions": {name: {count, min, max, mean,
+/// p50, p95, p99}}}.
+std::string MetricsJson(const MetricsRegistry& metrics);
+
+/// Writes `content` to `path` (truncating); returns false on I/O error.
+bool WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_TRACE_EXPORT_H_

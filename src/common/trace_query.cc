@@ -1,0 +1,137 @@
+#include "common/trace_query.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace prany {
+
+bool TraceMatcher::Matches(const TraceEvent& event) const {
+  if (kind.has_value() && event.kind != *kind) return false;
+  if (txn.has_value() && event.txn != *txn) return false;
+  if (site.has_value() && event.site != *site) return false;
+  if (peer.has_value() && event.peer != *peer) return false;
+  if (label.has_value() && event.label != *label) return false;
+  if (outcome.has_value() &&
+      (!event.outcome.has_value() || *event.outcome != *outcome)) {
+    return false;
+  }
+  if (forced.has_value() && event.forced != *forced) return false;
+  if (by_presumption.has_value() && event.by_presumption != *by_presumption) {
+    return false;
+  }
+  return true;
+}
+
+std::string TraceMatcher::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  const char* sep = "";
+  auto field = [&](const std::string& text) {
+    out << sep << text;
+    sep = " ";
+  };
+  if (kind.has_value()) field(prany::ToString(*kind));
+  if (label.has_value()) field("label=" + *label);
+  if (txn.has_value()) field("txn=" + std::to_string(*txn));
+  if (site.has_value()) field("site=" + std::to_string(*site));
+  if (peer.has_value()) field("peer=" + std::to_string(*peer));
+  if (outcome.has_value()) field(prany::ToString(*outcome));
+  if (forced.has_value()) field(*forced ? "forced" : "lazy");
+  if (by_presumption.has_value()) {
+    field(*by_presumption ? "by-presumption" : "from-memory");
+  }
+  out << "}";
+  return out.str();
+}
+
+SequenceCheck ExpectSequence(const std::vector<TraceEvent>& events,
+                             const std::vector<TraceMatcher>& sequence) {
+  SequenceCheck check;
+  size_t pos = 0;
+  for (const TraceMatcher& matcher : sequence) {
+    bool found = false;
+    while (pos < events.size()) {
+      if (matcher.Matches(events[pos])) {
+        found = true;
+        ++pos;
+        break;
+      }
+      ++pos;
+    }
+    if (!found) {
+      check.error = StrFormat(
+          "matcher #%zu %s not found (matched %zu of %zu; scanned %zu "
+          "events)",
+          check.matched + 1, matcher.ToString().c_str(), check.matched,
+          sequence.size(), events.size());
+      return check;
+    }
+    ++check.matched;
+  }
+  check.ok = true;
+  return check;
+}
+
+namespace {
+template <typename Pred>
+TraceQuery Filter(const std::vector<TraceEvent>& events, Pred pred) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (pred(e)) out.push_back(e);
+  }
+  return TraceQuery(std::move(out));
+}
+}  // namespace
+
+TraceQuery TraceQuery::Txn(TxnId txn) const {
+  return Filter(events_, [txn](const TraceEvent& e) { return e.txn == txn; });
+}
+
+TraceQuery TraceQuery::Site(SiteId site) const {
+  return Filter(events_,
+                [site](const TraceEvent& e) { return e.site == site; });
+}
+
+TraceQuery TraceQuery::Peer(SiteId peer) const {
+  return Filter(events_,
+                [peer](const TraceEvent& e) { return e.peer == peer; });
+}
+
+TraceQuery TraceQuery::Kind(TraceEventKind kind) const {
+  return Filter(events_,
+                [kind](const TraceEvent& e) { return e.kind == kind; });
+}
+
+TraceQuery TraceQuery::Label(const std::string& label) const {
+  return Filter(events_,
+                [&label](const TraceEvent& e) { return e.label == label; });
+}
+
+TraceQuery TraceQuery::OutcomeIs(Outcome outcome) const {
+  return Filter(events_, [outcome](const TraceEvent& e) {
+    return e.outcome.has_value() && *e.outcome == outcome;
+  });
+}
+
+TraceQuery TraceQuery::ForcedOnly() const {
+  return Filter(events_, [](const TraceEvent& e) { return e.forced; });
+}
+
+TraceQuery TraceQuery::Between(SimTime lo, SimTime hi) const {
+  return Filter(events_, [lo, hi](const TraceEvent& e) {
+    return e.time >= lo && e.time <= hi;
+  });
+}
+
+TraceQuery TraceQuery::Matching(const TraceMatcher& matcher) const {
+  return Filter(events_,
+                [&matcher](const TraceEvent& e) { return matcher.Matches(e); });
+}
+
+TraceQuery TraceQuery::Where(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  return Filter(events_, pred);
+}
+
+}  // namespace prany

@@ -1,0 +1,119 @@
+// Query and assertion helpers over a recorded structured trace.
+//
+// TraceQuery is a small filter-chain for counting and inspecting events
+// ("how many DECISION sends did txn 7 produce?"); ExpectSequence checks
+// that a list of matchers appears in order (gaps allowed) — the executable
+// form of reading a protocol figure arrow by arrow. Tests use both to pin
+// the Figure 1-5 flows; see tests/protocol/coordinator_flow_test.cc.
+
+#ifndef PRANY_COMMON_TRACE_QUERY_H_
+#define PRANY_COMMON_TRACE_QUERY_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace prany {
+
+/// Predicate over one TraceEvent: every set field must match. Unset
+/// fields are wildcards, so `TraceMatcher::Of(kMsgSend).WithLabel("ACK")`
+/// matches any ACK handed to the network.
+struct TraceMatcher {
+  std::optional<TraceEventKind> kind;
+  std::optional<TxnId> txn;
+  std::optional<SiteId> site;
+  std::optional<SiteId> peer;
+  std::optional<std::string> label;
+  std::optional<Outcome> outcome;
+  std::optional<bool> forced;
+  std::optional<bool> by_presumption;
+
+  static TraceMatcher Of(TraceEventKind kind) {
+    TraceMatcher m;
+    m.kind = kind;
+    return m;
+  }
+  TraceMatcher WithTxn(TxnId t) && { txn = t; return std::move(*this); }
+  TraceMatcher WithSite(SiteId s) && { site = s; return std::move(*this); }
+  TraceMatcher WithPeer(SiteId p) && { peer = p; return std::move(*this); }
+  TraceMatcher WithLabel(std::string l) && {
+    label = std::move(l);
+    return std::move(*this);
+  }
+  TraceMatcher WithOutcome(Outcome o) && {
+    outcome = o;
+    return std::move(*this);
+  }
+  TraceMatcher WithForced(bool f) && { forced = f; return std::move(*this); }
+  TraceMatcher WithPresumption(bool p) && {
+    by_presumption = p;
+    return std::move(*this);
+  }
+
+  bool Matches(const TraceEvent& event) const;
+
+  /// Human-readable form of the constrained fields, for failure messages.
+  std::string ToString() const;
+};
+
+/// Result of ExpectSequence: on failure, `error` names the first matcher
+/// that could not be satisfied and how far the scan got.
+struct SequenceCheck {
+  bool ok = false;
+  size_t matched = 0;  ///< Matchers satisfied before the first failure.
+  std::string error;
+};
+
+/// Verifies that `sequence` occurs as a subsequence of `events`: each
+/// matcher must match some event strictly after the previous matcher's
+/// event. Extra events between matches are ignored.
+SequenceCheck ExpectSequence(const std::vector<TraceEvent>& events,
+                             const std::vector<TraceMatcher>& sequence);
+
+/// Immutable filter-chain over a copy of the trace. Every filter returns
+/// a narrowed TraceQuery; terminal accessors count or expose the events.
+class TraceQuery {
+ public:
+  TraceQuery() = default;
+  explicit TraceQuery(std::vector<TraceEvent> events)
+      : events_(std::move(events)) {}
+  explicit TraceQuery(const TraceLog& log) : events_(log.events()) {}
+
+  TraceQuery Txn(TxnId txn) const;
+  TraceQuery Site(SiteId site) const;
+  TraceQuery Peer(SiteId peer) const;
+  TraceQuery Kind(TraceEventKind kind) const;
+  TraceQuery Label(const std::string& label) const;
+  TraceQuery OutcomeIs(Outcome outcome) const;
+  TraceQuery ForcedOnly() const;
+  TraceQuery Between(SimTime lo, SimTime hi) const;  ///< Inclusive bounds.
+  TraceQuery Matching(const TraceMatcher& matcher) const;
+  TraceQuery Where(const std::function<bool(const TraceEvent&)>& pred) const;
+
+  size_t Count() const { return events_.size(); }
+  bool Empty() const { return events_.empty(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// First / last surviving event; nullptr when empty.
+  const TraceEvent* First() const {
+    return events_.empty() ? nullptr : &events_.front();
+  }
+  const TraceEvent* Last() const {
+    return events_.empty() ? nullptr : &events_.back();
+  }
+
+  /// ExpectSequence over the surviving events.
+  SequenceCheck Expect(const std::vector<TraceMatcher>& sequence) const {
+    return ExpectSequence(events_, sequence);
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_TRACE_QUERY_H_

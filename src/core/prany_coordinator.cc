@@ -64,7 +64,6 @@ std::set<SiteId> PrAnyCoordinator::ExpectedAckers(const CoordTxnState& st,
 
 std::pair<Outcome, bool> PrAnyCoordinator::AnswerUnknownInquiry(
     TxnId txn, SiteId inquirer) {
-  (void)txn;
   // §4.2: dynamically adopt the presumption of the inquiring participant's
   // protocol, looked up in the stable PCP.
   std::optional<ProtocolKind> protocol = pcp_->ProtocolFor(inquirer);
@@ -74,7 +73,18 @@ std::pair<Outcome, bool> PrAnyCoordinator::AnswerUnknownInquiry(
     ctx().Count("prany.unknown_inquirer");
     return {Outcome::kAbort, /*by_presumption=*/true};
   }
-  return {PresumptionOf(*protocol), /*by_presumption=*/true};
+  Outcome presumed = PresumptionOf(*protocol);
+  {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCoordPresume;
+    e.txn = txn;
+    e.peer = inquirer;
+    e.protocol = protocol;
+    e.outcome = presumed;
+    e.by_presumption = true;
+    ctx().Event(std::move(e));
+  }
+  return {presumed, /*by_presumption=*/true};
 }
 
 void PrAnyCoordinator::RecoverTxn(const TxnLogSummary& summary) {

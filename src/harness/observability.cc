@@ -1,0 +1,83 @@
+#include "harness/observability.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/trace_export.h"
+
+namespace prany {
+
+namespace {
+
+ObservabilityScope* g_current = nullptr;
+
+/// If `arg` is `--<flag>=VALUE`, stores VALUE and returns true.
+bool MatchFlag(const char* arg, const char* flag, std::string* value) {
+  size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+ObservabilityScope::ObservabilityScope(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (MatchFlag(argv[i], "--trace-json", &trace_path_) ||
+        MatchFlag(argv[i], "--metrics-json", &metrics_path_)) {
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  previous_ = g_current;
+  g_current = this;
+}
+
+ObservabilityScope::~ObservabilityScope() {
+  Flush();
+  g_current = previous_;
+}
+
+void ObservabilityScope::Collect(
+    const TraceLog& trace, const std::map<TxnId, TxnTimeline>& timelines,
+    const MetricsRegistry& metrics) {
+  if (!active()) return;
+  if (!trace.events().empty()) {
+    last_trace_ = trace.events();
+    last_timelines_ = timelines;
+  }
+  for (const auto& [name, value] : metrics.counters()) {
+    merged_metrics_.Add(name, value);
+  }
+  for (const std::string& name : metrics.DistributionNames()) {
+    for (double sample : metrics.samples(name)) {
+      merged_metrics_.Observe(name, sample);
+    }
+  }
+}
+
+bool ObservabilityScope::Flush() {
+  bool ok = true;
+  if (!trace_path_.empty()) {
+    if (!WriteStringToFile(trace_path_,
+                           ChromeTraceJson(last_trace_, last_timelines_))) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_path_.c_str());
+      ok = false;
+    }
+  }
+  if (!metrics_path_.empty()) {
+    if (!WriteStringToFile(metrics_path_, MetricsJson(merged_metrics_))) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_path_.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+ObservabilityScope* ObservabilityScope::Current() { return g_current; }
+
+}  // namespace prany

@@ -1,0 +1,70 @@
+// Process-wide observability hook for standalone binaries (benches, demos).
+//
+// An ObservabilityScope is constructed at the top of main() with the raw
+// argv; it strips the shared `--trace-json=FILE` and `--metrics-json=FILE`
+// flags so the rest of the program (e.g. google-benchmark's own flag
+// parser) never sees them. While a scope is alive, every System that
+// finishes a Run() reports its trace, per-transaction timelines, and
+// metrics here; the scope keeps the most recent non-empty trace, and
+// merges metrics across runs (counters summed, distribution samples
+// concatenated). On destruction the scope writes the requested JSON files.
+//
+// When neither flag is given the scope is inert: Systems skip trace
+// collection entirely, so wrapping a bench in a scope costs nothing in the
+// normal (un-instrumented) run.
+
+#ifndef PRANY_HARNESS_OBSERVABILITY_H_
+#define PRANY_HARNESS_OBSERVABILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/timeline.h"
+#include "common/trace.h"
+
+namespace prany {
+
+class ObservabilityScope {
+ public:
+  /// Strips --trace-json= / --metrics-json= from (argc, argv) and
+  /// registers this scope as the process-current one.
+  ObservabilityScope(int* argc, char** argv);
+  ~ObservabilityScope();
+
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+  /// True when either output flag was given.
+  bool active() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+  /// True when a trace file was requested (Systems should enable tracing).
+  bool tracing() const { return !trace_path_.empty(); }
+
+  /// Records one finished run. Keeps the latest non-empty trace (and its
+  /// timelines) and folds `metrics` into the merged registry.
+  void Collect(const TraceLog& trace,
+               const std::map<TxnId, TxnTimeline>& timelines,
+               const MetricsRegistry& metrics);
+
+  /// Writes the requested files now (also done by the destructor; calling
+  /// twice writes twice). Returns false if any write failed.
+  bool Flush();
+
+  /// The innermost live scope, or nullptr.
+  static ObservabilityScope* Current();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::vector<TraceEvent> last_trace_;
+  std::map<TxnId, TxnTimeline> last_timelines_;
+  MetricsRegistry merged_metrics_;
+  ObservabilityScope* previous_ = nullptr;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_HARNESS_OBSERVABILITY_H_

@@ -56,6 +56,7 @@ FlowResult RunFlow(ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
   auto system =
       BuildSystem(coordinator_kind, u2pc_native, participant_protocols, seed,
                   forced_write_latency, /*max_events=*/1'000'000);
+  system->sim().trace().Enable(/*echo_to_stderr=*/false);
   Transaction txn = system->MakeTransaction(
       0, ParticipantSites(participant_protocols.size()));
   system->SubmitAt(0, txn);
@@ -105,6 +106,17 @@ FlowResult RunFlow(ProtocolKind coordinator_kind, ProtocolKind u2pc_native,
   result.correct = system->CheckAtomicity().ok() &&
                    system->CheckSafeState().ok() &&
                    system->CheckOperational().ok();
+
+  result.trace = system->sim().trace().events();
+  if (auto it = system->timelines().find(txn.id);
+      it != system->timelines().end()) {
+    result.timeline = it->second;
+  }
+  for (const std::string& name : system->metrics().DistributionNames()) {
+    if (name.rfind("txn.", 0) == 0) {
+      result.txn_metrics[name] = system->metrics().Summarize(name);
+    }
+  }
   return result;
 }
 

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/timeline.h"
+#include "common/trace.h"
 #include "harness/run_result.h"
 #include "harness/system.h"
 
@@ -40,6 +42,15 @@ struct FlowResult {
   double completion_latency_us = 0;
 
   bool correct = false;  ///< All three checkers passed.
+
+  /// The full structured trace of the run (tracing is always enabled for
+  /// flows) and the transaction's aggregated timeline.
+  std::vector<TraceEvent> trace;
+  TxnTimeline timeline;
+
+  /// Summaries of the "txn."-prefixed distributions the timeline layer
+  /// recorded (txn.messages, txn.forced_writes, txn.latency.*).
+  std::map<std::string, DistributionStats> txn_metrics;
 };
 
 /// Runs one failure-free transaction: a coordinator of `coordinator_kind`

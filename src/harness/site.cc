@@ -40,6 +40,7 @@ Site::Site(SiteId id, ProtocolKind participant_protocol, CoordinatorSpec spec,
            MetricsRegistry* metrics, const PcpTable* pcp,
            TimingConfig timing)
     : id_(id), sim_(sim), history_(history), log_("wal", metrics) {
+  log_.BindTrace(&sim->trace(), id, [sim]() { return sim->Now(); });
   EngineContext ctx;
   ctx.self = id;
   ctx.sim = sim;
@@ -100,8 +101,13 @@ void Site::Crash(SimDuration downtime) {
   history_->Record(SigEvent{.time = sim_->Now(),
                             .type = SigEventType::kSiteCrash,
                             .site = id_});
-  sim_->Trace(StrFormat("site %u CRASH (down for %lluus)", id_,
-                        static_cast<unsigned long long>(downtime)));
+  if (sim_->trace().enabled()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kSiteCrash;
+    e.site = id_;
+    e.value = downtime;
+    sim_->Emit(std::move(e));
+  }
   // Volatile state is lost: the unflushed log tail, both engines' tables,
   // and the PrAny APP view.
   log_.Crash();
@@ -119,7 +125,12 @@ void Site::Recover() {
   history_->Record(SigEvent{.time = sim_->Now(),
                             .type = SigEventType::kSiteRecover,
                             .site = id_});
-  sim_->Trace(StrFormat("site %u RECOVER", id_));
+  if (sim_->trace().enabled()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kSiteRecover;
+    e.site = id_;
+    sim_->Emit(std::move(e));
+  }
   coordinator_->Recover();
   participant_->Recover();
 }

@@ -1,6 +1,7 @@
 #include "harness/system.h"
 
 #include "common/status.h"
+#include "harness/observability.h"
 
 namespace prany {
 
@@ -13,6 +14,8 @@ System::System(SystemConfig config)
       std::make_unique<FixedLatency>(config.fixed_latency));
   net_.SetDropProbability(config.drop_probability);
   net_.SetDuplicateProbability(config.duplicate_probability);
+  ObservabilityScope* scope = ObservabilityScope::Current();
+  if (scope != nullptr && scope->tracing()) sim_.trace().Enable(false);
 }
 
 System::~System() = default;
@@ -94,7 +97,26 @@ void System::ScheduleCrash(SiteId site_id, SimTime when,
   });
 }
 
-RunStats System::Run() { return sim_.Run(config_.max_events); }
+RunStats System::Run() {
+  RunStats stats = sim_.Run(config_.max_events);
+  if (sim_.trace().enabled()) {
+    timelines_ = BuildTimelines(sim_.trace().events());
+    for (const auto& [txn, timeline] : timelines_) {
+      // Record each transaction at most once, and only once its coordinator
+      // has forgotten it (Complete()); C2PC coordinators that never forget
+      // therefore never contribute latency samples.
+      if (!timeline.Complete() || timeline_recorded_.count(txn) > 0) {
+        continue;
+      }
+      ObserveTimeline(timeline, &metrics_);
+      timeline_recorded_.insert(txn);
+    }
+  }
+  if (ObservabilityScope* scope = ObservabilityScope::Current()) {
+    scope->Collect(sim_.trace(), timelines_, metrics_);
+  }
+  return stats;
+}
 
 std::vector<SiteEndState> System::EndStates() const {
   std::vector<SiteEndState> out;

@@ -10,8 +10,10 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "common/timeline.h"
 #include "core/safe_state.h"
 #include "harness/failure_injector.h"
 #include "harness/site.h"
@@ -70,8 +72,17 @@ class System {
   /// Schedules a timed crash of `site` at `when`, down for `downtime`.
   void ScheduleCrash(SiteId site, SimTime when, SimDuration downtime);
 
-  /// Runs the event loop until quiescence (or the event cap).
+  /// Runs the event loop until quiescence (or the event cap). When tracing
+  /// is enabled, rebuilds per-transaction timelines from the trace and
+  /// records each newly completed transaction's metrics (txn.messages,
+  /// txn.forced_writes, txn.latency.*) exactly once.
   RunStats Run();
+
+  /// Per-transaction timelines from the last Run() (empty unless tracing
+  /// was enabled via sim().trace().Enable()).
+  const std::map<TxnId, TxnTimeline>& timelines() const {
+    return timelines_;
+  }
 
   /// End-of-run site snapshots for the operational checker.
   std::vector<SiteEndState> EndStates() const;
@@ -107,6 +118,8 @@ class System {
   FailureInjector injector_;
   TxnIdGenerator txn_ids_;
   std::vector<std::unique_ptr<Site>> sites_;
+  std::map<TxnId, TxnTimeline> timelines_;
+  std::set<TxnId> timeline_recorded_;
 };
 
 }  // namespace prany

@@ -5,6 +5,39 @@
 
 namespace prany {
 
+namespace {
+
+/// Builds a structured net event for `msg`. Send-side kinds attribute the
+/// event to the sender's track (site=from); delivery-side kinds to the
+/// receiver's (site=to).
+TraceEvent NetEvent(TraceEventKind kind, const Message& msg,
+                    bool at_receiver) {
+  TraceEvent e;
+  e.kind = kind;
+  e.txn = msg.txn;
+  e.site = at_receiver ? msg.to : msg.from;
+  e.peer = at_receiver ? msg.from : msg.to;
+  e.label = ToString(msg.type);
+  switch (msg.type) {
+    case MessageType::kVote:
+      e.detail = ToString(msg.vote);
+      break;
+    case MessageType::kDecision:
+    case MessageType::kAck:
+      e.outcome = msg.outcome;
+      break;
+    case MessageType::kInquiryReply:
+      e.outcome = msg.outcome;
+      e.by_presumption = msg.by_presumption;
+      break;
+    default:
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
 Network::Network(Simulator* sim, MetricsRegistry* metrics)
     : sim_(sim), metrics_(metrics), rng_(sim->rng().Fork()) {
   default_latency_ = std::make_unique<FixedLatency>(500);
@@ -82,34 +115,55 @@ void Network::Send(const Message& msg) {
     metrics_->Add("net.msg." + ToString(msg.type));
     metrics_->Add("net.bytes", static_cast<int64_t>(wire.size()));
   }
-  sim_->Trace(StrFormat("net send %s", msg.ToString().c_str()));
+  const bool tracing = sim_->trace().enabled();
+  if (tracing) {
+    TraceEvent e = NetEvent(TraceEventKind::kMsgSend, msg, false);
+    e.value = wire.size();
+    sim_->Emit(std::move(e));
+  }
 
   if (IsBlocked(msg.from, msg.to)) {
     ++stats_.messages_blocked;
-    sim_->Trace(StrFormat("net blocked %s", msg.ToString().c_str()));
+    if (tracing) {
+      sim_->Emit(NetEvent(TraceEventKind::kMsgBlocked, msg, false));
+    }
     return;
   }
   if (MatchesDropRule(msg)) {
     ++stats_.messages_dropped;
-    sim_->Trace(StrFormat("net targeted-drop %s", msg.ToString().c_str()));
+    if (tracing) {
+      TraceEvent e = NetEvent(TraceEventKind::kMsgDrop, msg, false);
+      e.detail = "targeted";
+      sim_->Emit(std::move(e));
+    }
     return;
   }
   if (drop_send_indexes_.count(++send_index_) > 0) {
     ++stats_.messages_dropped;
-    sim_->Trace(StrFormat("net indexed-drop #%llu %s",
-                          static_cast<unsigned long long>(send_index_),
-                          msg.ToString().c_str()));
+    if (tracing) {
+      TraceEvent e = NetEvent(TraceEventKind::kMsgDrop, msg, false);
+      e.detail = StrFormat("indexed #%llu",
+                           static_cast<unsigned long long>(send_index_));
+      sim_->Emit(std::move(e));
+    }
     return;
   }
   if (rng_.Bernoulli(drop_probability_)) {
     ++stats_.messages_dropped;
-    sim_->Trace(StrFormat("net random-drop %s", msg.ToString().c_str()));
+    if (tracing) {
+      TraceEvent e = NetEvent(TraceEventKind::kMsgDrop, msg, false);
+      e.detail = "random";
+      sim_->Emit(std::move(e));
+    }
     return;
   }
 
   ScheduleDelivery(msg, wire);
   if (rng_.Bernoulli(duplicate_probability_)) {
     ++stats_.messages_duplicated;
+    if (tracing) {
+      sim_->Emit(NetEvent(TraceEventKind::kMsgDuplicate, msg, false));
+    }
     ScheduleDelivery(msg, wire);
   }
 }
@@ -137,11 +191,15 @@ void Network::ScheduleDelivery(const Message& msg,
         PRANY_CHECK_MSG(it != endpoints_.end(), "unknown destination site");
         if (!it->second->IsUp()) {
           ++stats_.messages_lost_down;
-          sim_->Trace(StrFormat("net lost(down) %s", msg.ToString().c_str()));
+          if (sim_->trace().enabled()) {
+            sim_->Emit(NetEvent(TraceEventKind::kMsgLostDown, msg, true));
+          }
           return;
         }
         ++stats_.messages_delivered;
-        sim_->Trace(StrFormat("net deliver %s", msg.ToString().c_str()));
+        if (sim_->trace().enabled()) {
+          sim_->Emit(NetEvent(TraceEventKind::kMsgDeliver, msg, true));
+        }
         it->second->OnMessage(msg);
       },
       "net.deliver");

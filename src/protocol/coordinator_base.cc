@@ -5,6 +5,17 @@
 
 namespace prany {
 
+namespace {
+
+TraceEvent CoordEvent(TraceEventKind kind, TxnId txn) {
+  TraceEvent e;
+  e.kind = kind;
+  e.txn = txn;
+  return e;
+}
+
+}  // namespace
+
 CoordinatorBase::CoordinatorBase(EngineContext ctx, ProtocolKind kind)
     : ctx_(std::move(ctx)), kind_(kind) {}
 
@@ -36,8 +47,12 @@ void CoordinatorBase::BeginCommit(const Transaction& txn) {
                                 .txn = txn.id});
   ctx_.Count("coord.begin");
   ctx_.Count("coord.mode." + ToString(mode));
-  ctx_.Trace(StrFormat("coord %u begin %s mode=%s", ctx_.self,
-                       txn.ToString().c_str(), ToString(mode).c_str()));
+  {
+    TraceEvent e = CoordEvent(TraceEventKind::kCoordBegin, txn.id);
+    e.protocol = mode;
+    e.value = txn.participants.size();
+    ctx_.Event(std::move(e));
+  }
   DidBegin(entry);
 
   SimDuration send_delay = 0;
@@ -131,6 +146,12 @@ void CoordinatorBase::Decide(TxnId txn, Outcome outcome) {
                                 .outcome = outcome});
   ctx_.Count(outcome == Outcome::kCommit ? "coord.decide_commit"
                                          : "coord.decide_abort");
+  {
+    TraceEvent e = CoordEvent(TraceEventKind::kCoordDecide, txn);
+    e.protocol = st->mode;
+    e.outcome = outcome;
+    ctx_.Event(std::move(e));
+  }
   if (ctx_.MaybeCrash(CrashPoint::kCoordAfterDecisionMade, txn)) return;
 
   std::set<SiteId> ackers = ExpectedAckers(*st, outcome);
@@ -209,6 +230,11 @@ void CoordinatorBase::MaybeComplete(TxnId txn) {
                           latency);
   }
   ctx_.Count("coord.forget");
+  {
+    TraceEvent e = CoordEvent(TraceEventKind::kCoordForget, txn);
+    e.outcome = st->decision;
+    ctx_.Event(std::move(e));
+  }
   ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
                                 .type = SigEventType::kCoordForget,
                                 .site = ctx_.self,
@@ -226,6 +252,11 @@ void CoordinatorBase::OnInquiry(const Message& msg) {
                                 .txn = msg.txn,
                                 .peer = msg.from});
   ctx_.Count("coord.inquiry");
+  {
+    TraceEvent e = CoordEvent(TraceEventKind::kCoordInquiryRecv, msg.txn);
+    e.peer = msg.from;
+    ctx_.Event(std::move(e));
+  }
 
   CoordTxnState* st = table_.Find(msg.txn);
   Outcome outcome;
@@ -250,6 +281,13 @@ void CoordinatorBase::OnInquiry(const Message& msg) {
                                 .outcome = outcome,
                                 .peer = msg.from,
                                 .by_presumption = by_presumption});
+  {
+    TraceEvent e = CoordEvent(TraceEventKind::kCoordReply, msg.txn);
+    e.peer = msg.from;
+    e.outcome = outcome;
+    e.by_presumption = by_presumption;
+    ctx_.Event(std::move(e));
+  }
   ctx_.Send(Message::InquiryReply(msg.txn, ctx_.self, msg.from, outcome,
                                   by_presumption));
 }
@@ -262,8 +300,7 @@ void CoordinatorBase::StartVoteTimer(TxnId txn) {
         CoordTxnState* st = table_.Find(txn);
         if (st == nullptr || st->phase != CoordPhase::kVoting) return;
         ctx_.Count("coord.vote_timeout");
-        ctx_.Trace(StrFormat("coord %u vote timeout txn=%llu", ctx_.self,
-                             static_cast<unsigned long long>(txn)));
+        ctx_.Event(CoordEvent(TraceEventKind::kCoordVoteTimeout, txn));
         Decide(txn, Outcome::kAbort);
       },
       StrFormat("coord.vote_timeout txn=%llu",
@@ -296,6 +333,11 @@ void CoordinatorBase::StartResendTimer(TxnId txn) {
         }
         ++it->second.resends;
         ctx_.Count("coord.decision_resend");
+        {
+          TraceEvent e = CoordEvent(TraceEventKind::kCoordResend, txn);
+          e.value = st->pending_acks.size();
+          ctx_.Event(std::move(e));
+        }
         SendDecisionMessages(*st, st->pending_acks, /*delay=*/0);
       },
       StrFormat("coord.resend txn=%llu",
@@ -322,6 +364,13 @@ void CoordinatorBase::ReinitiateDecision(
                                 .txn = txn,
                                 .outcome = outcome});
   ctx_.Count("coord.recovery_reinitiate");
+  {
+    TraceEvent e = CoordEvent(TraceEventKind::kCoordRecover, txn);
+    e.protocol = mode;
+    e.outcome = outcome;
+    e.detail = "reinitiate decision";
+    ctx_.Event(std::move(e));
+  }
 
   std::set<SiteId> ackers = ExpectedAckers(entry, outcome);
   entry.pending_acks.clear();

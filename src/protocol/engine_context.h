@@ -67,6 +67,14 @@ struct EngineContext {
 
   void Trace(std::string text) const { sim->Trace(std::move(text)); }
 
+  /// Emits a structured trace event stamped with the current time and this
+  /// engine's site id. No-op when tracing is disabled.
+  void Event(TraceEvent event) const {
+    if (!sim->trace().enabled()) return;
+    event.site = self;
+    sim->Emit(std::move(event));
+  }
+
   /// Sends `msg` after `delay` (used to charge forced-write latency to the
   /// messages that depend on the write). The send is suppressed if the
   /// site crashed in the meantime. delay == 0 sends immediately.

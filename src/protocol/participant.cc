@@ -7,6 +7,17 @@
 
 namespace prany {
 
+namespace {
+
+TraceEvent PartEvent(TraceEventKind kind, TxnId txn) {
+  TraceEvent e;
+  e.kind = kind;
+  e.txn = txn;
+  return e;
+}
+
+}  // namespace
+
 ParticipantEngine::ParticipantEngine(EngineContext ctx, ProtocolKind protocol)
     : ctx_(std::move(ctx)), protocol_(protocol) {
   PRANY_CHECK_MSG(IsBaseProtocol(protocol),
@@ -47,6 +58,12 @@ void ParticipantEngine::OnPrepare(const Message& msg) {
                                   .site = ctx_.self,
                                   .txn = txn});
     ctx_.Count("part.vote_read_only");
+    {
+      TraceEvent e = PartEvent(TraceEventKind::kPartVote, txn);
+      e.peer = msg.from;
+      e.detail = ToString(Vote::kReadOnly);
+      ctx_.Event(std::move(e));
+    }
     ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kReadOnly));
     return;
   }
@@ -65,6 +82,12 @@ void ParticipantEngine::OnPrepare(const Message& msg) {
                                   .site = ctx_.self,
                                   .txn = txn});
     ctx_.Count("part.vote_no");
+    {
+      TraceEvent e = PartEvent(TraceEventKind::kPartVote, txn);
+      e.peer = msg.from;
+      e.detail = ToString(Vote::kNo);
+      ctx_.Event(std::move(e));
+    }
     ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kNo));
     return;
   }
@@ -76,10 +99,21 @@ void ParticipantEngine::OnPrepare(const Message& msg) {
                                 .type = SigEventType::kPartPrepared,
                                 .site = ctx_.self,
                                 .txn = txn});
+  {
+    TraceEvent e = PartEvent(TraceEventKind::kPartPrepared, txn);
+    e.peer = msg.from;
+    ctx_.Event(std::move(e));
+  }
   if (ctx_.MaybeCrash(CrashPoint::kPartAfterPreparedLogged, txn)) return;
 
   StartInquiryTimer(txn, msg.from);
   ctx_.Count("part.prepared");
+  {
+    TraceEvent e = PartEvent(TraceEventKind::kPartVote, txn);
+    e.peer = msg.from;
+    e.detail = ToString(Vote::kYes);
+    ctx_.Event(std::move(e));
+  }
   ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kYes),
             ctx_.timing.forced_write_latency);
   if (ctx_.MaybeCrash(CrashPoint::kPartAfterVoteSent, txn)) return;
@@ -127,9 +161,15 @@ void ParticipantEngine::EnforceAndForget(TxnId txn, Outcome outcome) {
                                 .outcome = outcome});
   ctx_.Count(outcome == Outcome::kCommit ? "part.enforced_commit"
                                          : "part.enforced_abort");
+  {
+    TraceEvent e = PartEvent(TraceEventKind::kPartEnforce, txn);
+    e.outcome = outcome;
+    ctx_.Event(std::move(e));
+  }
   prepared_.erase(txn);
   ctx_.log->ReleaseTransaction(txn);
   ctx_.log->Truncate();
+  ctx_.Event(PartEvent(TraceEventKind::kPartForget, txn));
   ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
                                 .type = SigEventType::kPartForget,
                                 .site = ctx_.self,
@@ -152,9 +192,16 @@ void ParticipantEngine::StartInquiryTimer(TxnId txn, SiteId coordinator) {
   entry.inquiry_timer = std::make_unique<PeriodicTimer>(ctx_.sim);
   SiteId self = ctx_.self;
   Network* net = ctx_.net;
+  Simulator* sim = ctx_.sim;
   entry.inquiry_timer->Start(
       ctx_.timing.inquiry_interval,
-      [net, txn, self, coordinator]() {
+      [net, sim, txn, self, coordinator]() {
+        if (sim->trace().enabled()) {
+          TraceEvent e = PartEvent(TraceEventKind::kPartInquiry, txn);
+          e.site = self;
+          e.peer = coordinator;
+          sim->Emit(std::move(e));
+        }
         net->Send(Message::Inquiry(txn, self, coordinator));
       },
       StrFormat("part.inquiry txn=%llu",
@@ -173,12 +220,29 @@ void ParticipantEngine::Recover() {
       // re-enforce (redo; idempotent) and forget. If the coordinator still
       // needs an acknowledgment it will retransmit the decision and the
       // no-memory path will acknowledge it.
+      {
+        TraceEvent e = PartEvent(TraceEventKind::kPartRecover, txn);
+        e.outcome = summary.decision;
+        e.detail = "redo";
+        ctx_.Event(std::move(e));
+      }
       EnforceAndForget(txn, *summary.decision);
       continue;
     }
     // In doubt: resume periodic inquiries and ask immediately (§4.2).
     StartInquiryTimer(txn, summary.coordinator);
     ctx_.Count("part.recovered_in_doubt");
+    {
+      TraceEvent e = PartEvent(TraceEventKind::kPartRecover, txn);
+      e.peer = summary.coordinator;
+      e.detail = "in doubt";
+      ctx_.Event(std::move(e));
+    }
+    {
+      TraceEvent e = PartEvent(TraceEventKind::kPartInquiry, txn);
+      e.peer = summary.coordinator;
+      ctx_.Event(std::move(e));
+    }
     ctx_.net->Send(Message::Inquiry(txn, ctx_.self, summary.coordinator));
   }
 }

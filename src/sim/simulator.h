@@ -78,6 +78,14 @@ class Simulator {
   /// Emits a trace line stamped with Now().
   void Trace(std::string text) { trace_.Emit(now_, std::move(text)); }
 
+  /// Emits a structured trace event stamped with Now(). Cheap when tracing
+  /// is disabled, but callers building an expensive event should still
+  /// guard on trace().enabled() first.
+  void Emit(TraceEvent event) {
+    event.time = now_;
+    trace_.Emit(std::move(event));
+  }
+
  private:
   struct Event {
     SimTime time;

@@ -9,6 +9,20 @@ namespace prany {
 StableLog::StableLog(std::string metric_prefix, MetricsRegistry* metrics)
     : metric_prefix_(std::move(metric_prefix)), metrics_(metrics) {}
 
+void StableLog::BindTrace(TraceLog* trace, SiteId site,
+                          std::function<SimTime()> clock) {
+  trace_ = trace;
+  trace_site_ = site;
+  clock_ = std::move(clock);
+}
+
+void StableLog::EmitTrace(TraceEvent event) const {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  event.time = clock_ != nullptr ? clock_() : 0;
+  event.site = trace_site_;
+  trace_->Emit(std::move(event));
+}
+
 uint64_t StableLog::Append(const LogRecord& record, bool force) {
   LogRecord stamped = record;
   stamped.lsn = next_lsn_++;
@@ -17,6 +31,15 @@ uint64_t StableLog::Append(const LogRecord& record, bool force) {
   if (metrics_ != nullptr) {
     metrics_->Add(metric_prefix_ + ".appends");
     metrics_->Add(metric_prefix_ + ".append." + ToString(record.type));
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kWalAppend;
+    e.txn = stamped.txn;
+    e.label = ToString(record.type);
+    e.forced = force;
+    e.value = stamped.lsn;
+    EmitTrace(std::move(e));
   }
   if (force) {
     ++stats_.forced_appends;
@@ -31,6 +54,7 @@ uint64_t StableLog::Append(const LogRecord& record, bool force) {
 void StableLog::Flush() {
   if (buffer_.empty()) return;
   ++stats_.flushes;
+  size_t flushed = buffer_.size();
   for (StoredRecord& rec : buffer_) {
     stats_.bytes_flushed += rec.bytes.size();
     stable_.push_back(std::move(rec));
@@ -39,9 +63,19 @@ void StableLog::Flush() {
   if (metrics_ != nullptr) {
     metrics_->Add(metric_prefix_ + ".flushes");
   }
+  TraceEvent e;
+  e.kind = TraceEventKind::kWalForce;
+  e.value = flushed;
+  EmitTrace(std::move(e));
 }
 
 void StableLog::Crash() {
+  if (!buffer_.empty()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kWalCrashLoss;
+    e.value = buffer_.size();
+    EmitTrace(std::move(e));
+  }
   buffer_.clear();
 }
 
@@ -77,6 +111,12 @@ size_t StableLog::Truncate() {
   if (metrics_ != nullptr && removed > 0) {
     metrics_->Add(metric_prefix_ + ".truncated",
                   static_cast<int64_t>(removed));
+  }
+  if (removed > 0) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kWalTruncate;
+    e.value = removed;
+    EmitTrace(std::move(e));
   }
   return removed;
 }

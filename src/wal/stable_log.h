@@ -18,11 +18,13 @@
 #define PRANY_WAL_STABLE_LOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "wal/log_record.h"
 
 namespace prany {
@@ -43,6 +45,12 @@ class StableLog {
   /// "wal.<name>" plus the per-site prefix chosen by the harness.
   explicit StableLog(std::string metric_prefix = "wal",
                      MetricsRegistry* metrics = nullptr);
+
+  /// Connects this log to a trace sink. `site` tags emitted events and
+  /// `clock` supplies their timestamps (the log itself has no notion of
+  /// simulated time). Installed by the owning Site.
+  void BindTrace(TraceLog* trace, SiteId site,
+                 std::function<SimTime()> clock);
 
   /// Appends `record`; assigns and returns its LSN. When `force` is true
   /// the record (and all earlier buffered records) is durable on return.
@@ -90,8 +98,15 @@ class StableLog {
     std::vector<uint8_t> bytes;
   };
 
+  /// Emits `event` (stamped with clock time and site) if tracing is bound
+  /// and enabled.
+  void EmitTrace(TraceEvent event) const;
+
   std::string metric_prefix_;
   MetricsRegistry* metrics_;
+  TraceLog* trace_ = nullptr;
+  SiteId trace_site_ = kInvalidSite;
+  std::function<SimTime()> clock_;
   uint64_t next_lsn_ = 1;
   std::vector<StoredRecord> stable_;
   std::vector<StoredRecord> buffer_;

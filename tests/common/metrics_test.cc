@@ -67,6 +67,51 @@ TEST(MetricsTest, PercentilesHandleUnsortedInput) {
   EXPECT_EQ(s.p50, 5.0);
 }
 
+// Pins the percentile definition: rank = q * (count - 1) with linear
+// interpolation between the neighbouring sorted samples. Exporters and
+// flow tests rely on these exact values.
+TEST(MetricsTest, PercentileInterpolationIsExact) {
+  MetricsRegistry m;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) m.Observe("d", v);
+  DistributionStats s = m.Summarize("d");
+  EXPECT_DOUBLE_EQ(s.p50, 30.0);   // rank 2.0: exact sample.
+  EXPECT_DOUBLE_EQ(s.p95, 48.0);   // rank 3.8: 40 + 0.8 * (50 - 40).
+  EXPECT_DOUBLE_EQ(s.p99, 49.6);   // rank 3.96.
+}
+
+TEST(MetricsTest, PercentileInterpolatesBetweenTwoSamples) {
+  MetricsRegistry m;
+  m.Observe("d", 0.0);
+  m.Observe("d", 100.0);
+  DistributionStats s = m.Summarize("d");
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+}
+
+TEST(MetricsTest, SummarizeEmptyIsAllZero) {
+  MetricsRegistry m;
+  m.Observe("other", 1.0);  // A different distribution must not leak in.
+  DistributionStats s = m.Summarize("nothing");
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(MetricsTest, DistributionNamesAreSorted) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.DistributionNames().empty());
+  m.Observe("b", 1.0);
+  m.Observe("a", 1.0);
+  m.Observe("b", 2.0);
+  EXPECT_EQ(m.DistributionNames(),
+            (std::vector<std::string>{"a", "b"}));
+}
+
 TEST(MetricsTest, SamplesAccessor) {
   MetricsRegistry m;
   m.Observe("d", 1.0);

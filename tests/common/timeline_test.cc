@@ -1,0 +1,148 @@
+#include "common/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TraceEvent Event(SimTime time, TraceEventKind kind, SiteId site, TxnId txn,
+                 std::string label = "") {
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.site = site;
+  e.txn = txn;
+  e.label = std::move(label);
+  return e;
+}
+
+/// A minimal complete flow: coordinator 0, one participant (site 1).
+std::vector<TraceEvent> CompleteFlow() {
+  std::vector<TraceEvent> events;
+  TraceEvent begin = Event(0, TraceEventKind::kCoordBegin, 0, 1);
+  begin.protocol = ProtocolKind::kPrN;
+  events.push_back(begin);
+  events.push_back(Event(0, TraceEventKind::kMsgSend, 0, 1, "PREPARE"));
+  TraceEvent prepared =
+      Event(500, TraceEventKind::kWalAppend, 1, 1, "PREPARED");
+  prepared.forced = true;
+  events.push_back(prepared);
+  events.push_back(Event(500, TraceEventKind::kMsgSend, 1, 1, "VOTE"));
+  events.push_back(Event(1000, TraceEventKind::kMsgDeliver, 0, 1, "VOTE"));
+  TraceEvent decide = Event(1000, TraceEventKind::kCoordDecide, 0, 1);
+  decide.outcome = Outcome::kCommit;
+  events.push_back(decide);
+  TraceEvent commit =
+      Event(1000, TraceEventKind::kWalAppend, 0, 1, "DECISION");
+  commit.forced = true;
+  events.push_back(commit);
+  events.push_back(Event(1000, TraceEventKind::kMsgSend, 0, 1, "DECISION"));
+  TraceEvent lazy = Event(1500, TraceEventKind::kWalAppend, 1, 1, "DECISION");
+  events.push_back(lazy);
+  events.push_back(Event(1500, TraceEventKind::kMsgSend, 1, 1, "ACK"));
+  events.push_back(Event(2000, TraceEventKind::kMsgDeliver, 0, 1, "ACK"));
+  events.push_back(Event(2000, TraceEventKind::kCoordForget, 0, 1));
+  return events;
+}
+
+TEST(TimelineTest, BuildsPhaseTimestampsAndCounts) {
+  auto timelines = BuildTimelines(CompleteFlow());
+  ASSERT_EQ(timelines.size(), 1u);
+  const TxnTimeline& t = timelines.at(1);
+
+  EXPECT_EQ(t.txn, 1u);
+  EXPECT_EQ(t.coordinator, 0u);
+  ASSERT_TRUE(t.mode.has_value());
+  EXPECT_EQ(*t.mode, ProtocolKind::kPrN);
+  ASSERT_TRUE(t.outcome.has_value());
+  EXPECT_EQ(*t.outcome, Outcome::kCommit);
+
+  EXPECT_EQ(t.begin, SimTime{0});
+  EXPECT_EQ(t.first_prepare_sent, SimTime{0});
+  EXPECT_EQ(t.last_vote_delivered, SimTime{1000});
+  EXPECT_EQ(t.decided, SimTime{1000});
+  EXPECT_EQ(t.last_ack_delivered, SimTime{2000});
+  EXPECT_EQ(t.forgotten, SimTime{2000});
+
+  EXPECT_EQ(t.messages, 4u);
+  EXPECT_EQ(t.messages_by_type.at("PREPARE"), 1u);
+  EXPECT_EQ(t.messages_by_type.at("VOTE"), 1u);
+  EXPECT_EQ(t.messages_by_type.at("DECISION"), 1u);
+  EXPECT_EQ(t.messages_by_type.at("ACK"), 1u);
+  EXPECT_EQ(t.log_appends, 3u);
+  EXPECT_EQ(t.forced_writes, 2u);
+
+  EXPECT_TRUE(t.Complete());
+  EXPECT_EQ(t.VotingLatency(), SimDuration{1000});
+  EXPECT_EQ(t.DecisionLatency(), SimDuration{1000});
+  EXPECT_EQ(t.TotalLatency(), SimDuration{2000});
+}
+
+TEST(TimelineTest, IncompleteTimelineHasZeroTotalLatency) {
+  std::vector<TraceEvent> events = CompleteFlow();
+  events.pop_back();  // Drop kCoordForget.
+  auto timelines = BuildTimelines(events);
+  const TxnTimeline& t = timelines.at(1);
+  EXPECT_FALSE(t.Complete());
+  EXPECT_EQ(t.TotalLatency(), SimDuration{0});
+  EXPECT_EQ(t.DecisionLatency(), SimDuration{0});
+  EXPECT_EQ(t.VotingLatency(), SimDuration{1000});  // Decide still present.
+}
+
+TEST(TimelineTest, SeparatesInterleavedTransactions) {
+  std::vector<TraceEvent> events;
+  events.push_back(Event(0, TraceEventKind::kCoordBegin, 0, 1));
+  events.push_back(Event(10, TraceEventKind::kCoordBegin, 0, 2));
+  events.push_back(Event(20, TraceEventKind::kMsgSend, 0, 2, "PREPARE"));
+  events.push_back(Event(30, TraceEventKind::kMsgSend, 0, 1, "PREPARE"));
+  // Events without a transaction are skipped.
+  events.push_back(Event(40, TraceEventKind::kSiteCrash, 1, kInvalidTxn));
+  auto timelines = BuildTimelines(events);
+  ASSERT_EQ(timelines.size(), 2u);
+  EXPECT_EQ(timelines.at(1).messages, 1u);
+  EXPECT_EQ(timelines.at(2).messages, 1u);
+  EXPECT_EQ(timelines.at(1).first_prepare_sent, SimTime{30});
+  EXPECT_EQ(timelines.at(2).first_prepare_sent, SimTime{20});
+}
+
+TEST(TimelineTest, CountsLossesResendsAndInquiries) {
+  std::vector<TraceEvent> events;
+  events.push_back(Event(0, TraceEventKind::kCoordBegin, 0, 1));
+  events.push_back(Event(10, TraceEventKind::kMsgDrop, 0, 1, "DECISION"));
+  events.push_back(Event(20, TraceEventKind::kMsgLostDown, 1, 1, "DECISION"));
+  events.push_back(Event(30, TraceEventKind::kMsgBlocked, 0, 1, "DECISION"));
+  events.push_back(Event(40, TraceEventKind::kCoordResend, 0, 1));
+  events.push_back(Event(50, TraceEventKind::kPartInquiry, 1, 1));
+  const TxnTimeline& t = BuildTimelines(events).at(1);
+  EXPECT_EQ(t.messages_lost, 3u);
+  EXPECT_EQ(t.resends, 1u);
+  EXPECT_EQ(t.inquiries, 1u);
+}
+
+TEST(TimelineTest, ObserveRecordsDistributions) {
+  MetricsRegistry metrics;
+  auto timelines = BuildTimelines(CompleteFlow());
+  RecordTimelineMetrics(timelines, &metrics);
+
+  EXPECT_EQ(metrics.Summarize("txn.messages").count, 1u);
+  EXPECT_DOUBLE_EQ(metrics.Summarize("txn.messages").mean, 4.0);
+  EXPECT_DOUBLE_EQ(metrics.Summarize("txn.forced_writes").mean, 2.0);
+  EXPECT_DOUBLE_EQ(metrics.Summarize("txn.latency.total_us").mean, 2000.0);
+  EXPECT_DOUBLE_EQ(metrics.Summarize("txn.latency.voting_us").mean, 1000.0);
+  EXPECT_DOUBLE_EQ(metrics.Summarize("txn.latency.decision_us").mean, 1000.0);
+  EXPECT_EQ(metrics.Summarize("txn.latency.commit_us").count, 1u);
+  EXPECT_EQ(metrics.Summarize("txn.latency.abort_us").count, 0u);
+}
+
+TEST(TimelineTest, IncompleteTimelineSkipsLatencyMetrics) {
+  std::vector<TraceEvent> events = CompleteFlow();
+  events.pop_back();  // Never forgotten (a C2PC-style leak).
+  MetricsRegistry metrics;
+  RecordTimelineMetrics(BuildTimelines(events), &metrics);
+  EXPECT_EQ(metrics.Summarize("txn.messages").count, 1u);
+  EXPECT_EQ(metrics.Summarize("txn.latency.total_us").count, 0u);
+  EXPECT_EQ(metrics.Summarize("txn.latency.commit_us").count, 0u);
+}
+
+}  // namespace
+}  // namespace prany

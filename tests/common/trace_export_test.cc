@@ -1,0 +1,107 @@
+#include "common/trace_export.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+std::vector<TraceEvent> SmallTrace() {
+  std::vector<TraceEvent> events;
+  TraceEvent send;
+  send.time = 100;
+  send.kind = TraceEventKind::kMsgSend;
+  send.site = 0;
+  send.peer = 1;
+  send.txn = 7;
+  send.label = "PREPARE";
+  send.value = 21;
+  events.push_back(send);
+  TraceEvent note;
+  note.time = 200;
+  note.kind = TraceEventKind::kNote;
+  note.detail = "say \"hi\"";
+  events.push_back(note);
+  return events;
+}
+
+TEST(ChromeTraceJsonTest, EmitsTraceEventsArray) {
+  std::string json = ChromeTraceJson(SmallTrace());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // One thread_name metadata row per track: site 0 and the sim track
+  // (kNote has no site).
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"site 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim\""), std::string::npos);
+  // The instant event with its args.
+  EXPECT_NE(json.find("\"name\":\"MSG_SEND PREPARE\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"net\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"txn\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"peer\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":21"), std::string::npos);
+  // The note's detail is escaped.
+  EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmitsPhaseSlicesFromTimelines) {
+  std::map<TxnId, TxnTimeline> timelines;
+  TxnTimeline t;
+  t.txn = 7;
+  t.coordinator = 0;
+  t.mode = ProtocolKind::kPrC;
+  t.begin = 0;
+  t.decided = 1000;
+  t.forgotten = 2500;
+  timelines[7] = t;
+  std::string json = ChromeTraceJson({}, timelines);
+  EXPECT_NE(json.find("\"name\":\"txn 7 voting\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"txn 7 decision\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1500"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"PrC\""), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmptyTraceIsStillValidShape) {
+  std::string json = ChromeTraceJson({});
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("]"), std::string::npos);
+}
+
+TEST(MetricsJsonTest, DumpsCountersAndDistributions) {
+  MetricsRegistry metrics;
+  metrics.Add("net.msg.PREPARE", 2);
+  metrics.Observe("txn.messages", 4.0);
+  metrics.Observe("txn.messages", 8.0);
+  std::string json = MetricsJson(metrics);
+  EXPECT_NE(json.find("\"net.msg.PREPARE\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"txn.messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"min\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 6"), std::string::npos);
+}
+
+TEST(WriteStringToFileTest, RoundTrips) {
+  std::string path = testing::TempDir() + "/trace_export_test.json";
+  ASSERT_TRUE(WriteStringToFile(path, "{\"ok\":true}"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "{\"ok\":true}");
+  EXPECT_FALSE(WriteStringToFile("/nonexistent-dir/x.json", "data"));
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,159 @@
+#include "common/trace_query.h"
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace {
+
+TraceEvent Event(SimTime time, TraceEventKind kind, SiteId site, TxnId txn,
+                 std::string label = "") {
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.site = site;
+  e.txn = txn;
+  e.label = std::move(label);
+  return e;
+}
+
+std::vector<TraceEvent> SampleTrace() {
+  std::vector<TraceEvent> events;
+  events.push_back(Event(0, TraceEventKind::kCoordBegin, 0, 1));
+  events.push_back(Event(0, TraceEventKind::kMsgSend, 0, 1, "PREPARE"));
+  events.push_back(Event(500, TraceEventKind::kMsgDeliver, 1, 1, "PREPARE"));
+  TraceEvent prepared = Event(500, TraceEventKind::kWalAppend, 1, 1, "PREPARED");
+  prepared.forced = true;
+  events.push_back(prepared);
+  events.push_back(Event(500, TraceEventKind::kMsgSend, 1, 1, "VOTE"));
+  events.push_back(Event(1000, TraceEventKind::kMsgDeliver, 0, 1, "VOTE"));
+  TraceEvent decide = Event(1000, TraceEventKind::kCoordDecide, 0, 1);
+  decide.outcome = Outcome::kCommit;
+  events.push_back(decide);
+  events.push_back(Event(1000, TraceEventKind::kMsgSend, 0, 1, "DECISION"));
+  events.push_back(Event(2000, TraceEventKind::kCoordForget, 0, 1));
+  // A second transaction interleaved at the end.
+  events.push_back(Event(3000, TraceEventKind::kCoordBegin, 0, 2));
+  return events;
+}
+
+TEST(TraceMatcherTest, UnsetFieldsAreWildcards) {
+  TraceMatcher any;
+  EXPECT_TRUE(any.Matches(Event(7, TraceEventKind::kMsgDrop, 3, 9)));
+
+  TraceMatcher send = TraceMatcher::Of(TraceEventKind::kMsgSend);
+  EXPECT_TRUE(send.Matches(Event(0, TraceEventKind::kMsgSend, 0, 1)));
+  EXPECT_FALSE(send.Matches(Event(0, TraceEventKind::kMsgDeliver, 0, 1)));
+}
+
+TEST(TraceMatcherTest, AllSetFieldsMustMatch) {
+  TraceMatcher m = TraceMatcher::Of(TraceEventKind::kMsgSend)
+                       .WithSite(1)
+                       .WithTxn(1)
+                       .WithLabel("VOTE");
+  EXPECT_TRUE(m.Matches(Event(500, TraceEventKind::kMsgSend, 1, 1, "VOTE")));
+  EXPECT_FALSE(m.Matches(Event(500, TraceEventKind::kMsgSend, 2, 1, "VOTE")));
+  EXPECT_FALSE(
+      m.Matches(Event(500, TraceEventKind::kMsgSend, 1, 1, "PREPARE")));
+}
+
+TEST(TraceMatcherTest, MatchesOutcomeAndForcedFlags) {
+  TraceEvent forced_append =
+      Event(1, TraceEventKind::kWalAppend, 0, 1, "PREPARED");
+  forced_append.forced = true;
+  EXPECT_TRUE(TraceMatcher::Of(TraceEventKind::kWalAppend)
+                  .WithForced(true)
+                  .Matches(forced_append));
+  EXPECT_FALSE(TraceMatcher::Of(TraceEventKind::kWalAppend)
+                   .WithForced(false)
+                   .Matches(forced_append));
+
+  TraceEvent decide = Event(1, TraceEventKind::kCoordDecide, 0, 1);
+  decide.outcome = Outcome::kAbort;
+  EXPECT_TRUE(TraceMatcher::Of(TraceEventKind::kCoordDecide)
+                  .WithOutcome(Outcome::kAbort)
+                  .Matches(decide));
+  EXPECT_FALSE(TraceMatcher::Of(TraceEventKind::kCoordDecide)
+                   .WithOutcome(Outcome::kCommit)
+                   .Matches(decide));
+}
+
+TEST(ExpectSequenceTest, AcceptsSubsequenceWithGaps) {
+  SequenceCheck check = ExpectSequence(
+      SampleTrace(), {
+                         TraceMatcher::Of(TraceEventKind::kCoordBegin),
+                         TraceMatcher::Of(TraceEventKind::kMsgSend)
+                             .WithLabel("VOTE"),
+                         TraceMatcher::Of(TraceEventKind::kCoordDecide)
+                             .WithOutcome(Outcome::kCommit),
+                         TraceMatcher::Of(TraceEventKind::kCoordForget),
+                     });
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.matched, 4u);
+}
+
+TEST(ExpectSequenceTest, RejectsOutOfOrderEvents) {
+  SequenceCheck check = ExpectSequence(
+      SampleTrace(),
+      {
+          TraceMatcher::Of(TraceEventKind::kCoordForget).WithTxn(1),
+          TraceMatcher::Of(TraceEventKind::kCoordDecide).WithTxn(1),
+      });
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.matched, 1u);
+  EXPECT_NE(check.error.find("matcher #2"), std::string::npos) << check.error;
+}
+
+TEST(ExpectSequenceTest, ReportsFirstUnmatchedMatcher) {
+  SequenceCheck check = ExpectSequence(
+      SampleTrace(), {TraceMatcher::Of(TraceEventKind::kSiteCrash)});
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.matched, 0u);
+  EXPECT_NE(check.error.find("SITE_CRASH"), std::string::npos) << check.error;
+}
+
+TEST(ExpectSequenceTest, EmptySequenceIsOk) {
+  SequenceCheck check = ExpectSequence(SampleTrace(), {});
+  EXPECT_TRUE(check.ok);
+}
+
+TEST(TraceQueryTest, FiltersCompose) {
+  TraceQuery q(SampleTrace());
+  EXPECT_EQ(q.Count(), 10u);
+  EXPECT_EQ(q.Txn(1).Count(), 9u);
+  EXPECT_EQ(q.Txn(2).Count(), 1u);
+  EXPECT_EQ(q.Kind(TraceEventKind::kMsgSend).Count(), 3u);
+  EXPECT_EQ(q.Kind(TraceEventKind::kMsgSend).Label("PREPARE").Count(), 1u);
+  EXPECT_EQ(q.Site(1).Kind(TraceEventKind::kWalAppend).ForcedOnly().Count(),
+            1u);
+  EXPECT_EQ(q.Between(500, 1000).Count(), 6u);  // Inclusive bounds.
+  EXPECT_EQ(q.OutcomeIs(Outcome::kCommit).Count(), 1u);
+  EXPECT_EQ(q.Where([](const TraceEvent& e) { return e.time >= 2000; })
+                .Count(),
+            2u);
+}
+
+TEST(TraceQueryTest, FirstAndLast) {
+  TraceQuery q(SampleTrace());
+  ASSERT_NE(q.First(), nullptr);
+  EXPECT_EQ(q.First()->kind, TraceEventKind::kCoordBegin);
+  ASSERT_NE(q.Last(), nullptr);
+  EXPECT_EQ(q.Last()->txn, 2u);
+  EXPECT_EQ(q.Kind(TraceEventKind::kSiteCrash).First(), nullptr);
+  EXPECT_TRUE(q.Kind(TraceEventKind::kSiteCrash).Empty());
+}
+
+TEST(TraceQueryTest, ExpectRunsOverFilteredEvents) {
+  TraceQuery q(SampleTrace());
+  // Within txn 1 only, begin -> decide -> forget holds.
+  SequenceCheck check =
+      q.Txn(1).Expect({TraceMatcher::Of(TraceEventKind::kCoordBegin),
+                       TraceMatcher::Of(TraceEventKind::kCoordDecide),
+                       TraceMatcher::Of(TraceEventKind::kCoordForget)});
+  EXPECT_TRUE(check.ok) << check.error;
+  // Filtered down to txn 2, the decide matcher cannot be satisfied.
+  EXPECT_FALSE(
+      q.Txn(2).Expect({TraceMatcher::Of(TraceEventKind::kCoordDecide)}).ok);
+}
+
+}  // namespace
+}  // namespace prany

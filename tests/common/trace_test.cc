@@ -5,10 +5,22 @@
 namespace prany {
 namespace {
 
+TraceEvent MakeSend(SimTime time, TxnId txn) {
+  TraceEvent e;
+  e.time = time;
+  e.kind = TraceEventKind::kMsgSend;
+  e.site = 0;
+  e.peer = 1;
+  e.txn = txn;
+  e.label = "PREPARE";
+  return e;
+}
+
 TEST(TraceTest, DisabledByDefault) {
   TraceLog trace;
   EXPECT_FALSE(trace.enabled());
   trace.Emit(10, "dropped");
+  trace.Emit(MakeSend(20, 7));
   EXPECT_TRUE(trace.events().empty());
 }
 
@@ -19,8 +31,32 @@ TEST(TraceTest, EnabledRetainsEventsInOrder) {
   trace.Emit(20, "second");
   ASSERT_EQ(trace.events().size(), 2u);
   EXPECT_EQ(trace.events()[0].time, 10u);
-  EXPECT_EQ(trace.events()[0].text, "first");
-  EXPECT_EQ(trace.events()[1].text, "second");
+  EXPECT_EQ(trace.events()[0].detail, "first");
+  EXPECT_EQ(trace.events()[1].detail, "second");
+}
+
+TEST(TraceTest, LegacyNotesAreKindNote) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(5, "a note");
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].kind, TraceEventKind::kNote);
+  EXPECT_EQ(trace.events()[0].site, kInvalidSite);
+  EXPECT_EQ(trace.events()[0].txn, kInvalidTxn);
+}
+
+TEST(TraceTest, StructuredEventRoundTrips) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(MakeSend(42, 9));
+  ASSERT_EQ(trace.events().size(), 1u);
+  const TraceEvent& e = trace.events()[0];
+  EXPECT_EQ(e.kind, TraceEventKind::kMsgSend);
+  EXPECT_EQ(e.time, 42u);
+  EXPECT_EQ(e.site, 0u);
+  EXPECT_EQ(e.peer, 1u);
+  EXPECT_EQ(e.txn, 9u);
+  EXPECT_EQ(e.label, "PREPARE");
 }
 
 TEST(TraceTest, DisableStopsRecording) {
@@ -45,6 +81,47 @@ TEST(TraceTest, ToStringFormatsLines) {
   trace.Enable();
   trace.Emit(1500, "site 2 PREPARE");
   EXPECT_EQ(trace.ToString(), "t=1500us site 2 PREPARE\n");
+}
+
+TEST(TraceTest, EventKindNamesAndCategories) {
+  EXPECT_EQ(ToString(TraceEventKind::kMsgSend), "MSG_SEND");
+  EXPECT_EQ(ToString(TraceEventKind::kWalAppend), "WAL_APPEND");
+  EXPECT_EQ(ToString(TraceEventKind::kCoordDecide), "COORD_DECIDE");
+  EXPECT_STREQ(TraceCategory(TraceEventKind::kMsgDrop), "net");
+  EXPECT_STREQ(TraceCategory(TraceEventKind::kWalForce), "wal");
+  EXPECT_STREQ(TraceCategory(TraceEventKind::kPartVote), "part");
+  EXPECT_STREQ(TraceCategory(TraceEventKind::kSiteCrash), "site");
+  EXPECT_STREQ(TraceCategory(TraceEventKind::kNote), "note");
+}
+
+// Regression test: Enable(/*echo_to_stderr=*/false) must not echo, and
+// Enable(true) must echo each event as it is emitted.
+TEST(TraceTest, EchoFlagControlsStderrOutput) {
+  {
+    TraceLog trace;
+    trace.Enable(/*echo_to_stderr=*/false);
+    testing::internal::CaptureStderr();
+    trace.Emit(10, "silent");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  }
+  {
+    TraceLog trace;
+    trace.Enable(/*echo_to_stderr=*/true);
+    testing::internal::CaptureStderr();
+    trace.Emit(10, "loud");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("loud"), std::string::npos);
+    EXPECT_NE(err.find("t=10us"), std::string::npos);
+  }
+  {
+    // Re-enabling without echo after an echoing phase must stop the echo.
+    TraceLog trace;
+    trace.Enable(/*echo_to_stderr=*/true);
+    trace.Enable(/*echo_to_stderr=*/false);
+    testing::internal::CaptureStderr();
+    trace.Emit(10, "silent again");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/trace_query.h"
 #include "harness/scenario.h"
 
 namespace prany {
@@ -46,6 +47,139 @@ TEST_P(HomogeneousFlowTest, MatchesFigure) {
   EXPECT_EQ(r.part_forced, c.part_forced);
 }
 
+// The same figures, re-checked over the structured trace: the aggregated
+// per-transaction timeline must count exactly what the message columns
+// predict, and the txn.* distributions must carry the same totals.
+TEST_P(HomogeneousFlowTest, TimelineAggregatesMatchFigure) {
+  const FlowCase& c = GetParam();
+  std::vector<ProtocolKind> participants(c.n, c.coordinator);
+  FlowResult r = RunFlow(c.coordinator, ProtocolKind::kPrN, participants,
+                         c.outcome);
+  ASSERT_TRUE(r.correct);
+
+  const TxnTimeline& t = r.timeline;
+  EXPECT_TRUE(t.Complete());
+  ASSERT_TRUE(t.mode.has_value());
+  EXPECT_EQ(*t.mode, c.coordinator);
+  ASSERT_TRUE(t.outcome.has_value());
+  EXPECT_EQ(*t.outcome, c.outcome);
+
+  auto sent = [&t](const char* type) -> uint64_t {
+    auto it = t.messages_by_type.find(type);
+    return it == t.messages_by_type.end() ? 0 : it->second;
+  };
+  const uint64_t messages =
+      static_cast<uint64_t>(c.prepares + c.votes + c.decisions + c.acks);
+  EXPECT_EQ(t.messages, messages);
+  EXPECT_EQ(sent("PREPARE"), static_cast<uint64_t>(c.prepares));
+  EXPECT_EQ(sent("VOTE"), static_cast<uint64_t>(c.votes));
+  EXPECT_EQ(sent("DECISION"), static_cast<uint64_t>(c.decisions));
+  EXPECT_EQ(sent("ACK"), static_cast<uint64_t>(c.acks));
+  EXPECT_EQ(t.log_appends, c.coord_appends + c.part_appends);
+  EXPECT_EQ(t.forced_writes, c.coord_forced + c.part_forced);
+  EXPECT_EQ(t.messages_lost, 0u);
+  EXPECT_EQ(t.inquiries, 0u);
+
+  // The forced writes split across sites exactly as the figure draws them.
+  TraceQuery q(r.trace);
+  EXPECT_EQ(q.Site(0).Kind(TraceEventKind::kWalAppend).ForcedOnly().Count(),
+            c.coord_forced);
+  EXPECT_EQ(q.Kind(TraceEventKind::kWalAppend).ForcedOnly().Count() -
+                q.Site(0).Kind(TraceEventKind::kWalAppend).ForcedOnly().Count(),
+            c.part_forced);
+
+  // The metric distributions fed from the timeline repeat the totals.
+  ASSERT_EQ(r.txn_metrics.count("txn.messages"), 1u);
+  EXPECT_DOUBLE_EQ(r.txn_metrics.at("txn.messages").mean,
+                   static_cast<double>(messages));
+  ASSERT_EQ(r.txn_metrics.count("txn.forced_writes"), 1u);
+  EXPECT_DOUBLE_EQ(r.txn_metrics.at("txn.forced_writes").mean,
+                   static_cast<double>(c.coord_forced + c.part_forced));
+  EXPECT_DOUBLE_EQ(r.txn_metrics.at("txn.latency.total_us").mean,
+                   static_cast<double>(t.TotalLatency()));
+}
+
+// Arrow-for-arrow: the figure's arrows must appear in the trace in order.
+// Commit flows decide only after the last vote arrives; abort flows are
+// forced while everyone is prepared, so the decision may overtake the
+// in-flight votes.
+TEST_P(HomogeneousFlowTest, FigureArrowsAppearInOrder) {
+  const FlowCase& c = GetParam();
+  std::vector<ProtocolKind> participants(c.n, c.coordinator);
+  FlowResult r = RunFlow(c.coordinator, ProtocolKind::kPrN, participants,
+                         c.outcome);
+  ASSERT_TRUE(r.correct);
+
+  std::vector<TraceMatcher> arrows;
+  arrows.push_back(TraceMatcher::Of(TraceEventKind::kCoordBegin).WithSite(0));
+  arrows.push_back(TraceMatcher::Of(TraceEventKind::kMsgSend)
+                       .WithSite(0)
+                       .WithPeer(1)
+                       .WithLabel("PREPARE"));
+  arrows.push_back(TraceMatcher::Of(TraceEventKind::kMsgDeliver)
+                       .WithSite(1)
+                       .WithLabel("PREPARE"));
+  arrows.push_back(TraceMatcher::Of(TraceEventKind::kWalAppend)
+                       .WithSite(1)
+                       .WithLabel("PREPARED")
+                       .WithForced(true));
+  arrows.push_back(TraceMatcher::Of(TraceEventKind::kMsgSend)
+                       .WithSite(1)
+                       .WithLabel("VOTE"));
+  if (c.outcome == Outcome::kCommit) {
+    arrows.push_back(TraceMatcher::Of(TraceEventKind::kMsgDeliver)
+                         .WithSite(0)
+                         .WithLabel("VOTE"));
+  }
+  arrows.push_back(TraceMatcher::Of(TraceEventKind::kCoordDecide)
+                       .WithSite(0)
+                       .WithOutcome(c.outcome));
+  arrows.push_back(TraceMatcher::Of(TraceEventKind::kMsgSend)
+                       .WithSite(0)
+                       .WithLabel("DECISION"));
+  if (c.acks > 0) {
+    // Acked flows: the coordinator can forget only after the last ack.
+    arrows.push_back(TraceMatcher::Of(TraceEventKind::kMsgDeliver)
+                         .WithSite(1)
+                         .WithLabel("DECISION"));
+    arrows.push_back(TraceMatcher::Of(TraceEventKind::kPartEnforce)
+                         .WithSite(1)
+                         .WithOutcome(c.outcome));
+    arrows.push_back(
+        TraceMatcher::Of(TraceEventKind::kMsgSend).WithSite(1).WithLabel(
+            "ACK"));
+    arrows.push_back(TraceMatcher::Of(TraceEventKind::kMsgDeliver)
+                         .WithSite(0)
+                         .WithLabel("ACK"));
+  }
+  arrows.push_back(TraceMatcher::Of(TraceEventKind::kCoordForget).WithSite(0));
+
+  SequenceCheck check = ExpectSequence(r.trace, arrows);
+  EXPECT_TRUE(check.ok) << check.error;
+
+  // Ack-free flows forget the instant the decisions are out, so the
+  // participant's enforcement lands after the coordinator's forget —
+  // check that leg of the figure separately.
+  SequenceCheck enforce = ExpectSequence(
+      r.trace, {TraceMatcher::Of(TraceEventKind::kMsgDeliver)
+                    .WithSite(1)
+                    .WithLabel("DECISION"),
+                TraceMatcher::Of(TraceEventKind::kPartEnforce)
+                    .WithSite(1)
+                    .WithOutcome(c.outcome)});
+  EXPECT_TRUE(enforce.ok) << enforce.error;
+
+  TraceQuery q(r.trace);
+  if (c.acks == 0) {
+    // PrA aborts and PrC commits draw no acknowledgement arrows at all.
+    EXPECT_TRUE(q.Kind(TraceEventKind::kMsgSend).Label("ACK").Empty());
+  }
+  // Failure-free flows never lose, resend or inquire.
+  EXPECT_TRUE(q.Kind(TraceEventKind::kMsgDrop).Empty());
+  EXPECT_TRUE(q.Kind(TraceEventKind::kCoordResend).Empty());
+  EXPECT_TRUE(q.Kind(TraceEventKind::kPartInquiry).Empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Figures2To4, HomogeneousFlowTest,
     ::testing::Values(
@@ -73,6 +207,75 @@ INSTANTIATE_TEST_SUITE_P(
         FlowCase{ProtocolKind::kPrC, Outcome::kCommit, 4,
                  4, 4, 4, 0, 2, 2, 8, 4}),
     CaseName);
+
+// The E1-E3 cost table from the paper's evaluation, pinned literally for
+// the six homogeneous two-participant flows: total messages and total
+// forced writes per transaction, as recorded by the timeline layer.
+TEST(TimelineTableTest, MatchesE1ToE3Totals) {
+  struct Row {
+    ProtocolKind protocol;
+    Outcome outcome;
+    uint64_t messages;
+    uint64_t forced_writes;
+  };
+  const Row kTable[] = {
+      {ProtocolKind::kPrN, Outcome::kCommit, 8, 5},
+      {ProtocolKind::kPrN, Outcome::kAbort, 8, 5},
+      {ProtocolKind::kPrA, Outcome::kCommit, 8, 5},
+      {ProtocolKind::kPrA, Outcome::kAbort, 6, 2},
+      {ProtocolKind::kPrC, Outcome::kCommit, 6, 4},
+      {ProtocolKind::kPrC, Outcome::kAbort, 8, 5},
+  };
+  for (const Row& row : kTable) {
+    SCOPED_TRACE(ToString(row.protocol) + "/" + ToString(row.outcome));
+    FlowResult r = RunFlow(row.protocol, ProtocolKind::kPrN,
+                           {row.protocol, row.protocol}, row.outcome);
+    ASSERT_TRUE(r.correct);
+    EXPECT_EQ(r.timeline.messages, row.messages);
+    EXPECT_EQ(r.timeline.forced_writes, row.forced_writes);
+    EXPECT_DOUBLE_EQ(r.txn_metrics.at("txn.messages").mean,
+                     static_cast<double>(row.messages));
+    EXPECT_DOUBLE_EQ(r.txn_metrics.at("txn.forced_writes").mean,
+                     static_cast<double>(row.forced_writes));
+  }
+}
+
+// The log-record signatures that distinguish the presumptions, read off
+// the structured trace instead of the WAL counters.
+TEST(TimelineTableTest, CoordinatorLogSignatures) {
+  auto coord_wal = [](ProtocolKind p, Outcome o) {
+    FlowResult r = RunFlow(p, ProtocolKind::kPrN, {p, p}, o);
+    EXPECT_TRUE(r.correct);
+    return TraceQuery(r.trace).Site(0).Kind(TraceEventKind::kWalAppend);
+  };
+  // PrN: forced decision record, lazy END once the acks are in.
+  TraceQuery prn = coord_wal(ProtocolKind::kPrN, Outcome::kCommit);
+  EXPECT_EQ(prn.Label("COMMIT").ForcedOnly().Count(), 1u);
+  EXPECT_EQ(prn.Label("END").Count(), 1u);
+  EXPECT_EQ(prn.Label("END").ForcedOnly().Count(), 0u);
+  // PrA aborts: the coordinator writes nothing at all.
+  EXPECT_TRUE(coord_wal(ProtocolKind::kPrA, Outcome::kAbort).Empty());
+  // PrC: the initiation record is forced before any PREPARE goes out.
+  FlowResult prc = RunFlow(ProtocolKind::kPrC, ProtocolKind::kPrN,
+                           {ProtocolKind::kPrC, ProtocolKind::kPrC},
+                           Outcome::kCommit);
+  ASSERT_TRUE(prc.correct);
+  SequenceCheck init_first = ExpectSequence(
+      prc.trace, {TraceMatcher::Of(TraceEventKind::kWalAppend)
+                      .WithSite(0)
+                      .WithLabel("INITIATION")
+                      .WithForced(true),
+                  TraceMatcher::Of(TraceEventKind::kMsgSend)
+                      .WithSite(0)
+                      .WithLabel("PREPARE")});
+  EXPECT_TRUE(init_first.ok) << init_first.error;
+  // PrC commits: no END record, the forgotten state is the presumption.
+  EXPECT_TRUE(TraceQuery(prc.trace)
+                  .Site(0)
+                  .Kind(TraceEventKind::kWalAppend)
+                  .Label("END")
+                  .Empty());
+}
 
 TEST(FlowCostShapeTest, PrCIsCheapestOnCommitsPrAOnAborts) {
   // The classic asymmetry the paper builds on, measured end to end.

@@ -147,7 +147,7 @@ TEST(SimulatorTest, TraceRecordsWhenEnabled) {
   sim.Run();
   ASSERT_EQ(sim.trace().events().size(), 1u);
   EXPECT_EQ(sim.trace().events()[0].time, 10u);
-  EXPECT_EQ(sim.trace().events()[0].text, "hello");
+  EXPECT_EQ(sim.trace().events()[0].detail, "hello");
 }
 
 TEST(SimulatorTest, TraceDisabledByDefault) {

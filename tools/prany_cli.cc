@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace_export.h"
 #include "harness/run_result.h"
 #include "harness/workload.h"
 #include "protocol/crash_points.h"
@@ -40,6 +41,8 @@ struct Options {
   uint32_t txns = 1;
   bool trace = false;
   bool show_history = false;
+  std::string trace_json_path;
+  std::string metrics_json_path;
 };
 
 void Usage(const char* argv0) {
@@ -57,6 +60,9 @@ void Usage(const char* argv0) {
       "  --loss=P                      message drop probability\n"
       "  --seed=N                      deterministic seed\n"
       "  --trace                       print the protocol trace\n"
+      "  --trace-json=FILE             write Chrome trace-event JSON\n"
+      "                                (load in Perfetto / chrome://tracing)\n"
+      "  --metrics-json=FILE           write counters + distributions JSON\n"
       "  --history                     print the ACTA event history\n"
       "crash points:\n",
       argv0);
@@ -122,23 +128,48 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else if (auto v = value_of("--coordinator")) {
-      if (!ParseProtocolKind(*v, &opts->coordinator)) return false;
+      if (!ParseProtocolKind(*v, &opts->coordinator)) {
+        std::fprintf(stderr, "unknown protocol: %s\n", v->c_str());
+        return false;
+      }
     } else if (auto v = value_of("--native")) {
       if (!ParseProtocolKind(*v, &opts->native) ||
           !IsBaseProtocol(opts->native)) {
+        std::fprintf(stderr,
+                     "unknown protocol: %s (--native takes PrN, PrA or "
+                     "PrC)\n",
+                     v->c_str());
         return false;
       }
     } else if (auto v = value_of("--participants")) {
-      if (!ParseParticipants(*v, &opts->participants)) return false;
+      if (!ParseParticipants(*v, &opts->participants)) {
+        std::fprintf(stderr,
+                     "unknown protocol in participant list: %s "
+                     "(comma-separated PrN, PrA or PrC)\n",
+                     v->c_str());
+        return false;
+      }
     } else if (auto v = value_of("--outcome")) {
-      if (!ParseOutcome(*v, &opts->outcome)) return false;
+      if (!ParseOutcome(*v, &opts->outcome)) {
+        std::fprintf(stderr,
+                     "unknown outcome: %s (expected commit or abort)\n",
+                     v->c_str());
+        return false;
+      }
     } else if (auto v = value_of("--crash-site")) {
       opts->crash_site = static_cast<SiteId>(std::strtoul(
           v->c_str(), nullptr, 10));
     } else if (auto v = value_of("--crash-point")) {
       CrashPoint point;
-      if (!ParseCrashPoint(*v, &point)) return false;
+      if (!ParseCrashPoint(*v, &point)) {
+        std::fprintf(stderr, "unknown crash point: %s\n", v->c_str());
+        return false;
+      }
       opts->crash_point = point;
+    } else if (auto v = value_of("--trace-json")) {
+      opts->trace_json_path = *v;
+    } else if (auto v = value_of("--metrics-json")) {
+      opts->metrics_json_path = *v;
     } else if (auto v = value_of("--downtime")) {
       opts->downtime = std::strtoull(v->c_str(), nullptr, 10);
     } else if (auto v = value_of("--seed")) {
@@ -162,7 +193,12 @@ int RunScenario(const Options& opts) {
   cfg.drop_probability = opts.loss;
   cfg.max_events = 50'000'000;
   System system(cfg);
-  if (opts.trace) system.sim().trace().Enable();
+  // --trace-json / --metrics-json need the structured events (and the
+  // timeline metrics derived from them) even without --trace.
+  if (opts.trace || !opts.trace_json_path.empty() ||
+      !opts.metrics_json_path.empty()) {
+    system.sim().trace().Enable();
+  }
 
   system.AddSite(ProtocolKind::kPrN, opts.coordinator, opts.native);
   std::vector<SiteId> participant_sites;
@@ -209,6 +245,27 @@ int RunScenario(const Options& opts) {
   if (opts.show_history) {
     std::printf("=== history ===\n%s\n",
                 system.history().ToString().c_str());
+  }
+  if (!opts.trace_json_path.empty()) {
+    std::string json =
+        ChromeTraceJson(system.sim().trace().events(), system.timelines());
+    if (!WriteStringToFile(opts.trace_json_path, json)) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   opts.trace_json_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n",
+                opts.trace_json_path.c_str(),
+                system.sim().trace().events().size());
+  }
+  if (!opts.metrics_json_path.empty()) {
+    if (!WriteStringToFile(opts.metrics_json_path,
+                           MetricsJson(system.metrics()))) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   opts.metrics_json_path.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", opts.metrics_json_path.c_str());
   }
   RunSummary summary = Summarize(system);
   std::printf("%s", summary.ToString().c_str());
