@@ -17,6 +17,7 @@ void FailureInjector::SetRandomCrashes(double p, SimDuration min_downtime,
 std::optional<SimDuration> FailureInjector::Probe(SiteId site,
                                                   CrashPoint point,
                                                   TxnId txn) {
+  ++probe_counts_[point];
   for (PointRule& rule : rules_) {
     if (rule.fired || rule.site != site || rule.point != point) continue;
     if (rule.txn != kInvalidTxn && rule.txn != txn) continue;

@@ -14,6 +14,7 @@
 #ifndef PRANY_HARNESS_FAILURE_INJECTOR_H_
 #define PRANY_HARNESS_FAILURE_INJECTOR_H_
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -48,6 +49,13 @@ class FailureInjector {
 
   uint64_t crashes_injected() const { return crashes_injected_; }
 
+  /// How often each crash point was probed, whether or not a crash fired.
+  /// Reachability coverage for crash_points.h: a point absent from this map
+  /// after a run was never exercised.
+  const std::map<CrashPoint, uint64_t>& probe_counts() const {
+    return probe_counts_;
+  }
+
  private:
   struct PointRule {
     SiteId site;
@@ -66,6 +74,7 @@ class FailureInjector {
   uint64_t random_budget_ = 0;
   uint64_t random_crashes_ = 0;
   uint64_t crashes_injected_ = 0;
+  std::map<CrashPoint, uint64_t> probe_counts_;
 };
 
 }  // namespace prany

@@ -1,0 +1,194 @@
+#include "history/wal_discipline_checker.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/string_util.h"
+#include "protocol/protocol_traits.h"
+
+namespace prany {
+
+namespace {
+
+/// Per-(site, txn) digest of the trace positions the rules compare.
+struct SiteTxnFacts {
+  // Appends (trace index of the first occurrence; forced flag of that
+  // first occurrence).
+  std::optional<size_t> initiation_append;
+  bool initiation_forced = false;
+  std::optional<size_t> forced_prepared_append;
+  std::optional<size_t> commit_append;    // first, any force flag
+  bool commit_append_forced = false;
+  std::optional<size_t> forced_commit_append;
+  std::optional<size_t> abort_append;
+  bool abort_append_forced = false;
+  std::optional<size_t> forced_abort_append;
+
+  // Sends.
+  std::optional<size_t> first_prepare_send;
+  std::optional<size_t> first_yes_vote_send;
+  std::optional<size_t> first_commit_decision_send;
+  std::optional<size_t> first_abort_decision_send;
+
+  // Enforcements (every occurrence, in trace order).
+  std::vector<std::pair<size_t, Outcome>> enforces;
+};
+
+const char* OutcomeName(Outcome o) {
+  return o == Outcome::kCommit ? "commit" : "abort";
+}
+
+}  // namespace
+
+WalDisciplineReport WalDisciplineChecker::Check(
+    const std::vector<TraceEvent>& trace,
+    const std::map<SiteId, ProtocolKind>& participant_protocols) {
+  WalDisciplineReport report;
+  report.events_checked = trace.size();
+
+  std::map<std::pair<SiteId, TxnId>, SiteTxnFacts> facts;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace[i];
+    if (e.site == kInvalidSite || e.txn == kInvalidTxn) continue;
+    SiteTxnFacts& f = facts[{e.site, e.txn}];
+    switch (e.kind) {
+      case TraceEventKind::kWalAppend:
+        if (e.label == "INITIATION" && !f.initiation_append) {
+          f.initiation_append = i;
+          f.initiation_forced = e.forced;
+        } else if (e.label == "PREPARED" && e.forced &&
+                   !f.forced_prepared_append) {
+          f.forced_prepared_append = i;
+        } else if (e.label == "COMMIT") {
+          if (!f.commit_append) {
+            f.commit_append = i;
+            f.commit_append_forced = e.forced;
+          }
+          if (e.forced && !f.forced_commit_append) f.forced_commit_append = i;
+        } else if (e.label == "ABORT") {
+          if (!f.abort_append) {
+            f.abort_append = i;
+            f.abort_append_forced = e.forced;
+          }
+          if (e.forced && !f.forced_abort_append) f.forced_abort_append = i;
+        }
+        break;
+      case TraceEventKind::kMsgSend:
+        if (e.label == "PREPARE" && !f.first_prepare_send) {
+          f.first_prepare_send = i;
+        } else if (e.label == "VOTE" && e.detail == "yes" &&
+                   !f.first_yes_vote_send) {
+          f.first_yes_vote_send = i;
+        } else if (e.label == "DECISION" && e.outcome.has_value()) {
+          auto& slot = *e.outcome == Outcome::kCommit
+                           ? f.first_commit_decision_send
+                           : f.first_abort_decision_send;
+          if (!slot) slot = i;
+        }
+        break;
+      case TraceEventKind::kPartEnforce:
+        if (e.outcome.has_value()) f.enforces.emplace_back(i, *e.outcome);
+        break;
+      default:
+        break;
+    }
+  }
+
+  auto violate = [&report](SiteId site, TxnId txn, const char* rule,
+                           std::string description) {
+    report.violations.push_back(
+        WalViolation{site, txn, rule, std::move(description)});
+  };
+
+  for (const auto& [key, f] : facts) {
+    const auto [site, txn] = key;
+
+    // R1: decision record (when written) is forced and precedes the first
+    // matching decision send from the same site.
+    for (Outcome o : {Outcome::kCommit, Outcome::kAbort}) {
+      const bool is_commit = o == Outcome::kCommit;
+      const auto& append = is_commit ? f.commit_append : f.abort_append;
+      const bool append_forced =
+          is_commit ? f.commit_append_forced : f.abort_append_forced;
+      const auto& send = is_commit ? f.first_commit_decision_send
+                                   : f.first_abort_decision_send;
+      if (!append || !send) continue;
+      if (!append_forced) {
+        violate(site, txn, "force-before-send",
+                StrFormat("site %u sent DECISION(%s) for txn %llu but its "
+                          "first %s record was appended without force",
+                          site, OutcomeName(o),
+                          static_cast<unsigned long long>(txn),
+                          OutcomeName(o)));
+      } else if (*append > *send) {
+        violate(site, txn, "force-before-send",
+                StrFormat("site %u sent DECISION(%s) for txn %llu before "
+                          "forcing the %s record",
+                          site, OutcomeName(o),
+                          static_cast<unsigned long long>(txn),
+                          OutcomeName(o)));
+      }
+    }
+
+    // R2: yes vote implies an earlier forced PREPARED record.
+    if (f.first_yes_vote_send &&
+        (!f.forced_prepared_append ||
+         *f.forced_prepared_append > *f.first_yes_vote_send)) {
+      violate(site, txn, "prepared-before-vote",
+              StrFormat("site %u voted yes for txn %llu without a forced "
+                        "PREPARED record preceding the vote",
+                        site, static_cast<unsigned long long>(txn)));
+    }
+
+    // R3: a prepared participant enforcing a force-logged outcome must have
+    // the forced decision record first.
+    auto proto_it = participant_protocols.find(site);
+    if (proto_it != participant_protocols.end() && f.forced_prepared_append) {
+      for (const auto& [idx, outcome] : f.enforces) {
+        if (*f.forced_prepared_append > idx) continue;  // not prepared yet
+        if (!ParticipantForcesDecision(proto_it->second, outcome)) continue;
+        const auto& forced = outcome == Outcome::kCommit
+                                 ? f.forced_commit_append
+                                 : f.forced_abort_append;
+        if (!forced || *forced > idx) {
+          violate(site, txn, "log-before-enforce",
+                  StrFormat("site %u (%s) enforced %s for txn %llu while "
+                            "prepared without a prior forced %s record",
+                            site, ToString(proto_it->second).c_str(),
+                            OutcomeName(outcome),
+                            static_cast<unsigned long long>(txn),
+                            OutcomeName(outcome)));
+        }
+      }
+    }
+
+    // R4: an INITIATION record is forced and precedes the first PREPARE.
+    if (f.initiation_append) {
+      if (!f.initiation_forced) {
+        violate(site, txn, "initiation-before-prepare",
+                StrFormat("site %u appended INITIATION for txn %llu "
+                          "without force",
+                          site, static_cast<unsigned long long>(txn)));
+      } else if (f.first_prepare_send &&
+                 *f.initiation_append > *f.first_prepare_send) {
+        violate(site, txn, "initiation-before-prepare",
+                StrFormat("site %u sent PREPARE for txn %llu before "
+                          "forcing the INITIATION record",
+                          site, static_cast<unsigned long long>(txn)));
+      }
+    }
+  }
+  return report;
+}
+
+std::string WalDisciplineReport::ToString() const {
+  std::string out = StrFormat(
+      "wal-discipline: %zu violation(s) over %llu trace events\n",
+      violations.size(), static_cast<unsigned long long>(events_checked));
+  for (const WalViolation& v : violations) {
+    out += StrFormat("  [%s] %s\n", v.rule.c_str(), v.description.c_str());
+  }
+  return out;
+}
+
+}  // namespace prany

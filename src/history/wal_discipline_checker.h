@@ -1,0 +1,73 @@
+// Write-ahead-logging discipline checker over a structured trace.
+//
+// The paper's protocols are defined as much by *when* records hit stable
+// storage as by which messages flow: a decision message must never outrun
+// its forced decision record, a yes vote must never outrun the forced
+// PREPARED record, and an enforcement that the traits table says is
+// force-logged must actually have been force-logged first. These are the
+// invariants whose violation would re-open exactly the windows the
+// presumptions paper closes, so the model checker runs this oracle over
+// every explored execution.
+//
+// Rules (all conditional on both events appearing in the trace, so
+// protocols that legitimately skip a record — e.g. a PrA coordinator's
+// unlogged abort — are not flagged):
+//   R1 force-before-send (coordinator): when a site both appends a
+//      COMMIT/ABORT record and sends DECISION(outcome) for a transaction,
+//      the first such append must be forced and precede the first send.
+//   R2 prepared-before-vote (participant): the first VOTE(yes) a site
+//      sends for a transaction must be preceded by its forced PREPARED
+//      append.
+//   R3 log-before-enforce (participant): when a prepared participant
+//      (forced PREPARED append precedes the enforcement) enforces an
+//      outcome its protocol force-logs per ParticipantForcesDecision, a
+//      forced decision record must precede the enforcement. Vote-no
+//      unilateral aborts and footnote-5 no-memory acknowledgements write
+//      no records and are exempt by the PREPARED precondition.
+//   R4 initiation-before-prepare (coordinator): an INITIATION append must
+//      be forced and precede the first PREPARE sent for its transaction.
+// INQUIRY_REPLY sends are deliberately exempt: answering by presumption
+// without any log access is the defining feature of presumed protocols.
+
+#ifndef PRANY_HISTORY_WAL_DISCIPLINE_CHECKER_H_
+#define PRANY_HISTORY_WAL_DISCIPLINE_CHECKER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace prany {
+
+/// One detected WAL-discipline violation.
+struct WalViolation {
+  SiteId site = kInvalidSite;
+  TxnId txn = kInvalidTxn;
+  std::string rule;  ///< "force-before-send", "prepared-before-vote", ...
+  std::string description;
+};
+
+/// Result of a WAL-discipline check.
+struct WalDisciplineReport {
+  std::vector<WalViolation> violations;
+  uint64_t events_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+/// Checks logging discipline over a recorded trace.
+class WalDisciplineChecker {
+ public:
+  /// `participant_protocols` maps participant sites to their base protocol
+  /// (needed for R3's force-logging obligation); sites absent from the map
+  /// are exempt from R3.
+  static WalDisciplineReport Check(
+      const std::vector<TraceEvent>& trace,
+      const std::map<SiteId, ProtocolKind>& participant_protocols);
+};
+
+}  // namespace prany
+
+#endif  // PRANY_HISTORY_WAL_DISCIPLINE_CHECKER_H_

@@ -1,0 +1,355 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "harness/system.h"
+#include "history/wal_discipline_checker.h"
+
+namespace prany {
+
+namespace {
+
+/// A schedule prefix queued for execution, with the sleep set valid at the
+/// state where its last (branching) choice was made.
+struct PendingRun {
+  std::vector<uint32_t> prefix;
+  std::vector<McTransition> sleep;
+};
+
+bool InSleepSet(const std::vector<McTransition>& sleep,
+                const McTransition& t) {
+  const uint64_t id = t.Id();
+  return std::any_of(sleep.begin(), sleep.end(),
+                     [id](const McTransition& z) { return z.Id() == id; });
+}
+
+std::vector<uint32_t> TrimTrailingZeros(std::vector<uint32_t> v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+  return v;
+}
+
+/// Greedy delta-debugging of a violating schedule: find the shortest
+/// violating prefix, then zero out remaining non-default choices one at a
+/// time, keeping every candidate that still trips the same oracle.
+std::vector<uint32_t> Minimize(const McConfig& config,
+                               const std::vector<uint32_t>& choices,
+                               const std::string& oracle, McStats* stats) {
+  auto violates = [&](const std::vector<uint32_t>& cand) {
+    ++stats->minimization_runs;
+    return McExplorer::RunSchedule(config, cand).HasOracle(oracle);
+  };
+  std::vector<uint32_t> cur = TrimTrailingZeros(choices);
+  for (size_t len = 0; len < cur.size(); ++len) {
+    std::vector<uint32_t> cand(cur.begin(),
+                               cur.begin() + static_cast<long>(len));
+    if (violates(cand)) {
+      cur = std::move(cand);
+      break;
+    }
+  }
+  for (size_t i = cur.size(); i-- > 0;) {
+    if (cur[i] == 0) continue;
+    std::vector<uint32_t> cand = cur;
+    cand[i] = 0;
+    if (violates(cand)) cur = std::move(cand);
+  }
+  return TrimTrailingZeros(cur);
+}
+
+}  // namespace
+
+std::string McConfig::Describe() const {
+  std::string parts;
+  for (size_t i = 0; i < participants.size(); ++i) {
+    if (i > 0) parts += ",";
+    parts += ToString(participants[i]);
+  }
+  std::string vote_str;
+  for (const auto& [site, vote] : votes) {
+    if (!vote_str.empty()) vote_str += ",";
+    vote_str += StrFormat("%u:%s", site, ToString(vote).c_str());
+  }
+  std::string out = ToString(coordinator);
+  if (coordinator == ProtocolKind::kU2PC) {
+    out += StrFormat("(native=%s)", ToString(u2pc_native).c_str());
+  }
+  out += StrFormat(" participants=[%s]", parts.c_str());
+  if (!vote_str.empty()) out += StrFormat(" votes={%s}", vote_str.c_str());
+  out += StrFormat(" seed=%llu", static_cast<unsigned long long>(seed));
+  return out;
+}
+
+bool McRunReport::HasOracle(const std::string& oracle) const {
+  return std::any_of(
+      violations.begin(), violations.end(),
+      [&oracle](const McViolation& v) { return v.oracle == oracle; });
+}
+
+bool McResult::HasOracle(const std::string& oracle) const {
+  return std::any_of(
+      counterexamples.begin(), counterexamples.end(),
+      [&oracle](const McCounterexample& c) { return c.oracle == oracle; });
+}
+
+McExplorer::McExplorer(McConfig config) : config_(std::move(config)) {}
+
+McRunReport McExplorer::RunSchedule(const McConfig& config,
+                                    const std::vector<uint32_t>& choices,
+                                    std::vector<TraceEvent>* trace_out,
+                                    McExecution* exec_out) {
+  SystemConfig scfg;
+  scfg.seed = config.seed;
+  scfg.max_events = 5'000'000;
+  System system(scfg);
+  // The WAL-discipline oracle reads the structured trace.
+  system.sim().trace().Enable();
+  system.AddSite(ProtocolKind::kPrN, config.coordinator, config.u2pc_native);
+  std::vector<SiteId> participant_sites;
+  std::map<SiteId, ProtocolKind> participant_protocols;
+  for (ProtocolKind p : config.participants) {
+    Site* site = system.AddSite(p, ProtocolKind::kPrAny);
+    participant_sites.push_back(site->id());
+    participant_protocols[site->id()] = p;
+  }
+  Transaction txn = system.MakeTransaction(0, participant_sites, config.votes);
+  system.SubmitAt(0, txn);
+
+  ScheduleController controller(&system, config.budget);
+  McExecution exec = controller.Run(choices);
+
+  McRunReport report;
+  report.quiescent = exec.quiescent;
+  report.truncated = exec.truncated;
+  report.run_hash = exec.run_hash;
+  report.trace_hash = exec.trace_hash;
+
+  AtomicityReport atomicity = system.CheckAtomicity();
+  for (const AtomicityViolation& v : atomicity.violations) {
+    report.violations.push_back(McViolation{"atomicity", v.description});
+  }
+  SafeStateReport safe = system.CheckSafeState();
+  for (const SafeStateViolation& v : safe.violations) {
+    report.violations.push_back(McViolation{"safe-state", v.description});
+  }
+  WalDisciplineReport wal = WalDisciplineChecker::Check(
+      system.sim().trace().events(), participant_protocols);
+  for (const WalViolation& v : wal.violations) {
+    report.violations.push_back(McViolation{
+        "wal-discipline",
+        StrFormat("[%s] %s", v.rule.c_str(), v.description.c_str())});
+  }
+  // Clauses 2/3 of Definition 1 are meaningful only at quiescence: a
+  // truncated run legitimately leaves tables populated.
+  if (exec.quiescent) {
+    OperationalReport op = system.CheckOperational();
+    if (!op.coordinators_forget || !op.participants_forget) {
+      for (const std::string& problem : op.problems) {
+        report.violations.push_back(McViolation{"operational", problem});
+      }
+    }
+  }
+
+  if (trace_out != nullptr) *trace_out = system.sim().trace().events();
+  if (exec_out != nullptr) *exec_out = std::move(exec);
+  return report;
+}
+
+McResult McExplorer::Explore() {
+  McResult result;
+  result.config = config_;
+
+  // Static presumption lint over this configuration's PCP pairing.
+  {
+    PcpTable pcp;
+    for (size_t i = 0; i < config_.participants.size(); ++i) {
+      Status s = pcp.RegisterSite(static_cast<SiteId>(i + 1),
+                                  config_.participants[i]);
+      PRANY_CHECK_MSG(s.ok(), s.ToString());
+    }
+    result.lint =
+        LintPresumptions(pcp, config_.coordinator, config_.u2pc_native);
+  }
+
+  const McBudget& budget = config_.budget;
+  std::set<std::string> reported_oracles;
+
+  // Determinism smoke: the default schedule, executed twice, must agree
+  // bit-for-bit on history and trace digests.
+  {
+    McRunReport first = RunSchedule(config_, {});
+    McRunReport second = RunSchedule(config_, {});
+    result.stats.executions += 2;
+    if (first.run_hash != second.run_hash ||
+        first.trace_hash != second.trace_hash) {
+      McCounterexample ce;
+      ce.oracle = "determinism";
+      ce.description =
+          "default schedule produced different history/trace digests on "
+          "re-execution";
+      ce.run_hash = first.run_hash;
+      ce.replay_deterministic = false;
+      result.counterexamples.push_back(std::move(ce));
+      reported_oracles.insert("determinism");
+    }
+  }
+
+  std::vector<PendingRun> stack;
+  stack.push_back(PendingRun{});
+  std::set<std::pair<uint64_t, uint64_t>> seen;  // (state, action)
+
+  auto build_counterexample = [&](const McViolation& v,
+                                  const std::vector<uint32_t>& discovered) {
+    McCounterexample ce;
+    ce.oracle = v.oracle;
+    ce.description = v.description;
+    ce.original_choices = discovered;
+    ce.choices = Minimize(config_, discovered, v.oracle, &result.stats);
+    // Replay the minimized schedule twice: once for the human-readable
+    // step list and the final description, once to confirm determinism.
+    McExecution final_exec;
+    McRunReport replay = RunSchedule(config_, ce.choices, nullptr, &final_exec);
+    McRunReport replay2 = RunSchedule(config_, ce.choices);
+    result.stats.minimization_runs += 2;
+    ce.replay_deterministic = replay.run_hash == replay2.run_hash &&
+                              replay.trace_hash == replay2.trace_hash;
+    ce.run_hash = replay.run_hash;
+    for (const McViolation& rv : replay.violations) {
+      if (rv.oracle == v.oracle) {
+        ce.description = rv.description;
+        break;
+      }
+    }
+    for (const McChoicePoint& point : final_exec.points) {
+      ce.schedule.push_back(point.options[point.chosen].Describe());
+    }
+    return ce;
+  };
+
+  while (!stack.empty()) {
+    if (result.stats.executions >= budget.max_executions) {
+      result.stats.execution_budget_hit = true;
+      break;
+    }
+    PendingRun pending = std::move(stack.back());
+    stack.pop_back();
+
+    McExecution exec;
+    McRunReport report = RunSchedule(config_, pending.prefix, nullptr, &exec);
+    ++result.stats.executions;
+    result.stats.choice_points += exec.points.size();
+    if (exec.truncated) ++result.stats.truncated_runs;
+    if (exec.quiescent) ++result.stats.quiescent_runs;
+
+    for (const McViolation& v : report.violations) {
+      if (reported_oracles.count(v.oracle) > 0) continue;
+      reported_oracles.insert(v.oracle);
+      result.counterexamples.push_back(
+          build_counterexample(v, pending.prefix));
+    }
+
+    // Expand non-default alternatives at every point this run decided
+    // beyond its prefix; thread the sleep set through the taken
+    // transitions. The pending sleep set is valid at the state of the
+    // prefix's last (branching) point, so propagation starts there while
+    // expansion starts one point later (the parent already expanded the
+    // branch point itself).
+    const size_t prefix_len = pending.prefix.size();
+    std::vector<McTransition> sleep = std::move(pending.sleep);
+    const size_t start = prefix_len == 0 ? 0 : prefix_len - 1;
+    for (size_t i = start; i < exec.points.size(); ++i) {
+      const McChoicePoint& point = exec.points[i];
+      const McTransition& taken = point.options[point.chosen];
+      if (i >= prefix_len) {
+        std::vector<McTransition> pushed;
+        for (uint32_t c = 0; c < point.options.size(); ++c) {
+          if (c == point.chosen) continue;
+          const McTransition& alt = point.options[c];
+          if (budget.sleep_sets && InSleepSet(sleep, alt)) {
+            ++result.stats.sleep_skips;
+            continue;
+          }
+          if (budget.dedup &&
+              !seen.insert({point.fingerprint, alt.Id()}).second) {
+            ++result.stats.dedup_skips;
+            continue;
+          }
+          PendingRun child;
+          child.prefix.reserve(i + 1);
+          for (size_t j = 0; j < i; ++j) {
+            child.prefix.push_back(exec.points[j].chosen);
+          }
+          child.prefix.push_back(c);
+          child.sleep = sleep;
+          child.sleep.push_back(taken);
+          for (const McTransition& p : pushed) child.sleep.push_back(p);
+          stack.push_back(std::move(child));
+          pushed.push_back(alt);
+        }
+      }
+      std::vector<McTransition> next_sleep;
+      next_sleep.reserve(sleep.size());
+      for (const McTransition& z : sleep) {
+        if (Independent(z, taken)) next_sleep.push_back(z);
+      }
+      sleep = std::move(next_sleep);
+    }
+  }
+  if (!result.stats.execution_budget_hit) {
+    result.stats.frontier_exhausted = true;
+  }
+  return result;
+}
+
+std::vector<McConfig> StandardModelCheckConfigs(
+    ProtocolKind protocol, uint32_t participants, const McBudget& budget,
+    uint64_t seed, std::optional<ProtocolKind> native_filter) {
+  std::vector<ProtocolKind> mix;
+  if (IsBaseProtocol(protocol)) {
+    // A base coordinator over a mismatched participant set cannot even
+    // quiesce (e.g. PrN awaits acks a PrC participant never sends for
+    // commit); that pairing is the presumption lint's territory. Explore
+    // the self-consistent homogeneous deployment.
+    mix.assign(participants, protocol);
+  } else {
+    mix = {ProtocolKind::kPrA, ProtocolKind::kPrC};
+    if (participants >= 3) mix.push_back(ProtocolKind::kPrN);
+    while (mix.size() < participants) mix.push_back(ProtocolKind::kPrN);
+    mix.resize(participants);
+  }
+
+  std::vector<ProtocolKind> natives = {ProtocolKind::kPrN};
+  if (protocol == ProtocolKind::kU2PC) {
+    if (native_filter.has_value()) {
+      natives = {*native_filter};
+    } else {
+      natives = {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC};
+    }
+  }
+
+  std::vector<std::map<SiteId, Vote>> vote_variants;
+  vote_variants.push_back({});  // all yes
+  for (uint32_t i = 0; i < participants; ++i) {
+    vote_variants.push_back({{static_cast<SiteId>(i + 1), Vote::kNo}});
+  }
+
+  std::vector<McConfig> out;
+  for (ProtocolKind native : natives) {
+    for (const auto& votes : vote_variants) {
+      McConfig config;
+      config.coordinator = protocol;
+      config.u2pc_native = native;
+      config.participants = mix;
+      config.votes = votes;
+      config.seed = seed;
+      config.budget = budget;
+      out.push_back(std::move(config));
+    }
+  }
+  return out;
+}
+
+}  // namespace prany

@@ -1,0 +1,137 @@
+// Bounded exhaustive exploration of protocol executions.
+//
+// Stateless model checking in the Godefroid/VeriSoft style: an execution
+// is identified by its choice vector (one integer per nondeterministic
+// point, see mc/schedule_controller.h), and the explorer re-executes the
+// deterministic simulator from scratch per schedule. The DFS frontier
+// grows by taking each non-default alternative at each choice point of an
+// executed run; two reductions keep it tractable:
+//   - (state, action) deduplication by 64-bit fingerprint, and
+//   - a simplified sleep-set reduction over a conservative independence
+//     relation (transitions at disjoint sites commute).
+// Both only prune *alternatives*; the default continuation of every
+// scheduled prefix is always executed, so every reported violation is a
+// real execution. See docs/MODEL_CHECKING.md for the soundness
+// discussion.
+//
+// Every execution is checked against the invariant oracles (atomicity,
+// safe state, WAL discipline, and — on quiescent runs — operational
+// correctness). The first counterexample per oracle is minimized by
+// delta-debugging its choice vector and re-executed to confirm
+// determinism.
+
+#ifndef PRANY_MC_EXPLORER_H_
+#define PRANY_MC_EXPLORER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "mc/schedule_controller.h"
+#include "txn/pcp_table.h"
+
+namespace prany {
+
+/// One bounded configuration to explore: a coordinator, its participants
+/// and their planned votes, all driving a single transaction.
+struct McConfig {
+  ProtocolKind coordinator = ProtocolKind::kPrAny;
+  ProtocolKind u2pc_native = ProtocolKind::kPrN;
+  std::vector<ProtocolKind> participants;  ///< Sites 1..N in order.
+  std::map<SiteId, Vote> votes;            ///< Planned non-yes votes.
+  uint64_t seed = 1;
+  McBudget budget;
+
+  std::string Describe() const;
+};
+
+/// One oracle violation observed in one execution.
+struct McViolation {
+  std::string oracle;  ///< "atomicity", "safe-state", "wal-discipline",
+                       ///< "operational", "determinism".
+  std::string description;
+};
+
+/// Oracle verdicts for a single executed schedule.
+struct McRunReport {
+  std::vector<McViolation> violations;
+  bool quiescent = false;
+  bool truncated = false;
+  uint64_t run_hash = 0;
+  uint64_t trace_hash = 0;
+
+  bool HasOracle(const std::string& oracle) const;
+};
+
+/// A minimized, replayable counterexample.
+struct McCounterexample {
+  std::string oracle;
+  std::string description;
+  std::vector<uint32_t> choices;           ///< Minimized schedule.
+  std::vector<uint32_t> original_choices;  ///< As first discovered.
+  std::vector<std::string> schedule;  ///< Human-readable decided steps.
+  bool replay_deterministic = true;
+  uint64_t run_hash = 0;
+};
+
+/// Exploration statistics.
+struct McStats {
+  uint64_t executions = 0;
+  uint64_t choice_points = 0;
+  uint64_t dedup_skips = 0;
+  uint64_t sleep_skips = 0;
+  uint64_t truncated_runs = 0;
+  uint64_t quiescent_runs = 0;
+  uint64_t minimization_runs = 0;
+  bool frontier_exhausted = false;  ///< Search space drained within bounds.
+  bool execution_budget_hit = false;
+};
+
+/// Result of exploring one configuration.
+struct McResult {
+  McConfig config;
+  McStats stats;
+  std::vector<McCounterexample> counterexamples;
+  std::vector<PresumptionLintFinding> lint;
+
+  /// No dynamic counterexamples (lint findings are reported separately:
+  /// they flag a table pairing, not an observed execution).
+  bool Clean() const { return counterexamples.empty(); }
+  bool HasOracle(const std::string& oracle) const;
+};
+
+class McExplorer {
+ public:
+  explicit McExplorer(McConfig config);
+
+  /// Runs the bounded DFS and returns everything found.
+  McResult Explore();
+
+  /// Executes one schedule under `config` and evaluates every oracle.
+  /// Also the replay entry point for emitted scenario files.
+  static McRunReport RunSchedule(const McConfig& config,
+                                 const std::vector<uint32_t>& choices,
+                                 std::vector<TraceEvent>* trace_out = nullptr,
+                                 McExecution* exec_out = nullptr);
+
+ private:
+  McConfig config_;
+};
+
+/// The standard configuration sweep for `prany_check --protocol X`:
+/// vote patterns (all-yes plus each single no-voter) crossed with U2PC's
+/// native protocols (restrictable via `native_filter`). Base protocols get
+/// homogeneous participant sets (mixed sets under a base coordinator
+/// cannot quiesce by design — that mismatch is the lint's job); U2PC,
+/// C2PC and PrAny get the paper's mixed sets.
+std::vector<McConfig> StandardModelCheckConfigs(
+    ProtocolKind protocol, uint32_t participants, const McBudget& budget,
+    uint64_t seed,
+    std::optional<ProtocolKind> native_filter = std::nullopt);
+
+}  // namespace prany
+
+#endif  // PRANY_MC_EXPLORER_H_

@@ -1,0 +1,187 @@
+#include "mc/fingerprint.h"
+
+#include "harness/system.h"
+#include "txn/protocol_table.h"
+#include "wal/log_record.h"
+
+namespace prany {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t HashBytes(const std::vector<uint8_t>& bytes) {
+  Fnv1a h;
+  h.U64(bytes.size());
+  h.Bytes(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+void HashOutcome(Fnv1a* h, const std::optional<Outcome>& o) {
+  h->U64(o.has_value() ? static_cast<uint64_t>(*o) + 1 : 0);
+}
+
+void HashSiteSet(Fnv1a* h, const std::set<SiteId>& sites) {
+  h->U64(sites.size());
+  for (SiteId s : sites) h->U64(s);
+}
+
+void HashCoordEntry(Fnv1a* h, const CoordTxnState& st) {
+  h->U64(st.txn);
+  h->U64(static_cast<uint64_t>(st.mode));
+  h->U64(static_cast<uint64_t>(st.phase));
+  HashOutcome(h, st.decision);
+  HashSiteSet(h, st.yes_votes);
+  HashSiteSet(h, st.no_votes);
+  HashSiteSet(h, st.read_only);
+  HashSiteSet(h, st.pending_acks);
+  h->U64(st.acks_expected ? 1 : 0);
+  h->U64(st.participants.size());
+  for (const ParticipantInfo& p : st.participants) {
+    h->U64(p.site);
+    h->U64(static_cast<uint64_t>(p.protocol));
+  }
+}
+
+}  // namespace
+
+void Fnv1a::Bytes(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h_ ^= p[i];
+    h_ *= kFnvPrime;
+  }
+}
+
+void Fnv1a::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (i * 8)) & 0xff;
+    h_ *= kFnvPrime;
+  }
+}
+
+uint64_t HashSigEventCanonical(const SigEvent& e) {
+  Fnv1a h;
+  h.U64(static_cast<uint64_t>(e.type));
+  h.U64(e.site);
+  h.U64(e.txn);
+  h.U64(e.peer);
+  HashOutcome(&h, e.outcome);
+  h.U64(e.by_presumption ? 1 : 0);
+  return h.digest();
+}
+
+uint64_t RunHash(const EventLog& history) {
+  Fnv1a h;
+  h.U64(history.events().size());
+  for (const SigEvent& e : history.events()) {
+    h.U64(e.seq);
+    h.U64(e.time);
+    h.U64(static_cast<uint64_t>(e.type));
+    h.U64(e.site);
+    h.U64(e.txn);
+    h.U64(e.peer);
+    HashOutcome(&h, e.outcome);
+    h.U64(e.by_presumption ? 1 : 0);
+  }
+  return h.digest();
+}
+
+uint64_t TraceHash(const std::vector<TraceEvent>& trace) {
+  Fnv1a h;
+  h.U64(trace.size());
+  for (const TraceEvent& e : trace) {
+    h.U64(e.time);
+    h.U64(static_cast<uint64_t>(e.kind));
+    h.U64(e.site);
+    h.U64(e.txn);
+    h.U64(e.peer);
+    h.U64(e.protocol.has_value() ? static_cast<uint64_t>(*e.protocol) + 1
+                                 : 0);
+    HashOutcome(&h, e.outcome);
+    h.U64((e.forced ? 1 : 0) | (e.by_presumption ? 2 : 0));
+    h.U64(e.value);
+    h.Str(e.label);
+    h.Str(e.detail);
+  }
+  return h.digest();
+}
+
+uint64_t StateFingerprint(
+    System& system,
+    const std::map<std::pair<SiteId, SiteId>,
+                   std::deque<std::vector<uint8_t>>>& links,
+    const McBudgetsUsed& used) {
+  Fnv1a h;
+
+  // History as an order-insensitive multiset (unsigned sum of per-event
+  // hashes): schedules reaching the same protocol state through different
+  // event interleavings coalesce.
+  uint64_t history_sum = 0;
+  for (const SigEvent& e : system.history().events()) {
+    history_sum += HashSigEventCanonical(e);
+  }
+  h.U64(history_sum);
+  h.U64(system.history().events().size());
+
+  const SimTime now = system.sim().Now();
+  for (SiteId id = 0; id < static_cast<SiteId>(system.site_count()); ++id) {
+    Site* site = system.site(id);
+    h.U64(id);
+    h.U64(site->IsUp() ? 1 : 0);
+    h.U64(static_cast<uint64_t>(site->participant_protocol()));
+
+    const CoordinatorBase* coord = site->coordinator();
+    h.U64(static_cast<uint64_t>(coord->kind()));
+    const ProtocolTable& table = coord->table();
+    h.U64(table.Size());
+    for (TxnId txn : table.TxnIds()) {
+      const CoordTxnState* st = table.Find(txn);
+      if (st != nullptr) HashCoordEntry(&h, *st);
+    }
+
+    std::vector<TxnId> in_doubt = site->participant()->InDoubtTxns();
+    h.U64(in_doubt.size());
+    for (TxnId txn : in_doubt) h.U64(txn);
+
+    const StableLog* wal = site->wal();
+    std::vector<LogRecord> stable = wal->StableRecords();
+    h.U64(stable.size());
+    for (const LogRecord& rec : stable) h.U64(HashBytes(rec.Encode()));
+    std::vector<LogRecord> buffered = wal->BufferedRecords();
+    h.U64(buffered.size());
+    for (const LogRecord& rec : buffered) h.U64(HashBytes(rec.Encode()));
+  }
+
+  // Captured in-flight frames: order-sensitive within a link (FIFO),
+  // order-insensitive across links (the map iterates sorted anyway, but an
+  // unsigned sum keeps the property explicit).
+  uint64_t links_sum = 0;
+  for (const auto& [key, queue] : links) {
+    Fnv1a lh;
+    lh.U64(key.first);
+    lh.U64(key.second);
+    lh.U64(queue.size());
+    for (const std::vector<uint8_t>& wire : queue) lh.U64(HashBytes(wire));
+    links_sum += lh.digest();
+  }
+  h.U64(links_sum);
+
+  // Pending simulator events by relative firing time: two states that
+  // differ only in absolute time hash alike.
+  std::vector<std::pair<SimTime, std::string>> pending =
+      system.sim().PendingEventSummaries();
+  h.U64(pending.size());
+  for (const auto& [when, label] : pending) {
+    h.U64(when - now);
+    h.Str(label);
+  }
+
+  h.U64(used.loss);
+  h.U64(used.dup);
+  h.U64(used.crash);
+  h.U64(used.timer);
+  return h.digest();
+}
+
+}  // namespace prany

@@ -1,0 +1,76 @@
+// State fingerprints and execution digests for the model checker.
+//
+// The explorer dedupes (state, next-action) pairs by a 64-bit FNV-1a
+// fingerprint of the *protocol-relevant* state: the canonicalized history,
+// each site's volatile and stable state, the captured in-flight messages,
+// the pending simulator events (relative to now) and the consumed
+// exploration budgets. Absolute simulated time is deliberately excluded so
+// schedules that reach the same protocol state along different timings
+// coalesce. The fingerprint is approximate — a hash collision can prune a
+// genuinely new state — which is why deduplication is an optional budget
+// knob (McBudget::dedup) and the soundness discussion lives in
+// docs/MODEL_CHECKING.md.
+
+#ifndef PRANY_MC_FINGERPRINT_H_
+#define PRANY_MC_FINGERPRINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/trace.h"
+#include "history/event_log.h"
+
+namespace prany {
+
+class System;
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv1a {
+ public:
+  void Bytes(const void* data, size_t n);
+  void U64(uint64_t v);
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = 14695981039346656037ull;
+};
+
+/// Exploration budget already consumed along the current execution; part
+/// of the state because it changes which transitions remain enabled.
+struct McBudgetsUsed {
+  uint32_t loss = 0;
+  uint32_t dup = 0;
+  uint32_t crash = 0;
+  uint32_t timer = 0;
+};
+
+/// Order-independent hash of one history event with seq and time stripped.
+uint64_t HashSigEventCanonical(const SigEvent& e);
+
+/// Digest of the full ordered history (seq, time and all) — the
+/// determinism oracle compares this across re-executions.
+uint64_t RunHash(const EventLog& history);
+
+/// Digest of the structured trace (order-sensitive, times included).
+uint64_t TraceHash(const std::vector<TraceEvent>& trace);
+
+/// Fingerprint of the complete model-checking state: history (canonical
+/// multiset), per-site volatile + stable state, captured wire frames per
+/// link, pending simulator events (relative times), and used budgets.
+uint64_t StateFingerprint(
+    System& system,
+    const std::map<std::pair<SiteId, SiteId>,
+                   std::deque<std::vector<uint8_t>>>& links,
+    const McBudgetsUsed& used);
+
+}  // namespace prany
+
+#endif  // PRANY_MC_FINGERPRINT_H_

@@ -1,0 +1,215 @@
+#include "mc/scenario_file.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace prany {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+Status ParseU64(const std::string& key, const std::string& value,
+                uint64_t* out) {
+  if (value.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("scenario: empty value for %s", key.c_str()));
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument(StrFormat(
+        "scenario: bad number '%s' for %s", value.c_str(), key.c_str()));
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseU32(const std::string& key, const std::string& value,
+                uint32_t* out) {
+  uint64_t v = 0;
+  PRANY_RETURN_NOT_OK(ParseU64(key, value, &v));
+  *out = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+bool ParseVoteName(const std::string& name, Vote* out) {
+  if (name == "yes") {
+    *out = Vote::kYes;
+  } else if (name == "no") {
+    *out = Vote::kNo;
+  } else if (name == "read-only" || name == "ro") {
+    *out = Vote::kReadOnly;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeScenario(const McScenario& scenario) {
+  const McConfig& c = scenario.config;
+  const McBudget& b = c.budget;
+  std::string out = "# prany_check counterexample scenario\n";
+  out += StrFormat("# %s\n", c.Describe().c_str());
+  out += StrFormat("protocol=%s\n", ToString(c.coordinator).c_str());
+  out += StrFormat("native=%s\n", ToString(c.u2pc_native).c_str());
+  std::string parts;
+  for (size_t i = 0; i < c.participants.size(); ++i) {
+    if (i > 0) parts += ",";
+    parts += ToString(c.participants[i]);
+  }
+  out += StrFormat("participants=%s\n", parts.c_str());
+  std::string votes;
+  for (const auto& [site, vote] : c.votes) {
+    if (!votes.empty()) votes += ",";
+    votes += StrFormat("%u:%s", site, ToString(vote).c_str());
+  }
+  out += StrFormat("votes=%s\n", votes.c_str());
+  out += StrFormat("seed=%llu\n", static_cast<unsigned long long>(c.seed));
+  out += StrFormat("max_choice_points=%u\n", b.max_choice_points);
+  out += StrFormat("max_steps=%llu\n",
+                   static_cast<unsigned long long>(b.max_steps));
+  out += StrFormat("loss_budget=%u\n", b.loss_budget);
+  out += StrFormat("dup_budget=%u\n", b.dup_budget);
+  out += StrFormat("crash_budget=%u\n", b.crash_budget);
+  out += StrFormat("timer_choice_budget=%u\n", b.timer_choice_budget);
+  out += StrFormat("crash_downtime=%llu\n",
+                   static_cast<unsigned long long>(b.crash_downtime));
+  out += StrFormat("choices=%s\n",
+                   JoinNumbers(scenario.choices, ",").c_str());
+  out += StrFormat("oracle=%s\n", scenario.oracle.c_str());
+  out += StrFormat("description=%s\n", scenario.description.c_str());
+  return out;
+}
+
+Result<McScenario> ParseScenario(const std::string& text) {
+  McScenario scenario;
+  McConfig& c = scenario.config;
+  McBudget& b = c.budget;
+  c.participants.clear();
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("scenario line %d: expected key=value", lineno));
+    }
+    std::string key = Trim(trimmed.substr(0, eq));
+    std::string value = Trim(trimmed.substr(eq + 1));
+
+    if (key == "protocol") {
+      if (!ParseProtocolKind(value, &c.coordinator)) {
+        return Status::InvalidArgument(
+            StrFormat("scenario: unknown protocol '%s'", value.c_str()));
+      }
+    } else if (key == "native") {
+      if (!ParseProtocolKind(value, &c.u2pc_native)) {
+        return Status::InvalidArgument(
+            StrFormat("scenario: unknown native '%s'", value.c_str()));
+      }
+    } else if (key == "participants") {
+      for (const std::string& name : SplitOn(value, ',')) {
+        ProtocolKind kind;
+        if (!ParseProtocolKind(Trim(name), &kind)) {
+          return Status::InvalidArgument(StrFormat(
+              "scenario: unknown participant protocol '%s'", name.c_str()));
+        }
+        c.participants.push_back(kind);
+      }
+    } else if (key == "votes") {
+      for (const std::string& entry : SplitOn(value, ',')) {
+        size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument(StrFormat(
+              "scenario: vote entry '%s' is not site:vote", entry.c_str()));
+        }
+        uint32_t site = 0;
+        PRANY_RETURN_NOT_OK(
+            ParseU32("votes", Trim(entry.substr(0, colon)), &site));
+        Vote vote;
+        if (!ParseVoteName(Trim(entry.substr(colon + 1)), &vote)) {
+          return Status::InvalidArgument(StrFormat(
+              "scenario: unknown vote in '%s'", entry.c_str()));
+        }
+        c.votes[site] = vote;
+      }
+    } else if (key == "seed") {
+      PRANY_RETURN_NOT_OK(ParseU64(key, value, &c.seed));
+    } else if (key == "max_choice_points") {
+      PRANY_RETURN_NOT_OK(ParseU32(key, value, &b.max_choice_points));
+    } else if (key == "max_steps") {
+      PRANY_RETURN_NOT_OK(ParseU64(key, value, &b.max_steps));
+    } else if (key == "loss_budget") {
+      PRANY_RETURN_NOT_OK(ParseU32(key, value, &b.loss_budget));
+    } else if (key == "dup_budget") {
+      PRANY_RETURN_NOT_OK(ParseU32(key, value, &b.dup_budget));
+    } else if (key == "crash_budget") {
+      PRANY_RETURN_NOT_OK(ParseU32(key, value, &b.crash_budget));
+    } else if (key == "timer_choice_budget") {
+      PRANY_RETURN_NOT_OK(ParseU32(key, value, &b.timer_choice_budget));
+    } else if (key == "crash_downtime") {
+      PRANY_RETURN_NOT_OK(ParseU64(key, value, &b.crash_downtime));
+    } else if (key == "choices") {
+      for (const std::string& n : SplitOn(value, ',')) {
+        std::string t = Trim(n);
+        if (t.empty()) continue;
+        uint32_t choice = 0;
+        PRANY_RETURN_NOT_OK(ParseU32("choices", t, &choice));
+        scenario.choices.push_back(choice);
+      }
+    } else if (key == "oracle") {
+      scenario.oracle = value;
+    } else if (key == "description") {
+      scenario.description = value;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("scenario: unknown key '%s'", key.c_str()));
+    }
+  }
+  if (scenario.config.participants.empty()) {
+    return Status::InvalidArgument("scenario: no participants");
+  }
+  return scenario;
+}
+
+ReplayOutcome ReplayScenario(const McScenario& scenario,
+                             std::vector<TraceEvent>* trace_out) {
+  ReplayOutcome out;
+  out.report =
+      McExplorer::RunSchedule(scenario.config, scenario.choices, trace_out);
+  out.reproduced =
+      scenario.oracle.empty() || out.report.HasOracle(scenario.oracle);
+  return out;
+}
+
+}  // namespace prany

@@ -1,0 +1,63 @@
+// Replayable counterexample scenario files.
+//
+// A scenario pins everything a choice vector's interpretation depends on:
+// the configuration (coordinator, native, participants, planned votes,
+// seed) and the full execution budget (choice indexes are positions in the
+// option list EnumerateOptions produces, which the budgets shape). The
+// format is line-based `key=value` with `#` comments, so counterexamples
+// are diffable and hand-editable:
+//
+//   # prany_check counterexample
+//   protocol=U2PC
+//   native=PrC
+//   participants=PrA,PrC
+//   votes=2:no
+//   seed=1
+//   max_choice_points=80
+//   ...
+//   choices=0,0,1
+//   oracle=atomicity
+//   description=txn 1: site 1 enforced commit but site 2 aborted
+
+#ifndef PRANY_MC_SCENARIO_FILE_H_
+#define PRANY_MC_SCENARIO_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mc/explorer.h"
+
+namespace prany {
+
+/// One replayable scenario: a configuration plus a choice vector, with the
+/// oracle and description it was recorded for.
+struct McScenario {
+  McConfig config;
+  std::vector<uint32_t> choices;
+  std::string oracle;
+  std::string description;
+};
+
+/// Renders a scenario in the key=value format above.
+std::string SerializeScenario(const McScenario& scenario);
+
+/// Parses the key=value format. Unknown keys are errors (they would change
+/// replay semantics silently); missing keys keep their defaults.
+Result<McScenario> ParseScenario(const std::string& text);
+
+/// Outcome of replaying a scenario.
+struct ReplayOutcome {
+  /// The recorded oracle fired again (always true for a faithful replay of
+  /// a deterministic counterexample).
+  bool reproduced = false;
+  McRunReport report;
+};
+
+/// Re-executes the scenario's schedule and re-evaluates every oracle.
+ReplayOutcome ReplayScenario(const McScenario& scenario,
+                             std::vector<TraceEvent>* trace_out = nullptr);
+
+}  // namespace prany
+
+#endif  // PRANY_MC_SCENARIO_FILE_H_

@@ -1,0 +1,319 @@
+#include "mc/schedule_controller.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "harness/system.h"
+
+namespace prany {
+
+McBudget SmallBudget() { return McBudget{}; }
+
+McBudget MediumBudget() {
+  McBudget b;
+  b.max_choice_points = 64;
+  b.max_steps = 1000;
+  b.loss_budget = 1;
+  b.crash_budget = 1;
+  b.timer_choice_budget = 2;
+  b.max_executions = 20000;
+  return b;
+}
+
+McBudget LargeBudget() {
+  McBudget b;
+  b.max_choice_points = 96;
+  b.max_steps = 2000;
+  b.loss_budget = 2;
+  b.dup_budget = 1;
+  b.crash_budget = 2;
+  b.timer_choice_budget = 3;
+  b.max_executions = 200000;
+  return b;
+}
+
+bool ParseBudget(const std::string& name, McBudget* out) {
+  if (name == "small") {
+    *out = SmallBudget();
+  } else if (name == "medium") {
+    *out = MediumBudget();
+  } else if (name == "large") {
+    *out = LargeBudget();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string ToString(McChoiceKind kind) {
+  switch (kind) {
+    case McChoiceKind::kDeliver:
+      return "deliver";
+    case McChoiceKind::kDrop:
+      return "drop";
+    case McChoiceKind::kDuplicate:
+      return "duplicate";
+    case McChoiceKind::kTimer:
+      return "timer";
+    case McChoiceKind::kNoCrash:
+      return "no-crash";
+    case McChoiceKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+uint64_t McTransition::Id() const {
+  Fnv1a h;
+  h.U64(static_cast<uint64_t>(kind));
+  h.U64(from);
+  h.U64(to);
+  h.U64(static_cast<uint64_t>(msg_type));
+  h.U64(txn);
+  h.U64(static_cast<uint64_t>(point));
+  h.U64(payload_hash);
+  return h.digest();
+}
+
+std::string McTransition::Describe() const {
+  switch (kind) {
+    case McChoiceKind::kDeliver:
+    case McChoiceKind::kDrop:
+    case McChoiceKind::kDuplicate:
+      return StrFormat("%s %s txn=%llu %u->%u", ToString(kind).c_str(),
+                       ToString(msg_type).c_str(),
+                       static_cast<unsigned long long>(txn), from, to);
+    case McChoiceKind::kTimer:
+      return "timer";
+    case McChoiceKind::kNoCrash:
+    case McChoiceKind::kCrash:
+      return StrFormat("%s site %u at %s txn=%llu", ToString(kind).c_str(),
+                       to, ToString(point).c_str(),
+                       static_cast<unsigned long long>(txn));
+  }
+  return "unknown";
+}
+
+bool Independent(const McTransition& a, const McTransition& b) {
+  // Timer transitions move global time: dependent with everything.
+  if (a.kind == McChoiceKind::kTimer || b.kind == McChoiceKind::kTimer) {
+    return false;
+  }
+  // Deliveries, drops and duplications execute entirely at the destination
+  // site; crash choices at the probed site (both stored in `to`).
+  return a.to != b.to;
+}
+
+ScheduleController::ScheduleController(System* system, McBudget budget)
+    : system_(system), budget_(budget) {
+  system_->net().SetSendInterceptor(
+      [this](const Message& msg, const std::vector<uint8_t>& wire) {
+        links_[{msg.from, msg.to}].push_back(wire);
+        return true;
+      });
+  for (SiteId id = 0; id < static_cast<SiteId>(system_->site_count()); ++id) {
+    system_->site(id)->SetCrashProbeHandler(
+        [this](SiteId site, CrashPoint point, TxnId txn) {
+          return OnCrashProbe(site, point, txn);
+        });
+  }
+}
+
+ScheduleController::~ScheduleController() {
+  system_->net().SetSendInterceptor(nullptr);
+}
+
+McBudgetsUsed ScheduleController::Used() const {
+  return McBudgetsUsed{loss_used_, dup_used_, crash_used_, timer_used_};
+}
+
+void ScheduleController::DrainNow() {
+  Simulator& sim = system_->sim();
+  uint64_t guard = 0;
+  while (true) {
+    std::optional<SimTime> next = sim.NextEventTime();
+    if (!next.has_value() || *next != sim.Now()) break;
+    sim.Step();
+    // A same-instant self-rescheduling loop would be a harness bug, but a
+    // model checker must terminate on buggy inputs too.
+    if (++guard > 100000) {
+      exec_.truncated = true;
+      break;
+    }
+  }
+}
+
+bool ScheduleController::AllLinksEmpty() const { return links_.empty(); }
+
+McTransition ScheduleController::TransitionFor(
+    McChoiceKind kind, const LinkKey& key,
+    const std::vector<uint8_t>& wire) const {
+  McTransition t;
+  t.kind = kind;
+  t.from = key.first;
+  t.to = key.second;
+  Result<Message> decoded = Message::Decode(wire);
+  PRANY_CHECK_MSG(decoded.ok(), decoded.status().ToString());
+  t.msg_type = decoded->type;
+  t.txn = decoded->txn;
+  Fnv1a h;
+  h.U64(wire.size());
+  h.Bytes(wire.data(), wire.size());
+  t.payload_hash = h.digest();
+  return t;
+}
+
+std::vector<McTransition> ScheduleController::EnumerateOptions() {
+  std::vector<McTransition> out;
+  for (const auto& [key, queue] : links_) {
+    out.push_back(TransitionFor(McChoiceKind::kDeliver, key, queue.front()));
+  }
+  if (loss_used_ < budget_.loss_budget) {
+    for (const auto& [key, queue] : links_) {
+      out.push_back(TransitionFor(McChoiceKind::kDrop, key, queue.front()));
+    }
+  }
+  if (dup_used_ < budget_.dup_budget) {
+    for (const auto& [key, queue] : links_) {
+      out.push_back(
+          TransitionFor(McChoiceKind::kDuplicate, key, queue.front()));
+    }
+  }
+  if (timer_used_ < budget_.timer_choice_budget &&
+      system_->sim().NextEventTime().has_value()) {
+    McTransition t;
+    t.kind = McChoiceKind::kTimer;
+    out.push_back(t);
+  }
+  return out;
+}
+
+uint32_t ScheduleController::NextChoice(std::vector<McTransition> options) {
+  PRANY_CHECK(!options.empty());
+  uint32_t chosen = cursor_ < choices_->size() ? (*choices_)[cursor_] : 0;
+  ++cursor_;
+  // Out-of-range indexes (possible while minimizing a schedule whose
+  // branching shifted) deterministically fall back to the default.
+  if (chosen >= options.size()) chosen = 0;
+  McChoicePoint point;
+  point.chosen = chosen;
+  point.fingerprint = StateFingerprint(*system_, links_, Used());
+  point.options = std::move(options);
+  exec_.points.push_back(std::move(point));
+  return chosen;
+}
+
+void ScheduleController::Apply(const McTransition& t) {
+  const LinkKey key{t.from, t.to};
+  switch (t.kind) {
+    case McChoiceKind::kDeliver: {
+      auto it = links_.find(key);
+      PRANY_CHECK(it != links_.end() && !it->second.empty());
+      std::vector<uint8_t> wire = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) links_.erase(it);
+      system_->net().DeliverNow(wire);
+      break;
+    }
+    case McChoiceKind::kDrop: {
+      auto it = links_.find(key);
+      PRANY_CHECK(it != links_.end() && !it->second.empty());
+      it->second.pop_front();
+      if (it->second.empty()) links_.erase(it);
+      ++loss_used_;
+      if (system_->sim().trace().enabled()) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kMsgDrop;
+        e.site = t.from;
+        e.peer = t.to;
+        e.txn = t.txn;
+        e.label = ToString(t.msg_type);
+        e.detail = "mc.drop";
+        system_->sim().Emit(std::move(e));
+      }
+      break;
+    }
+    case McChoiceKind::kDuplicate: {
+      auto it = links_.find(key);
+      PRANY_CHECK(it != links_.end() && !it->second.empty());
+      std::vector<uint8_t> wire = it->second.front();  // original stays
+      ++dup_used_;
+      if (system_->sim().trace().enabled()) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kMsgDuplicate;
+        e.site = t.from;
+        e.peer = t.to;
+        e.txn = t.txn;
+        e.label = ToString(t.msg_type);
+        e.detail = "mc.duplicate";
+        system_->sim().Emit(std::move(e));
+      }
+      system_->net().DeliverNow(wire);
+      break;
+    }
+    case McChoiceKind::kTimer:
+      ++timer_used_;
+      system_->sim().Step();
+      break;
+    case McChoiceKind::kNoCrash:
+    case McChoiceKind::kCrash:
+      // Crash choices are consumed inside OnCrashProbe, never applied here.
+      PRANY_CHECK_MSG(false, "crash transitions are applied in-probe");
+      break;
+  }
+}
+
+std::optional<SimDuration> ScheduleController::OnCrashProbe(SiteId site,
+                                                            CrashPoint point,
+                                                            TxnId txn) {
+  if (crash_used_ >= budget_.crash_budget) return std::nullopt;
+  if (exec_.points.size() >= budget_.max_choice_points) return std::nullopt;
+  McTransition stay;
+  stay.kind = McChoiceKind::kNoCrash;
+  stay.to = site;
+  stay.txn = txn;
+  stay.point = point;
+  McTransition crash = stay;
+  crash.kind = McChoiceKind::kCrash;
+  uint32_t chosen = NextChoice({stay, crash});
+  if (chosen == 1) {
+    ++crash_used_;
+    return budget_.crash_downtime;
+  }
+  return std::nullopt;
+}
+
+McExecution ScheduleController::Run(const std::vector<uint32_t>& choices) {
+  choices_ = &choices;
+  cursor_ = 0;
+  exec_ = McExecution{};
+  DrainNow();
+  while (true) {
+    if (exec_.points.size() >= budget_.max_choice_points ||
+        exec_.steps >= budget_.max_steps || exec_.truncated) {
+      exec_.truncated = true;
+      break;
+    }
+    if (AllLinksEmpty()) {
+      if (system_->sim().NextEventTime().has_value()) {
+        // No message to schedule: time must advance. This is forced, not a
+        // choice — there is no competing transition.
+        system_->sim().Step();
+        ++exec_.steps;
+        DrainNow();
+        continue;
+      }
+      exec_.quiescent = true;
+      break;
+    }
+    std::vector<McTransition> options = EnumerateOptions();
+    const uint32_t chosen = NextChoice(options);
+    Apply(options[chosen]);
+    ++exec_.steps;
+    DrainNow();
+  }
+  exec_.run_hash = RunHash(system_->history());
+  exec_.trace_hash = TraceHash(system_->sim().trace().events());
+  return std::move(exec_);
+}
+
+}  // namespace prany

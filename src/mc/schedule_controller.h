@@ -1,0 +1,162 @@
+// Schedule controller: drives one System execution under an explicit
+// choice vector, turning the simulator into a controlled-nondeterminism
+// machine for the model checker.
+//
+// Mechanics: a Network send interceptor captures every encoded message
+// into per-directed-link FIFO queues instead of scheduling delivery, and a
+// per-site crash-probe handler turns every CrashPoint probe into a binary
+// choice. Execution alternates between draining all zero-delay simulator
+// work (deterministic continuations) and consuming one choice from the
+// vector at each nondeterministic point:
+//   - deliver the head frame of some link (preserving per-link FIFO —
+//     the session ordering the protocols assume, see net/network.h),
+//   - drop or duplicate a head frame (while the loss/dup budgets last),
+//   - advance time to the next pending simulator event and fire it
+//     (timeouts, recoveries — a "timer" transition), or
+//   - crash / don't crash at a probed CrashPoint.
+// Choices beyond the end of the vector default to 0, which always means
+// "deliver the first available message in deterministic order" (or
+// "don't crash"), so a prefix describes a full execution.
+
+#ifndef PRANY_MC_SCHEDULE_CONTROLLER_H_
+#define PRANY_MC_SCHEDULE_CONTROLLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mc/fingerprint.h"
+#include "net/message.h"
+#include "protocol/crash_points.h"
+
+namespace prany {
+
+class System;
+
+/// Exploration budgets. The per-execution knobs bound a single controlled
+/// run; the whole-exploration knobs bound the explorer's search.
+struct McBudget {
+  // Per-execution bounds. The floor for max_choice_points is set by the
+  // longest forced tail: a coordinator resending a decision to a crashed
+  // site burns one (single-option) choice point per resend interval for
+  // the whole downtime (~50 at the default timings) before recovery can
+  // unblock it, and a useful execution must reach past that.
+  uint32_t max_choice_points = 80;
+  uint64_t max_steps = 900;
+  uint32_t loss_budget = 0;        ///< Messages that may be dropped.
+  uint32_t dup_budget = 0;         ///< Messages that may be duplicated.
+  uint32_t crash_budget = 1;       ///< Crash probes that may fire.
+  uint32_t timer_choice_budget = 1;  ///< Optional (non-forced) timer fires.
+  SimDuration crash_downtime = 1'000'000;
+
+  // Whole-exploration bounds (consumed by McExplorer).
+  uint64_t max_executions = 4000;
+  bool dedup = true;       ///< (state, action) fingerprint deduplication.
+  bool sleep_sets = true;  ///< Sleep-set partial-order reduction.
+};
+
+/// Named presets for the --depth-budget flag.
+McBudget SmallBudget();
+McBudget MediumBudget();
+McBudget LargeBudget();
+bool ParseBudget(const std::string& name, McBudget* out);
+
+/// Kind of one alternative at a choice point.
+enum class McChoiceKind : uint8_t {
+  kDeliver = 0,  ///< Deliver the head frame of a link.
+  kDrop,         ///< Lose the head frame of a link.
+  kDuplicate,    ///< Deliver a copy of a head frame, leaving the original.
+  kTimer,        ///< Advance to the next pending simulator event.
+  kNoCrash,      ///< Survive a probed crash point.
+  kCrash,        ///< Crash at a probed crash point.
+};
+std::string ToString(McChoiceKind kind);
+
+/// One alternative at a choice point.
+struct McTransition {
+  McChoiceKind kind = McChoiceKind::kDeliver;
+  SiteId from = kInvalidSite;  ///< Link source (message kinds).
+  SiteId to = kInvalidSite;    ///< Link target, or the probed site.
+  MessageType msg_type = MessageType::kPrepare;
+  TxnId txn = kInvalidTxn;
+  CrashPoint point = CrashPoint::kPartOnPrepareReceived;  ///< Crash kinds.
+  uint64_t payload_hash = 0;  ///< Hash of the affected wire frame.
+
+  /// Stable identity for sleep sets and (state, action) deduplication.
+  uint64_t Id() const;
+  std::string Describe() const;
+};
+
+/// Conservative independence relation for the sleep-set reduction: two
+/// transitions commute when they touch disjoint sites. Message transitions
+/// execute entirely at their destination; crash choices at the probed
+/// site. kTimer is dependent with everything (it moves global time, and
+/// timeout behaviour can change with any site's state).
+bool Independent(const McTransition& a, const McTransition& b);
+
+/// One decided choice point of an execution.
+struct McChoicePoint {
+  uint32_t chosen = 0;
+  uint64_t fingerprint = 0;  ///< State fingerprint before choosing.
+  std::vector<McTransition> options;
+};
+
+/// Result of one controlled execution.
+struct McExecution {
+  std::vector<McChoicePoint> points;
+  bool quiescent = false;  ///< Message pool and event queue both drained.
+  bool truncated = false;  ///< Hit max_choice_points or max_steps.
+  uint64_t steps = 0;
+  uint64_t run_hash = 0;    ///< RunHash of the final history.
+  uint64_t trace_hash = 0;  ///< TraceHash of the final trace.
+};
+
+/// Takes over a freshly built (not yet run) System and executes it under a
+/// choice vector. One controller drives one execution.
+class ScheduleController {
+ public:
+  ScheduleController(System* system, McBudget budget);
+  ~ScheduleController();
+
+  ScheduleController(const ScheduleController&) = delete;
+  ScheduleController& operator=(const ScheduleController&) = delete;
+
+  McExecution Run(const std::vector<uint32_t>& choices);
+
+ private:
+  using LinkKey = std::pair<SiteId, SiteId>;
+
+  /// Runs every simulator event scheduled for the current instant
+  /// (deterministic continuations: submits, forced-write completions,
+  /// zero-delay sends).
+  void DrainNow();
+
+  bool AllLinksEmpty() const;
+  std::vector<McTransition> EnumerateOptions();
+  McTransition TransitionFor(McChoiceKind kind, const LinkKey& key,
+                             const std::vector<uint8_t>& wire) const;
+  uint32_t NextChoice(std::vector<McTransition> options);
+  void Apply(const McTransition& t);
+  std::optional<SimDuration> OnCrashProbe(SiteId site, CrashPoint point,
+                                          TxnId txn);
+  McBudgetsUsed Used() const;
+
+  System* system_;
+  McBudget budget_;
+  std::map<LinkKey, std::deque<std::vector<uint8_t>>> links_;
+  const std::vector<uint32_t>* choices_ = nullptr;
+  size_t cursor_ = 0;
+  uint32_t loss_used_ = 0;
+  uint32_t dup_used_ = 0;
+  uint32_t crash_used_ = 0;
+  uint32_t timer_used_ = 0;
+  McExecution exec_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_MC_SCHEDULE_CONTROLLER_H_

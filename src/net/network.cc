@@ -122,6 +122,8 @@ void Network::Send(const Message& msg) {
     sim_->Emit(std::move(e));
   }
 
+  if (send_interceptor_ && send_interceptor_(msg, wire)) return;
+
   if (IsBlocked(msg.from, msg.to)) {
     ++stats_.messages_blocked;
     if (tracing) {
@@ -179,30 +181,30 @@ void Network::ScheduleDelivery(const Message& msg,
     if (deliver_at < last) deliver_at = last;
     last = deliver_at;
   }
-  sim_->ScheduleAt(
-      deliver_at,
-      [this, wire]() {
-        Result<Message> decoded = Message::Decode(wire);
-        // The fail-stop network never corrupts frames; a decode failure
-        // here is a codec bug.
-        PRANY_CHECK_MSG(decoded.ok(), decoded.status().ToString());
-        const Message& msg = *decoded;
-        auto it = endpoints_.find(msg.to);
-        PRANY_CHECK_MSG(it != endpoints_.end(), "unknown destination site");
-        if (!it->second->IsUp()) {
-          ++stats_.messages_lost_down;
-          if (sim_->trace().enabled()) {
-            sim_->Emit(NetEvent(TraceEventKind::kMsgLostDown, msg, true));
-          }
-          return;
-        }
-        ++stats_.messages_delivered;
-        if (sim_->trace().enabled()) {
-          sim_->Emit(NetEvent(TraceEventKind::kMsgDeliver, msg, true));
-        }
-        it->second->OnMessage(msg);
-      },
-      "net.deliver");
+  sim_->ScheduleAt(deliver_at, [this, wire]() { Deliver(wire); },
+                   "net.deliver");
+}
+
+void Network::Deliver(const std::vector<uint8_t>& wire) {
+  Result<Message> decoded = Message::Decode(wire);
+  // The fail-stop network never corrupts frames; a decode failure here is
+  // a codec bug.
+  PRANY_CHECK_MSG(decoded.ok(), decoded.status().ToString());
+  const Message& msg = *decoded;
+  auto it = endpoints_.find(msg.to);
+  PRANY_CHECK_MSG(it != endpoints_.end(), "unknown destination site");
+  if (!it->second->IsUp()) {
+    ++stats_.messages_lost_down;
+    if (sim_->trace().enabled()) {
+      sim_->Emit(NetEvent(TraceEventKind::kMsgLostDown, msg, true));
+    }
+    return;
+  }
+  ++stats_.messages_delivered;
+  if (sim_->trace().enabled()) {
+    sim_->Emit(NetEvent(TraceEventKind::kMsgDeliver, msg, true));
+  }
+  it->second->OnMessage(msg);
 }
 
 }  // namespace prany

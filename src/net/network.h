@@ -23,6 +23,7 @@
 #ifndef PRANY_NET_NETWORK_H_
 #define PRANY_NET_NETWORK_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -115,6 +116,23 @@ class Network {
   /// silent, per the omission model.
   void Send(const Message& msg);
 
+  /// Hook invoked by Send() for every message, right after accounting and
+  /// tracing but before the loss/latency pipeline. Returning true means the
+  /// interceptor took ownership of delivery and the normal path is skipped.
+  /// The model checker's schedule controller uses this to capture every
+  /// in-flight message and enumerate delivery orders itself.
+  using SendInterceptor =
+      std::function<bool(const Message& msg, const std::vector<uint8_t>& wire)>;
+  void SetSendInterceptor(SendInterceptor interceptor) {
+    send_interceptor_ = std::move(interceptor);
+  }
+
+  /// Delivers an encoded frame to its destination at the current simulated
+  /// time, bypassing latency/drop/duplication models (a down destination
+  /// still loses it). Counterpart of SetSendInterceptor for controllers
+  /// that re-inject captured messages in an order of their choosing.
+  void DeliverNow(const std::vector<uint8_t>& wire) { Deliver(wire); }
+
   const NetworkStats& stats() const { return stats_; }
 
   Simulator* sim() { return sim_; }
@@ -131,6 +149,7 @@ class Network {
   bool MatchesDropRule(const Message& msg);
   LatencyModel* ModelFor(SiteId from, SiteId to);
   void ScheduleDelivery(const Message& msg, const std::vector<uint8_t>& wire);
+  void Deliver(const std::vector<uint8_t>& wire);
 
   Simulator* sim_;
   MetricsRegistry* metrics_;
@@ -147,6 +166,7 @@ class Network {
   std::vector<DropRule> drop_rules_;
   uint64_t send_index_ = 0;
   std::set<uint64_t> drop_send_indexes_;
+  SendInterceptor send_interceptor_;
   NetworkStats stats_;
 };
 

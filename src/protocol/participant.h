@@ -28,6 +28,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/types.h"
 #include "protocol/engine_context.h"
@@ -67,6 +68,15 @@ class ParticipantEngine {
   /// In-flight (prepared, in-doubt) transactions.
   size_t ActiveTxns() const { return prepared_.size(); }
   bool IsInDoubt(TxnId txn) const { return prepared_.count(txn) > 0; }
+
+  /// Ids of all in-doubt transactions, ascending. Used by the model
+  /// checker's state fingerprint.
+  std::vector<TxnId> InDoubtTxns() const {
+    std::vector<TxnId> out;
+    out.reserve(prepared_.size());
+    for (const auto& [txn, entry] : prepared_) out.push_back(txn);
+    return out;
+  }
 
  private:
   struct PreparedTxn {

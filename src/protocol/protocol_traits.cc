@@ -5,6 +5,55 @@
 
 namespace prany {
 
+namespace {
+
+// Compile-time consistency of the presumption model with the traits table.
+// A presumed protocol must skip the ack exactly when it skips the forced
+// decision record, and the outcome it skips must be the one its presumption
+// covers — otherwise "no news" would be ambiguous and the protocol unsound.
+constexpr bool AcksOutcome(ProtocolKind kind, Outcome o) {
+  const ParticipantTraits t = BaseTraits(kind);
+  return o == Outcome::kCommit ? t.ack_commit : t.ack_abort;
+}
+constexpr bool ForcesOutcome(ProtocolKind kind, Outcome o) {
+  const ParticipantTraits t = BaseTraits(kind);
+  return o == Outcome::kCommit ? t.force_commit_record : t.force_abort_record;
+}
+constexpr bool AckMatchesForce(ProtocolKind kind) {
+  return AcksOutcome(kind, Outcome::kCommit) ==
+             ForcesOutcome(kind, Outcome::kCommit) &&
+         AcksOutcome(kind, Outcome::kAbort) ==
+             ForcesOutcome(kind, Outcome::kAbort);
+}
+constexpr bool RelianceMatchesSkippedAck(ProtocolKind kind) {
+  const std::optional<Outcome> r = ParticipantRelianceOutcome(kind);
+  if (!r.has_value()) {  // PrN: acks (and forces) both outcomes.
+    return AcksOutcome(kind, Outcome::kCommit) &&
+           AcksOutcome(kind, Outcome::kAbort);
+  }
+  // The presumed outcome is the un-acked one; the other must be acked.
+  const Outcome other =
+      *r == Outcome::kCommit ? Outcome::kAbort : Outcome::kCommit;
+  return !AcksOutcome(kind, *r) && AcksOutcome(kind, other);
+}
+static_assert(AckMatchesForce(ProtocolKind::kPrN));
+static_assert(AckMatchesForce(ProtocolKind::kPrA));
+static_assert(AckMatchesForce(ProtocolKind::kPrC));
+static_assert(RelianceMatchesSkippedAck(ProtocolKind::kPrN));
+static_assert(RelianceMatchesSkippedAck(ProtocolKind::kPrA));
+static_assert(RelianceMatchesSkippedAck(ProtocolKind::kPrC));
+// A base coordinator's fixed presumption must cover its own participants'
+// reliance (homogeneous deployments are self-consistent).
+static_assert(CoordinatorFixedPresumption(ProtocolKind::kPrA) ==
+              ParticipantRelianceOutcome(ProtocolKind::kPrA));
+static_assert(CoordinatorFixedPresumption(ProtocolKind::kPrC) ==
+              ParticipantRelianceOutcome(ProtocolKind::kPrC));
+// PrAny and C2PC must never presume a fixed outcome.
+static_assert(!CoordinatorFixedPresumption(ProtocolKind::kPrAny).has_value());
+static_assert(!CoordinatorFixedPresumption(ProtocolKind::kC2PC).has_value());
+
+}  // namespace
+
 const ParticipantTraits& TraitsFor(ProtocolKind kind) {
   // Figures 2-4 of the paper, column by column.
   static const ParticipantTraits kPrNTraits{/*ack_commit=*/true,

@@ -12,6 +12,7 @@
 #ifndef PRANY_PROTOCOL_PROTOCOL_TRAITS_H_
 #define PRANY_PROTOCOL_PROTOCOL_TRAITS_H_
 
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -43,6 +44,67 @@ std::set<SiteId> AckersAmong(const std::vector<ParticipantInfo>& participants,
 
 /// All participant sites.
 std::set<SiteId> SitesOf(const std::vector<ParticipantInfo>& participants);
+
+// --- Compile-time presumption model ---------------------------------------
+//
+// The constexpr mirror of the table above, used by the presumption-
+// consistency lint (and static_asserts in protocol_traits.cc) to cross-
+// check the PCP table against the traits: a participant relying on
+// presumption P paired with a coordinator that presumes Q != P is exactly
+// Theorem 1's root cause, expressed as a table property instead of a
+// schedule.
+
+/// Compile-time traits for a base protocol. Non-base kinds yield PrN's
+/// all-yes row (they never appear as participant protocols).
+constexpr ParticipantTraits BaseTraits(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kPrA:
+      return ParticipantTraits{true, false, true, false};
+    case ProtocolKind::kPrC:
+      return ParticipantTraits{false, true, false, true};
+    case ProtocolKind::kPrN:
+    default:
+      return ParticipantTraits{true, true, true, true};
+  }
+}
+
+/// The outcome a base *participant* protocol leaves to presumption: the
+/// decision it neither acknowledges nor force-logs, trusting the
+/// coordinator's answer to a later inquiry. PrN presumes nothing (it acks
+/// and forces both outcomes).
+constexpr std::optional<Outcome> ParticipantRelianceOutcome(
+    ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kPrA:
+      return Outcome::kAbort;
+    case ProtocolKind::kPrC:
+      return Outcome::kCommit;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// The fixed outcome a *coordinator* protocol answers for inquiries about
+/// transactions it has forgotten. U2PC answers with its native protocol's
+/// presumption regardless of who asks (the §2 flaw). PrAny adopts the
+/// inquirer's own presumption and C2PC never forgets before every ack, so
+/// neither has a fixed presumption.
+constexpr std::optional<Outcome> CoordinatorFixedPresumption(
+    ProtocolKind kind, ProtocolKind u2pc_native = ProtocolKind::kPrN) {
+  switch (kind) {
+    case ProtocolKind::kPrN:  // "active at failure time" => presumed abort.
+    case ProtocolKind::kPrA:
+      return Outcome::kAbort;
+    case ProtocolKind::kPrC:
+      return Outcome::kCommit;
+    case ProtocolKind::kU2PC:
+      return u2pc_native == ProtocolKind::kU2PC
+                 ? std::nullopt
+                 : CoordinatorFixedPresumption(u2pc_native);
+    default:
+      return std::nullopt;  // PrAny, C2PC.
+  }
+}
 
 }  // namespace prany
 

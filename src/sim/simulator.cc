@@ -42,6 +42,27 @@ bool Simulator::Step() {
   return false;
 }
 
+std::optional<SimTime> Simulator::NextEventTime() {
+  while (!queue_.empty() && cancelled_.count(queue_.top().seq) > 0) {
+    cancelled_.erase(queue_.top().seq);
+    queue_.pop();
+  }
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().time;
+}
+
+std::vector<std::pair<SimTime, std::string>> Simulator::PendingEventSummaries()
+    const {
+  std::vector<std::pair<SimTime, std::string>> out;
+  auto copy = queue_;
+  while (!copy.empty()) {
+    const Event& ev = copy.top();
+    if (cancelled_.count(ev.seq) == 0) out.emplace_back(ev.time, ev.label);
+    copy.pop();
+  }
+  return out;
+}
+
 RunStats Simulator::Run(uint64_t max_events, SimTime until) {
   RunStats stats;
   while (true) {

@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -68,6 +70,14 @@ class Simulator {
 
   /// Number of pending (non-cancelled) events.
   size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+
+  /// Time of the earliest pending non-cancelled event, or nullopt when the
+  /// queue is empty. Prunes cancelled events from the front as Run() does.
+  std::optional<SimTime> NextEventTime();
+
+  /// (time, label) of every pending non-cancelled event in firing order.
+  /// Lets the model checker fold outstanding timers into state fingerprints.
+  std::vector<std::pair<SimTime, std::string>> PendingEventSummaries() const;
 
   /// Master RNG (fork children for subsystems).
   Rng& rng() { return rng_; }

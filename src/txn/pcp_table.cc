@@ -1,5 +1,8 @@
 #include "txn/pcp_table.h"
 
+#include "common/string_util.h"
+#include "protocol/protocol_traits.h"
+
 namespace prany {
 
 Status PcpTable::RegisterSite(SiteId site, ProtocolKind protocol) {
@@ -62,6 +65,32 @@ std::optional<ProtocolKind> AppTable::ProtocolFor(SiteId site) const {
 
 bool AppTable::IsActive(SiteId site) const {
   return active_.count(site) > 0;
+}
+
+std::vector<PresumptionLintFinding> LintPresumptions(
+    const PcpTable& pcp, ProtocolKind coordinator_kind,
+    ProtocolKind u2pc_native) {
+  std::vector<PresumptionLintFinding> findings;
+  const std::optional<Outcome> fixed =
+      CoordinatorFixedPresumption(coordinator_kind, u2pc_native);
+  if (!fixed.has_value()) return findings;  // PrAny / C2PC: nothing to clash.
+  for (const ParticipantInfo& p : pcp.AllSites()) {
+    const std::optional<Outcome> relies = ParticipantRelianceOutcome(p.protocol);
+    if (!relies.has_value() || *relies == *fixed) continue;
+    PresumptionLintFinding f;
+    f.site = p.site;
+    f.participant = p.protocol;
+    f.participant_relies_on = *relies;
+    f.coordinator_presumes = *fixed;
+    f.description = StrFormat(
+        "site %u speaks %s and relies on presumed-%s for forgotten "
+        "transactions, but a forgetful %s coordinator answers inquiries "
+        "with presumed-%s (Theorem 1)",
+        p.site, ToString(p.protocol).c_str(), ToString(*relies).c_str(),
+        ToString(coordinator_kind).c_str(), ToString(*fixed).c_str());
+    findings.push_back(std::move(f));
+  }
+  return findings;
 }
 
 }  // namespace prany

@@ -13,6 +13,7 @@
 
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -73,6 +74,25 @@ class AppTable {
   std::map<SiteId, uint32_t> active_;  // site -> refcount
   mutable uint64_t cache_misses_ = 0;
 };
+
+/// One incompatible-presumption pairing found in a PCP table.
+struct PresumptionLintFinding {
+  SiteId site = kInvalidSite;
+  ProtocolKind participant = ProtocolKind::kPrN;
+  Outcome participant_relies_on = Outcome::kAbort;
+  Outcome coordinator_presumes = Outcome::kAbort;
+  std::string description;
+};
+
+/// Theorem 1's root cause as a table-level check: flags every registered
+/// participant whose reliance outcome (the decision it neither acknowledges
+/// nor force-logs, per protocol_traits) contradicts the fixed answer
+/// `coordinator_kind` gives when asked about a forgotten transaction.
+/// PrAny and C2PC coordinators have no fixed presumption and yield no
+/// findings; PrN participants rely on no presumption and are never flagged.
+std::vector<PresumptionLintFinding> LintPresumptions(
+    const PcpTable& pcp, ProtocolKind coordinator_kind,
+    ProtocolKind u2pc_native = ProtocolKind::kPrN);
 
 }  // namespace prany
 

@@ -92,6 +92,19 @@ std::vector<LogRecord> StableLog::StableRecords() const {
   return out;
 }
 
+std::vector<LogRecord> StableLog::BufferedRecords() const {
+  std::vector<LogRecord> out;
+  out.reserve(buffer_.size());
+  for (const StoredRecord& rec : buffer_) {
+    Result<LogRecord> decoded = LogRecord::Decode(rec.bytes);
+    PRANY_CHECK_MSG(decoded.ok(), decoded.status().ToString());
+    LogRecord r = std::move(decoded).ValueOrDie();
+    r.lsn = rec.lsn;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 bool StableLog::HasRecordsFor(TxnId txn) const {
   return std::any_of(stable_.begin(), stable_.end(),
                      [txn](const StoredRecord& r) { return r.txn == txn; });

@@ -68,6 +68,10 @@ class StableLog {
   /// model) and trips a CHECK.
   std::vector<LogRecord> StableRecords() const;
 
+  /// Decoded records still in the volatile buffer, in append order. These
+  /// are the records a crash right now would lose.
+  std::vector<LogRecord> BufferedRecords() const;
+
   /// True if some stable record for `txn` exists (post-Truncate view).
   bool HasRecordsFor(TxnId txn) const;
 

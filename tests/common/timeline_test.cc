@@ -113,7 +113,8 @@ TEST(TimelineTest, CountsLossesResendsAndInquiries) {
   events.push_back(Event(30, TraceEventKind::kMsgBlocked, 0, 1, "DECISION"));
   events.push_back(Event(40, TraceEventKind::kCoordResend, 0, 1));
   events.push_back(Event(50, TraceEventKind::kPartInquiry, 1, 1));
-  const TxnTimeline& t = BuildTimelines(events).at(1);
+  auto timelines = BuildTimelines(events);
+  const TxnTimeline& t = timelines.at(1);
   EXPECT_EQ(t.messages_lost, 3u);
   EXPECT_EQ(t.resends, 1u);
   EXPECT_EQ(t.inquiries, 1u);

@@ -1,0 +1,172 @@
+// WAL discipline oracle: clean protocol runs must produce zero violations,
+// and synthetic traces violating each rule must be flagged.
+
+#include "history/wal_discipline_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/system.h"
+
+namespace prany {
+namespace {
+
+TraceEvent Append(SiteId site, TxnId txn, const char* label, bool forced) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kWalAppend;
+  e.site = site;
+  e.txn = txn;
+  e.label = label;
+  e.forced = forced;
+  return e;
+}
+
+TraceEvent Send(SiteId site, TxnId txn, const char* label,
+                std::optional<Outcome> outcome = std::nullopt,
+                const char* detail = "") {
+  TraceEvent e;
+  e.kind = TraceEventKind::kMsgSend;
+  e.site = site;
+  e.txn = txn;
+  e.label = label;
+  e.outcome = outcome;
+  e.detail = detail;
+  return e;
+}
+
+TraceEvent Enforce(SiteId site, TxnId txn, Outcome outcome) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kPartEnforce;
+  e.site = site;
+  e.txn = txn;
+  e.outcome = outcome;
+  return e;
+}
+
+bool HasRule(const WalDisciplineReport& report, const std::string& rule) {
+  for (const WalViolation& v : report.violations) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(WalDisciplineCheckerTest, CleanRunsOfEveryProtocolPass) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC,
+        ProtocolKind::kPrAny}) {
+    System system(SystemConfig{});
+    system.sim().trace().Enable();
+    system.AddSite(ProtocolKind::kPrN, kind);
+    std::map<SiteId, ProtocolKind> protocols;
+    std::vector<SiteId> participants;
+    for (ProtocolKind p : kind == ProtocolKind::kPrAny
+                              ? std::vector<ProtocolKind>{ProtocolKind::kPrA,
+                                                          ProtocolKind::kPrC}
+                              : std::vector<ProtocolKind>{kind, kind}) {
+      SiteId id = system.AddSite(p)->id();
+      participants.push_back(id);
+      protocols[id] = p;
+    }
+    system.Submit(0, participants);
+    system.Submit(0, participants, {{1, Vote::kNo}});
+    system.Run();
+    WalDisciplineReport report =
+        WalDisciplineChecker::Check(system.sim().trace().events(), protocols);
+    EXPECT_TRUE(report.ok()) << ToString(kind) << ":\n" << report.ToString();
+    EXPECT_GT(report.events_checked, 0u);
+  }
+}
+
+TEST(WalDisciplineCheckerTest, FlagsUnforcedDecisionBeforeSend) {
+  // R1: the commit record exists but was never forced before DECISION went
+  // out.
+  std::vector<TraceEvent> trace = {
+      Append(0, 1, "COMMIT", /*forced=*/false),
+      Send(0, 1, "DECISION", Outcome::kCommit),
+  };
+  WalDisciplineReport report = WalDisciplineChecker::Check(trace, {});
+  EXPECT_TRUE(HasRule(report, "force-before-send")) << report.ToString();
+}
+
+TEST(WalDisciplineCheckerTest, FlagsDecisionSentBeforeForce) {
+  // R1: forced, but in the wrong order.
+  std::vector<TraceEvent> trace = {
+      Send(0, 1, "DECISION", Outcome::kAbort),
+      Append(0, 1, "ABORT", /*forced=*/true),
+  };
+  WalDisciplineReport report = WalDisciplineChecker::Check(trace, {});
+  EXPECT_TRUE(HasRule(report, "force-before-send")) << report.ToString();
+}
+
+TEST(WalDisciplineCheckerTest, FlagsYesVoteWithoutForcedPrepared) {
+  // R2: yes vote with no PREPARED record at all...
+  std::vector<TraceEvent> no_prepared = {
+      Send(1, 1, "VOTE", std::nullopt, "yes"),
+  };
+  EXPECT_TRUE(HasRule(WalDisciplineChecker::Check(no_prepared, {}),
+                      "prepared-before-vote"));
+  // ...or with the PREPARED record after the vote.
+  std::vector<TraceEvent> late_prepared = {
+      Send(1, 1, "VOTE", std::nullopt, "yes"),
+      Append(1, 1, "PREPARED", /*forced=*/true),
+  };
+  EXPECT_TRUE(HasRule(WalDisciplineChecker::Check(late_prepared, {}),
+                      "prepared-before-vote"));
+  // A no vote needs no PREPARED record.
+  std::vector<TraceEvent> no_vote = {
+      Send(1, 1, "VOTE", std::nullopt, "no"),
+  };
+  EXPECT_TRUE(WalDisciplineChecker::Check(no_vote, {}).ok());
+}
+
+TEST(WalDisciplineCheckerTest, FlagsEnforceWithoutForcedDecisionRecord) {
+  // R3: a prepared PrN participant enforces commit without a forced COMMIT
+  // record (PrN force-logs both outcomes).
+  std::vector<TraceEvent> trace = {
+      Append(1, 1, "PREPARED", /*forced=*/true),
+      Send(1, 1, "VOTE", std::nullopt, "yes"),
+      Enforce(1, 1, Outcome::kCommit),
+  };
+  std::map<SiteId, ProtocolKind> protocols = {{1, ProtocolKind::kPrN}};
+  EXPECT_TRUE(HasRule(WalDisciplineChecker::Check(trace, protocols),
+                      "log-before-enforce"));
+  // The same trace is legal for a PrC participant: commit is its presumed
+  // (never force-logged) outcome.
+  std::map<SiteId, ProtocolKind> prc = {{1, ProtocolKind::kPrC}};
+  EXPECT_TRUE(WalDisciplineChecker::Check(trace, prc).ok());
+}
+
+TEST(WalDisciplineCheckerTest, UnpreparedAbortIsExemptFromR3) {
+  // A participant aborting before it ever prepared (vote-no unilateral
+  // abort) needs no log record.
+  std::vector<TraceEvent> trace = {
+      Send(1, 1, "VOTE", std::nullopt, "no"),
+      Enforce(1, 1, Outcome::kAbort),
+  };
+  std::map<SiteId, ProtocolKind> protocols = {{1, ProtocolKind::kPrN}};
+  EXPECT_TRUE(WalDisciplineChecker::Check(trace, protocols).ok());
+}
+
+TEST(WalDisciplineCheckerTest, FlagsInitiationViolations) {
+  // R4: INITIATION must be forced...
+  std::vector<TraceEvent> unforced = {
+      Append(0, 1, "INITIATION", /*forced=*/false),
+  };
+  EXPECT_TRUE(HasRule(WalDisciplineChecker::Check(unforced, {}),
+                      "initiation-before-prepare"));
+  // ...and must precede the first PREPARE.
+  std::vector<TraceEvent> late = {
+      Send(0, 1, "PREPARE"),
+      Append(0, 1, "INITIATION", /*forced=*/true),
+  };
+  EXPECT_TRUE(HasRule(WalDisciplineChecker::Check(late, {}),
+                      "initiation-before-prepare"));
+  // Correct order passes.
+  std::vector<TraceEvent> good = {
+      Append(0, 1, "INITIATION", /*forced=*/true),
+      Send(0, 1, "PREPARE"),
+  };
+  EXPECT_TRUE(WalDisciplineChecker::Check(good, {}).ok());
+}
+
+}  // namespace
+}  // namespace prany

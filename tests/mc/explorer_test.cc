@@ -1,0 +1,174 @@
+// The model checker's own contract: it must rediscover the paper's
+// Theorem 1 violations from nothing but the choice-point enumeration, stay
+// silent on the correct protocols, execute deterministically, and minimize
+// counterexamples down to their essential deviation.
+
+#include "mc/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "mc/schedule_controller.h"
+
+namespace prany {
+namespace {
+
+McConfig U2pcConfig(ProtocolKind native, std::map<SiteId, Vote> votes) {
+  McConfig config;
+  config.coordinator = ProtocolKind::kU2PC;
+  config.u2pc_native = native;
+  config.participants = {ProtocolKind::kPrA, ProtocolKind::kPrC};
+  config.votes = std::move(votes);
+  config.budget = SmallBudget();
+  return config;
+}
+
+TEST(McExplorerTest, RediscoversTheorem1CommitCase) {
+  // Theorem 1 (a)/(b) shape: all-yes commit under a native-PrN U2PC
+  // coordinator; crashing the PrC participant in the decision window makes
+  // it recover into a presumed-abort answer for a committed transaction.
+  McExplorer explorer(U2pcConfig(ProtocolKind::kPrN, {}));
+  McResult result = explorer.Explore();
+  ASSERT_TRUE(result.HasOracle("atomicity")) << "no atomicity counterexample";
+  for (const McCounterexample& ce : result.counterexamples) {
+    EXPECT_TRUE(ce.replay_deterministic)
+        << ce.oracle << " counterexample did not replay deterministically";
+  }
+}
+
+TEST(McExplorerTest, RediscoversTheorem1AbortCase) {
+  // Theorem 1 (c) shape: native-PrC coordinator, the PrC participant votes
+  // no; the crashed PrA participant recovers into presumed-commit for an
+  // aborted transaction.
+  McExplorer explorer(
+      U2pcConfig(ProtocolKind::kPrC, {{2, Vote::kNo}}));
+  McResult result = explorer.Explore();
+  EXPECT_TRUE(result.HasOracle("atomicity"));
+}
+
+TEST(McExplorerTest, MinimizedCounterexampleIsEssential) {
+  McExplorer explorer(U2pcConfig(ProtocolKind::kPrN, {}));
+  McResult result = explorer.Explore();
+  ASSERT_TRUE(result.HasOracle("atomicity"));
+  for (const McCounterexample& ce : result.counterexamples) {
+    if (ce.oracle != "atomicity") continue;
+    // The violation needs exactly one deviation from the default schedule:
+    // the crash flip in the decision window. Minimization must reduce the
+    // discovered schedule to non-default choices only at that flip.
+    uint32_t non_default = 0;
+    for (uint32_t c : ce.choices) non_default += c != 0 ? 1 : 0;
+    EXPECT_EQ(non_default, 1u)
+        << "minimized schedule still has " << non_default
+        << " non-default choices";
+    EXPECT_LE(ce.choices.size(), ce.original_choices.size());
+  }
+}
+
+TEST(McExplorerTest, PrAnyIsCleanAtSmallBudget) {
+  McConfig config;
+  config.coordinator = ProtocolKind::kPrAny;
+  config.participants = {ProtocolKind::kPrA, ProtocolKind::kPrC};
+  config.budget = SmallBudget();
+  McResult result = McExplorer(config).Explore();
+  EXPECT_TRUE(result.Clean()) << result.counterexamples.front().oracle << ": "
+                              << result.counterexamples.front().description;
+  EXPECT_TRUE(result.lint.empty());
+}
+
+TEST(McExplorerTest, BaseProtocolsCleanAtSmallBudget) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    McConfig config;
+    config.coordinator = kind;
+    config.participants = {kind, kind};
+    config.budget = SmallBudget();
+    McResult result = McExplorer(config).Explore();
+    EXPECT_TRUE(result.Clean())
+        << ToString(kind) << ": "
+        << (result.counterexamples.empty()
+                ? ""
+                : result.counterexamples.front().description);
+  }
+}
+
+TEST(McExplorerTest, U2pcLintFlagsIncompatiblePairing) {
+  // Native-PrN U2PC presumes abort for forgotten transactions; the PrC
+  // participant relies on presumed commit. The lint must flag exactly the
+  // PrC site.
+  McResult result = McExplorer(U2pcConfig(ProtocolKind::kPrN, {})).Explore();
+  ASSERT_EQ(result.lint.size(), 1u);
+  EXPECT_EQ(result.lint[0].participant, ProtocolKind::kPrC);
+  EXPECT_EQ(result.lint[0].participant_relies_on, Outcome::kCommit);
+  EXPECT_EQ(result.lint[0].coordinator_presumes, Outcome::kAbort);
+}
+
+TEST(ScheduleControllerTest, DefaultScheduleIsDeterministic) {
+  McConfig config = U2pcConfig(ProtocolKind::kPrN, {});
+  McExecution a;
+  McExecution b;
+  McExplorer::RunSchedule(config, {}, nullptr, &a);
+  McExplorer::RunSchedule(config, {}, nullptr, &b);
+  EXPECT_EQ(a.run_hash, b.run_hash);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.points.size(), b.points.size());
+  EXPECT_TRUE(a.quiescent);
+}
+
+TEST(ScheduleControllerTest, DefaultScheduleQuiescesWithinBudget) {
+  for (ProtocolKind kind : {ProtocolKind::kPrN, ProtocolKind::kPrAny}) {
+    McConfig config;
+    config.coordinator = kind;
+    config.participants =
+        kind == ProtocolKind::kPrAny
+            ? std::vector<ProtocolKind>{ProtocolKind::kPrA,
+                                        ProtocolKind::kPrC}
+            : std::vector<ProtocolKind>{kind, kind};
+    config.budget = SmallBudget();
+    McExecution exec;
+    McExplorer::RunSchedule(config, {}, nullptr, &exec);
+    EXPECT_TRUE(exec.quiescent) << ToString(kind);
+    EXPECT_FALSE(exec.truncated) << ToString(kind);
+  }
+}
+
+TEST(ScheduleControllerTest, CrashChoiceSurvivesTheDowntime) {
+  // Flipping one crash choice must still produce a terminating execution:
+  // the small budget has to be deep enough to ride out the coordinator's
+  // resend loop across the victim's downtime.
+  McConfig config;
+  config.coordinator = ProtocolKind::kPrN;
+  config.participants = {ProtocolKind::kPrN, ProtocolKind::kPrN};
+  config.budget = SmallBudget();
+  // Probe points appear early in the default run; flip the first dozen one
+  // at a time and require quiescence each time.
+  for (size_t flip = 0; flip < 12; ++flip) {
+    std::vector<uint32_t> choices(flip + 1, 0);
+    choices[flip] = 1;
+    McExecution exec;
+    McExplorer::RunSchedule(config, choices, nullptr, &exec);
+    EXPECT_TRUE(exec.quiescent || exec.truncated);
+  }
+}
+
+TEST(StandardConfigsTest, EnumeratesVoteAndNativeVariants) {
+  std::vector<McConfig> u2pc = StandardModelCheckConfigs(
+      ProtocolKind::kU2PC, 2, SmallBudget(), /*seed=*/1);
+  // 3 natives x (all-yes + 2 single-no-voter) vote patterns.
+  EXPECT_EQ(u2pc.size(), 9u);
+
+  std::vector<McConfig> filtered = StandardModelCheckConfigs(
+      ProtocolKind::kU2PC, 2, SmallBudget(), 1, ProtocolKind::kPrC);
+  EXPECT_EQ(filtered.size(), 3u);
+  for (const McConfig& c : filtered) {
+    EXPECT_EQ(c.u2pc_native, ProtocolKind::kPrC);
+  }
+
+  std::vector<McConfig> base = StandardModelCheckConfigs(
+      ProtocolKind::kPrA, 2, SmallBudget(), 1);
+  EXPECT_EQ(base.size(), 3u);
+  for (const McConfig& c : base) {
+    for (ProtocolKind p : c.participants) EXPECT_EQ(p, ProtocolKind::kPrA);
+  }
+}
+
+}  // namespace
+}  // namespace prany

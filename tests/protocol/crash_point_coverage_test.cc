@@ -1,0 +1,124 @@
+// Reachability coverage for crash_points.h: every named crash point must
+// actually be probed (fire at least once) under each protocol, so dead
+// instrumentation points — a point the engines stopped passing after a
+// refactor — fail CI instead of silently weakening the failure tests and
+// the model checker's crash enumeration.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/system.h"
+#include "protocol/crash_points.h"
+
+namespace prany {
+namespace {
+
+struct CoverageCase {
+  const char* name;
+  ProtocolKind coordinator;
+  ProtocolKind native;
+  std::vector<ProtocolKind> participants;
+  /// Points this deployment can never pass (asserted to stay at zero, so
+  /// the reachability model itself is pinned).
+  std::set<CrashPoint> unreachable;
+};
+
+// kCoordAfterInitiationLogged sits inside the WritesInitiation branch:
+// only PrC-mode coordinators (PrC, U2PC-native-PrC) and PrAny (which
+// force-logs initiation in every mode, §4.2) pass it. C2PC still passes
+// kCoordBeforeForget — in a failure-free run every ack arrives, so the
+// probe at the entrance of the forget path fires even though the entry
+// itself is retained forever (Theorem 2).
+const CoverageCase kCases[] = {
+    {"PrN", ProtocolKind::kPrN, ProtocolKind::kPrN,
+     {ProtocolKind::kPrN, ProtocolKind::kPrN},
+     {CrashPoint::kCoordAfterInitiationLogged}},
+    {"PrA", ProtocolKind::kPrA, ProtocolKind::kPrN,
+     {ProtocolKind::kPrA, ProtocolKind::kPrA},
+     {CrashPoint::kCoordAfterInitiationLogged}},
+    {"PrC", ProtocolKind::kPrC, ProtocolKind::kPrN,
+     {ProtocolKind::kPrC, ProtocolKind::kPrC},
+     {}},
+    {"U2PC_nativePrN", ProtocolKind::kU2PC, ProtocolKind::kPrN,
+     {ProtocolKind::kPrA, ProtocolKind::kPrC},
+     {CrashPoint::kCoordAfterInitiationLogged}},
+    {"U2PC_nativePrA", ProtocolKind::kU2PC, ProtocolKind::kPrA,
+     {ProtocolKind::kPrA, ProtocolKind::kPrC},
+     {CrashPoint::kCoordAfterInitiationLogged}},
+    {"U2PC_nativePrC", ProtocolKind::kU2PC, ProtocolKind::kPrC,
+     {ProtocolKind::kPrA, ProtocolKind::kPrC},
+     {}},
+    {"C2PC", ProtocolKind::kC2PC, ProtocolKind::kPrN,
+     {ProtocolKind::kPrA, ProtocolKind::kPrC},
+     {CrashPoint::kCoordAfterInitiationLogged}},
+    {"PrAny", ProtocolKind::kPrAny, ProtocolKind::kPrN,
+     {ProtocolKind::kPrA, ProtocolKind::kPrC},
+     {}},
+};
+
+/// Runs one failure-free transaction and accumulates how often every crash
+/// point was probed.
+void AccumulateProbes(const CoverageCase& c,
+                      const std::map<SiteId, Vote>& votes,
+                      std::map<CrashPoint, uint64_t>* out) {
+  System system(SystemConfig{});
+  system.AddSite(ProtocolKind::kPrN, c.coordinator, c.native);
+  std::vector<SiteId> participant_sites;
+  for (ProtocolKind p : c.participants) {
+    participant_sites.push_back(system.AddSite(p)->id());
+  }
+  system.Submit(0, participant_sites, votes);
+  system.Run();
+  for (const auto& [point, count] : system.injector().probe_counts()) {
+    (*out)[point] += count;
+  }
+}
+
+class CrashPointCoverageTest : public ::testing::TestWithParam<CoverageCase> {
+};
+
+TEST_P(CrashPointCoverageTest, EveryReachablePointProbed) {
+  const CoverageCase& c = GetParam();
+  // Commit (all yes) plus abort (site 1 votes no) runs together exercise
+  // both decision paths.
+  std::map<CrashPoint, uint64_t> probes;
+  AccumulateProbes(c, {}, &probes);
+  AccumulateProbes(c, {{1, Vote::kNo}}, &probes);
+
+  for (CrashPoint point : kAllCrashPoints) {
+    const uint64_t count = probes.count(point) ? probes.at(point) : 0;
+    if (c.unreachable.count(point) > 0) {
+      EXPECT_EQ(count, 0u) << ToString(point)
+                           << " was expected unreachable under " << c.name;
+    } else {
+      EXPECT_GT(count, 0u) << ToString(point) << " was never probed under "
+                           << c.name << " — dead instrumentation point";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, CrashPointCoverageTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<CoverageCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Global sanity: no point in the enum is dead everywhere — the union of
+// all deployments reaches all 11 points.
+TEST(CrashPointCoverageTest, UnionCoversEveryPoint) {
+  std::map<CrashPoint, uint64_t> probes;
+  for (const CoverageCase& c : kCases) {
+    AccumulateProbes(c, {}, &probes);
+    AccumulateProbes(c, {{1, Vote::kNo}}, &probes);
+  }
+  for (CrashPoint point : kAllCrashPoints) {
+    EXPECT_GT(probes[point], 0u)
+        << ToString(point) << " is dead across every protocol";
+  }
+}
+
+}  // namespace
+}  // namespace prany

@@ -1,0 +1,74 @@
+// The model checker's view of the event queue: NextEventTime and
+// PendingEventSummaries must see exactly the pending non-cancelled events.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace prany {
+namespace {
+
+TEST(SimulatorIntrospectionTest, NextEventTimeTracksEarliestPending) {
+  Simulator sim;
+  EXPECT_FALSE(sim.NextEventTime().has_value());
+
+  sim.ScheduleAt(200, [] {}, "later");
+  sim.ScheduleAt(100, [] {}, "sooner");
+  ASSERT_TRUE(sim.NextEventTime().has_value());
+  EXPECT_EQ(*sim.NextEventTime(), 100u);
+
+  ASSERT_TRUE(sim.Step());
+  EXPECT_EQ(sim.Now(), 100u);
+  EXPECT_EQ(*sim.NextEventTime(), 200u);
+  ASSERT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.NextEventTime().has_value());
+}
+
+TEST(SimulatorIntrospectionTest, NextEventTimeSkipsCancelledEvents) {
+  Simulator sim;
+  EventId first = sim.ScheduleAt(100, [] {}, "cancelled");
+  sim.ScheduleAt(300, [] {}, "kept");
+  sim.Cancel(first);
+  ASSERT_TRUE(sim.NextEventTime().has_value());
+  EXPECT_EQ(*sim.NextEventTime(), 300u);
+
+  EventId second = sim.ScheduleAt(50, [] {}, "also cancelled");
+  sim.Cancel(second);
+  EXPECT_EQ(*sim.NextEventTime(), 300u);
+}
+
+TEST(SimulatorIntrospectionTest, SummariesListPendingInFiringOrder) {
+  Simulator sim;
+  sim.ScheduleAt(300, [] {}, "c");
+  sim.ScheduleAt(100, [] {}, "a");
+  EventId cancelled = sim.ScheduleAt(200, [] {}, "b");
+  sim.Cancel(cancelled);
+
+  std::vector<std::pair<SimTime, std::string>> pending =
+      sim.PendingEventSummaries();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].first, 100u);
+  EXPECT_EQ(pending[0].second, "a");
+  EXPECT_EQ(pending[1].first, 300u);
+  EXPECT_EQ(pending[1].second, "c");
+
+  // Introspection must not consume the queue.
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorIntrospectionTest, SameTimeEventsKeepScheduleOrder) {
+  Simulator sim;
+  sim.ScheduleAt(100, [] {}, "first");
+  sim.ScheduleAt(100, [] {}, "second");
+  std::vector<std::pair<SimTime, std::string>> pending =
+      sim.PendingEventSummaries();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].second, "first");
+  EXPECT_EQ(pending[1].second, "second");
+}
+
+}  // namespace
+}  // namespace prany

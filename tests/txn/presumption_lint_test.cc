@@ -1,0 +1,115 @@
+// Presumption-consistency lint: the PCP table crossed with the
+// coordinator's fixed presumption must flag exactly the pairings Theorem 1
+// proves unsafe, and nothing else.
+
+#include <gtest/gtest.h>
+
+#include "protocol/protocol_traits.h"
+#include "txn/pcp_table.h"
+
+namespace prany {
+namespace {
+
+PcpTable MixedPcp() {
+  PcpTable pcp;
+  Status s1 = pcp.RegisterSite(1, ProtocolKind::kPrA);
+  Status s2 = pcp.RegisterSite(2, ProtocolKind::kPrC);
+  Status s3 = pcp.RegisterSite(3, ProtocolKind::kPrN);
+  EXPECT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  return pcp;
+}
+
+TEST(PresumptionLintTest, AbortPresumingCoordinatorsFlagPrC) {
+  // PrN, PrA and U2PC-native-PrN/PrA coordinators all answer forgotten
+  // inquiries with abort; the PrC participant relies on presumed commit.
+  PcpTable pcp = MixedPcp();
+  for (auto [kind, native] :
+       {std::pair{ProtocolKind::kPrN, ProtocolKind::kPrN},
+        std::pair{ProtocolKind::kPrA, ProtocolKind::kPrN},
+        std::pair{ProtocolKind::kU2PC, ProtocolKind::kPrN},
+        std::pair{ProtocolKind::kU2PC, ProtocolKind::kPrA}}) {
+    std::vector<PresumptionLintFinding> findings =
+        LintPresumptions(pcp, kind, native);
+    ASSERT_EQ(findings.size(), 1u) << ToString(kind);
+    EXPECT_EQ(findings[0].site, 2u);
+    EXPECT_EQ(findings[0].participant, ProtocolKind::kPrC);
+    EXPECT_EQ(findings[0].participant_relies_on, Outcome::kCommit);
+    EXPECT_EQ(findings[0].coordinator_presumes, Outcome::kAbort);
+    EXPECT_FALSE(findings[0].description.empty());
+  }
+}
+
+TEST(PresumptionLintTest, CommitPresumingCoordinatorsFlagPrA) {
+  PcpTable pcp = MixedPcp();
+  for (auto [kind, native] :
+       {std::pair{ProtocolKind::kPrC, ProtocolKind::kPrN},
+        std::pair{ProtocolKind::kU2PC, ProtocolKind::kPrC}}) {
+    std::vector<PresumptionLintFinding> findings =
+        LintPresumptions(pcp, kind, native);
+    ASSERT_EQ(findings.size(), 1u) << ToString(kind);
+    EXPECT_EQ(findings[0].site, 1u);
+    EXPECT_EQ(findings[0].participant, ProtocolKind::kPrA);
+    EXPECT_EQ(findings[0].participant_relies_on, Outcome::kAbort);
+    EXPECT_EQ(findings[0].coordinator_presumes, Outcome::kCommit);
+  }
+}
+
+TEST(PresumptionLintTest, PrAnyAndC2pcHaveNoFixedPresumption) {
+  PcpTable pcp = MixedPcp();
+  EXPECT_TRUE(LintPresumptions(pcp, ProtocolKind::kPrAny).empty());
+  EXPECT_TRUE(LintPresumptions(pcp, ProtocolKind::kC2PC).empty());
+}
+
+TEST(PresumptionLintTest, PrNParticipantsAreNeverFlagged) {
+  PcpTable pcp;
+  Status s = pcp.RegisterSite(1, ProtocolKind::kPrN);
+  ASSERT_TRUE(s.ok());
+  for (ProtocolKind kind :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC,
+        ProtocolKind::kU2PC}) {
+    EXPECT_TRUE(LintPresumptions(pcp, kind).empty()) << ToString(kind);
+  }
+}
+
+TEST(PresumptionLintTest, HomogeneousDeploymentsAreClean) {
+  // The self-consistent pairings: each base coordinator over participants
+  // of its own protocol.
+  for (ProtocolKind kind :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    PcpTable pcp;
+    Status s1 = pcp.RegisterSite(1, kind);
+    Status s2 = pcp.RegisterSite(2, kind);
+    ASSERT_TRUE(s1.ok() && s2.ok());
+    EXPECT_TRUE(LintPresumptions(pcp, kind).empty()) << ToString(kind);
+  }
+}
+
+TEST(PresumptionLintTest, ConstexprModelMatchesRuntimeTraits) {
+  // The lint's compile-time table must agree with the runtime traits the
+  // engines actually consult.
+  for (ProtocolKind kind :
+       {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC}) {
+    const ParticipantTraits& rt = TraitsFor(kind);
+    ParticipantTraits ct = BaseTraits(kind);
+    EXPECT_EQ(ct.ack_commit, rt.ack_commit) << ToString(kind);
+    EXPECT_EQ(ct.ack_abort, rt.ack_abort) << ToString(kind);
+    EXPECT_EQ(ct.force_commit_record, rt.force_commit_record)
+        << ToString(kind);
+    EXPECT_EQ(ct.force_abort_record, rt.force_abort_record)
+        << ToString(kind);
+
+    // Reliance outcome == the outcome whose ack (and forced decision
+    // record) the participant skips.
+    std::optional<Outcome> reliance = ParticipantRelianceOutcome(kind);
+    if (!rt.ack_abort) {
+      EXPECT_EQ(reliance, Outcome::kAbort);
+    } else if (!rt.ack_commit) {
+      EXPECT_EQ(reliance, Outcome::kCommit);
+    } else {
+      EXPECT_FALSE(reliance.has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prany

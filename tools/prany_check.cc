@@ -1,0 +1,392 @@
+// prany_check — bounded exhaustive model checker for the commit protocols.
+//
+// Explores all message delivery orders, loss/duplication choices and
+// crash-point injections of bounded configurations, checking every
+// execution against the invariant oracles (atomicity, safe state, WAL
+// discipline, operational correctness, determinism). Violations are
+// minimized and emitted as replayable scenario files.
+//
+// Examples:
+//   # rediscover the paper's Theorem 1 violations, no hand-written schedule:
+//   prany_check --protocol u2pc --participants 2 --depth-budget small
+//               --expect theorem1
+//
+//   # verify PrAny is clean at the same budget, saving artifacts:
+//   prany_check --protocol prany --participants 2 --depth-budget small
+//               --expect clean --out out/mc
+//
+//   # replay an emitted counterexample:
+//   prany_check --replay out/mc/u2pc_prc_atomicity_1.scenario
+//
+// Exit status: 0 when the expectation (default: clean) holds, 1 when it
+// does not, 2 on usage errors.
+
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timeline.h"
+#include "common/trace_export.h"
+#include "mc/explorer.h"
+#include "mc/scenario_file.h"
+
+namespace prany {
+namespace {
+
+enum class Expectation { kClean, kViolations, kTheorem1 };
+
+struct Options {
+  ProtocolKind protocol = ProtocolKind::kPrAny;
+  std::optional<ProtocolKind> native_filter;
+  uint32_t participants = 2;
+  McBudget budget = SmallBudget();
+  std::optional<uint64_t> max_executions_override;
+  std::optional<uint32_t> depth_override;
+  uint64_t seed = 1;
+  std::string out_dir;
+  std::string replay_path;
+  Expectation expect = Expectation::kClean;
+  bool expect_given = false;
+  bool verbose = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --protocol NAME        PrN|PrA|PrC|U2PC|C2PC|PrAny (default PrAny)\n"
+      "  --native NAME          restrict U2PC to one native protocol\n"
+      "  --participants N       participant count, 2 or 3 (default 2)\n"
+      "  --depth-budget NAME    small|medium|large (default small)\n"
+      "  --depth N              override max choice points per execution\n"
+      "  --budget N             override max executions per configuration\n"
+      "  --seed N               deterministic seed (default 1)\n"
+      "  --out DIR              write scenario files + Perfetto traces\n"
+      "  --replay FILE          replay one scenario file and exit\n"
+      "  --expect WHAT          clean|violations|theorem1 — exit 0 iff the\n"
+      "                         expectation holds (default clean)\n"
+      "  --verbose              print per-configuration statistics\n"
+      "All flags accept both '--flag value' and '--flag=value'.\n",
+      argv0);
+}
+
+/// Matches `--flag=value` or `--flag value`; exits with usage error status
+/// when the separate-argument form has no value.
+bool MatchFlag(int argc, char** argv, int* i, const char* flag,
+               std::string* value) {
+  std::string arg = argv[*i];
+  std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  if (arg == flag) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag);
+      std::exit(2);
+    }
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string v;
+    if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (arg == "--verbose") {
+      opts->verbose = true;
+    } else if (MatchFlag(argc, argv, &i, "--protocol", &v)) {
+      if (!ParseProtocolKind(v, &opts->protocol)) {
+        std::fprintf(stderr, "unknown protocol: %s\n", v.c_str());
+        return false;
+      }
+    } else if (MatchFlag(argc, argv, &i, "--native", &v)) {
+      ProtocolKind native;
+      if (!ParseProtocolKind(v, &native) || !IsBaseProtocol(native)) {
+        std::fprintf(stderr,
+                     "unknown native: %s (expected PrN, PrA or PrC)\n",
+                     v.c_str());
+        return false;
+      }
+      opts->native_filter = native;
+    } else if (MatchFlag(argc, argv, &i, "--participants", &v)) {
+      opts->participants =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+      if (opts->participants < 2 || opts->participants > 3) {
+        std::fprintf(stderr, "--participants must be 2 or 3\n");
+        return false;
+      }
+    } else if (MatchFlag(argc, argv, &i, "--depth-budget", &v)) {
+      if (!ParseBudget(v, &opts->budget)) {
+        std::fprintf(stderr,
+                     "unknown budget: %s (expected small, medium or "
+                     "large)\n",
+                     v.c_str());
+        return false;
+      }
+    } else if (MatchFlag(argc, argv, &i, "--depth", &v)) {
+      opts->depth_override =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (MatchFlag(argc, argv, &i, "--budget", &v)) {
+      opts->max_executions_override = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (MatchFlag(argc, argv, &i, "--seed", &v)) {
+      opts->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (MatchFlag(argc, argv, &i, "--out", &v)) {
+      opts->out_dir = v;
+    } else if (MatchFlag(argc, argv, &i, "--replay", &v)) {
+      opts->replay_path = v;
+    } else if (MatchFlag(argc, argv, &i, "--expect", &v)) {
+      opts->expect_given = true;
+      if (v == "clean") {
+        opts->expect = Expectation::kClean;
+      } else if (v == "violations") {
+        opts->expect = Expectation::kViolations;
+      } else if (v == "theorem1") {
+        opts->expect = Expectation::kTheorem1;
+      } else {
+        std::fprintf(stderr,
+                     "unknown expectation: %s (expected clean, violations "
+                     "or theorem1)\n",
+                     v.c_str());
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts->depth_override.has_value()) {
+    opts->budget.max_choice_points = *opts->depth_override;
+  }
+  if (opts->max_executions_override.has_value()) {
+    opts->budget.max_executions = *opts->max_executions_override;
+  }
+  if (opts->expect == Expectation::kTheorem1 &&
+      opts->protocol != ProtocolKind::kU2PC) {
+    std::fprintf(stderr, "--expect theorem1 requires --protocol u2pc\n");
+    return false;
+  }
+  return true;
+}
+
+bool EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return true;
+  std::fprintf(stderr, "mkdir %s: %s\n", path.c_str(),
+               std::strerror(errno));
+  return false;
+}
+
+std::string Lowered(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+/// Writes the scenario file and its Perfetto trace; returns the scenario
+/// path (empty on failure).
+std::string EmitArtifacts(const std::string& dir, const McConfig& config,
+                          const McCounterexample& ce, int index) {
+  std::string stem = StrFormat(
+      "%s_%s_%s_%d", Lowered(ToString(config.coordinator)).c_str(),
+      Lowered(ToString(config.u2pc_native)).c_str(), ce.oracle.c_str(),
+      index);
+  McScenario scenario;
+  scenario.config = config;
+  scenario.choices = ce.choices;
+  scenario.oracle = ce.oracle;
+  scenario.description = ce.description;
+
+  std::string scenario_path = dir + "/" + stem + ".scenario";
+  if (!WriteStringToFile(scenario_path, SerializeScenario(scenario))) {
+    std::fprintf(stderr, "failed to write %s\n", scenario_path.c_str());
+    return "";
+  }
+  std::vector<TraceEvent> trace;
+  McExplorer::RunSchedule(config, ce.choices, &trace);
+  std::string trace_path = dir + "/" + stem + ".trace.json";
+  if (!WriteStringToFile(trace_path,
+                         ChromeTraceJson(trace, BuildTimelines(trace)))) {
+    std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+    return "";
+  }
+  return scenario_path;
+}
+
+int Replay(const Options& opts) {
+  std::ifstream in(opts.replay_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", opts.replay_path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<McScenario> parsed = ParseScenario(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", opts.replay_path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const McScenario& scenario = *parsed;
+  std::printf("replaying %s\n  %s\n", opts.replay_path.c_str(),
+              scenario.config.Describe().c_str());
+  ReplayOutcome outcome = ReplayScenario(scenario);
+  for (const McViolation& v : outcome.report.violations) {
+    std::printf("  violation[%s]: %s\n", v.oracle.c_str(),
+                v.description.c_str());
+  }
+  if (outcome.report.violations.empty()) {
+    std::printf("  no violations\n");
+  }
+  if (!scenario.oracle.empty()) {
+    std::printf("  recorded oracle '%s': %s\n", scenario.oracle.c_str(),
+                outcome.reproduced ? "reproduced" : "NOT reproduced");
+  }
+  return outcome.reproduced ? 0 : 1;
+}
+
+int Check(const Options& opts) {
+  if (!opts.out_dir.empty() && !EnsureDir(opts.out_dir)) return 2;
+
+  std::vector<McConfig> configs = StandardModelCheckConfigs(
+      opts.protocol, opts.participants, opts.budget, opts.seed,
+      opts.native_filter);
+
+  uint64_t total_counterexamples = 0;
+  uint64_t total_executions = 0;
+  uint64_t total_lint = 0;
+  bool all_replays_deterministic = true;
+  // For --expect theorem1: which U2PC natives produced an atomicity
+  // counterexample.
+  std::set<ProtocolKind> natives_explored;
+  std::set<ProtocolKind> natives_with_atomicity;
+  int artifact_index = 0;
+
+  for (const McConfig& config : configs) {
+    McExplorer explorer(config);
+    McResult result = explorer.Explore();
+    total_executions += result.stats.executions;
+    natives_explored.insert(config.u2pc_native);
+
+    std::printf("== %s\n", config.Describe().c_str());
+    if (opts.verbose) {
+      std::printf(
+          "   executions=%llu choice_points=%llu dedup_skips=%llu "
+          "sleep_skips=%llu quiescent=%llu truncated=%llu "
+          "minimization_runs=%llu %s\n",
+          static_cast<unsigned long long>(result.stats.executions),
+          static_cast<unsigned long long>(result.stats.choice_points),
+          static_cast<unsigned long long>(result.stats.dedup_skips),
+          static_cast<unsigned long long>(result.stats.sleep_skips),
+          static_cast<unsigned long long>(result.stats.quiescent_runs),
+          static_cast<unsigned long long>(result.stats.truncated_runs),
+          static_cast<unsigned long long>(result.stats.minimization_runs),
+          result.stats.frontier_exhausted ? "frontier-exhausted"
+                                          : "execution-budget-hit");
+    }
+    for (const PresumptionLintFinding& finding : result.lint) {
+      ++total_lint;
+      std::printf("   lint: %s\n", finding.description.c_str());
+    }
+    for (const McCounterexample& ce : result.counterexamples) {
+      ++total_counterexamples;
+      if (ce.oracle == "atomicity") {
+        natives_with_atomicity.insert(config.u2pc_native);
+      }
+      if (!ce.replay_deterministic) all_replays_deterministic = false;
+      std::printf("   counterexample[%s]: %s\n", ce.oracle.c_str(),
+                  ce.description.c_str());
+      std::printf("     choices: [%s] (discovered as %zu choices)%s\n",
+                  JoinNumbers(ce.choices, ",").c_str(),
+                  ce.original_choices.size(),
+                  ce.replay_deterministic ? "" : "  REPLAY NONDETERMINISTIC");
+      for (const std::string& step : ce.schedule) {
+        std::printf("       %s\n", step.c_str());
+      }
+      if (!opts.out_dir.empty()) {
+        std::string path =
+            EmitArtifacts(opts.out_dir, config, ce, artifact_index++);
+        if (!path.empty()) {
+          std::printf("     wrote %s\n", path.c_str());
+        }
+      }
+    }
+    if (result.counterexamples.empty()) {
+      std::printf("   clean (%llu executions)\n",
+                  static_cast<unsigned long long>(result.stats.executions));
+    }
+  }
+
+  std::printf(
+      "total: %llu configuration(s), %llu execution(s), "
+      "%llu counterexample(s), %llu lint finding(s)\n",
+      static_cast<unsigned long long>(configs.size()),
+      static_cast<unsigned long long>(total_executions),
+      static_cast<unsigned long long>(total_counterexamples),
+      static_cast<unsigned long long>(total_lint));
+  if (!all_replays_deterministic) {
+    std::printf("FAIL: some counterexamples did not replay "
+                "deterministically\n");
+    return 1;
+  }
+
+  switch (opts.expect) {
+    case Expectation::kClean:
+      if (total_counterexamples != 0) {
+        std::printf("FAIL: expected clean, found %llu counterexample(s)\n",
+                    static_cast<unsigned long long>(total_counterexamples));
+        return 1;
+      }
+      std::printf("PASS: clean\n");
+      return 0;
+    case Expectation::kViolations:
+      if (total_counterexamples == 0) {
+        std::printf("FAIL: expected violations, found none\n");
+        return 1;
+      }
+      std::printf("PASS: violations found\n");
+      return 0;
+    case Expectation::kTheorem1: {
+      bool ok = true;
+      for (ProtocolKind native : natives_explored) {
+        bool found = natives_with_atomicity.count(native) > 0;
+        std::printf("theorem1 native=%s: %s\n", ToString(native).c_str(),
+                    found ? "atomicity violation rediscovered"
+                          : "NO atomicity violation found");
+        if (!found) ok = false;
+      }
+      std::printf("%s: Theorem 1\n", ok ? "PASS" : "FAIL");
+      return ok ? 0 : 1;
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace prany
+
+int main(int argc, char** argv) {
+  prany::Options opts;
+  if (!prany::ParseArgs(argc, argv, &opts)) {
+    prany::Usage(argv[0]);
+    return 2;
+  }
+  if (!opts.replay_path.empty()) return prany::Replay(opts);
+  return prany::Check(opts);
+}

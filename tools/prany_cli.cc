@@ -273,7 +273,26 @@ int RunScenario(const Options& opts) {
     std::printf("WARNING: event limit hit before quiescence\n");
     return 1;
   }
-  return summary.AllCorrect() ? 0 : 1;
+  if (!summary.AllCorrect()) {
+    // A failing check must be diagnosable from the output alone: dump the
+    // violating history (unless --history already did) and every failing
+    // checker's report.
+    if (!opts.show_history) {
+      std::fprintf(stderr, "=== violating history ===\n%s\n",
+                   system.history().ToString().c_str());
+    }
+    if (!summary.atomicity.ok()) {
+      std::fprintf(stderr, "%s", summary.atomicity.ToString().c_str());
+    }
+    if (!summary.safe_state.ok()) {
+      std::fprintf(stderr, "%s", summary.safe_state.ToString().c_str());
+    }
+    if (!summary.operational.ok()) {
+      std::fprintf(stderr, "%s", summary.operational.ToString().c_str());
+    }
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace

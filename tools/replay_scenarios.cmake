@@ -1,0 +1,22 @@
+# Replays every scenario file the model-checker gate emitted and fails if
+# any does not reproduce its recorded violation. Run as a ctest script so
+# the glob happens after the gate test wrote its artifacts.
+if(NOT DEFINED PRANY_CHECK OR NOT DEFINED SCENARIO_DIR)
+  message(FATAL_ERROR "usage: cmake -DPRANY_CHECK=... -DSCENARIO_DIR=... -P replay_scenarios.cmake")
+endif()
+
+file(GLOB scenarios "${SCENARIO_DIR}/*.scenario")
+if(NOT scenarios)
+  message(FATAL_ERROR "no scenario files in ${SCENARIO_DIR} (did the gate test run?)")
+endif()
+
+foreach(scenario IN LISTS scenarios)
+  execute_process(COMMAND "${PRANY_CHECK}" --replay "${scenario}"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  message(STATUS "${out}")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "replay of ${scenario} failed (exit ${rc}): ${out}${err}")
+  endif()
+endforeach()
+list(LENGTH scenarios n)
+message(STATUS "replayed ${n} scenario(s) OK")
