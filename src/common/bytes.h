@@ -89,6 +89,13 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to frame FileStableLog
+/// records so a torn tail after a crash is detected, not decoded.
+uint32_t Crc32(const void* data, size_t n);
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
 }  // namespace prany
 
 #endif  // PRANY_COMMON_BYTES_H_

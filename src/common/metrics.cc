@@ -24,20 +24,24 @@ double Percentile(std::vector<double> sorted, double q) {
 }  // namespace
 
 void MetricsRegistry::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 int64_t MetricsRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   distributions_[name].push_back(value);
 }
 
 DistributionStats MetricsRegistry::Summarize(const std::string& name) const {
   DistributionStats stats;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = distributions_.find(name);
   if (it == distributions_.end() || it->second.empty()) return stats;
   std::vector<double> sorted = it->second;
@@ -55,6 +59,7 @@ DistributionStats MetricsRegistry::Summarize(const std::string& name) const {
 
 std::vector<std::string> MetricsRegistry::DistributionNames() const {
   std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
   names.reserve(distributions_.size());
   for (const auto& [name, samples] : distributions_) names.push_back(name);
   return names;
@@ -67,6 +72,7 @@ const std::vector<double>& MetricsRegistry::samples(
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   distributions_.clear();
 }

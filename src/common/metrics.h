@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,10 @@ struct DistributionStats {
   double p99 = 0.0;
 };
 
-/// Named counters + distributions. Not thread-safe (single-threaded sim).
+/// Named counters + distributions. The mutating entry points (Add,
+/// Observe) and the point reads (Get, Summarize) are thread-safe so the
+/// live runtime's sites can record concurrently; the reference-returning
+/// accessors (counters(), samples()) are for quiescent use only.
 class MetricsRegistry {
  public:
   /// Adds `delta` to counter `name` (creating it at zero).
@@ -58,6 +62,7 @@ class MetricsRegistry {
   std::string ToString(const std::string& prefix = "") const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, std::vector<double>> distributions_;
 };

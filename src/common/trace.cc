@@ -135,6 +135,7 @@ void TraceLog::Emit(TraceEvent event) {
                  static_cast<unsigned long long>(event.time),
                  event.ToString().c_str());
   }
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 

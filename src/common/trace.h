@@ -15,6 +15,7 @@
 #ifndef PRANY_COMMON_TRACE_H_
 #define PRANY_COMMON_TRACE_H_
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -99,6 +100,11 @@ struct TraceEvent {
 };
 
 /// Collects (and optionally echoes to stderr) trace events.
+///
+/// Emit() is thread-safe (the live runtime's sites emit concurrently);
+/// enable/disable and the read accessors (events(), ToString()) are meant
+/// for quiescent use — before the run starts or after all emitters have
+/// stopped — as they hand out references into the live vector.
 class TraceLog {
  public:
   /// When enabled, events are retained (and echoed if `echo` was set).
@@ -109,10 +115,10 @@ class TraceLog {
   void Disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
-  /// Records a structured event (no-op while disabled).
+  /// Records a structured event (no-op while disabled). Thread-safe.
   void Emit(TraceEvent event);
 
-  /// Legacy free-text entry point: records a kNote event.
+  /// Legacy free-text entry point: records a kNote event. Thread-safe.
   void Emit(SimTime time, std::string text);
 
   const std::vector<TraceEvent>& events() const { return events_; }
@@ -124,6 +130,7 @@ class TraceLog {
  private:
   bool enabled_ = false;
   bool echo_ = false;
+  std::mutex mu_;  ///< Guards events_ during concurrent Emit.
   std::vector<TraceEvent> events_;
 };
 

@@ -36,16 +36,17 @@ std::unique_ptr<CoordinatorBase> MakeCoordinator(const CoordinatorSpec& spec,
 }  // namespace
 
 Site::Site(SiteId id, ProtocolKind participant_protocol, CoordinatorSpec spec,
-           Simulator* sim, Network* net, EventLog* history,
-           MetricsRegistry* metrics, const PcpTable* pcp,
-           TimingConfig timing)
-    : id_(id), sim_(sim), history_(history), log_("wal", metrics) {
-  log_.BindTrace(&sim->trace(), id, [sim]() { return sim->Now(); });
+           EventLoop* sim, ITransport* net, EventLog* history,
+           MetricsRegistry* metrics, const PcpTable* pcp, TimingConfig timing,
+           std::unique_ptr<StableLog> log)
+    : id_(id), sim_(sim), history_(history), log_(std::move(log)) {
+  if (log_ == nullptr) log_ = std::make_unique<StableLog>("wal", metrics);
+  log_->BindTrace(&sim->trace(), id, [sim]() { return sim->Now(); });
   EngineContext ctx;
   ctx.self = id;
   ctx.sim = sim;
   ctx.net = net;
-  ctx.log = &log_;
+  ctx.log = log_.get();
   ctx.history = history;
   ctx.metrics = metrics;
   ctx.timing = timing;
@@ -110,7 +111,7 @@ void Site::Crash(SimDuration downtime) {
   }
   // Volatile state is lost: the unflushed log tail, both engines' tables,
   // and the PrAny APP view.
-  log_.Crash();
+  log_->Crash();
   participant_->Crash();
   coordinator_->Crash();
   if (is_prany_) {
@@ -144,8 +145,8 @@ SiteEndState Site::EndState() const {
   state.site = id_;
   state.coord_table_size = coordinator_->table().Size();
   state.participant_entries = participant_->ActiveTxns();
-  state.unreleased_txns = log_.UnreleasedTxns();
-  state.stable_log_records = log_.StableSize();
+  state.unreleased_txns = log_->UnreleasedTxns();
+  state.stable_log_records = log_->StableSize();
   return state;
 }
 

@@ -35,13 +35,17 @@ struct CoordinatorSpec {
   bool prany_always_mixed_mode = false;
 };
 
-/// A full site (participant + coordinator roles).
+/// A full site (participant + coordinator roles). Backend-agnostic: runs
+/// over any EventLoop + ITransport + StableLog implementation.
 class Site : public NetworkEndpoint {
  public:
-  /// `pcp` must outlive the site (owned by the System).
+  /// `pcp` must outlive the site (owned by the System). `log` may be null,
+  /// in which case an in-memory StableLog is created; the live runtime
+  /// injects a FileStableLog instead.
   Site(SiteId id, ProtocolKind participant_protocol, CoordinatorSpec spec,
-       Simulator* sim, Network* net, EventLog* history,
-       MetricsRegistry* metrics, const PcpTable* pcp, TimingConfig timing);
+       EventLoop* sim, ITransport* net, EventLog* history,
+       MetricsRegistry* metrics, const PcpTable* pcp, TimingConfig timing,
+       std::unique_ptr<StableLog> log = nullptr);
   ~Site() override;
 
   Site(const Site&) = delete;
@@ -69,8 +73,8 @@ class Site : public NetworkEndpoint {
   const CoordinatorBase* coordinator() const { return coordinator_.get(); }
   ParticipantEngine* participant() { return participant_.get(); }
   const ParticipantEngine* participant() const { return participant_.get(); }
-  StableLog* wal() { return &log_; }
-  const StableLog* wal() const { return &log_; }
+  StableLog* wal() { return log_.get(); }
+  const StableLog* wal() const { return log_.get(); }
 
   uint64_t crash_count() const { return crash_count_; }
 
@@ -81,9 +85,9 @@ class Site : public NetworkEndpoint {
   void Recover();
 
   SiteId id_;
-  Simulator* sim_;
+  EventLoop* sim_;
   EventLog* history_;
-  StableLog log_;
+  std::unique_ptr<StableLog> log_;
   std::unique_ptr<ParticipantEngine> participant_;
   std::unique_ptr<CoordinatorBase> coordinator_;
   bool is_prany_ = false;

@@ -54,9 +54,18 @@ std::string SigEvent::ToString() const {
 }
 
 const SigEvent& EventLog::Record(SigEvent event) {
-  event.seq = next_seq_++;
-  events_.push_back(std::move(event));
-  return events_.back();
+  const SigEvent* stored;
+  SigEvent copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    event.seq = next_seq_++;
+    events_.push_back(std::move(event));
+    stored = &events_.back();
+    if (observer_) copy = *stored;
+  }
+  // Notify outside the lock so the observer may call back into readers.
+  if (observer_) observer_(copy);
+  return *stored;
 }
 
 std::vector<const SigEvent*> EventLog::ForTxn(TxnId txn) const {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,10 +57,21 @@ struct SigEvent {
 };
 
 /// The complete, globally ordered history of one run.
+///
+/// Record() is thread-safe (the live runtime's sites record concurrently);
+/// the read accessors are for quiescent use — after the run — as they hand
+/// out references into the live vector.
 class EventLog {
  public:
-  /// Records an event; assigns its sequence number and returns it.
+  /// Records an event; assigns its sequence number and returns it. The
+  /// returned reference is only stable while no other thread records.
   const SigEvent& Record(SigEvent event);
+
+  /// Called with every recorded event (a copy, outside the log's lock).
+  /// The live runtime uses this to detect transaction completion without
+  /// polling. Install/clear only while no recorder is running.
+  using Observer = std::function<void(const SigEvent&)>;
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
 
   const std::vector<SigEvent>& events() const { return events_; }
 
@@ -84,8 +96,10 @@ class EventLog {
   std::string ToString() const;
 
  private:
+  std::mutex mu_;  ///< Guards next_seq_ and events_ during Record.
   uint64_t next_seq_ = 1;
   std::vector<SigEvent> events_;
+  Observer observer_;
 };
 
 }  // namespace prany

@@ -5,13 +5,8 @@
 
 namespace prany {
 
-namespace {
-
-/// Builds a structured net event for `msg`. Send-side kinds attribute the
-/// event to the sender's track (site=from); delivery-side kinds to the
-/// receiver's (site=to).
-TraceEvent NetEvent(TraceEventKind kind, const Message& msg,
-                    bool at_receiver) {
+TraceEvent NetTraceEvent(TraceEventKind kind, const Message& msg,
+                         bool at_receiver) {
   TraceEvent e;
   e.kind = kind;
   e.txn = msg.txn;
@@ -35,8 +30,6 @@ TraceEvent NetEvent(TraceEventKind kind, const Message& msg,
   }
   return e;
 }
-
-}  // namespace
 
 Network::Network(Simulator* sim, MetricsRegistry* metrics)
     : sim_(sim), metrics_(metrics), rng_(sim->rng().Fork()) {
@@ -117,7 +110,7 @@ void Network::Send(const Message& msg) {
   }
   const bool tracing = sim_->trace().enabled();
   if (tracing) {
-    TraceEvent e = NetEvent(TraceEventKind::kMsgSend, msg, false);
+    TraceEvent e = NetTraceEvent(TraceEventKind::kMsgSend, msg, false);
     e.value = wire.size();
     sim_->Emit(std::move(e));
   }
@@ -127,14 +120,14 @@ void Network::Send(const Message& msg) {
   if (IsBlocked(msg.from, msg.to)) {
     ++stats_.messages_blocked;
     if (tracing) {
-      sim_->Emit(NetEvent(TraceEventKind::kMsgBlocked, msg, false));
+      sim_->Emit(NetTraceEvent(TraceEventKind::kMsgBlocked, msg, false));
     }
     return;
   }
   if (MatchesDropRule(msg)) {
     ++stats_.messages_dropped;
     if (tracing) {
-      TraceEvent e = NetEvent(TraceEventKind::kMsgDrop, msg, false);
+      TraceEvent e = NetTraceEvent(TraceEventKind::kMsgDrop, msg, false);
       e.detail = "targeted";
       sim_->Emit(std::move(e));
     }
@@ -143,7 +136,7 @@ void Network::Send(const Message& msg) {
   if (drop_send_indexes_.count(++send_index_) > 0) {
     ++stats_.messages_dropped;
     if (tracing) {
-      TraceEvent e = NetEvent(TraceEventKind::kMsgDrop, msg, false);
+      TraceEvent e = NetTraceEvent(TraceEventKind::kMsgDrop, msg, false);
       e.detail = StrFormat("indexed #%llu",
                            static_cast<unsigned long long>(send_index_));
       sim_->Emit(std::move(e));
@@ -153,7 +146,7 @@ void Network::Send(const Message& msg) {
   if (rng_.Bernoulli(drop_probability_)) {
     ++stats_.messages_dropped;
     if (tracing) {
-      TraceEvent e = NetEvent(TraceEventKind::kMsgDrop, msg, false);
+      TraceEvent e = NetTraceEvent(TraceEventKind::kMsgDrop, msg, false);
       e.detail = "random";
       sim_->Emit(std::move(e));
     }
@@ -164,7 +157,7 @@ void Network::Send(const Message& msg) {
   if (rng_.Bernoulli(duplicate_probability_)) {
     ++stats_.messages_duplicated;
     if (tracing) {
-      sim_->Emit(NetEvent(TraceEventKind::kMsgDuplicate, msg, false));
+      sim_->Emit(NetTraceEvent(TraceEventKind::kMsgDuplicate, msg, false));
     }
     ScheduleDelivery(msg, wire);
   }
@@ -196,13 +189,13 @@ void Network::Deliver(const std::vector<uint8_t>& wire) {
   if (!it->second->IsUp()) {
     ++stats_.messages_lost_down;
     if (sim_->trace().enabled()) {
-      sim_->Emit(NetEvent(TraceEventKind::kMsgLostDown, msg, true));
+      sim_->Emit(NetTraceEvent(TraceEventKind::kMsgLostDown, msg, true));
     }
     return;
   }
   ++stats_.messages_delivered;
   if (sim_->trace().enabled()) {
-    sim_->Emit(NetEvent(TraceEventKind::kMsgDeliver, msg, true));
+    sim_->Emit(NetTraceEvent(TraceEventKind::kMsgDeliver, msg, true));
   }
   it->second->OnMessage(msg);
 }

@@ -34,21 +34,10 @@
 #include "common/metrics.h"
 #include "net/latency_model.h"
 #include "net/message.h"
+#include "net/transport.h"
 #include "sim/simulator.h"
 
 namespace prany {
-
-/// Receives delivered messages. Implemented by harness::Site.
-class NetworkEndpoint {
- public:
-  virtual ~NetworkEndpoint() = default;
-
-  /// Called at delivery time with the decoded message.
-  virtual void OnMessage(const Message& msg) = 0;
-
-  /// Down endpoints lose the message (omission failure).
-  virtual bool IsUp() const = 0;
-};
 
 /// Aggregate network statistics.
 struct NetworkStats {
@@ -61,8 +50,8 @@ struct NetworkStats {
   uint64_t bytes_sent = 0;
 };
 
-/// The network fabric. One per System.
-class Network {
+/// The simulated network fabric. One per System.
+class Network : public ITransport {
  public:
   /// `metrics` may be null; when set, per-message-type counters are kept
   /// there under "net.msg.<TYPE>".
@@ -70,7 +59,7 @@ class Network {
 
   /// Registers the handler for `site`. A site must be registered before
   /// any message addressed to it is delivered.
-  void RegisterEndpoint(SiteId site, NetworkEndpoint* endpoint);
+  void RegisterEndpoint(SiteId site, NetworkEndpoint* endpoint) override;
 
   /// Default latency model for all links (fixed 500us if never set).
   void SetDefaultLatency(std::unique_ptr<LatencyModel> model);
@@ -114,7 +103,7 @@ class Network {
   /// Serializes, routes and schedules delivery of `msg` (msg.from/to must
   /// be set). Send never fails from the sender's perspective: losses are
   /// silent, per the omission model.
-  void Send(const Message& msg);
+  void Send(const Message& msg) override;
 
   /// Hook invoked by Send() for every message, right after accounting and
   /// tracing but before the loss/latency pipeline. Returning true means the

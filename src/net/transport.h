@@ -1,0 +1,58 @@
+// Transport seam: how protocol engines hand messages to the fabric.
+//
+// Two implementations:
+//   - net::Network — the simulated fabric (latency models, loss,
+//     duplication, partitions) running over the Simulator.
+//   - runtime::LiveTransport — in-process multithreaded channels with
+//     per-site inboxes, running over the LiveEventLoop.
+//
+// Both emit the same structured trace events (MSG_SEND / MSG_DELIVER with
+// identical field conventions), which is what lets the sim-vs-live
+// equivalence test compare protocol exchanges across backends.
+
+#ifndef PRANY_NET_TRANSPORT_H_
+#define PRANY_NET_TRANSPORT_H_
+
+#include "common/trace.h"
+#include "net/message.h"
+
+namespace prany {
+
+/// Builds a structured net event for `msg` with the shared field
+/// conventions (send-side kinds attribute to the sender's track, delivery-
+/// side kinds to the receiver's; votes/decisions carry their payload).
+/// Every ITransport implementation emits through this so traces are
+/// comparable across backends.
+TraceEvent NetTraceEvent(TraceEventKind kind, const Message& msg,
+                         bool at_receiver);
+
+/// Receives delivered messages. Implemented by harness::Site.
+class NetworkEndpoint {
+ public:
+  virtual ~NetworkEndpoint() = default;
+
+  /// Called at delivery time with the decoded message.
+  virtual void OnMessage(const Message& msg) = 0;
+
+  /// Down endpoints lose the message (omission failure).
+  virtual bool IsUp() const = 0;
+};
+
+/// Message fabric interface. One per System/LiveSystem.
+class ITransport {
+ public:
+  virtual ~ITransport() = default;
+
+  /// Registers the handler for `site`. A site must be registered before
+  /// any message addressed to it is delivered.
+  virtual void RegisterEndpoint(SiteId site, NetworkEndpoint* endpoint) = 0;
+
+  /// Serializes, routes and schedules delivery of `msg` (msg.from/to must
+  /// be set). Send never fails from the sender's perspective: losses are
+  /// silent, per the omission model.
+  virtual void Send(const Message& msg) = 0;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_NET_TRANSPORT_H_

@@ -9,9 +9,9 @@
 
 #include "common/metrics.h"
 #include "history/event_log.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "protocol/crash_points.h"
-#include "sim/simulator.h"
+#include "runtime/event_loop.h"
 #include "wal/stable_log.h"
 
 namespace prany {
@@ -37,11 +37,14 @@ struct TimingConfig {
   SimDuration forced_write_latency = 0;
 };
 
-/// Dependency bundle handed to engines by their Site.
+/// Dependency bundle handed to engines by their Site. The `sim` and `net`
+/// fields are the env seam: under the simulator they point at a Simulator
+/// and Network, under the live runtime at a LiveEventLoop and
+/// LiveTransport — the engines cannot tell the difference.
 struct EngineContext {
   SiteId self = kInvalidSite;
-  Simulator* sim = nullptr;
-  Network* net = nullptr;
+  EventLoop* sim = nullptr;
+  ITransport* net = nullptr;
   StableLog* log = nullptr;
   EventLog* history = nullptr;
   MetricsRegistry* metrics = nullptr;  ///< May be null.
@@ -83,7 +86,7 @@ struct EngineContext {
       net->Send(msg);
       return;
     }
-    Network* net_ptr = net;
+    ITransport* net_ptr = net;
     std::function<bool()> up = is_up;
     sim->Schedule(
         delay,

@@ -191,8 +191,8 @@ void ParticipantEngine::StartInquiryTimer(TxnId txn, SiteId coordinator) {
   entry.coordinator = coordinator;
   entry.inquiry_timer = std::make_unique<PeriodicTimer>(ctx_.sim);
   SiteId self = ctx_.self;
-  Network* net = ctx_.net;
-  Simulator* sim = ctx_.sim;
+  ITransport* net = ctx_.net;
+  EventLoop* sim = ctx_.sim;
   entry.inquiry_timer->Start(
       ctx_.timing.inquiry_interval,
       [net, sim, txn, self, coordinator]() {

@@ -1,0 +1,87 @@
+// The execution-environment seam between the protocol state machines and
+// their backend.
+//
+// Engines (coordinators, participants, timers) see time and deferred
+// execution only through this interface. Two implementations exist:
+//
+//   - sim::Simulator — the deterministic single-threaded discrete-event
+//     kernel. Time is virtual; Schedule() pushes onto one priority queue;
+//     the model checker enumerates its schedules exhaustively.
+//   - runtime::LiveEventLoop — wall-clock time, worker threads, and real
+//     timers, backing the live multithreaded runtime.
+//
+// Because the engines are written against this interface (and ITransport /
+// StableLog), the *same* compiled state machines run under both backends:
+// what prany_check proves about the sim transfers to the live runtime up
+// to the fidelity of this seam (see docs/RUNTIME.md).
+
+#ifndef PRANY_RUNTIME_EVENT_LOOP_H_
+#define PRANY_RUNTIME_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/trace.h"
+#include "common/types.h"
+
+namespace prany {
+
+/// Handle for a scheduled event; usable to cancel it.
+struct EventId {
+  uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+/// Abstract event loop: a clock plus deferred callbacks plus the shared
+/// trace sink. All durations are in microseconds (SimTime/SimDuration keep
+/// their names from the sim; under the live loop they are microseconds
+/// since loop start).
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~EventLoop() = default;
+
+  /// Current time (microseconds; virtual under the sim, wall-clock-derived
+  /// under the live loop).
+  virtual SimTime Now() const = 0;
+
+  /// Schedules `cb` to run at Now() + delay. `label` shows up in traces
+  /// and pending-event summaries.
+  virtual EventId Schedule(SimDuration delay, Callback cb,
+                           std::string label = "") = 0;
+
+  /// Schedules `cb` at an absolute time >= Now().
+  virtual EventId ScheduleAt(SimTime when, Callback cb,
+                             std::string label = "") = 0;
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a no-op. Implementations guarantee that a Cancel()
+  /// issued from within the engine's serialization domain suppresses the
+  /// callback (the sim is single-threaded; the live loop re-checks the
+  /// cancel set under the engine lock before invoking).
+  virtual void Cancel(EventId id) = 0;
+
+  /// Shared trace sink.
+  TraceLog& trace() { return trace_; }
+
+  /// Emits a trace line stamped with Now().
+  void Trace(std::string text) { trace_.Emit(Now(), std::move(text)); }
+
+  /// Emits a structured trace event stamped with Now(). Cheap when tracing
+  /// is disabled, but callers building an expensive event should still
+  /// guard on trace().enabled() first.
+  void Emit(TraceEvent event) {
+    event.time = Now();
+    trace_.Emit(std::move(event));
+  }
+
+ protected:
+  TraceLog trace_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_RUNTIME_EVENT_LOOP_H_

@@ -1,0 +1,163 @@
+#include "runtime/live_loop.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prany {
+namespace runtime {
+
+namespace {
+thread_local const LiveEventLoop::Executor* t_executor = nullptr;
+}  // namespace
+
+LiveEventLoop::LiveEventLoop() : epoch_(std::chrono::steady_clock::now()) {}
+
+LiveEventLoop::~LiveEventLoop() { Stop(); }
+
+void LiveEventLoop::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  timer_thread_ = std::thread([this]() { TimerThreadMain(); });
+}
+
+void LiveEventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    cv_.notify_all();
+  }
+  timer_thread_.join();
+}
+
+SimTime LiveEventLoop::Now() const {
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+EventId LiveEventLoop::Schedule(SimDuration delay, Callback cb,
+                                std::string label) {
+  return ScheduleAt(Now() + delay, std::move(cb), std::move(label));
+}
+
+EventId LiveEventLoop::ScheduleAt(SimTime when, Callback cb,
+                                  std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_seq_++;
+  TimerTask task;
+  task.deadline = when;
+  task.cb = std::move(cb);
+  task.executor = t_executor;
+  task.label = std::move(label);
+  tasks_.emplace(id, std::move(task));
+  heap_.emplace(when, id);
+  // Only interrupt the timer thread when this deadline is earlier than the
+  // one it is sleeping toward. Timer arms vastly outnumber timer fires
+  // (most protocol timers are cancelled long before their far-future
+  // deadlines), so an unconditional notify here is a context switch per
+  // arm — the single largest scaling cost in the live runtime.
+  if (when < sleeping_until_) cv_.notify_all();
+  return EventId{id};
+}
+
+void LiveEventLoop::Cancel(EventId id) {
+  if (!id.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Erase immediately instead of tombstoning: protocol timers are long
+  // (seconds) and cancels are frequent, so deferred cleanup would grow the
+  // task map without bound. The orphaned heap entry is dropped when it
+  // reaches the top, and RunTask treats a missing id as cancelled (the
+  // strong-cancel path).
+  tasks_.erase(id.seq);
+}
+
+void LiveEventLoop::BindThreadExecutor(const Executor* executor) {
+  t_executor = executor;
+}
+
+const LiveEventLoop::Executor* LiveEventLoop::CurrentThreadExecutor() {
+  return t_executor;
+}
+
+size_t LiveEventLoop::PendingTimers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pending = 0;
+  for (const auto& [id, task] : tasks_) {
+    if (!task.cancelled && !task.dispatched) ++pending;
+  }
+  return pending;
+}
+
+void LiveEventLoop::RunTask(uint64_t id) {
+  Callback cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(id);
+    if (it == tasks_.end() || it->second.cancelled) {
+      // Cancelled between dispatch and execution — the strong-cancel case.
+      tasks_.erase(id);
+      return;
+    }
+    cb = std::move(it->second.cb);
+    tasks_.erase(it);
+  }
+  cb();
+}
+
+void LiveEventLoop::TimerThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    // Drop stale heap heads (cancelled, never dispatched).
+    while (!heap_.empty()) {
+      auto [deadline, id] = heap_.top();
+      auto it = tasks_.find(id);
+      if (it == tasks_.end() || (it->second.cancelled && !it->second.dispatched)) {
+        if (it != tasks_.end()) tasks_.erase(it);
+        heap_.pop();
+        continue;
+      }
+      break;
+    }
+    if (heap_.empty()) {
+      sleeping_until_ = std::numeric_limits<SimTime>::max();
+      cv_.wait(lock);
+      sleeping_until_ = 0;
+      continue;
+    }
+    SimTime deadline = heap_.top().first;
+    SimTime now = Now();
+    if (deadline > now) {
+      sleeping_until_ = deadline;
+      cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      sleeping_until_ = 0;
+      continue;  // re-evaluate: new earlier timers or stop may have arrived
+    }
+    uint64_t id = heap_.top().second;
+    heap_.pop();
+    auto it = tasks_.find(id);
+    if (it == tasks_.end() || it->second.cancelled) {
+      if (it != tasks_.end()) tasks_.erase(it);
+      continue;
+    }
+    const Executor* executor = it->second.executor;
+    if (executor == nullptr) {
+      // Unbound: run inline on the timer thread, outside the lock.
+      Callback cb = std::move(it->second.cb);
+      tasks_.erase(it);
+      lock.unlock();
+      cb();
+      lock.lock();
+      continue;
+    }
+    it->second.dispatched = true;
+    lock.unlock();
+    (*executor)([this, id]() { RunTask(id); });
+    lock.lock();
+  }
+}
+
+}  // namespace runtime
+}  // namespace prany

@@ -1,0 +1,114 @@
+// Wall-clock EventLoop implementation for the live runtime.
+//
+// A single timer thread owns a deadline heap. Callbacks scheduled from an
+// engine thread are *bound* to that engine's executor (installed
+// thread-locally by the LiveSite around every engine invocation): when the
+// deadline arrives, the timer thread posts the callback to the executor,
+// which runs it serialized under the same engine lock as every other
+// engine entry point. Callbacks scheduled from unbound threads run inline
+// on the timer thread.
+//
+// Cancellation is "strong" with respect to the engine lock: a Cancel()
+// issued while holding the engine lock is guaranteed to suppress the
+// callback, even if the timer thread has already posted it — the posted
+// wrapper re-checks the cancel state under the loop mutex after the
+// executor has acquired the engine lock, and executor tasks are sequenced
+// against the canceller by that lock. This mirrors the simulator, where
+// Cancel() from engine code always wins because everything is one thread.
+// Protocol engines rely on it: erasing a transaction's resend timer must
+// ensure the resend never fires afterwards.
+
+#ifndef PRANY_RUNTIME_LIVE_LOOP_H_
+#define PRANY_RUNTIME_LIVE_LOOP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/event_loop.h"
+
+namespace prany {
+namespace runtime {
+
+/// Wall-clock event loop; Now() is microseconds since construction.
+class LiveEventLoop : public EventLoop {
+ public:
+  using Task = std::function<void()>;
+  /// Posts a task to be run serialized under an engine lock. Must outlive
+  /// every task scheduled while it was bound.
+  using Executor = std::function<void(Task)>;
+
+  LiveEventLoop();
+  ~LiveEventLoop() override;
+
+  LiveEventLoop(const LiveEventLoop&) = delete;
+  LiveEventLoop& operator=(const LiveEventLoop&) = delete;
+
+  /// Starts the timer thread. Idempotent.
+  void Start();
+
+  /// Stops the timer thread; never-fired timers are dropped. Idempotent.
+  void Stop();
+
+  SimTime Now() const override;
+  EventId Schedule(SimDuration delay, Callback cb,
+                   std::string label = "") override;
+  EventId ScheduleAt(SimTime when, Callback cb,
+                     std::string label = "") override;
+  void Cancel(EventId id) override;
+
+  /// Binds callbacks scheduled from the *current thread* to `executor`
+  /// (nullptr unbinds; callbacks then run inline on the timer thread).
+  /// LiveSite binds its executor on its worker threads and around inline
+  /// engine invocations.
+  static void BindThreadExecutor(const Executor* executor);
+  static const Executor* CurrentThreadExecutor();
+
+  /// Pending (not yet fired or cancelled) timer count.
+  size_t PendingTimers() const;
+
+ private:
+  struct TimerTask {
+    SimTime deadline = 0;
+    Callback cb;
+    const Executor* executor = nullptr;
+    std::string label;
+    bool cancelled = false;
+    bool dispatched = false;
+  };
+
+  void TimerThreadMain();
+
+  /// Executor-side wrapper: re-checks cancellation under mu_, then runs.
+  void RunTask(uint64_t id);
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_seq_ = 1;
+  std::map<uint64_t, TimerTask> tasks_;
+  /// Min-heap of (deadline, id); entries may be stale (cancelled tasks).
+  std::priority_queue<std::pair<SimTime, uint64_t>,
+                      std::vector<std::pair<SimTime, uint64_t>>,
+                      std::greater<>>
+      heap_;
+  bool running_ = false;
+  /// Deadline the timer thread is currently sleeping toward (0 while it is
+  /// awake, max() while parked on an empty heap); guarded by mu_.
+  /// ScheduleAt only notifies when it beats this deadline.
+  SimTime sleeping_until_ = 0;
+  std::thread timer_thread_;
+};
+
+}  // namespace runtime
+}  // namespace prany
+
+#endif  // PRANY_RUNTIME_LIVE_LOOP_H_

@@ -1,0 +1,330 @@
+#include "runtime/live_system.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/status.h"
+#include "harness/observability.h"
+#include "history/atomicity_checker.h"
+
+namespace prany {
+namespace runtime {
+
+// ---------------------------------------------------------------------------
+// LiveSite
+
+LiveSite::LiveSite(std::unique_ptr<Site> site, FileStableLog* wal,
+                   LiveTransport* transport, int workers)
+    : site_(std::move(site)), wal_(wal) {
+  PRANY_CHECK(wal_ != nullptr && transport != nullptr && workers >= 1);
+  // The harness Site registered itself with the transport in its
+  // constructor; interpose so deliveries enqueue instead of running the
+  // engine on the inbox thread.
+  transport->RegisterEndpoint(site_->id(), this);
+  // Release the engine mutex across durability waits so concurrent
+  // transactions coalesce into one fdatasync. The hooks run with no other
+  // locks held (FileStableLog drops its own mutex around them).
+  wal_->SetWaitHooks([this]() { engine_mu_.unlock(); },
+                     [this]() { engine_mu_.lock(); });
+  executor_ = [this](LiveEventLoop::Task task) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stopping_) return;  // post-shutdown timers are dropped
+      tasks_.push_back(std::move(task));
+    }
+    queue_cv_.notify_one();
+  };
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerMain(); });
+  }
+}
+
+LiveSite::~LiveSite() {
+  StopWorkers();
+  // Detach the hooks before the Site (and its engines) die; the WAL
+  // outlives us only until LiveSystem closes it.
+  wal_->SetWaitHooks(nullptr, nullptr);
+}
+
+void LiveSite::OnMessage(const Message& msg) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return;
+    msgs_.push_back(msg);
+  }
+  queue_cv_.notify_one();
+}
+
+void LiveSite::RunInline(const std::function<void()>& fn) {
+  const LiveEventLoop::Executor* prev =
+      LiveEventLoop::CurrentThreadExecutor();
+  LiveEventLoop::BindThreadExecutor(&executor_);
+  {
+    std::unique_lock<std::mutex> lock(engine_mu_);
+    fn();
+  }
+  LiveEventLoop::BindThreadExecutor(prev);
+}
+
+void LiveSite::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool LiveSite::QueueIdle() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return msgs_.empty() && tasks_.empty() && executing_ == 0;
+}
+
+void LiveSite::WorkerMain() {
+  LiveEventLoop::BindThreadExecutor(&executor_);
+  std::unique_lock<std::mutex> qlock(queue_mu_);
+  while (true) {
+    queue_cv_.wait(qlock, [&] {
+      return stopping_ || !tasks_.empty() || !msgs_.empty();
+    });
+    // Drain what is already queued even when stopping: messages enqueued
+    // before shutdown still complete their handlers.
+    if (!tasks_.empty()) {
+      LiveEventLoop::Task task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++executing_;
+      qlock.unlock();
+      {
+        // Timer callbacks need no busy-set entry: engines only arm timers
+        // once a handler's forces are complete, and strong cancellation
+        // (see LiveEventLoop) covers the rest.
+        std::lock_guard<std::mutex> elock(engine_mu_);
+        task();
+      }
+      qlock.lock();
+      --executing_;
+      continue;
+    }
+    if (!msgs_.empty()) {
+      Message msg = std::move(msgs_.front());
+      msgs_.pop_front();
+      ++executing_;
+      qlock.unlock();
+      HandleMessage(msg);
+      qlock.lock();
+      --executing_;
+      continue;
+    }
+    if (stopping_) return;
+  }
+}
+
+void LiveSite::HandleMessage(const Message& msg) {
+  std::unique_lock<std::mutex> elock(engine_mu_);
+  // Serialize per transaction: the engine mutex is released at durability
+  // waits, and message handlers are not idempotent under same-transaction
+  // interleaving at those yield points. Distinct transactions interleave
+  // freely — that is the whole point of group commit.
+  while (busy_.count(msg.txn) != 0) {
+    ++busy_waiters_;
+    busy_cv_.wait(elock);
+    --busy_waiters_;
+  }
+  busy_.insert(msg.txn);
+  site_->OnMessage(msg);
+  busy_.erase(msg.txn);
+  // Same-transaction collisions are rare; skip the wakeup storm when no
+  // worker is parked on the busy set.
+  if (busy_waiters_ > 0) busy_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// LiveSystem
+
+LiveSystem::LiveSystem(LiveSystemConfig config)
+    : config_(config), transport_(&loop_, &metrics_) {
+  ObservabilityScope* scope = ObservabilityScope::Current();
+  if (scope != nullptr && scope->tracing()) loop_.trace().Enable(false);
+  history_.SetObserver([this](const SigEvent& event) {
+    if (event.type != SigEventType::kCoordDecide) return;
+    PRANY_CHECK(event.outcome.has_value());
+    AwaitShard& shard = ShardFor(event.txn);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.decided[event.txn] = *event.outcome;
+    }
+    shard.cv.notify_all();
+  });
+  loop_.Start();
+}
+
+LiveSystem::~LiveSystem() { Stop(); }
+
+LiveSite* LiveSystem::AddSite(ProtocolKind participant_protocol,
+                              ProtocolKind coordinator_kind,
+                              ProtocolKind u2pc_native) {
+  CoordinatorSpec spec;
+  spec.kind = coordinator_kind;
+  spec.u2pc_native = u2pc_native;
+  return AddSiteWithSpec(participant_protocol, spec);
+}
+
+LiveSite* LiveSystem::AddSiteWithSpec(ProtocolKind participant_protocol,
+                                      const CoordinatorSpec& spec) {
+  SiteId id = static_cast<SiteId>(sites_.size());
+  Status registered = pcp_.RegisterSite(id, participant_protocol);
+  PRANY_CHECK_MSG(registered.ok(), registered.ToString());
+
+  auto wal = std::make_unique<FileStableLog>(
+      config_.log_dir + "/site" + std::to_string(id) + ".wal", "wal",
+      &metrics_, config_.group_commit);
+  FileStableLog* wal_raw = wal.get();
+  Status opened = wal_raw->Open();
+  PRANY_CHECK_MSG(opened.ok(), opened.ToString());
+
+  auto site = std::make_unique<Site>(id, participant_protocol, spec, &loop_,
+                                     &transport_, &history_, &metrics_,
+                                     &pcp_, config_.timing, std::move(wal));
+  sites_.push_back(std::make_unique<LiveSite>(
+      std::move(site), wal_raw, &transport_, config_.workers_per_site));
+  return sites_.back().get();
+}
+
+Transaction LiveSystem::MakeTransaction(
+    SiteId coordinator, const std::vector<SiteId>& participants,
+    const std::map<SiteId, Vote>& votes) {
+  Transaction txn;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    txn.id = txn_ids_.Next();
+  }
+  txn.coordinator = coordinator;
+  for (SiteId p : participants) {
+    std::optional<ProtocolKind> protocol = pcp_.ProtocolFor(p);
+    PRANY_CHECK_MSG(protocol.has_value(), "participant not registered");
+    txn.participants.push_back(ParticipantInfo{p, *protocol});
+  }
+  txn.planned_votes = votes;
+  Status valid = txn.Validate();
+  PRANY_CHECK_MSG(valid.ok(), valid.ToString());
+  return txn;
+}
+
+TxnId LiveSystem::Submit(SiteId coordinator,
+                         const std::vector<SiteId>& participants,
+                         const std::map<SiteId, Vote>& votes) {
+  Transaction txn = MakeTransaction(coordinator, participants, votes);
+  SubmitTransaction(txn);
+  return txn.id;
+}
+
+void LiveSystem::SubmitTransaction(const Transaction& txn) {
+  // Same semantics as System::SubmitAt: install the planned votes, then
+  // start commit processing at the coordinator. Each step runs under that
+  // site's engine mutex; BeginCommit's initiation force (PrC and friends)
+  // releases it mid-call, which is what lets many client threads coalesce
+  // their initiation records into one fdatasync.
+  for (const auto& [site_id, vote] : txn.planned_votes) {
+    LiveSite* ls = live_site(site_id);
+    ls->RunInline(
+        [&]() { ls->site()->participant()->SetPlannedVote(txn.id, vote); });
+  }
+  LiveSite* coord = live_site(txn.coordinator);
+  coord->RunInline([&]() {
+    if (!coord->site()->IsUp()) {
+      metrics_.Add("system.dropped_submissions");
+      return;
+    }
+    coord->site()->coordinator()->BeginCommit(txn);
+  });
+}
+
+std::optional<Outcome> LiveSystem::Await(TxnId txn, uint64_t timeout_us) {
+  AwaitShard& shard = ShardFor(txn);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  bool decided = shard.cv.wait_for(
+      lock, std::chrono::microseconds(timeout_us),
+      [&] { return shard.decided.count(txn) > 0; });
+  if (!decided) return std::nullopt;
+  return shard.decided[txn];
+}
+
+bool LiveSystem::Quiesce(uint64_t timeout_us) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(timeout_us);
+  while (true) {
+    bool idle = transport_.Idle();
+    if (idle) {
+      for (const auto& site : sites_) {
+        if (!site->QueueIdle()) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void LiveSystem::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Order matters: no new deliveries, then no new timers, then drain the
+  // engines, and only then close the WALs (their sync threads must stay
+  // alive until the last blocked durability wait has drained).
+  transport_.Stop();
+  loop_.Stop();
+  for (const auto& site : sites_) site->StopWorkers();
+  for (const auto& site : sites_) {
+    // The workers are joined: nobody can be parked in a durability wait,
+    // and Close()'s final Flush runs on *this* thread, which does not
+    // hold the engine mutex — the unlock/lock hooks must not run for it.
+    site->wal()->SetWaitHooks(nullptr, nullptr);
+    site->wal()->Close();
+  }
+  history_.SetObserver(nullptr);
+
+  if (loop_.trace().enabled()) {
+    timelines_ = BuildTimelines(loop_.trace().events());
+    for (const auto& [txn, timeline] : timelines_) {
+      if (!timeline.Complete()) continue;
+      ObserveTimeline(timeline, &metrics_);
+    }
+  }
+  if (ObservabilityScope* scope = ObservabilityScope::Current()) {
+    scope->Collect(loop_.trace(), timelines_, metrics_);
+  }
+}
+
+AtomicityReport LiveSystem::CheckAtomicity() const {
+  return AtomicityChecker::Check(history_);
+}
+
+SafeStateReport LiveSystem::CheckSafeState() const {
+  return SafeStateChecker::Check(history_);
+}
+
+OperationalReport LiveSystem::CheckOperational() const {
+  return OperationalChecker::Check(history_, EndStates());
+}
+
+std::vector<SiteEndState> LiveSystem::EndStates() const {
+  std::vector<SiteEndState> out;
+  out.reserve(sites_.size());
+  for (const auto& site : sites_) out.push_back(site->site()->EndState());
+  return out;
+}
+
+LiveSite* LiveSystem::live_site(SiteId id) {
+  PRANY_CHECK_MSG(id < sites_.size(), "unknown site id");
+  return sites_[id].get();
+}
+
+}  // namespace runtime
+}  // namespace prany

@@ -1,0 +1,232 @@
+// The live execution backend: real threads, wall-clock timers, file-backed
+// WALs — same protocol state machines as the simulator.
+//
+// Concurrency model. Each LiveSite wraps one harness Site and serializes
+// every entry into its engines (message delivery, timer callbacks, client
+// submissions) under a per-site engine mutex — the live analogue of the
+// simulator's single thread. Three refinements make group commit work:
+//
+//   1. Forced WAL appends release the engine mutex for the duration of the
+//      durability wait (FileStableLog wait hooks), so other transactions
+//      at the same site can run and coalesce their forces into one
+//      fdatasync. This mirrors the sim, where a forced write is a
+//      scheduled-latency yield point.
+//   2. Because the mutex is released mid-handler, two deliveries for the
+//      *same* transaction could interleave at a yield point; a per-site
+//      busy set serializes message handling per transaction (engine
+//      handlers are not idempotent under that interleaving; distinct
+//      transactions touch disjoint table entries and are safe).
+//   3. Timer callbacks are bound to the scheduling site's executor
+//      (LiveEventLoop thread-local binding), so they also run under the
+//      engine mutex, and cancellation from engine code is strong.
+//
+// Shutdown order: transport → timer loop → site workers → WAL close. WAL
+// sync threads outlive the workers so any worker blocked in a durability
+// wait drains instead of deadlocking.
+
+#ifndef PRANY_RUNTIME_LIVE_SYSTEM_H_
+#define PRANY_RUNTIME_LIVE_SYSTEM_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timeline.h"
+#include "core/safe_state.h"
+#include "harness/site.h"
+#include "history/operational_checker.h"
+#include "runtime/live_loop.h"
+#include "runtime/live_transport.h"
+#include "txn/transaction.h"
+#include "wal/file_stable_log.h"
+
+namespace prany {
+namespace runtime {
+
+/// Construction-time parameters for a LiveSystem.
+struct LiveSystemConfig {
+  TimingConfig timing;
+  /// Engine worker threads per site. More than one only helps because
+  /// durability waits release the engine mutex.
+  int workers_per_site = 4;
+  GroupCommitConfig group_commit;
+  /// Directory for per-site WAL files (site<N>.wal). Must exist.
+  std::string log_dir = ".";
+};
+
+/// One site of the live system: the harness Site plus its worker pool,
+/// engine mutex, and file-backed WAL. Created via LiveSystem::AddSite.
+class LiveSite : public NetworkEndpoint {
+ public:
+  LiveSite(std::unique_ptr<Site> site, FileStableLog* wal,
+           LiveTransport* transport, int workers);
+  ~LiveSite() override;
+
+  LiveSite(const LiveSite&) = delete;
+  LiveSite& operator=(const LiveSite&) = delete;
+
+  // NetworkEndpoint (interposed in front of the harness Site): delivery
+  // is a fast enqueue onto the worker queue, never blocking the inbox
+  // thread on the engine mutex.
+  void OnMessage(const Message& msg) override;
+  bool IsUp() const override { return site_->IsUp(); }
+
+  /// Runs `fn` on the caller's thread under the engine mutex, with the
+  /// caller temporarily bound to this site's executor (so timers armed by
+  /// `fn` fire under this site's serialization). Used for submissions and
+  /// quiescent-state reads.
+  void RunInline(const std::function<void()>& fn);
+
+  /// Drains and joins the worker pool. Tasks/messages enqueued afterwards
+  /// are dropped. Idempotent.
+  void StopWorkers();
+
+  /// True when no message/task is queued or executing.
+  bool QueueIdle() const;
+
+  Site* site() { return site_.get(); }
+  const Site* site() const { return site_.get(); }
+  FileStableLog* wal() { return wal_; }
+  const FileStableLog* wal() const { return wal_; }
+
+ private:
+  void WorkerMain();
+  void HandleMessage(const Message& msg);
+
+  std::unique_ptr<Site> site_;
+  FileStableLog* wal_;
+
+  /// Serializes all engine entry points; released across durability waits.
+  std::mutex engine_mu_;
+  /// Transactions with a message handler in flight (possibly parked at a
+  /// durability wait); guarded by engine_mu_.
+  std::set<TxnId> busy_;
+  std::condition_variable busy_cv_;
+  int busy_waiters_ = 0;  ///< Workers parked on busy_cv_; guarded by engine_mu_.
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Message> msgs_;
+  std::deque<LiveEventLoop::Task> tasks_;
+  int executing_ = 0;  ///< Workers currently running an item.
+  bool stopping_ = false;
+
+  /// Posts to the worker queue; what timer callbacks bound to this site
+  /// run through.
+  LiveEventLoop::Executor executor_;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Drop-in live counterpart of harness::System: same site topology, same
+/// submission semantics, wall-clock execution. Transactions are submitted
+/// from client threads and awaited via the history observer.
+class LiveSystem {
+ public:
+  explicit LiveSystem(LiveSystemConfig config = {});
+  ~LiveSystem();
+
+  LiveSystem(const LiveSystem&) = delete;
+  LiveSystem& operator=(const LiveSystem&) = delete;
+
+  /// Adds a site (ids sequential from 0); opens its WAL under
+  /// config.log_dir. Add all sites before the first Submit.
+  LiveSite* AddSite(ProtocolKind participant_protocol,
+                    ProtocolKind coordinator_kind = ProtocolKind::kPrAny,
+                    ProtocolKind u2pc_native = ProtocolKind::kPrN);
+  LiveSite* AddSiteWithSpec(ProtocolKind participant_protocol,
+                            const CoordinatorSpec& spec);
+
+  /// Builds a transaction descriptor with protocols resolved from the PCP.
+  /// Thread-safe.
+  Transaction MakeTransaction(SiteId coordinator,
+                              const std::vector<SiteId>& participants,
+                              const std::map<SiteId, Vote>& votes = {});
+
+  /// Installs planned votes and begins commit processing, synchronously on
+  /// the calling thread (under the involved sites' engine mutexes). Safe
+  /// to call from many client threads. Returns the txn id.
+  TxnId Submit(SiteId coordinator, const std::vector<SiteId>& participants,
+               const std::map<SiteId, Vote>& votes = {});
+  void SubmitTransaction(const Transaction& txn);
+
+  /// Blocks until the coordinator decides `txn` (observed on the history)
+  /// or the wall-clock timeout (microseconds) elapses.
+  std::optional<Outcome> Await(TxnId txn, uint64_t timeout_us);
+
+  /// Waits until transport and all site queues are idle (best-effort; poll
+  /// based). Returns false on timeout.
+  bool Quiesce(uint64_t timeout_us);
+
+  /// Shuts everything down in dependency order, folds timelines/metrics,
+  /// and reports to the ambient ObservabilityScope. Idempotent; also run
+  /// by the destructor. No Submit/Await after Stop.
+  void Stop();
+
+  // Correctness evaluations over the recorded history / end state
+  // (quiescent use: after Stop or a successful Quiesce).
+  AtomicityReport CheckAtomicity() const;
+  SafeStateReport CheckSafeState() const;
+  OperationalReport CheckOperational() const;
+  std::vector<SiteEndState> EndStates() const;
+
+  /// Per-transaction timelines, built by Stop() when tracing was enabled.
+  const std::map<TxnId, TxnTimeline>& timelines() const {
+    return timelines_;
+  }
+
+  LiveEventLoop& loop() { return loop_; }
+  LiveTransport& transport() { return transport_; }
+  EventLog& history() { return history_; }
+  const EventLog& history() const { return history_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const PcpTable& pcp() const { return pcp_; }
+
+  LiveSite* live_site(SiteId id);
+  Site* site(SiteId id) { return live_site(id)->site(); }
+  size_t site_count() const { return sites_.size(); }
+
+  const LiveSystemConfig& config() const { return config_; }
+
+ private:
+  LiveSystemConfig config_;
+  LiveEventLoop loop_;
+  MetricsRegistry metrics_;
+  EventLog history_;
+  LiveTransport transport_;
+  PcpTable pcp_;
+  TxnIdGenerator txn_ids_;
+  std::mutex submit_mu_;  ///< Guards txn_ids_.
+
+  std::vector<std::unique_ptr<LiveSite>> sites_;
+
+  /// Decision registry, sharded by txn id so a decide only wakes the
+  /// clients parked on that shard (one cv for hundreds of closed-loop
+  /// clients is a thundering herd).
+  struct AwaitShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<TxnId, Outcome> decided;
+  };
+  static constexpr size_t kAwaitShards = 256;
+  AwaitShard await_shards_[kAwaitShards];
+  AwaitShard& ShardFor(TxnId txn) {
+    return await_shards_[txn % kAwaitShards];
+  }
+
+  bool stopped_ = false;
+  std::map<TxnId, TxnTimeline> timelines_;
+};
+
+}  // namespace runtime
+}  // namespace prany
+
+#endif  // PRANY_RUNTIME_LIVE_SYSTEM_H_

@@ -1,0 +1,103 @@
+#include "runtime/load_gen.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace prany {
+namespace runtime {
+
+LoadGen::LoadGen(LiveSystem* system, LoadGenConfig config)
+    : system_(system), config_(config) {
+  PRANY_CHECK(system != nullptr);
+  PRANY_CHECK(config.clients >= 1 && config.participants_per_txn >= 1);
+  PRANY_CHECK_MSG(
+      system->site_count() >
+          static_cast<size_t>(config.participants_per_txn),
+      "need more sites than participants per transaction");
+}
+
+LoadGenReport LoadGen::Run() {
+  std::vector<LoadGenReport> per_client(
+      static_cast<size_t>(config_.clients));
+  std::vector<std::thread> clients;
+  clients.reserve(per_client.size());
+  running_.store(true);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < config_.clients; ++i) {
+    clients.emplace_back(
+        [this, i, &per_client]() { ClientMain(i, &per_client[i]); });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(config_.duration_us));
+  running_.store(false);
+  for (std::thread& client : clients) client.join();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  LoadGenReport total;
+  for (const LoadGenReport& r : per_client) {
+    total.submitted += r.submitted;
+    total.committed += r.committed;
+    total.aborted += r.aborted;
+    total.timeouts += r.timeouts;
+  }
+  total.elapsed_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  return total;
+}
+
+void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
+  const size_t n_sites = system_->site_count();
+  // Spread coordination duty across sites so one engine mutex is not the
+  // bottleneck for the whole fleet.
+  const SiteId coordinator =
+      static_cast<SiteId>(client_index % static_cast<int>(n_sites));
+  Rng rng(config_.seed * 1000003 + static_cast<uint64_t>(client_index));
+
+  while (running_.load(std::memory_order_relaxed)) {
+    // Participants: consecutive sites after the coordinator, rotated per
+    // transaction so every pairing occurs.
+    std::vector<SiteId> participants;
+    participants.reserve(static_cast<size_t>(config_.participants_per_txn));
+    uint64_t offset = rng.Uniform(0, n_sites - 2);
+    for (int k = 0; k < config_.participants_per_txn; ++k) {
+      SiteId p = static_cast<SiteId>(
+          (coordinator + 1 + (offset + static_cast<uint64_t>(k)) %
+                                 (n_sites - 1)) %
+          n_sites);
+      participants.push_back(p);
+    }
+    std::map<SiteId, Vote> votes;
+    if (rng.Bernoulli(config_.abort_fraction)) {
+      votes[participants[0]] = Vote::kNo;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    TxnId txn = system_->Submit(coordinator, participants, votes);
+    ++report->submitted;
+    std::optional<Outcome> outcome =
+        system_->Await(txn, config_.await_timeout_us);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!outcome.has_value()) {
+      ++report->timeouts;
+      continue;
+    }
+    double latency_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            t1 - t0)
+            .count();
+    system_->metrics().Observe("livegen.latency_us", latency_us);
+    if (*outcome == Outcome::kCommit) {
+      ++report->committed;
+    } else {
+      ++report->aborted;
+    }
+  }
+}
+
+}  // namespace runtime
+}  // namespace prany

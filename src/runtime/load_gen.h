@@ -1,0 +1,72 @@
+// Closed-loop load generator for the live runtime.
+//
+// N client threads each run a submit → await-decision loop against one
+// LiveSystem for a fixed wall-clock duration. Closed-loop means a client
+// has at most one transaction outstanding; aggregate concurrency equals
+// the client count, and throughput is self-limiting rather than
+// open-loop-overload. Per-transaction wall-clock latency (submit to
+// coordinator decision) is recorded into the system's metrics registry as
+// the `livegen.latency_us` distribution.
+
+#ifndef PRANY_RUNTIME_LOAD_GEN_H_
+#define PRANY_RUNTIME_LOAD_GEN_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/live_system.h"
+
+namespace prany {
+namespace runtime {
+
+struct LoadGenConfig {
+  /// Concurrent client threads (= max in-flight transactions).
+  int clients = 8;
+  /// Wall-clock run length, microseconds.
+  uint64_t duration_us = 1'000'000;
+  /// Participant count per transaction (coordinator excluded). The system
+  /// must have at least this many sites besides each coordinator.
+  int participants_per_txn = 2;
+  /// Fraction of transactions where one participant plans a no vote.
+  double abort_fraction = 0.0;
+  /// Per-transaction decision wait; an expiry counts as a timeout and the
+  /// client moves on.
+  uint64_t await_timeout_us = 10'000'000;
+  uint64_t seed = 1;
+};
+
+struct LoadGenReport {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t timeouts = 0;
+  double elapsed_seconds = 0.0;
+
+  double commits_per_sec() const {
+    return elapsed_seconds > 0 ? static_cast<double>(committed) /
+                                     elapsed_seconds
+                               : 0.0;
+  }
+};
+
+class LoadGen {
+ public:
+  /// `system` must outlive the generator and have its sites added.
+  LoadGen(LiveSystem* system, LoadGenConfig config);
+
+  /// Runs the full closed loop: spawns the clients, sleeps out the
+  /// duration, joins, and folds per-client counters. Call once.
+  LoadGenReport Run();
+
+ private:
+  void ClientMain(int client_index, LoadGenReport* report);
+
+  LiveSystem* system_;
+  LoadGenConfig config_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace runtime
+}  // namespace prany
+
+#endif  // PRANY_RUNTIME_LOAD_GEN_H_

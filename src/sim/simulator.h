@@ -23,14 +23,9 @@
 #include "common/rng.h"
 #include "common/trace.h"
 #include "common/types.h"
+#include "runtime/event_loop.h"
 
 namespace prany {
-
-/// Handle for a scheduled event; usable to cancel it.
-struct EventId {
-  uint64_t seq = 0;
-  bool valid() const { return seq != 0; }
-};
 
 /// Outcome of Simulator::Run.
 struct RunStats {
@@ -40,25 +35,27 @@ struct RunStats {
   bool hit_time_limit = false;
 };
 
-/// The event loop. Owns simulated time and the master RNG.
-class Simulator {
+/// The simulated event loop. Owns simulated time and the master RNG.
+class Simulator : public EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventLoop::Callback;
 
   explicit Simulator(uint64_t seed = 1);
 
   /// Current simulated time (microseconds).
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   /// Schedules `cb` to run at Now() + delay. `label` shows up in traces.
-  EventId Schedule(SimDuration delay, Callback cb, std::string label = "");
+  EventId Schedule(SimDuration delay, Callback cb,
+                   std::string label = "") override;
 
   /// Schedules `cb` at an absolute time >= Now().
-  EventId ScheduleAt(SimTime when, Callback cb, std::string label = "");
+  EventId ScheduleAt(SimTime when, Callback cb,
+                     std::string label = "") override;
 
   /// Cancels a pending event. Cancelling an already-fired or already-
   /// cancelled event is a no-op.
-  void Cancel(EventId id);
+  void Cancel(EventId id) override;
 
   /// Runs the next pending event. Returns false if the queue is empty.
   bool Step();
@@ -82,20 +79,6 @@ class Simulator {
   /// Master RNG (fork children for subsystems).
   Rng& rng() { return rng_; }
 
-  /// Shared trace sink.
-  TraceLog& trace() { return trace_; }
-
-  /// Emits a trace line stamped with Now().
-  void Trace(std::string text) { trace_.Emit(now_, std::move(text)); }
-
-  /// Emits a structured trace event stamped with Now(). Cheap when tracing
-  /// is disabled, but callers building an expensive event should still
-  /// guard on trace().enabled() first.
-  void Emit(TraceEvent event) {
-    event.time = now_;
-    trace_.Emit(std::move(event));
-  }
-
  private:
   struct Event {
     SimTime time;
@@ -117,7 +100,6 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::unordered_set<uint64_t> cancelled_;
   Rng rng_;
-  TraceLog trace_;
 };
 
 }  // namespace prany

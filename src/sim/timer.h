@@ -1,4 +1,5 @@
-// Restartable one-shot and periodic timers over the Simulator.
+// Restartable one-shot and periodic timers over an EventLoop (works
+// identically over the deterministic Simulator and the live runtime loop).
 //
 // Protocol engines use these for decision retransmission and participant
 // in-doubt inquiries. Timers are owned by their engine and automatically
@@ -19,7 +20,7 @@ namespace prany {
 /// One-shot timer. Arm() replaces any pending firing.
 class OneShotTimer {
  public:
-  explicit OneShotTimer(Simulator* sim) : sim_(sim) {}
+  explicit OneShotTimer(EventLoop* sim) : sim_(sim) {}
   ~OneShotTimer() { Cancel(); }
 
   OneShotTimer(const OneShotTimer&) = delete;
@@ -35,7 +36,7 @@ class OneShotTimer {
   bool armed() const { return pending_.valid(); }
 
  private:
-  Simulator* sim_;
+  EventLoop* sim_;
   EventId pending_;
 };
 
@@ -43,7 +44,7 @@ class OneShotTimer {
 /// before the next firing is scheduled, so it may Stop() the timer.
 class PeriodicTimer {
  public:
-  explicit PeriodicTimer(Simulator* sim) : sim_(sim) {}
+  explicit PeriodicTimer(EventLoop* sim) : sim_(sim) {}
   ~PeriodicTimer() { Stop(); }
 
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -60,7 +61,7 @@ class PeriodicTimer {
  private:
   void FireAndReschedule();
 
-  Simulator* sim_;
+  EventLoop* sim_;
   SimDuration period_ = 0;
   std::function<void()> cb_;
   std::string label_;

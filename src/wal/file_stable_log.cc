@@ -1,0 +1,269 @@
+#include "wal/file_stable_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace prany {
+
+namespace {
+
+/// Frames larger than this are treated as corruption during recovery
+/// (log records are tens of bytes; a huge length means a torn header).
+constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc.
+
+}  // namespace
+
+FileStableLog::FileStableLog(std::string path, std::string metric_prefix,
+                             MetricsRegistry* metrics,
+                             GroupCommitConfig config)
+    : StableLog(std::move(metric_prefix), metrics),
+      path_(std::move(path)),
+      config_(config) {}
+
+FileStableLog::~FileStableLog() { Close(); }
+
+std::vector<uint8_t> FileStableLog::EncodeFrame(
+    uint64_t lsn, const std::vector<uint8_t>& body) {
+  ByteWriter payload;
+  payload.PutU64(lsn);
+  payload.PutRaw(body.data(), body.size());
+  const std::vector<uint8_t>& pb = payload.bytes();
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(pb.size()));
+  frame.PutU32(Crc32(pb));
+  frame.PutRaw(pb.data(), pb.size());
+  return frame.TakeBytes();
+}
+
+Status FileStableLog::Open() {
+  PRANY_CHECK_MSG(fd_ < 0, "FileStableLog::Open called twice");
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::Unavailable(
+        StrFormat("open(%s): %s", path_.c_str(), std::strerror(errno)));
+  }
+
+  // Recovery scan: read the whole file, accept the longest prefix of
+  // CRC-valid frames, truncate the rest.
+  off_t file_size = ::lseek(fd_, 0, SEEK_END);
+  if (file_size < 0) {
+    return Status::Unavailable(
+        StrFormat("lseek(%s): %s", path_.c_str(), std::strerror(errno)));
+  }
+  std::vector<uint8_t> contents(static_cast<size_t>(file_size));
+  size_t read_so_far = 0;
+  while (read_so_far < contents.size()) {
+    ssize_t n = ::pread(fd_, contents.data() + read_so_far,
+                        contents.size() - read_so_far,
+                        static_cast<off_t>(read_so_far));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::Unavailable(
+          StrFormat("pread(%s): %s", path_.c_str(), std::strerror(errno)));
+    }
+    read_so_far += static_cast<size_t>(n);
+  }
+
+  size_t pos = 0;
+  while (contents.size() - pos >= kFrameHeaderBytes) {
+    ByteReader header(contents.data() + pos, kFrameHeaderBytes);
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    PRANY_CHECK(header.GetU32(&len).ok() && header.GetU32(&crc).ok());
+    if (len == 0 || len > kMaxFrameBytes) break;
+    if (contents.size() - pos - kFrameHeaderBytes < len) break;  // torn tail
+    const uint8_t* payload = contents.data() + pos + kFrameHeaderBytes;
+    if (Crc32(payload, len) != crc) break;  // corrupt frame ends the scan
+    ByteReader reader(payload, len);
+    uint64_t lsn = 0;
+    if (!reader.GetU64(&lsn).ok()) break;
+    std::vector<uint8_t> body(payload + reader.position(), payload + len);
+    Result<LogRecord> decoded = LogRecord::Decode(body);
+    if (!decoded.ok()) break;
+    RestoreStableRecord(lsn, decoded->txn, std::move(body));
+    ++recovery_.records_recovered;
+    pos += kFrameHeaderBytes + len;
+  }
+  recovery_.bytes_recovered = pos;
+  if (pos < contents.size()) {
+    recovery_.tail_truncated = true;
+    recovery_.torn_bytes_discarded = contents.size() - pos;
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+      return Status::Unavailable(StrFormat("ftruncate(%s): %s", path_.c_str(),
+                                           std::strerror(errno)));
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Add(metric_prefix_ + ".torn_bytes_discarded",
+                    static_cast<int64_t>(recovery_.torn_bytes_discarded));
+    }
+  }
+  synced_lsn_ = next_lsn_ - 1;
+  synced_lsn_watermark_.store(synced_lsn_);
+
+  running_ = true;
+  sync_thread_ = std::thread([this]() { SyncThreadMain(); });
+  return Status::OK();
+}
+
+void FileStableLog::SetWaitHooks(std::function<void()> before_wait,
+                                 std::function<void()> after_wait) {
+  before_wait_ = std::move(before_wait);
+  after_wait_ = std::move(after_wait);
+}
+
+uint64_t FileStableLog::Append(const LogRecord& record, bool force) {
+  PRANY_CHECK_MSG(fd_ >= 0, "FileStableLog::Append before Open()");
+  uint64_t lsn = StampAndBuffer(record, force);
+  std::vector<uint8_t> frame = EncodeFrame(lsn, buffer_.back().bytes);
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    pending_bytes_.insert(pending_bytes_.end(), frame.begin(), frame.end());
+    pending_max_lsn_ = lsn;
+    if (force) {
+      ++pending_forces_;
+      sync_cv_.notify_one();
+    }
+  }
+  if (force) AwaitDurable(lsn);
+  return lsn;
+}
+
+void FileStableLog::AwaitDurable(uint64_t lsn) {
+  if (before_wait_) before_wait_();
+  {
+    std::unique_lock<std::mutex> lock(sync_mu_);
+    done_cv_.wait(lock, [&]() { return synced_lsn_ >= lsn || !running_; });
+  }
+  if (after_wait_) after_wait_();
+  // Back under the engine lock: reflect durability in the mirror. An
+  // abrupt close may have woken us without syncing; promote only what is
+  // actually durable.
+  PromoteStableUpTo(std::min(lsn, synced_lsn_watermark_.load()));
+  stats_.flushes = fsyncs_.load();
+  stats_.bytes_flushed = bytes_synced_.load();
+}
+
+void FileStableLog::Flush() {
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    if (pending_bytes_.empty()) {
+      target = synced_lsn_;
+    } else {
+      target = pending_max_lsn_;
+      flush_requested_ = true;
+      sync_cv_.notify_one();
+    }
+  }
+  if (target > 0) AwaitDurable(target);
+}
+
+void FileStableLog::Crash() {
+  // Pending (never-synced) bytes are the file counterpart of the sim's
+  // volatile buffer: gone. Already-written bytes survive in the file.
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    pending_bytes_.clear();
+    pending_forces_ = 0;
+    flush_requested_ = false;
+  }
+  StableLog::Crash();
+}
+
+void FileStableLog::Close() {
+  if (fd_ < 0) return;
+  if (running_) {
+    Flush();
+    {
+      std::lock_guard<std::mutex> lock(sync_mu_);
+      running_ = false;
+      sync_cv_.notify_all();
+      done_cv_.notify_all();
+    }
+    sync_thread_.join();
+  }
+  stats_.flushes = fsyncs_.load();
+  stats_.bytes_flushed = bytes_synced_.load();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void FileStableLog::CloseAbruptly() {
+  if (fd_ < 0) return;
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    pending_bytes_.clear();
+    pending_forces_ = 0;
+    flush_requested_ = false;
+    running_ = false;
+    sync_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  if (sync_thread_.joinable()) sync_thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void FileStableLog::SyncThreadMain() {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  while (true) {
+    sync_cv_.wait(lock, [&]() {
+      return !running_ || pending_forces_ > 0 || flush_requested_;
+    });
+    if (!running_) break;
+    if (config_.batch_window_us > 0 && !flush_requested_ &&
+        pending_forces_ < config_.queue_depth_trigger) {
+      // Linger for stragglers; a deep queue or an explicit flush cuts the
+      // window short.
+      sync_cv_.wait_for(
+          lock, std::chrono::microseconds(config_.batch_window_us), [&]() {
+            return !running_ || flush_requested_ ||
+                   pending_forces_ >= config_.queue_depth_trigger;
+          });
+      if (!running_) break;
+    }
+    std::vector<uint8_t> batch = std::move(pending_bytes_);
+    pending_bytes_.clear();
+    uint64_t batch_lsn = pending_max_lsn_;
+    pending_forces_ = 0;
+    flush_requested_ = false;
+    if (batch.empty()) {
+      synced_lsn_ = std::max(synced_lsn_, batch_lsn);
+      synced_lsn_watermark_.store(synced_lsn_);
+      done_cv_.notify_all();
+      continue;
+    }
+    lock.unlock();
+    size_t written = 0;
+    while (written < batch.size()) {
+      ssize_t n = ::write(fd_, batch.data() + written, batch.size() - written);
+      if (n < 0 && errno == EINTR) continue;
+      PRANY_CHECK_MSG(n > 0, StrFormat("wal write(%s): %s", path_.c_str(),
+                                       std::strerror(errno)));
+      written += static_cast<size_t>(n);
+    }
+    PRANY_CHECK_MSG(::fdatasync(fd_) == 0,
+                    StrFormat("wal fdatasync(%s): %s", path_.c_str(),
+                              std::strerror(errno)));
+    fsyncs_.fetch_add(1);
+    bytes_synced_.fetch_add(batch.size());
+    if (metrics_ != nullptr) metrics_->Add(metric_prefix_ + ".flushes");
+    lock.lock();
+    synced_lsn_ = std::max(synced_lsn_, batch_lsn);
+    synced_lsn_watermark_.store(synced_lsn_);
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace prany

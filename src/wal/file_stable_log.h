@@ -1,0 +1,158 @@
+// File-backed StableLog with group commit.
+//
+// Records are framed as [u32 payload_len][u32 crc32(payload)][payload],
+// payload = u64 lsn + LogRecord::Encode() bytes, appended to one
+// append-only file per site. A forced Append() enqueues the frame and
+// blocks until a dedicated fsync thread has written and fdatasync'd it;
+// the fsync thread batches everything enqueued since the last sync into
+// one physical I/O, so forced writes from concurrent transactions
+// coalesce (group commit — the mechanism that makes a ~100us fsync device
+// sustain tens of thousands of commits per second).
+//
+// Batching policy: the sync thread wakes as soon as a forced append is
+// pending. When `batch_window_us` > 0 it then lingers up to that long for
+// stragglers, cutting the batch early once `queue_depth_trigger` forced
+// appends are waiting. With the default config (window 0) batching is
+// purely opportunistic: whatever accumulates while the previous fdatasync
+// is in flight forms the next batch ("sticky" batching), which is already
+// near-optimal under closed-loop load.
+//
+// Crash recovery: Open() scans the file, verifies each frame's CRC and
+// re-installs intact records; the first torn or corrupt frame ends the
+// scan and the file is truncated there — mirroring the simulator's
+// crash-discards-the-volatile-tail semantics (the torn tail is exactly
+// the not-yet-acknowledged suffix).
+//
+// Concurrency contract: all StableLog methods must be called under the
+// owning site's engine lock (one log belongs to one site). The wait hooks
+// installed by the live site release/reacquire that lock around the
+// durability wait so other workers of the same site can append — and
+// coalesce — while an fdatasync is in flight. The fsync thread itself
+// never touches the in-memory mirror or the engine lock.
+
+#ifndef PRANY_WAL_FILE_STABLE_LOG_H_
+#define PRANY_WAL_FILE_STABLE_LOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/stable_log.h"
+
+namespace prany {
+
+/// Group-commit tuning knobs (see header comment).
+struct GroupCommitConfig {
+  /// How long the sync thread lingers for stragglers after the first
+  /// pending forced append, in microseconds. 0 = sync immediately
+  /// (opportunistic batching only).
+  uint64_t batch_window_us = 0;
+
+  /// Cut the batch early once this many forced appends are pending.
+  /// Only meaningful with batch_window_us > 0.
+  size_t queue_depth_trigger = 8;
+};
+
+/// What Open() found in an existing file.
+struct WalRecoveryInfo {
+  uint64_t records_recovered = 0;
+  uint64_t bytes_recovered = 0;      ///< Valid prefix length.
+  uint64_t torn_bytes_discarded = 0; ///< Tail truncated after the prefix.
+  bool tail_truncated = false;
+};
+
+/// Append-only file WAL with a group-commit fsync thread.
+class FileStableLog : public StableLog {
+ public:
+  FileStableLog(std::string path, std::string metric_prefix = "wal",
+                MetricsRegistry* metrics = nullptr,
+                GroupCommitConfig config = {});
+  ~FileStableLog() override;
+
+  /// Opens (creating if absent) the file, runs the recovery scan, truncates
+  /// any torn tail, and starts the fsync thread. Must be called (and must
+  /// succeed) before the first Append.
+  Status Open();
+
+  /// Drains pending writes, stops the fsync thread and closes the file.
+  /// Idempotent; also called by the destructor.
+  void Close();
+
+  /// Crash simulation: discards pending (never-synced) writes, stops the
+  /// fsync thread and closes the file *without* a final sync — what the
+  /// process dying mid-batch leaves on disk. Any record not yet
+  /// acknowledged durable is gone. Callers must ensure no Append is
+  /// concurrently blocked in its durability wait.
+  void CloseAbruptly();
+
+  /// Installs hooks called immediately before/after the blocking
+  /// durability wait in a forced Append. The live site uses these to
+  /// release/reacquire the engine lock so concurrent transactions can
+  /// coalesce into one fdatasync.
+  void SetWaitHooks(std::function<void()> before_wait,
+                    std::function<void()> after_wait);
+
+  // StableLog write path:
+  uint64_t Append(const LogRecord& record, bool force) override;
+  void Flush() override;
+  void Crash() override;
+
+  const WalRecoveryInfo& recovery_info() const { return recovery_; }
+  const std::string& path() const { return path_; }
+
+  /// Highest LSN known durable.
+  uint64_t synced_lsn() const { return synced_lsn_watermark_.load(); }
+
+  /// Physical fdatasync count (the denominator of group-commit
+  /// effectiveness: forced_appends / fsyncs = batch factor).
+  uint64_t fsyncs() const { return fsyncs_.load(); }
+
+ private:
+  /// Encodes the CRC frame for a mirror record.
+  static std::vector<uint8_t> EncodeFrame(uint64_t lsn,
+                                          const std::vector<uint8_t>& body);
+
+  /// Blocks until everything enqueued up to `lsn` is durable, running the
+  /// wait hooks around the wait. Folds sync-thread counters into stats_
+  /// and promotes the mirror afterwards (caller holds the engine lock).
+  void AwaitDurable(uint64_t lsn);
+
+  void SyncThreadMain();
+
+  std::string path_;
+  GroupCommitConfig config_;
+  int fd_ = -1;
+  WalRecoveryInfo recovery_;
+  std::function<void()> before_wait_;
+  std::function<void()> after_wait_;
+
+  // Sync-queue state, guarded by sync_mu_. The engine side appends frames
+  // and waits on done_cv_; the sync thread batches, writes, fdatasyncs and
+  // advances synced_lsn_.
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;  ///< Wakes the sync thread.
+  std::condition_variable done_cv_;  ///< Wakes durability waiters.
+  std::vector<uint8_t> pending_bytes_;
+  uint64_t pending_max_lsn_ = 0;
+  size_t pending_forces_ = 0;
+  bool flush_requested_ = false;
+  uint64_t synced_lsn_ = 0;
+  bool running_ = false;
+
+  /// Lock-free mirrors for cheap reads outside sync_mu_.
+  std::atomic<uint64_t> synced_lsn_watermark_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> bytes_synced_{0};
+
+  std::thread sync_thread_;
+};
+
+}  // namespace prany
+
+#endif  // PRANY_WAL_FILE_STABLE_LOG_H_

@@ -23,7 +23,7 @@ void StableLog::EmitTrace(TraceEvent event) const {
   trace_->Emit(std::move(event));
 }
 
-uint64_t StableLog::Append(const LogRecord& record, bool force) {
+uint64_t StableLog::StampAndBuffer(const LogRecord& record, bool force) {
   LogRecord stamped = record;
   stamped.lsn = next_lsn_++;
   buffer_.push_back(StoredRecord{stamped.lsn, stamped.txn, stamped.Encode()});
@@ -46,9 +46,35 @@ uint64_t StableLog::Append(const LogRecord& record, bool force) {
     if (metrics_ != nullptr) {
       metrics_->Add(metric_prefix_ + ".forced_appends");
     }
-    Flush();
   }
   return stamped.lsn;
+}
+
+uint64_t StableLog::Append(const LogRecord& record, bool force) {
+  uint64_t lsn = StampAndBuffer(record, force);
+  if (force) Flush();
+  return lsn;
+}
+
+void StableLog::PromoteStableUpTo(uint64_t lsn) {
+  size_t promoted = 0;
+  while (!buffer_.empty() && buffer_.front().lsn <= lsn) {
+    stable_.push_back(std::move(buffer_.front()));
+    buffer_.erase(buffer_.begin());
+    ++promoted;
+  }
+  if (promoted > 0) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kWalForce;
+    e.value = promoted;
+    EmitTrace(std::move(e));
+  }
+}
+
+void StableLog::RestoreStableRecord(uint64_t lsn, TxnId txn,
+                                    std::vector<uint8_t> bytes) {
+  stable_.push_back(StoredRecord{lsn, txn, std::move(bytes)});
+  if (lsn >= next_lsn_) next_lsn_ = lsn + 1;
 }
 
 void StableLog::Flush() {

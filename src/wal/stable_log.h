@@ -38,13 +38,21 @@ struct LogStats {
   uint64_t records_truncated = 0;
 };
 
-/// One site's stable log.
+/// One site's stable log. The base class is the in-memory simulator
+/// implementation; FileStableLog overrides the write path (Append / Flush /
+/// Crash) with a real append-only file and group-commit fsync thread while
+/// reusing the in-memory mirror for reads, GC and recovery analysis.
 class StableLog {
  public:
   /// `metrics` may be null; when set, counters are recorded under
   /// "wal.<name>" plus the per-site prefix chosen by the harness.
   explicit StableLog(std::string metric_prefix = "wal",
                      MetricsRegistry* metrics = nullptr);
+
+  virtual ~StableLog() = default;
+
+  StableLog(const StableLog&) = delete;
+  StableLog& operator=(const StableLog&) = delete;
 
   /// Connects this log to a trace sink. `site` tags emitted events and
   /// `clock` supplies their timestamps (the log itself has no notion of
@@ -54,14 +62,14 @@ class StableLog {
 
   /// Appends `record`; assigns and returns its LSN. When `force` is true
   /// the record (and all earlier buffered records) is durable on return.
-  uint64_t Append(const LogRecord& record, bool force);
+  virtual uint64_t Append(const LogRecord& record, bool force);
 
   /// Flushes the volatile buffer (group write). No-op if empty.
-  void Flush();
+  virtual void Flush();
 
   /// Simulates a crash: the volatile buffer is lost. Stable records
   /// survive.
-  void Crash();
+  virtual void Crash();
 
   /// Decoded stable records in LSN order. A corrupted stable record is a
   /// programming error (stable storage does not decay in the fail-stop
@@ -95,7 +103,7 @@ class StableLog {
 
   const LogStats& stats() const { return stats_; }
 
- private:
+ protected:
   struct StoredRecord {
     uint64_t lsn;
     TxnId txn;
@@ -105,6 +113,22 @@ class StableLog {
   /// Emits `event` (stamped with clock time and site) if tracing is bound
   /// and enabled.
   void EmitTrace(TraceEvent event) const;
+
+  /// Shared front half of Append: stamps the next LSN, places the encoded
+  /// record in the volatile mirror, and does the append-side accounting
+  /// (stats, metrics, WAL_APPEND trace). Returns the assigned LSN.
+  uint64_t StampAndBuffer(const LogRecord& record, bool force);
+
+  /// Moves mirror records with lsn <= `lsn` from the volatile buffer to the
+  /// stable view and emits a WAL_FORCE trace event. Used by durable
+  /// implementations once those records are physically synced. Does not
+  /// touch flush statistics (the implementation counts physical syncs).
+  void PromoteStableUpTo(uint64_t lsn);
+
+  /// Recovery helper: re-installs an already-durable record into the stable
+  /// mirror and advances the LSN allocator past it.
+  void RestoreStableRecord(uint64_t lsn, TxnId txn,
+                           std::vector<uint8_t> bytes);
 
   std::string metric_prefix_;
   MetricsRegistry* metrics_;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "net/network.h"
+#include "sim/simulator.h"
+
 namespace prany {
 namespace {
 

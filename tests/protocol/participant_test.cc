@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/network.h"
+#include "sim/simulator.h"
 #include "wal/log_analyzer.h"
 
 namespace prany {

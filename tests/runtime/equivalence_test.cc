@@ -1,0 +1,105 @@
+// Sim-vs-live equivalence: the same protocol state machines run behind
+// both backends, so a failure-free single-transaction run must exchange
+// the *same messages in the same per-link order* under the simulator and
+// the live runtime. Global order differs (real concurrency), so the
+// comparison is per directed link — exactly the order each FIFO channel
+// guarantees.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/system.h"
+#include "runtime/live_system.h"
+
+namespace prany {
+namespace runtime {
+namespace {
+
+std::string MakeTempDir() {
+  std::string templ = ::testing::TempDir() + "prany_eq_XXXXXX";
+  char* dir = mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return templ;
+}
+
+using LinkKey = std::pair<SiteId, SiteId>;
+
+/// Per-directed-link sequence of message descriptions, extracted from the
+/// MSG_SEND events of a trace.
+std::map<LinkKey, std::vector<std::string>> LinkSequences(
+    const std::vector<TraceEvent>& events) {
+  std::map<LinkKey, std::vector<std::string>> links;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEventKind::kMsgSend) continue;
+    std::string desc = e.label;
+    if (!e.detail.empty()) desc += "(" + e.detail + ")";
+    if (e.outcome.has_value()) {
+      desc += *e.outcome == Outcome::kCommit ? "(commit)" : "(abort)";
+    }
+    links[{e.site, e.peer}].push_back(desc);
+  }
+  return links;
+}
+
+void CheckEquivalence(ProtocolKind kind, const std::map<SiteId, Vote>& votes,
+                      Outcome expected) {
+  // Simulated run.
+  System sim_system;
+  for (int i = 0; i < 3; ++i) sim_system.AddSite(kind, kind);
+  sim_system.sim().trace().Enable();
+  TxnId sim_txn = sim_system.Submit(0, {1, 2}, votes);
+  sim_system.Run();
+  const SigEvent* sim_decide = sim_system.history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.type == SigEventType::kCoordDecide && e.txn == sim_txn;
+      });
+  ASSERT_NE(sim_decide, nullptr);
+  EXPECT_EQ(sim_decide->outcome, expected);
+  auto sim_links = LinkSequences(sim_system.sim().trace().events());
+
+  // Live run.
+  LiveSystemConfig config;
+  config.log_dir = MakeTempDir();
+  LiveSystem live(config);
+  live.loop().trace().Enable();
+  for (int i = 0; i < 3; ++i) live.AddSite(kind, kind);
+  TxnId live_txn = live.Submit(0, {1, 2}, votes);
+  std::optional<Outcome> outcome = live.Await(live_txn, 20'000'000);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, expected);
+  ASSERT_TRUE(live.Quiesce(20'000'000));
+  live.Stop();
+  auto live_links = LinkSequences(live.loop().trace().events());
+
+  EXPECT_EQ(sim_txn, live_txn);
+  EXPECT_EQ(sim_links, live_links) << "protocol exchange diverged";
+}
+
+TEST(EquivalenceTest, PrNCommitExchangesIdenticalMessages) {
+  CheckEquivalence(ProtocolKind::kPrN, {}, Outcome::kCommit);
+}
+
+TEST(EquivalenceTest, PrCCommitExchangesIdenticalMessages) {
+  CheckEquivalence(ProtocolKind::kPrC, {}, Outcome::kCommit);
+}
+
+TEST(EquivalenceTest, PrACommitExchangesIdenticalMessages) {
+  CheckEquivalence(ProtocolKind::kPrA, {}, Outcome::kCommit);
+}
+
+TEST(EquivalenceTest, PrAAbortExchangesIdenticalMessages) {
+  CheckEquivalence(ProtocolKind::kPrA, {{1, Vote::kNo}}, Outcome::kAbort);
+}
+
+TEST(EquivalenceTest, PrCAbortExchangesIdenticalMessages) {
+  CheckEquivalence(ProtocolKind::kPrC, {{1, Vote::kNo}}, Outcome::kAbort);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace prany

@@ -1,0 +1,145 @@
+#include "runtime/live_loop.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace runtime {
+namespace {
+
+TEST(LiveEventLoopTest, NowAdvancesMonotonically) {
+  LiveEventLoop loop;
+  SimTime a = loop.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  SimTime b = loop.Now();
+  EXPECT_GE(b, a + 1000);  // at least 1ms of the 2ms sleep visible
+}
+
+TEST(LiveEventLoopTest, ScheduledCallbackFires) {
+  LiveEventLoop loop;
+  loop.Start();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  loop.Schedule(1000, [&]() {
+    std::lock_guard<std::mutex> lock(mu);
+    fired = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return fired; }));
+  loop.Stop();
+}
+
+TEST(LiveEventLoopTest, CallbacksFireInDeadlineOrder) {
+  LiveEventLoop loop;
+  loop.Start();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> order;
+  auto push = [&](int v) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(v);
+    cv.notify_all();
+  };
+  // Scheduled out of order; must fire in deadline order.
+  loop.Schedule(30'000, [&]() { push(3); });
+  loop.Schedule(10'000, [&]() { push(1); });
+  loop.Schedule(20'000, [&]() { push(2); });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return order.size() == 3; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  loop.Stop();
+}
+
+TEST(LiveEventLoopTest, CancelledTimerNeverFires) {
+  LiveEventLoop loop;
+  loop.Start();
+  std::atomic<bool> fired{false};
+  EventId id = loop.Schedule(50'000, [&]() { fired.store(true); });
+  loop.Cancel(id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(fired.load());
+  EXPECT_EQ(loop.PendingTimers(), 0u);
+  loop.Stop();
+}
+
+TEST(LiveEventLoopTest, BoundCallbackRunsThroughExecutor) {
+  LiveEventLoop loop;
+  loop.Start();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<LiveEventLoop::Task> posted;
+  LiveEventLoop::Executor executor = [&](LiveEventLoop::Task task) {
+    std::lock_guard<std::mutex> lock(mu);
+    posted.push_back(std::move(task));
+    cv.notify_all();
+  };
+  std::atomic<bool> fired{false};
+  LiveEventLoop::BindThreadExecutor(&executor);
+  loop.Schedule(0, [&]() { fired.store(true); });
+  LiveEventLoop::BindThreadExecutor(nullptr);
+
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return !posted.empty(); }));
+  EXPECT_FALSE(fired.load());  // not run until the executor runs it
+  LiveEventLoop::Task task = std::move(posted.front());
+  posted.pop_front();
+  lock.unlock();
+  task();
+  EXPECT_TRUE(fired.load());
+  loop.Stop();
+}
+
+TEST(LiveEventLoopTest, CancelAfterDispatchStillSuppressesCallback) {
+  // The strong-cancel guarantee: even when the timer thread has already
+  // posted the callback to the executor, a Cancel() issued before the
+  // executor runs it wins.
+  LiveEventLoop loop;
+  loop.Start();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<LiveEventLoop::Task> posted;
+  LiveEventLoop::Executor executor = [&](LiveEventLoop::Task task) {
+    std::lock_guard<std::mutex> lock(mu);
+    posted.push_back(std::move(task));
+    cv.notify_all();
+  };
+  std::atomic<bool> fired{false};
+  LiveEventLoop::BindThreadExecutor(&executor);
+  EventId id = loop.Schedule(0, [&]() { fired.store(true); });
+  LiveEventLoop::BindThreadExecutor(nullptr);
+
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return !posted.empty(); }));
+  loop.Cancel(id);  // after dispatch, before execution
+  LiveEventLoop::Task task = std::move(posted.front());
+  posted.pop_front();
+  lock.unlock();
+  task();
+  EXPECT_FALSE(fired.load());
+  loop.Stop();
+}
+
+TEST(LiveEventLoopTest, StopDropsPendingTimers) {
+  LiveEventLoop loop;
+  loop.Start();
+  std::atomic<bool> fired{false};
+  loop.Schedule(60'000'000, [&]() { fired.store(true); });  // 60s out
+  loop.Stop();
+  EXPECT_FALSE(fired.load());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace prany

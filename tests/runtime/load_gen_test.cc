@@ -1,0 +1,73 @@
+#include "runtime/load_gen.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prany {
+namespace runtime {
+namespace {
+
+std::string MakeTempDir() {
+  std::string templ = ::testing::TempDir() + "prany_gen_XXXXXX";
+  char* dir = mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return templ;
+}
+
+TEST(LoadGenTest, ClosedLoopCommitsAndRecordsLatency) {
+  LiveSystemConfig config;
+  config.log_dir = MakeTempDir();
+  LiveSystem system(config);
+  for (int i = 0; i < 3; ++i) {
+    system.AddSite(ProtocolKind::kPrC, ProtocolKind::kPrC);
+  }
+  LoadGenConfig gen_config;
+  gen_config.clients = 4;
+  gen_config.duration_us = 300'000;
+  gen_config.participants_per_txn = 2;
+  LoadGen gen(&system, gen_config);
+  LoadGenReport report = gen.Run();
+
+  EXPECT_GT(report.submitted, 0u);
+  EXPECT_GT(report.committed, 0u);
+  EXPECT_EQ(report.aborted, 0u);
+  EXPECT_EQ(report.timeouts, 0u);
+  EXPECT_GT(report.commits_per_sec(), 0.0);
+
+  ASSERT_TRUE(system.Quiesce(20'000'000));
+  EXPECT_TRUE(system.CheckAtomicity().ok());
+  EXPECT_TRUE(system.CheckSafeState().ok());
+  EXPECT_TRUE(system.CheckOperational().ok());
+
+  DistributionStats latency =
+      system.metrics().Summarize("livegen.latency_us");
+  EXPECT_EQ(latency.count, report.committed);
+  EXPECT_GT(latency.p50, 0.0);
+}
+
+TEST(LoadGenTest, AbortFractionProducesAborts) {
+  LiveSystemConfig config;
+  config.log_dir = MakeTempDir();
+  LiveSystem system(config);
+  for (int i = 0; i < 3; ++i) {
+    system.AddSite(ProtocolKind::kPrA, ProtocolKind::kPrA);
+  }
+  LoadGenConfig gen_config;
+  gen_config.clients = 2;
+  gen_config.duration_us = 300'000;
+  gen_config.abort_fraction = 1.0;  // every transaction plans a no vote
+  LoadGen gen(&system, gen_config);
+  LoadGenReport report = gen.Run();
+
+  EXPECT_GT(report.aborted, 0u);
+  EXPECT_EQ(report.committed, 0u);
+  EXPECT_EQ(report.timeouts, 0u);
+  ASSERT_TRUE(system.Quiesce(20'000'000));
+  EXPECT_TRUE(system.CheckAtomicity().ok());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace prany

@@ -12,6 +12,8 @@
 //
 // Exit status: 0 if all correctness checks passed, 1 otherwise.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +25,7 @@
 #include "harness/run_result.h"
 #include "harness/workload.h"
 #include "protocol/crash_points.h"
+#include "runtime/live_system.h"
 
 namespace prany {
 namespace {
@@ -43,12 +46,20 @@ struct Options {
   bool show_history = false;
   std::string trace_json_path;
   std::string metrics_json_path;
+  bool live = false;           ///< --runtime=live: wall-clock backend
+  std::string log_dir;         ///< live WAL directory ("" = temp dir)
+  bool downtime_set = false;   ///< sim-only flags, tracked for the
+  bool loss_set = false;       ///<   --runtime=live conflict check
 };
 
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
+      "  --runtime=sim|live            execution backend (default sim);\n"
+      "                                live = real threads + file WALs\n"
+      "  --log-dir=DIR                 live WAL directory (default: a\n"
+      "                                temporary directory, deleted after)\n"
       "  --coordinator=PrN|PrA|PrC|U2PC|C2PC|PrAny   (default PrAny)\n"
       "  --native=PrN|PrA|PrC          U2PC's native protocol\n"
       "  --participants=P1,P2,...      base protocols (default PrA,PrC)\n"
@@ -172,10 +183,24 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->metrics_json_path = *v;
     } else if (auto v = value_of("--downtime")) {
       opts->downtime = std::strtoull(v->c_str(), nullptr, 10);
+      opts->downtime_set = true;
+    } else if (auto v = value_of("--runtime")) {
+      if (*v == "live") {
+        opts->live = true;
+      } else if (*v == "sim") {
+        opts->live = false;
+      } else {
+        std::fprintf(stderr, "unknown runtime: %s (expected sim or live)\n",
+                     v->c_str());
+        return false;
+      }
+    } else if (auto v = value_of("--log-dir")) {
+      opts->log_dir = *v;
     } else if (auto v = value_of("--seed")) {
       opts->seed = std::strtoull(v->c_str(), nullptr, 10);
     } else if (auto v = value_of("--loss")) {
       opts->loss = std::strtod(v->c_str(), nullptr);
+      opts->loss_set = true;
     } else if (auto v = value_of("--txns")) {
       opts->txns = static_cast<uint32_t>(
           std::strtoul(v->c_str(), nullptr, 10));
@@ -185,6 +210,155 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     }
   }
   return true;
+}
+
+/// Rejects combinations that only make sense on the simulator: the live
+/// runtime has no deterministic scheduler, so crash-point injection,
+/// message loss and scripted downtime cannot be reproduced there.
+bool ValidateLiveOptions(const Options& opts) {
+  if (!opts.live) return true;
+  const char* offending = nullptr;
+  if (opts.crash_site.has_value()) offending = "--crash-site";
+  if (opts.crash_point.has_value()) offending = "--crash-point";
+  if (opts.downtime_set) offending = "--downtime";
+  if (opts.loss_set) offending = "--loss";
+  if (offending == nullptr) return true;
+  std::fprintf(stderr,
+               "%s is sim-only: deterministic fault injection needs the "
+               "simulated scheduler and is not supported with "
+               "--runtime=live (drop %s or use --runtime=sim)\n",
+               offending, offending);
+  return false;
+}
+
+int RunScenarioLive(const Options& opts) {
+  runtime::LiveSystemConfig cfg;
+  // Wall-clock timers: scale the sim-tuned defaults up so queueing delay
+  // on a loaded machine is never mistaken for a vote timeout.
+  cfg.timing.vote_timeout = 10'000'000;
+  cfg.timing.decision_resend_interval = 2'000'000;
+  cfg.timing.inquiry_interval = 2'000'000;
+  std::string dir = opts.log_dir;
+  bool temp_dir = dir.empty();
+  if (temp_dir) {
+    std::string templ = "/tmp/prany_cli_XXXXXX";
+    char* made = mkdtemp(templ.data());
+    if (made == nullptr) {
+      std::fprintf(stderr, "failed to create temp WAL directory\n");
+      return 1;
+    }
+    dir = templ;
+  }
+  cfg.log_dir = dir;
+
+  runtime::LiveSystem system(cfg);
+  bool want_trace = opts.trace || !opts.trace_json_path.empty() ||
+                    !opts.metrics_json_path.empty();
+  if (want_trace) system.loop().trace().Enable();
+
+  system.AddSite(ProtocolKind::kPrN, opts.coordinator, opts.native);
+  std::vector<SiteId> participant_sites;
+  for (ProtocolKind p : opts.participants) {
+    system.AddSite(p, opts.coordinator, opts.native);
+    participant_sites.push_back(
+        static_cast<SiteId>(participant_sites.size() + 1));
+  }
+
+  constexpr uint64_t kAwaitUs = 30'000'000;
+  uint32_t txns = opts.txns < 1 ? 1 : opts.txns;
+  uint64_t commits = 0, aborts = 0, undecided = 0;
+  for (uint32_t i = 0; i < txns; ++i) {
+    std::map<SiteId, Vote> votes;
+    if (opts.outcome == Outcome::kAbort) {
+      votes[participant_sites.front()] = Vote::kNo;
+    }
+    TxnId txn = system.Submit(0, participant_sites, votes);
+    std::optional<Outcome> outcome = system.Await(txn, kAwaitUs);
+    if (!outcome.has_value()) {
+      ++undecided;
+    } else if (*outcome == Outcome::kCommit) {
+      ++commits;
+    } else {
+      ++aborts;
+    }
+  }
+  bool quiesced = system.Quiesce(kAwaitUs);
+  AtomicityReport atomicity = system.CheckAtomicity();
+  SafeStateReport safe_state = system.CheckSafeState();
+  OperationalReport operational = system.CheckOperational();
+  uint64_t forced = 0;
+  for (SiteId s = 0; s < system.site_count(); ++s) {
+    forced += system.live_site(s)->wal()->stats().forced_appends;
+  }
+  system.Stop();  // folds timelines, closes the WALs
+
+  if (opts.trace) {
+    std::printf("=== trace ===\n%s\n",
+                system.loop().trace().ToString().c_str());
+  }
+  if (opts.show_history) {
+    std::printf("=== history ===\n%s\n",
+                system.history().ToString().c_str());
+  }
+  if (!opts.trace_json_path.empty()) {
+    std::string json =
+        ChromeTraceJson(system.loop().trace().events(), system.timelines());
+    if (!WriteStringToFile(opts.trace_json_path, json)) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   opts.trace_json_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n",
+                opts.trace_json_path.c_str(),
+                system.loop().trace().events().size());
+  }
+  if (!opts.metrics_json_path.empty()) {
+    if (!WriteStringToFile(opts.metrics_json_path,
+                           MetricsJson(system.metrics()))) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   opts.metrics_json_path.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", opts.metrics_json_path.c_str());
+  }
+
+  std::printf("runtime:        live (%zu sites, WALs in %s%s)\n",
+              system.site_count(), dir.c_str(),
+              temp_dir ? ", temporary" : "");
+  std::printf("transactions:   %llu committed, %llu aborted, %llu "
+              "undecided\n",
+              static_cast<unsigned long long>(commits),
+              static_cast<unsigned long long>(aborts),
+              static_cast<unsigned long long>(undecided));
+  std::printf("forced writes:  %llu\n",
+              static_cast<unsigned long long>(forced));
+  std::printf("atomicity:      %s\n", atomicity.ok() ? "ok" : "VIOLATED");
+  std::printf("safe state:     %s\n", safe_state.ok() ? "ok" : "VIOLATED");
+  std::printf("operational:    %s\n", operational.ok() ? "ok" : "VIOLATED");
+
+  if (temp_dir) {
+    for (SiteId s = 0; s < system.site_count(); ++s) {
+      unlink(system.live_site(s)->wal()->path().c_str());
+    }
+    rmdir(dir.c_str());
+  }
+
+  if (!quiesced) {
+    std::fprintf(stderr, "WARNING: system did not quiesce\n");
+    return 1;
+  }
+  if (!atomicity.ok()) {
+    std::fprintf(stderr, "%s", atomicity.ToString().c_str());
+  }
+  if (!safe_state.ok()) {
+    std::fprintf(stderr, "%s", safe_state.ToString().c_str());
+  }
+  if (!operational.ok()) {
+    std::fprintf(stderr, "%s", operational.ToString().c_str());
+  }
+  bool ok = atomicity.ok() && safe_state.ok() && operational.ok() &&
+            undecided == 0;
+  return ok ? 0 : 1;
 }
 
 int RunScenario(const Options& opts) {
@@ -304,5 +478,7 @@ int main(int argc, char** argv) {
     prany::Usage(argv[0]);
     return 2;
   }
+  if (!prany::ValidateLiveOptions(opts)) return 2;
+  if (opts.live) return prany::RunScenarioLive(opts);
   return prany::RunScenario(opts);
 }
