@@ -50,7 +50,7 @@ Site::Site(SiteId id, ProtocolKind participant_protocol, CoordinatorSpec spec,
   ctx.history = history;
   ctx.metrics = metrics;
   ctx.timing = timing;
-  ctx.is_up = [this]() { return up_; };
+  ctx.is_up = [this]() { return up_.load(); };
   ctx.crash_probe = [this](CrashPoint point, TxnId txn) {
     if (!crash_probe_handler_) return false;
     std::optional<SimDuration> downtime =
@@ -96,8 +96,18 @@ void Site::OnMessage(const Message& msg) {
 }
 
 void Site::Crash(SimDuration downtime) {
-  PRANY_CHECK_MSG(up_, "crashing a site that is already down");
-  up_ = false;
+  CrashNow(downtime);
+  if (restart_handler_) {
+    restart_handler_(id_, downtime);
+  } else {
+    sim_->Schedule(downtime, [this]() { RecoverNow(); },
+                   StrFormat("site%u.recover", id_));
+  }
+}
+
+void Site::CrashNow(SimDuration planned_downtime) {
+  PRANY_CHECK_MSG(up_.load(), "crashing a site that is already down");
+  up_.store(false);
   ++crash_count_;
   history_->Record(SigEvent{.time = sim_->Now(),
                             .type = SigEventType::kSiteCrash,
@@ -106,7 +116,7 @@ void Site::Crash(SimDuration downtime) {
     TraceEvent e;
     e.kind = TraceEventKind::kSiteCrash;
     e.site = id_;
-    e.value = downtime;
+    e.value = planned_downtime;
     sim_->Emit(std::move(e));
   }
   // Volatile state is lost: the unflushed log tail, both engines' tables,
@@ -117,12 +127,10 @@ void Site::Crash(SimDuration downtime) {
   if (is_prany_) {
     static_cast<PrAnyCoordinator*>(coordinator_.get())->ClearApp();
   }
-  sim_->Schedule(downtime, [this]() { Recover(); },
-                 StrFormat("site%u.recover", id_));
 }
 
-void Site::Recover() {
-  up_ = true;
+void Site::RecoverNow() {
+  up_.store(true);
   history_->Record(SigEvent{.time = sim_->Now(),
                             .type = SigEventType::kSiteRecover,
                             .site = id_});
@@ -138,6 +146,10 @@ void Site::Recover() {
 
 void Site::SetCrashProbeHandler(CrashProbeHandler handler) {
   crash_probe_handler_ = std::move(handler);
+}
+
+void Site::SetRestartHandler(RestartHandler handler) {
+  restart_handler_ = std::move(handler);
 }
 
 SiteEndState Site::EndState() const {

@@ -10,6 +10,7 @@
 #ifndef PRANY_HARNESS_SITE_H_
 #define PRANY_HARNESS_SITE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -53,15 +54,35 @@ class Site : public NetworkEndpoint {
 
   // NetworkEndpoint:
   void OnMessage(const Message& msg) override;
-  bool IsUp() const override { return up_; }
+  bool IsUp() const override { return up_.load(); }
 
   SiteId id() const { return id_; }
   ProtocolKind participant_protocol() const {
     return participant_->protocol();
   }
 
-  /// Crashes the site now; it recovers after `downtime`.
+  /// Crashes the site now; it recovers after `downtime`. Under the sim
+  /// the recovery is a scheduled event; when a restart handler is
+  /// installed (live runtime) the handler owns the restart instead.
   void Crash(SimDuration downtime);
+
+  /// The crash half of Crash(): fail-stop the site and wipe volatile
+  /// state (engine tables, APP view, unflushed/unsynced log tail), without
+  /// scheduling recovery. The live runtime calls this, then tears down
+  /// the site's threads before restarting.
+  void CrashNow(SimDuration planned_downtime);
+
+  /// The recovery half: mark the site up and re-build engine state from
+  /// the stable log (§4.2). The live runtime calls this after re-opening
+  /// the WAL, before restarting the site's worker threads.
+  void RecoverNow();
+
+  /// Installs `handler`, which takes over scheduling recovery after a
+  /// Crash(): the live runtime enqueues an asynchronous thread+WAL
+  /// teardown/restart instead of the sim's timer. Called with the site id
+  /// and the requested downtime, under the engine serialization domain.
+  using RestartHandler = std::function<void(SiteId, SimDuration)>;
+  void SetRestartHandler(RestartHandler handler);
 
   /// Handler consulted at every CrashPoint probe; a non-nullopt return is
   /// the downtime of an injected crash. Installed by the FailureInjector.
@@ -82,8 +103,6 @@ class Site : public NetworkEndpoint {
   SiteEndState EndState() const;
 
  private:
-  void Recover();
-
   SiteId id_;
   EventLoop* sim_;
   EventLog* history_;
@@ -91,9 +110,12 @@ class Site : public NetworkEndpoint {
   std::unique_ptr<ParticipantEngine> participant_;
   std::unique_ptr<CoordinatorBase> coordinator_;
   bool is_prany_ = false;
-  bool up_ = true;
+  /// Atomic: live transport inbox threads read IsUp() while the crash
+  /// path flips it from the engine serialization domain.
+  std::atomic<bool> up_{true};
   uint64_t crash_count_ = 0;
   CrashProbeHandler crash_probe_handler_;
+  RestartHandler restart_handler_;
 };
 
 }  // namespace prany

@@ -59,6 +59,9 @@ const SigEvent& EventLog::Record(SigEvent event) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     event.seq = next_seq_++;
+    if (event.type == SigEventType::kCoordDecide) {
+      decided_txns_.insert(event.txn);
+    }
     events_.push_back(std::move(event));
     stored = &events_.back();
     if (observer_) copy = *stored;
@@ -94,7 +97,13 @@ std::vector<TxnId> EventLog::Txns() const {
 
 void EventLog::Clear() {
   events_.clear();
+  decided_txns_.clear();
   next_seq_ = 1;
+}
+
+bool EventLog::HasDecide(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decided_txns_.count(txn) != 0;
 }
 
 std::string EventLog::ToString() const {

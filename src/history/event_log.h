@@ -16,6 +16,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -78,6 +79,11 @@ class EventLog {
   /// All events of `txn`, in order.
   std::vector<const SigEvent*> ForTxn(TxnId txn) const;
 
+  /// True iff a Decide event for `txn` has been recorded. Thread-safe and
+  /// O(1) — recovery uses it on its hot path to avoid re-recording
+  /// decisions read back from the stable log.
+  bool HasDecide(TxnId txn) const;
+
   /// First event matching the predicate, or nullptr.
   const SigEvent* FirstWhere(
       const std::function<bool(const SigEvent&)>& pred) const;
@@ -96,9 +102,10 @@ class EventLog {
   std::string ToString() const;
 
  private:
-  std::mutex mu_;  ///< Guards next_seq_ and events_ during Record.
+  mutable std::mutex mu_;  ///< Guards next_seq_, events_ and decided_txns_.
   uint64_t next_seq_ = 1;
   std::vector<SigEvent> events_;
+  std::unordered_set<TxnId> decided_txns_;  ///< Txns with a Decide event.
   Observer observer_;
 };
 

@@ -31,6 +31,7 @@ void HashCoordEntry(Fnv1a* h, const CoordTxnState& st) {
   h->U64(static_cast<uint64_t>(st.mode));
   h->U64(static_cast<uint64_t>(st.phase));
   HashOutcome(h, st.decision);
+  h->U64(st.decision_durable ? 1 : 0);
   HashSiteSet(h, st.yes_votes);
   HashSiteSet(h, st.no_votes);
   HashSiteSet(h, st.read_only);

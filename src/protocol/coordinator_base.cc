@@ -139,6 +139,10 @@ void CoordinatorBase::Decide(TxnId txn, Outcome outcome) {
                         : LogRecord::Decision(txn, outcome);
     ctx_.log->Append(rec, /*force=*/true);
   }
+  // Unforced decisions are exactly the ones the presumption reconstructs,
+  // so they count as durable immediately; a forced decision is durable
+  // only now that the append above returned.
+  st->decision_durable = true;
   ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
                                 .type = SigEventType::kCoordDecide,
                                 .site = ctx_.self,
@@ -261,11 +265,14 @@ void CoordinatorBase::OnInquiry(const Message& msg) {
   CoordTxnState* st = table_.Find(msg.txn);
   Outcome outcome;
   bool by_presumption;
-  if (st != nullptr && st->decision.has_value()) {
+  if (st != nullptr && st->decision.has_value() && st->decision_durable) {
     outcome = *st->decision;
     by_presumption = false;
   } else if (st != nullptr) {
-    // Still collecting votes; the inquirer will retry after we decide.
+    // Still collecting votes, or the decision's forced write is still in
+    // flight — a not-yet-stable decision must not be exposed (a crash
+    // could tear the record away and recovery would re-decide by
+    // presumption, contradicting the reply). The inquirer will retry.
     ctx_.Count("coord.inquiry_during_voting");
     return;
   } else {
@@ -354,6 +361,9 @@ void CoordinatorBase::ReinitiateDecision(
   st.participants = std::move(participants);
   st.phase = CoordPhase::kDeciding;
   st.decision = outcome;
+  // Either read back from the stable log or chosen by the presumption a
+  // repeated recovery would reapply — stable by construction.
+  st.decision_durable = true;
   st.begin_time = ctx_.sim->Now();
   CoordTxnState& entry = table_.Insert(std::move(st));
   DidBegin(entry);
@@ -404,6 +414,20 @@ void CoordinatorBase::Recover() {
       continue;  // Stray record (e.g. nothing coordinator-side).
     }
     if (table_.Find(txn) != nullptr) continue;  // Already re-initiated.
+    if (summary.decision.has_value() && !ctx_.history->HasDecide(txn)) {
+      // The decision record is stable, but its Decide event may be
+      // missing from the recorded history: a crash during the decision
+      // force's durability wait unwinds the handler even when the record
+      // made it into the surviving batch. H follows the stable log — a
+      // decision exists once durably written — so re-record it unless a
+      // Decide is already present (the common case on restart, since the
+      // physical log replays completed transactions too).
+      ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                    .type = SigEventType::kCoordDecide,
+                                    .site = ctx_.self,
+                                    .txn = txn,
+                                    .outcome = *summary.decision});
+    }
     RecoverTxn(summary);
   }
   ctx_.log->Truncate();

@@ -15,7 +15,7 @@ namespace runtime {
 
 LiveSite::LiveSite(std::unique_ptr<Site> site, FileStableLog* wal,
                    LiveTransport* transport, int workers)
-    : site_(std::move(site)), wal_(wal) {
+    : site_(std::move(site)), wal_(wal), worker_count_(workers) {
   PRANY_CHECK(wal_ != nullptr && transport != nullptr && workers >= 1);
   // The harness Site registered itself with the transport in its
   // constructor; interpose so deliveries enqueue instead of running the
@@ -34,10 +34,7 @@ LiveSite::LiveSite(std::unique_ptr<Site> site, FileStableLog* wal,
     }
     queue_cv_.notify_one();
   };
-  workers_.reserve(static_cast<size_t>(workers));
-  for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this]() { WorkerMain(); });
-  }
+  StartWorkers();
 }
 
 LiveSite::~LiveSite() {
@@ -51,7 +48,13 @@ void LiveSite::OnMessage(const Message& msg) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) return;
-    msgs_.push_back(msg);
+    QueuedMessage qm;
+    qm.msg = msg;
+    // Ticket for the per-transaction FIFO gate: stamped under queue_mu_ in
+    // delivery order, so admission order == per-link delivery order.
+    qm.seq = txn_order_[msg.txn].next_stamp++;
+    qm.epoch = queue_epoch_;
+    msgs_.push_back(std::move(qm));
   }
   queue_cv_.notify_one();
 }
@@ -62,7 +65,13 @@ void LiveSite::RunInline(const std::function<void()>& fn) {
   LiveEventLoop::BindThreadExecutor(&executor_);
   {
     std::unique_lock<std::mutex> lock(engine_mu_);
-    fn();
+    try {
+      fn();
+    } catch (const WalCrashedError&) {
+      // The site crashed out of a durability wait inside fn (e.g. a
+      // submission whose initiation force lost the race with a crash).
+      // The partial work below the force is abandoned, as in the sim.
+    }
   }
   LiveEventLoop::BindThreadExecutor(prev);
 }
@@ -77,6 +86,46 @@ void LiveSite::StopWorkers() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+}
+
+void LiveSite::StopWorkersAbruptly() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    // Fail-stop: queued-but-undelivered messages and timer callbacks are
+    // what the site would have executed had it stayed up — gone. (The
+    // engines already cancelled their timers in Site::CrashNow; tasks
+    // here are the already-posted remnants, which strong cancellation
+    // would suppress anyway.)
+    msgs_.clear();
+    tasks_.clear();
+    // Void the admission tickets of everything just discarded (and of any
+    // handler still in flight): stamped-but-dropped messages would
+    // otherwise leave next_run forever behind next_stamp and wedge the
+    // transaction's gate after restart.
+    txn_order_.clear();
+    ++queue_epoch_;
+  }
+  queue_cv_.notify_all();
+  order_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void LiveSite::BeginRestart() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  PRANY_CHECK_MSG(workers_.empty(), "BeginRestart with workers running");
+  stopping_ = false;
+}
+
+void LiveSite::StartWorkers() {
+  workers_.reserve(static_cast<size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this]() { WorkerMain(); });
+  }
+  queue_cv_.notify_all();
 }
 
 bool LiveSite::QueueIdle() const {
@@ -99,22 +148,27 @@ void LiveSite::WorkerMain() {
       ++executing_;
       qlock.unlock();
       {
-        // Timer callbacks need no busy-set entry: engines only arm timers
+        // Timer callbacks bypass the admission gate: engines only arm timers
         // once a handler's forces are complete, and strong cancellation
         // (see LiveEventLoop) covers the rest.
         std::lock_guard<std::mutex> elock(engine_mu_);
-        task();
+        try {
+          task();
+        } catch (const WalCrashedError&) {
+          // Crash landed during a forced append inside the callback;
+          // abandon it (the site is going down).
+        }
       }
       qlock.lock();
       --executing_;
       continue;
     }
     if (!msgs_.empty()) {
-      Message msg = std::move(msgs_.front());
+      QueuedMessage qm = std::move(msgs_.front());
       msgs_.pop_front();
       ++executing_;
       qlock.unlock();
-      HandleMessage(msg);
+      HandleMessage(qm);
       qlock.lock();
       --executing_;
       continue;
@@ -123,23 +177,56 @@ void LiveSite::WorkerMain() {
   }
 }
 
-void LiveSite::HandleMessage(const Message& msg) {
-  std::unique_lock<std::mutex> elock(engine_mu_);
-  // Serialize per transaction: the engine mutex is released at durability
-  // waits, and message handlers are not idempotent under same-transaction
-  // interleaving at those yield points. Distinct transactions interleave
-  // freely — that is the whole point of group commit.
-  while (busy_.count(msg.txn) != 0) {
-    ++busy_waiters_;
-    busy_cv_.wait(elock);
-    --busy_waiters_;
+void LiveSite::HandleMessage(const QueuedMessage& qm) {
+  {
+    // Per-transaction FIFO gate: run each transaction's messages one at a
+    // time, in delivery order. Workers pop the queue in order but race to
+    // the engine mutex, and the mutex is released at durability waits —
+    // without the gate a DECISION can be *processed* before the PREPARE
+    // it answers even though the transport delivered them in order (seen
+    // live under PrC: the participant blind-acks the abort, the
+    // coordinator forgets, the stale PREPARE then parks the participant
+    // in doubt and the inquiry comes back presumed-commit). Distinct
+    // transactions interleave freely — that is the point of group commit.
+    //
+    // No deadlock: workers pop in queue order, so every ticket below
+    // `qm.seq` is already popped and either done or in flight; in-flight
+    // handlers always advance the gate (the crash path unwinds them via
+    // WalCrashedError and bumps the epoch).
+    std::unique_lock<std::mutex> qlock(queue_mu_);
+    while (queue_epoch_ == qm.epoch &&
+           txn_order_[qm.msg.txn].next_run != qm.seq) {
+      ++order_waiters_;
+      order_cv_.wait(qlock);
+      --order_waiters_;
+    }
+    // Epoch bump = crash teardown discarded this transaction's queue;
+    // fail-stop semantics drop the message (the site is going down).
+    if (queue_epoch_ != qm.epoch) return;
   }
-  busy_.insert(msg.txn);
-  site_->OnMessage(msg);
-  busy_.erase(msg.txn);
+  {
+    std::unique_lock<std::mutex> elock(engine_mu_);
+    try {
+      site_->OnMessage(qm.msg);
+    } catch (const WalCrashedError&) {
+      // The site crashed while this handler was parked in a durability
+      // wait. Everything the handler did after the force is undone by
+      // the unwind — the live equivalent of the sim crashing a site at a
+      // forced-write yield point. The gate below must still advance so
+      // the drain finds no wedged waiters.
+    }
+  }
+  std::lock_guard<std::mutex> qlock(queue_mu_);
+  if (queue_epoch_ != qm.epoch) return;  // teardown already reset the gate
+  auto it = txn_order_.find(qm.msg.txn);
+  PRANY_CHECK(it != txn_order_.end());
+  it->second.next_run = qm.seq + 1;
+  // Every stamped message has run: drop the entry so the map tracks only
+  // transactions with queued or in-flight work.
+  if (it->second.next_run == it->second.next_stamp) txn_order_.erase(it);
   // Same-transaction collisions are rare; skip the wakeup storm when no
-  // worker is parked on the busy set.
-  if (busy_waiters_ > 0) busy_cv_.notify_all();
+  // worker is parked on the gate.
+  if (order_waiters_ > 0) order_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -160,6 +247,7 @@ LiveSystem::LiveSystem(LiveSystemConfig config)
     shard.cv.notify_all();
   });
   loop_.Start();
+  controller_ = std::thread([this]() { ControllerMain(); });
 }
 
 LiveSystem::~LiveSystem() { Stop(); }
@@ -189,6 +277,15 @@ LiveSite* LiveSystem::AddSiteWithSpec(ProtocolKind participant_protocol,
   auto site = std::make_unique<Site>(id, participant_protocol, spec, &loop_,
                                      &transport_, &history_, &metrics_,
                                      &pcp_, config_.timing, std::move(wal));
+  // A live crash cannot restart itself (it fires inside the handler being
+  // crashed, under the engine lock): hand the restart to the controller.
+  site->SetRestartHandler([this](SiteId sid, SimDuration downtime) {
+    {
+      std::lock_guard<std::mutex> lock(crash_mu_);
+      restart_queue_.push_back(RestartRequest{sid, downtime});
+    }
+    crash_cv_.notify_one();
+  });
   sites_.push_back(std::make_unique<LiveSite>(
       std::move(site), wal_raw, &transport_, config_.workers_per_site));
   return sites_.back().get();
@@ -272,9 +369,134 @@ bool LiveSystem::Quiesce(uint64_t timeout_us) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Crash-restart controller
+
+void LiveSystem::ControllerMain() {
+  std::unique_lock<std::mutex> lock(crash_mu_);
+  while (true) {
+    crash_cv_.wait(lock, [&]() {
+      return controller_stop_ || !restart_queue_.empty();
+    });
+    if (!restart_queue_.empty()) {
+      RestartRequest req = restart_queue_.front();
+      restart_queue_.pop_front();
+      lock.unlock();
+      DoCrashRestart(req);
+      lock.lock();
+      continue;
+    }
+    // Queue drained (every crashed site restarted) — now stop is safe.
+    if (controller_stop_) return;
+  }
+}
+
+void LiveSystem::DoCrashRestart(const RestartRequest& req) {
+  LiveSite* ls = live_site(req.site);
+  // 1. Tear down the worker pool. Site::CrashNow already crashed the WAL,
+  // which woke workers parked in durability waits; they unwind via
+  // WalCrashedError, so the join cannot hang on them. Queued messages
+  // and timer tasks are discarded (fail-stop).
+  ls->StopWorkersAbruptly();
+  // 2. Stay down. The transport drops traffic to the site (IsUp is
+  // false) while the other sites keep serving.
+  std::this_thread::sleep_for(std::chrono::microseconds(req.downtime_us));
+  // 3. WAL recovery: rescan the file, truncating the torn tail the crash
+  // left behind.
+  Status reopened = ls->wal()->Reopen();
+  PRANY_CHECK_MSG(reopened.ok(), reopened.ToString());
+  WalRecoveryInfo info = ls->wal()->recovery_info();
+  // 4. Re-arm the queue *before* recovery so timers armed by the §4.2
+  // procedure (inquiry retries, decision resends) buffer instead of
+  // being dropped, then rebuild engine state from the recovered log.
+  // Compaction afterwards rewrites the file as exactly the surviving
+  // records, so the WAL does not grow (and recovery does not slow down)
+  // across repeated cycles.
+  ls->BeginRestart();
+  ls->RunInline([&]() {
+    ls->site()->RecoverNow();
+    Status compacted = ls->wal()->CompactAndResume();
+    PRANY_CHECK_MSG(compacted.ok(), compacted.ToString());
+  });
+  // 5. Back in business: workers drain whatever buffered during recovery.
+  ls->StartWorkers();
+  {
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    ++crash_stats_.cycles;
+    if (info.tail_truncated) ++crash_stats_.torn_tail_cycles;
+    crash_stats_.records_recovered_total += info.records_recovered;
+    ++restart_generation_[req.site];
+    last_recovery_[req.site] = info;
+  }
+  crash_done_cv_.notify_all();
+  metrics_.Add("system.crash_restarts");
+}
+
+WalRecoveryInfo LiveSystem::CrashRestartSite(SiteId site,
+                                             uint64_t downtime_us) {
+  uint64_t gen0;
+  {
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    gen0 = restart_generation_[site];
+  }
+  LiveSite* ls = live_site(site);
+  ls->RunInline([&]() {
+    // Already down: a cycle is in flight; wait for it instead of
+    // crashing twice.
+    if (!ls->site()->IsUp()) return;
+    ls->site()->Crash(downtime_us);
+  });
+  std::unique_lock<std::mutex> lock(crash_mu_);
+  crash_done_cv_.wait(lock,
+                      [&]() { return restart_generation_[site] > gen0; });
+  return last_recovery_[site];
+}
+
+FailureInjector& LiveSystem::EnableCrashInjection(uint64_t seed) {
+  PRANY_CHECK_MSG(injector_ == nullptr, "crash injection already enabled");
+  injector_ = std::make_unique<FailureInjector>(Rng(seed));
+  for (const auto& ls : sites_) {
+    ls->site()->SetCrashProbeHandler(
+        [this](SiteId site, CrashPoint point, TxnId txn) {
+          std::lock_guard<std::mutex> lock(injector_mu_);
+          return injector_->Probe(site, point, txn);
+        });
+  }
+  return *injector_;
+}
+
+void LiveSystem::InjectCrashAtPoint(SiteId site, CrashPoint point,
+                                    uint64_t downtime_us) {
+  std::lock_guard<std::mutex> lock(injector_mu_);
+  PRANY_CHECK_MSG(injector_ != nullptr,
+                  "call EnableCrashInjection before installing rules");
+  injector_->CrashAtPoint(site, point, kInvalidTxn, downtime_us);
+}
+
+bool LiveSystem::AwaitCrashCycles(uint64_t cycles, uint64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(crash_mu_);
+  return crash_done_cv_.wait_for(
+      lock, std::chrono::microseconds(timeout_us),
+      [&]() { return crash_stats_.cycles >= cycles; });
+}
+
+CrashStats LiveSystem::crash_stats() const {
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  return crash_stats_;
+}
+
 void LiveSystem::Stop() {
   if (stopped_) return;
   stopped_ = true;
+  // The crash controller goes first: it finishes any in-flight restart
+  // (and every queued one) so no site is left mid-teardown underneath
+  // the shutdown sequence below.
+  {
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    controller_stop_ = true;
+  }
+  crash_cv_.notify_all();
+  if (controller_.joinable()) controller_.join();
   // Order matters: no new deliveries, then no new timers, then drain the
   // engines, and only then close the WALs (their sync threads must stay
   // alive until the last blocked durability wait has drained).

@@ -11,11 +11,15 @@
 //      at the same site can run and coalesce their forces into one
 //      fdatasync. This mirrors the sim, where a forced write is a
 //      scheduled-latency yield point.
-//   2. Because the mutex is released mid-handler, two deliveries for the
-//      *same* transaction could interleave at a yield point; a per-site
-//      busy set serializes message handling per transaction (engine
-//      handlers are not idempotent under that interleaving; distinct
-//      transactions touch disjoint table entries and are safe).
+//   2. Because the mutex is released mid-handler — and because workers
+//      race from the FIFO queue to the mutex — deliveries for the *same*
+//      transaction could interleave or even invert at a yield point. A
+//      per-transaction admission gate (sequence numbers stamped at
+//      enqueue) runs each transaction's messages one at a time, in
+//      delivery order, preserving the transport's per-link FIFO contract
+//      that the protocols assume (a DECISION must not overtake the
+//      PREPARE it answers). Distinct transactions touch disjoint table
+//      entries and interleave freely.
 //   3. Timer callbacks are bound to the scheduling site's executor
 //      (LiveEventLoop thread-local binding), so they also run under the
 //      engine mutex, and cancellation from engine code is strong.
@@ -33,13 +37,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/timeline.h"
 #include "core/safe_state.h"
+#include "harness/failure_injector.h"
 #include "harness/site.h"
 #include "history/operational_checker.h"
 #include "runtime/live_loop.h"
@@ -49,6 +53,13 @@
 
 namespace prany {
 namespace runtime {
+
+/// What the crash-restart controller has done so far.
+struct CrashStats {
+  uint64_t cycles = 0;            ///< Completed crash-restart cycles.
+  uint64_t torn_tail_cycles = 0;  ///< Cycles whose recovery truncated a tail.
+  uint64_t records_recovered_total = 0;
+};
 
 /// Construction-time parameters for a LiveSystem.
 struct LiveSystemConfig {
@@ -88,6 +99,20 @@ class LiveSite : public NetworkEndpoint {
   /// are dropped. Idempotent.
   void StopWorkers();
 
+  /// Crash teardown: discards queued messages and timer tasks (a down
+  /// site executes nothing) and joins the worker pool. The WAL must
+  /// already be crashed so workers parked in durability waits unwind via
+  /// WalCrashedError instead of blocking the join.
+  void StopWorkersAbruptly();
+
+  /// Re-arms the queue after a crash teardown: messages and timer tasks
+  /// arriving from here on are buffered (not dropped) until StartWorkers.
+  /// Call before Site::RecoverNow so recovery-armed timers survive.
+  void BeginRestart();
+
+  /// Spawns a fresh worker pool (same size as at construction).
+  void StartWorkers();
+
   /// True when no message/task is queued or executing.
   bool QueueIdle() const;
 
@@ -97,24 +122,44 @@ class LiveSite : public NetworkEndpoint {
   const FileStableLog* wal() const { return wal_; }
 
  private:
+  /// A delivered message plus its admission ticket: `seq` is the
+  /// per-transaction enqueue order, `epoch` the queue generation it was
+  /// stamped under (crash teardown bumps the epoch, voiding stale tickets).
+  struct QueuedMessage {
+    Message msg;
+    uint64_t seq = 0;
+    uint64_t epoch = 0;
+  };
+
+  /// Per-transaction admission bookkeeping; guarded by queue_mu_.
+  struct TxnOrder {
+    uint64_t next_stamp = 0;  ///< Seq the next enqueued message gets.
+    uint64_t next_run = 0;    ///< Seq the next admitted handler must hold.
+  };
+
   void WorkerMain();
-  void HandleMessage(const Message& msg);
+  void HandleMessage(const QueuedMessage& qm);
 
   std::unique_ptr<Site> site_;
   FileStableLog* wal_;
 
   /// Serializes all engine entry points; released across durability waits.
   std::mutex engine_mu_;
-  /// Transactions with a message handler in flight (possibly parked at a
-  /// durability wait); guarded by engine_mu_.
-  std::set<TxnId> busy_;
-  std::condition_variable busy_cv_;
-  int busy_waiters_ = 0;  ///< Workers parked on busy_cv_; guarded by engine_mu_.
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Message> msgs_;
+  std::deque<QueuedMessage> msgs_;
   std::deque<LiveEventLoop::Task> tasks_;
+  /// Per-transaction FIFO gate. The transport delivers each link's
+  /// messages in order and the protocols depend on it (a DECISION must
+  /// never overtake the PREPARE it answers), but workers race from the
+  /// queue to the engine mutex — so handler admission is gated on the
+  /// enqueue-time sequence number instead. An entry is erased once every
+  /// stamped message has run; guarded by queue_mu_.
+  std::map<TxnId, TxnOrder> txn_order_;
+  std::condition_variable order_cv_;
+  int order_waiters_ = 0;  ///< Workers parked on order_cv_; guarded by queue_mu_.
+  uint64_t queue_epoch_ = 0;  ///< Bumped by StopWorkersAbruptly.
   int executing_ = 0;  ///< Workers currently running an item.
   bool stopping_ = false;
 
@@ -122,6 +167,7 @@ class LiveSite : public NetworkEndpoint {
   /// run through.
   LiveEventLoop::Executor executor_;
 
+  int worker_count_;
   std::vector<std::thread> workers_;
 };
 
@@ -164,6 +210,44 @@ class LiveSystem {
   /// Waits until transport and all site queues are idle (best-effort; poll
   /// based). Returns false on timeout.
   bool Quiesce(uint64_t timeout_us);
+
+  // --- Crash-restart harness -----------------------------------------
+  //
+  // A live crash is the full fail-stop teardown: worker threads joined,
+  // queued messages and timer tasks discarded, the WAL torn at a random
+  // byte inside its unacknowledged suffix, and both engines' volatile
+  // state wiped. Restart re-runs FileStableLog recovery and the paper's
+  // §4.2 procedure (redo decisions, re-inquire in-doubt transactions)
+  // while the other sites keep serving. Cycles run on a dedicated
+  // controller thread, because a crash fired from a crash-point probe
+  // happens *inside* the handler being crashed.
+
+  /// Crashes `site` now and restarts it after ~`downtime_us` of wall
+  /// clock. Blocks until the cycle completes; returns what the WAL
+  /// recovery scan found. No-op returning the last recovery if the site
+  /// is already down (the in-flight cycle is awaited instead).
+  WalRecoveryInfo CrashRestartSite(SiteId site, uint64_t downtime_us);
+
+  /// Installs a FailureInjector consulted at every engine crash point on
+  /// every site — the sim harness's crash-point vocabulary, live. Crashes
+  /// it injects restart through the controller with their requested
+  /// downtime. Returns the injector for rule installation; call before
+  /// traffic starts (probes are serialized internally).
+  FailureInjector& EnableCrashInjection(uint64_t seed);
+
+  /// Thread-safe one-shot rule install while traffic is running: crash
+  /// `site` the next time it passes `point` (any transaction), then
+  /// restart it after ~`downtime_us`. Requires EnableCrashInjection.
+  /// (The injector reference itself is single-threaded; direct rule
+  /// installs race with probes once workers are live.)
+  void InjectCrashAtPoint(SiteId site, CrashPoint point,
+                          uint64_t downtime_us);
+
+  /// Blocks until `cycles` crash-restart cycles have completed or
+  /// `timeout_us` elapses; false on timeout.
+  bool AwaitCrashCycles(uint64_t cycles, uint64_t timeout_us);
+
+  CrashStats crash_stats() const;
 
   /// Shuts everything down in dependency order, folds timelines/metrics,
   /// and reports to the ambient ObservabilityScope. Idempotent; also run
@@ -221,6 +305,31 @@ class LiveSystem {
   AwaitShard& ShardFor(TxnId txn) {
     return await_shards_[txn % kAwaitShards];
   }
+
+  // Crash-restart controller state. Site::Crash (running under the
+  // crashing site's engine lock) enqueues a request; the controller
+  // thread performs the teardown/restart asynchronously.
+  struct RestartRequest {
+    SiteId site = kInvalidSite;
+    uint64_t downtime_us = 0;
+  };
+  void ControllerMain();
+  void DoCrashRestart(const RestartRequest& req);
+
+  std::thread controller_;
+  mutable std::mutex crash_mu_;
+  std::condition_variable crash_cv_;       ///< Wakes the controller.
+  std::condition_variable crash_done_cv_;  ///< Wakes cycle waiters.
+  std::deque<RestartRequest> restart_queue_;
+  bool controller_stop_ = false;
+  CrashStats crash_stats_;
+  std::map<SiteId, uint64_t> restart_generation_;
+  std::map<SiteId, WalRecoveryInfo> last_recovery_;
+
+  /// Live crash injection: probes fire concurrently from every site's
+  /// workers, so the (single-threaded) injector is wrapped in a mutex.
+  std::mutex injector_mu_;
+  std::unique_ptr<FailureInjector> injector_;
 
   bool stopped_ = false;
   std::map<TxnId, TxnTimeline> timelines_;

@@ -31,11 +31,21 @@ LoadGenReport LoadGen::Run() {
     clients.emplace_back(
         [this, i, &per_client]() { ClientMain(i, &per_client[i]); });
   }
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(config_.duration_us));
+  // Sleep out the duration in slices so an external Stop() ends the run
+  // promptly instead of after the full configured duration.
+  const auto deadline =
+      start + std::chrono::microseconds(config_.duration_us);
+  while (running_.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   running_.store(false);
-  for (std::thread& client : clients) client.join();
+  // Snapshot the clock *now*: clients stop submitting the moment
+  // running_ flips, but each may spend up to await_timeout_us draining
+  // its in-flight Await — drain time is not measurement time, and
+  // counting it understates throughput.
   auto elapsed = std::chrono::steady_clock::now() - start;
+  for (std::thread& client : clients) client.join();
 
   LoadGenReport total;
   for (const LoadGenReport& r : per_client) {

@@ -58,6 +58,11 @@ class LoadGen {
   /// duration, joins, and folds per-client counters. Call once.
   LoadGenReport Run();
 
+  /// Ends the run early (thread-safe): clients stop submitting and Run()
+  /// returns after draining in-flight awaits. The elapsed-seconds clock
+  /// stops at the Stop() call, not at the drain.
+  void Stop() { running_.store(false); }
+
  private:
   void ClientMain(int client_index, LoadGenReport* report);
 

@@ -49,6 +49,14 @@ struct CoordTxnState {
   /// Decision, once made.
   std::optional<Outcome> decision;
 
+  /// False only in the window between choosing the decision and its
+  /// forced log write completing. Execution can yield inside that window
+  /// (sim: scheduled write latency; live: the engine mutex is released
+  /// across durability waits), and a decision that is not yet stable must
+  /// not be exposed to inquirers — a crash could still tear the record
+  /// away and recovery would then re-decide by presumption.
+  bool decision_durable = false;
+
   /// Participants whose acknowledgment is still awaited (decision phase).
   std::set<SiteId> pending_acks;
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -48,6 +49,19 @@ std::vector<uint8_t> FileStableLog::EncodeFrame(
 
 Status FileStableLog::Open() {
   PRANY_CHECK_MSG(fd_ < 0, "FileStableLog::Open called twice");
+  return OpenAndScan();
+}
+
+Status FileStableLog::Reopen() {
+  PRANY_CHECK_MSG(fd_ < 0, "FileStableLog::Reopen with the file still open");
+  PRANY_CHECK_MSG(crashed_.load(), "FileStableLog::Reopen without a crash");
+  ResetMirrorForRecovery();
+  recovery_ = WalRecoveryInfo{};
+  crashed_.store(false);
+  return OpenAndScan();
+}
+
+Status FileStableLog::OpenAndScan() {
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) {
     return Status::Unavailable(
@@ -110,6 +124,12 @@ Status FileStableLog::Open() {
   }
   synced_lsn_ = next_lsn_ - 1;
   synced_lsn_watermark_.store(synced_lsn_);
+  durable_size_ = pos;
+  pending_bytes_.clear();
+  pending_max_lsn_ = 0;
+  pending_forces_ = 0;
+  flush_requested_ = false;
+  syncing_ = false;
 
   running_ = true;
   sync_thread_ = std::thread([this]() { SyncThreadMain(); });
@@ -123,6 +143,8 @@ void FileStableLog::SetWaitHooks(std::function<void()> before_wait,
 }
 
 uint64_t FileStableLog::Append(const LogRecord& record, bool force) {
+  // A zombie handler racing the crash teardown must unwind, not write.
+  if (crashed_.load()) throw WalCrashedError{};
   PRANY_CHECK_MSG(fd_ >= 0, "FileStableLog::Append before Open()");
   uint64_t lsn = StampAndBuffer(record, force);
   std::vector<uint8_t> frame = EncodeFrame(lsn, buffer_.back().bytes);
@@ -146,9 +168,13 @@ void FileStableLog::AwaitDurable(uint64_t lsn) {
     done_cv_.wait(lock, [&]() { return synced_lsn_ >= lsn || !running_; });
   }
   if (after_wait_) after_wait_();
-  // Back under the engine lock: reflect durability in the mirror. An
-  // abrupt close may have woken us without syncing; promote only what is
-  // actually durable.
+  // Back under the engine lock. If a crash cut the wait short, the record
+  // is not durable (even a physically completed sync was never
+  // acknowledged and may be torn away) — unwind instead of letting the
+  // engine act on a promise the disk never made.
+  if (crashed_.load()) throw WalCrashedError{};
+  // Reflect durability in the mirror. A graceful Close may have woken us
+  // without syncing; promote only what is actually durable.
   PromoteStableUpTo(std::min(lsn, synced_lsn_watermark_.load()));
   stats_.flushes = fsyncs_.load();
   stats_.bytes_flushed = bytes_synced_.load();
@@ -169,15 +195,38 @@ void FileStableLog::Flush() {
   if (target > 0) AwaitDurable(target);
 }
 
-void FileStableLog::Crash() {
-  // Pending (never-synced) bytes are the file counterpart of the sim's
-  // volatile buffer: gone. Already-written bytes survive in the file.
+void FileStableLog::TearDownNoSync() {
   {
     std::lock_guard<std::mutex> lock(sync_mu_);
+    crashed_.store(true);
     pending_bytes_.clear();
     pending_forces_ = 0;
     flush_requested_ = false;
+    running_ = false;
+    sync_cv_.notify_all();
+    done_cv_.notify_all();
   }
+  if (sync_thread_.joinable()) sync_thread_.join();
+  // Torn write: the file may have physically grown past the last
+  // acknowledged fdatasync (a batch handed to the sync thread before the
+  // crash). A real crash stops that write at an arbitrary byte — pick one
+  // uniformly in the unacknowledged suffix, which leaves anything from a
+  // clean cut to half a frame header for recovery to truncate. Nothing
+  // below durable_size_ is touched: acknowledged forces always survive.
+  off_t physical = ::lseek(fd_, 0, SEEK_END);
+  if (physical > 0 && static_cast<uint64_t>(physical) > durable_size_) {
+    uint64_t span = static_cast<uint64_t>(physical) - durable_size_;
+    uint64_t keep = durable_size_ + tear_rng_() % (span + 1);
+    PRANY_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(keep)) == 0,
+                    StrFormat("wal crash ftruncate(%s): %s", path_.c_str(),
+                              std::strerror(errno)));
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void FileStableLog::Crash() {
+  if (fd_ >= 0) TearDownNoSync();
   StableLog::Crash();
 }
 
@@ -201,18 +250,79 @@ void FileStableLog::Close() {
 
 void FileStableLog::CloseAbruptly() {
   if (fd_ < 0) return;
-  {
-    std::lock_guard<std::mutex> lock(sync_mu_);
-    pending_bytes_.clear();
-    pending_forces_ = 0;
-    flush_requested_ = false;
-    running_ = false;
-    sync_cv_.notify_all();
-    done_cv_.notify_all();
+  TearDownNoSync();
+}
+
+Status FileStableLog::CompactAndResume() {
+  PRANY_CHECK_MSG(fd_ >= 0 && running_,
+                  "FileStableLog::CompactAndResume on a closed log");
+  // Park the fsync thread: drain outstanding forces and any batch it has
+  // in flight. The caller holds the engine lock, so no *new* force can be
+  // enqueued (appends whose waiters are already parked at the durability
+  // wait are fine — their records live in the mirror we rewrite below,
+  // and we wake them once everything is durable).
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  done_cv_.wait(lock, [&]() {
+    return !syncing_ && pending_forces_ == 0 && !flush_requested_;
+  });
+
+  // Rewrite the file as exactly the live mirror (recovery replay has
+  // already Truncate()d released transactions out of it), sync, and
+  // atomically swap it in.
+  ByteWriter compacted;
+  for (const StoredRecord& rec : stable_) {
+    std::vector<uint8_t> frame = EncodeFrame(rec.lsn, rec.bytes);
+    compacted.PutRaw(frame.data(), frame.size());
   }
-  if (sync_thread_.joinable()) sync_thread_.join();
+  for (const StoredRecord& rec : buffer_) {
+    std::vector<uint8_t> frame = EncodeFrame(rec.lsn, rec.bytes);
+    compacted.PutRaw(frame.data(), frame.size());
+  }
+  std::string tmp_path = path_ + ".compact";
+  int tmp_fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    return Status::Unavailable(
+        StrFormat("open(%s): %s", tmp_path.c_str(), std::strerror(errno)));
+  }
+  const std::vector<uint8_t>& bytes = compacted.bytes();
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n =
+        ::write(tmp_fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(tmp_fd);
+      return Status::Unavailable(
+          StrFormat("write(%s): %s", tmp_path.c_str(), std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fdatasync(tmp_fd) != 0 ||
+      ::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::close(tmp_fd);
+    return Status::Unavailable(StrFormat("compact(%s): %s", path_.c_str(),
+                                         std::strerror(errno)));
+  }
+  // The sync thread only touches fd_ when a batch is pending; the queue is
+  // empty and we hold sync_mu_, so the swap is safe.
   ::close(fd_);
-  fd_ = -1;
+  ::close(tmp_fd);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::Unavailable(
+        StrFormat("reopen(%s): %s", path_.c_str(), std::strerror(errno)));
+  }
+  // Everything in the mirror is now durable — including records whose
+  // frames were still in the pending queue (the rewrite covered them).
+  pending_bytes_.clear();
+  pending_max_lsn_ = 0;
+  synced_lsn_ = next_lsn_ - 1;
+  synced_lsn_watermark_.store(synced_lsn_);
+  durable_size_ = bytes.size();
+  lock.unlock();
+  done_cv_.notify_all();
+  PromoteStableUpTo(synced_lsn_);
+  return Status::OK();
 }
 
 void FileStableLog::SyncThreadMain() {
@@ -244,6 +354,7 @@ void FileStableLog::SyncThreadMain() {
       done_cv_.notify_all();
       continue;
     }
+    syncing_ = true;
     lock.unlock();
     size_t written = 0;
     while (written < batch.size()) {
@@ -253,6 +364,9 @@ void FileStableLog::SyncThreadMain() {
                                        std::strerror(errno)));
       written += static_cast<size_t>(n);
     }
+    // A crash that lands mid-batch must not complete the sync: the bytes
+    // just written stay unacknowledged and the teardown may tear them.
+    if (crashed_.load()) return;
     PRANY_CHECK_MSG(::fdatasync(fd_) == 0,
                     StrFormat("wal fdatasync(%s): %s", path_.c_str(),
                               std::strerror(errno)));
@@ -260,6 +374,13 @@ void FileStableLog::SyncThreadMain() {
     bytes_synced_.fetch_add(batch.size());
     if (metrics_ != nullptr) metrics_->Add(metric_prefix_ + ".flushes");
     lock.lock();
+    syncing_ = false;
+    // Same race, one window later (crash arrived during the fdatasync):
+    // the data is on disk but nobody was acknowledged, so treating it as
+    // not-durable is safe — and required, since the teardown's torn
+    // truncate measures from durable_size_.
+    if (!running_) break;
+    durable_size_ += batch.size();
     synced_lsn_ = std::max(synced_lsn_, batch_lsn);
     synced_lsn_watermark_.store(synced_lsn_);
     done_cv_.notify_all();

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +47,14 @@
 #include "wal/stable_log.h"
 
 namespace prany {
+
+/// Thrown out of a forced Append() whose durability wait was interrupted
+/// by Crash(): the record is NOT durable, and the engine action that
+/// demanded durability (sending a vote, enforcing a decision) must not
+/// happen. The live runtime catches this at its dispatch boundaries and
+/// abandons the in-flight handler — the exact analogue of the simulator
+/// crashing a site at a forced-write yield point.
+struct WalCrashedError {};
 
 /// Group-commit tuning knobs (see header comment).
 struct GroupCommitConfig {
@@ -85,11 +94,33 @@ class FileStableLog : public StableLog {
   void Close();
 
   /// Crash simulation: discards pending (never-synced) writes, stops the
-  /// fsync thread and closes the file *without* a final sync — what the
-  /// process dying mid-batch leaves on disk. Any record not yet
-  /// acknowledged durable is gone. Callers must ensure no Append is
-  /// concurrently blocked in its durability wait.
+  /// fsync thread without a final sync, and *torn-truncates* the file at a
+  /// random byte inside the never-acknowledged suffix — what the process
+  /// dying mid-batch leaves on disk. Every acknowledged forced append
+  /// survives; anything after the last fdatasync may be partially written.
+  /// Appends concurrently blocked in their durability wait are woken and
+  /// throw WalCrashedError.
   void CloseAbruptly();
+
+  /// Re-opens this same log object after Crash(): resets the in-memory
+  /// mirror, reruns the recovery scan (recovery_info() describes what this
+  /// restart found, including any torn tail) and restarts the fsync
+  /// thread. The LSN allocator restarts from the recovered prefix.
+  Status Reopen();
+
+  /// Rewrites the file to exactly the live in-memory mirror (stable view +
+  /// volatile buffer) and fdatasyncs it, then resumes appending. Called
+  /// under the engine lock after recovery replay has Truncate()d released
+  /// transactions, so the file stops growing without bound across
+  /// crash-restart cycles (Truncate alone only trims the mirror). All
+  /// mirror records are durable on return.
+  Status CompactAndResume();
+
+  /// Seeds the RNG that picks the torn-truncate byte (deterministic tests).
+  void SetTornWriteSeed(uint64_t seed) { tear_rng_.seed(seed); }
+
+  /// True between Crash()/CloseAbruptly() and the next Reopen().
+  bool crashed() const { return crashed_.load(); }
 
   /// Installs hooks called immediately before/after the blocking
   /// durability wait in a forced Append. The live site uses these to
@@ -121,7 +152,18 @@ class FileStableLog : public StableLog {
   /// Blocks until everything enqueued up to `lsn` is durable, running the
   /// wait hooks around the wait. Folds sync-thread counters into stats_
   /// and promotes the mirror afterwards (caller holds the engine lock).
+  /// Throws WalCrashedError if the wait was cut short by a crash.
   void AwaitDurable(uint64_t lsn);
+
+  /// Shared back half of Open()/Reopen(): opens the file if needed, runs
+  /// the recovery scan, truncates the torn tail and starts the fsync
+  /// thread.
+  Status OpenAndScan();
+
+  /// Stops the fsync thread without syncing, torn-truncates the
+  /// unacknowledged suffix and closes the file. Wakes durability waiters
+  /// (they throw). Shared by Crash() and CloseAbruptly().
+  void TearDownNoSync();
 
   void SyncThreadMain();
 
@@ -129,6 +171,9 @@ class FileStableLog : public StableLog {
   GroupCommitConfig config_;
   int fd_ = -1;
   WalRecoveryInfo recovery_;
+  std::atomic<bool> crashed_{false};
+  /// Picks where inside the in-flight suffix the torn write stops.
+  std::mt19937_64 tear_rng_{0x9e3779b97f4a7c15ull};
   std::function<void()> before_wait_;
   std::function<void()> after_wait_;
 
@@ -144,6 +189,12 @@ class FileStableLog : public StableLog {
   bool flush_requested_ = false;
   uint64_t synced_lsn_ = 0;
   bool running_ = false;
+  /// True while the sync thread is writing a batch outside sync_mu_;
+  /// CompactAndResume waits for it before swapping the file.
+  bool syncing_ = false;
+  /// File size covered by the last completed fdatasync — the boundary
+  /// below which a crash must not tear. Guarded by sync_mu_.
+  uint64_t durable_size_ = 0;
 
   /// Lock-free mirrors for cheap reads outside sync_mu_.
   std::atomic<uint64_t> synced_lsn_watermark_{0};

@@ -130,6 +130,17 @@ class StableLog {
   void RestoreStableRecord(uint64_t lsn, TxnId txn,
                            std::vector<uint8_t> bytes);
 
+  /// Recovery helper: wipes the in-memory mirror (stable view, volatile
+  /// buffer, released set) and rewinds the LSN allocator, ready for a fresh
+  /// recovery scan to Restore records. Durable implementations use this
+  /// when re-opening the same log object after a crash.
+  void ResetMirrorForRecovery() {
+    stable_.clear();
+    buffer_.clear();
+    released_.clear();
+    next_lsn_ = 1;
+  }
+
   std::string metric_prefix_;
   MetricsRegistry* metrics_;
   TraceLog* trace_ = nullptr;

@@ -3,6 +3,10 @@
 
 #include "core/safe_state.h"
 
+#include <map>
+#include <random>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "harness/scenario.h"
@@ -123,6 +127,99 @@ TEST(SafeStateTest, MultipleForgetsUseTheFirst) {
   history.Record(Forget(1));
   history.Record(Respond(1, Outcome::kCommit, 2, true));
   EXPECT_TRUE(SafeStateChecker::Check(history).ok());
+}
+
+SigEvent Enforce(TxnId txn, SiteId site, Outcome o) {
+  return SigEvent{.type = SigEventType::kPartEnforce,
+                  .site = site,
+                  .txn = txn,
+                  .outcome = o};
+}
+
+/// Pins Check()'s folded two-pass implementation to the reference
+/// semantics: for every transaction, Check agrees with HoldsFor on both
+/// the verdict and the explanation, and responses_checked counts every
+/// response of every known transaction.
+void ExpectCheckMatchesHoldsFor(const EventLog& history) {
+  SafeStateReport report = SafeStateChecker::Check(history);
+  std::map<TxnId, std::string> reported;
+  for (const SafeStateViolation& v : report.violations) {
+    EXPECT_TRUE(reported.emplace(v.txn, v.description).second)
+        << "txn " << v.txn << " reported twice";
+  }
+  uint64_t txns = 0;
+  uint64_t responses = 0;
+  for (TxnId txn : history.Txns()) {
+    ++txns;
+    std::string why;
+    const bool holds = SafeStateChecker::HoldsFor(history, txn, &why);
+    auto it = reported.find(txn);
+    EXPECT_EQ(holds, it == reported.end()) << "verdict mismatch, txn " << txn;
+    if (it != reported.end()) {
+      EXPECT_EQ(it->second, why) << "explanation mismatch, txn " << txn;
+    }
+    for (const SigEvent* e : history.ForTxn(txn)) {
+      if (e->type == SigEventType::kCoordRespond) ++responses;
+    }
+  }
+  EXPECT_EQ(report.txns_checked, txns);
+  EXPECT_EQ(report.responses_checked, responses);
+}
+
+TEST(SafeStateTest, CheckMatchesHoldsForOnMixedHistory) {
+  // One history exercising every branch the folded pass has to get right:
+  // undecided txns, re-decided txns, multiple forgets, matching and
+  // contradicting responses, and the stale-inquiry exemption.
+  EventLog history;
+  history.Record(Decide(1, Outcome::kCommit));
+  history.Record(Forget(1));
+  history.Record(Respond(1, Outcome::kAbort, 2, true));  // violation
+  history.Record(Decide(2, Outcome::kAbort));
+  history.Record(Forget(2));
+  history.Record(Respond(2, Outcome::kAbort, 3, true));  // fine
+  history.Record(Respond(3, Outcome::kCommit, 2, true));  // undecided: bad
+  history.Record(Decide(4, Outcome::kAbort));
+  history.Record(Enforce(4, 5, Outcome::kAbort));
+  history.Record(Forget(4));
+  history.Record(Respond(4, Outcome::kCommit, 5, true));  // stale: exempt
+  history.Record(Respond(4, Outcome::kCommit, 6, true));  // in doubt: bad
+  history.Record(Decide(5, Outcome::kCommit));
+  history.Record(Forget(5));
+  history.Record(Decide(5, Outcome::kCommit));  // recovery re-initiation
+  history.Record(Forget(5));
+  history.Record(Respond(5, Outcome::kCommit, 2, true));
+  ExpectCheckMatchesHoldsFor(history);
+}
+
+TEST(SafeStateTest, CheckMatchesHoldsForOnRandomHistories) {
+  // Differential sweep: random event soups must never split the two
+  // implementations, whatever order decides/forgets/enforces/responses
+  // land in.
+  std::mt19937 rng(20260806);
+  for (int round = 0; round < 200; ++round) {
+    EventLog history;
+    const int events = 1 + static_cast<int>(rng() % 40);
+    for (int i = 0; i < events; ++i) {
+      const TxnId txn = 1 + rng() % 5;
+      const SiteId site = static_cast<SiteId>(rng() % 4);
+      const Outcome o = (rng() % 2 == 0) ? Outcome::kCommit : Outcome::kAbort;
+      switch (rng() % 4) {
+        case 0:
+          history.Record(Decide(txn, o));
+          break;
+        case 1:
+          history.Record(Forget(txn));
+          break;
+        case 2:
+          history.Record(Enforce(txn, site, o));
+          break;
+        default:
+          history.Record(Respond(txn, o, site, rng() % 2 == 0));
+          break;
+      }
+    }
+    ExpectCheckMatchesHoldsFor(history);
+  }
 }
 
 TEST(SafeStateTest, EndToEndPrAnyHistorySatisfiesDefinition2) {

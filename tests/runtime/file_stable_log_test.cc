@@ -211,6 +211,117 @@ TEST(FileStableLogTest, ConcurrentForcesCoalesceIntoFewerFsyncs) {
             static_cast<uint64_t>(kThreads * kForcesPerThread));
 }
 
+TEST(FileStableLogTest, RecoveryAtEveryTruncationOffsetKeepsLongestValidPrefix) {
+  // Property: for *every* byte-length prefix of a valid log file, Open()
+  // recovers exactly the frames that fit completely in the prefix, marks
+  // the remainder torn, and a second Open() of the truncated result is a
+  // fixed point (recovery is idempotent).
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/site.wal";
+  {
+    FileStableLog log(path);
+    ASSERT_TRUE(log.Open().ok());
+    log.Append(LogRecord::Prepared(11, 0), true);
+    log.Append(LogRecord::Commit(11), true);
+    log.Append(LogRecord::End(11), true);
+    log.Close();
+  }
+  // Read the file and compute the frame boundaries from the length
+  // headers: [u32 len][u32 crc][payload].
+  int fd = open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  off_t sz = lseek(fd, 0, SEEK_END);
+  ASSERT_GT(sz, 0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(sz));
+  ASSERT_EQ(pread(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  close(fd);
+  std::vector<size_t> boundaries = {0};  // offsets where a frame ends
+  size_t pos = 0;
+  while (pos + 8 <= bytes.size()) {
+    uint32_t len = static_cast<uint32_t>(bytes[pos]) |
+                   static_cast<uint32_t>(bytes[pos + 1]) << 8 |
+                   static_cast<uint32_t>(bytes[pos + 2]) << 16 |
+                   static_cast<uint32_t>(bytes[pos + 3]) << 24;
+    pos += 8 + len;
+    ASSERT_LE(pos, bytes.size());
+    boundaries.push_back(pos);
+  }
+  ASSERT_EQ(boundaries.size(), 4u);  // three records
+
+  std::string cut = dir + "/cut.wal";
+  for (size_t offset = 0; offset <= bytes.size(); ++offset) {
+    int out = open(cut.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(out, 0);
+    ASSERT_EQ(write(out, bytes.data(), offset), static_cast<ssize_t>(offset));
+    close(out);
+
+    // Frames wholly inside the prefix survive; everything after is torn.
+    uint64_t want_records = 0;
+    size_t valid_prefix = 0;
+    for (size_t i = 0; i < boundaries.size(); ++i) {
+      if (boundaries[i] <= offset) {
+        valid_prefix = boundaries[i];
+        want_records = i;  // boundary i ends the i-th frame
+      }
+    }
+    {
+      FileStableLog log(cut);
+      ASSERT_TRUE(log.Open().ok()) << "offset " << offset;
+      EXPECT_EQ(log.recovery_info().records_recovered, want_records)
+          << "offset " << offset;
+      EXPECT_EQ(log.recovery_info().bytes_recovered, valid_prefix)
+          << "offset " << offset;
+      EXPECT_EQ(log.recovery_info().tail_truncated, offset != valid_prefix)
+          << "offset " << offset;
+      EXPECT_EQ(log.recovery_info().torn_bytes_discarded,
+                offset - valid_prefix)
+          << "offset " << offset;
+      log.Close();
+    }
+    // Idempotence: the recovered file re-opens to the same record count
+    // with nothing left to truncate.
+    FileStableLog again(cut);
+    ASSERT_TRUE(again.Open().ok()) << "offset " << offset;
+    EXPECT_EQ(again.recovery_info().records_recovered, want_records)
+        << "offset " << offset;
+    EXPECT_FALSE(again.recovery_info().tail_truncated) << "offset " << offset;
+    again.Close();
+  }
+}
+
+TEST(FileStableLogTest, CrashTearsUnackedSuffixAtARandomByte) {
+  // The live crash model: CloseAbruptly()/Crash() must never let an
+  // in-flight batch become durable wholesale — the file is cut at a
+  // random byte inside the unacknowledged suffix. Acked forces always
+  // survive; the recovered set is always a clean prefix.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::string dir = MakeTempDir();
+    std::string path = dir + "/site.wal";
+    uint64_t acked = 0;
+    {
+      FileStableLog log(path);
+      log.SetTornWriteSeed(seed);
+      ASSERT_TRUE(log.Open().ok());
+      acked = log.Append(LogRecord::Prepared(21, 0), true);
+      // Queue unacknowledged work, then crash before any force waits on
+      // it: these bytes are fair game for the tear.
+      for (TxnId t = 22; t < 30; ++t) {
+        log.Append(LogRecord::Commit(t), false);
+      }
+      log.CloseAbruptly();
+    }
+    FileStableLog reopened(path);
+    ASSERT_TRUE(reopened.Open().ok());
+    std::vector<LogRecord> records = reopened.StableRecords();
+    ASSERT_GE(records.size(), acked) << "seed " << seed;
+    for (size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i].lsn, static_cast<uint64_t>(i + 1));
+    }
+    reopened.Close();
+  }
+}
+
 TEST(FileStableLogTest, WaitHooksBracketTheDurabilityWait) {
   std::string dir = MakeTempDir();
   FileStableLog log(dir + "/site.wal");

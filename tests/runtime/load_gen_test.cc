@@ -1,7 +1,9 @@
 #include "runtime/load_gen.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -64,6 +66,38 @@ TEST(LoadGenTest, AbortFractionProducesAborts) {
   EXPECT_GT(report.aborted, 0u);
   EXPECT_EQ(report.committed, 0u);
   EXPECT_EQ(report.timeouts, 0u);
+  ASSERT_TRUE(system.Quiesce(20'000'000));
+  EXPECT_TRUE(system.CheckAtomicity().ok());
+}
+
+TEST(LoadGenTest, ElapsedClockStopsWhenTheRunStops) {
+  // Regression: elapsed_seconds used to be measured after joining the
+  // client threads, so a client parked in a final Await inflated the
+  // denominator and deflated commits_per_sec. The clock must stop when
+  // running_ flips false, not when the drain finishes.
+  LiveSystemConfig config;
+  config.log_dir = MakeTempDir();
+  LiveSystem system(config);
+  for (int i = 0; i < 3; ++i) {
+    system.AddSite(ProtocolKind::kPrC, ProtocolKind::kPrC);
+  }
+  LoadGenConfig gen_config;
+  gen_config.clients = 2;
+  gen_config.duration_us = 60'000'000;  // ended by Stop() below
+  gen_config.await_timeout_us = 30'000'000;
+  LoadGen gen(&system, gen_config);
+  LoadGenReport report;
+  std::thread run([&]() { report = gen.Run(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  gen.Stop();
+  run.join();
+
+  EXPECT_GT(report.submitted, 0u);
+  // The run lasted ~0.3s of wall clock; anywhere near the configured 60s
+  // duration (or the 30s await timeout) means the clock kept ticking
+  // through the shutdown drain. Generous bound for loaded CI machines.
+  EXPECT_GE(report.elapsed_seconds, 0.25);
+  EXPECT_LT(report.elapsed_seconds, 10.0);
   ASSERT_TRUE(system.Quiesce(20'000'000));
   EXPECT_TRUE(system.CheckAtomicity().ok());
 }
