@@ -23,6 +23,7 @@
 // commits/s with crash-cycle counts and writes BENCH_live_crash.json;
 // exits nonzero if atomicity or safe state breaks.
 
+#include <sys/resource.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -146,6 +147,12 @@ struct LiveCell {
   uint64_t fsyncs = 0;
   runtime::CrashStats crash;  ///< Only populated in --crash-every-ms mode.
   bool correct = false;
+  /// Process CPU consumed between load start and quiesce end (µs), from
+  /// getrusage(RUSAGE_SELF) deltas — excludes site construction and the
+  /// post-run correctness checkers so it isolates the serving path.
+  double user_cpu_us = 0.0;
+  double sys_cpu_us = 0.0;
+  runtime::LiveTransportStats transport;
 
   double PerCommit(uint64_t n) const {
     uint64_t decided = report.committed + report.aborted;
@@ -231,10 +238,21 @@ LiveCell RunLiveCell(const char* label, ProtocolKind participant,
       }
     });
   }
+  struct rusage ru_start;
+  getrusage(RUSAGE_SELF, &ru_start);
   cell.report = gen.Run();
   crash_done.store(true);
   if (crasher.joinable()) crasher.join();
   system.Quiesce(20'000'000);
+  struct rusage ru_end;
+  getrusage(RUSAGE_SELF, &ru_end);
+  auto tv_delta_us = [](const timeval& a, const timeval& b) {
+    return 1e6 * static_cast<double>(b.tv_sec - a.tv_sec) +
+           static_cast<double>(b.tv_usec - a.tv_usec);
+  };
+  cell.user_cpu_us = tv_delta_us(ru_start.ru_utime, ru_end.ru_utime);
+  cell.sys_cpu_us = tv_delta_us(ru_start.ru_stime, ru_end.ru_stime);
+  cell.transport = system.transport().stats();
 
   cell.latency = system.metrics().Summarize("livegen.latency_us");
   for (SiteId s = 0; s < kSites; ++s) {
@@ -291,6 +309,91 @@ void WriteLiveJson(const std::vector<LiveCell>& cells, uint64_t duration_us,
   std::printf("wrote %s\n", path);
 }
 
+/// Pre-optimization per-commit CPU: the mutex+condvar inbox with
+/// per-frame allocation, string-keyed hot-path metrics and the global
+/// history mutex. Measured with this same instrumentation (getrusage
+/// around the load window, 4 sites, tmpfs WALs, --clients=128
+/// --duration-ms=2500) by building the pre-rewrite bench and running it
+/// interleaved with the optimized one on the same box — mean of 4
+/// alternating rounds, because run-to-run box noise exceeds the effect
+/// size, so only a paired comparison is meaningful. Kept here so
+/// BENCH_live_cpu.json records before/after.
+struct CpuBaseline {
+  const char* protocol;
+  double user_us_per_commit;
+  double sys_us_per_commit;
+};
+constexpr CpuBaseline kCpuBaseline[] = {
+    {"PrN", 61.2, 35.1},
+    {"PrA", 58.2, 33.4},
+    {"PrC", 52.2, 35.5},
+    {"PrAny", 61.1, 33.3},
+};
+
+void WriteLiveCpuJson(const std::vector<LiveCell>& cells,
+                      uint64_t duration_us, const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"live_cpu\",\n");
+  std::fprintf(f, "  \"duration_us\": %llu,\n",
+               static_cast<unsigned long long>(duration_us));
+  std::fprintf(f,
+               "  \"cpu_us_per_commit\": \"getrusage(RUSAGE_SELF) delta "
+               "across the load window / decided txns\",\n");
+  std::fprintf(f, "  \"baseline\": {\n");
+  std::fprintf(f,
+               "    \"transport\": \"mutex+condvar inbox, per-frame "
+               "allocation (pre-ring)\",\n");
+  std::fprintf(f,
+               "    \"methodology\": \"pre-rewrite bench run interleaved "
+               "with the optimized one on the same box; mean of 4 "
+               "alternating rounds\",\n");
+  std::fprintf(f, "    \"results\": [\n");
+  constexpr size_t kBaselines =
+      sizeof(kCpuBaseline) / sizeof(kCpuBaseline[0]);
+  for (size_t i = 0; i < kBaselines; ++i) {
+    const CpuBaseline& b = kCpuBaseline[i];
+    std::fprintf(f,
+                 "      {\"protocol\": \"%s\", \"clients\": 128, "
+                 "\"user_us_per_commit\": %.1f, "
+                 "\"sys_us_per_commit\": %.1f}%s\n",
+                 b.protocol, b.user_us_per_commit, b.sys_us_per_commit,
+                 i + 1 < kBaselines ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const LiveCell& c = cells[i];
+    uint64_t pool_total =
+        c.transport.buffer_pool_hits + c.transport.buffer_pool_misses;
+    std::fprintf(
+        f,
+        "    {\"protocol\": \"%s\", \"clients\": %d, \"committed\": %llu, "
+        "\"commits_per_sec\": %.1f, \"user_us_per_commit\": %.1f, "
+        "\"sys_us_per_commit\": %.1f, \"messages_sent\": %llu, "
+        "\"buffer_pool_hits\": %llu, \"buffer_pool_misses\": %llu, "
+        "\"buffer_pool_hit_rate\": %.4f, \"correct\": %s}%s\n",
+        c.label, c.clients,
+        static_cast<unsigned long long>(c.report.committed),
+        c.report.commits_per_sec(),
+        c.PerCommit(static_cast<uint64_t>(c.user_cpu_us)),
+        c.PerCommit(static_cast<uint64_t>(c.sys_cpu_us)),
+        static_cast<unsigned long long>(c.transport.messages_sent),
+        static_cast<unsigned long long>(c.transport.buffer_pool_hits),
+        static_cast<unsigned long long>(c.transport.buffer_pool_misses),
+        pool_total > 0 ? static_cast<double>(c.transport.buffer_pool_hits) /
+                             static_cast<double>(pool_total)
+                       : 0.0,
+        c.correct ? "true" : "false", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 void RunLive(const LiveBenchOptions& opts) {
   std::printf("== bench_throughput --runtime=live: closed-loop wall-clock "
               "commits over 4 sites, group-commit WAL ==\n\n");
@@ -309,7 +412,8 @@ void RunLive(const LiveBenchOptions& opts) {
   std::vector<LiveCell> cells;
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"protocol", "clients", "commits/s", "forced/commit",
-                  "fsyncs/commit", "p50 us", "p99 us", "checks"});
+                  "fsyncs/commit", "user us/c", "sys us/c", "pool hit",
+                  "p50 us", "p99 us", "checks"});
   int cell_index = 0;
   for (const P& p : protocols) {
     for (int clients : opts.client_counts) {
@@ -317,13 +421,27 @@ void RunLive(const LiveBenchOptions& opts) {
           opts.log_dir + "/cell" + std::to_string(cell_index++);
       LiveCell cell = RunLiveCell(p.label, p.participant, p.coordinator,
                                   clients, opts, dir);
-      rows.push_back({cell.label, std::to_string(clients),
-                      StrFormat("%.0f", cell.report.commits_per_sec()),
-                      StrFormat("%.2f", cell.PerCommit(cell.forced_appends)),
-                      StrFormat("%.2f", cell.PerCommit(cell.fsyncs)),
-                      StrFormat("%.0f", cell.latency.p50),
-                      StrFormat("%.0f", cell.latency.p99),
-                      cell.correct ? "ok" : "FAIL"});
+      uint64_t pool_total = cell.transport.buffer_pool_hits +
+                            cell.transport.buffer_pool_misses;
+      rows.push_back(
+          {cell.label, std::to_string(clients),
+           StrFormat("%.0f", cell.report.commits_per_sec()),
+           StrFormat("%.2f", cell.PerCommit(cell.forced_appends)),
+           StrFormat("%.2f", cell.PerCommit(cell.fsyncs)),
+           StrFormat("%.1f",
+                     cell.PerCommit(static_cast<uint64_t>(cell.user_cpu_us))),
+           StrFormat("%.1f",
+                     cell.PerCommit(static_cast<uint64_t>(cell.sys_cpu_us))),
+           pool_total > 0
+               ? StrFormat("%.1f%%",
+                           100.0 *
+                               static_cast<double>(
+                                   cell.transport.buffer_pool_hits) /
+                               static_cast<double>(pool_total))
+               : std::string("n/a"),
+           StrFormat("%.0f", cell.latency.p50),
+           StrFormat("%.0f", cell.latency.p99),
+           cell.correct ? "ok" : "FAIL"});
       cells.push_back(cell);
     }
   }
@@ -331,8 +449,11 @@ void RunLive(const LiveBenchOptions& opts) {
   std::printf(
       "Note: forced/commit is the paper's cost signature on a real WAL —\n"
       "PrC must sit strictly below PrN. fsyncs/commit < forced/commit is\n"
-      "group commit coalescing concurrent forces into one fdatasync.\n\n");
+      "group commit coalescing concurrent forces into one fdatasync.\n"
+      "user/sys us/c is the load window's getrusage delta per decided\n"
+      "txn; pool hit is the wire-buffer pool reuse rate.\n\n");
   WriteLiveJson(cells, opts.duration_us, "BENCH_live_commit.json");
+  WriteLiveCpuJson(cells, opts.duration_us, "BENCH_live_cpu.json");
 }
 
 // ---------------------------------------------------------------------------

@@ -21,6 +21,14 @@ namespace prany {
 /// Append-only binary encoder.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Starts empty but keeps `reuse`'s allocation, so encoders on hot
+  /// paths (wire frames, log records) can recycle buffer capacity
+  /// instead of allocating per encode.
+  explicit ByteWriter(std::vector<uint8_t> reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU16(uint16_t v) { PutFixed(v); }
   void PutU32(uint32_t v) { PutFixed(v); }

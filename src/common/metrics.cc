@@ -8,12 +8,7 @@
 namespace prany {
 
 namespace {
-const std::vector<double>& EmptySamples() {
-  static const std::vector<double> kEmpty;
-  return kEmpty;
-}
-
-double Percentile(std::vector<double> sorted, double q) {
+double Percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   double rank = q * static_cast<double>(sorted.size() - 1);
   size_t lo = static_cast<size_t>(std::floor(rank));
@@ -23,28 +18,34 @@ double Percentile(std::vector<double> sorted, double q) {
 }
 }  // namespace
 
-void MetricsRegistry::Add(const std::string& name, int64_t delta) {
+MetricsRegistry::Counter* MetricsRegistry::CounterHandle(
+    const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  std::unique_ptr<Counter>& cell = counters_[name];
+  if (cell == nullptr) cell = std::make_unique<Counter>(0);
+  return cell.get();
+}
+
+MetricsRegistry::Distribution* MetricsRegistry::DistributionHandle(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Distribution>& cell = distributions_[name];
+  if (cell == nullptr) cell = std::make_unique<Distribution>();
+  return cell.get();
 }
 
 int64_t MetricsRegistry::Get(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
-}
-
-void MetricsRegistry::Observe(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  distributions_[name].push_back(value);
+  return it == counters_.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
 }
 
 DistributionStats MetricsRegistry::Summarize(const std::string& name) const {
   DistributionStats stats;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = distributions_.find(name);
-  if (it == distributions_.end() || it->second.empty()) return stats;
-  std::vector<double> sorted = it->second;
+  std::vector<double> sorted = samples(name);
+  if (sorted.empty()) return stats;
   std::sort(sorted.begin(), sorted.end());
   stats.count = sorted.size();
   stats.min = sorted.front();
@@ -57,29 +58,49 @@ DistributionStats MetricsRegistry::Summarize(const std::string& name) const {
   return stats;
 }
 
+std::map<std::string, int64_t> MetricsRegistry::counters() const {
+  std::map<std::string, int64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, cell] : counters_) {
+    out.emplace(name, cell->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
 std::vector<std::string> MetricsRegistry::DistributionNames() const {
   std::vector<std::string> names;
   std::lock_guard<std::mutex> lock(mu_);
   names.reserve(distributions_.size());
-  for (const auto& [name, samples] : distributions_) names.push_back(name);
+  for (const auto& [name, cell] : distributions_) names.push_back(name);
   return names;
 }
 
-const std::vector<double>& MetricsRegistry::samples(
-    const std::string& name) const {
-  auto it = distributions_.find(name);
-  return it == distributions_.end() ? EmptySamples() : it->second;
+std::vector<double> MetricsRegistry::samples(const std::string& name) const {
+  Distribution* cell = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = distributions_.find(name);
+    if (it == distributions_.end()) return {};
+    cell = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(cell->mu_);
+  return cell->samples_;
 }
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
-  distributions_.clear();
+  for (auto& [name, cell] : counters_) {
+    cell->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : distributions_) {
+    std::lock_guard<std::mutex> cell_lock(cell->mu_);
+    cell->samples_.clear();
+  }
 }
 
 std::string MetricsRegistry::ToString(const std::string& prefix) const {
   std::ostringstream out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : counters()) {
     if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
     out << name << " = " << value << "\n";
   }

@@ -4,12 +4,25 @@
 // the System; the bench harness and the checkers read them back out. Keys
 // are plain strings ("net.msg.prepare", "wal.forced_writes", ...) so new
 // metrics never require plumbing changes.
+//
+// Two write paths:
+//   * Add(name)/Observe(name, v) — convenience, pays a registry-mutex
+//     lookup per call. Fine for cold paths (recovery, teardown, tests).
+//   * CounterHandle(name)/DistributionHandle(name) — resolve the name once
+//     and keep the returned pointer; it stays valid for the registry's
+//     lifetime (Reset() zeroes values but never invalidates handles). A
+//     counter bump through a handle is one relaxed atomic add, an observe
+//     is one per-distribution mutex — no string building, no global lock.
+//     This is what per-commit call sites (WAL appends, coordinator
+//     latency, load-generator latency) use.
 
 #ifndef PRANY_COMMON_METRICS_H_
 #define PRANY_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -27,34 +40,64 @@ struct DistributionStats {
   double p99 = 0.0;
 };
 
-/// Named counters + distributions. The mutating entry points (Add,
-/// Observe) and the point reads (Get, Summarize) are thread-safe so the
-/// live runtime's sites can record concurrently; the reference-returning
-/// accessors (counters(), samples()) are for quiescent use only.
+/// Named counters + distributions. All entry points are thread-safe; the
+/// snapshot accessors (counters(), samples()) copy under the lock and are
+/// meant for quiescent export, not hot-path reads.
 class MetricsRegistry {
  public:
+  /// A named counter. fetch_add with relaxed ordering is the intended use;
+  /// exports read the same cell under the registry mutex.
+  using Counter = std::atomic<int64_t>;
+
+  /// A named distribution with its own lock, so concurrent observers of
+  /// different metrics never contend on a global mutex.
+  class Distribution {
+   public:
+    void Observe(double value) {
+      std::lock_guard<std::mutex> lock(mu_);
+      samples_.push_back(value);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    mutable std::mutex mu_;
+    std::vector<double> samples_;
+  };
+
+  /// Resolves `name` to its counter cell, creating it at zero. The pointer
+  /// stays valid for the registry's lifetime.
+  Counter* CounterHandle(const std::string& name);
+
+  /// Resolves `name` to its distribution cell, creating it empty. The
+  /// pointer stays valid for the registry's lifetime.
+  Distribution* DistributionHandle(const std::string& name);
+
   /// Adds `delta` to counter `name` (creating it at zero).
-  void Add(const std::string& name, int64_t delta = 1);
+  void Add(const std::string& name, int64_t delta = 1) {
+    CounterHandle(name)->fetch_add(delta, std::memory_order_relaxed);
+  }
 
   /// Current value of counter `name`; 0 if never touched.
   int64_t Get(const std::string& name) const;
 
   /// Records one sample into distribution `name`.
-  void Observe(const std::string& name, double value);
+  void Observe(const std::string& name, double value) {
+    DistributionHandle(name)->Observe(value);
+  }
 
   /// Summarizes distribution `name` (all-zero stats if empty).
   DistributionStats Summarize(const std::string& name) const;
 
-  /// All counters, sorted by name.
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  /// Snapshot of all counters, sorted by name.
+  std::map<std::string, int64_t> counters() const;
 
   /// Names of all recorded distributions, sorted.
   std::vector<std::string> DistributionNames() const;
 
-  /// All samples of a distribution (empty if none).
-  const std::vector<double>& samples(const std::string& name) const;
+  /// Snapshot of all samples of a distribution (empty if none).
+  std::vector<double> samples(const std::string& name) const;
 
-  /// Drops all counters and distributions.
+  /// Zeroes all counters and drops all samples. Handles stay valid.
   void Reset();
 
   /// Multi-line "name = value" dump of all counters, optionally filtered to
@@ -63,8 +106,10 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, int64_t> counters_;
-  std::map<std::string, std::vector<double>> distributions_;
+  // Cells are heap-allocated so handle pointers survive map rebalancing
+  // and stay valid across the registry's lifetime.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Distribution>> distributions_;
 };
 
 }  // namespace prany

@@ -91,20 +91,21 @@ void PrAnyCoordinator::RecoverTxn(const TxnLogSummary& summary) {
   if (!summary.has_initiation) {
     // Decision record without initiation: PrN or PrA mode was used
     // (§4.2). Both re-send the recorded decision to every participant.
-    if (!summary.decision.has_value()) return;
+    if (!summary.coord_decision.has_value()) return;
     ProtocolKind mode = summary.participants.empty()
                             ? ProtocolKind::kPrN
                             : summary.participants.front().protocol;
     ReinitiateDecision(summary.txn, mode, summary.participants,
-                       *summary.decision, SitesOf(summary.participants));
+                       *summary.coord_decision,
+                       SitesOf(summary.participants));
     return;
   }
 
   if (summary.commit_protocol == ProtocolKind::kPrC) {
     // Pure-PrC mode: commit record eliminates the initiation; otherwise
     // re-initiate the abort and collect the acks for the END record.
-    if (summary.decision == Outcome::kCommit) {
-      ctx().log->ReleaseTransaction(summary.txn);
+    if (summary.coord_decision == Outcome::kCommit) {
+      ctx().log->ReleaseTransaction(summary.txn, LogSide::kCoordinator);
       return;
     }
     ReinitiateDecision(summary.txn, ProtocolKind::kPrC, summary.participants,
@@ -116,8 +117,9 @@ void PrAnyCoordinator::RecoverTxn(const TxnLogSummary& summary) {
   // and PrA participants (not PrC, per PrC's rules); initiation only ->
   // abort, re-submitted to the PrN and PrC participants (not PrA,
   // footnote 4).
-  Outcome outcome = summary.decision == Outcome::kCommit ? Outcome::kCommit
-                                                         : Outcome::kAbort;
+  Outcome outcome = summary.coord_decision == Outcome::kCommit
+                        ? Outcome::kCommit
+                        : Outcome::kAbort;
   std::set<SiteId> recipients = AckersAmong(summary.participants, outcome);
   ReinitiateDecision(summary.txn, ProtocolKind::kPrAny, summary.participants,
                      outcome, recipients);

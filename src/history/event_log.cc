@@ -1,7 +1,10 @@
 #include "history/event_log.h"
 
+#include <algorithm>
+#include <iterator>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -54,26 +57,49 @@ std::string SigEvent::ToString() const {
 }
 
 const SigEvent& EventLog::Record(SigEvent event) {
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (event.type == SigEventType::kCoordDecide) {
+    std::lock_guard<std::mutex> lock(decided_mu_);
+    decided_txns_.insert(event.txn);
+  }
+  Shard& shard = shards_[event.seq & (kShards - 1)];
   const SigEvent* stored;
-  SigEvent copy;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    event.seq = next_seq_++;
-    if (event.type == SigEventType::kCoordDecide) {
-      decided_txns_.insert(event.txn);
-    }
-    events_.push_back(std::move(event));
-    stored = &events_.back();
-    if (observer_) copy = *stored;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.push_back(std::move(event));
+    stored = &shard.events.back();
   }
   // Notify outside the lock so the observer may call back into readers.
-  if (observer_) observer_(copy);
+  // The stored event is immutable once published and the deque never
+  // relocates it, so the reference is safe to hand out.
+  if (observer_) observer_(*stored);
   return *stored;
+}
+
+const std::deque<SigEvent>& EventLog::events() const {
+  std::lock_guard<std::mutex> merged_lock(merged_mu_);
+  const uint64_t claimed = next_seq_.load(std::memory_order_acquire) - 1;
+  if (merged_count_ == claimed) return merged_;
+  std::vector<SigEvent> all;
+  all.reserve(static_cast<size_t>(claimed));
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    all.insert(all.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SigEvent& a, const SigEvent& b) { return a.seq < b.seq; });
+  merged_.assign(std::make_move_iterator(all.begin()),
+                 std::make_move_iterator(all.end()));
+  // A recorder racing this merge may have claimed a seq it has not yet
+  // published; the merged view then covers fewer events than were
+  // claimed, the counts mismatch, and the next call rebuilds.
+  merged_count_ = merged_.size();
+  return merged_;
 }
 
 std::vector<const SigEvent*> EventLog::ForTxn(TxnId txn) const {
   std::vector<const SigEvent*> out;
-  for (const SigEvent& e : events_) {
+  for (const SigEvent& e : events()) {
     if (e.txn == txn) out.push_back(&e);
   }
   return out;
@@ -81,7 +107,7 @@ std::vector<const SigEvent*> EventLog::ForTxn(TxnId txn) const {
 
 const SigEvent* EventLog::FirstWhere(
     const std::function<bool(const SigEvent&)>& pred) const {
-  for (const SigEvent& e : events_) {
+  for (const SigEvent& e : events()) {
     if (pred(e)) return &e;
   }
   return nullptr;
@@ -89,26 +115,35 @@ const SigEvent* EventLog::FirstWhere(
 
 std::vector<TxnId> EventLog::Txns() const {
   std::set<TxnId> seen;
-  for (const SigEvent& e : events_) {
+  for (const SigEvent& e : events()) {
     if (e.txn != kInvalidTxn) seen.insert(e.txn);
   }
   return std::vector<TxnId>(seen.begin(), seen.end());
 }
 
 void EventLog::Clear() {
-  events_.clear();
-  decided_txns_.clear();
-  next_seq_ = 1;
+  std::lock_guard<std::mutex> merged_lock(merged_mu_);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(decided_mu_);
+    decided_txns_.clear();
+  }
+  merged_.clear();
+  merged_count_ = 0;
+  next_seq_.store(1, std::memory_order_relaxed);
 }
 
 bool EventLog::HasDecide(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(decided_mu_);
   return decided_txns_.count(txn) != 0;
 }
 
 std::string EventLog::ToString() const {
   std::ostringstream out;
-  for (const SigEvent& e : events_) {
+  for (const SigEvent& e : events()) {
     out << e.ToString() << "\n";
   }
   return out.str();

@@ -11,7 +11,9 @@
 #ifndef PRANY_HISTORY_EVENT_LOG_H_
 #define PRANY_HISTORY_EVENT_LOG_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -59,13 +61,22 @@ struct SigEvent {
 
 /// The complete, globally ordered history of one run.
 ///
-/// Record() is thread-safe (the live runtime's sites record concurrently);
-/// the read accessors are for quiescent use — after the run — as they hand
-/// out references into the live vector.
+/// Record() is thread-safe and contention-free in the common case: the
+/// sequence number comes from one atomic fetch_add, and the event is
+/// stored in the shard the sequence selects — concurrent recorders take
+/// different shard locks, so the history is never a global serialization
+/// point for the live runtime's sites. Causal order survives: if one
+/// Record completes before another begins (same thread, or ordered by a
+/// message send/receive), the first gets the smaller seq, which is all
+/// the checkers' precedence relation (->) needs. The read accessors are
+/// for quiescent use — after the run — and merge the shards by seq into
+/// a cached view on first access.
 class EventLog {
  public:
   /// Records an event; assigns its sequence number and returns it. The
-  /// returned reference is only stable while no other thread records.
+  /// returned reference stays valid for the life of the log (shards are
+  /// deques, which never relocate stored events), even while other
+  /// threads record.
   const SigEvent& Record(SigEvent event);
 
   /// Called with every recorded event (a copy, outside the log's lock).
@@ -74,7 +85,10 @@ class EventLog {
   using Observer = std::function<void(const SigEvent&)>;
   void SetObserver(Observer observer) { observer_ = std::move(observer); }
 
-  const std::vector<SigEvent>& events() const { return events_; }
+  /// All events merged across shards in seq order. Quiescent use only:
+  /// the merge is rebuilt when events were recorded since the last call,
+  /// and the returned reference is invalidated by the next rebuild.
+  const std::deque<SigEvent>& events() const;
 
   /// All events of `txn`, in order.
   std::vector<const SigEvent*> ForTxn(TxnId txn) const;
@@ -102,11 +116,31 @@ class EventLog {
   std::string ToString() const;
 
  private:
-  mutable std::mutex mu_;  ///< Guards next_seq_, events_ and decided_txns_.
-  uint64_t next_seq_ = 1;
-  std::vector<SigEvent> events_;
+  // Power of two; seq & (kShards - 1) picks the shard, so consecutive
+  // events land on different shards and concurrent recorders almost
+  // never contend on one lock.
+  static constexpr size_t kShards = 16;
+
+  // Deques, not vectors: the live runtime appends hundreds of thousands
+  // of events per run, and a vector regrowth would both copy the shard
+  // inside its lock and invalidate every reference Record ever returned.
+  struct Shard {
+    std::mutex mu;
+    std::deque<SigEvent> events;
+  };
+
+  std::atomic<uint64_t> next_seq_{1};
+  mutable Shard shards_[kShards];
+  mutable std::mutex decided_mu_;  ///< Guards decided_txns_.
   std::unordered_set<TxnId> decided_txns_;  ///< Txns with a Decide event.
   Observer observer_;
+
+  /// Merged seq-ordered view, rebuilt lazily by events(). merged_count_
+  /// is how many events the current merge covers; a mismatch with
+  /// next_seq_ marks it stale.
+  mutable std::mutex merged_mu_;
+  mutable std::deque<SigEvent> merged_;
+  mutable uint64_t merged_count_ = 0;
 };
 
 }  // namespace prany

@@ -11,17 +11,28 @@ namespace prany {
 namespace {
 
 /// Per-(site, txn) digest of the trace positions the rules compare.
+///
+/// Decision appends are split by writing role (the append event's `detail`
+/// carries "coord"/"part"): a dual-role site interleaves both roles'
+/// records for one transaction, and each rule constrains one role —
+/// R1 the coordinator's decision record, R3 the participant's. An event
+/// without a role tag (hand-built traces) conservatively feeds both.
 struct SiteTxnFacts {
   // Appends (trace index of the first occurrence; forced flag of that
   // first occurrence).
   std::optional<size_t> initiation_append;
   bool initiation_forced = false;
   std::optional<size_t> forced_prepared_append;
+  // Coordinator-side decision appends (rule R1).
   std::optional<size_t> commit_append;    // first, any force flag
   bool commit_append_forced = false;
-  std::optional<size_t> forced_commit_append;
   std::optional<size_t> abort_append;
   bool abort_append_forced = false;
+  // Forced decision appends from either role (rule R3): on a dual-role
+  // site the co-located coordinator's forced decision record in the same
+  // physical log makes the outcome durable for the participant too (its
+  // recovery redoes from that record without writing its own).
+  std::optional<size_t> forced_commit_append;
   std::optional<size_t> forced_abort_append;
 
   // Sends.
@@ -59,18 +70,23 @@ WalDisciplineReport WalDisciplineChecker::Check(
         } else if (e.label == "PREPARED" && e.forced &&
                    !f.forced_prepared_append) {
           f.forced_prepared_append = i;
-        } else if (e.label == "COMMIT") {
-          if (!f.commit_append) {
-            f.commit_append = i;
-            f.commit_append_forced = e.forced;
+        } else if (e.label == "COMMIT" || e.label == "ABORT") {
+          const bool coord_side = e.detail != "part";
+          const bool is_commit = e.label == "COMMIT";
+          if (coord_side) {
+            auto& append = is_commit ? f.commit_append : f.abort_append;
+            bool& append_forced =
+                is_commit ? f.commit_append_forced : f.abort_append_forced;
+            if (!append) {
+              append = i;
+              append_forced = e.forced;
+            }
           }
-          if (e.forced && !f.forced_commit_append) f.forced_commit_append = i;
-        } else if (e.label == "ABORT") {
-          if (!f.abort_append) {
-            f.abort_append = i;
-            f.abort_append_forced = e.forced;
+          if (e.forced) {
+            auto& forced = is_commit ? f.forced_commit_append
+                                     : f.forced_abort_append;
+            if (!forced) forced = i;
           }
-          if (e.forced && !f.forced_abort_append) f.forced_abort_append = i;
         }
         break;
       case TraceEventKind::kMsgSend:

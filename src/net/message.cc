@@ -89,7 +89,13 @@ Message Message::InquiryReply(TxnId txn, SiteId from, SiteId to,
 }
 
 std::vector<uint8_t> Message::Encode() const {
-  ByteWriter w;
+  std::vector<uint8_t> out;
+  EncodeInto(&out);
+  return out;
+}
+
+void Message::EncodeInto(std::vector<uint8_t>* out) const {
+  ByteWriter w(std::move(*out));
   w.PutU8(kWireVersion);
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU64(txn);
@@ -98,7 +104,7 @@ std::vector<uint8_t> Message::Encode() const {
   w.PutU8(static_cast<uint8_t>(vote));
   w.PutU8(static_cast<uint8_t>(outcome));
   w.PutU8(by_presumption ? 1 : 0);
-  return w.TakeBytes();
+  *out = w.TakeBytes();
 }
 
 Result<Message> Message::Decode(const std::vector<uint8_t>& bytes) {

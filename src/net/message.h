@@ -68,6 +68,10 @@ struct Message {
   /// Serializes to wire bytes.
   std::vector<uint8_t> Encode() const;
 
+  /// Serializes into `out`, replacing its contents but reusing its
+  /// capacity — the allocation-free path for pooled wire buffers.
+  void EncodeInto(std::vector<uint8_t>* out) const;
+
   /// Parses wire bytes; rejects truncated or malformed frames.
   static Result<Message> Decode(const std::vector<uint8_t>& bytes);
 

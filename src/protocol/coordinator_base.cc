@@ -45,8 +45,19 @@ void CoordinatorBase::BeginCommit(const Transaction& txn) {
                                 .type = SigEventType::kTxnSubmitted,
                                 .site = ctx_.self,
                                 .txn = txn.id});
-  ctx_.Count("coord.begin");
-  ctx_.Count("coord.mode." + ToString(mode));
+  if (ctx_.metrics != nullptr) {
+    if (m_begin_ == nullptr) {
+      m_begin_ = ctx_.metrics->CounterHandle("coord.begin");
+    }
+    m_begin_->fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Counter*& mode_counter =
+        m_mode_[static_cast<size_t>(mode)];
+    if (mode_counter == nullptr) {
+      mode_counter =
+          ctx_.metrics->CounterHandle("coord.mode." + ToString(mode));
+    }
+    mode_counter->fetch_add(1, std::memory_order_relaxed);
+  }
   {
     TraceEvent e = CoordEvent(TraceEventKind::kCoordBegin, txn.id);
     e.protocol = mode;
@@ -227,13 +238,24 @@ void CoordinatorBase::MaybeComplete(TxnId txn) {
   if (ctx_.metrics != nullptr) {
     double latency =
         static_cast<double>(ctx_.sim->Now() - st->begin_time);
-    ctx_.metrics->Observe("coord.latency_us", latency);
-    ctx_.metrics->Observe(*st->decision == Outcome::kCommit
-                              ? "coord.commit_latency_us"
-                              : "coord.abort_latency_us",
-                          latency);
+    if (m_latency_ == nullptr) {
+      m_latency_ = ctx_.metrics->DistributionHandle("coord.latency_us");
+    }
+    m_latency_->Observe(latency);
+    MetricsRegistry::Distribution*& by_outcome =
+        *st->decision == Outcome::kCommit ? m_commit_latency_
+                                          : m_abort_latency_;
+    if (by_outcome == nullptr) {
+      by_outcome = ctx_.metrics->DistributionHandle(
+          *st->decision == Outcome::kCommit ? "coord.commit_latency_us"
+                                            : "coord.abort_latency_us");
+    }
+    by_outcome->Observe(latency);
+    if (m_forget_ == nullptr) {
+      m_forget_ = ctx_.metrics->CounterHandle("coord.forget");
+    }
+    m_forget_->fetch_add(1, std::memory_order_relaxed);
   }
-  ctx_.Count("coord.forget");
   {
     TraceEvent e = CoordEvent(TraceEventKind::kCoordForget, txn);
     e.outcome = st->decision;
@@ -245,7 +267,7 @@ void CoordinatorBase::MaybeComplete(TxnId txn) {
                                 .txn = txn});
   resend_timers_.erase(txn);
   table_.Erase(txn);
-  ctx_.log->ReleaseTransaction(txn);
+  ctx_.log->ReleaseTransaction(txn, LogSide::kCoordinator);
   ctx_.log->Truncate();
 }
 
@@ -404,17 +426,20 @@ void CoordinatorBase::Crash() {
 void CoordinatorBase::Recover() {
   auto summaries = LogAnalyzer::Analyze(ctx_.log->StableRecords());
   for (const auto& [txn, summary] : summaries) {
-    if (summary.has_prepared) continue;  // Participant-side transaction.
+    // A dual-role site's log interleaves both roles' records for the same
+    // transaction, so participant-side evidence (has_prepared, a redo
+    // decision record) must not suppress coordinator recovery — classify
+    // by the records' role instead of skipping on has_prepared.
+    if (!summary.HasCoordinatorRecords()) {
+      continue;  // Participant-side (or stray) records only.
+    }
     if (summary.has_end) {
       // Completed before the crash; only the garbage collection was lost.
-      ctx_.log->ReleaseTransaction(txn);
+      ctx_.log->ReleaseTransaction(txn, LogSide::kCoordinator);
       continue;
     }
-    if (!summary.has_initiation && !summary.decision.has_value()) {
-      continue;  // Stray record (e.g. nothing coordinator-side).
-    }
     if (table_.Find(txn) != nullptr) continue;  // Already re-initiated.
-    if (summary.decision.has_value() && !ctx_.history->HasDecide(txn)) {
+    if (summary.coord_decision.has_value() && !ctx_.history->HasDecide(txn)) {
       // The decision record is stable, but its Decide event may be
       // missing from the recorded history: a crash during the decision
       // force's durability wait unwinds the handler even when the record
@@ -426,7 +451,7 @@ void CoordinatorBase::Recover() {
                                     .type = SigEventType::kCoordDecide,
                                     .site = ctx_.self,
                                     .txn = txn,
-                                    .outcome = *summary.decision});
+                                    .outcome = *summary.coord_decision});
     }
     RecoverTxn(summary);
   }

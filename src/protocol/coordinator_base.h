@@ -147,6 +147,16 @@ class CoordinatorBase {
   ProtocolKind kind_;
   ProtocolTable table_;
 
+  /// Lazily resolved registry handles for the per-transaction metrics, so
+  /// the commit path never rebuilds key strings or takes the registry
+  /// mutex. Null until first use; only touched when ctx_.metrics is set.
+  MetricsRegistry::Counter* m_begin_ = nullptr;
+  MetricsRegistry::Counter* m_forget_ = nullptr;
+  MetricsRegistry::Counter* m_mode_[6] = {};
+  MetricsRegistry::Distribution* m_latency_ = nullptr;
+  MetricsRegistry::Distribution* m_commit_latency_ = nullptr;
+  MetricsRegistry::Distribution* m_abort_latency_ = nullptr;
+
   struct ResendState {
     std::unique_ptr<PeriodicTimer> timer;
     uint32_t resends = 0;

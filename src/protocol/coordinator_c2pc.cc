@@ -59,9 +59,10 @@ std::pair<Outcome, bool> CoordinatorC2PC::AnswerUnknownInquiry(
 }
 
 void CoordinatorC2PC::RecoverTxn(const TxnLogSummary& summary) {
-  if (!summary.decision.has_value()) return;
+  if (!summary.coord_decision.has_value()) return;
   ReinitiateDecision(summary.txn, ProtocolKind::kC2PC, summary.participants,
-                     *summary.decision, SitesOf(summary.participants));
+                     *summary.coord_decision,
+                     SitesOf(summary.participants));
 }
 
 }  // namespace prany

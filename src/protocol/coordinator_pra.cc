@@ -35,9 +35,9 @@ std::pair<Outcome, bool> CoordinatorPrA::AnswerUnknownInquiry(
 void CoordinatorPrA::RecoverTxn(const TxnLogSummary& summary) {
   // Only commits are ever logged under PrA; aborted transactions left no
   // trace and are covered by the presumption.
-  if (!summary.decision.has_value()) return;
+  if (!summary.coord_decision.has_value()) return;
   ReinitiateDecision(summary.txn, ProtocolKind::kPrA, summary.participants,
-                     *summary.decision, SitesOf(summary.participants));
+                     *summary.coord_decision, SitesOf(summary.participants));
 }
 
 }  // namespace prany

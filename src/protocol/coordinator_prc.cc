@@ -33,10 +33,12 @@ std::pair<Outcome, bool> CoordinatorPrC::AnswerUnknownInquiry(
 }
 
 void CoordinatorPrC::RecoverTxn(const TxnLogSummary& summary) {
-  if (summary.decision == Outcome::kCommit) {
+  if (summary.coord_decision == Outcome::kCommit) {
     // Initiation + commit: the commit record eliminated the initiation;
-    // the transaction was already forgotten, only GC remained.
-    ctx().log->ReleaseTransaction(summary.txn);
+    // the transaction was already forgotten, only GC remained. (Only the
+    // coordinator-side record counts: on a dual-role site a participant
+    // redo record says nothing about this role's progress.)
+    ctx().log->ReleaseTransaction(summary.txn, LogSide::kCoordinator);
     return;
   }
   // Initiation without a commit record: abort per PrC's recovery rule and

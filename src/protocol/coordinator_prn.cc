@@ -38,9 +38,9 @@ std::pair<Outcome, bool> CoordinatorPrN::AnswerUnknownInquiry(
 void CoordinatorPrN::RecoverTxn(const TxnLogSummary& summary) {
   // The only coordinator-side PrN records are decision records (with the
   // participant list) and END records; the base skips ended transactions.
-  if (!summary.decision.has_value()) return;
+  if (!summary.coord_decision.has_value()) return;
   ReinitiateDecision(summary.txn, ProtocolKind::kPrN, summary.participants,
-                     *summary.decision, SitesOf(summary.participants));
+                     *summary.coord_decision, SitesOf(summary.participants));
 }
 
 }  // namespace prany

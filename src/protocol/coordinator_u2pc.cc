@@ -74,17 +74,17 @@ std::pair<Outcome, bool> CoordinatorU2PC::AnswerUnknownInquiry(
 
 void CoordinatorU2PC::RecoverTxn(const TxnLogSummary& summary) {
   if (summary.has_initiation) {  // Native PrC.
-    if (summary.decision == Outcome::kCommit) {
-      ctx().log->ReleaseTransaction(summary.txn);
+    if (summary.coord_decision == Outcome::kCommit) {
+      ctx().log->ReleaseTransaction(summary.txn, LogSide::kCoordinator);
       return;
     }
     ReinitiateDecision(summary.txn, native_, summary.participants,
                        Outcome::kAbort, SitesOf(summary.participants));
     return;
   }
-  if (!summary.decision.has_value()) return;
+  if (!summary.coord_decision.has_value()) return;
   ReinitiateDecision(summary.txn, native_, summary.participants,
-                     *summary.decision, SitesOf(summary.participants));
+                     *summary.coord_decision, SitesOf(summary.participants));
 }
 
 }  // namespace prany

@@ -107,7 +107,12 @@ void ParticipantEngine::OnPrepare(const Message& msg) {
   if (ctx_.MaybeCrash(CrashPoint::kPartAfterPreparedLogged, txn)) return;
 
   StartInquiryTimer(txn, msg.from);
-  ctx_.Count("part.prepared");
+  if (ctx_.metrics != nullptr) {
+    if (m_prepared_ == nullptr) {
+      m_prepared_ = ctx_.metrics->CounterHandle("part.prepared");
+    }
+    m_prepared_->fetch_add(1, std::memory_order_relaxed);
+  }
   {
     TraceEvent e = PartEvent(TraceEventKind::kPartVote, txn);
     e.peer = msg.from;
@@ -145,7 +150,8 @@ void ParticipantEngine::HandleOutcome(TxnId txn, SiteId coordinator,
   // Write the decision record; whether it is forced is the protocol's
   // signature cost (PrA: aborts lazy; PrC: commits lazy; PrN: both forced).
   bool force = ParticipantForcesDecision(protocol_, outcome);
-  ctx_.log->Append(LogRecord::Decision(txn, outcome), force);
+  ctx_.log->Append(LogRecord::Decision(txn, outcome, LogSide::kParticipant),
+                   force);
   if (ctx_.MaybeCrash(CrashPoint::kPartAfterDecisionLogged, txn)) return;
 
   EnforceAndForget(txn, outcome);
@@ -167,7 +173,7 @@ void ParticipantEngine::EnforceAndForget(TxnId txn, Outcome outcome) {
     ctx_.Event(std::move(e));
   }
   prepared_.erase(txn);
-  ctx_.log->ReleaseTransaction(txn);
+  ctx_.log->ReleaseTransaction(txn, LogSide::kParticipant);
   ctx_.log->Truncate();
   ctx_.Event(PartEvent(TraceEventKind::kPartForget, txn));
   ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),

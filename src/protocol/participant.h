@@ -95,6 +95,9 @@ class ParticipantEngine {
   ProtocolKind protocol_;
   std::map<TxnId, Vote> planned_votes_;
   std::map<TxnId, PreparedTxn> prepared_;
+  /// Cached registry handle for the per-transaction prepared count (the
+  /// only counter on the participant's commit fast path).
+  MetricsRegistry::Counter* m_prepared_ = nullptr;
 };
 
 }  // namespace prany

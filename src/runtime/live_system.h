@@ -39,6 +39,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/timeline.h"
@@ -155,8 +156,9 @@ class LiveSite : public NetworkEndpoint {
   /// never overtake the PREPARE it answers), but workers race from the
   /// queue to the engine mutex — so handler admission is gated on the
   /// enqueue-time sequence number instead. An entry is erased once every
-  /// stamped message has run; guarded by queue_mu_.
-  std::map<TxnId, TxnOrder> txn_order_;
+  /// stamped message has run; guarded by queue_mu_. Hash map: the stamp
+  /// lookup runs once per delivered message, and no ordering is needed.
+  std::unordered_map<TxnId, TxnOrder> txn_order_;
   std::condition_variable order_cv_;
   int order_waiters_ = 0;  ///< Workers parked on order_cv_; guarded by queue_mu_.
   uint64_t queue_epoch_ = 0;  ///< Bumped by StopWorkersAbruptly.

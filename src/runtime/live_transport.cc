@@ -1,5 +1,6 @@
 #include "runtime/live_transport.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/status.h"
@@ -7,8 +8,18 @@
 namespace prany {
 namespace runtime {
 
+namespace {
+/// Frames a single inbox can hold before senders are backpressured. Deep
+/// enough that parking only happens when a site is genuinely swamped
+/// (each frame is one protocol message; a closed-loop client has at most
+/// a handful in flight).
+constexpr size_t kInboxCapacity = 1024;
+/// Recycled wire buffers shared by all senders and inbox threads.
+constexpr size_t kPoolCapacity = 1024;
+}  // namespace
+
 LiveTransport::LiveTransport(EventLoop* loop, MetricsRegistry* metrics)
-    : loop_(loop), metrics_(metrics) {
+    : loop_(loop), metrics_(metrics), pool_(kPoolCapacity) {
   PRANY_CHECK(loop != nullptr);
 }
 
@@ -17,25 +28,35 @@ LiveTransport::~LiveTransport() { Stop(); }
 void LiveTransport::RegisterEndpoint(SiteId site, NetworkEndpoint* endpoint) {
   PRANY_CHECK(endpoint != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
-  PRANY_CHECK(!stopped_);
-  auto it = inboxes_.find(site);
-  if (it != inboxes_.end()) {
+  PRANY_CHECK(!stopped_.load());
+  InboxTable* cur = table_.load();
+  if (cur != nullptr && site < cur->by_site.size() &&
+      cur->by_site[site] != nullptr) {
     // Endpoint swap (LiveSite interposing on the harness Site); the inbox
     // thread keeps running.
-    std::lock_guard<std::mutex> ilock(it->second->mu);
-    it->second->endpoint = endpoint;
+    cur->by_site[site]->endpoint.store(endpoint);
     return;
   }
-  auto inbox = std::make_unique<Inbox>();
-  inbox->endpoint = endpoint;
+  auto inbox = std::make_unique<Inbox>(kInboxCapacity);
+  inbox->endpoint.store(endpoint);
   Inbox* raw = inbox.get();
   inbox->thread = std::thread([this, raw]() { InboxThreadMain(raw); });
-  inboxes_.emplace(site, std::move(inbox));
+  owned_inboxes_.push_back(std::move(inbox));
+
+  // Publish a new table; the old one stays alive (retired) because a
+  // concurrent Send may still be reading it.
+  auto table = std::make_unique<InboxTable>();
+  if (cur != nullptr) table->by_site = cur->by_site;
+  if (table->by_site.size() <= site) table->by_site.resize(site + 1, nullptr);
+  table->by_site[site] = raw;
+  table_.store(table.get());
+  retired_tables_.push_back(std::move(table));
 }
 
 void LiveTransport::Send(const Message& msg) {
   PRANY_CHECK(msg.from != kInvalidSite && msg.to != kInvalidSite);
-  std::vector<uint8_t> wire = msg.Encode();
+  std::vector<uint8_t> wire = pool_.Acquire();
+  msg.EncodeInto(&wire);
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(wire.size(), std::memory_order_relaxed);
   size_t type_index = static_cast<size_t>(msg.type);
@@ -47,53 +68,90 @@ void LiveTransport::Send(const Message& msg) {
     loop_->Emit(std::move(e));
   }
 
-  Inbox* inbox = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopped_) return;  // late sends during shutdown are dropped
-    auto it = inboxes_.find(msg.to);
-    PRANY_CHECK_MSG(it != inboxes_.end(), "unknown destination site");
-    inbox = it->second.get();
+  if (stopped_.load(std::memory_order_acquire)) {
+    pool_.Release(std::move(wire));  // late sends during shutdown dropped
+    return;
   }
-  {
-    std::unique_lock<std::mutex> ilock(inbox->mu);
-    if (inbox->stopping) return;
-    if (inbox->frames.empty() && !inbox->delivering) {
+  InboxTable* table = table_.load(std::memory_order_acquire);
+  Inbox* inbox = (table != nullptr && msg.to < table->by_site.size())
+                     ? table->by_site[msg.to]
+                     : nullptr;
+  PRANY_CHECK_MSG(inbox != nullptr, "unknown destination site");
+  if (inbox->stopping.load(std::memory_order_acquire)) {
+    pool_.Release(std::move(wire));
+    return;
+  }
+
+  int idle = kIdle;
+  if (inbox->delivery.compare_exchange_strong(idle, kBusy)) {
+    if (inbox->ring.Empty()) {
       // Direct handoff: the inbox is idle, so delivering on the sender's
       // thread skips a context switch (the dominant per-message cost on
       // small machines) without reordering anything — nothing is queued
-      // ahead of this frame, and the inbox thread stays parked until
-      // `delivering` clears. Deliver() only enqueues into the endpoint's
-      // worker queue; it never blocks on engine locks.
-      inbox->delivering = true;
-      ilock.unlock();
+      // ahead of this frame, and the inbox thread cannot claim the
+      // delivery state while we hold it. Deliver() only enqueues into the
+      // endpoint's worker queue; it never blocks on engine locks.
       Deliver(inbox, wire);
-      ilock.lock();
-      inbox->delivering = false;
-      if (inbox->frames.empty()) return;
-      // Frames queued behind the direct delivery: hand them to the inbox
-      // thread (it is waiting for delivering to clear).
-    } else {
-      inbox->frames.push_back(std::move(wire));
+      inbox->delivery.store(kIdle);
+      pool_.Release(std::move(wire));
+      // Frames queued behind the direct delivery: the inbox thread may
+      // have parked against the busy delivery state; hand them over.
+      if (!inbox->ring.Empty()) WakeConsumer(inbox);
+      return;
     }
+    // Frames are already queued; ours must go behind them. Unclaim and
+    // fall through (EnqueueFrame wakes the consumer, which may be parked
+    // waiting for the delivery state we briefly held).
+    inbox->delivery.store(kIdle);
   }
-  inbox->cv.notify_one();
+  EnqueueFrame(inbox, std::move(wire));
+}
+
+void LiveTransport::EnqueueFrame(Inbox* inbox, std::vector<uint8_t>&& wire) {
+  while (!inbox->ring.TryPush(std::move(wire))) {
+    // Ring full: backpressure. Park briefly; the timed wait bounds any
+    // lost-wakeup window, and a stop while parked drops the frame (the
+    // shutdown contract — undelivered frames are dropped).
+    if (inbox->stopping.load(std::memory_order_acquire)) {
+      pool_.Release(std::move(wire));
+      return;
+    }
+    std::unique_lock<std::mutex> lk(inbox->park_mu);
+    if (inbox->stopping.load(std::memory_order_acquire)) {
+      pool_.Release(std::move(wire));
+      return;
+    }
+    inbox->producers_parked.fetch_add(1, std::memory_order_relaxed);
+    inbox->producer_cv.wait_for(lk, std::chrono::milliseconds(1));
+    inbox->producers_parked.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Wake the consumer only when it is actually parked — the seq_cst pair
+  // with InboxThreadMain's parked-flag store means a false read here
+  // guarantees the consumer re-checks the ring before sleeping.
+  if (inbox->consumer_parked.load()) WakeConsumer(inbox);
+}
+
+void LiveTransport::WakeConsumer(Inbox* inbox) {
+  // Empty critical section: serializes with the consumer's
+  // predicate-check-then-wait so the notify cannot fall between them.
+  { std::lock_guard<std::mutex> lk(inbox->park_mu); }
+  inbox->consumer_cv.notify_one();
 }
 
 void LiveTransport::Stop() {
   std::vector<Inbox*> to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopped_) return;
-    stopped_ = true;
-    for (auto& [site, inbox] : inboxes_) to_join.push_back(inbox.get());
+    if (stopped_.exchange(true)) return;
+    for (auto& inbox : owned_inboxes_) to_join.push_back(inbox.get());
   }
   for (Inbox* inbox : to_join) {
     {
-      std::lock_guard<std::mutex> ilock(inbox->mu);
-      inbox->stopping = true;
+      std::lock_guard<std::mutex> lk(inbox->park_mu);
+      inbox->stopping.store(true);
     }
-    inbox->cv.notify_all();
+    inbox->consumer_cv.notify_all();
+    inbox->producer_cv.notify_all();
   }
   for (Inbox* inbox : to_join) {
     if (inbox->thread.joinable()) inbox->thread.join();
@@ -115,10 +173,13 @@ void LiveTransport::Stop() {
 }
 
 bool LiveTransport::Idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [site, inbox] : inboxes_) {
-    std::lock_guard<std::mutex> ilock(inbox->mu);
-    if (!inbox->frames.empty() || inbox->delivering) return false;
+  InboxTable* table = table_.load(std::memory_order_acquire);
+  if (table == nullptr) return true;
+  for (Inbox* inbox : table->by_site) {
+    if (inbox == nullptr) continue;
+    if (!inbox->ring.Empty() || inbox->delivery.load() != kIdle) {
+      return false;
+    }
   }
   return true;
 }
@@ -129,27 +190,43 @@ LiveTransportStats LiveTransport::stats() const {
   s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   s.messages_delivered = messages_delivered_.load(std::memory_order_relaxed);
   s.messages_lost_down = messages_lost_down_.load(std::memory_order_relaxed);
+  s.buffer_pool_hits = pool_.hits();
+  s.buffer_pool_misses = pool_.misses();
   return s;
 }
 
 void LiveTransport::InboxThreadMain(Inbox* inbox) {
-  std::unique_lock<std::mutex> lock(inbox->mu);
-  while (true) {
-    // Waiting for `delivering` to clear keeps deliveries to this site
-    // strictly serial even when senders take the direct-handoff path, which
-    // is what preserves per-link FIFO order.
-    inbox->cv.wait(lock, [&] {
-      return inbox->stopping ||
-             (!inbox->frames.empty() && !inbox->delivering);
+  for (;;) {
+    if (inbox->stopping.load(std::memory_order_acquire)) return;
+    int idle = kIdle;
+    if (inbox->delivery.compare_exchange_strong(idle, kBusy)) {
+      // Claim the delivery state *before* popping: a frame must never sit
+      // outside the ring unprotected, or a direct handoff could overtake
+      // it and break per-link FIFO.
+      std::vector<uint8_t> wire;
+      if (inbox->ring.TryPop(&wire)) {
+        if (inbox->producers_parked.load(std::memory_order_relaxed) > 0) {
+          { std::lock_guard<std::mutex> lk(inbox->park_mu); }
+          inbox->producer_cv.notify_all();
+        }
+        Deliver(inbox, wire);
+        inbox->delivery.store(kIdle);
+        pool_.Release(std::move(wire));
+        continue;
+      }
+      inbox->delivery.store(kIdle);
+    }
+    // Nothing to do: ring empty, or a direct delivery holds the state
+    // (its finisher re-wakes us if frames queued behind it). The parked
+    // flag pairs with EnqueueFrame's guarded notify.
+    std::unique_lock<std::mutex> lk(inbox->park_mu);
+    inbox->consumer_parked.store(true);
+    inbox->consumer_cv.wait(lk, [&] {
+      return inbox->stopping.load(std::memory_order_relaxed) ||
+             (!inbox->ring.Empty() &&
+              inbox->delivery.load(std::memory_order_relaxed) == kIdle);
     });
-    if (inbox->stopping) return;  // undelivered frames dropped
-    std::vector<uint8_t> wire = std::move(inbox->frames.front());
-    inbox->frames.pop_front();
-    inbox->delivering = true;
-    lock.unlock();
-    Deliver(inbox, wire);
-    lock.lock();
-    inbox->delivering = false;
+    inbox->consumer_parked.store(false);
   }
 }
 
@@ -159,11 +236,8 @@ void LiveTransport::Deliver(Inbox* inbox, const std::vector<uint8_t>& wire) {
   // a codec bug.
   PRANY_CHECK_MSG(decoded.ok(), decoded.status().ToString());
   const Message& msg = *decoded;
-  NetworkEndpoint* endpoint;
-  {
-    std::lock_guard<std::mutex> ilock(inbox->mu);
-    endpoint = inbox->endpoint;
-  }
+  NetworkEndpoint* endpoint =
+      inbox->endpoint.load(std::memory_order_acquire);
   if (!endpoint->IsUp()) {
     messages_lost_down_.fetch_add(1, std::memory_order_relaxed);
     if (loop_->trace().enabled()) {

@@ -1,19 +1,30 @@
 // In-process multithreaded transport for the live runtime.
 //
-// Each registered site gets an inbox: an MPSC queue of encoded frames
-// drained by a dedicated delivery thread. Send() encodes on the sender's
-// thread and enqueues on the destination inbox, so per-directed-link FIFO
-// order is preserved (enqueue order == delivery order), matching the
-// simulated network's session-ordering guarantee. Delivery decodes and
-// calls the endpoint's OnMessage — for a LiveSite that is a fast enqueue
-// into its worker queue, so delivery never blocks on engine locks.
+// Each registered site gets an inbox: a bounded lock-free MPSC ring of
+// encoded frames (runtime/mpsc_ring.h) drained by a dedicated delivery
+// thread. Send() encodes on the sender's thread into a pooled wire buffer
+// and enqueues on the destination ring, so per-directed-link FIFO order is
+// preserved (one sender's sends are sequential, the ring pops in claim
+// order), matching the simulated network's session-ordering guarantee.
+// Delivery decodes and calls the endpoint's OnMessage — for a LiveSite
+// that is a fast enqueue into its worker queue, so delivery never blocks
+// on engine locks.
 //
-// Direct handoff: when the destination inbox is idle (queue empty, no
+// The steady-state path takes no mutex: inbox lookup reads an immutable
+// published table, the ring push/pop are single-CAS, the endpoint pointer
+// is an atomic, and wire buffers recycle through a lock-free pool instead
+// of allocating per frame. Mutexes and condition variables remain only
+// for *parking* — the inbox thread sleeping on an empty ring, and senders
+// backpressured on a full one — and the wakeups are guarded by parked
+// flags so an unparked peer costs nothing.
+//
+// Direct handoff: when the destination inbox is idle (ring empty, no
 // delivery in flight), Send() performs the delivery on the sender's own
 // thread instead of waking the inbox thread — saving a context switch per
-// message, which dominates per-message cost on small machines. Deliveries
-// to a site remain strictly serial (the inbox thread holds off while a
-// direct delivery is in flight), so the FIFO guarantee is unchanged.
+// message, which dominates per-message cost on small machines. The
+// delivery claim is a single CAS on the inbox's delivery state; deliveries
+// to a site remain strictly serial (the inbox thread cannot claim while a
+// direct delivery holds the state), so the FIFO guarantee is unchanged.
 //
 // Trace/metric conventions are identical to net::Network (see
 // NetTraceEvent): the equivalence test relies on both backends emitting
@@ -25,8 +36,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -35,6 +44,7 @@
 #include "common/metrics.h"
 #include "net/transport.h"
 #include "runtime/event_loop.h"
+#include "runtime/mpsc_ring.h"
 
 namespace prany {
 namespace runtime {
@@ -46,6 +56,10 @@ struct LiveTransportStats {
   uint64_t bytes_sent = 0;
   uint64_t messages_delivered = 0;
   uint64_t messages_lost_down = 0;
+  /// Wire-buffer pool reuse: Acquire()s served from the pool vs. falling
+  /// back to a fresh allocation.
+  uint64_t buffer_pool_hits = 0;
+  uint64_t buffer_pool_misses = 0;
 };
 
 class LiveTransport : public ITransport {
@@ -65,34 +79,66 @@ class LiveTransport : public ITransport {
   void Send(const Message& msg) override;
 
   /// Stops and joins all inbox threads; undelivered frames are dropped.
+  /// Senders parked on a full inbox observe the stop and drop their frame.
   /// Idempotent. Sends after Stop() are counted but not delivered.
   void Stop();
 
-  /// True when every inbox queue is empty and no delivery is in progress.
+  /// True when every inbox ring is empty and no delivery is in progress.
   bool Idle() const;
 
   LiveTransportStats stats() const;
 
  private:
+  /// Who is delivering to a site right now. kBusy is held either by the
+  /// inbox thread (popping the ring) or by a sender doing a direct
+  /// handoff; both claim it with a CAS from kIdle, which is what keeps
+  /// deliveries per site strictly serial.
+  enum DeliveryState : int { kIdle = 0, kBusy = 1 };
+
   struct Inbox {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::vector<uint8_t>> frames;
-    NetworkEndpoint* endpoint = nullptr;
-    bool delivering = false;
-    bool stopping = false;
+    BoundedMpmcRing<std::vector<uint8_t>> ring;
+    std::atomic<NetworkEndpoint*> endpoint{nullptr};
+    std::atomic<int> delivery{kIdle};
+    std::atomic<bool> stopping{false};
+
+    // Parking (slow path only). consumer_parked_/producers_parked_ gate
+    // the notifies so the lock-free fast path never pays a futex wake.
+    std::mutex park_mu;
+    std::condition_variable consumer_cv;
+    std::condition_variable producer_cv;
+    std::atomic<bool> consumer_parked{false};
+    std::atomic<int> producers_parked{0};
+
     std::thread thread;
+
+    explicit Inbox(size_t capacity) : ring(capacity) {}
+  };
+
+  /// Immutable site -> inbox table, republished on registration so Send()
+  /// can look inboxes up without a lock. Holes are nullptr.
+  struct InboxTable {
+    std::vector<Inbox*> by_site;
   };
 
   void InboxThreadMain(Inbox* inbox);
   void Deliver(Inbox* inbox, const std::vector<uint8_t>& wire);
+  void WakeConsumer(Inbox* inbox);
+  /// Enqueues with backpressure; drops the frame if the inbox stops while
+  /// full. Wakes the parked consumer when needed.
+  void EnqueueFrame(Inbox* inbox, std::vector<uint8_t>&& wire);
 
   EventLoop* loop_;
   MetricsRegistry* metrics_;
 
-  mutable std::mutex mu_;  // guards inboxes_ map shape and stopped_
-  std::map<SiteId, std::unique_ptr<Inbox>> inboxes_;
-  bool stopped_ = false;
+  /// Guards registration (table publication) and stop; never taken by
+  /// Send() or delivery.
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Inbox>> owned_inboxes_;
+  std::vector<std::unique_ptr<InboxTable>> retired_tables_;
+  std::atomic<InboxTable*> table_{nullptr};
+  std::atomic<bool> stopped_{false};
+
+  WireBufferPool pool_;
 
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> bytes_sent_{0};

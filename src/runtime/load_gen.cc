@@ -53,6 +53,7 @@ LoadGenReport LoadGen::Run() {
     total.committed += r.committed;
     total.aborted += r.aborted;
     total.timeouts += r.timeouts;
+    total.dual_role_submitted += r.dual_role_submitted;
   }
   total.elapsed_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
@@ -67,6 +68,7 @@ void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
   const SiteId coordinator =
       static_cast<SiteId>(client_index % static_cast<int>(n_sites));
   Rng rng(config_.seed * 1000003 + static_cast<uint64_t>(client_index));
+  MetricsRegistry::Distribution* latency_dist = nullptr;
 
   while (running_.load(std::memory_order_relaxed)) {
     // Participants: consecutive sites after the coordinator, rotated per
@@ -80,6 +82,14 @@ void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
                                  (n_sites - 1)) %
           n_sites);
       participants.push_back(p);
+    }
+    // Dual role: the coordinator takes the first participant slot (the
+    // other slots already exclude it, so the set stays duplicate-free).
+    // A planned no vote may then land on the coordinator itself — a
+    // self-unilateral abort, which the protocols must tolerate too.
+    if (rng.Bernoulli(config_.dual_role_fraction)) {
+      participants[0] = coordinator;
+      ++report->dual_role_submitted;
     }
     std::map<SiteId, Vote> votes;
     if (rng.Bernoulli(config_.abort_fraction)) {
@@ -100,7 +110,13 @@ void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
         std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
             t1 - t0)
             .count();
-    system_->metrics().Observe("livegen.latency_us", latency_us);
+    // Resolve the distribution handle once; the per-commit observe is then
+    // one push under the distribution's own lock instead of a string-keyed
+    // lookup under the registry mutex.
+    if (latency_dist == nullptr) {
+      latency_dist = system_->metrics().DistributionHandle("livegen.latency_us");
+    }
+    latency_dist->Observe(latency_us);
     if (*outcome == Outcome::kCommit) {
       ++report->committed;
     } else {

@@ -29,6 +29,12 @@ struct LoadGenConfig {
   int participants_per_txn = 2;
   /// Fraction of transactions where one participant plans a no vote.
   double abort_fraction = 0.0;
+  /// Fraction of transactions where the coordinator is also one of its own
+  /// participants (dual-role): the coordinating site prepares, votes and
+  /// acknowledges through the regular transport, and its stable log
+  /// interleaves both roles' records — the shape that exercises dual-role
+  /// crash recovery.
+  double dual_role_fraction = 0.0;
   /// Per-transaction decision wait; an expiry counts as a timeout and the
   /// client moves on.
   uint64_t await_timeout_us = 10'000'000;
@@ -40,6 +46,7 @@ struct LoadGenReport {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t timeouts = 0;
+  uint64_t dual_role_submitted = 0;  ///< Coordinator participated in these.
   double elapsed_seconds = 0.0;
 
   double commits_per_sec() const {

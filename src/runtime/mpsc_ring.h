@@ -1,0 +1,173 @@
+// Bounded lock-free ring (Vyukov's bounded MPMC queue) used by the live
+// transport for per-site inboxes and the shared wire-buffer pool.
+//
+// Each slot carries a sequence number that encodes whose turn it is:
+// producers claim a slot by CAS-advancing `enqueue_pos_` when the slot's
+// sequence matches the position (slot free for this lap), write the value,
+// then publish by bumping the sequence; consumers mirror the dance on
+// `dequeue_pos_`. Push and pop are wait-free in the common case (one CAS),
+// never take a lock, and never allocate — TryPush/TryPop fail instead of
+// blocking, so callers own the parking policy.
+//
+// Ordering guarantees the transport relies on:
+//   * Pops observe pushes in claim order (the CAS on enqueue_pos_), and a
+//     single producer's pushes claim in program order — so per-producer
+//     FIFO holds, which is exactly the per-directed-link FIFO the protocol
+//     engines assume (one sender's frames to one site stay ordered).
+//   * A pop that returns true happens-after the push that filled the slot
+//     (release/acquire on the slot sequence), so the value is safe to read.
+//
+// The queue is linearizable per slot, not globally: a producer stalled
+// between claiming a slot and publishing it makes later-claimed slots
+// temporarily invisible to the consumer (TryPop returns false as if
+// empty). The stall window is a few instructions, and the transport's
+// parking loops retry, so this costs a bounded spin at worst.
+
+#ifndef PRANY_RUNTIME_MPSC_RING_H_
+#define PRANY_RUNTIME_MPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace prany {
+namespace runtime {
+
+template <typename T>
+class BoundedMpmcRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit BoundedMpmcRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpmcRing(const BoundedMpmcRing&) = delete;
+  BoundedMpmcRing& operator=(const BoundedMpmcRing&) = delete;
+
+  /// Multi-producer push. Moves from `v` only on success; returns false
+  /// when the ring is full (caller decides whether to park, drop or spin).
+  bool TryPush(T&& v) {
+    Slot* slot;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      size_t seq = slot->seq.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        // Slot free for this lap: claim it by advancing enqueue_pos_.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full: the slot still holds last lap's value
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(v);
+    slot->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Multi-consumer pop. Returns false when empty (or when the next slot's
+  /// producer has claimed but not yet published — indistinguishable from
+  /// empty, and retried by the caller's parking loop).
+  bool TryPop(T* out) {
+    Slot* slot;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      size_t seq = slot->seq.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty (or next producer mid-publish)
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(slot->value);
+    // Free the slot for the producers' next lap.
+    slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Claim-level emptiness: true when every claimed push has been popped.
+  /// Conservative for the transport's direct-handoff check — a push
+  /// mid-publish already counts as non-empty, so "empty" really means no
+  /// frame is (or is about to be) queued ahead of the caller's.
+  bool Empty() const {
+    return dequeue_pos_.load(std::memory_order_acquire) ==
+           enqueue_pos_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+  // Producers and the consumer hammer different counters; keep them on
+  // separate cache lines so claims don't false-share with pops.
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+/// Recycles wire-frame buffers so steady-state Send/Deliver reuses vector
+/// capacity instead of allocating per frame. Acquire/Release are lock-free
+/// (one ring op); when the pool is empty Acquire falls back to a fresh
+/// vector, and when it is full Release lets the buffer free itself — both
+/// are counted so benchmarks can report the hit rate.
+class WireBufferPool {
+ public:
+  explicit WireBufferPool(size_t capacity) : ring_(capacity) {}
+
+  std::vector<uint8_t> Acquire() {
+    std::vector<uint8_t> buf;
+    if (ring_.TryPop(&buf)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return buf;  // pooled buffers were cleared on Release
+  }
+
+  void Release(std::vector<uint8_t>&& buf) {
+    if (buf.capacity() == 0) return;  // nothing worth recycling
+    buf.clear();
+    ring_.TryPush(std::move(buf));  // full pool: buffer frees on return
+  }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  BoundedMpmcRing<std::vector<uint8_t>> ring_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace runtime
+}  // namespace prany
+
+#endif  // PRANY_RUNTIME_MPSC_RING_H_

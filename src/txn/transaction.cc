@@ -55,10 +55,9 @@ Status Transaction::Validate() const {
       return Status::InvalidArgument(
           "participants must speak PrN, PrA or PrC");
     }
-    if (p.site == coordinator) {
-      return Status::InvalidArgument(
-          "coordinator cannot also be a participant in this model");
-    }
+    // The coordinator may also be a participant (a dual-role site): both
+    // engines run at that site and share its stable log, exchanging
+    // messages with themselves over the regular transport.
   }
   for (const auto& [site, vote] : planned_votes) {
     (void)vote;

@@ -36,15 +36,30 @@ FileStableLog::~FileStableLog() { Close(); }
 
 std::vector<uint8_t> FileStableLog::EncodeFrame(
     uint64_t lsn, const std::vector<uint8_t>& body) {
-  ByteWriter payload;
-  payload.PutU64(lsn);
-  payload.PutRaw(body.data(), body.size());
-  const std::vector<uint8_t>& pb = payload.bytes();
-  ByteWriter frame;
-  frame.PutU32(static_cast<uint32_t>(pb.size()));
-  frame.PutU32(Crc32(pb));
-  frame.PutRaw(pb.data(), pb.size());
-  return frame.TakeBytes();
+  std::vector<uint8_t> frame;
+  AppendFrameTo(&frame, lsn, body);
+  return frame;
+}
+
+void FileStableLog::AppendFrameTo(std::vector<uint8_t>* out, uint64_t lsn,
+                                  const std::vector<uint8_t>& body) {
+  // Reserve the header, write the payload (u64 lsn + body, little-endian
+  // to match ByteWriter), then patch len and CRC back in — one in-place
+  // append, no temporary payload or frame buffers.
+  size_t header_at = out->size();
+  out->resize(header_at + kFrameHeaderBytes);
+  size_t payload_at = out->size();
+  for (size_t i = 0; i < sizeof(uint64_t); ++i) {
+    out->push_back(static_cast<uint8_t>(lsn >> (8 * i)));
+  }
+  out->insert(out->end(), body.begin(), body.end());
+  uint32_t len = static_cast<uint32_t>(out->size() - payload_at);
+  uint32_t crc = Crc32(out->data() + payload_at, len);
+  uint8_t* header = out->data() + header_at;
+  for (size_t i = 0; i < sizeof(uint32_t); ++i) {
+    header[i] = static_cast<uint8_t>(len >> (8 * i));
+    header[sizeof(uint32_t) + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
 }
 
 Status FileStableLog::Open() {
@@ -130,6 +145,7 @@ Status FileStableLog::OpenAndScan() {
   pending_forces_ = 0;
   flush_requested_ = false;
   syncing_ = false;
+  sync_waiting_ = false;
 
   running_ = true;
   sync_thread_ = std::thread([this]() { SyncThreadMain(); });
@@ -147,14 +163,16 @@ uint64_t FileStableLog::Append(const LogRecord& record, bool force) {
   if (crashed_.load()) throw WalCrashedError{};
   PRANY_CHECK_MSG(fd_ >= 0, "FileStableLog::Append before Open()");
   uint64_t lsn = StampAndBuffer(record, force);
-  std::vector<uint8_t> frame = EncodeFrame(lsn, buffer_.back().bytes);
   {
     std::lock_guard<std::mutex> lock(sync_mu_);
-    pending_bytes_.insert(pending_bytes_.end(), frame.begin(), frame.end());
+    AppendFrameTo(&pending_bytes_, lsn, buffer_.back().bytes);
     pending_max_lsn_ = lsn;
     if (force) {
       ++pending_forces_;
-      sync_cv_.notify_one();
+      // The guard pairs with SyncThreadMain: when the thread is not
+      // waiting it is processing and re-checks the queue before it waits
+      // again (same mutex), so skipping the notify loses nothing.
+      if (sync_waiting_) sync_cv_.notify_one();
     }
   }
   if (force) AwaitDurable(lsn);
@@ -189,7 +207,7 @@ void FileStableLog::Flush() {
     } else {
       target = pending_max_lsn_;
       flush_requested_ = true;
-      sync_cv_.notify_one();
+      if (sync_waiting_) sync_cv_.notify_one();
     }
   }
   if (target > 0) AwaitDurable(target);
@@ -328,19 +346,23 @@ Status FileStableLog::CompactAndResume() {
 void FileStableLog::SyncThreadMain() {
   std::unique_lock<std::mutex> lock(sync_mu_);
   while (true) {
+    sync_waiting_ = true;
     sync_cv_.wait(lock, [&]() {
       return !running_ || pending_forces_ > 0 || flush_requested_;
     });
+    sync_waiting_ = false;
     if (!running_) break;
     if (config_.batch_window_us > 0 && !flush_requested_ &&
         pending_forces_ < config_.queue_depth_trigger) {
       // Linger for stragglers; a deep queue or an explicit flush cuts the
       // window short.
+      sync_waiting_ = true;
       sync_cv_.wait_for(
           lock, std::chrono::microseconds(config_.batch_window_us), [&]() {
             return !running_ || flush_requested_ ||
                    pending_forces_ >= config_.queue_depth_trigger;
           });
+      sync_waiting_ = false;
       if (!running_) break;
     }
     std::vector<uint8_t> batch = std::move(pending_bytes_);
@@ -372,7 +394,9 @@ void FileStableLog::SyncThreadMain() {
                               std::strerror(errno)));
     fsyncs_.fetch_add(1);
     bytes_synced_.fetch_add(batch.size());
-    if (metrics_ != nullptr) metrics_->Add(metric_prefix_ + ".flushes");
+    if (metrics_ != nullptr) {
+      FlushesCounter()->fetch_add(1, std::memory_order_relaxed);
+    }
     lock.lock();
     syncing_ = false;
     // Same race, one window later (crash arrived during the fdatasync):

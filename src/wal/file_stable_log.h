@@ -149,6 +149,12 @@ class FileStableLog : public StableLog {
   static std::vector<uint8_t> EncodeFrame(uint64_t lsn,
                                           const std::vector<uint8_t>& body);
 
+  /// Appends the CRC frame for (lsn, body) to `out` in place — the
+  /// allocation-free path Append() uses to extend the pending batch
+  /// directly instead of building (and copying) a temporary frame.
+  static void AppendFrameTo(std::vector<uint8_t>* out, uint64_t lsn,
+                            const std::vector<uint8_t>& body);
+
   /// Blocks until everything enqueued up to `lsn` is durable, running the
   /// wait hooks around the wait. Folds sync-thread counters into stats_
   /// and promotes the mirror afterwards (caller holds the engine lock).
@@ -189,6 +195,10 @@ class FileStableLog : public StableLog {
   bool flush_requested_ = false;
   uint64_t synced_lsn_ = 0;
   bool running_ = false;
+  /// True while the sync thread is blocked on sync_cv_; appends skip the
+  /// notify when it is busy writing (it re-checks the queue before it
+  /// waits again, so no wakeup is lost).
+  bool sync_waiting_ = false;
   /// True while the sync thread is writing a batch outside sync_mu_;
   /// CompactAndResume waits for it before swapping the file.
   bool syncing_ = false;

@@ -21,6 +21,9 @@ std::map<TxnId, TxnLogSummary> LogAnalyzer::Analyze(
       case LogRecordType::kCommit:
       case LogRecordType::kAbort:
         summary.decision = rec.DecisionOutcome();
+        if (rec.side == LogSide::kCoordinator) {
+          summary.coord_decision = rec.DecisionOutcome();
+        }
         // PrN/PrA coordinator decision records carry the participant list
         // (they have no initiation record); participant-side decision
         // records leave it empty.

@@ -28,8 +28,17 @@ struct TxnLogSummary {
   std::vector<ParticipantInfo> participants;
   ProtocolKind commit_protocol = ProtocolKind::kPrN;
 
-  /// kCommit/kAbort decision record, if any (coordinator or participant).
+  /// kCommit/kAbort decision record, if any (either side). A dual-role
+  /// site's log can hold both roles' decision records for one transaction;
+  /// they always agree (a decision is immutable once taken), so one slot
+  /// suffices for participant redo.
   std::optional<Outcome> decision;
+
+  /// Decision written by the *coordinator* role (side == kCoordinator).
+  /// Coordinator recovery keys off this: on a dual-role site a
+  /// participant-side redo record must not be mistaken for evidence that
+  /// the coordinator decided.
+  std::optional<Outcome> coord_decision;
 
   bool has_end = false;
 
@@ -38,8 +47,17 @@ struct TxnLogSummary {
   /// Valid iff has_prepared: whom to inquire with.
   SiteId coordinator = kInvalidSite;
 
-  /// Participant is in doubt: voted yes, never learned the outcome.
+  /// Participant is in doubt: voted yes, never learned the outcome. A
+  /// coordinator-side decision in the same (dual-role) log resolves the
+  /// doubt — the decision is durable, so the outcome is fixed.
   bool InDoubt() const { return has_prepared && !decision.has_value(); }
+
+  /// True if any coordinator-role record survives for this transaction.
+  /// CoordinatorBase::Recover processes exactly these summaries, whether or
+  /// not participant-side records (has_prepared) are interleaved with them.
+  bool HasCoordinatorRecords() const {
+    return has_initiation || coord_decision.has_value() || has_end;
+  }
 };
 
 /// Scans records (LSN order) into per-transaction summaries.

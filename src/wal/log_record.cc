@@ -5,7 +5,8 @@
 namespace prany {
 
 namespace {
-constexpr uint8_t kLogFormatVersion = 1;
+// Version 2 added the role byte on decision records (dual-role recovery).
+constexpr uint8_t kLogFormatVersion = 2;
 // Guards against pathological participant lists in corrupted records.
 constexpr uint64_t kMaxParticipants = 1 << 20;
 }  // namespace
@@ -26,6 +27,10 @@ std::string ToString(LogRecordType type) {
   return "UNKNOWN";
 }
 
+std::string ToString(LogSide side) {
+  return side == LogSide::kCoordinator ? "coord" : "part";
+}
+
 LogRecord LogRecord::Initiation(TxnId txn, ProtocolKind commit_protocol,
                                 std::vector<ParticipantInfo> participants) {
   LogRecord r;
@@ -41,20 +46,23 @@ LogRecord LogRecord::Prepared(TxnId txn, SiteId coordinator) {
   r.type = LogRecordType::kPrepared;
   r.txn = txn;
   r.coordinator = coordinator;
+  r.side = LogSide::kParticipant;
   return r;
 }
 
-LogRecord LogRecord::Commit(TxnId txn) {
+LogRecord LogRecord::Commit(TxnId txn, LogSide side) {
   LogRecord r;
   r.type = LogRecordType::kCommit;
   r.txn = txn;
+  r.side = side;
   return r;
 }
 
-LogRecord LogRecord::Abort(TxnId txn) {
+LogRecord LogRecord::Abort(TxnId txn, LogSide side) {
   LogRecord r;
   r.type = LogRecordType::kAbort;
   r.txn = txn;
+  r.side = side;
   return r;
 }
 
@@ -65,8 +73,8 @@ LogRecord LogRecord::End(TxnId txn) {
   return r;
 }
 
-LogRecord LogRecord::Decision(TxnId txn, Outcome outcome) {
-  return outcome == Outcome::kCommit ? Commit(txn) : Abort(txn);
+LogRecord LogRecord::Decision(TxnId txn, Outcome outcome, LogSide side) {
+  return outcome == Outcome::kCommit ? Commit(txn, side) : Abort(txn, side);
 }
 
 LogRecord LogRecord::DecisionWithParticipants(
@@ -88,6 +96,9 @@ std::vector<uint8_t> LogRecord::Encode() const {
   w.PutU64(txn);
   if (type == LogRecordType::kInitiation) {
     w.PutU8(static_cast<uint8_t>(commit_protocol));
+  }
+  if (IsDecision()) {
+    w.PutU8(static_cast<uint8_t>(side));
   }
   if (type == LogRecordType::kInitiation || IsDecision()) {
     w.PutVarint(participants.size());
@@ -125,6 +136,14 @@ Result<LogRecord> LogRecord::Decode(const std::vector<uint8_t>& bytes) {
     }
     rec.commit_protocol = static_cast<ProtocolKind>(protocol);
   }
+  if (rec.IsDecision()) {
+    uint8_t side = 0;
+    PRANY_RETURN_NOT_OK(r.GetU8(&side));
+    if (side > static_cast<uint8_t>(LogSide::kParticipant)) {
+      return Status::Corruption("invalid log record side");
+    }
+    rec.side = static_cast<LogSide>(side);
+  }
   if (rec.type == LogRecordType::kInitiation || rec.IsDecision()) {
     uint64_t count = 0;
     PRANY_RETURN_NOT_OK(r.GetVarint(&count));
@@ -146,6 +165,7 @@ Result<LogRecord> LogRecord::Decode(const std::vector<uint8_t>& bytes) {
   }
   if (rec.type == LogRecordType::kPrepared) {
     PRANY_RETURN_NOT_OK(r.GetU32(&rec.coordinator));
+    rec.side = LogSide::kParticipant;
   }
   if (!r.AtEnd()) {
     return Status::Corruption("trailing bytes after log record");
@@ -167,6 +187,8 @@ std::string LogRecord::ToString() const {
     out += "]";
   } else if (type == LogRecordType::kPrepared) {
     out += StrFormat(" coordinator=%u", coordinator);
+  } else if (IsDecision()) {
+    out += StrFormat(" side=%s", prany::ToString(side).c_str());
   }
   return out;
 }
@@ -175,7 +197,7 @@ bool LogRecord::operator==(const LogRecord& other) const {
   return type == other.type && txn == other.txn &&
          participants == other.participants &&
          commit_protocol == other.commit_protocol &&
-         coordinator == other.coordinator;
+         coordinator == other.coordinator && side == other.side;
 }
 
 }  // namespace prany

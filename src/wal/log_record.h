@@ -40,6 +40,20 @@ enum class LogRecordType : uint8_t {
 /// Human-readable record-type name ("INITIATION", ...).
 std::string ToString(LogRecordType type);
 
+/// Which protocol role wrote a record. A dual-role site (coordinator of a
+/// transaction it also participates in) interleaves both roles' records in
+/// one physical log; recovery and garbage collection must tell them apart,
+/// because a decision record alone is ambiguous: a participant's redo
+/// record and a PrC coordinator's decision record are otherwise
+/// byte-identical.
+enum class LogSide : uint8_t {
+  kCoordinator = 0,
+  kParticipant = 1,
+};
+
+/// "coord" / "part".
+std::string ToString(LogSide side);
+
 /// One log record. `lsn` is assigned by StableLog on append.
 struct LogRecord {
   LogRecordType type = LogRecordType::kCommit;
@@ -60,15 +74,22 @@ struct LogRecord {
   /// kPrepared only: the coordinator to inquire with after a failure.
   SiteId coordinator = kInvalidSite;
 
+  /// The role that wrote this record. Fixed by type for kInitiation / kEnd
+  /// (coordinator) and kPrepared (participant); decision records carry it
+  /// explicitly so a dual-role site's log can be split by role during
+  /// recovery (§4.2) and garbage collection.
+  LogSide side = LogSide::kCoordinator;
+
   static LogRecord Initiation(TxnId txn, ProtocolKind commit_protocol,
                               std::vector<ParticipantInfo> participants);
   static LogRecord Prepared(TxnId txn, SiteId coordinator);
-  static LogRecord Commit(TxnId txn);
-  static LogRecord Abort(TxnId txn);
+  static LogRecord Commit(TxnId txn, LogSide side = LogSide::kCoordinator);
+  static LogRecord Abort(TxnId txn, LogSide side = LogSide::kCoordinator);
   static LogRecord End(TxnId txn);
 
   /// Decision record helper: kCommit or kAbort from an Outcome.
-  static LogRecord Decision(TxnId txn, Outcome outcome);
+  static LogRecord Decision(TxnId txn, Outcome outcome,
+                            LogSide side = LogSide::kCoordinator);
 
   /// Coordinator-side decision record that additionally names the
   /// participants (required by PrN/PrA recovery, which has no initiation

@@ -1,6 +1,8 @@
 #include "wal/stable_log.h"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
 
 #include "common/status.h"
 
@@ -23,20 +25,63 @@ void StableLog::EmitTrace(TraceEvent event) const {
   trace_->Emit(std::move(event));
 }
 
+MetricsRegistry::Counter* StableLog::AppendsCounter() {
+  if (m_appends_ == nullptr && metrics_ != nullptr) {
+    m_appends_ = metrics_->CounterHandle(metric_prefix_ + ".appends");
+  }
+  return m_appends_;
+}
+
+MetricsRegistry::Counter* StableLog::ForcedAppendsCounter() {
+  if (m_forced_appends_ == nullptr && metrics_ != nullptr) {
+    m_forced_appends_ =
+        metrics_->CounterHandle(metric_prefix_ + ".forced_appends");
+  }
+  return m_forced_appends_;
+}
+
+MetricsRegistry::Counter* StableLog::FlushesCounter() {
+  if (m_flushes_ == nullptr && metrics_ != nullptr) {
+    m_flushes_ = metrics_->CounterHandle(metric_prefix_ + ".flushes");
+  }
+  return m_flushes_;
+}
+
+MetricsRegistry::Counter* StableLog::TruncatedCounter() {
+  if (m_truncated_ == nullptr && metrics_ != nullptr) {
+    m_truncated_ = metrics_->CounterHandle(metric_prefix_ + ".truncated");
+  }
+  return m_truncated_;
+}
+
+MetricsRegistry::Counter* StableLog::AppendTypeCounter(LogRecordType type) {
+  size_t index = static_cast<size_t>(type);
+  PRANY_CHECK(index < kLogRecordTypes);
+  if (m_append_type_[index] == nullptr && metrics_ != nullptr) {
+    m_append_type_[index] =
+        metrics_->CounterHandle(metric_prefix_ + ".append." + ToString(type));
+  }
+  return m_append_type_[index];
+}
+
 uint64_t StableLog::StampAndBuffer(const LogRecord& record, bool force) {
   LogRecord stamped = record;
   stamped.lsn = next_lsn_++;
-  buffer_.push_back(StoredRecord{stamped.lsn, stamped.txn, stamped.Encode()});
+  buffer_.push_back(
+      StoredRecord{stamped.lsn, stamped.txn, stamped.side, stamped.Encode()});
   ++stats_.appends;
   if (metrics_ != nullptr) {
-    metrics_->Add(metric_prefix_ + ".appends");
-    metrics_->Add(metric_prefix_ + ".append." + ToString(record.type));
+    AppendsCounter()->fetch_add(1, std::memory_order_relaxed);
+    AppendTypeCounter(record.type)->fetch_add(1, std::memory_order_relaxed);
   }
   if (trace_ != nullptr && trace_->enabled()) {
     TraceEvent e;
     e.kind = TraceEventKind::kWalAppend;
     e.txn = stamped.txn;
     e.label = ToString(record.type);
+    // The writing role, so checkers can split a dual-role site's log
+    // discipline by role ("coord" / "part").
+    e.detail = ToString(record.side);
     e.forced = force;
     e.value = stamped.lsn;
     EmitTrace(std::move(e));
@@ -44,7 +89,7 @@ uint64_t StableLog::StampAndBuffer(const LogRecord& record, bool force) {
   if (force) {
     ++stats_.forced_appends;
     if (metrics_ != nullptr) {
-      metrics_->Add(metric_prefix_ + ".forced_appends");
+      ForcedAppendsCounter()->fetch_add(1, std::memory_order_relaxed);
     }
   }
   return stamped.lsn;
@@ -57,13 +102,20 @@ uint64_t StableLog::Append(const LogRecord& record, bool force) {
 }
 
 void StableLog::PromoteStableUpTo(uint64_t lsn) {
+  // The buffer is in LSN order, so the promotable records are a prefix;
+  // move them in one pass instead of erasing the front repeatedly (which
+  // shifts the whole tail per record).
   size_t promoted = 0;
-  while (!buffer_.empty() && buffer_.front().lsn <= lsn) {
-    stable_.push_back(std::move(buffer_.front()));
-    buffer_.erase(buffer_.begin());
+  while (promoted < buffer_.size() && buffer_[promoted].lsn <= lsn) {
     ++promoted;
   }
   if (promoted > 0) {
+    stable_.insert(stable_.end(),
+                   std::make_move_iterator(buffer_.begin()),
+                   std::make_move_iterator(buffer_.begin() +
+                                           static_cast<ptrdiff_t>(promoted)));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(promoted));
     TraceEvent e;
     e.kind = TraceEventKind::kWalForce;
     e.value = promoted;
@@ -73,7 +125,13 @@ void StableLog::PromoteStableUpTo(uint64_t lsn) {
 
 void StableLog::RestoreStableRecord(uint64_t lsn, TxnId txn,
                                     std::vector<uint8_t> bytes) {
-  stable_.push_back(StoredRecord{lsn, txn, std::move(bytes)});
+  // Recover the writing role from the record body so post-crash GC stays
+  // role-aware. The bytes already passed the implementation's integrity
+  // checks; a decode failure here is a programming error.
+  Result<LogRecord> decoded = LogRecord::Decode(bytes);
+  PRANY_CHECK_MSG(decoded.ok(), decoded.status().ToString());
+  stable_.push_back(
+      StoredRecord{lsn, txn, decoded.ValueOrDie().side, std::move(bytes)});
   if (lsn >= next_lsn_) next_lsn_ = lsn + 1;
 }
 
@@ -87,7 +145,7 @@ void StableLog::Flush() {
   }
   buffer_.clear();
   if (metrics_ != nullptr) {
-    metrics_->Add(metric_prefix_ + ".flushes");
+    FlushesCounter()->fetch_add(1, std::memory_order_relaxed);
   }
   TraceEvent e;
   e.kind = TraceEventKind::kWalForce;
@@ -136,20 +194,48 @@ bool StableLog::HasRecordsFor(TxnId txn) const {
                      [txn](const StoredRecord& r) { return r.txn == txn; });
 }
 
-void StableLog::ReleaseTransaction(TxnId txn) { released_.insert(txn); }
+void StableLog::ReleaseTransaction(TxnId txn, LogSide side) {
+  (side == LogSide::kCoordinator ? released_coord_ : released_part_)
+      .insert(txn);
+}
 
 size_t StableLog::Truncate() {
   size_t before = stable_.size();
+  // Remember which (txn, side) pairs actually lose records so their
+  // release marks can be retired below.
+  std::vector<std::pair<TxnId, LogSide>> removed_pairs;
   stable_.erase(std::remove_if(stable_.begin(), stable_.end(),
-                               [this](const StoredRecord& r) {
-                                 return released_.count(r.txn) > 0;
+                               [this, &removed_pairs](const StoredRecord& r) {
+                                 if (!ReleasedFor(r)) return false;
+                                 removed_pairs.emplace_back(r.txn, r.side);
+                                 return true;
                                }),
                 stable_.end());
   size_t removed = before - stable_.size();
+  // Retire release marks that can no longer match anything: the erase
+  // above removed every stable record for a removed pair, so a mark is
+  // still needed only while a not-yet-durable record for the pair sits in
+  // the volatile buffer (a lazy decision record awaiting the next group
+  // flush). Without this the released sets grow by one entry per
+  // forgotten transaction for the life of the process, and probing them
+  // comes to dominate Truncate.
+  for (const auto& pair : removed_pairs) {
+    const TxnId txn = pair.first;
+    const LogSide side = pair.second;
+    const bool pending =
+        std::any_of(buffer_.begin(), buffer_.end(),
+                    [txn, side](const StoredRecord& b) {
+                      return b.txn == txn && b.side == side;
+                    });
+    if (!pending) {
+      (side == LogSide::kCoordinator ? released_coord_ : released_part_)
+          .erase(txn);
+    }
+  }
   stats_.records_truncated += removed;
   if (metrics_ != nullptr && removed > 0) {
-    metrics_->Add(metric_prefix_ + ".truncated",
-                  static_cast<int64_t>(removed));
+    TruncatedCounter()->fetch_add(static_cast<int64_t>(removed),
+                                  std::memory_order_relaxed);
   }
   if (removed > 0) {
     TraceEvent e;
@@ -163,7 +249,7 @@ size_t StableLog::Truncate() {
 std::set<TxnId> StableLog::UnreleasedTxns() const {
   std::set<TxnId> out;
   for (const StoredRecord& rec : stable_) {
-    if (released_.count(rec.txn) == 0) out.insert(rec.txn);
+    if (!ReleasedFor(rec)) out.insert(rec.txn);
   }
   return out;
 }

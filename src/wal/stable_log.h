@@ -9,10 +9,14 @@
 // its non-forced abort record, §2).
 //
 // Garbage collection: a coordinator/participant calls ReleaseTransaction()
-// once a transaction may be forgotten; Truncate() then physically removes
-// released transactions' records. The operational-correctness checker
-// (Definition 1, clauses 2-3) asserts that every terminated transaction is
-// eventually released on every site.
+// for its *role* once a transaction may be forgotten; Truncate() then
+// physically removes records whose writing role has released. Release is
+// per-role because a dual-role site shares one log between its coordinator
+// and participant engines: the participant enforcing an outcome must not
+// collect the coordinator's initiation/decision records while the
+// coordinator is still awaiting acks (and vice versa). The
+// operational-correctness checker (Definition 1, clauses 2-3) asserts that
+// every terminated transaction is eventually released on every site.
 
 #ifndef PRANY_WAL_STABLE_LOG_H_
 #define PRANY_WAL_STABLE_LOG_H_
@@ -21,6 +25,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -83,11 +88,18 @@ class StableLog {
   /// True if some stable record for `txn` exists (post-Truncate view).
   bool HasRecordsFor(TxnId txn) const;
 
-  /// Marks `txn`'s records as garbage-collectible.
-  void ReleaseTransaction(TxnId txn);
+  /// Marks `txn`'s records written by `side` as garbage-collectible.
+  void ReleaseTransaction(TxnId txn, LogSide side);
 
-  /// Physically removes records of released transactions; returns how many
-  /// records were dropped.
+  /// Convenience: releases both roles' records (single-role harnesses and
+  /// tests; a dual-role engine must release only its own side).
+  void ReleaseTransaction(TxnId txn) {
+    ReleaseTransaction(txn, LogSide::kCoordinator);
+    ReleaseTransaction(txn, LogSide::kParticipant);
+  }
+
+  /// Physically removes records whose writing role released them; returns
+  /// how many records were dropped.
   size_t Truncate();
 
   /// Transactions that still have stable records and were never released.
@@ -107,8 +119,17 @@ class StableLog {
   struct StoredRecord {
     uint64_t lsn;
     TxnId txn;
+    LogSide side;
     std::vector<uint8_t> bytes;
   };
+
+  /// True if the role that wrote `rec` has released its transaction.
+  bool ReleasedFor(const StoredRecord& rec) const {
+    const auto& released = rec.side == LogSide::kCoordinator
+                               ? released_coord_
+                               : released_part_;
+    return released.count(rec.txn) > 0;
+  }
 
   /// Emits `event` (stamped with clock time and site) if tracing is bound
   /// and enabled.
@@ -137,9 +158,20 @@ class StableLog {
   void ResetMirrorForRecovery() {
     stable_.clear();
     buffer_.clear();
-    released_.clear();
+    released_coord_.clear();
+    released_part_.clear();
     next_lsn_ = 1;
   }
+
+  /// Lazily resolved registry handles for the per-append/per-truncate
+  /// counters, so the hot write path never rebuilds key strings or takes
+  /// the registry mutex (see MetricsRegistry handle contract). All null
+  /// when `metrics_` is null.
+  MetricsRegistry::Counter* AppendsCounter();
+  MetricsRegistry::Counter* ForcedAppendsCounter();
+  MetricsRegistry::Counter* FlushesCounter();
+  MetricsRegistry::Counter* TruncatedCounter();
+  MetricsRegistry::Counter* AppendTypeCounter(LogRecordType type);
 
   std::string metric_prefix_;
   MetricsRegistry* metrics_;
@@ -149,8 +181,21 @@ class StableLog {
   uint64_t next_lsn_ = 1;
   std::vector<StoredRecord> stable_;
   std::vector<StoredRecord> buffer_;
-  std::set<TxnId> released_;
+  // Hash sets: release marks accumulate for every forgotten transaction,
+  // and Truncate() probes them once per stable record per call — with
+  // ordered sets those probes walk an ever-deepening tree and dominate
+  // per-commit CPU in the live runtime.
+  std::unordered_set<TxnId> released_coord_;
+  std::unordered_set<TxnId> released_part_;
   LogStats stats_;
+
+ private:
+  static constexpr size_t kLogRecordTypes = 5;
+  MetricsRegistry::Counter* m_appends_ = nullptr;
+  MetricsRegistry::Counter* m_forced_appends_ = nullptr;
+  MetricsRegistry::Counter* m_flushes_ = nullptr;
+  MetricsRegistry::Counter* m_truncated_ = nullptr;
+  MetricsRegistry::Counter* m_append_type_[kLogRecordTypes] = {};
 };
 
 }  // namespace prany

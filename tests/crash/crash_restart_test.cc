@@ -18,6 +18,7 @@
 //           adopts the inquirer's presumption from the stable PCP (§4.2).
 
 #include <cstdlib>
+#include <deque>
 #include <map>
 #include <string>
 #include <thread>
@@ -60,7 +61,7 @@ struct CrashCase {
 /// RespondC with by_presumption whose responding site or inquiring peer
 /// has an earlier recovery in the history.
 bool SawPresumptionAfterRecovery(const EventLog& history) {
-  const std::vector<SigEvent>& events = history.events();
+  const std::deque<SigEvent>& events = history.events();
   for (const SigEvent& e : events) {
     if (e.type != SigEventType::kCoordRespond || !e.by_presumption) continue;
     for (const SigEvent& r : events) {
@@ -95,6 +96,11 @@ TEST_P(CrashRestartTest, SoakUnderLoadStaysAtomic) {
   lg.duration_us = 600'000'000;  // ended by Stop() once the cycles are in
   lg.participants_per_txn = 2;
   lg.abort_fraction = cc.abort_fraction;
+  // A third of the load is dual-role: the crash victim coordinates
+  // transactions it also participates in, so crashes land between its
+  // participant force and its coordinator decision force and recovery
+  // must rebuild both roles from one log.
+  lg.dual_role_fraction = 0.34;
   lg.await_timeout_us = 2'000'000;
   lg.seed = 42;
   LoadGen gen(&system, lg);
@@ -141,6 +147,7 @@ TEST_P(CrashRestartTest, SoakUnderLoadStaysAtomic) {
   EXPECT_GT(stats.records_recovered_total, 0u);
   EXPECT_GT(report.submitted, 0u);
   EXPECT_GT(report.committed, 0u);
+  EXPECT_GT(report.dual_role_submitted, 0u);
 
   EXPECT_TRUE(SawPresumptionAfterRecovery(system.history()))
       << "no post-restart inquiry was answered by presumption";

@@ -125,5 +125,121 @@ TEST(DualRoleTest, ManyInterleavedDualRoleTransactionsUnderChaos) {
       << system.CheckOperational().ToString();
 }
 
+// ---------------------------------------------------------------------------
+// Same-transaction dual role: the coordinator is one of its own
+// participants, so one physical log interleaves both roles' records for a
+// single transaction.
+
+TEST(DualRoleTest, CoordinatorAsOwnParticipantCommits) {
+  auto system = DualSystem();
+  // Site 0 coordinates {0, 1}: it must prepare, vote, receive its own
+  // decision and acknowledge it over the regular transport.
+  TxnId txn = system->Submit(0, {0, 1});
+  system->Run();
+  EXPECT_EQ(system->metrics().Get("coord.decide_commit"), 1);
+  int enforced = 0;
+  for (const SigEvent& e : system->history().events()) {
+    if (e.type == SigEventType::kPartEnforce && e.txn == txn) ++enforced;
+  }
+  EXPECT_EQ(enforced, 2);  // Site 0 (self) and site 1.
+  EXPECT_TRUE(system->site(0)->wal()->UnreleasedTxns().empty());
+  EXPECT_TRUE(system->CheckAtomicity().ok())
+      << system->CheckAtomicity().ToString();
+  EXPECT_TRUE(system->CheckOperational().ok())
+      << system->CheckOperational().ToString();
+}
+
+// The regression the `has_prepared` skip caused: site 0 coordinates a PrC
+// transaction it also participates in, and crashes after its *participant*
+// force (PREPARED durable) but before its *coordinator* decision force —
+// there is an initiation record and a prepared record, and no decision.
+// Meanwhile site 1 votes no and unilaterally aborts.
+//
+// The old Recover() saw has_prepared and skipped the summary entirely, so
+// the initiation record never re-initiated the abort; site 0's in-doubt
+// participant then inquired its own (empty) coordinator and was answered
+// by PrC's commit presumption: site 0 enforced commit, site 1 had enforced
+// abort — an atomicity violation. Role-classified recovery re-initiates
+// the abort instead.
+TEST(DualRoleTest, CrashBetweenParticipantForceAndCoordinatorDecision) {
+  SystemConfig cfg;
+  cfg.seed = 17;
+  System system(cfg);
+  system.AddSite(ProtocolKind::kPrC, ProtocolKind::kPrC);  // 0 (dual role)
+  system.AddSite(ProtocolKind::kPrC, ProtocolKind::kPrC);  // 1
+  Transaction txn = system.MakeTransaction(0, {0, 1});
+  txn.planned_votes[1] = Vote::kNo;  // Site 1 aborts unilaterally.
+  system.injector().CrashAtPoint(0, CrashPoint::kPartAfterPreparedLogged,
+                                 txn.id, /*downtime=*/50'000);
+  system.SubmitAt(0, txn);
+  system.Run();
+
+  EXPECT_TRUE(system.CheckAtomicity().ok())
+      << system.CheckAtomicity().ToString();
+
+  // The coordinator side reached a decision after recovery (the abort
+  // re-initiated from the surviving initiation record) ...
+  const SigEvent* decide = system.history().FirstWhere(
+      [&](const SigEvent& e) {
+        return e.type == SigEventType::kCoordDecide && e.txn == txn.id;
+      });
+  ASSERT_NE(decide, nullptr);
+  EXPECT_EQ(*decide->outcome, Outcome::kAbort);
+
+  // ... and both participants enforced that same abort.
+  std::map<SiteId, Outcome> enforced;
+  for (const SigEvent& e : system.history().events()) {
+    if (e.type == SigEventType::kPartEnforce && e.txn == txn.id) {
+      enforced[e.site] = *e.outcome;
+    }
+  }
+  ASSERT_EQ(enforced.count(0), 1u);
+  ASSERT_EQ(enforced.count(1), 1u);
+  EXPECT_EQ(enforced[0], Outcome::kAbort);
+  EXPECT_EQ(enforced[1], Outcome::kAbort);
+
+  // Both roles eventually released the shared log.
+  EXPECT_TRUE(system.site(0)->wal()->UnreleasedTxns().empty());
+  EXPECT_TRUE(system.CheckOperational().ok())
+      << system.CheckOperational().ToString();
+}
+
+// Chaos sweep where every transaction is dual-role (the coordinator always
+// participates), across mixed protocols, random crashes and message loss.
+TEST(DualRoleTest, SameTxnDualRoleChaosStaysAtomic) {
+  SystemConfig cfg;
+  cfg.seed = 43;
+  cfg.drop_probability = 0.02;
+  cfg.max_events = 10'000'000;
+  System system(cfg);
+  system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrA, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrC, ProtocolKind::kPrAny);
+  system.AddSite(ProtocolKind::kPrA, ProtocolKind::kPrAny);
+  system.injector().SetRandomCrashes(0.003, 5'000, 100'000);
+  system.injector().SetRandomCrashBudget(15);
+  Rng rng(19);
+  for (int i = 0; i < 60; ++i) {
+    SiteId coordinator = static_cast<SiteId>(rng.Index(4));
+    std::vector<SiteId> participants = {coordinator};  // Dual role.
+    for (SiteId s = 0; s < 4; ++s) {
+      if (s != coordinator && rng.Bernoulli(0.8)) participants.push_back(s);
+    }
+    Transaction txn = system.MakeTransaction(coordinator, participants);
+    if (rng.Bernoulli(0.15)) {
+      txn.planned_votes[participants[rng.Index(participants.size())]] =
+          Vote::kNo;
+    }
+    system.SubmitAt(static_cast<SimTime>(i) * 2'000, txn);
+  }
+  RunStats run = system.Run();
+  ASSERT_FALSE(run.hit_event_limit);
+  EXPECT_TRUE(system.CheckAtomicity().ok())
+      << system.CheckAtomicity().ToString();
+  EXPECT_TRUE(system.CheckSafeState().ok());
+  EXPECT_TRUE(system.CheckOperational().ok())
+      << system.CheckOperational().ToString();
+}
+
 }  // namespace
 }  // namespace prany

@@ -129,6 +129,13 @@ TEST(CodecFuzzTest, RandomValidLogRecordsRoundTripExactly) {
     if (rec.type == LogRecordType::kPrepared) {
       rec.coordinator = static_cast<SiteId>(rng.Uniform(0, 1000));
     }
+    // The writing side is free only on decision records; the codec pins it
+    // for the other types (kPrepared is participant, the rest coordinator).
+    rec.side = rec.IsDecision() && rng.Bernoulli(0.5)
+                   ? LogSide::kParticipant
+                   : rec.type == LogRecordType::kPrepared
+                         ? LogSide::kParticipant
+                         : LogSide::kCoordinator;
     Result<LogRecord> decoded = LogRecord::Decode(rec.Encode());
     ASSERT_TRUE(decoded.ok());
     EXPECT_EQ(*decoded, rec);

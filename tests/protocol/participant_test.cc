@@ -212,7 +212,7 @@ TEST_P(ParticipantTest, RecoveryRedoesDecidedTransactions) {
   // forgetting (simulated by crashing the engine only).
   Prepare();
   bool forced = ParticipantForcesDecision(GetParam(), Outcome::kAbort);
-  log_.Append(LogRecord::Abort(1), forced);
+  log_.Append(LogRecord::Abort(1, LogSide::kParticipant), forced);
   log_.Flush();  // make the abort record stable regardless of traits
   engine_->Crash();
   engine_->Recover();
@@ -233,7 +233,7 @@ TEST_P(ParticipantTest, LostNonForcedDecisionLeavesInDoubt) {
     GTEST_SKIP() << "protocol forces its abort record";
   }
   Prepare();
-  log_.Append(LogRecord::Abort(1), /*force=*/false);
+  log_.Append(LogRecord::Abort(1, LogSide::kParticipant), /*force=*/false);
   log_.Crash();  // abort record gone; prepared record survives
   engine_->Crash();
   coordinator_.received.clear();

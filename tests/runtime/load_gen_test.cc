@@ -70,6 +70,34 @@ TEST(LoadGenTest, AbortFractionProducesAborts) {
   EXPECT_TRUE(system.CheckAtomicity().ok());
 }
 
+TEST(LoadGenTest, DualRoleFractionMakesCoordinatorsParticipate) {
+  LiveSystemConfig config;
+  config.log_dir = MakeTempDir();
+  LiveSystem system(config);
+  for (int i = 0; i < 3; ++i) {
+    system.AddSite(ProtocolKind::kPrN, ProtocolKind::kPrN);
+  }
+  LoadGenConfig gen_config;
+  gen_config.clients = 3;
+  gen_config.duration_us = 300'000;
+  gen_config.participants_per_txn = 2;
+  gen_config.dual_role_fraction = 1.0;  // every coordinator participates
+  gen_config.abort_fraction = 0.2;      // some self no-votes too
+  LoadGen gen(&system, gen_config);
+  LoadGenReport report = gen.Run();
+
+  EXPECT_GT(report.submitted, 0u);
+  EXPECT_EQ(report.dual_role_submitted, report.submitted);
+  EXPECT_GT(report.committed, 0u);
+  EXPECT_EQ(report.timeouts, 0u);
+  ASSERT_TRUE(system.Quiesce(20'000'000));
+  EXPECT_TRUE(system.CheckAtomicity().ok())
+      << system.CheckAtomicity().ToString();
+  EXPECT_TRUE(system.CheckSafeState().ok());
+  EXPECT_TRUE(system.CheckOperational().ok())
+      << system.CheckOperational().ToString();
+}
+
 TEST(LoadGenTest, ElapsedClockStopsWhenTheRunStops) {
   // Regression: elapsed_seconds used to be measured after joining the
   // client threads, so a client parked in a final Await inflated the

@@ -1,0 +1,194 @@
+#include "runtime/mpsc_ring.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/live_loop.h"
+#include "runtime/live_transport.h"
+
+namespace prany {
+namespace runtime {
+namespace {
+
+TEST(BoundedMpmcRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BoundedMpmcRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(BoundedMpmcRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(BoundedMpmcRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(BoundedMpmcRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(BoundedMpmcRingTest, FifoSingleThread) {
+  BoundedMpmcRing<int> ring(8);
+  EXPECT_TRUE(ring.Empty());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(int{i}));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  EXPECT_FALSE(ring.Empty());
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  int v = -1;
+  EXPECT_FALSE(ring.TryPop(&v));  // empty
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(BoundedMpmcRingTest, WrapsAroundManyLaps) {
+  // Tiny ring: 10k transfers force thousands of laps, exercising the
+  // per-slot sequence arithmetic across wraparound.
+  BoundedMpmcRing<uint64_t> ring(4);
+  uint64_t next_in = 0, next_out = 0;
+  while (next_out < 10'000) {
+    while (next_in < 10'000 && ring.TryPush(uint64_t{next_in})) ++next_in;
+    uint64_t v = 0;
+    while (ring.TryPop(&v)) {
+      ASSERT_EQ(v, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(BoundedMpmcRingTest, MultiProducerSingleConsumerKeepsPerProducerFifo) {
+  // The transport's ordering contract: each producer's pushes are popped
+  // in that producer's program order. Encode (producer, seq) in the value
+  // and assert every producer's stream arrives strictly ascending. The
+  // small capacity forces constant full/empty boundary crossings.
+  constexpr uint64_t kProducers = 4;
+  constexpr uint64_t kPerProducer = 20'000;
+  BoundedMpmcRing<uint64_t> ring(64);
+
+  std::vector<std::thread> producers;
+  for (uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p]() {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!ring.TryPush((p << 32) | i)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<uint64_t> next_seq(kProducers, 0);
+  uint64_t popped = 0;
+  while (popped < kProducers * kPerProducer) {
+    uint64_t v = 0;
+    if (!ring.TryPop(&v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    uint64_t p = v >> 32;
+    uint64_t seq = v & 0xffffffffu;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(seq, next_seq[p]) << "producer " << p << " reordered";
+    ++next_seq[p];
+    ++popped;
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(WireBufferPoolTest, RecyclesCapacityAndCountsHits) {
+  WireBufferPool pool(8);
+  std::vector<uint8_t> buf = pool.Acquire();
+  EXPECT_EQ(pool.misses(), 1u);  // cold pool
+  buf.assign(256, 0xab);
+  pool.Release(std::move(buf));
+
+  std::vector<uint8_t> again = pool.Acquire();
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_TRUE(again.empty());          // cleared on release
+  EXPECT_GE(again.capacity(), 256u);   // but capacity survived
+
+  // A buffer that never allocated is not worth pooling.
+  pool.Release(std::vector<uint8_t>());
+  std::vector<uint8_t> empty = pool.Acquire();
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+/// Endpoint that blocks every delivery on a gate, so the inbox ring can be
+/// driven to full while a delivery is in flight.
+class GatedEndpoint : public NetworkEndpoint {
+ public:
+  void OnMessage(const Message& /*msg*/) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++delivered_;
+    cv_.wait(lock, [&] { return open_; });
+  }
+  bool IsUp() const override { return true; }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  int delivered() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return delivered_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int delivered_ = 0;
+};
+
+TEST(LiveTransportRingTest, StopWhileInboxFullReleasesParkedSenders) {
+  // Fill site 0's inbox past its ring capacity while the endpoint blocks
+  // the in-flight delivery, so senders end up parked on the full ring.
+  // Stop() must release them (dropping their frames) without deadlock,
+  // even though the delivery thread is still stuck inside OnMessage until
+  // the gate opens.
+  LiveEventLoop loop;
+  LiveTransport transport(&loop, nullptr);
+  GatedEndpoint sink;
+  transport.RegisterEndpoint(0, &sink);
+  transport.RegisterEndpoint(1, &sink);
+
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 600;  // 2400 total >> ring capacity
+  std::atomic<int> sends_done{0};
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&transport, &sends_done, s]() {
+      for (int i = 0; i < kPerSender; ++i) {
+        transport.Send(Message::Prepare(
+            static_cast<TxnId>(s * kPerSender + i + 1), /*from=*/1,
+            /*to=*/0));
+      }
+      sends_done.fetch_add(1);
+    });
+  }
+  // Let the flood hit the full-ring backpressure path. The first delivery
+  // is gated, so at most a handful of frames can drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_LT(sends_done.load(), kSenders);  // someone is parked or looping
+
+  std::thread stopper([&transport]() { transport.Stop(); });
+  // Stop() joins the inbox thread, which may be stuck in the gated
+  // delivery — open the gate after Stop() has begun so the test covers
+  // exactly the stop-while-full window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sink.Open();
+
+  for (std::thread& t : senders) t.join();
+  stopper.join();
+
+  LiveTransportStats stats = transport.stats();
+  EXPECT_EQ(stats.messages_sent, uint64_t{kSenders} * kPerSender);
+  // Undelivered frames are dropped on stop; whatever was delivered arrived
+  // through the normal serial-delivery path.
+  EXPECT_LE(stats.messages_delivered, stats.messages_sent);
+  EXPECT_EQ(static_cast<uint64_t>(sink.delivered()),
+            stats.messages_delivered);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace prany

@@ -75,10 +75,12 @@ TEST(TransactionTest, ValidationRejectsNonBaseProtocol) {
   EXPECT_TRUE(txn.Validate().IsInvalidArgument());
 }
 
-TEST(TransactionTest, ValidationRejectsCoordinatorAsParticipant) {
+TEST(TransactionTest, ValidationAcceptsCoordinatorAsParticipant) {
+  // Dual-role transactions are legal: the coordinator site also runs a
+  // participant engine for the same transaction (shared stable log).
   Transaction txn = MakeValid();
   txn.participants.push_back({0, ProtocolKind::kPrN});
-  EXPECT_TRUE(txn.Validate().IsInvalidArgument());
+  EXPECT_TRUE(txn.Validate().ok());
 }
 
 TEST(TransactionTest, ValidationRejectsVoteForNonParticipant) {
