@@ -20,7 +20,7 @@ double Percentile(const std::vector<double>& sorted, double q) {
 
 MetricsRegistry::Counter* MetricsRegistry::CounterHandle(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Counter>& cell = counters_[name];
   if (cell == nullptr) cell = std::make_unique<Counter>(0);
   return cell.get();
@@ -28,14 +28,14 @@ MetricsRegistry::Counter* MetricsRegistry::CounterHandle(
 
 MetricsRegistry::Distribution* MetricsRegistry::DistributionHandle(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Distribution>& cell = distributions_[name];
   if (cell == nullptr) cell = std::make_unique<Distribution>();
   return cell.get();
 }
 
 int64_t MetricsRegistry::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end()
              ? 0
@@ -60,7 +60,7 @@ DistributionStats MetricsRegistry::Summarize(const std::string& name) const {
 
 std::map<std::string, int64_t> MetricsRegistry::counters() const {
   std::map<std::string, int64_t> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, cell] : counters_) {
     out.emplace(name, cell->load(std::memory_order_relaxed));
   }
@@ -69,7 +69,7 @@ std::map<std::string, int64_t> MetricsRegistry::counters() const {
 
 std::vector<std::string> MetricsRegistry::DistributionNames() const {
   std::vector<std::string> names;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   names.reserve(distributions_.size());
   for (const auto& [name, cell] : distributions_) names.push_back(name);
   return names;
@@ -78,22 +78,22 @@ std::vector<std::string> MetricsRegistry::DistributionNames() const {
 std::vector<double> MetricsRegistry::samples(const std::string& name) const {
   Distribution* cell = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = distributions_.find(name);
     if (it == distributions_.end()) return {};
     cell = it->second.get();
   }
-  std::lock_guard<std::mutex> lock(cell->mu_);
+  MutexLock lock(cell->mu_);
   return cell->samples_;
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, cell] : counters_) {
     cell->store(0, std::memory_order_relaxed);
   }
   for (auto& [name, cell] : distributions_) {
-    std::lock_guard<std::mutex> cell_lock(cell->mu_);
+    MutexLock cell_lock(cell->mu_);
     cell->samples_.clear();
   }
 }

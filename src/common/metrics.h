@@ -23,9 +23,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace prany {
 
@@ -54,14 +55,16 @@ class MetricsRegistry {
   class Distribution {
    public:
     void Observe(double value) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       samples_.push_back(value);
     }
 
    private:
     friend class MetricsRegistry;
-    mutable std::mutex mu_;
-    std::vector<double> samples_;
+    /// Leaf lock (metrics rank): held only for the push/copy, never while
+    /// acquiring anything else.
+    mutable Mutex mu_ PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
+    std::vector<double> samples_ PRANY_GUARDED_BY(mu_);
   };
 
   /// Resolves `name` to its counter cell, creating it at zero. The pointer
@@ -105,11 +108,16 @@ class MetricsRegistry {
   std::string ToString(const std::string& prefix = "") const;
 
  private:
-  mutable std::mutex mu_;
+  /// Registry lock (metrics rank): guards the name->cell maps only; the
+  /// cells themselves are atomics / own their own lock, so handle-based
+  /// recording never touches this.
+  mutable Mutex mu_ PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
   // Cells are heap-allocated so handle pointers survive map rebalancing
   // and stay valid across the registry's lifetime.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Distribution>> distributions_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PRANY_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Distribution>> distributions_
+      PRANY_GUARDED_BY(mu_);
 };
 
 }  // namespace prany

@@ -1,9 +1,25 @@
 #include "common/string_util.h"
 
+#include <string.h>
+
 #include <cstdarg>
 #include <cstdio>
 
 namespace prany {
+
+std::string SafeStrError(int errnum) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r returns the message (possibly static, possibly buf).
+  return strerror_r(errnum, buf, sizeof(buf));
+#else
+  // POSIX strerror_r fills buf and returns 0 (or an error code).
+  if (strerror_r(errnum, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", errnum);
+  }
+  return buf;
+#endif
+}
 
 std::string StrFormat(const char* fmt, ...) {
   va_list args;

@@ -26,6 +26,12 @@ std::string JoinNumbers(const Container& values, const std::string& sep) {
   return out;
 }
 
+/// Thread-safe strerror: formats `errnum` via strerror_r into a fresh
+/// string. std::strerror may return a pointer into shared static storage
+/// (clang-tidy concurrency-mt-unsafe), and the WAL's error paths run on
+/// the fsync thread concurrently with engine threads.
+std::string SafeStrError(int errnum);
+
 /// Fixed-width left-aligned cell for plain-text tables.
 std::string PadRight(const std::string& s, size_t width);
 

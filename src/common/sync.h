@@ -1,0 +1,186 @@
+// Annotated synchronization primitives for the live runtime.
+//
+// Thin zero-cost wrappers over std::mutex / std::condition_variable that
+// carry Clang Thread Safety Analysis capability annotations
+// (thread_annotations.h), so every lock-protected field can be declared
+// PRANY_GUARDED_BY(its mutex) and the compiler rejects unguarded access,
+// missing-REQUIRES calls and deadlock-shaped acquisition orders on every
+// clang build. Under gcc the annotations vanish and these classes are
+// exactly the std primitives they wrap.
+//
+// Lock-ordering hierarchy. The live runtime's locks form a strict order
+// (outermost first):
+//
+//   engine  — per-site engine mutex (LiveSite::engine_mu_): serializes all
+//             protocol-engine entry points; released across durability
+//             waits. While held, code sends messages (taking destination
+//             queue locks), arms timers (loop lock), appends to the WAL
+//             (wal-sync lock), requests crash restarts (crash lock) and
+//             records metrics/history/trace — so it precedes everything.
+//   queue   — per-site worker-queue mutexes (LiveSite::queue_mu_), the
+//             timer-loop mutex (LiveEventLoop::mu_) and the transport
+//             parking mutexes (Inbox::park_mu): taken from engine code to
+//             hand work over, never the other way around.
+//   wal-sync— per-WAL group-commit queue mutex (FileStableLog::sync_mu_):
+//             taken by engine-side Append/Flush and by the fsync thread;
+//             never held while calling out.
+//   crash   — crash-restart controller state (LiveSystem::crash_mu_,
+//             injector_mu_): taken from engine code (crash probes, restart
+//             requests) and from the controller thread.
+//   metrics — leaf observability locks (MetricsRegistry::mu_, per-
+//             Distribution locks, TraceLog::mu_, EventLog shard locks,
+//             await-shard locks): innermost; code holding one never
+//             acquires anything else.
+//
+// Each real mutex is declared PRANY_ACQUIRED_AFTER(the previous rank
+// token) / PRANY_ACQUIRED_BEFORE(the next), anchoring it into the global
+// chain below; -Wthread-safety-beta then statically rejects any
+// acquisition order that inverts the hierarchy. The rank tokens are
+// declarative only — they are never locked at runtime and occupy one byte
+// of .bss each; they exist because ACQUIRED_BEFORE/AFTER arguments must
+// name declarations visible at the mutex's declaration site, which member
+// mutexes of other classes are not.
+
+#ifndef PRANY_COMMON_SYNC_H_
+#define PRANY_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prany {
+
+/// A std::mutex carrying the CAPABILITY annotation. Lock/Unlock/TryLock
+/// update the analysis' lockset; native() exposes the underlying
+/// std::mutex for condition-variable interop inside this header only.
+class PRANY_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PRANY_ACQUIRE() { mu_.lock(); }
+  void Unlock() PRANY_RELEASE() { mu_.unlock(); }
+  bool TryLock() PRANY_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// For CondVar. Deliberately not named lock()/unlock(): the BasicLockable
+  /// spelling would invite unannotated std::lock_guard use that the
+  /// analysis cannot see.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (scoped capability). Supports the live runtime's
+/// release-in-the-middle idiom (durability waits, handler dispatch):
+/// Unlock()/Lock() toggle the capability mid-scope and the destructor
+/// releases only if currently held — all visible to the analysis.
+class PRANY_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PRANY_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() PRANY_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drop the lock (durability wait, running a handler).
+  void Unlock() PRANY_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  void Lock() PRANY_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable bound to Mutex at each wait site. Waits take the
+/// Mutex (declared REQUIRES, so the analysis checks the caller holds it)
+/// and internally adopt/release its native handle; no predicate-lambda
+/// overloads are offered — annotated code spells the predicate loop out
+/// (`while (!cond) cv.Wait(mu);`) so the guarded reads in the predicate
+/// are analyzed in the enclosing function instead of hiding in a lambda
+/// the analysis treats as an unrelated function.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, reacquires. Spurious wakeups happen;
+  /// always wrap in a predicate loop.
+  void Wait(Mutex& mu) PRANY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Timed wait; true if the wait timed out (the predicate must be
+  /// re-checked either way).
+  bool WaitFor(Mutex& mu, std::chrono::microseconds timeout)
+      PRANY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    bool timed_out = cv_.wait_for(adopted, timeout) == std::cv_status::timeout;
+    adopted.release();
+    return timed_out;
+  }
+
+  /// Deadline wait against steady_clock; true if the deadline passed.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      PRANY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    bool timed_out =
+        cv_.wait_until(adopted, deadline) == std::cv_status::timeout;
+    adopted.release();
+    return timed_out;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+namespace lock_order {
+
+/// Declarative rank tokens for the global lock-ordering hierarchy (see
+/// the header comment). Never locked at runtime. A real mutex anchors
+/// itself with, e.g.:
+///
+///   Mutex queue_mu_ PRANY_ACQUIRED_AFTER(lock_order::kEngineRank)
+///                   PRANY_ACQUIRED_BEFORE(lock_order::kWalSyncRank);
+///
+/// and the analysis' transitive closure over these edges rejects any
+/// acquisition that runs against the chain.
+class PRANY_CAPABILITY("mutex") Rank {
+ public:
+  constexpr Rank() = default;
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+};
+
+// The chain: engine -> queue -> wal-sync -> crash -> metrics.
+inline constinit Rank kEngineRank;
+inline constinit Rank kQueueRank PRANY_ACQUIRED_AFTER(kEngineRank);
+inline constinit Rank kWalSyncRank PRANY_ACQUIRED_AFTER(kQueueRank);
+inline constinit Rank kCrashRank PRANY_ACQUIRED_AFTER(kWalSyncRank);
+inline constinit Rank kMetricsRank PRANY_ACQUIRED_AFTER(kCrashRank);
+
+}  // namespace lock_order
+
+}  // namespace prany
+
+#endif  // PRANY_COMMON_SYNC_H_

@@ -1,0 +1,87 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap clang's capability-analysis attributes so the locking
+// discipline of the live runtime is compiler-checked on every clang build
+// (-Wthread-safety -Wthread-safety-beta; the clang-tsa CMake preset turns
+// them into errors). Under gcc — and any compiler without the capability
+// attribute — every macro expands to nothing, so annotated code compiles
+// unchanged. See docs/STATIC_ANALYSIS.md for the annotation discipline
+// and the global lock-ordering hierarchy.
+//
+// Naming follows the convention from the clang documentation (CAPABILITY,
+// GUARDED_BY, REQUIRES, ...), prefixed PRANY_ so nothing collides with
+// other libraries' annotation headers.
+
+#ifndef PRANY_COMMON_THREAD_ANNOTATIONS_H_
+#define PRANY_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PRANY_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef PRANY_THREAD_ANNOTATION
+#define PRANY_THREAD_ANNOTATION(x)  // expands to nothing off-clang
+#endif
+
+/// Marks a class as a capability (a lock). Instances can then appear in
+/// the other annotations' capability expressions.
+#define PRANY_CAPABILITY(x) PRANY_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define PRANY_SCOPED_CAPABILITY PRANY_THREAD_ANNOTATION(scoped_lockable)
+
+/// The field may only be read or written while holding `x`.
+#define PRANY_GUARDED_BY(x) PRANY_THREAD_ANNOTATION(guarded_by(x))
+
+/// The data the pointer/smart-pointer field points to may only be
+/// dereferenced while holding `x` (the pointer itself is unguarded).
+#define PRANY_PT_GUARDED_BY(x) PRANY_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding `...` exclusively; it
+/// does not change what is held.
+#define PRANY_REQUIRES(...) \
+  PRANY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding `...` (deadlock
+/// guard for functions that acquire it themselves).
+#define PRANY_EXCLUDES(...) \
+  PRANY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires `...` and returns with it held.
+#define PRANY_ACQUIRE(...) \
+  PRANY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases `...`; the caller must hold it on entry.
+#define PRANY_RELEASE(...) \
+  PRANY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire `...`; on returning `ret` it is held.
+#define PRANY_TRY_ACQUIRE(ret, ...) \
+  PRANY_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Lock-ordering edges (checked under -Wthread-safety-beta): this mutex
+/// must be acquired before / after the listed mutexes. The analysis takes
+/// the transitive closure, so ordering every real mutex against the
+/// shared rank tokens in sync.h yields one global hierarchy.
+#define PRANY_ACQUIRED_BEFORE(...) \
+  PRANY_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PRANY_ACQUIRED_AFTER(...) \
+  PRANY_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the capability a wrapper stands for (lets
+/// annotations name `wrapper` instead of `wrapper.native()`).
+#define PRANY_RETURN_CAPABILITY(x) \
+  PRANY_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use MUST carry
+/// a rationale comment naming the invariant the analysis cannot see (the
+/// only accepted reasons are in docs/STATIC_ANALYSIS.md: cross-function
+/// lock handoff through a type-erased boundary, or an external
+/// serialization domain the annotation language cannot name).
+#define PRANY_NO_THREAD_SAFETY_ANALYSIS \
+  PRANY_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PRANY_COMMON_THREAD_ANNOTATIONS_H_

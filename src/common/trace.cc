@@ -129,14 +129,22 @@ std::string TraceEvent::ToString() const {
 }
 
 void TraceLog::Emit(TraceEvent event) {
-  if (!enabled_) return;
+  if (!enabled_.load(std::memory_order_acquire)) return;
   if (echo_) {
     std::fprintf(stderr, "t=%lluus %s\n",
                  static_cast<unsigned long long>(event.time),
                  event.ToString().c_str());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
+}
+
+void TraceLog::Clear() {
+  // Previously mutated events_ with no lock; the GUARDED_BY conversion
+  // made the compiler reject that, and a Clear racing a live Emit really
+  // would corrupt the vector.
+  MutexLock lock(mu_);
+  events_.clear();
 }
 
 void TraceLog::Emit(SimTime time, std::string text) {
@@ -149,7 +157,9 @@ void TraceLog::Emit(SimTime time, std::string text) {
 
 std::string TraceLog::ToString() const {
   std::ostringstream out;
-  for (const TraceEvent& e : events_) {
+  // events() is the quiescent-only unlocked accessor; this dump shares
+  // its contract (all emitters stopped).
+  for (const TraceEvent& e : events()) {
     out << "t=" << e.time << "us " << e.ToString() << "\n";
   }
   return out.str();

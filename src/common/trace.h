@@ -15,11 +15,12 @@
 #ifndef PRANY_COMMON_TRACE_H_
 #define PRANY_COMMON_TRACE_H_
 
-#include <mutex>
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace prany {
@@ -108,12 +109,14 @@ struct TraceEvent {
 class TraceLog {
  public:
   /// When enabled, events are retained (and echoed if `echo` was set).
+  /// The release store pairs with Emit's acquire load so a concurrent
+  /// emitter that sees enabled also sees the echo flag.
   void Enable(bool echo_to_stderr = false) {
-    enabled_ = true;
     echo_ = echo_to_stderr;
+    enabled_.store(true, std::memory_order_release);
   }
-  void Disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void Disable() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   /// Records a structured event (no-op while disabled). Thread-safe.
   void Emit(TraceEvent event);
@@ -121,17 +124,25 @@ class TraceLog {
   /// Legacy free-text entry point: records a kNote event. Thread-safe.
   void Emit(SimTime time, std::string text);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  /// Quiescent read: hands out a reference into the live vector, so all
+  /// emitters must have stopped (see class comment).
+  const std::vector<TraceEvent>& events() const
+      PRANY_NO_THREAD_SAFETY_ANALYSIS {
+    // Unlocked by contract: quiescent-only accessor; a lock here could
+    // not protect the returned reference anyway.
+    return events_;
+  }
+  void Clear();
 
   /// All events joined as "t=<time>us <event>" lines.
   std::string ToString() const;
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
   bool echo_ = false;
-  std::mutex mu_;  ///< Guards events_ during concurrent Emit.
-  std::vector<TraceEvent> events_;
+  /// Leaf lock (metrics rank): guards events_ during concurrent Emit.
+  mutable Mutex mu_ PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
+  std::vector<TraceEvent> events_ PRANY_GUARDED_BY(mu_);
 };
 
 }  // namespace prany

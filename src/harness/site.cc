@@ -50,7 +50,7 @@ Site::Site(SiteId id, ProtocolKind participant_protocol, CoordinatorSpec spec,
   ctx.history = history;
   ctx.metrics = metrics;
   ctx.timing = timing;
-  ctx.is_up = [this]() { return up_.load(); };
+  ctx.is_up = [this]() { return up_.load(std::memory_order_acquire); };
   ctx.crash_probe = [this](CrashPoint point, TxnId txn) {
     if (!crash_probe_handler_) return false;
     std::optional<SimDuration> downtime =
@@ -107,7 +107,8 @@ void Site::Crash(SimDuration downtime) {
 
 void Site::CrashNow(SimDuration planned_downtime) {
   PRANY_CHECK_MSG(up_.load(), "crashing a site that is already down");
-  up_.store(false);
+  // Release pairs with IsUp()'s acquire (see header).
+  up_.store(false, std::memory_order_release);
   ++crash_count_;
   history_->Record(SigEvent{.time = sim_->Now(),
                             .type = SigEventType::kSiteCrash,
@@ -130,7 +131,8 @@ void Site::CrashNow(SimDuration planned_downtime) {
 }
 
 void Site::RecoverNow() {
-  up_.store(true);
+  // Release pairs with IsUp()'s acquire (see header).
+  up_.store(true, std::memory_order_release);
   history_->Record(SigEvent{.time = sim_->Now(),
                             .type = SigEventType::kSiteRecover,
                             .site = id_});

@@ -54,7 +54,12 @@ class Site : public NetworkEndpoint {
 
   // NetworkEndpoint:
   void OnMessage(const Message& msg) override;
-  bool IsUp() const override { return up_.load(); }
+  /// Acquire pairs with the release stores in CrashNow/RecoverNow: an
+  /// inbox thread that sees the site up also sees the lifecycle write
+  /// that brought it up.
+  bool IsUp() const override {
+    return up_.load(std::memory_order_acquire);
+  }
 
   SiteId id() const { return id_; }
   ProtocolKind participant_protocol() const {
@@ -111,7 +116,11 @@ class Site : public NetworkEndpoint {
   std::unique_ptr<CoordinatorBase> coordinator_;
   bool is_prany_ = false;
   /// Atomic: live transport inbox threads read IsUp() while the crash
-  /// path flips it from the engine serialization domain.
+  /// path flips it from the engine serialization domain (all other Site
+  /// state is serialized by that domain — the owning LiveSite's engine
+  /// mutex, or the simulator's single thread — and is deliberately
+  /// unannotated: no Site mutex exists for GUARDED_BY to name).
+  /// Release/acquire only; see IsUp().
   std::atomic<bool> up_{true};
   uint64_t crash_count_ = 0;
   CrashProbeHandler crash_probe_handler_;

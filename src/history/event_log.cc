@@ -59,13 +59,13 @@ std::string SigEvent::ToString() const {
 const SigEvent& EventLog::Record(SigEvent event) {
   event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   if (event.type == SigEventType::kCoordDecide) {
-    std::lock_guard<std::mutex> lock(decided_mu_);
+    MutexLock lock(decided_mu_);
     decided_txns_.insert(event.txn);
   }
   Shard& shard = shards_[event.seq & (kShards - 1)];
   const SigEvent* stored;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.events.push_back(std::move(event));
     stored = &shard.events.back();
   }
@@ -77,13 +77,13 @@ const SigEvent& EventLog::Record(SigEvent event) {
 }
 
 const std::deque<SigEvent>& EventLog::events() const {
-  std::lock_guard<std::mutex> merged_lock(merged_mu_);
+  MutexLock merged_lock(merged_mu_);
   const uint64_t claimed = next_seq_.load(std::memory_order_acquire) - 1;
   if (merged_count_ == claimed) return merged_;
   std::vector<SigEvent> all;
   all.reserve(static_cast<size_t>(claimed));
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     all.insert(all.end(), shard.events.begin(), shard.events.end());
   }
   std::sort(all.begin(), all.end(),
@@ -122,13 +122,13 @@ std::vector<TxnId> EventLog::Txns() const {
 }
 
 void EventLog::Clear() {
-  std::lock_guard<std::mutex> merged_lock(merged_mu_);
+  MutexLock merged_lock(merged_mu_);
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.events.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(decided_mu_);
+    MutexLock lock(decided_mu_);
     decided_txns_.clear();
   }
   merged_.clear();
@@ -137,7 +137,7 @@ void EventLog::Clear() {
 }
 
 bool EventLog::HasDecide(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(decided_mu_);
+  MutexLock lock(decided_mu_);
   return decided_txns_.count(txn) != 0;
 }
 

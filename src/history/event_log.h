@@ -15,12 +15,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace prany {
@@ -125,22 +125,27 @@ class EventLog {
   // of events per run, and a vector regrowth would both copy the shard
   // inside its lock and invalidate every reference Record ever returned.
   struct Shard {
-    std::mutex mu;
-    std::deque<SigEvent> events;
+    /// Leaf lock (metrics rank): held for one push_back or one bulk copy,
+    /// never while acquiring anything else.
+    Mutex mu PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
+    std::deque<SigEvent> events PRANY_GUARDED_BY(mu);
   };
 
   std::atomic<uint64_t> next_seq_{1};
   mutable Shard shards_[kShards];
-  mutable std::mutex decided_mu_;  ///< Guards decided_txns_.
-  std::unordered_set<TxnId> decided_txns_;  ///< Txns with a Decide event.
+  /// Leaf lock (metrics rank) for the O(1) decide index.
+  mutable Mutex decided_mu_ PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
+  std::unordered_set<TxnId> decided_txns_ PRANY_GUARDED_BY(decided_mu_);
+  /// Unguarded by contract: installed/cleared only while no recorder
+  /// runs (see SetObserver), then read-only from recorder threads.
   Observer observer_;
 
   /// Merged seq-ordered view, rebuilt lazily by events(). merged_count_
   /// is how many events the current merge covers; a mismatch with
   /// next_seq_ marks it stale.
-  mutable std::mutex merged_mu_;
-  mutable std::deque<SigEvent> merged_;
-  mutable uint64_t merged_count_ = 0;
+  mutable Mutex merged_mu_ PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
+  mutable std::deque<SigEvent> merged_ PRANY_GUARDED_BY(merged_mu_);
+  mutable uint64_t merged_count_ PRANY_GUARDED_BY(merged_mu_) = 0;
 };
 
 }  // namespace prany

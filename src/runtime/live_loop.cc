@@ -15,7 +15,7 @@ LiveEventLoop::LiveEventLoop() : epoch_(std::chrono::steady_clock::now()) {}
 LiveEventLoop::~LiveEventLoop() { Stop(); }
 
 void LiveEventLoop::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   running_ = true;
   timer_thread_ = std::thread([this]() { TimerThreadMain(); });
@@ -23,10 +23,10 @@ void LiveEventLoop::Start() {
 
 void LiveEventLoop::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   timer_thread_.join();
 }
@@ -45,7 +45,7 @@ EventId LiveEventLoop::Schedule(SimDuration delay, Callback cb,
 
 EventId LiveEventLoop::ScheduleAt(SimTime when, Callback cb,
                                   std::string label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t id = next_seq_++;
   TimerTask task;
   task.deadline = when;
@@ -59,13 +59,13 @@ EventId LiveEventLoop::ScheduleAt(SimTime when, Callback cb,
   // (most protocol timers are cancelled long before their far-future
   // deadlines), so an unconditional notify here is a context switch per
   // arm — the single largest scaling cost in the live runtime.
-  if (when < sleeping_until_) cv_.notify_all();
+  if (when < sleeping_until_) cv_.NotifyAll();
   return EventId{id};
 }
 
 void LiveEventLoop::Cancel(EventId id) {
   if (!id.valid()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Erase immediately instead of tombstoning: protocol timers are long
   // (seconds) and cancels are frequent, so deferred cleanup would grow the
   // task map without bound. The orphaned heap entry is dropped when it
@@ -83,7 +83,7 @@ const LiveEventLoop::Executor* LiveEventLoop::CurrentThreadExecutor() {
 }
 
 size_t LiveEventLoop::PendingTimers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t pending = 0;
   for (const auto& [id, task] : tasks_) {
     if (!task.cancelled && !task.dispatched) ++pending;
@@ -94,7 +94,7 @@ size_t LiveEventLoop::PendingTimers() const {
 void LiveEventLoop::RunTask(uint64_t id) {
   Callback cb;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tasks_.find(id);
     if (it == tasks_.end() || it->second.cancelled) {
       // Cancelled between dispatch and execution — the strong-cancel case.
@@ -108,7 +108,7 @@ void LiveEventLoop::RunTask(uint64_t id) {
 }
 
 void LiveEventLoop::TimerThreadMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (running_) {
     // Drop stale heap heads (cancelled, never dispatched).
     while (!heap_.empty()) {
@@ -123,7 +123,7 @@ void LiveEventLoop::TimerThreadMain() {
     }
     if (heap_.empty()) {
       sleeping_until_ = std::numeric_limits<SimTime>::max();
-      cv_.wait(lock);
+      cv_.Wait(mu_);
       sleeping_until_ = 0;
       continue;
     }
@@ -131,7 +131,7 @@ void LiveEventLoop::TimerThreadMain() {
     SimTime now = Now();
     if (deadline > now) {
       sleeping_until_ = deadline;
-      cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      cv_.WaitFor(mu_, std::chrono::microseconds(deadline - now));
       sleeping_until_ = 0;
       continue;  // re-evaluate: new earlier timers or stop may have arrived
     }
@@ -147,15 +147,15 @@ void LiveEventLoop::TimerThreadMain() {
       // Unbound: run inline on the timer thread, outside the lock.
       Callback cb = std::move(it->second.cb);
       tasks_.erase(it);
-      lock.unlock();
+      lock.Unlock();
       cb();
-      lock.lock();
+      lock.Lock();
       continue;
     }
     it->second.dispatched = true;
-    lock.unlock();
+    lock.Unlock();
     (*executor)([this, id]() { RunTask(id); });
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -22,17 +22,16 @@
 #define PRANY_RUNTIME_LIVE_LOOP_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "runtime/event_loop.h"
 
 namespace prany {
@@ -91,20 +90,27 @@ class LiveEventLoop : public EventLoop {
   void RunTask(uint64_t id);
 
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t next_seq_ = 1;
-  std::map<uint64_t, TimerTask> tasks_;
+  /// Queue-rank lock: engine threads take it to arm/cancel timers while
+  /// holding their engine mutex; the timer thread always releases it
+  /// before running a callback or posting to an executor, so nothing is
+  /// ever acquired under it.
+  mutable Mutex mu_ PRANY_ACQUIRED_AFTER(lock_order::kEngineRank)
+      PRANY_ACQUIRED_BEFORE(lock_order::kWalSyncRank);
+  CondVar cv_;
+  uint64_t next_seq_ PRANY_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, TimerTask> tasks_ PRANY_GUARDED_BY(mu_);
   /// Min-heap of (deadline, id); entries may be stale (cancelled tasks).
   std::priority_queue<std::pair<SimTime, uint64_t>,
                       std::vector<std::pair<SimTime, uint64_t>>,
                       std::greater<>>
-      heap_;
-  bool running_ = false;
+      heap_ PRANY_GUARDED_BY(mu_);
+  bool running_ PRANY_GUARDED_BY(mu_) = false;
   /// Deadline the timer thread is currently sleeping toward (0 while it is
   /// awake, max() while parked on an empty heap); guarded by mu_.
   /// ScheduleAt only notifies when it beats this deadline.
-  SimTime sleeping_until_ = 0;
+  SimTime sleeping_until_ PRANY_GUARDED_BY(mu_) = 0;
+  /// Lifecycle state: written by Start()/joined by Stop(), both on the
+  /// owner's thread; never touched from the timer thread itself.
   std::thread timer_thread_;
 };
 

@@ -24,15 +24,15 @@ LiveSite::LiveSite(std::unique_ptr<Site> site, FileStableLog* wal,
   // Release the engine mutex across durability waits so concurrent
   // transactions coalesce into one fdatasync. The hooks run with no other
   // locks held (FileStableLog drops its own mutex around them).
-  wal_->SetWaitHooks([this]() { engine_mu_.unlock(); },
-                     [this]() { engine_mu_.lock(); });
+  wal_->SetWaitHooks([this]() { UnlockEngineForDurabilityWait(); },
+                     [this]() { RelockEngineAfterDurabilityWait(); });
   executor_ = [this](LiveEventLoop::Task task) {
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (stopping_) return;  // post-shutdown timers are dropped
       tasks_.push_back(std::move(task));
     }
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   };
   StartWorkers();
 }
@@ -46,7 +46,7 @@ LiveSite::~LiveSite() {
 
 void LiveSite::OnMessage(const Message& msg) {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stopping_) return;
     QueuedMessage qm;
     qm.msg = msg;
@@ -56,7 +56,7 @@ void LiveSite::OnMessage(const Message& msg) {
     qm.epoch = queue_epoch_;
     msgs_.push_back(std::move(qm));
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 void LiveSite::RunInline(const std::function<void()>& fn) {
@@ -64,7 +64,7 @@ void LiveSite::RunInline(const std::function<void()>& fn) {
       LiveEventLoop::CurrentThreadExecutor();
   LiveEventLoop::BindThreadExecutor(&executor_);
   {
-    std::unique_lock<std::mutex> lock(engine_mu_);
+    MutexLock lock(engine_mu_);
     try {
       fn();
     } catch (const WalCrashedError&) {
@@ -78,11 +78,11 @@ void LiveSite::RunInline(const std::function<void()>& fn) {
 
 void LiveSite::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stopping_) return;
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -90,7 +90,7 @@ void LiveSite::StopWorkers() {
 
 void LiveSite::StopWorkersAbruptly() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = true;
     // Fail-stop: queued-but-undelivered messages and timer callbacks are
     // what the site would have executed had it stayed up — gone. (The
@@ -106,8 +106,8 @@ void LiveSite::StopWorkersAbruptly() {
     txn_order_.clear();
     ++queue_epoch_;
   }
-  queue_cv_.notify_all();
-  order_cv_.notify_all();
+  queue_cv_.NotifyAll();
+  order_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -115,7 +115,7 @@ void LiveSite::StopWorkersAbruptly() {
 }
 
 void LiveSite::BeginRestart() {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   PRANY_CHECK_MSG(workers_.empty(), "BeginRestart with workers running");
   stopping_ = false;
 }
@@ -125,33 +125,33 @@ void LiveSite::StartWorkers() {
   for (int i = 0; i < worker_count_; ++i) {
     workers_.emplace_back([this]() { WorkerMain(); });
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 bool LiveSite::QueueIdle() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   return msgs_.empty() && tasks_.empty() && executing_ == 0;
 }
 
 void LiveSite::WorkerMain() {
   LiveEventLoop::BindThreadExecutor(&executor_);
-  std::unique_lock<std::mutex> qlock(queue_mu_);
+  MutexLock qlock(queue_mu_);
   while (true) {
-    queue_cv_.wait(qlock, [&] {
-      return stopping_ || !tasks_.empty() || !msgs_.empty();
-    });
+    while (!stopping_ && tasks_.empty() && msgs_.empty()) {
+      queue_cv_.Wait(queue_mu_);
+    }
     // Drain what is already queued even when stopping: messages enqueued
     // before shutdown still complete their handlers.
     if (!tasks_.empty()) {
       LiveEventLoop::Task task = std::move(tasks_.front());
       tasks_.pop_front();
       ++executing_;
-      qlock.unlock();
+      qlock.Unlock();
       {
         // Timer callbacks bypass the admission gate: engines only arm timers
         // once a handler's forces are complete, and strong cancellation
         // (see LiveEventLoop) covers the rest.
-        std::lock_guard<std::mutex> elock(engine_mu_);
+        MutexLock elock(engine_mu_);
         try {
           task();
         } catch (const WalCrashedError&) {
@@ -159,7 +159,7 @@ void LiveSite::WorkerMain() {
           // abandon it (the site is going down).
         }
       }
-      qlock.lock();
+      qlock.Lock();
       --executing_;
       continue;
     }
@@ -167,9 +167,9 @@ void LiveSite::WorkerMain() {
       QueuedMessage qm = std::move(msgs_.front());
       msgs_.pop_front();
       ++executing_;
-      qlock.unlock();
+      qlock.Unlock();
       HandleMessage(qm);
-      qlock.lock();
+      qlock.Lock();
       --executing_;
       continue;
     }
@@ -193,11 +193,11 @@ void LiveSite::HandleMessage(const QueuedMessage& qm) {
     // `qm.seq` is already popped and either done or in flight; in-flight
     // handlers always advance the gate (the crash path unwinds them via
     // WalCrashedError and bumps the epoch).
-    std::unique_lock<std::mutex> qlock(queue_mu_);
+    MutexLock qlock(queue_mu_);
     while (queue_epoch_ == qm.epoch &&
            txn_order_[qm.msg.txn].next_run != qm.seq) {
       ++order_waiters_;
-      order_cv_.wait(qlock);
+      order_cv_.Wait(queue_mu_);
       --order_waiters_;
     }
     // Epoch bump = crash teardown discarded this transaction's queue;
@@ -205,7 +205,7 @@ void LiveSite::HandleMessage(const QueuedMessage& qm) {
     if (queue_epoch_ != qm.epoch) return;
   }
   {
-    std::unique_lock<std::mutex> elock(engine_mu_);
+    MutexLock elock(engine_mu_);
     try {
       site_->OnMessage(qm.msg);
     } catch (const WalCrashedError&) {
@@ -216,7 +216,7 @@ void LiveSite::HandleMessage(const QueuedMessage& qm) {
       // the drain finds no wedged waiters.
     }
   }
-  std::lock_guard<std::mutex> qlock(queue_mu_);
+  MutexLock qlock(queue_mu_);
   if (queue_epoch_ != qm.epoch) return;  // teardown already reset the gate
   auto it = txn_order_.find(qm.msg.txn);
   PRANY_CHECK(it != txn_order_.end());
@@ -226,7 +226,7 @@ void LiveSite::HandleMessage(const QueuedMessage& qm) {
   if (it->second.next_run == it->second.next_stamp) txn_order_.erase(it);
   // Same-transaction collisions are rare; skip the wakeup storm when no
   // worker is parked on the gate.
-  if (order_waiters_ > 0) order_cv_.notify_all();
+  if (order_waiters_ > 0) order_cv_.NotifyAll();
 }
 
 // ---------------------------------------------------------------------------
@@ -241,10 +241,10 @@ LiveSystem::LiveSystem(LiveSystemConfig config)
     PRANY_CHECK(event.outcome.has_value());
     AwaitShard& shard = ShardFor(event.txn);
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       shard.decided[event.txn] = *event.outcome;
     }
-    shard.cv.notify_all();
+    shard.cv.NotifyAll();
   });
   loop_.Start();
   controller_ = std::thread([this]() { ControllerMain(); });
@@ -281,10 +281,10 @@ LiveSite* LiveSystem::AddSiteWithSpec(ProtocolKind participant_protocol,
   // crashed, under the engine lock): hand the restart to the controller.
   site->SetRestartHandler([this](SiteId sid, SimDuration downtime) {
     {
-      std::lock_guard<std::mutex> lock(crash_mu_);
+      MutexLock lock(crash_mu_);
       restart_queue_.push_back(RestartRequest{sid, downtime});
     }
-    crash_cv_.notify_one();
+    crash_cv_.NotifyOne();
   });
   sites_.push_back(std::make_unique<LiveSite>(
       std::move(site), wal_raw, &transport_, config_.workers_per_site));
@@ -296,7 +296,7 @@ Transaction LiveSystem::MakeTransaction(
     const std::map<SiteId, Vote>& votes) {
   Transaction txn;
   {
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     txn.id = txn_ids_.Next();
   }
   txn.coordinator = coordinator;
@@ -342,12 +342,15 @@ void LiveSystem::SubmitTransaction(const Transaction& txn) {
 
 std::optional<Outcome> LiveSystem::Await(TxnId txn, uint64_t timeout_us) {
   AwaitShard& shard = ShardFor(txn);
-  std::unique_lock<std::mutex> lock(shard.mu);
-  bool decided = shard.cv.wait_for(
-      lock, std::chrono::microseconds(timeout_us),
-      [&] { return shard.decided.count(txn) > 0; });
-  if (!decided) return std::nullopt;
-  return shard.decided[txn];
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(timeout_us);
+  MutexLock lock(shard.mu);
+  while (shard.decided.count(txn) == 0) {
+    if (shard.cv.WaitUntil(shard.mu, deadline)) break;
+  }
+  auto it = shard.decided.find(txn);
+  if (it == shard.decided.end()) return std::nullopt;
+  return it->second;
 }
 
 bool LiveSystem::Quiesce(uint64_t timeout_us) {
@@ -373,17 +376,17 @@ bool LiveSystem::Quiesce(uint64_t timeout_us) {
 // Crash-restart controller
 
 void LiveSystem::ControllerMain() {
-  std::unique_lock<std::mutex> lock(crash_mu_);
+  MutexLock lock(crash_mu_);
   while (true) {
-    crash_cv_.wait(lock, [&]() {
-      return controller_stop_ || !restart_queue_.empty();
-    });
+    while (!controller_stop_ && restart_queue_.empty()) {
+      crash_cv_.Wait(crash_mu_);
+    }
     if (!restart_queue_.empty()) {
       RestartRequest req = restart_queue_.front();
       restart_queue_.pop_front();
-      lock.unlock();
+      lock.Unlock();
       DoCrashRestart(req);
-      lock.lock();
+      lock.Lock();
       continue;
     }
     // Queue drained (every crashed site restarted) — now stop is safe.
@@ -421,14 +424,14 @@ void LiveSystem::DoCrashRestart(const RestartRequest& req) {
   // 5. Back in business: workers drain whatever buffered during recovery.
   ls->StartWorkers();
   {
-    std::lock_guard<std::mutex> lock(crash_mu_);
+    MutexLock lock(crash_mu_);
     ++crash_stats_.cycles;
     if (info.tail_truncated) ++crash_stats_.torn_tail_cycles;
     crash_stats_.records_recovered_total += info.records_recovered;
     ++restart_generation_[req.site];
     last_recovery_[req.site] = info;
   }
-  crash_done_cv_.notify_all();
+  crash_done_cv_.NotifyAll();
   metrics_.Add("system.crash_restarts");
 }
 
@@ -436,7 +439,7 @@ WalRecoveryInfo LiveSystem::CrashRestartSite(SiteId site,
                                              uint64_t downtime_us) {
   uint64_t gen0;
   {
-    std::lock_guard<std::mutex> lock(crash_mu_);
+    MutexLock lock(crash_mu_);
     gen0 = restart_generation_[site];
   }
   LiveSite* ls = live_site(site);
@@ -446,56 +449,70 @@ WalRecoveryInfo LiveSystem::CrashRestartSite(SiteId site,
     if (!ls->site()->IsUp()) return;
     ls->site()->Crash(downtime_us);
   });
-  std::unique_lock<std::mutex> lock(crash_mu_);
-  crash_done_cv_.wait(lock,
-                      [&]() { return restart_generation_[site] > gen0; });
+  MutexLock lock(crash_mu_);
+  while (restart_generation_[site] <= gen0) crash_done_cv_.Wait(crash_mu_);
   return last_recovery_[site];
 }
 
 FailureInjector& LiveSystem::EnableCrashInjection(uint64_t seed) {
-  PRANY_CHECK_MSG(injector_ == nullptr, "crash injection already enabled");
-  injector_ = std::make_unique<FailureInjector>(Rng(seed));
+  FailureInjector* raw;
+  {
+    // Previously wrote injector_ with no lock. Callers are told to enable
+    // before traffic, but nothing enforced it — a concurrent probe from an
+    // earlier EnableCrashInjection's handler would race the install.
+    MutexLock lock(injector_mu_);
+    PRANY_CHECK_MSG(injector_ == nullptr, "crash injection already enabled");
+    injector_ = std::make_unique<FailureInjector>(Rng(seed));
+    raw = injector_.get();
+  }
   for (const auto& ls : sites_) {
     ls->site()->SetCrashProbeHandler(
         [this](SiteId site, CrashPoint point, TxnId txn) {
-          std::lock_guard<std::mutex> lock(injector_mu_);
+          MutexLock lock(injector_mu_);
           return injector_->Probe(site, point, txn);
         });
   }
-  return *injector_;
+  // The reference is handed out for pre-traffic rule installs only (see
+  // the header contract); rule installs during traffic go through
+  // InjectCrashAtPoint, which takes the lock.
+  return *raw;
 }
 
 void LiveSystem::InjectCrashAtPoint(SiteId site, CrashPoint point,
                                     uint64_t downtime_us) {
-  std::lock_guard<std::mutex> lock(injector_mu_);
+  MutexLock lock(injector_mu_);
   PRANY_CHECK_MSG(injector_ != nullptr,
                   "call EnableCrashInjection before installing rules");
   injector_->CrashAtPoint(site, point, kInvalidTxn, downtime_us);
 }
 
 bool LiveSystem::AwaitCrashCycles(uint64_t cycles, uint64_t timeout_us) {
-  std::unique_lock<std::mutex> lock(crash_mu_);
-  return crash_done_cv_.wait_for(
-      lock, std::chrono::microseconds(timeout_us),
-      [&]() { return crash_stats_.cycles >= cycles; });
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(timeout_us);
+  MutexLock lock(crash_mu_);
+  while (crash_stats_.cycles < cycles) {
+    if (crash_done_cv_.WaitUntil(crash_mu_, deadline)) break;
+  }
+  return crash_stats_.cycles >= cycles;
 }
 
 CrashStats LiveSystem::crash_stats() const {
-  std::lock_guard<std::mutex> lock(crash_mu_);
+  MutexLock lock(crash_mu_);
   return crash_stats_;
 }
 
 void LiveSystem::Stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  // Exchange, not check-then-set: the destructor and an explicit Stop()
+  // (or two owners) may race, and the loser must not rerun the teardown.
+  if (stopped_.exchange(true)) return;
   // The crash controller goes first: it finishes any in-flight restart
   // (and every queued one) so no site is left mid-teardown underneath
   // the shutdown sequence below.
   {
-    std::lock_guard<std::mutex> lock(crash_mu_);
+    MutexLock lock(crash_mu_);
     controller_stop_ = true;
   }
-  crash_cv_.notify_all();
+  crash_cv_.NotifyAll();
   if (controller_.joinable()) controller_.join();
   // Order matters: no new deliveries, then no new timers, then drain the
   // engines, and only then close the WALs (their sync threads must stay

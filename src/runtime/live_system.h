@@ -31,17 +31,17 @@
 #ifndef PRANY_RUNTIME_LIVE_SYSTEM_H_
 #define PRANY_RUNTIME_LIVE_SYSTEM_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/timeline.h"
 #include "core/safe_state.h"
 #include "harness/failure_injector.h"
@@ -138,38 +138,66 @@ class LiveSite : public NetworkEndpoint {
     uint64_t next_run = 0;    ///< Seq the next admitted handler must hold.
   };
 
-  void WorkerMain();
-  void HandleMessage(const QueuedMessage& qm);
+  void WorkerMain() PRANY_EXCLUDES(queue_mu_, engine_mu_);
+  void HandleMessage(const QueuedMessage& qm)
+      PRANY_EXCLUDES(queue_mu_, engine_mu_);
+
+  /// The WAL wait hooks: release/reacquire the engine mutex around a
+  /// durability wait so concurrent transactions coalesce their forces.
+  /// Unanalyzed by declared exception (docs/STATIC_ANALYSIS.md): the
+  /// lock handoff crosses the type-erased std::function hook boundary,
+  /// which the annotation language cannot express — the caller's
+  /// MutexLock still believes it holds engine_mu_, and the paired hook
+  /// restores that truth before control returns to it.
+  void UnlockEngineForDurabilityWait() PRANY_NO_THREAD_SAFETY_ANALYSIS {
+    engine_mu_.Unlock();
+  }
+  void RelockEngineAfterDurabilityWait() PRANY_NO_THREAD_SAFETY_ANALYSIS {
+    engine_mu_.Lock();
+  }
 
   std::unique_ptr<Site> site_;
   FileStableLog* wal_;
 
   /// Serializes all engine entry points; released across durability waits.
-  std::mutex engine_mu_;
+  /// Engine rank: the outermost lock — everything else is acquired below
+  /// it, never the reverse. (site_ is deliberately not PT_GUARDED_BY it:
+  /// quiescent reads — EndStates, checkers — legitimately run unlocked.)
+  Mutex engine_mu_ PRANY_ACQUIRED_BEFORE(lock_order::kQueueRank);
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<QueuedMessage> msgs_;
-  std::deque<LiveEventLoop::Task> tasks_;
+  /// Queue rank: taken from engine code (OnMessage via the inbox thread
+  /// is lock-free until here) and by workers claiming items.
+  mutable Mutex queue_mu_ PRANY_ACQUIRED_AFTER(lock_order::kEngineRank)
+      PRANY_ACQUIRED_BEFORE(lock_order::kWalSyncRank);
+  CondVar queue_cv_;
+  std::deque<QueuedMessage> msgs_ PRANY_GUARDED_BY(queue_mu_);
+  std::deque<LiveEventLoop::Task> tasks_ PRANY_GUARDED_BY(queue_mu_);
   /// Per-transaction FIFO gate. The transport delivers each link's
   /// messages in order and the protocols depend on it (a DECISION must
   /// never overtake the PREPARE it answers), but workers race from the
   /// queue to the engine mutex — so handler admission is gated on the
   /// enqueue-time sequence number instead. An entry is erased once every
-  /// stamped message has run; guarded by queue_mu_. Hash map: the stamp
-  /// lookup runs once per delivered message, and no ordering is needed.
-  std::unordered_map<TxnId, TxnOrder> txn_order_;
-  std::condition_variable order_cv_;
-  int order_waiters_ = 0;  ///< Workers parked on order_cv_; guarded by queue_mu_.
-  uint64_t queue_epoch_ = 0;  ///< Bumped by StopWorkersAbruptly.
-  int executing_ = 0;  ///< Workers currently running an item.
-  bool stopping_ = false;
+  /// stamped message has run. Hash map: the stamp lookup runs once per
+  /// delivered message, and no ordering is needed.
+  std::unordered_map<TxnId, TxnOrder> txn_order_ PRANY_GUARDED_BY(queue_mu_);
+  CondVar order_cv_;
+  /// Workers parked on order_cv_.
+  int order_waiters_ PRANY_GUARDED_BY(queue_mu_) = 0;
+  /// Bumped by StopWorkersAbruptly.
+  uint64_t queue_epoch_ PRANY_GUARDED_BY(queue_mu_) = 0;
+  /// Workers currently running an item.
+  int executing_ PRANY_GUARDED_BY(queue_mu_) = 0;
+  bool stopping_ PRANY_GUARDED_BY(queue_mu_) = false;
 
   /// Posts to the worker queue; what timer callbacks bound to this site
   /// run through.
   LiveEventLoop::Executor executor_;
 
   int worker_count_;
+  /// Unguarded by contract: the pool's lifecycle (spawn, join, clear) is
+  /// driven from one thread at a time — construction, LiveSystem::Stop,
+  /// or the crash controller between StopWorkersAbruptly and
+  /// StartWorkers — never concurrently with itself.
   std::vector<std::thread> workers_;
 };
 
@@ -289,8 +317,9 @@ class LiveSystem {
   EventLog history_;
   LiveTransport transport_;
   PcpTable pcp_;
-  TxnIdGenerator txn_ids_;
-  std::mutex submit_mu_;  ///< Guards txn_ids_.
+  TxnIdGenerator txn_ids_ PRANY_GUARDED_BY(submit_mu_);
+  /// Guards txn_ids_. Leaf: nothing is acquired while holding it.
+  Mutex submit_mu_ PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
 
   std::vector<std::unique_ptr<LiveSite>> sites_;
 
@@ -298,9 +327,11 @@ class LiveSystem {
   /// clients parked on that shard (one cv for hundreds of closed-loop
   /// clients is a thundering herd).
   struct AwaitShard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<TxnId, Outcome> decided;
+    /// Leaf (metrics rank): the decide observer fires under history shard
+    /// locks and acquires nothing further from here.
+    Mutex mu PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
+    CondVar cv;
+    std::map<TxnId, Outcome> decided PRANY_GUARDED_BY(mu);
   };
   static constexpr size_t kAwaitShards = 256;
   AwaitShard await_shards_[kAwaitShards];
@@ -315,25 +346,34 @@ class LiveSystem {
     SiteId site = kInvalidSite;
     uint64_t downtime_us = 0;
   };
-  void ControllerMain();
-  void DoCrashRestart(const RestartRequest& req);
+  void ControllerMain() PRANY_EXCLUDES(crash_mu_);
+  void DoCrashRestart(const RestartRequest& req) PRANY_EXCLUDES(crash_mu_);
 
   std::thread controller_;
-  mutable std::mutex crash_mu_;
-  std::condition_variable crash_cv_;       ///< Wakes the controller.
-  std::condition_variable crash_done_cv_;  ///< Wakes cycle waiters.
-  std::deque<RestartRequest> restart_queue_;
-  bool controller_stop_ = false;
-  CrashStats crash_stats_;
-  std::map<SiteId, uint64_t> restart_generation_;
-  std::map<SiteId, WalRecoveryInfo> last_recovery_;
+  /// Crash rank: requested from engine code (Site::Crash runs under the
+  /// crashing site's engine lock, and a forced append's WAL lock may be
+  /// in the caller's past but is never held across the request).
+  mutable Mutex crash_mu_ PRANY_ACQUIRED_AFTER(lock_order::kWalSyncRank)
+      PRANY_ACQUIRED_BEFORE(lock_order::kMetricsRank);
+  CondVar crash_cv_;       ///< Wakes the controller.
+  CondVar crash_done_cv_;  ///< Wakes cycle waiters.
+  std::deque<RestartRequest> restart_queue_ PRANY_GUARDED_BY(crash_mu_);
+  bool controller_stop_ PRANY_GUARDED_BY(crash_mu_) = false;
+  CrashStats crash_stats_ PRANY_GUARDED_BY(crash_mu_);
+  std::map<SiteId, uint64_t> restart_generation_ PRANY_GUARDED_BY(crash_mu_);
+  std::map<SiteId, WalRecoveryInfo> last_recovery_ PRANY_GUARDED_BY(crash_mu_);
 
   /// Live crash injection: probes fire concurrently from every site's
   /// workers, so the (single-threaded) injector is wrapped in a mutex.
-  std::mutex injector_mu_;
-  std::unique_ptr<FailureInjector> injector_;
+  /// Crash rank, same band as crash_mu_ (the two never nest).
+  Mutex injector_mu_ PRANY_ACQUIRED_AFTER(lock_order::kWalSyncRank)
+      PRANY_ACQUIRED_BEFORE(lock_order::kMetricsRank);
+  std::unique_ptr<FailureInjector> injector_ PRANY_GUARDED_BY(injector_mu_);
 
-  bool stopped_ = false;
+  /// Exchange in Stop() makes concurrent Stop calls (explicit + the
+  /// destructor, or two owners racing) run the teardown exactly once;
+  /// the plain bool it replaced was a check-then-set race.
+  std::atomic<bool> stopped_{false};
   std::map<TxnId, TxnTimeline> timelines_;
 };
 

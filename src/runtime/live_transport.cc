@@ -27,7 +27,7 @@ LiveTransport::~LiveTransport() { Stop(); }
 
 void LiveTransport::RegisterEndpoint(SiteId site, NetworkEndpoint* endpoint) {
   PRANY_CHECK(endpoint != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PRANY_CHECK(!stopped_.load());
   InboxTable* cur = table_.load();
   if (cur != nullptr && site < cur->by_site.size() &&
@@ -92,6 +92,10 @@ void LiveTransport::Send(const Message& msg) {
       // delivery state while we hold it. Deliver() only enqueues into the
       // endpoint's worker queue; it never blocks on engine locks.
       Deliver(inbox, wire);
+      // seq_cst store + the Empty() re-check below form a Dekker pair
+      // with EnqueueFrame (push, then load delivery/parked): either we
+      // see the late frame, or its producer sees delivery == kIdle and
+      // wakes the consumer itself. Do not weaken.
       inbox->delivery.store(kIdle);
       pool_.Release(std::move(wire));
       // Frames queued behind the direct delivery: the inbox thread may
@@ -116,42 +120,49 @@ void LiveTransport::EnqueueFrame(Inbox* inbox, std::vector<uint8_t>&& wire) {
       pool_.Release(std::move(wire));
       return;
     }
-    std::unique_lock<std::mutex> lk(inbox->park_mu);
+    MutexLock lk(inbox->park_mu);
     if (inbox->stopping.load(std::memory_order_acquire)) {
       pool_.Release(std::move(wire));
       return;
     }
+    // Relaxed is enough for the parked count: park_mu orders it against
+    // the consumer's notify decision, the atomic only avoids a lock on
+    // the consumer's read side.
     inbox->producers_parked.fetch_add(1, std::memory_order_relaxed);
-    inbox->producer_cv.wait_for(lk, std::chrono::milliseconds(1));
+    inbox->producer_cv.WaitFor(inbox->park_mu, std::chrono::milliseconds(1));
     inbox->producers_parked.fetch_sub(1, std::memory_order_relaxed);
   }
   // Wake the consumer only when it is actually parked — the seq_cst pair
   // with InboxThreadMain's parked-flag store means a false read here
-  // guarantees the consumer re-checks the ring before sleeping.
+  // guarantees the consumer re-checks the ring before sleeping (our
+  // TryPush is ordered before this load, its park store before its
+  // re-check). Do not weaken either side.
   if (inbox->consumer_parked.load()) WakeConsumer(inbox);
 }
 
 void LiveTransport::WakeConsumer(Inbox* inbox) {
   // Empty critical section: serializes with the consumer's
   // predicate-check-then-wait so the notify cannot fall between them.
-  { std::lock_guard<std::mutex> lk(inbox->park_mu); }
-  inbox->consumer_cv.notify_one();
+  { MutexLock lk(inbox->park_mu); }
+  inbox->consumer_cv.NotifyOne();
 }
 
 void LiveTransport::Stop() {
   std::vector<Inbox*> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_.exchange(true)) return;
     for (auto& inbox : owned_inboxes_) to_join.push_back(inbox.get());
   }
   for (Inbox* inbox : to_join) {
     {
-      std::lock_guard<std::mutex> lk(inbox->park_mu);
+      // The store under park_mu pairs with the parked waiters' re-check
+      // under the same lock: no thread can miss the stop and sleep on.
+      MutexLock lk(inbox->park_mu);
       inbox->stopping.store(true);
     }
-    inbox->consumer_cv.notify_all();
-    inbox->producer_cv.notify_all();
+    inbox->consumer_cv.NotifyAll();
+    inbox->producer_cv.NotifyAll();
   }
   for (Inbox* inbox : to_join) {
     if (inbox->thread.joinable()) inbox->thread.join();
@@ -206,8 +217,11 @@ void LiveTransport::InboxThreadMain(Inbox* inbox) {
       std::vector<uint8_t> wire;
       if (inbox->ring.TryPop(&wire)) {
         if (inbox->producers_parked.load(std::memory_order_relaxed) > 0) {
-          { std::lock_guard<std::mutex> lk(inbox->park_mu); }
-          inbox->producer_cv.notify_all();
+          // A missed wake self-heals: producers park with a 1ms timed
+          // wait, so relaxed is fine here (the empty section only closes
+          // the check-then-wait race for producers already parked).
+          { MutexLock lk(inbox->park_mu); }
+          inbox->producer_cv.NotifyAll();
         }
         Deliver(inbox, wire);
         inbox->delivery.store(kIdle);
@@ -218,15 +232,19 @@ void LiveTransport::InboxThreadMain(Inbox* inbox) {
     }
     // Nothing to do: ring empty, or a direct delivery holds the state
     // (its finisher re-wakes us if frames queued behind it). The parked
-    // flag pairs with EnqueueFrame's guarded notify.
-    std::unique_lock<std::mutex> lk(inbox->park_mu);
-    inbox->consumer_parked.store(true);
-    inbox->consumer_cv.wait(lk, [&] {
-      return inbox->stopping.load(std::memory_order_relaxed) ||
-             (!inbox->ring.Empty() &&
-              inbox->delivery.load(std::memory_order_relaxed) == kIdle);
-    });
-    inbox->consumer_parked.store(false);
+    // flag pairs with EnqueueFrame's guarded notify; its seq_cst store
+    // must stay ordered before the predicate's ring re-check (Dekker
+    // with the producer's push-then-load) — do not weaken.
+    {
+      MutexLock lk(inbox->park_mu);
+      inbox->consumer_parked.store(true);
+      while (!(inbox->stopping.load(std::memory_order_relaxed) ||
+               (!inbox->ring.Empty() &&
+                inbox->delivery.load(std::memory_order_relaxed) == kIdle))) {
+        inbox->consumer_cv.Wait(inbox->park_mu);
+      }
+      inbox->consumer_parked.store(false);
+    }
   }
 }
 

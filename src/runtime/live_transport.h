@@ -34,14 +34,13 @@
 #define PRANY_RUNTIME_LIVE_TRANSPORT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "net/transport.h"
 #include "runtime/event_loop.h"
 #include "runtime/mpsc_ring.h"
@@ -101,11 +100,19 @@ class LiveTransport : public ITransport {
     std::atomic<int> delivery{kIdle};
     std::atomic<bool> stopping{false};
 
-    // Parking (slow path only). consumer_parked_/producers_parked_ gate
+    // Parking (slow path only). consumer_parked/producers_parked gate
     // the notifies so the lock-free fast path never pays a futex wake.
-    std::mutex park_mu;
-    std::condition_variable consumer_cv;
-    std::condition_variable producer_cv;
+    // park_mu guards no plain fields (the shared state is all atomics);
+    // it exists to serialize the check-then-wait against the notify.
+    /// Queue rank: taken from engine code (Send backpressure) and the
+    /// inbox thread; nothing is acquired while holding it.
+    Mutex park_mu PRANY_ACQUIRED_AFTER(lock_order::kEngineRank)
+        PRANY_ACQUIRED_BEFORE(lock_order::kWalSyncRank);
+    CondVar consumer_cv;
+    CondVar producer_cv;
+    /// Both seq_cst Dekker flags: the waiter stores flag then re-checks
+    /// the ring; the waker updates the ring then loads the flag. At least
+    /// one side must see the other or a wakeup is lost — do not weaken.
     std::atomic<bool> consumer_parked{false};
     std::atomic<int> producers_parked{0};
 
@@ -131,10 +138,13 @@ class LiveTransport : public ITransport {
   MetricsRegistry* metrics_;
 
   /// Guards registration (table publication) and stop; never taken by
-  /// Send() or delivery.
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Inbox>> owned_inboxes_;
-  std::vector<std::unique_ptr<InboxTable>> retired_tables_;
+  /// Send() or delivery. Queue rank: registration runs at setup, Stop()
+  /// releases it before touching any park_mu.
+  mutable Mutex mu_ PRANY_ACQUIRED_AFTER(lock_order::kEngineRank)
+      PRANY_ACQUIRED_BEFORE(lock_order::kWalSyncRank);
+  std::vector<std::unique_ptr<Inbox>> owned_inboxes_ PRANY_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<InboxTable>> retired_tables_
+      PRANY_GUARDED_BY(mu_);
   std::atomic<InboxTable*> table_{nullptr};
   std::atomic<bool> stopped_{false};
 

@@ -70,6 +70,8 @@ void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
   Rng rng(config_.seed * 1000003 + static_cast<uint64_t>(client_index));
   MetricsRegistry::Distribution* latency_dist = nullptr;
 
+  // Relaxed: a client may run one extra iteration after Stop(); nothing
+  // is published through this flag.
   while (running_.load(std::memory_order_relaxed)) {
     // Participants: consecutive sites after the coordinator, rotated per
     // transaction so every pairing occurs.

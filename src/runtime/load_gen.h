@@ -68,6 +68,8 @@ class LoadGen {
   /// Ends the run early (thread-safe): clients stop submitting and Run()
   /// returns after draining in-flight awaits. The elapsed-seconds clock
   /// stops at the Stop() call, not at the drain.
+  /// Relaxed would do (the flag carries no data, clients re-check every
+  /// loop iteration), but a stop is rare and seq_cst keeps it simple.
   void Stop() { running_.store(false); }
 
  private:

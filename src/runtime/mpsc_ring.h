@@ -46,6 +46,8 @@ class BoundedMpmcRing {
     mask_ = cap - 1;
     slots_ = std::make_unique<Slot[]>(cap);
     for (size_t i = 0; i < cap; ++i) {
+      // Relaxed: single-threaded construction; publication to other
+      // threads happens when the owner hands the ring out.
       slots_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -57,14 +59,21 @@ class BoundedMpmcRing {
   /// when the ring is full (caller decides whether to park, drop or spin).
   bool TryPush(T&& v) {
     Slot* slot;
+    // Relaxed: a stale position only costs a CAS retry; the slot seq is
+    // what carries the cross-thread ordering.
     size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       slot = &slots_[pos & mask_];
+      // Acquire pairs with TryPop's seq release: seeing the slot free for
+      // this lap means the previous lap's value move-out is complete, so
+      // the write below cannot race it.
       size_t seq = slot->seq.load(std::memory_order_acquire);
       intptr_t diff =
           static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
       if (diff == 0) {
         // Slot free for this lap: claim it by advancing enqueue_pos_.
+        // Relaxed CAS: the claim needs atomicity only — value visibility
+        // rides on the seq release below, not on the position counter.
         if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
           break;
@@ -76,6 +85,8 @@ class BoundedMpmcRing {
       }
     }
     slot->value = std::move(v);
+    // Release publishes the value write above to the consumer whose seq
+    // acquire observes pos + 1 — the pop happens-after this push.
     slot->seq.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -85,13 +96,17 @@ class BoundedMpmcRing {
   /// empty, and retried by the caller's parking loop).
   bool TryPop(T* out) {
     Slot* slot;
+    // Relaxed: stale position = one CAS retry (see TryPush).
     size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       slot = &slots_[pos & mask_];
+      // Acquire pairs with TryPush's seq release: seeing pos + 1 means
+      // the producer's value write is visible before the move-out below.
       size_t seq = slot->seq.load(std::memory_order_acquire);
       intptr_t diff =
           static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
       if (diff == 0) {
+        // Relaxed CAS: claim-only, as in TryPush.
         if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
           break;
@@ -103,7 +118,8 @@ class BoundedMpmcRing {
       }
     }
     *out = std::move(slot->value);
-    // Free the slot for the producers' next lap.
+    // Release frees the slot for the producers' next lap and pairs with
+    // their seq acquire (the value move-out is done before reuse).
     slot->seq.store(pos + mask_ + 1, std::memory_order_release);
     return true;
   }
@@ -113,6 +129,10 @@ class BoundedMpmcRing {
   /// mid-publish already counts as non-empty, so "empty" really means no
   /// frame is (or is about to be) queued ahead of the caller's.
   bool Empty() const {
+    // Acquire on both counters keeps the verdict no staler than the
+    // claims it reports; the transport's idle-handoff correctness does
+    // not rest on this alone — its seq_cst parked/delivery flags order
+    // the push against the emptiness re-check (see live_transport.h).
     return dequeue_pos_.load(std::memory_order_acquire) ==
            enqueue_pos_.load(std::memory_order_acquire);
   }
@@ -144,6 +164,7 @@ class WireBufferPool {
 
   std::vector<uint8_t> Acquire() {
     std::vector<uint8_t> buf;
+    // Relaxed counters: monotonic stats, read quiescently.
     if (ring_.TryPop(&buf)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
     } else {

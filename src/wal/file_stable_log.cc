@@ -7,7 +7,6 @@
 #include <chrono>
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -80,7 +79,7 @@ Status FileStableLog::OpenAndScan() {
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) {
     return Status::Unavailable(
-        StrFormat("open(%s): %s", path_.c_str(), std::strerror(errno)));
+        StrFormat("open(%s): %s", path_.c_str(), SafeStrError(errno).c_str()));
   }
 
   // Recovery scan: read the whole file, accept the longest prefix of
@@ -88,7 +87,7 @@ Status FileStableLog::OpenAndScan() {
   off_t file_size = ::lseek(fd_, 0, SEEK_END);
   if (file_size < 0) {
     return Status::Unavailable(
-        StrFormat("lseek(%s): %s", path_.c_str(), std::strerror(errno)));
+        StrFormat("lseek(%s): %s", path_.c_str(), SafeStrError(errno).c_str()));
   }
   std::vector<uint8_t> contents(static_cast<size_t>(file_size));
   size_t read_so_far = 0;
@@ -99,7 +98,7 @@ Status FileStableLog::OpenAndScan() {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       return Status::Unavailable(
-          StrFormat("pread(%s): %s", path_.c_str(), std::strerror(errno)));
+          StrFormat("pread(%s): %s", path_.c_str(), SafeStrError(errno).c_str()));
     }
     read_so_far += static_cast<size_t>(n);
   }
@@ -130,24 +129,29 @@ Status FileStableLog::OpenAndScan() {
     recovery_.torn_bytes_discarded = contents.size() - pos;
     if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
       return Status::Unavailable(StrFormat("ftruncate(%s): %s", path_.c_str(),
-                                           std::strerror(errno)));
+                                           SafeStrError(errno).c_str()));
     }
     if (metrics_ != nullptr) {
       metrics_->Add(metric_prefix_ + ".torn_bytes_discarded",
                     static_cast<int64_t>(recovery_.torn_bytes_discarded));
     }
   }
-  synced_lsn_ = next_lsn_ - 1;
-  synced_lsn_watermark_.store(synced_lsn_);
-  durable_size_ = pos;
-  pending_bytes_.clear();
-  pending_max_lsn_ = 0;
-  pending_forces_ = 0;
-  flush_requested_ = false;
-  syncing_ = false;
-  sync_waiting_ = false;
-
-  running_ = true;
+  {
+    // Single-threaded here (the fsync thread is not running), but the
+    // fields are guarded and the lock is uncontended — cheaper than an
+    // analysis exception.
+    MutexLock lock(sync_mu_);
+    synced_lsn_ = next_lsn_ - 1;
+    synced_lsn_watermark_.store(synced_lsn_, std::memory_order_release);
+    durable_size_ = pos;
+    pending_bytes_.clear();
+    pending_max_lsn_ = 0;
+    pending_forces_ = 0;
+    flush_requested_ = false;
+    syncing_ = false;
+    sync_waiting_ = false;
+    running_ = true;
+  }
   sync_thread_ = std::thread([this]() { SyncThreadMain(); });
   return Status::OK();
 }
@@ -164,7 +168,7 @@ uint64_t FileStableLog::Append(const LogRecord& record, bool force) {
   PRANY_CHECK_MSG(fd_ >= 0, "FileStableLog::Append before Open()");
   uint64_t lsn = StampAndBuffer(record, force);
   {
-    std::lock_guard<std::mutex> lock(sync_mu_);
+    MutexLock lock(sync_mu_);
     AppendFrameTo(&pending_bytes_, lsn, buffer_.back().bytes);
     pending_max_lsn_ = lsn;
     if (force) {
@@ -172,7 +176,7 @@ uint64_t FileStableLog::Append(const LogRecord& record, bool force) {
       // The guard pairs with SyncThreadMain: when the thread is not
       // waiting it is processing and re-checks the queue before it waits
       // again (same mutex), so skipping the notify loses nothing.
-      if (sync_waiting_) sync_cv_.notify_one();
+      if (sync_waiting_) sync_cv_.NotifyOne();
     }
   }
   if (force) AwaitDurable(lsn);
@@ -182,8 +186,8 @@ uint64_t FileStableLog::Append(const LogRecord& record, bool force) {
 void FileStableLog::AwaitDurable(uint64_t lsn) {
   if (before_wait_) before_wait_();
   {
-    std::unique_lock<std::mutex> lock(sync_mu_);
-    done_cv_.wait(lock, [&]() { return synced_lsn_ >= lsn || !running_; });
+    MutexLock lock(sync_mu_);
+    while (synced_lsn_ < lsn && running_) done_cv_.Wait(sync_mu_);
   }
   if (after_wait_) after_wait_();
   // Back under the engine lock. If a crash cut the wait short, the record
@@ -193,21 +197,23 @@ void FileStableLog::AwaitDurable(uint64_t lsn) {
   if (crashed_.load()) throw WalCrashedError{};
   // Reflect durability in the mirror. A graceful Close may have woken us
   // without syncing; promote only what is actually durable.
-  PromoteStableUpTo(std::min(lsn, synced_lsn_watermark_.load()));
-  stats_.flushes = fsyncs_.load();
-  stats_.bytes_flushed = bytes_synced_.load();
+  // Acquire pairs with the sync thread's release store after fdatasync.
+  PromoteStableUpTo(
+      std::min(lsn, synced_lsn_watermark_.load(std::memory_order_acquire)));
+  stats_.flushes = fsyncs_.load(std::memory_order_relaxed);
+  stats_.bytes_flushed = bytes_synced_.load(std::memory_order_relaxed);
 }
 
 void FileStableLog::Flush() {
   uint64_t target = 0;
   {
-    std::lock_guard<std::mutex> lock(sync_mu_);
+    MutexLock lock(sync_mu_);
     if (pending_bytes_.empty()) {
       target = synced_lsn_;
     } else {
       target = pending_max_lsn_;
       flush_requested_ = true;
-      if (sync_waiting_) sync_cv_.notify_one();
+      if (sync_waiting_) sync_cv_.NotifyOne();
     }
   }
   if (target > 0) AwaitDurable(target);
@@ -215,14 +221,14 @@ void FileStableLog::Flush() {
 
 void FileStableLog::TearDownNoSync() {
   {
-    std::lock_guard<std::mutex> lock(sync_mu_);
+    MutexLock lock(sync_mu_);
     crashed_.store(true);
     pending_bytes_.clear();
     pending_forces_ = 0;
     flush_requested_ = false;
     running_ = false;
-    sync_cv_.notify_all();
-    done_cv_.notify_all();
+    sync_cv_.NotifyAll();
+    done_cv_.NotifyAll();
   }
   if (sync_thread_.joinable()) sync_thread_.join();
   // Torn write: the file may have physically grown past the last
@@ -237,7 +243,7 @@ void FileStableLog::TearDownNoSync() {
     uint64_t keep = durable_size_ + tear_rng_() % (span + 1);
     PRANY_CHECK_MSG(::ftruncate(fd_, static_cast<off_t>(keep)) == 0,
                     StrFormat("wal crash ftruncate(%s): %s", path_.c_str(),
-                              std::strerror(errno)));
+                              SafeStrError(errno).c_str()));
   }
   ::close(fd_);
   fd_ = -1;
@@ -250,18 +256,27 @@ void FileStableLog::Crash() {
 
 void FileStableLog::Close() {
   if (fd_ < 0) return;
-  if (running_) {
+  bool was_running;
+  {
+    // Previously read running_ with no lock; benign on every path that
+    // reaches Close today (the fsync thread never clears it while fd_ is
+    // open), but the guarded conversion makes the read-for-the-decision
+    // explicit and future-proof.
+    MutexLock lock(sync_mu_);
+    was_running = running_;
+  }
+  if (was_running) {
     Flush();
     {
-      std::lock_guard<std::mutex> lock(sync_mu_);
+      MutexLock lock(sync_mu_);
       running_ = false;
-      sync_cv_.notify_all();
-      done_cv_.notify_all();
+      sync_cv_.NotifyAll();
+      done_cv_.NotifyAll();
     }
     sync_thread_.join();
   }
-  stats_.flushes = fsyncs_.load();
-  stats_.bytes_flushed = bytes_synced_.load();
+  stats_.flushes = fsyncs_.load(std::memory_order_relaxed);
+  stats_.bytes_flushed = bytes_synced_.load(std::memory_order_relaxed);
   ::close(fd_);
   fd_ = -1;
 }
@@ -272,17 +287,19 @@ void FileStableLog::CloseAbruptly() {
 }
 
 Status FileStableLog::CompactAndResume() {
-  PRANY_CHECK_MSG(fd_ >= 0 && running_,
+  PRANY_CHECK_MSG(fd_ >= 0,
                   "FileStableLog::CompactAndResume on a closed log");
   // Park the fsync thread: drain outstanding forces and any batch it has
   // in flight. The caller holds the engine lock, so no *new* force can be
   // enqueued (appends whose waiters are already parked at the durability
   // wait are fine — their records live in the mirror we rewrite below,
   // and we wake them once everything is durable).
-  std::unique_lock<std::mutex> lock(sync_mu_);
-  done_cv_.wait(lock, [&]() {
-    return !syncing_ && pending_forces_ == 0 && !flush_requested_;
-  });
+  MutexLock lock(sync_mu_);
+  PRANY_CHECK_MSG(running_,
+                  "FileStableLog::CompactAndResume on a stopped log");
+  while (syncing_ || pending_forces_ > 0 || flush_requested_) {
+    done_cv_.Wait(sync_mu_);
+  }
 
   // Rewrite the file as exactly the live mirror (recovery replay has
   // already Truncate()d released transactions out of it), sync, and
@@ -300,7 +317,7 @@ Status FileStableLog::CompactAndResume() {
   int tmp_fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (tmp_fd < 0) {
     return Status::Unavailable(
-        StrFormat("open(%s): %s", tmp_path.c_str(), std::strerror(errno)));
+        StrFormat("open(%s): %s", tmp_path.c_str(), SafeStrError(errno).c_str()));
   }
   const std::vector<uint8_t>& bytes = compacted.bytes();
   size_t written = 0;
@@ -311,7 +328,7 @@ Status FileStableLog::CompactAndResume() {
     if (n <= 0) {
       ::close(tmp_fd);
       return Status::Unavailable(
-          StrFormat("write(%s): %s", tmp_path.c_str(), std::strerror(errno)));
+          StrFormat("write(%s): %s", tmp_path.c_str(), SafeStrError(errno).c_str()));
     }
     written += static_cast<size_t>(n);
   }
@@ -319,7 +336,7 @@ Status FileStableLog::CompactAndResume() {
       ::rename(tmp_path.c_str(), path_.c_str()) != 0) {
     ::close(tmp_fd);
     return Status::Unavailable(StrFormat("compact(%s): %s", path_.c_str(),
-                                         std::strerror(errno)));
+                                         SafeStrError(errno).c_str()));
   }
   // The sync thread only touches fd_ when a batch is pending; the queue is
   // empty and we hold sync_mu_, so the swap is safe.
@@ -328,62 +345,69 @@ Status FileStableLog::CompactAndResume() {
   fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND, 0644);
   if (fd_ < 0) {
     return Status::Unavailable(
-        StrFormat("reopen(%s): %s", path_.c_str(), std::strerror(errno)));
+        StrFormat("reopen(%s): %s", path_.c_str(), SafeStrError(errno).c_str()));
   }
   // Everything in the mirror is now durable — including records whose
   // frames were still in the pending queue (the rewrite covered them).
   pending_bytes_.clear();
   pending_max_lsn_ = 0;
   synced_lsn_ = next_lsn_ - 1;
-  synced_lsn_watermark_.store(synced_lsn_);
+  synced_lsn_watermark_.store(synced_lsn_, std::memory_order_release);
   durable_size_ = bytes.size();
-  lock.unlock();
-  done_cv_.notify_all();
+  lock.Unlock();
+  done_cv_.NotifyAll();
   PromoteStableUpTo(synced_lsn_);
   return Status::OK();
 }
 
+std::vector<uint8_t> FileStableLog::TakePendingBatch(uint64_t* batch_lsn) {
+  std::vector<uint8_t> batch = std::move(pending_bytes_);
+  pending_bytes_.clear();
+  *batch_lsn = pending_max_lsn_;
+  pending_forces_ = 0;
+  flush_requested_ = false;
+  return batch;
+}
+
 void FileStableLog::SyncThreadMain() {
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   while (true) {
     sync_waiting_ = true;
-    sync_cv_.wait(lock, [&]() {
-      return !running_ || pending_forces_ > 0 || flush_requested_;
-    });
+    while (running_ && pending_forces_ == 0 && !flush_requested_) {
+      sync_cv_.Wait(sync_mu_);
+    }
     sync_waiting_ = false;
     if (!running_) break;
     if (config_.batch_window_us > 0 && !flush_requested_ &&
         pending_forces_ < config_.queue_depth_trigger) {
       // Linger for stragglers; a deep queue or an explicit flush cuts the
       // window short.
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(config_.batch_window_us);
       sync_waiting_ = true;
-      sync_cv_.wait_for(
-          lock, std::chrono::microseconds(config_.batch_window_us), [&]() {
-            return !running_ || flush_requested_ ||
-                   pending_forces_ >= config_.queue_depth_trigger;
-          });
+      while (running_ && !flush_requested_ &&
+             pending_forces_ < config_.queue_depth_trigger) {
+        if (sync_cv_.WaitUntil(sync_mu_, deadline)) break;
+      }
       sync_waiting_ = false;
       if (!running_) break;
     }
-    std::vector<uint8_t> batch = std::move(pending_bytes_);
-    pending_bytes_.clear();
-    uint64_t batch_lsn = pending_max_lsn_;
-    pending_forces_ = 0;
-    flush_requested_ = false;
+    uint64_t batch_lsn = 0;
+    std::vector<uint8_t> batch = TakePendingBatch(&batch_lsn);
     if (batch.empty()) {
       synced_lsn_ = std::max(synced_lsn_, batch_lsn);
-      synced_lsn_watermark_.store(synced_lsn_);
-      done_cv_.notify_all();
+      synced_lsn_watermark_.store(synced_lsn_, std::memory_order_release);
+      done_cv_.NotifyAll();
       continue;
     }
     syncing_ = true;
-    lock.unlock();
+    lock.Unlock();
     size_t written = 0;
     while (written < batch.size()) {
       ssize_t n = ::write(fd_, batch.data() + written, batch.size() - written);
       if (n < 0 && errno == EINTR) continue;
       PRANY_CHECK_MSG(n > 0, StrFormat("wal write(%s): %s", path_.c_str(),
-                                       std::strerror(errno)));
+                                       SafeStrError(errno).c_str()));
       written += static_cast<size_t>(n);
     }
     // A crash that lands mid-batch must not complete the sync: the bytes
@@ -391,13 +415,15 @@ void FileStableLog::SyncThreadMain() {
     if (crashed_.load()) return;
     PRANY_CHECK_MSG(::fdatasync(fd_) == 0,
                     StrFormat("wal fdatasync(%s): %s", path_.c_str(),
-                              std::strerror(errno)));
-    fsyncs_.fetch_add(1);
-    bytes_synced_.fetch_add(batch.size());
+                              SafeStrError(errno).c_str()));
+    // Relaxed: monotonic stats counters; readers only fold them into
+    // reports, ordering rides on sync_mu_ / the watermark instead.
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    bytes_synced_.fetch_add(batch.size(), std::memory_order_relaxed);
     if (metrics_ != nullptr) {
       FlushesCounter()->fetch_add(1, std::memory_order_relaxed);
     }
-    lock.lock();
+    lock.Lock();
     syncing_ = false;
     // Same race, one window later (crash arrived during the fdatasync):
     // the data is on disk but nobody was acknowledged, so treating it as
@@ -406,8 +432,10 @@ void FileStableLog::SyncThreadMain() {
     if (!running_) break;
     durable_size_ += batch.size();
     synced_lsn_ = std::max(synced_lsn_, batch_lsn);
-    synced_lsn_watermark_.store(synced_lsn_);
-    done_cv_.notify_all();
+    // Release pairs with the acquire load in AwaitDurable/synced_lsn():
+    // observing watermark >= L implies the fdatasync covering L completed.
+    synced_lsn_watermark_.store(synced_lsn_, std::memory_order_release);
+    done_cv_.NotifyAll();
   }
 }
 

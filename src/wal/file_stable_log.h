@@ -34,16 +34,15 @@
 #define PRANY_WAL_FILE_STABLE_LOG_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "wal/stable_log.h"
 
 namespace prany {
@@ -137,12 +136,18 @@ class FileStableLog : public StableLog {
   const WalRecoveryInfo& recovery_info() const { return recovery_; }
   const std::string& path() const { return path_; }
 
-  /// Highest LSN known durable.
-  uint64_t synced_lsn() const { return synced_lsn_watermark_.load(); }
+  /// Highest LSN known durable. Acquire pairs with the sync thread's
+  /// release store after each fdatasync.
+  uint64_t synced_lsn() const {
+    return synced_lsn_watermark_.load(std::memory_order_acquire);
+  }
 
   /// Physical fdatasync count (the denominator of group-commit
-  /// effectiveness: forced_appends / fsyncs = batch factor).
-  uint64_t fsyncs() const { return fsyncs_.load(); }
+  /// effectiveness: forced_appends / fsyncs = batch factor). Relaxed:
+  /// a monotonic stat, no ordering carried.
+  uint64_t fsyncs() const {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Encodes the CRC frame for a mirror record.
@@ -159,7 +164,10 @@ class FileStableLog : public StableLog {
   /// wait hooks around the wait. Folds sync-thread counters into stats_
   /// and promotes the mirror afterwards (caller holds the engine lock).
   /// Throws WalCrashedError if the wait was cut short by a crash.
-  void AwaitDurable(uint64_t lsn);
+  /// EXCLUDES: takes sync_mu_ itself, and the before-wait hook releases
+  /// the engine lock — holding sync_mu_ here would deadlock the fsync
+  /// thread against the wait.
+  void AwaitDurable(uint64_t lsn) PRANY_EXCLUDES(sync_mu_);
 
   /// Shared back half of Open()/Reopen(): opens the file if needed, runs
   /// the recovery scan, truncates the torn tail and starts the fsync
@@ -169,12 +177,23 @@ class FileStableLog : public StableLog {
   /// Stops the fsync thread without syncing, torn-truncates the
   /// unacknowledged suffix and closes the file. Wakes durability waiters
   /// (they throw). Shared by Crash() and CloseAbruptly().
-  void TearDownNoSync();
+  void TearDownNoSync() PRANY_EXCLUDES(sync_mu_);
 
-  void SyncThreadMain();
+  void SyncThreadMain() PRANY_EXCLUDES(sync_mu_);
+
+  /// Swaps the pending batch out of the queue, consuming the force/flush
+  /// requests it answers. Sync-thread helper, split out so the analysis
+  /// checks the queue handoff holds the lock.
+  std::vector<uint8_t> TakePendingBatch(uint64_t* batch_lsn)
+      PRANY_REQUIRES(sync_mu_);
 
   std::string path_;
   GroupCommitConfig config_;
+  /// Deliberately unguarded: opened/closed/swapped only from the engine
+  /// serialization domain (Open/Close/Crash/CompactAndResume run under
+  /// the owning site's engine lock or during single-threaded teardown);
+  /// the fsync thread writes through it only while `syncing_` is true,
+  /// and CompactAndResume waits that flag out before swapping.
   int fd_ = -1;
   WalRecoveryInfo recovery_;
   std::atomic<bool> crashed_{false};
@@ -186,28 +205,34 @@ class FileStableLog : public StableLog {
   // Sync-queue state, guarded by sync_mu_. The engine side appends frames
   // and waits on done_cv_; the sync thread batches, writes, fdatasyncs and
   // advances synced_lsn_.
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;  ///< Wakes the sync thread.
-  std::condition_variable done_cv_;  ///< Wakes durability waiters.
-  std::vector<uint8_t> pending_bytes_;
-  uint64_t pending_max_lsn_ = 0;
-  size_t pending_forces_ = 0;
-  bool flush_requested_ = false;
-  uint64_t synced_lsn_ = 0;
-  bool running_ = false;
+  /// Wal-sync rank: taken under the engine lock (Append/Flush) and by the
+  /// fsync thread; nothing is ever acquired while holding it.
+  Mutex sync_mu_ PRANY_ACQUIRED_AFTER(lock_order::kQueueRank)
+      PRANY_ACQUIRED_BEFORE(lock_order::kCrashRank);
+  CondVar sync_cv_;  ///< Wakes the sync thread.
+  CondVar done_cv_;  ///< Wakes durability waiters.
+  std::vector<uint8_t> pending_bytes_ PRANY_GUARDED_BY(sync_mu_);
+  uint64_t pending_max_lsn_ PRANY_GUARDED_BY(sync_mu_) = 0;
+  size_t pending_forces_ PRANY_GUARDED_BY(sync_mu_) = 0;
+  bool flush_requested_ PRANY_GUARDED_BY(sync_mu_) = false;
+  uint64_t synced_lsn_ PRANY_GUARDED_BY(sync_mu_) = 0;
+  bool running_ PRANY_GUARDED_BY(sync_mu_) = false;
   /// True while the sync thread is blocked on sync_cv_; appends skip the
   /// notify when it is busy writing (it re-checks the queue before it
   /// waits again, so no wakeup is lost).
-  bool sync_waiting_ = false;
+  bool sync_waiting_ PRANY_GUARDED_BY(sync_mu_) = false;
   /// True while the sync thread is writing a batch outside sync_mu_;
   /// CompactAndResume waits for it before swapping the file.
-  bool syncing_ = false;
+  bool syncing_ PRANY_GUARDED_BY(sync_mu_) = false;
   /// File size covered by the last completed fdatasync — the boundary
-  /// below which a crash must not tear. Guarded by sync_mu_.
-  uint64_t durable_size_ = 0;
+  /// below which a crash must not tear.
+  uint64_t durable_size_ PRANY_GUARDED_BY(sync_mu_) = 0;
 
-  /// Lock-free mirrors for cheap reads outside sync_mu_.
+  // Lock-free mirrors for cheap reads outside sync_mu_.
+  /// Release/acquire: written by the sync thread after fdatasync, read by
+  /// engine-side durability checks — seeing LSN L implies L's sync ran.
   std::atomic<uint64_t> synced_lsn_watermark_{0};
+  /// Relaxed-only stats counters (see fsyncs()).
   std::atomic<uint64_t> fsyncs_{0};
   std::atomic<uint64_t> bytes_synced_{0};
 

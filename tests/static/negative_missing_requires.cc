@@ -1,0 +1,33 @@
+// Negative-compile case: calling a PRANY_REQUIRES(mu) function without
+// holding mu must be rejected by clang TSA with a "requires holding
+// mutex" diagnostic. See tests/static/CMakeLists.txt.
+
+#include "common/sync.h"
+
+namespace {
+
+class Table {
+ public:
+  void Insert() {
+    InsertLocked();  // VIOLATION: callee requires mu_, caller holds nothing
+  }
+
+  void InsertSafely() {
+    prany::MutexLock lock(mu_);
+    InsertLocked();  // fine: lock held
+  }
+
+ private:
+  void InsertLocked() PRANY_REQUIRES(mu_) { ++size_; }
+
+  prany::Mutex mu_;
+  int size_ PRANY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.Insert();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Negative-compile case: accessing a PRANY_GUARDED_BY field without
+// holding its mutex must be rejected by clang TSA with a "requires
+// holding mutex" diagnostic. See tests/static/CMakeLists.txt.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    prany::MutexLock lock(mu_);
+    value_ += delta;  // fine: lock held
+  }
+
+  int Get() const {
+    return value_;  // VIOLATION: guarded read with no lock held
+  }
+
+ private:
+  mutable prany::Mutex mu_;
+  int value_ PRANY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Get();
+}

@@ -1,0 +1,36 @@
+// Negative-compile case: acquiring two mutexes against their declared
+// PRANY_ACQUIRED_BEFORE edge must be rejected by clang TSA (beta lock
+// ordering checks) with a "must be acquired before" diagnostic — the
+// same mechanism that enforces the global engine -> queue -> wal-sync ->
+// crash -> metrics hierarchy in src/common/sync.h. See
+// tests/static/CMakeLists.txt.
+
+#include "common/sync.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void InOrder() {
+    prany::MutexLock outer(outer_);
+    prany::MutexLock inner(inner_);  // fine: follows the declared order
+  }
+
+  void Inverted() {
+    prany::MutexLock inner(inner_);
+    prany::MutexLock outer(outer_);  // VIOLATION: deadlock-shaped order
+  }
+
+ private:
+  prany::Mutex outer_ PRANY_ACQUIRED_BEFORE(inner_);
+  prany::Mutex inner_;
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks t;
+  t.InOrder();
+  t.Inverted();
+  return 0;
+}

@@ -1,0 +1,42 @@
+# Negative-compile driver: SOURCE must be rejected by clang's thread
+# safety analysis, and rejected for the *intended* reason — the combined
+# compiler output must contain PATTERN. A clean compile, or a failure
+# whose diagnostics do not mention PATTERN (say, a syntax error or a
+# missing include), fails the test.
+#
+# Invoked by ctest as:
+#   cmake -DCLANGXX=... -DSOURCE=... -DINCLUDE_DIR=... -DPATTERN=...
+#         -P run_negative.cmake
+
+foreach(var CLANGXX SOURCE INCLUDE_DIR PATTERN)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_negative.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CLANGXX}" -std=c++20 -fsyntax-only
+          "-I${INCLUDE_DIR}"
+          -Wthread-safety -Wthread-safety-beta
+          -Werror=thread-safety -Werror=thread-safety-beta
+          "${SOURCE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+set(diagnostics "${out}${err}")
+
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "${SOURCE} compiled clean, but it violates the locking discipline "
+    "and must be rejected by -Wthread-safety")
+endif()
+
+string(FIND "${diagnostics}" "${PATTERN}" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR
+    "${SOURCE} failed to compile, but not for the expected reason.\n"
+    "Expected the diagnostics to contain: ${PATTERN}\n"
+    "Actual diagnostics:\n${diagnostics}")
+endif()
+
+message(STATUS "rejected as intended (\"${PATTERN}\"): ${SOURCE}")

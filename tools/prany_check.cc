@@ -188,7 +188,7 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
 bool EnsureDir(const std::string& path) {
   if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return true;
   std::fprintf(stderr, "mkdir %s: %s\n", path.c_str(),
-               std::strerror(errno));
+               SafeStrError(errno).c_str());
   return false;
 }
 
