@@ -35,10 +35,14 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <memory>
+
 #include "common/string_util.h"
 #include "harness/run_result.h"
 #include "harness/workload.h"
 #include "harness/observability.h"
+#include "history/atomicity_checker.h"
 #include "runtime/live_system.h"
 #include "runtime/load_gen.h"
 
@@ -174,6 +178,7 @@ struct LiveBenchOptions {
   int sites = 4;
   std::vector<int> client_counts = {8, 32, 128};
   uint64_t crash_every_us = 0;  ///< --crash-every-ms: kill/restart cadence
+  std::string socket_transport = "uds";  ///< --transport: socket sweep kind
 };
 
 LiveCell RunLiveCell(const char* label, ProtocolKind participant,
@@ -275,7 +280,120 @@ LiveCell RunLiveCell(const char* label, ProtocolKind participant,
   return cell;
 }
 
-void WriteLiveJson(const std::vector<LiveCell>& cells, uint64_t duration_us,
+// ---------------------------------------------------------------------------
+// Socket-transport sweep: the same four protocols with every protocol
+// message crossing a real kernel socket. Three LiveSystems in this
+// process — each hosting one site, exactly as the multi-process harness
+// runs them — wired over UDS or TCP loopback; each node drives its own
+// closed-loop load against the other two. correct = the merged per-node
+// histories pass the atomicity checker.
+
+struct SocketCell {
+  const char* label = "";
+  int clients_per_node = 0;
+  runtime::LoadGenReport report;  ///< Summed over the three nodes.
+  uint64_t net_frames_delivered = 0;
+  uint64_t net_bytes_sent = 0;
+  bool correct = false;
+};
+
+SocketCell RunSocketCell(const char* label, ProtocolKind participant,
+                         ProtocolKind coordinator, int clients,
+                         const LiveBenchOptions& opts,
+                         const std::string& dir, int base_port) {
+  SocketCell cell;
+  cell.label = label;
+  cell.clients_per_node = clients;
+  mkdir(dir.c_str(), 0755);
+
+  constexpr SiteId kNodes = 3;
+  std::vector<std::string> addresses;
+  for (SiteId i = 0; i < kNodes; ++i) {
+    addresses.push_back(
+        opts.socket_transport == "uds"
+            ? "uds:" + dir + "/s" + std::to_string(i) + ".sock"
+            : "tcp:127.0.0.1:" + std::to_string(base_port + i));
+  }
+  std::vector<std::unique_ptr<runtime::LiveSystem>> nodes;
+  for (SiteId i = 0; i < kNodes; ++i) {
+    runtime::LiveSystemConfig config;
+    config.log_dir = dir;
+    config.listen_address = addresses[i];
+    // Socket round-trips put wall-clock queueing on every vote; the
+    // sim-scaled timeouts would measure the abort path, not throughput.
+    config.timing.vote_timeout = 10'000'000;
+    config.timing.decision_resend_interval = 2'000'000;
+    config.timing.inquiry_interval = 2'000'000;
+    config.txn_id_base = static_cast<TxnId>(i + 1) << 40;
+    for (SiteId j = 0; j < kNodes; ++j) {
+      if (j == i) continue;
+      config.remote_sites.push_back(
+          runtime::LiveSystemConfig::RemoteSite{j, participant, addresses[j]});
+    }
+    nodes.push_back(std::make_unique<runtime::LiveSystem>(std::move(config)));
+    CoordinatorSpec spec;
+    spec.kind = coordinator;
+    nodes.back()->AddSiteWithId(i, participant, spec);
+  }
+
+  std::vector<runtime::LoadGenReport> reports(kNodes);
+  std::vector<std::thread> loaders;
+  for (SiteId i = 0; i < kNodes; ++i) {
+    loaders.emplace_back([&, i]() {
+      runtime::LoadGenConfig gen_config;
+      gen_config.clients = clients;
+      gen_config.duration_us = opts.duration_us;
+      gen_config.participants_per_txn = 2;
+      gen_config.sites = {0, 1, 2};
+      gen_config.coordinators = {i};
+      gen_config.seed = 1 + i;
+      runtime::LoadGen gen(nodes[i].get(), gen_config);
+      reports[i] = gen.Run();
+    });
+  }
+  for (std::thread& t : loaders) t.join();
+  // A message can be in flight between two nodes when a single node's
+  // check runs, so the cluster must be observed idle in one sweep, twice.
+  for (int stable = 0; stable < 2; ++stable) {
+    for (auto& node : nodes) node->Quiesce(10'000'000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  for (SiteId i = 0; i < kNodes; ++i) {
+    cell.report.submitted += reports[i].submitted;
+    cell.report.committed += reports[i].committed;
+    cell.report.aborted += reports[i].aborted;
+    cell.report.timeouts += reports[i].timeouts;
+    cell.report.dropped += reports[i].dropped;
+    cell.report.elapsed_seconds =
+        std::max(cell.report.elapsed_seconds, reports[i].elapsed_seconds);
+    runtime::SocketTransportStats stats =
+        nodes[i]->socket_transport()->stats();
+    cell.net_frames_delivered += stats.messages_delivered;
+    cell.net_bytes_sent += stats.bytes_sent;
+  }
+  // The checkers' view of a multi-process run: per-node partial histories
+  // concatenated (sound — the atomicity criterion never relies on
+  // cross-site event order).
+  EventLog merged;
+  for (auto& node : nodes) {
+    for (const SigEvent& event : node->history().events()) {
+      merged.Record(event);
+    }
+  }
+  cell.correct = AtomicityChecker::Check(merged).ok() &&
+                 cell.report.committed > 0;
+  for (auto& node : nodes) node->Stop();
+  for (SiteId i = 0; i < kNodes; ++i) {
+    unlink((dir + "/site" + std::to_string(i) + ".wal").c_str());
+    unlink((dir + "/s" + std::to_string(i) + ".sock").c_str());
+  }
+  return cell;
+}
+
+void WriteLiveJson(const std::vector<LiveCell>& cells,
+                   const std::vector<SocketCell>& socket_cells,
+                   const std::string& socket_transport, uint64_t duration_us,
                    const char* path) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -292,6 +410,7 @@ void WriteLiveJson(const std::vector<LiveCell>& cells, uint64_t duration_us,
         f,
         "    {\"protocol\": \"%s\", \"clients\": %d, \"submitted\": %llu, "
         "\"committed\": %llu, \"aborted\": %llu, \"timeouts\": %llu, "
+        "\"dropped\": %llu, "
         "\"commits_per_sec\": %.1f, \"forced_writes_per_commit\": %.3f, "
         "\"fsyncs_per_commit\": %.3f, \"latency_us\": {\"p50\": %.1f, "
         "\"p95\": %.1f, \"p99\": %.1f}, \"correct\": %s}%s\n",
@@ -300,11 +419,45 @@ void WriteLiveJson(const std::vector<LiveCell>& cells, uint64_t duration_us,
         static_cast<unsigned long long>(c.report.committed),
         static_cast<unsigned long long>(c.report.aborted),
         static_cast<unsigned long long>(c.report.timeouts),
+        static_cast<unsigned long long>(c.report.dropped),
         c.report.commits_per_sec(), c.PerCommit(c.forced_appends),
         c.PerCommit(c.fsyncs), c.latency.p50, c.latency.p95, c.latency.p99,
         c.correct ? "true" : "false", i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  if (socket_cells.empty()) {
+    std::fprintf(f, "  ]\n}\n");
+  } else {
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"socket_transport\": \"%s\",\n",
+                 socket_transport.c_str());
+    std::fprintf(f,
+                 "  \"socket_topology\": \"3 single-site LiveSystems, every "
+                 "protocol message over a kernel socket, merged-history "
+                 "atomicity check\",\n");
+    std::fprintf(f, "  \"socket_results\": [\n");
+    for (size_t i = 0; i < socket_cells.size(); ++i) {
+      const SocketCell& c = socket_cells[i];
+      std::fprintf(
+          f,
+          "    {\"protocol\": \"%s\", \"clients_per_node\": %d, "
+          "\"nodes\": 3, \"submitted\": %llu, \"committed\": %llu, "
+          "\"aborted\": %llu, \"timeouts\": %llu, \"dropped\": %llu, "
+          "\"commits_per_sec\": %.1f, \"net_frames_delivered\": %llu, "
+          "\"net_bytes_sent\": %llu, \"correct\": %s}%s\n",
+          c.label, c.clients_per_node,
+          static_cast<unsigned long long>(c.report.submitted),
+          static_cast<unsigned long long>(c.report.committed),
+          static_cast<unsigned long long>(c.report.aborted),
+          static_cast<unsigned long long>(c.report.timeouts),
+          static_cast<unsigned long long>(c.report.dropped),
+          c.report.commits_per_sec(),
+          static_cast<unsigned long long>(c.net_frames_delivered),
+          static_cast<unsigned long long>(c.net_bytes_sent),
+          c.correct ? "true" : "false",
+          i + 1 < socket_cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+  }
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -452,7 +605,33 @@ void RunLive(const LiveBenchOptions& opts) {
       "group commit coalescing concurrent forces into one fdatasync.\n"
       "user/sys us/c is the load window's getrusage delta per decided\n"
       "txn; pool hit is the wire-buffer pool reuse rate.\n\n");
-  WriteLiveJson(cells, opts.duration_us, "BENCH_live_commit.json");
+  // The socket sweep: same four protocols, every message over a real
+  // kernel socket. One client count per protocol — this section measures
+  // the transport, not the protocol/client surface the table above covers.
+  std::printf("== socket transport (%s): 3 single-site nodes, kernel "
+              "sockets ==\n\n", opts.socket_transport.c_str());
+  std::vector<SocketCell> socket_cells;
+  std::vector<std::vector<std::string>> srows;
+  srows.push_back({"protocol", "clients/node", "commits/s", "frames",
+                   "kB sent", "checks"});
+  for (size_t i = 0; i < protocols.size(); ++i) {
+    const P& p = protocols[i];
+    SocketCell cell = RunSocketCell(
+        p.label, p.participant, p.coordinator, /*clients=*/16, opts,
+        opts.log_dir + "/sock" + std::to_string(i),
+        /*base_port=*/23000 + static_cast<int>(i) * 10);
+    srows.push_back({cell.label, "16",
+                     StrFormat("%.0f", cell.report.commits_per_sec()),
+                     std::to_string(cell.net_frames_delivered),
+                     StrFormat("%.0f",
+                               static_cast<double>(cell.net_bytes_sent) /
+                                   1024.0),
+                     cell.correct ? "ok" : "FAIL"});
+    socket_cells.push_back(cell);
+  }
+  std::printf("%s\n", RenderTable(srows).c_str());
+  WriteLiveJson(cells, socket_cells, opts.socket_transport,
+                opts.duration_us, "BENCH_live_commit.json");
   WriteLiveCpuJson(cells, opts.duration_us, "BENCH_live_cpu.json");
 }
 
@@ -478,6 +657,7 @@ void WriteLiveCrashJson(const std::vector<LiveCell>& cells,
         f,
         "    {\"protocol\": \"%s\", \"clients\": %d, \"submitted\": %llu, "
         "\"committed\": %llu, \"aborted\": %llu, \"timeouts\": %llu, "
+        "\"dropped\": %llu, "
         "\"commits_per_sec\": %.1f, \"crash_cycles\": %llu, "
         "\"torn_tails\": %llu, \"records_replayed\": %llu, "
         "\"latency_us\": {\"p50\": %.1f, \"p99\": %.1f}, \"correct\": %s}%s\n",
@@ -486,6 +666,7 @@ void WriteLiveCrashJson(const std::vector<LiveCell>& cells,
         static_cast<unsigned long long>(c.report.committed),
         static_cast<unsigned long long>(c.report.aborted),
         static_cast<unsigned long long>(c.report.timeouts),
+        static_cast<unsigned long long>(c.report.dropped),
         c.report.commits_per_sec(),
         static_cast<unsigned long long>(c.crash.cycles),
         static_cast<unsigned long long>(c.crash.torn_tail_cycles),
@@ -578,6 +759,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--crash-every-ms must be > 0\n");
         return 2;
       }
+    } else if (std::strncmp(arg, "--transport=", 12) == 0) {
+      opts.socket_transport = arg + 12;
+      if (opts.socket_transport != "uds" && opts.socket_transport != "tcp") {
+        std::fprintf(stderr, "--transport must be uds or tcp\n");
+        return 2;
+      }
     } else if (std::strncmp(arg, "--log-dir=", 10) == 0) {
       opts.log_dir = arg + 10;
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
@@ -607,9 +794,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (expect --runtime=sim|live "
-                   "--duration-ms=N --crash-every-ms=N --log-dir=DIR "
-                   "--workers=N --gc-window-us=N --gc-trigger=N --sites=N "
-                   "--clients=A,B,C)\n",
+                   "--transport=uds|tcp --duration-ms=N --crash-every-ms=N "
+                   "--log-dir=DIR --workers=N --gc-window-us=N "
+                   "--gc-trigger=N --sites=N --clients=A,B,C)\n",
                    arg);
       return 2;
     }

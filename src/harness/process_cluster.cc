@@ -1,0 +1,305 @@
+#include "harness/process_cluster.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace prany {
+namespace harness {
+
+namespace {
+
+/// Directory part of `path` ("" if none).
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), X_OK) == 0;
+}
+
+/// See ProcessClusterConfig::server_binary for the search order.
+std::string ResolveServerBinary(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv("PRANY_SITE_SERVER")) {
+    if (env[0] != '\0') return env;
+  }
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n > 0) {
+    exe[n] = '\0';
+    const std::string dir = DirName(exe);
+    for (const std::string& candidate :
+         {dir + "/prany_site_server", dir + "/../tools/prany_site_server"}) {
+      if (FileExists(candidate)) return candidate;
+    }
+  }
+  return "prany_site_server";  // hope for $PATH
+}
+
+}  // namespace
+
+std::string SerializeSigEvent(const SigEvent& event) {
+  const long long outcome =
+      event.outcome.has_value() ? static_cast<long long>(*event.outcome) : -1;
+  return StrFormat("%llu %llu %u %u %llu %lld %u %u",
+                   static_cast<unsigned long long>(event.seq),
+                   static_cast<unsigned long long>(event.time),
+                   static_cast<unsigned>(event.type), event.site,
+                   static_cast<unsigned long long>(event.txn), outcome,
+                   event.peer, event.by_presumption ? 1u : 0u);
+}
+
+bool ParseSigEvent(const std::string& line, SigEvent* out) {
+  unsigned long long seq = 0;
+  unsigned long long time = 0;
+  unsigned type = 0;
+  unsigned site = 0;
+  unsigned long long txn = 0;
+  long long outcome = 0;
+  unsigned peer = 0;
+  unsigned by_presumption = 0;
+  if (std::sscanf(line.c_str(), "%llu %llu %u %u %llu %lld %u %u", &seq,
+                  &time, &type, &site, &txn, &outcome, &peer,
+                  &by_presumption) != 8) {
+    return false;
+  }
+  if (type > static_cast<unsigned>(SigEventType::kSiteRecover)) return false;
+  if (outcome < -1 || outcome > static_cast<long long>(Outcome::kAbort)) {
+    return false;
+  }
+  out->seq = seq;
+  out->time = time;
+  out->type = static_cast<SigEventType>(type);
+  out->site = static_cast<SiteId>(site);
+  out->txn = txn;
+  out->outcome = outcome < 0
+                     ? std::nullopt
+                     : std::optional<Outcome>(static_cast<Outcome>(outcome));
+  out->peer = static_cast<SiteId>(peer);
+  out->by_presumption = by_presumption != 0;
+  return true;
+}
+
+ProcessCluster::ProcessCluster(ProcessClusterConfig config)
+    : config_(std::move(config)),
+      server_binary_(ResolveServerBinary(config_.server_binary)) {
+  for (const ProcessSiteSpec& spec : config_.sites) {
+    Proc proc;
+    proc.spec = spec;
+    procs_.push_back(proc);
+  }
+}
+
+ProcessCluster::~ProcessCluster() {
+  for (Proc& proc : procs_) {
+    if (!proc.running) continue;
+    ::kill(proc.pid, SIGKILL);
+    ::waitpid(proc.pid, nullptr, 0);
+    proc.running = false;
+  }
+}
+
+std::string ProcessCluster::ResultPath(SiteId site) const {
+  return config_.log_dir + "/site" + std::to_string(site) + ".result";
+}
+
+std::string ProcessCluster::HistoryPath(SiteId site) const {
+  return config_.log_dir + "/site" + std::to_string(site) + ".history";
+}
+
+Status ProcessCluster::Launch(Proc* proc) {
+  std::vector<std::string> args;
+  args.push_back(server_binary_);
+  args.push_back("--site=" + std::to_string(proc->spec.id));
+  args.push_back("--protocol=" + ToString(proc->spec.protocol));
+  if (proc->spec.coordinator.has_value()) {
+    args.push_back("--coordinator=" + ToString(*proc->spec.coordinator));
+  }
+  args.push_back("--listen=" + proc->spec.address);
+  for (const ProcessSiteSpec& peer : config_.sites) {
+    if (peer.id == proc->spec.id) continue;
+    args.push_back("--peer=" + std::to_string(peer.id) + ":" +
+                   ToString(peer.protocol) + ":" + peer.address);
+  }
+  args.push_back("--log-dir=" + config_.log_dir);
+  args.push_back("--result=" + ResultPath(proc->spec.id));
+  args.push_back("--history=" + HistoryPath(proc->spec.id));
+  args.push_back("--duration-us=" + std::to_string(config_.duration_us));
+  args.push_back("--clients=" + std::to_string(config_.clients));
+  args.push_back("--participants=" +
+                 std::to_string(config_.participants_per_txn));
+  args.push_back("--abort-fraction=" +
+                 StrFormat("%.6f", config_.abort_fraction));
+  args.push_back("--await-timeout-us=" +
+                 std::to_string(config_.await_timeout_us));
+  args.push_back("--seed=" + std::to_string(config_.seed));
+  args.push_back("--incarnation=" + std::to_string(proc->incarnation));
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    // exec failed; nothing sensible to do in the child but die loudly.
+    std::fprintf(stderr, "execv(%s): %s\n", argv[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  proc->pid = pid;
+  proc->running = true;
+  return Status::OK();
+}
+
+Status ProcessCluster::LaunchAll() {
+  for (Proc& proc : procs_) {
+    Status launched = Launch(&proc);
+    if (!launched.ok()) {
+      for (Proc& started : procs_) {
+        if (started.running) {
+          ::kill(started.pid, SIGKILL);
+          ::waitpid(started.pid, nullptr, 0);
+          started.running = false;
+        }
+      }
+      return launched;
+    }
+  }
+  return Status::OK();
+}
+
+void ProcessCluster::KillSite(SiteId site) {
+  for (Proc& proc : procs_) {
+    if (proc.spec.id != site || !proc.running) continue;
+    ::kill(proc.pid, SIGKILL);
+    ::waitpid(proc.pid, nullptr, 0);
+    proc.running = false;
+    return;
+  }
+}
+
+Status ProcessCluster::RestartSite(SiteId site) {
+  for (Proc& proc : procs_) {
+    if (proc.spec.id != site) continue;
+    if (proc.running) {
+      return Status::FailedPrecondition("site still running");
+    }
+    ++proc.incarnation;
+    return Launch(&proc);
+  }
+  return Status::NotFound("unknown site");
+}
+
+void ProcessCluster::SignalAll(int sig) {
+  for (const Proc& proc : procs_) {
+    if (proc.running) ::kill(proc.pid, sig);
+  }
+}
+
+bool ProcessCluster::WaitAll(uint64_t timeout_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  bool all_clean = true;
+  for (Proc& proc : procs_) {
+    while (proc.running) {
+      int wstatus = 0;
+      const pid_t reaped = ::waitpid(proc.pid, &wstatus, WNOHANG);
+      if (reaped == proc.pid) {
+        proc.running = false;
+        all_clean = all_clean && WIFEXITED(wstatus) &&
+                    WEXITSTATUS(wstatus) == 0;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(proc.pid, SIGKILL);
+        ::waitpid(proc.pid, nullptr, 0);
+        proc.running = false;
+        all_clean = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  return all_clean;
+}
+
+bool ProcessCluster::Running(SiteId site) const {
+  for (const Proc& proc : procs_) {
+    if (proc.spec.id == site) return proc.running;
+  }
+  return false;
+}
+
+std::map<std::string, std::string> ProcessCluster::ResultFor(
+    SiteId site) const {
+  std::map<std::string, std::string> kv;
+  std::ifstream in(ResultPath(site));
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return kv;
+}
+
+ClusterLoadTotals ProcessCluster::CollectTotals() const {
+  ClusterLoadTotals totals;
+  for (const Proc& proc : procs_) {
+    std::map<std::string, std::string> kv = ResultFor(proc.spec.id);
+    auto add = [&kv](const char* key, uint64_t* into) {
+      auto it = kv.find(key);
+      if (it != kv.end()) *into += std::strtoull(it->second.c_str(), nullptr, 10);
+    };
+    add("submitted", &totals.submitted);
+    add("committed", &totals.committed);
+    add("aborted", &totals.aborted);
+    add("timeouts", &totals.timeouts);
+    add("dropped", &totals.dropped);
+  }
+  return totals;
+}
+
+size_t ProcessCluster::MergeHistories(EventLog* out) const {
+  out->Clear();
+  size_t merged = 0;
+  for (const Proc& proc : procs_) {
+    std::ifstream in(HistoryPath(proc.spec.id));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      SigEvent event;
+      if (!ParseSigEvent(line, &event)) continue;
+      out->Record(event);
+      ++merged;
+    }
+  }
+  return merged;
+}
+
+AtomicityReport ProcessCluster::CheckAtomicity() const {
+  EventLog merged;
+  MergeHistories(&merged);
+  return AtomicityChecker::Check(merged);
+}
+
+}  // namespace harness
+}  // namespace prany

@@ -1,0 +1,157 @@
+// Multi-process cluster harness: launches one prany_site_server process
+// per site (fork/exec), connected over UDS or TCP, and collects their
+// results when they exit.
+//
+// This is the real-crash counterpart of the in-process crash controller:
+// KillSite() delivers SIGKILL — no destructors, no flushes, the torn WAL
+// tail and half-written sockets a genuine machine crash leaves behind —
+// and RestartSite() relaunches the same site id against the same WAL
+// with a fresh incarnation, driving FileStableLog recovery plus the
+// paper's §4.2 procedure over live sockets while the surviving processes
+// keep serving.
+//
+// History collection: each server appends its SigEvents to a per-site
+// text file (see SerializeSigEvent) when it exits cleanly. The harness
+// merges every file into one EventLog and runs the atomicity checker —
+// sound because the checker compares enforced outcomes against
+// decisions per transaction and never relies on cross-site event order.
+// Events a SIGKILLed incarnation had recorded only in memory are lost
+// with it, exactly as a real crash loses them; durable decisions are
+// re-recorded by recovery in the next incarnation, so the merged history
+// loses evidence, never gains contradictions.
+
+#ifndef PRANY_HARNESS_PROCESS_CLUSTER_H_
+#define PRANY_HARNESS_PROCESS_CLUSTER_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "history/atomicity_checker.h"
+#include "history/event_log.h"
+
+namespace prany {
+namespace harness {
+
+/// One line of the history dump:
+/// "seq time type site txn outcome peer by_presumption" (outcome -1 when
+/// absent; all fields decimal). Seqs are per-process and re-assigned at
+/// merge time.
+std::string SerializeSigEvent(const SigEvent& event);
+bool ParseSigEvent(const std::string& line, SigEvent* out);
+
+struct ProcessSiteSpec {
+  SiteId id = kInvalidSite;
+  /// Participant protocol the site runs (a base protocol).
+  ProtocolKind protocol = ProtocolKind::kPrN;
+  /// Coordinator kind; kInvalid-like sentinel is not needed — when unset
+  /// it follows `protocol`. Set to e.g. kPrAny for a PrAny coordinator
+  /// over base-protocol participants.
+  std::optional<ProtocolKind> coordinator;
+  /// Listen/dial address ("uds:<path>" or "tcp:host:port").
+  std::string address;
+};
+
+struct ProcessClusterConfig {
+  std::vector<ProcessSiteSpec> sites;
+  /// WALs, result files, and history dumps live here. Must exist.
+  std::string log_dir = ".";
+  /// Path to the prany_site_server binary. Empty resolves, in order:
+  /// $PRANY_SITE_SERVER, then prany_site_server next to /proc/self/exe,
+  /// then ../tools/prany_site_server relative to it.
+  std::string server_binary;
+
+  // Load parameters forwarded to every server's generator.
+  uint64_t duration_us = 1'000'000;
+  int clients = 2;
+  int participants_per_txn = 2;
+  double abort_fraction = 0.0;
+  uint64_t await_timeout_us = 10'000'000;
+  uint64_t seed = 1;
+};
+
+/// Aggregated per-site load counters parsed from the result files.
+struct ClusterLoadTotals {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t timeouts = 0;
+  uint64_t dropped = 0;
+};
+
+class ProcessCluster {
+ public:
+  explicit ProcessCluster(ProcessClusterConfig config);
+  /// Kills (SIGKILL) any site processes still running.
+  ~ProcessCluster();
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  /// Forks/execs one server per configured site. On failure, kills what
+  /// already launched.
+  Status LaunchAll();
+
+  /// SIGKILL — the fail-stop crash. The process gets no chance to flush
+  /// anything; its WAL keeps whatever the kernel had. No-op if the site
+  /// is not running.
+  void KillSite(SiteId site);
+
+  /// Relaunches a killed site against its existing WAL with the next
+  /// incarnation number (the server re-runs recovery before serving).
+  Status RestartSite(SiteId site);
+
+  /// Sends `sig` (typically SIGTERM: quiesce, dump results, exit) to
+  /// every running site process.
+  void SignalAll(int sig);
+
+  /// Reaps every running process. Returns false if any is still alive at
+  /// the deadline (they are then SIGKILLed and reaped anyway) or exited
+  /// nonzero.
+  bool WaitAll(uint64_t timeout_us);
+
+  /// True while the site's current incarnation runs (as of the last
+  /// launch/kill/wait call — this does not poll the kernel).
+  bool Running(SiteId site) const;
+
+  /// Parses every site's result file, summing the load counters.
+  /// Missing files (site never exited cleanly) are skipped.
+  ClusterLoadTotals CollectTotals() const;
+
+  /// Merges every site's history dump into `out` (cleared first).
+  /// Returns the number of events merged.
+  size_t MergeHistories(EventLog* out) const;
+
+  /// MergeHistories + the atomicity checker.
+  AtomicityReport CheckAtomicity() const;
+
+  /// Per-site result key=value map (empty if the file is absent).
+  std::map<std::string, std::string> ResultFor(SiteId site) const;
+
+ private:
+  struct Proc {
+    ProcessSiteSpec spec;
+    pid_t pid = -1;
+    int incarnation = 0;
+    bool running = false;
+  };
+
+  Status Launch(Proc* proc);
+  std::string ResultPath(SiteId site) const;
+  std::string HistoryPath(SiteId site) const;
+
+  ProcessClusterConfig config_;
+  std::string server_binary_;  ///< Resolved once, at construction.
+  std::vector<Proc> procs_;
+};
+
+}  // namespace harness
+}  // namespace prany
+
+#endif  // PRANY_HARNESS_PROCESS_CLUSTER_H_

@@ -1,14 +1,17 @@
 // Transport seam: how protocol engines hand messages to the fabric.
 //
-// Two implementations:
+// Three implementations:
 //   - net::Network — the simulated fabric (latency models, loss,
 //     duplication, partitions) running over the Simulator.
 //   - runtime::LiveTransport — in-process multithreaded channels with
 //     per-site inboxes, running over the LiveEventLoop.
+//   - runtime::SocketTransport — real TCP/UDS sockets between site
+//     processes, with length-prefixed framing (net/wire.h) and
+//     reconnect-with-backoff.
 //
-// Both emit the same structured trace events (MSG_SEND / MSG_DELIVER with
+// All emit the same structured trace events (MSG_SEND / MSG_DELIVER with
 // identical field conventions), which is what lets the sim-vs-live
-// equivalence test compare protocol exchanges across backends.
+// equivalence tests compare protocol exchanges across backends.
 
 #ifndef PRANY_NET_TRANSPORT_H_
 #define PRANY_NET_TRANSPORT_H_
@@ -49,7 +52,13 @@ class ITransport {
 
   /// Serializes, routes and schedules delivery of `msg` (msg.from/to must
   /// be set). Send never fails from the sender's perspective: losses are
-  /// silent, per the omission model.
+  /// silent, per the omission model. Implementations must preserve
+  /// per-directed-link FIFO order — two messages sent A→B by the same
+  /// thread are delivered in send order (a DECISION must never overtake
+  /// the PREPARE it answers) — but may drop messages (down endpoint, dead
+  /// connection, full queue); the protocols recover via timers and
+  /// inquiry. Send must not block indefinitely and must be safe to call
+  /// from any thread, including while the caller holds an engine mutex.
   virtual void Send(const Message& msg) = 0;
 };
 

@@ -1,0 +1,69 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/string_util.h"
+
+namespace prany {
+namespace net {
+
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 const uint8_t* body, size_t body_size) {
+  const uint32_t payload = static_cast<uint32_t>(body_size) + 1;
+  out->reserve(out->size() + 4 + payload);
+  for (size_t i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(payload >> (8 * i)));
+  }
+  out->push_back(static_cast<uint8_t>(type));
+  out->insert(out->end(), body, body + body_size);
+}
+
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 const std::vector<uint8_t>& body) {
+  AppendFrame(out, type, body.data(), body.size());
+}
+
+void FrameParser::Feed(const uint8_t* data, size_t n) {
+  if (corrupt_) return;  // the connection is dead; don't buffer more
+  // Compact lazily: only when the consumed prefix dominates the buffer,
+  // so steady-state small frames don't memmove per frame.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+Status FrameParser::Next(Frame* out, bool* got) {
+  *got = false;
+  if (corrupt_) return Status::Corruption("frame stream corrupt");
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return Status::OK();
+  const uint8_t* p = buf_.data() + consumed_;
+  uint32_t payload = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    payload |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  if (payload == 0 || payload > max_payload_ + 1) {
+    corrupt_ = true;
+    return Status::Corruption(
+        StrFormat("bad frame length %u", payload));
+  }
+  if (avail < 4 + static_cast<size_t>(payload)) return Status::OK();
+  out->type = static_cast<FrameType>(p[4]);
+  out->body.assign(p + 5, p + 4 + payload);
+  consumed_ += 4 + static_cast<size_t>(payload);
+  *got = true;
+  return Status::OK();
+}
+
+void FrameParser::Reset() {
+  buf_.clear();
+  consumed_ = 0;
+  corrupt_ = false;
+}
+
+}  // namespace net
+}  // namespace prany

@@ -1,0 +1,86 @@
+// Length-prefixed wire framing for the socket transport.
+//
+// A frame on the wire is:
+//
+//   [u32 LE payload_len][u8 FrameType][payload_len - 1 bytes of body]
+//
+// where the length covers everything after the prefix (type byte
+// included). kMessage bodies are exactly Message::Encode() bytes; kControl
+// bodies are opaque to the transport (the runtime uses them for
+// transaction-setup records that must order before the PREPAREs that
+// follow on the same link).
+//
+// FrameParser is the receive half: it consumes arbitrary byte chunks as a
+// TCP stream hands them over — a chunk may hold a partial length prefix,
+// many whole frames, or the middle of a large one — and yields complete
+// frames in order. A parse error (oversized or zero length) is sticky and
+// means the stream is corrupt; the connection must be dropped and the
+// parser Reset() before reuse.
+
+#ifndef PRANY_NET_WIRE_H_
+#define PRANY_NET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prany {
+namespace net {
+
+/// What a frame carries. Values are wire-stable.
+enum class FrameType : uint8_t {
+  kMessage = 1,  ///< Body is Message::Encode() bytes.
+  kControl = 2,  ///< Body is runtime-defined (transaction setup).
+};
+
+/// Frames larger than this are rejected as corruption. Protocol messages
+/// are tens of bytes; control records are small too — a huge length means
+/// a desynchronized or garbage stream, and honoring it would buffer
+/// unbounded memory.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+/// Appends one framed payload to `out` (which may already hold frames —
+/// senders batch several per writev-sized buffer).
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 const uint8_t* body, size_t body_size);
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 const std::vector<uint8_t>& body);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kMessage;
+  std::vector<uint8_t> body;
+};
+
+/// Incremental frame decoder over a byte stream (see header comment).
+class FrameParser {
+ public:
+  explicit FrameParser(uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends `n` stream bytes. Call Next() until it stops yielding.
+  void Feed(const uint8_t* data, size_t n);
+
+  /// Pops the next complete frame into `out`. Returns OK with *got=true
+  /// when a frame was produced, OK with *got=false when more bytes are
+  /// needed, and Corruption (sticky) on a malformed length.
+  Status Next(Frame* out, bool* got);
+
+  /// Drops all buffered state (new connection, after an error).
+  void Reset();
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  uint32_t max_payload_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  ///< Prefix of buf_ already returned as frames.
+  bool corrupt_ = false;
+};
+
+}  // namespace net
+}  // namespace prany
+
+#endif  // PRANY_NET_WIRE_H_

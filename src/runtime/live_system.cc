@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/bytes.h"
 #include "common/status.h"
 #include "harness/observability.h"
 #include "history/atomicity_checker.h"
@@ -10,11 +11,29 @@
 namespace prany {
 namespace runtime {
 
+namespace {
+
+/// Control-frame record tags (socket cluster mode). Wire-stable.
+constexpr uint8_t kControlPlannedVote = 1;
+
+/// [tag][u64 txn][u32 site][u8 vote] — the planned-vote setup a
+/// coordinator ships to a remote participant before its PREPARE.
+std::vector<uint8_t> EncodePlannedVote(TxnId txn, SiteId site, Vote vote) {
+  ByteWriter writer;
+  writer.PutU8(kControlPlannedVote);
+  writer.PutU64(txn);
+  writer.PutU32(site);
+  writer.PutU8(static_cast<uint8_t>(vote));
+  return writer.TakeBytes();
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // LiveSite
 
 LiveSite::LiveSite(std::unique_ptr<Site> site, FileStableLog* wal,
-                   LiveTransport* transport, int workers)
+                   ITransport* transport, int workers)
     : site_(std::move(site)), wal_(wal), worker_count_(workers) {
   PRANY_CHECK(wal_ != nullptr && transport != nullptr && workers >= 1);
   // The harness Site registered itself with the transport in its
@@ -233,9 +252,32 @@ void LiveSite::HandleMessage(const QueuedMessage& qm) {
 // LiveSystem
 
 LiveSystem::LiveSystem(LiveSystemConfig config)
-    : config_(config), transport_(&loop_, &metrics_) {
+    : config_(std::move(config)), transport_(&loop_, &metrics_) {
   ObservabilityScope* scope = ObservabilityScope::Current();
   if (scope != nullptr && scope->tracing()) loop_.trace().Enable(false);
+  if (!config_.listen_address.empty()) {
+    SocketTransportConfig socket_config;
+    socket_config.listen_address = config_.listen_address;
+    for (const LiveSystemConfig::RemoteSite& peer : config_.remote_sites) {
+      socket_config.peers[peer.id] = peer.address;
+      Status registered =
+          pcp_.RegisterSite(peer.id, peer.participant_protocol);
+      PRANY_CHECK_MSG(registered.ok(), registered.ToString());
+    }
+    socket_transport_ = std::make_unique<SocketTransport>(
+        &loop_, &metrics_, std::move(socket_config));
+    socket_transport_->SetControlHandler(
+        [this](const std::vector<uint8_t>& body) { HandleControl(body); });
+    Status started = socket_transport_->Start();
+    PRANY_CHECK_MSG(started.ok(), started.ToString());
+    net_ = socket_transport_.get();
+  } else {
+    net_ = &transport_;
+  }
+  if (config_.txn_id_base != 0) {
+    MutexLock lock(submit_mu_);
+    txn_ids_.Seed(config_.txn_id_base);
+  }
   history_.SetObserver([this](const SigEvent& event) {
     if (event.type != SigEventType::kCoordDecide) return;
     PRANY_CHECK(event.outcome.has_value());
@@ -263,7 +305,14 @@ LiveSite* LiveSystem::AddSite(ProtocolKind participant_protocol,
 
 LiveSite* LiveSystem::AddSiteWithSpec(ProtocolKind participant_protocol,
                                       const CoordinatorSpec& spec) {
-  SiteId id = static_cast<SiteId>(sites_.size());
+  return AddSiteWithId(static_cast<SiteId>(sites_.size()),
+                       participant_protocol, spec);
+}
+
+LiveSite* LiveSystem::AddSiteWithId(SiteId id,
+                                    ProtocolKind participant_protocol,
+                                    const CoordinatorSpec& spec) {
+  PRANY_CHECK_MSG(site_index_.count(id) == 0, "duplicate site id");
   Status registered = pcp_.RegisterSite(id, participant_protocol);
   PRANY_CHECK_MSG(registered.ok(), registered.ToString());
 
@@ -275,8 +324,8 @@ LiveSite* LiveSystem::AddSiteWithSpec(ProtocolKind participant_protocol,
   PRANY_CHECK_MSG(opened.ok(), opened.ToString());
 
   auto site = std::make_unique<Site>(id, participant_protocol, spec, &loop_,
-                                     &transport_, &history_, &metrics_,
-                                     &pcp_, config_.timing, std::move(wal));
+                                     net_, &history_, &metrics_, &pcp_,
+                                     config_.timing, std::move(wal));
   // A live crash cannot restart itself (it fires inside the handler being
   // crashed, under the engine lock): hand the restart to the controller.
   site->SetRestartHandler([this](SiteId sid, SimDuration downtime) {
@@ -287,7 +336,8 @@ LiveSite* LiveSystem::AddSiteWithSpec(ProtocolKind participant_protocol,
     crash_cv_.NotifyOne();
   });
   sites_.push_back(std::make_unique<LiveSite>(
-      std::move(site), wal_raw, &transport_, config_.workers_per_site));
+      std::move(site), wal_raw, net_, config_.workers_per_site));
+  site_index_[id] = sites_.size() - 1;
   return sites_.back().get();
 }
 
@@ -319,25 +369,43 @@ TxnId LiveSystem::Submit(SiteId coordinator,
   return txn.id;
 }
 
-void LiveSystem::SubmitTransaction(const Transaction& txn) {
+bool LiveSystem::SubmitTransaction(const Transaction& txn) {
   // Same semantics as System::SubmitAt: install the planned votes, then
   // start commit processing at the coordinator. Each step runs under that
   // site's engine mutex; BeginCommit's initiation force (PrC and friends)
   // releases it mid-call, which is what lets many client threads coalesce
   // their initiation records into one fdatasync.
   for (const auto& [site_id, vote] : txn.planned_votes) {
-    LiveSite* ls = live_site(site_id);
+    LiveSite* ls = FindLocalSite(site_id);
+    if (ls == nullptr) {
+      // Remote participant: ship the planned vote as a control frame.
+      // It is enqueued on the same link BeginCommit's PREPARE will use,
+      // so per-link FIFO delivers the setup first.
+      PRANY_CHECK_MSG(socket_transport_ != nullptr, "unknown site id");
+      socket_transport_->SendControl(
+          site_id, EncodePlannedVote(txn.id, site_id, vote));
+      continue;
+    }
     ls->RunInline(
         [&]() { ls->site()->participant()->SetPlannedVote(txn.id, vote); });
   }
-  LiveSite* coord = live_site(txn.coordinator);
+  LiveSite* coord = FindLocalSite(txn.coordinator);
+  PRANY_CHECK_MSG(coord != nullptr,
+                  "coordinator must be hosted in this process");
+  // Refusal must be visible to the caller: a dropped submission has no
+  // decision coming, and a client awaiting it would camp on the full
+  // timeout. (A crash *during* BeginCommit still counts as accepted — the
+  // transaction entered commit processing and resolves by presumption.)
+  bool accepted = false;
   coord->RunInline([&]() {
     if (!coord->site()->IsUp()) {
       metrics_.Add("system.dropped_submissions");
       return;
     }
+    accepted = true;
     coord->site()->coordinator()->BeginCommit(txn);
   });
+  return accepted;
 }
 
 std::optional<Outcome> LiveSystem::Await(TxnId txn, uint64_t timeout_us) {
@@ -353,11 +421,35 @@ std::optional<Outcome> LiveSystem::Await(TxnId txn, uint64_t timeout_us) {
   return it->second;
 }
 
+void LiveSystem::HandleControl(const std::vector<uint8_t>& body) {
+  // Runs on the socket transport's epoll thread (or inline on the
+  // sender's thread for a loopback SendControl). Malformed or misrouted
+  // records are dropped — control frames are best-effort by contract.
+  ByteReader reader(body.data(), body.size());
+  uint8_t tag = 0;
+  if (!reader.GetU8(&tag).ok() || tag != kControlPlannedVote) return;
+  uint64_t txn = 0;
+  uint32_t site = 0;
+  uint8_t vote_raw = 0;
+  if (!reader.GetU64(&txn).ok() || !reader.GetU32(&site).ok() ||
+      !reader.GetU8(&vote_raw).ok()) {
+    return;
+  }
+  if (vote_raw > static_cast<uint8_t>(Vote::kReadOnly)) return;
+  LiveSite* ls = FindLocalSite(static_cast<SiteId>(site));
+  if (ls == nullptr) return;
+  ls->RunInline([&]() {
+    ls->site()->participant()->SetPlannedVote(
+        txn, static_cast<Vote>(vote_raw));
+  });
+}
+
 bool LiveSystem::Quiesce(uint64_t timeout_us) {
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::microseconds(timeout_us);
   while (true) {
-    bool idle = transport_.Idle();
+    bool idle = net_ == socket_transport_.get() ? socket_transport_->Idle()
+                                                : transport_.Idle();
     if (idle) {
       for (const auto& site : sites_) {
         if (!site->QueueIdle()) {
@@ -518,6 +610,7 @@ void LiveSystem::Stop() {
   // engines, and only then close the WALs (their sync threads must stay
   // alive until the last blocked durability wait has drained).
   transport_.Stop();
+  if (socket_transport_ != nullptr) socket_transport_->Stop();
   loop_.Stop();
   for (const auto& site : sites_) site->StopWorkers();
   for (const auto& site : sites_) {
@@ -561,8 +654,14 @@ std::vector<SiteEndState> LiveSystem::EndStates() const {
 }
 
 LiveSite* LiveSystem::live_site(SiteId id) {
-  PRANY_CHECK_MSG(id < sites_.size(), "unknown site id");
-  return sites_[id].get();
+  LiveSite* ls = FindLocalSite(id);
+  PRANY_CHECK_MSG(ls != nullptr, "unknown site id");
+  return ls;
+}
+
+LiveSite* LiveSystem::FindLocalSite(SiteId id) {
+  auto it = site_index_.find(id);
+  return it == site_index_.end() ? nullptr : sites_[it->second].get();
 }
 
 }  // namespace runtime

@@ -49,6 +49,7 @@
 #include "history/operational_checker.h"
 #include "runtime/live_loop.h"
 #include "runtime/live_transport.h"
+#include "runtime/socket_transport.h"
 #include "txn/transaction.h"
 #include "wal/file_stable_log.h"
 
@@ -71,6 +72,32 @@ struct LiveSystemConfig {
   GroupCommitConfig group_commit;
   /// Directory for per-site WAL files (site<N>.wal). Must exist.
   std::string log_dir = ".";
+
+  // ---- Socket cluster mode (multi-process sites) --------------------
+  //
+  // When listen_address is non-empty the system runs on a SocketTransport
+  // bound there instead of the in-memory transport. This process then
+  // hosts only its own sites — add them with AddSiteWithId so their ids
+  // match the global topology — while remote_sites describes every site
+  // hosted elsewhere. Remote participants are reachable for PREPAREs and
+  // planned-vote setup (sent as control frames ordered before the
+  // PREPAREs on the same link); coordinators must be local.
+
+  /// This process's listen address ("uds:<path>" or "tcp:host:port");
+  /// empty selects the in-memory LiveTransport.
+  std::string listen_address;
+  struct RemoteSite {
+    SiteId id = kInvalidSite;
+    /// Registered in the local PCP so MakeTransaction can resolve the
+    /// remote participant's protocol; must match what that process runs.
+    ProtocolKind participant_protocol = ProtocolKind::kPrN;
+    std::string address;  ///< Dial address, e.g. "uds:/tmp/site1.sock".
+  };
+  std::vector<RemoteSite> remote_sites;
+  /// First transaction id this process allocates (0 keeps the default).
+  /// Cluster processes must use disjoint ranges — e.g.
+  /// (site_id + 1) << 40 — so ids are globally unique.
+  TxnId txn_id_base = 0;
 };
 
 /// One site of the live system: the harness Site plus its worker pool,
@@ -78,7 +105,7 @@ struct LiveSystemConfig {
 class LiveSite : public NetworkEndpoint {
  public:
   LiveSite(std::unique_ptr<Site> site, FileStableLog* wal,
-           LiveTransport* transport, int workers);
+           ITransport* transport, int workers);
   ~LiveSite() override;
 
   LiveSite(const LiveSite&) = delete;
@@ -220,6 +247,12 @@ class LiveSystem {
   LiveSite* AddSiteWithSpec(ProtocolKind participant_protocol,
                             const CoordinatorSpec& spec);
 
+  /// Cluster-mode variant: adds a local site with an explicit (globally
+  /// meaningful, possibly sparse) id. Ids must be unique within the
+  /// process and disjoint from config.remote_sites.
+  LiveSite* AddSiteWithId(SiteId id, ProtocolKind participant_protocol,
+                          const CoordinatorSpec& spec);
+
   /// Builds a transaction descriptor with protocols resolved from the PCP.
   /// Thread-safe.
   Transaction MakeTransaction(SiteId coordinator,
@@ -231,7 +264,12 @@ class LiveSystem {
   /// to call from many client threads. Returns the txn id.
   TxnId Submit(SiteId coordinator, const std::vector<SiteId>& participants,
                const std::map<SiteId, Vote>& votes = {});
-  void SubmitTransaction(const Transaction& txn);
+
+  /// Returns false iff the submission was refused because the coordinator
+  /// was down: the transaction never entered commit processing and no
+  /// decision will ever be recorded for its id — awaiting it can only time
+  /// out, so callers must not camp on Await for a refused submission.
+  bool SubmitTransaction(const Transaction& txn);
 
   /// Blocks until the coordinator decides `txn` (observed on the history)
   /// or the wall-clock timeout (microseconds) elapses.
@@ -298,6 +336,10 @@ class LiveSystem {
 
   LiveEventLoop& loop() { return loop_; }
   LiveTransport& transport() { return transport_; }
+  /// Null unless config.listen_address selected socket mode.
+  SocketTransport* socket_transport() { return socket_transport_.get(); }
+  /// The transport the sites actually use.
+  ITransport* net() { return net_; }
   EventLog& history() { return history_; }
   const EventLog& history() const { return history_; }
   MetricsRegistry& metrics() { return metrics_; }
@@ -311,17 +353,34 @@ class LiveSystem {
   const LiveSystemConfig& config() const { return config_; }
 
  private:
+  /// Planned-vote setup record for a remote participant (control frame).
+  /// Best-effort like any message: a lost frame means the participant
+  /// falls back to its default vote, an omission the protocols absorb.
+  void HandleControl(const std::vector<uint8_t>& body);
+  /// live_site() that returns null instead of CHECKing — remote sites
+  /// are legitimately absent from this process.
+  LiveSite* FindLocalSite(SiteId id);
+
   LiveSystemConfig config_;
   LiveEventLoop loop_;
   MetricsRegistry metrics_;
   EventLog history_;
   LiveTransport transport_;
+  /// Socket cluster mode only; sites then register here, not with
+  /// transport_ (which stays idle).
+  std::unique_ptr<SocketTransport> socket_transport_;
+  /// Whichever of the two transports the sites use.
+  ITransport* net_ = nullptr;
   PcpTable pcp_;
   TxnIdGenerator txn_ids_ PRANY_GUARDED_BY(submit_mu_);
   /// Guards txn_ids_. Leaf: nothing is acquired while holding it.
   Mutex submit_mu_ PRANY_ACQUIRED_AFTER(lock_order::kCrashRank);
 
   std::vector<std::unique_ptr<LiveSite>> sites_;
+  /// SiteId -> index in sites_. Identity in-process; sparse in cluster
+  /// mode (a process hosts a subset of the global topology). Written
+  /// only during single-threaded setup (AddSite*).
+  std::map<SiteId, size_t> site_index_;
 
   /// Decision registry, sharded by txn id so a decide only wakes the
   /// clients parked on that shard (one cv for hundreds of closed-loop

@@ -11,13 +11,25 @@ namespace prany {
 namespace runtime {
 
 LoadGen::LoadGen(LiveSystem* system, LoadGenConfig config)
-    : system_(system), config_(config) {
+    : system_(system), config_(std::move(config)) {
   PRANY_CHECK(system != nullptr);
-  PRANY_CHECK(config.clients >= 1 && config.participants_per_txn >= 1);
+  PRANY_CHECK(config_.clients >= 1 && config_.participants_per_txn >= 1);
+  if (config_.sites.empty()) {
+    // Single-process default: the topology is the system's own sites.
+    for (size_t i = 0; i < system->site_count(); ++i) {
+      config_.sites.push_back(static_cast<SiteId>(i));
+    }
+  }
+  if (config_.coordinators.empty()) config_.coordinators = config_.sites;
   PRANY_CHECK_MSG(
-      system->site_count() >
-          static_cast<size_t>(config.participants_per_txn),
+      config_.sites.size() >
+          static_cast<size_t>(config_.participants_per_txn),
       "need more sites than participants per transaction");
+  for (SiteId coordinator : config_.coordinators) {
+    bool known = false;
+    for (SiteId site : config_.sites) known = known || site == coordinator;
+    PRANY_CHECK_MSG(known, "coordinator not in the site topology");
+  }
 }
 
 LoadGenReport LoadGen::Run() {
@@ -53,6 +65,7 @@ LoadGenReport LoadGen::Run() {
     total.committed += r.committed;
     total.aborted += r.aborted;
     total.timeouts += r.timeouts;
+    total.dropped += r.dropped;
     total.dual_role_submitted += r.dual_role_submitted;
   }
   total.elapsed_seconds =
@@ -62,11 +75,18 @@ LoadGenReport LoadGen::Run() {
 }
 
 void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
-  const size_t n_sites = system_->site_count();
-  // Spread coordination duty across sites so one engine mutex is not the
-  // bottleneck for the whole fleet.
+  const std::vector<SiteId>& sites = config_.sites;
+  const size_t n_sites = sites.size();
+  // Spread coordination duty across the eligible sites so one engine
+  // mutex is not the bottleneck for the whole fleet.
   const SiteId coordinator =
-      static_cast<SiteId>(client_index % static_cast<int>(n_sites));
+      config_.coordinators[static_cast<size_t>(client_index) %
+                           config_.coordinators.size()];
+  // The coordinator's position in the topology, for rotation arithmetic.
+  size_t coord_index = 0;
+  for (size_t i = 0; i < n_sites; ++i) {
+    if (sites[i] == coordinator) coord_index = i;
+  }
   Rng rng(config_.seed * 1000003 + static_cast<uint64_t>(client_index));
   MetricsRegistry::Distribution* latency_dist = nullptr;
 
@@ -79,10 +99,9 @@ void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
     participants.reserve(static_cast<size_t>(config_.participants_per_txn));
     uint64_t offset = rng.Uniform(0, n_sites - 2);
     for (int k = 0; k < config_.participants_per_txn; ++k) {
-      SiteId p = static_cast<SiteId>(
-          (coordinator + 1 + (offset + static_cast<uint64_t>(k)) %
-                                 (n_sites - 1)) %
-          n_sites);
+      SiteId p = sites[(coord_index + 1 +
+                        (offset + static_cast<uint64_t>(k)) % (n_sites - 1)) %
+                       n_sites];
       participants.push_back(p);
     }
     // Dual role: the coordinator takes the first participant slot (the
@@ -99,10 +118,19 @@ void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
     }
 
     auto t0 = std::chrono::steady_clock::now();
-    TxnId txn = system_->Submit(coordinator, participants, votes);
+    Transaction txn = system_->MakeTransaction(coordinator, participants,
+                                               votes);
     ++report->submitted;
+    if (!system_->SubmitTransaction(txn)) {
+      // Refused at a down coordinator: no decision is coming, so awaiting
+      // would only camp on the full timeout. Back off briefly instead of
+      // hammering the down site's engine mutex.
+      ++report->dropped;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
     std::optional<Outcome> outcome =
-        system_->Await(txn, config_.await_timeout_us);
+        system_->Await(txn.id, config_.await_timeout_us);
     auto t1 = std::chrono::steady_clock::now();
     if (!outcome.has_value()) {
       ++report->timeouts;

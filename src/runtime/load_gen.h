@@ -39,6 +39,16 @@ struct LoadGenConfig {
   /// client moves on.
   uint64_t await_timeout_us = 10'000'000;
   uint64_t seed = 1;
+
+  // ---- Cluster mode (socket transport) ------------------------------
+  /// Global topology override. Empty means "all of the system's sites"
+  /// (ids 0..site_count-1, the single-process default). In a
+  /// multi-process cluster each process's generator lists every site
+  /// here (participants may be remote) …
+  std::vector<SiteId> sites;
+  /// … but coordinates only at sites it hosts. Empty means any site in
+  /// the topology may coordinate; clients round-robin over this list.
+  std::vector<SiteId> coordinators;
 };
 
 struct LoadGenReport {
@@ -46,6 +56,12 @@ struct LoadGenReport {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t timeouts = 0;
+  /// Submissions the system refused because the coordinator was down.
+  /// Counted apart from timeouts (a refusal is instant; a timeout is a
+  /// decision that did not arrive in time), and never awaited. Every
+  /// submission lands in exactly one bucket:
+  ///   submitted == committed + aborted + timeouts + dropped.
+  uint64_t dropped = 0;
   uint64_t dual_role_submitted = 0;  ///< Coordinator participated in these.
   double elapsed_seconds = 0.0;
 

@@ -1,0 +1,670 @@
+#include "runtime/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace prany {
+namespace runtime {
+
+namespace {
+
+/// Read-side chunk; large enough that one recv() drains a burst of
+/// protocol frames (each is tens of bytes).
+constexpr size_t kRecvChunk = 64 * 1024;
+
+int SetNoDelay(int fd) {
+  int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Fills a sockaddr for `addr`. Returns the length, or 0 on failure
+/// (path too long / bad IPv4 literal).
+socklen_t FillSockaddr(const SocketAddress& addr, sockaddr_storage* out) {
+  std::memset(out, 0, sizeof(*out));
+  if (addr.uds) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(out);
+    if (addr.path.size() >= sizeof(sun->sun_path)) return 0;
+    sun->sun_family = AF_UNIX;
+    std::memcpy(sun->sun_path, addr.path.c_str(), addr.path.size() + 1);
+    return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  addr.path.size() + 1);
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(out);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  if (addr.host.empty() || addr.host == "0.0.0.0") {
+    sin->sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, addr.host.c_str(), &sin->sin_addr) != 1) {
+    return 0;
+  }
+  return sizeof(sockaddr_in);
+}
+
+}  // namespace
+
+Result<SocketAddress> ParseSocketAddress(const std::string& spec) {
+  SocketAddress addr;
+  addr.spelling = spec;
+  if (spec.rfind("uds:", 0) == 0) {
+    addr.uds = true;
+    addr.path = spec.substr(4);
+    if (addr.path.empty()) {
+      return Status::InvalidArgument("empty uds path in \"" + spec + "\"");
+    }
+    if (addr.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Status::InvalidArgument("uds path too long in \"" + spec + "\"");
+    }
+    return addr;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const size_t colon = spec.rfind(':');
+    if (colon <= 3 || colon + 1 >= spec.size()) {
+      return Status::InvalidArgument("expected tcp:host:port, got \"" +
+                                     spec + "\"");
+    }
+    addr.host = spec.substr(4, colon - 4);
+    uint64_t port = 0;
+    for (size_t i = colon + 1; i < spec.size(); ++i) {
+      const char c = spec[i];
+      if (c < '0' || c > '9' || port > 65535) {
+        return Status::InvalidArgument("bad port in \"" + spec + "\"");
+      }
+      port = port * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (port > 65535) {
+      return Status::InvalidArgument("bad port in \"" + spec + "\"");
+    }
+    addr.port = static_cast<uint16_t>(port);
+    sockaddr_storage ss;
+    if (FillSockaddr(addr, &ss) == 0) {
+      return Status::InvalidArgument("host must be an IPv4 literal in \"" +
+                                     spec + "\"");
+    }
+    return addr;
+  }
+  return Status::InvalidArgument(
+      "address must start with uds: or tcp:, got \"" + spec + "\"");
+}
+
+SocketTransport::SocketTransport(EventLoop* loop, MetricsRegistry* metrics,
+                                 SocketTransportConfig config)
+    : loop_(loop), metrics_(metrics), config_(std::move(config)) {
+  PRANY_CHECK(loop != nullptr);
+}
+
+SocketTransport::~SocketTransport() { Stop(); }
+
+Status SocketTransport::Start() {
+  PRANY_CHECK(!started_.load() && !stopped_.load());
+
+  Result<SocketAddress> listen = ParseSocketAddress(config_.listen_address);
+  if (!listen.ok()) return listen.status();
+  listen_address_ = *listen;
+
+  for (const auto& [site, spec] : config_.peers) {
+    PRANY_CHECK_MSG(site < kMaxSites, "peer SiteId out of range");
+    Result<SocketAddress> peer = ParseSocketAddress(spec);
+    if (!peer.ok()) return peer.status();
+    auto link = std::make_unique<Link>();
+    link->handle.owner = link.get();
+    link->peer = site;
+    link->address = *peer;
+    link_by_site_[site] = link.get();
+    links_.push_back(std::move(link));
+  }
+
+  auto fail = [this](std::string msg) {
+    msg += ": ";
+    msg += std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+    return Status::Unavailable(std::move(msg));
+  };
+
+  const int af = listen_address_.uds ? AF_UNIX : AF_INET;
+  listen_fd_ = ::socket(af, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket(" + listen_address_.spelling + ")");
+  if (listen_address_.uds) {
+    // A stale socket file from a previous (possibly SIGKILLed) process
+    // would make bind fail; the path is ours by configuration.
+    ::unlink(listen_address_.path.c_str());
+  } else {
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  sockaddr_storage ss;
+  socklen_t len = FillSockaddr(listen_address_, &ss);
+  PRANY_CHECK(len > 0);  // ParseSocketAddress validated this
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&ss), len) != 0) {
+    return fail("bind(" + listen_address_.spelling + ")");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return fail("listen(" + listen_address_.spelling + ")");
+  }
+  if (listen_address_.uds) {
+    bound_address_ = listen_address_.spelling;
+  } else {
+    // Report the kernel-chosen port for "tcp:host:0" listeners.
+    sockaddr_in bound;
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &blen) != 0) {
+      return fail("getsockname");
+    }
+    bound_address_ = StrFormat("tcp:%s:%u", listen_address_.host.c_str(),
+                               static_cast<unsigned>(ntohs(bound.sin_port)));
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return fail("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return fail("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &wake_handle_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return fail("epoll_ctl(wake)");
+  }
+  ev.data.ptr = &listener_handle_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return fail("epoll_ctl(listener)");
+  }
+
+  started_.store(true);
+  io_thread_ = std::thread([this]() { IoThreadMain(); });
+  return Status::OK();
+}
+
+void SocketTransport::RegisterEndpoint(SiteId site,
+                                       NetworkEndpoint* endpoint) {
+  PRANY_CHECK(endpoint != nullptr);
+  PRANY_CHECK_MSG(site < kMaxSites, "SiteId out of range");
+  PRANY_CHECK_MSG(config_.peers.count(site) == 0,
+                  "site is configured as a remote peer");
+  endpoints_[site].store(endpoint, std::memory_order_release);
+}
+
+void SocketTransport::Send(const Message& msg) {
+  PRANY_CHECK(msg.from != kInvalidSite && msg.to != kInvalidSite);
+  std::vector<uint8_t> body = msg.Encode();
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(body.size(), std::memory_order_relaxed);
+  const size_t type_index = static_cast<size_t>(msg.type);
+  PRANY_CHECK(type_index < kMessageTypes);
+  msg_type_counts_[type_index].fetch_add(1, std::memory_order_relaxed);
+  if (loop_->trace().enabled()) {
+    TraceEvent e = NetTraceEvent(TraceEventKind::kMsgSend, msg, false);
+    e.value = static_cast<int64_t>(body.size());
+    loop_->Emit(std::move(e));
+  }
+  if (stopped_.load(std::memory_order_acquire)) return;
+
+  Link* link = msg.to < kMaxSites ? link_by_site_[msg.to] : nullptr;
+  if (link == nullptr) {
+    // Local site: deliver on the sender's thread (for a LiveSite,
+    // OnMessage only enqueues into its worker queue).
+    DeliverLocal(msg);
+    return;
+  }
+  std::vector<uint8_t> framed;
+  net::AppendFrame(&framed, net::FrameType::kMessage, body);
+  EnqueueFrame(link, std::move(framed));
+}
+
+void SocketTransport::SendControl(SiteId to,
+                                  const std::vector<uint8_t>& body) {
+  controls_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (stopped_.load(std::memory_order_acquire)) return;
+  Link* link = to < kMaxSites ? link_by_site_[to] : nullptr;
+  if (link == nullptr) {
+    if (control_handler_) {
+      controls_delivered_.fetch_add(1, std::memory_order_relaxed);
+      control_handler_(body);
+    }
+    return;
+  }
+  std::vector<uint8_t> framed;
+  net::AppendFrame(&framed, net::FrameType::kControl, body);
+  EnqueueFrame(link, std::move(framed));
+}
+
+void SocketTransport::EnqueueFrame(Link* link,
+                                   std::vector<uint8_t>&& framed) {
+  {
+    MutexLock lock(link->mu);
+    if (link->queue.size() >= config_.max_link_backlog) {
+      // Never block a sender on a slow/dead peer; the drop is an
+      // omission the protocols already tolerate.
+      frames_dropped_backlog_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    link->queue.push_back(std::move(framed));
+  }
+  WakeIo();
+}
+
+void SocketTransport::WakeIo() {
+  uint64_t one = 1;
+  // EAGAIN means the counter is already nonzero — a wake is pending.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void SocketTransport::DeliverLocal(const Message& msg) {
+  PRANY_CHECK_MSG(msg.to < kMaxSites, "SiteId out of range");
+  NetworkEndpoint* endpoint =
+      endpoints_[msg.to].load(std::memory_order_acquire);
+  if (endpoint == nullptr) {
+    // A peer can connect and deliver the instant the listener is up,
+    // before this process has registered its own sites — the receiver
+    // is "not up yet", and the drop is an ordinary omission.
+    messages_lost_down_.fetch_add(1, std::memory_order_relaxed);
+    if (loop_->trace().enabled()) {
+      loop_->Emit(NetTraceEvent(TraceEventKind::kMsgLostDown, msg, true));
+    }
+    return;
+  }
+  if (!endpoint->IsUp()) {
+    messages_lost_down_.fetch_add(1, std::memory_order_relaxed);
+    if (loop_->trace().enabled()) {
+      loop_->Emit(NetTraceEvent(TraceEventKind::kMsgLostDown, msg, true));
+    }
+    return;
+  }
+  messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (loop_->trace().enabled()) {
+    loop_->Emit(NetTraceEvent(TraceEventKind::kMsgDeliver, msg, true));
+  }
+  endpoint->OnMessage(msg);
+}
+
+void SocketTransport::IoThreadMain() {
+  epoll_event events[64];
+  while (!stopped_.load(std::memory_order_acquire)) {
+    const int timeout_ms = MaintainLinks();
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      PRANY_CHECK_MSG(errno == EINTR, "epoll_wait failed");
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      auto* handle = static_cast<EpollHandle*>(events[i].data.ptr);
+      switch (handle->kind) {
+        case EpollHandle::kWake: {
+          uint64_t drained;
+          while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+          }
+          break;  // MaintainLinks() on the next loop iteration reacts
+        }
+        case EpollHandle::kListener:
+          HandleListener();
+          break;
+        case EpollHandle::kInbound:
+          HandleInbound(static_cast<InboundConn*>(handle->owner),
+                        events[i].events);
+          break;
+        case EpollHandle::kOutbound:
+          HandleOutbound(static_cast<Link*>(handle->owner),
+                         events[i].events);
+          break;
+      }
+    }
+  }
+}
+
+int SocketTransport::MaintainLinks() {
+  const auto now = std::chrono::steady_clock::now();
+  int timeout_ms = -1;
+  auto wait_until = [&](std::chrono::steady_clock::time_point when) {
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  when - now)
+                  .count();
+    int clamped = ms <= 0 ? 0 : (ms > 1000 ? 1000 : static_cast<int>(ms) + 1);
+    if (timeout_ms < 0 || clamped < timeout_ms) timeout_ms = clamped;
+  };
+  for (const auto& owned : links_) {
+    Link* link = owned.get();
+    bool has_data;
+    {
+      MutexLock lock(link->mu);
+      has_data = !link->queue.empty();
+    }
+    if (link->state == Link::kConnecting && now >= link->connect_deadline) {
+      CloseOutbound(link, /*backoff=*/true);
+    }
+    if (link->state == Link::kDisconnected && has_data &&
+        now >= link->next_attempt) {
+      StartConnect(link);
+    }
+    switch (link->state) {
+      case Link::kConnected:
+        if (has_data && !link->epollout_armed) {
+          epoll_event ev{};
+          ev.events = EPOLLOUT;
+          ev.data.ptr = &link->handle;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, link->fd, &ev);
+          link->epollout_armed = true;
+        }
+        break;
+      case Link::kConnecting:
+        wait_until(link->connect_deadline);
+        break;
+      case Link::kDisconnected:
+        if (has_data) wait_until(link->next_attempt);
+        break;
+    }
+  }
+  return timeout_ms;
+}
+
+void SocketTransport::StartConnect(Link* link) {
+  connects_attempted_.fetch_add(1, std::memory_order_relaxed);
+  const int af = link->address.uds ? AF_UNIX : AF_INET;
+  const int fd = ::socket(af, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  auto schedule_retry = [this, link]() {
+    link->backoff_us = link->backoff_us == 0
+                           ? config_.reconnect_min_us
+                           : std::min(link->backoff_us * 2,
+                                      config_.reconnect_max_us);
+    link->next_attempt = std::chrono::steady_clock::now() +
+                         std::chrono::microseconds(link->backoff_us);
+  };
+  if (fd < 0) {
+    schedule_retry();
+    return;
+  }
+  if (!link->address.uds) SetNoDelay(fd);
+  sockaddr_storage ss;
+  const socklen_t len = FillSockaddr(link->address, &ss);
+  PRANY_CHECK(len > 0);  // validated in Start()
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&ss), len);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    schedule_retry();
+    return;
+  }
+  link->fd = fd;
+  epoll_event ev{};
+  ev.events = EPOLLOUT;
+  ev.data.ptr = &link->handle;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    link->fd = -1;
+    schedule_retry();
+    return;
+  }
+  link->epollout_armed = true;
+  if (rc == 0) {
+    link->state = Link::kConnected;
+    link->backoff_us = 0;
+    connects_completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    link->state = Link::kConnecting;
+    link->connect_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(config_.connect_timeout_us);
+  }
+}
+
+void SocketTransport::HandleOutbound(Link* link, uint32_t events) {
+  if (link->state == Link::kConnecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0 ||
+        ::getsockopt(link->fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      CloseOutbound(link, /*backoff=*/true);
+      return;
+    }
+    link->state = Link::kConnected;
+    link->backoff_us = 0;
+    connects_completed_.fetch_add(1, std::memory_order_relaxed);
+  } else if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    CloseOutbound(link, /*backoff=*/true);
+    return;
+  }
+  FlushLink(link);
+}
+
+void SocketTransport::FlushLink(Link* link) {
+  bool broken = false;
+  {
+    MutexLock lock(link->mu);
+    while (!link->queue.empty()) {
+      const std::vector<uint8_t>& front = link->queue.front();
+      const ssize_t n =
+          ::send(link->fd, front.data() + link->write_off,
+                 front.size() - link->write_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        link->write_off += static_cast<size_t>(n);
+        if (link->write_off == front.size()) {
+          // Popped only when fully written: an interrupted connection
+          // rewinds write_off and resends the frame whole.
+          link->queue.pop_front();
+          link->write_off = 0;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;  // socket buffer full; EPOLLOUT stays armed
+      }
+      broken = true;  // EPIPE/ECONNRESET/...: redial with backoff
+      break;
+    }
+    if (!broken) {
+      // Drained. Disarm EPOLLOUT so a connected-but-idle link doesn't
+      // spin the epoll thread (EPOLLERR/HUP are always reported).
+      epoll_event ev{};
+      ev.events = 0;
+      ev.data.ptr = &link->handle;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, link->fd, &ev);
+      link->epollout_armed = false;
+      return;
+    }
+  }
+  CloseOutbound(link, /*backoff=*/true);
+}
+
+void SocketTransport::CloseOutbound(Link* link, bool backoff) {
+  if (link->fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link->fd, nullptr);
+    ::close(link->fd);
+    link->fd = -1;
+  }
+  link->state = Link::kDisconnected;
+  link->epollout_armed = false;
+  {
+    MutexLock lock(link->mu);
+    link->write_off = 0;
+  }
+  if (backoff) {
+    link->backoff_us = link->backoff_us == 0
+                           ? config_.reconnect_min_us
+                           : std::min(link->backoff_us * 2,
+                                      config_.reconnect_max_us);
+    link->next_attempt = std::chrono::steady_clock::now() +
+                         std::chrono::microseconds(link->backoff_us);
+  }
+}
+
+void SocketTransport::HandleListener() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error; epoll re-arms us
+    }
+    if (!listen_address_.uds) SetNoDelay(fd);
+    auto conn = std::make_unique<InboundConn>();
+    conn->handle.owner = conn.get();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &conn->handle;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    accepts_.fetch_add(1, std::memory_order_relaxed);
+    inbound_.push_back(std::move(conn));
+  }
+}
+
+void SocketTransport::HandleInbound(InboundConn* conn, uint32_t events) {
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0 && (events & EPOLLIN) == 0) {
+    CloseInbound(conn);
+    return;
+  }
+  uint8_t buf[kRecvChunk];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->parser.Feed(buf, static_cast<size_t>(n));
+      for (;;) {
+        net::Frame frame;
+        bool got = false;
+        const Status s = conn->parser.Next(&frame, &got);
+        if (!s.ok()) {
+          // Desynchronized stream: drop the connection; the peer
+          // redials and resends its queue from a clean boundary.
+          frames_dropped_corrupt_.fetch_add(1, std::memory_order_relaxed);
+          CloseInbound(conn);
+          return;
+        }
+        if (!got) break;
+        if (!DispatchFrame(frame)) {
+          frames_dropped_corrupt_.fetch_add(1, std::memory_order_relaxed);
+          CloseInbound(conn);
+          return;
+        }
+      }
+      continue;
+    }
+    if (n == 0) {
+      // EOF: the peer closed (crash or clean shutdown). Any partial
+      // frame in the parser dies with the connection.
+      CloseInbound(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseInbound(conn);
+    return;
+  }
+}
+
+void SocketTransport::CloseInbound(InboundConn* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  for (size_t i = 0; i < inbound_.size(); ++i) {
+    if (inbound_[i].get() == conn) {
+      inbound_.erase(inbound_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+bool SocketTransport::DispatchFrame(const net::Frame& frame) {
+  switch (frame.type) {
+    case net::FrameType::kMessage: {
+      Result<Message> decoded = Message::Decode(frame.body);
+      if (!decoded.ok()) return false;
+      DeliverLocal(*decoded);
+      return true;
+    }
+    case net::FrameType::kControl:
+      if (control_handler_) {
+        controls_delivered_.fetch_add(1, std::memory_order_relaxed);
+        control_handler_(frame.body);
+      }
+      return true;
+  }
+  return false;  // unknown frame type: stream is suspect
+}
+
+void SocketTransport::Stop() {
+  if (stopped_.exchange(true)) return;
+  if (started_.load()) {
+    WakeIo();
+    if (io_thread_.joinable()) io_thread_.join();
+  }
+  for (const auto& link : links_) {
+    if (link->fd >= 0) {
+      ::close(link->fd);
+      link->fd = -1;
+    }
+  }
+  for (const auto& conn : inbound_) ::close(conn->fd);
+  inbound_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  if (listen_address_.uds && !listen_address_.path.empty()) {
+    ::unlink(listen_address_.path.c_str());
+  }
+  // Fold per-type send counts under the same names the other transports
+  // use, so exported metrics stay comparable across backends.
+  if (metrics_ != nullptr) {
+    for (size_t i = 0; i < kMessageTypes; ++i) {
+      const uint64_t n = msg_type_counts_[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      metrics_->Add("net.msg." + ToString(static_cast<MessageType>(i)),
+                    static_cast<int64_t>(n));
+    }
+    const uint64_t bytes = bytes_sent_.load(std::memory_order_relaxed);
+    if (bytes != 0) {
+      metrics_->Add("net.bytes", static_cast<int64_t>(bytes));
+    }
+  }
+}
+
+bool SocketTransport::Idle() const {
+  for (const auto& link : links_) {
+    MutexLock lock(link->mu);
+    if (!link->queue.empty()) return false;
+  }
+  return true;
+}
+
+SocketTransportStats SocketTransport::stats() const {
+  SocketTransportStats s;
+  s.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.messages_delivered = messages_delivered_.load(std::memory_order_relaxed);
+  s.messages_lost_down =
+      messages_lost_down_.load(std::memory_order_relaxed);
+  s.connects_attempted =
+      connects_attempted_.load(std::memory_order_relaxed);
+  s.connects_completed =
+      connects_completed_.load(std::memory_order_relaxed);
+  s.accepts = accepts_.load(std::memory_order_relaxed);
+  s.frames_dropped_backlog =
+      frames_dropped_backlog_.load(std::memory_order_relaxed);
+  s.frames_dropped_corrupt =
+      frames_dropped_corrupt_.load(std::memory_order_relaxed);
+  s.controls_sent = controls_sent_.load(std::memory_order_relaxed);
+  s.controls_delivered =
+      controls_delivered_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace runtime
+}  // namespace prany

@@ -1,0 +1,294 @@
+// Real-network transport: sites in different OS processes exchanging
+// protocol messages over TCP or Unix-domain sockets.
+//
+// Topology. Each process runs one SocketTransport. It listens on one
+// address (config.listen_address) and knows a dial address for every
+// *remote* site (config.peers). Sites hosted in this process register
+// endpoints exactly as they do with LiveTransport; a Send() to a local
+// site is delivered in-memory on the sender's thread, so a process
+// hosting several sites pays the socket only for genuinely remote links.
+//
+// Connections are unidirectional. For every remote peer the transport
+// keeps one *outbound* connection it dials and only writes to; the
+// listener accepts anonymous *inbound* connections it only reads from.
+// This keeps connection state trivially per-directed-link: the frames
+// queued on an outbound link are exactly the messages in flight A -> B,
+// and per-link FIFO order falls out of the single queue + single writer.
+//
+// Framing is net/wire.h: length-prefixed frames carrying either an
+// encoded protocol Message (FrameType::kMessage) or an opaque control
+// record (FrameType::kControl — the runtime uses these for transaction
+// setup that must order before the PREPAREs following on the same link).
+//
+// I/O model. One epoll thread owns every socket. Senders never touch a
+// socket: Send() encodes and frames on the caller's thread, appends to
+// the peer's queue under a per-link mutex, and wakes the epoll thread
+// through an eventfd. The epoll thread writes queued frames with
+// non-blocking send()s, tracking a byte offset into the front frame; a
+// frame is popped only once fully written.
+//
+// Failure semantics match the omission model the protocols assume:
+//
+//   - A dead connection is redialed with exponential backoff
+//     (reconnect_min_us doubling to reconnect_max_us). Queued frames
+//     survive the reconnect; a frame that was only partially written is
+//     rewound and resent whole. The receiver drops its partial tail with
+//     the connection, so frames are never duplicated — but frames fully
+//     written into a socket that then died may be lost, exactly the
+//     loss the protocols already recover from via timers and inquiry.
+//   - A full outbound queue (max_link_backlog frames) drops the new
+//     frame, counted in stats. Send() never blocks on a slow peer.
+//   - Messages to a local endpoint that is down are lost, with the same
+//     MSG_LOST_DOWN trace event the other transports emit. Remote
+//     deliveries check IsUp() on the receiving process's endpoint.
+//
+// Trace/metric conventions are identical to net::Network and
+// LiveTransport (see NetTraceEvent): MSG_SEND fires on the sender's
+// process, MSG_DELIVER on the receiver's, which is what lets the
+// trace-equivalence suite compare protocol exchanges across backends and
+// lets multi-process histories be merged for atomicity checking.
+
+#ifndef PRANY_RUNTIME_SOCKET_TRANSPORT_H_
+#define PRANY_RUNTIME_SOCKET_TRANSPORT_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "runtime/event_loop.h"
+
+namespace prany {
+namespace runtime {
+
+/// A parsed socket address. Accepted spellings:
+///   "uds:<path>"        — Unix-domain stream socket at <path>.
+///   "tcp:<host>:<port>" — TCP; <host> must be an IPv4 literal (the
+///                         transport never does DNS, so dials cannot
+///                         block on a resolver).
+struct SocketAddress {
+  bool uds = false;
+  std::string path;        ///< UDS only.
+  std::string host;        ///< TCP only; IPv4 literal.
+  uint16_t port = 0;       ///< TCP only.
+  std::string spelling;    ///< The original string, for messages.
+};
+
+/// Parses an address spelling (see SocketAddress).
+Result<SocketAddress> ParseSocketAddress(const std::string& spec);
+
+struct SocketTransportConfig {
+  /// Where this process accepts connections ("uds:..." or "tcp:...").
+  std::string listen_address;
+  /// Dial address per *remote* site. Sites absent from this map are
+  /// local and must RegisterEndpoint before traffic reaches them.
+  std::map<SiteId, std::string> peers;
+  /// Reconnect backoff: first retry after min, doubling to max.
+  uint64_t reconnect_min_us = 10'000;
+  uint64_t reconnect_max_us = 1'000'000;
+  /// A connect() pending longer than this is abandoned and retried.
+  uint64_t connect_timeout_us = 1'000'000;
+  /// Frames queued per remote link before new sends are dropped.
+  size_t max_link_backlog = 4096;
+};
+
+/// Counters. A snapshot is only consistent when the transport is idle.
+struct SocketTransportStats {
+  uint64_t messages_sent = 0;       ///< Local and remote.
+  uint64_t bytes_sent = 0;  ///< Encoded message bytes (comparable to the
+                            ///< other transports' net.bytes metric).
+  uint64_t messages_delivered = 0;  ///< Delivered to a local endpoint.
+  uint64_t messages_lost_down = 0;  ///< Local endpoint was down.
+  uint64_t connects_attempted = 0;
+  uint64_t connects_completed = 0;
+  uint64_t accepts = 0;
+  uint64_t frames_dropped_backlog = 0;  ///< Outbound queue full.
+  uint64_t frames_dropped_corrupt = 0;  ///< Inbound stream desync.
+  uint64_t controls_sent = 0;
+  uint64_t controls_delivered = 0;
+};
+
+class SocketTransport : public ITransport {
+ public:
+  /// `loop` supplies timestamps for trace events; `metrics` may be null.
+  /// The constructor only records configuration — Start() does the
+  /// binding and spawns the I/O thread, so a bad address surfaces as a
+  /// Status instead of a constructor failure.
+  SocketTransport(EventLoop* loop, MetricsRegistry* metrics,
+                  SocketTransportConfig config);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Binds the listener, dials nothing yet (links connect lazily on
+  /// first traffic), and starts the epoll thread.
+  Status Start();
+
+  /// Registers (or swaps — LiveSite interposes on the harness Site's
+  /// self-registration) the endpoint for a *local* site. Registering a
+  /// site listed in config.peers is a programming error.
+  void RegisterEndpoint(SiteId site, NetworkEndpoint* endpoint) override;
+
+  void Send(const Message& msg) override;
+
+  /// Sends an opaque control record to `to`, FIFO-ordered with Send()s
+  /// on the same link. For a local site the handler runs synchronously
+  /// on the caller's thread. Control frames are best-effort like
+  /// messages: callers must tolerate loss (e.g. make records idempotent
+  /// and re-sendable).
+  void SendControl(SiteId to, const std::vector<uint8_t>& body);
+
+  /// Handler for received control frames; runs on the epoll thread (or
+  /// the sender's thread for local loopback). Must be set before
+  /// Start() and never changed after.
+  void SetControlHandler(std::function<void(const std::vector<uint8_t>&)> fn) {
+    control_handler_ = std::move(fn);
+  }
+
+  /// Stops the epoll thread and closes every socket. Undelivered queued
+  /// frames are dropped (the shutdown contract all transports share).
+  /// Idempotent; sends after Stop() are counted but dropped.
+  void Stop();
+
+  /// True when every outbound queue is empty (all frames handed to the
+  /// kernel). Says nothing about remote processes.
+  bool Idle() const;
+
+  SocketTransportStats stats() const;
+
+  /// The address actually bound — for "tcp:host:0" this carries the
+  /// kernel-assigned port. Valid after Start().
+  const std::string& bound_address() const { return bound_address_; }
+
+ private:
+  /// First member of every struct registered with epoll; data.ptr points
+  /// here and `kind` says what to cast the pointer back to.
+  struct EpollHandle {
+    enum Kind : int { kWake, kListener, kInbound, kOutbound };
+    Kind kind;
+    /// The containing InboundConn/Link (casting back via the first-member
+    /// trick would be UB for these non-standard-layout structs).
+    void* owner = nullptr;
+  };
+
+  /// An accepted connection: read-only, anonymous. Owned and touched by
+  /// the epoll thread exclusively.
+  struct InboundConn {
+    EpollHandle handle{EpollHandle::kInbound};
+    int fd = -1;
+    net::FrameParser parser;
+  };
+
+  /// The outbound link to one remote site. Queue state is shared with
+  /// senders (guarded by mu); socket state belongs to the epoll thread.
+  struct Link {
+    EpollHandle handle{EpollHandle::kOutbound};
+    SiteId peer = kInvalidSite;
+    SocketAddress address;
+
+    /// Queue rank: senders append while holding an engine mutex; the
+    /// epoll thread acquires nothing while holding it.
+    mutable Mutex mu PRANY_ACQUIRED_AFTER(lock_order::kEngineRank)
+        PRANY_ACQUIRED_BEFORE(lock_order::kWalSyncRank);
+    /// Framed bytes awaiting the socket, oldest first.
+    std::deque<std::vector<uint8_t>> queue PRANY_GUARDED_BY(mu);
+    /// Bytes of queue.front() already written. Rewound to 0 when the
+    /// connection dies so the frame is resent whole.
+    size_t write_off PRANY_GUARDED_BY(mu) = 0;
+
+    // ---- epoll-thread-only state ----
+    enum State { kDisconnected, kConnecting, kConnected };
+    State state = kDisconnected;
+    int fd = -1;
+    bool epollout_armed = false;
+    uint64_t backoff_us = 0;
+    std::chrono::steady_clock::time_point next_attempt{};
+    std::chrono::steady_clock::time_point connect_deadline{};
+  };
+
+  void IoThreadMain();
+  /// Starts due connects, arms EPOLLOUT where data is pending, and
+  /// returns the epoll timeout (ms) until the next reconnect attempt.
+  int MaintainLinks();
+  void StartConnect(Link* link);
+  void HandleOutbound(Link* link, uint32_t events);
+  /// Writes queued frames until EAGAIN or empty; disarms EPOLLOUT when
+  /// drained. Closes + schedules reconnect on write errors.
+  void FlushLink(Link* link);
+  void CloseOutbound(Link* link, bool backoff);
+  void HandleListener();
+  void HandleInbound(InboundConn* conn, uint32_t events);
+  void CloseInbound(InboundConn* conn);
+  /// Decodes and delivers one received frame to the local endpoint /
+  /// control handler. Returns false on a malformed message frame (the
+  /// connection is then dropped).
+  bool DispatchFrame(const net::Frame& frame);
+  /// In-memory delivery to a registered local endpoint (both loopback
+  /// sends and frames arriving over a socket).
+  void DeliverLocal(const Message& msg);
+  void EnqueueFrame(Link* link, std::vector<uint8_t>&& framed);
+  void WakeIo();
+
+  EventLoop* loop_;
+  MetricsRegistry* metrics_;
+  SocketTransportConfig config_;
+
+  /// Local endpoints, indexed by SiteId. Lock-free readers; writers are
+  /// setup-time registration (and LiveSite's endpoint swap).
+  static constexpr size_t kMaxSites = 64;
+  std::array<std::atomic<NetworkEndpoint*>, kMaxSites> endpoints_{};
+
+  std::vector<std::unique_ptr<Link>> links_;
+  std::array<Link*, kMaxSites> link_by_site_{};
+
+  std::function<void(const std::vector<uint8_t>&)> control_handler_;
+
+  EpollHandle wake_handle_{EpollHandle::kWake};
+  EpollHandle listener_handle_{EpollHandle::kListener};
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;
+  SocketAddress listen_address_;
+  std::string bound_address_;
+  /// Inbound connections, epoll-thread-owned.
+  std::vector<std::unique_ptr<InboundConn>> inbound_;
+
+  std::thread io_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_delivered_{0};
+  std::atomic<uint64_t> messages_lost_down_{0};
+  std::atomic<uint64_t> connects_attempted_{0};
+  std::atomic<uint64_t> connects_completed_{0};
+  std::atomic<uint64_t> accepts_{0};
+  std::atomic<uint64_t> frames_dropped_backlog_{0};
+  std::atomic<uint64_t> frames_dropped_corrupt_{0};
+  std::atomic<uint64_t> controls_sent_{0};
+  std::atomic<uint64_t> controls_delivered_{0};
+  /// Per-MessageType send counts, folded into `metrics_` once in Stop()
+  /// (same reasoning as LiveTransport: the registry's mutex + string key
+  /// per Add is real CPU at live message rates).
+  static constexpr size_t kMessageTypes = 6;
+  std::array<std::atomic<uint64_t>, kMessageTypes> msg_type_counts_{};
+};
+
+}  // namespace runtime
+}  // namespace prany
+
+#endif  // PRANY_RUNTIME_SOCKET_TRANSPORT_H_

@@ -53,6 +53,10 @@ class TxnIdGenerator {
  public:
   TxnId Next() { return next_++; }
 
+  /// Starts allocation at `base` (must be > 0). Multi-process clusters
+  /// give each process a disjoint range so ids stay globally unique.
+  void Seed(TxnId base) { next_ = base; }
+
  private:
   TxnId next_ = 1;
 };

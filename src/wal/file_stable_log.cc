@@ -325,14 +325,21 @@ Status FileStableLog::CompactAndResume() {
     ssize_t n =
         ::write(tmp_fd, bytes.data() + written, bytes.size() - written);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
+    // A 0 return is a legal short write (no error; nothing consumed) and
+    // must be retried, not treated as failure.
+    if (n == 0) continue;
+    if (n < 0) {
       ::close(tmp_fd);
       return Status::Unavailable(
           StrFormat("write(%s): %s", tmp_path.c_str(), SafeStrError(errno).c_str()));
     }
     written += static_cast<size_t>(n);
   }
-  if (::fdatasync(tmp_fd) != 0 ||
+  int sync_rc;
+  do {
+    sync_rc = ::fdatasync(tmp_fd);
+  } while (sync_rc != 0 && errno == EINTR);
+  if (sync_rc != 0 ||
       ::rename(tmp_path.c_str(), path_.c_str()) != 0) {
     ::close(tmp_fd);
     return Status::Unavailable(StrFormat("compact(%s): %s", path_.c_str(),
@@ -406,6 +413,9 @@ void FileStableLog::SyncThreadMain() {
     while (written < batch.size()) {
       ssize_t n = ::write(fd_, batch.data() + written, batch.size() - written);
       if (n < 0 && errno == EINTR) continue;
+      // 0 is a legal short write (nothing consumed, no error set): retry.
+      // The old CHECK(n > 0) took the whole fsync thread down on it.
+      if (n == 0) continue;
       PRANY_CHECK_MSG(n > 0, StrFormat("wal write(%s): %s", path_.c_str(),
                                        SafeStrError(errno).c_str()));
       written += static_cast<size_t>(n);
@@ -413,7 +423,11 @@ void FileStableLog::SyncThreadMain() {
     // A crash that lands mid-batch must not complete the sync: the bytes
     // just written stay unacknowledged and the teardown may tear them.
     if (crashed_.load()) return;
-    PRANY_CHECK_MSG(::fdatasync(fd_) == 0,
+    int sync_rc;
+    do {
+      sync_rc = ::fdatasync(fd_);
+    } while (sync_rc != 0 && errno == EINTR);
+    PRANY_CHECK_MSG(sync_rc == 0,
                     StrFormat("wal fdatasync(%s): %s", path_.c_str(),
                               SafeStrError(errno).c_str()));
     // Relaxed: monotonic stats counters; readers only fold them into

@@ -1,0 +1,177 @@
+// Multi-process cluster crash tests: real OS processes, real sockets,
+// real SIGKILL. Each site runs in its own prany_site_server process over
+// UDS; the kill test SIGKILLs one mid-load — no destructors, a genuinely
+// torn WAL tail — and restarts it, driving FileStableLog recovery plus
+// the paper's §4.2 procedure over live sockets while the survivors keep
+// serving. This is the strongest crash model the repo exercises: the
+// in-process controller (crash_restart_test.cc) simulates the teardown;
+// here the kernel performs it.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/process_cluster.h"
+#include "history/event_log.h"
+
+namespace prany {
+namespace harness {
+namespace {
+
+std::string MakeTempDir() {
+  std::string templ = ::testing::TempDir() + "prany_cluster_XXXXXX";
+  char* dir = mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return templ;
+}
+
+ProcessClusterConfig MakeConfig(const std::string& dir,
+                                const std::vector<ProtocolKind>& protocols) {
+  ProcessClusterConfig config;
+  config.log_dir = dir;
+  for (size_t i = 0; i < protocols.size(); ++i) {
+    ProcessSiteSpec spec;
+    spec.id = static_cast<SiteId>(i);
+    spec.protocol = protocols[i];
+    spec.address = "uds:" + dir + "/site" + std::to_string(i) + ".sock";
+    config.sites.push_back(std::move(spec));
+  }
+  return config;
+}
+
+void SleepMs(uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(SigEventWireTest, RoundTrips) {
+  SigEvent event;
+  event.seq = 42;
+  event.time = 123456789;
+  event.type = SigEventType::kCoordRespond;
+  event.site = 3;
+  event.txn = (uint64_t{7} << 40) + 12;
+  event.outcome = Outcome::kAbort;
+  event.peer = 1;
+  event.by_presumption = true;
+
+  SigEvent parsed;
+  ASSERT_TRUE(ParseSigEvent(SerializeSigEvent(event), &parsed));
+  EXPECT_EQ(parsed.seq, event.seq);
+  EXPECT_EQ(parsed.time, event.time);
+  EXPECT_EQ(parsed.type, event.type);
+  EXPECT_EQ(parsed.site, event.site);
+  EXPECT_EQ(parsed.txn, event.txn);
+  ASSERT_TRUE(parsed.outcome.has_value());
+  EXPECT_EQ(*parsed.outcome, Outcome::kAbort);
+  EXPECT_EQ(parsed.peer, event.peer);
+  EXPECT_TRUE(parsed.by_presumption);
+
+  event.outcome.reset();
+  ASSERT_TRUE(ParseSigEvent(SerializeSigEvent(event), &parsed));
+  EXPECT_FALSE(parsed.outcome.has_value());
+
+  SigEvent reject;
+  EXPECT_FALSE(ParseSigEvent("", &reject));
+  EXPECT_FALSE(ParseSigEvent("1 2 99 0 5 -1 0 0", &reject));  // bad type
+  EXPECT_FALSE(ParseSigEvent("1 2 1 0 5 7 0 0", &reject));    // bad outcome
+}
+
+TEST(ProcessClusterTest, MixedProtocolLoadAcrossThreeProcesses) {
+  const std::string dir = MakeTempDir();
+  ProcessClusterConfig config = MakeConfig(
+      dir, {ProtocolKind::kPrN, ProtocolKind::kPrA, ProtocolKind::kPrC});
+  config.duration_us = 1'000'000;
+  config.clients = 2;
+  config.abort_fraction = 0.1;
+  config.seed = 11;
+
+  ProcessCluster cluster(config);
+  Status launched = cluster.LaunchAll();
+  ASSERT_TRUE(launched.ok()) << launched.ToString();
+  SleepMs(1'300);
+  cluster.SignalAll(SIGTERM);
+  EXPECT_TRUE(cluster.WaitAll(30'000'000));
+
+  ClusterLoadTotals totals = cluster.CollectTotals();
+  EXPECT_GT(totals.submitted, 0u);
+  EXPECT_GT(totals.committed, 0u);
+  EXPECT_GT(totals.aborted, 0u);  // abort_fraction planned no-votes
+  EXPECT_EQ(totals.timeouts, 0u);
+  EXPECT_EQ(totals.submitted,
+            totals.committed + totals.aborted + totals.timeouts +
+                totals.dropped);
+
+  // Every commit crossed process boundaries: each server reports socket
+  // traffic and zero corrupt frames.
+  for (const ProcessSiteSpec& site : config.sites) {
+    std::map<std::string, std::string> result = cluster.ResultFor(site.id);
+    ASSERT_FALSE(result.empty()) << "site " << site.id << " wrote no result";
+    EXPECT_NE(result["net_messages_delivered"], "0") << "site " << site.id;
+    EXPECT_EQ(result["net_frames_dropped_corrupt"], "0")
+        << "site " << site.id;
+  }
+
+  EventLog merged;
+  EXPECT_GT(cluster.MergeHistories(&merged), 0u);
+  AtomicityReport atomicity = cluster.CheckAtomicity();
+  EXPECT_TRUE(atomicity.ok()) << atomicity.ToString();
+}
+
+TEST(ProcessClusterTest, SigkillAndRestartRecoversOverSockets) {
+  const std::string dir = MakeTempDir();
+  ProcessClusterConfig config = MakeConfig(
+      dir, {ProtocolKind::kPrC, ProtocolKind::kPrC, ProtocolKind::kPrC});
+  config.duration_us = 3'000'000;
+  config.clients = 2;
+  config.abort_fraction = 0.1;
+  config.await_timeout_us = 20'000'000;
+  config.seed = 23;
+
+  ProcessCluster cluster(config);
+  Status launched = cluster.LaunchAll();
+  ASSERT_TRUE(launched.ok()) << launched.ToString();
+
+  // Let traffic flow so site 1's WAL holds forced PREPARED records and
+  // coordinator decisions, then fail-stop it for real.
+  SleepMs(800);
+  cluster.KillSite(1);
+  EXPECT_FALSE(cluster.Running(1));
+  SleepMs(300);
+  // The survivors kept serving the whole time; some of their
+  // transactions are parked waiting on site 1. The restarted
+  // incarnation replays its WAL, re-inquires its in-doubt transactions
+  // over the socket (§4.2), and the parked work drains.
+  Status restarted = cluster.RestartSite(1);
+  ASSERT_TRUE(restarted.ok()) << restarted.ToString();
+  SleepMs(1'700);
+  cluster.SignalAll(SIGTERM);
+  EXPECT_TRUE(cluster.WaitAll(60'000'000));
+
+  ClusterLoadTotals totals = cluster.CollectTotals();
+  EXPECT_GT(totals.committed, 0u);
+
+  // The restarted incarnation found its predecessor's forced records.
+  std::map<std::string, std::string> result = cluster.ResultFor(1);
+  ASSERT_FALSE(result.empty()) << "restarted site wrote no result";
+  EXPECT_EQ(result["incarnation"], "1");
+  ASSERT_TRUE(result.count("wal_records_recovered"));
+  EXPECT_NE(result["wal_records_recovered"], "0");
+
+  // Atomicity holds across the merged partial histories. The SIGKILLed
+  // incarnation's in-memory events are lost with it — recovery
+  // re-records the durable decisions, so the merge loses evidence,
+  // never gains contradictions.
+  AtomicityReport atomicity = cluster.CheckAtomicity();
+  EXPECT_TRUE(atomicity.ok()) << atomicity.ToString();
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace prany

@@ -1,0 +1,202 @@
+// Property test for the socket transport's wire framing: any frame
+// sequence, cut into arbitrary TCP-segment-shaped chunks, must round-trip
+// byte-identically through FrameParser — including chunks that split the
+// length prefix and frames spanning many chunks.
+
+#include "net/wire.h"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+
+namespace prany {
+namespace net {
+namespace {
+
+/// One message of every type, fields varied so the bytes differ.
+std::vector<Message> AllMessageTypes(uint64_t salt) {
+  TxnId txn = 1000 + salt;
+  SiteId a = static_cast<SiteId>(salt % 5);
+  SiteId b = static_cast<SiteId>((salt + 1) % 5);
+  return {
+      Message::Prepare(txn, a, b),
+      Message::MakeVote(txn, b, a, salt % 2 ? Vote::kYes : Vote::kNo),
+      Message::Decision(txn, a, b,
+                        salt % 3 ? Outcome::kCommit : Outcome::kAbort),
+      Message::Ack(txn, b, a, salt % 3 ? Outcome::kCommit : Outcome::kAbort),
+      Message::Inquiry(txn, b, a),
+      Message::InquiryReply(txn, a, b, Outcome::kAbort, salt % 2 == 0),
+  };
+}
+
+/// Feeds `stream` to a parser in the given chunk sizes and returns every
+/// frame produced, asserting no parse error.
+std::vector<Frame> ParseInChunks(const std::vector<uint8_t>& stream,
+                                 const std::vector<size_t>& chunks) {
+  FrameParser parser;
+  std::vector<Frame> frames;
+  size_t pos = 0;
+  for (size_t chunk : chunks) {
+    parser.Feed(stream.data() + pos, chunk);
+    pos += chunk;
+    while (true) {
+      Frame frame;
+      bool got = false;
+      Status s = parser.Next(&frame, &got);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      if (!got) break;
+      frames.push_back(std::move(frame));
+    }
+  }
+  EXPECT_EQ(pos, stream.size());
+  return frames;
+}
+
+TEST(WireTest, EveryMessageTypeRoundTripsThroughEverySplitPoint) {
+  // One frame per message type, then every possible 2-chunk split of the
+  // whole stream — each prefix byte position, so every offset inside the
+  // length prefix and the body is a chunk boundary once.
+  std::vector<Message> msgs = AllMessageTypes(7);
+  std::vector<uint8_t> stream;
+  for (const Message& m : msgs) AppendFrame(&stream, FrameType::kMessage,
+                                            m.Encode());
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    std::vector<Frame> frames =
+        ParseInChunks(stream, {cut, stream.size() - cut});
+    ASSERT_EQ(frames.size(), msgs.size()) << "cut at " << cut;
+    for (size_t i = 0; i < msgs.size(); ++i) {
+      ASSERT_EQ(frames[i].type, FrameType::kMessage);
+      Result<Message> decoded = Message::Decode(frames[i].body);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(*decoded, msgs[i]) << "cut at " << cut << " frame " << i;
+    }
+  }
+}
+
+TEST(WireTest, RandomSegmentationRoundTripsIncludingControlFrames) {
+  std::mt19937_64 rng(0xfeedfaceull);
+  for (int round = 0; round < 200; ++round) {
+    // A random interleaving of message and control frames.
+    std::vector<Message> msgs;
+    std::vector<std::vector<uint8_t>> controls;
+    std::vector<FrameType> order;
+    std::vector<uint8_t> stream;
+    size_t n_frames = 1 + rng() % 24;
+    for (size_t i = 0; i < n_frames; ++i) {
+      if (rng() % 4 == 0) {
+        std::vector<uint8_t> body(rng() % 64);
+        for (uint8_t& byte : body) byte = static_cast<uint8_t>(rng());
+        AppendFrame(&stream, FrameType::kControl, body);
+        controls.push_back(std::move(body));
+        order.push_back(FrameType::kControl);
+      } else {
+        std::vector<Message> all = AllMessageTypes(rng());
+        Message m = all[rng() % all.size()];
+        AppendFrame(&stream, FrameType::kMessage, m.Encode());
+        msgs.push_back(m);
+        order.push_back(FrameType::kMessage);
+      }
+    }
+    // Cut the stream into random segments, 1 byte to a few frames long.
+    std::vector<size_t> chunks;
+    size_t left = stream.size();
+    while (left > 0) {
+      size_t take = 1 + rng() % 97;
+      if (take > left) take = left;
+      chunks.push_back(take);
+      left -= take;
+    }
+    std::vector<Frame> frames = ParseInChunks(stream, chunks);
+    ASSERT_EQ(frames.size(), order.size());
+    size_t mi = 0, ci = 0;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      ASSERT_EQ(frames[i].type, order[i]);
+      if (order[i] == FrameType::kMessage) {
+        Result<Message> decoded = Message::Decode(frames[i].body);
+        ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+        EXPECT_EQ(*decoded, msgs[mi++]);
+      } else {
+        EXPECT_EQ(frames[i].body, controls[ci++]);
+      }
+    }
+  }
+}
+
+TEST(WireTest, PartialPrefixYieldsNothingUntilComplete) {
+  std::vector<uint8_t> stream;
+  AppendFrame(&stream, FrameType::kMessage,
+              Message::Prepare(1, 0, 1).Encode());
+  FrameParser parser;
+  Frame frame;
+  bool got = true;
+  // Byte-at-a-time: nothing may be produced before the last byte.
+  for (size_t i = 0; i + 1 < stream.size(); ++i) {
+    parser.Feed(&stream[i], 1);
+    ASSERT_TRUE(parser.Next(&frame, &got).ok());
+    EXPECT_FALSE(got) << "frame produced early at byte " << i;
+  }
+  parser.Feed(&stream[stream.size() - 1], 1);
+  ASSERT_TRUE(parser.Next(&frame, &got).ok());
+  EXPECT_TRUE(got);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(WireTest, ZeroAndOversizedLengthsAreStickyCorruption) {
+  {
+    FrameParser parser;
+    const uint8_t zeros[4] = {0, 0, 0, 0};
+    parser.Feed(zeros, sizeof(zeros));
+    Frame frame;
+    bool got = false;
+    EXPECT_FALSE(parser.Next(&frame, &got).ok());
+    EXPECT_FALSE(got);
+    // Sticky: feeding valid bytes afterwards does not revive the stream.
+    std::vector<uint8_t> good;
+    AppendFrame(&good, FrameType::kMessage,
+                Message::Prepare(1, 0, 1).Encode());
+    parser.Feed(good.data(), good.size());
+    EXPECT_FALSE(parser.Next(&frame, &got).ok());
+    // Reset models a fresh connection: the parser works again.
+    parser.Reset();
+    parser.Feed(good.data(), good.size());
+    EXPECT_TRUE(parser.Next(&frame, &got).ok());
+    EXPECT_TRUE(got);
+  }
+  {
+    FrameParser parser;
+    uint32_t huge = kMaxFramePayload + 2;
+    uint8_t prefix[4];
+    for (size_t i = 0; i < 4; ++i) {
+      prefix[i] = static_cast<uint8_t>(huge >> (8 * i));
+    }
+    parser.Feed(prefix, sizeof(prefix));
+    Frame frame;
+    bool got = false;
+    EXPECT_FALSE(parser.Next(&frame, &got).ok());
+  }
+}
+
+TEST(WireTest, TornTailIsSimplyBuffered) {
+  // A frame cut off mid-body (connection died) leaves buffered bytes and
+  // no frame — the transport drops them with the connection via Reset().
+  std::vector<uint8_t> stream;
+  AppendFrame(&stream, FrameType::kMessage,
+              Message::Decision(9, 2, 3, Outcome::kAbort).Encode());
+  FrameParser parser;
+  parser.Feed(stream.data(), stream.size() - 3);
+  Frame frame;
+  bool got = false;
+  ASSERT_TRUE(parser.Next(&frame, &got).ok());
+  EXPECT_FALSE(got);
+  EXPECT_GT(parser.buffered(), 0u);
+  parser.Reset();
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace prany

@@ -98,6 +98,100 @@ TEST(LoadGenTest, DualRoleFractionMakesCoordinatorsParticipate) {
       << system.CheckOperational().ToString();
 }
 
+TEST(LoadGenTest, ForcedAwaitTimeoutsAreCountedAndResolve) {
+  // Regression for the Await-timeout accounting: shrink the await timeout
+  // far below the decision latency (a wide group-commit window guarantees
+  // every forced write eats >= 5ms) so (nearly) every client await expires.
+  // Timeouts must be counted, every submitted transaction must still
+  // resolve consistently, and no client may wedge.
+  LiveSystemConfig config;
+  config.log_dir = MakeTempDir();
+  config.group_commit.batch_window_us = 5'000;
+  config.group_commit.queue_depth_trigger = 1'000'000;  // window only
+  LiveSystem system(config);
+  for (int i = 0; i < 3; ++i) {
+    system.AddSite(ProtocolKind::kPrC, ProtocolKind::kPrC);
+  }
+  LoadGenConfig gen_config;
+  gen_config.clients = 4;
+  gen_config.duration_us = 300'000;
+  gen_config.participants_per_txn = 2;
+  gen_config.abort_fraction = 0.2;
+  gen_config.await_timeout_us = 200;  // far below the forced-write latency
+  LoadGen gen(&system, gen_config);
+  LoadGenReport report = gen.Run();
+
+  EXPECT_GT(report.submitted, 0u);
+  EXPECT_GT(report.timeouts, 0u);
+  // Every submission is accounted exactly once: committed, aborted, or
+  // timed out.
+  EXPECT_EQ(report.submitted,
+            report.committed + report.aborted + report.timeouts);
+  // A timeout abandons the await, not the transaction: once the system
+  // drains, every submitted transaction has a coordinator decision.
+  ASSERT_TRUE(system.Quiesce(20'000'000));
+  uint64_t decides = 0;
+  for (const SigEvent& event : system.history().events()) {
+    if (event.type == SigEventType::kCoordDecide) ++decides;
+  }
+  EXPECT_EQ(decides, report.submitted);
+  EXPECT_TRUE(system.CheckAtomicity().ok())
+      << system.CheckAtomicity().ToString();
+  EXPECT_TRUE(system.CheckSafeState().ok());
+  EXPECT_TRUE(system.CheckOperational().ok())
+      << system.CheckOperational().ToString();
+  // The latency distribution only records awaits that saw the decision.
+  DistributionStats latency =
+      system.metrics().Summarize("livegen.latency_us");
+  EXPECT_EQ(latency.count, report.committed + report.aborted);
+}
+
+TEST(LoadGenTest, DroppedSubmissionDoesNotCampOnTheAwaitTimeout) {
+  // Regression: a submission that lands on a down coordinator is dropped
+  // by the system (no decision will ever be recorded for it), but the
+  // client was not told — it camped on the full await timeout for every
+  // drop, so under the crash bench each drop wedged a closed-loop client
+  // for seconds and was tallied as an ordinary "timeout". The whole load
+  // below runs while the only coordinator is down: pre-fix the first
+  // submission parks 12s and the run cannot finish in the bound asserted.
+  LiveSystemConfig config;
+  config.log_dir = MakeTempDir();
+  LiveSystem system(config);
+  for (int i = 0; i < 3; ++i) {
+    system.AddSite(ProtocolKind::kPrA, ProtocolKind::kPrA);
+  }
+  std::thread crasher([&]() { system.CrashRestartSite(0, 2'000'000); });
+  while (system.site(0)->IsUp()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  LoadGenConfig gen_config;
+  gen_config.clients = 1;  // client 0 coordinates at site 0 — the down one
+  gen_config.duration_us = 300'000;
+  gen_config.participants_per_txn = 2;
+  gen_config.await_timeout_us = 12'000'000;
+  LoadGen gen(&system, gen_config);
+  auto t0 = std::chrono::steady_clock::now();
+  LoadGenReport report = gen.Run();
+  double wall = std::chrono::duration_cast<std::chrono::duration<double>>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  crasher.join();
+
+  EXPECT_GT(report.submitted, 0u);
+  // The run must end with the configured duration, not with the await
+  // timeout: no client may camp on a transaction the system dropped.
+  EXPECT_LT(wall, 5.0);
+  // Drops are accounted distinctly — they are refusals, not slow
+  // decisions — and every submission is still counted exactly once.
+  EXPECT_GT(report.dropped, 0u);
+  EXPECT_EQ(report.timeouts, 0u);
+  EXPECT_EQ(report.submitted, report.committed + report.aborted +
+                                  report.timeouts + report.dropped);
+  ASSERT_TRUE(system.Quiesce(20'000'000));
+  EXPECT_TRUE(system.CheckAtomicity().ok())
+      << system.CheckAtomicity().ToString();
+}
+
 TEST(LoadGenTest, ElapsedClockStopsWhenTheRunStops) {
   // Regression: elapsed_seconds used to be measured after joining the
   // client threads, so a client parked in a final Await inflated the

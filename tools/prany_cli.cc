@@ -12,16 +12,19 @@
 //
 // Exit status: 0 if all correctness checks passed, 1 otherwise.
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/trace_export.h"
+#include "harness/process_cluster.h"
 #include "harness/run_result.h"
 #include "harness/workload.h"
 #include "protocol/crash_points.h"
@@ -50,6 +53,8 @@ struct Options {
   std::string log_dir;         ///< live WAL directory ("" = temp dir)
   bool downtime_set = false;   ///< --downtime given without --crash-*
   bool loss_set = false;       ///< sim-only, --runtime=live conflict check
+  std::string transport;       ///< "" (in-process) | "uds" | "tcp"
+  uint64_t duration_ms = 1000; ///< per-site load window (--transport only)
 };
 
 void Usage(const char* argv0) {
@@ -58,6 +63,13 @@ void Usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --runtime=sim|live            execution backend (default sim);\n"
       "                                live = real threads + file WALs\n"
+      "  --transport=uds|tcp           live only: multi-process mode — one\n"
+      "                                OS process per site (PrN, PrA, PrC\n"
+      "                                and a PrAny coordinator) exchanging\n"
+      "                                every protocol message over real\n"
+      "                                sockets; merged-history checks\n"
+      "  --duration-ms=N               per-site load window in multi-\n"
+      "                                process mode (default 1000)\n"
       "  --log-dir=DIR                 live WAL directory (default: a\n"
       "                                temporary directory, deleted after)\n"
       "  --coordinator=PrN|PrA|PrC|U2PC|C2PC|PrAny   (default PrAny)\n"
@@ -195,6 +207,15 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
                      v->c_str());
         return false;
       }
+    } else if (auto v = value_of("--transport")) {
+      if (*v != "uds" && *v != "tcp") {
+        std::fprintf(stderr, "unknown transport: %s (expected uds or tcp)\n",
+                     v->c_str());
+        return false;
+      }
+      opts->transport = *v;
+    } else if (auto v = value_of("--duration-ms")) {
+      opts->duration_ms = std::strtoull(v->c_str(), nullptr, 10);
     } else if (auto v = value_of("--log-dir")) {
       opts->log_dir = *v;
     } else if (auto v = value_of("--seed")) {
@@ -218,12 +239,181 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
 /// threads and WAL for real); message loss still needs the simulated
 /// network.
 bool ValidateLiveOptions(const Options& opts) {
-  if (!opts.live || !opts.loss_set) return true;
-  std::fprintf(stderr,
-               "--loss is sim-only: deterministic message drops need the "
-               "simulated network and are not supported with "
-               "--runtime=live (drop --loss or use --runtime=sim)\n");
-  return false;
+  if (opts.live && opts.loss_set) {
+    std::fprintf(stderr,
+                 "--loss is sim-only: deterministic message drops need the "
+                 "simulated network and are not supported with "
+                 "--runtime=live (drop --loss or use --runtime=sim)\n");
+    return false;
+  }
+  if (opts.transport.empty()) return true;
+  if (!opts.live) {
+    std::fprintf(stderr, "--transport needs --runtime=live\n");
+    return false;
+  }
+  // Multi-process mode: the sites live in child processes, so in-process
+  // probes and trace collection cannot reach them. A --crash-site alone
+  // is supported (SIGKILL + relaunch); a --crash-point is not.
+  if (opts.crash_point.has_value()) {
+    std::fprintf(stderr,
+                 "--crash-point is in-process only; with --transport use "
+                 "--crash-site alone (SIGKILL + relaunch)\n");
+    return false;
+  }
+  if (opts.trace || !opts.trace_json_path.empty() ||
+      !opts.metrics_json_path.empty()) {
+    std::fprintf(stderr,
+                 "--trace/--trace-json/--metrics-json are not available "
+                 "with --transport (the trace lives in the site "
+                 "processes)\n");
+    return false;
+  }
+  return true;
+}
+
+/// --transport=uds|tcp: one OS process per site, every protocol message
+/// over a real socket. The four paper protocols each get a site: PrN,
+/// PrA, PrC participants coordinating with their own kind, plus a PrAny
+/// coordinator over a PrN participant. Load runs inside the site
+/// processes; this process only orchestrates and checks the merged
+/// history.
+int RunClusterLive(const Options& opts) {
+  std::string dir = opts.log_dir;
+  const bool temp_dir = dir.empty();
+  if (temp_dir) {
+    std::string templ = "/tmp/prany_cli_XXXXXX";
+    char* made = mkdtemp(templ.data());
+    if (made == nullptr) {
+      std::fprintf(stderr, "failed to create temp directory\n");
+      return 1;
+    }
+    dir = templ;
+  }
+
+  harness::ProcessClusterConfig config;
+  config.log_dir = dir;
+  config.duration_us = opts.duration_ms * 1000;
+  config.clients = 2;
+  config.participants_per_txn = 2;
+  config.abort_fraction = opts.outcome == Outcome::kAbort ? 1.0 : 0.1;
+  config.seed = opts.seed;
+  struct SiteKind {
+    const char* label;
+    ProtocolKind participant;
+    std::optional<ProtocolKind> coordinator;
+  };
+  const std::vector<SiteKind> kinds = {
+      {"PrN", ProtocolKind::kPrN, std::nullopt},
+      {"PrA", ProtocolKind::kPrA, std::nullopt},
+      {"PrC", ProtocolKind::kPrC, std::nullopt},
+      {"PrAny", ProtocolKind::kPrN, ProtocolKind::kPrAny},
+  };
+  const int base_port = 22000 + static_cast<int>(getpid() % 20000);
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    harness::ProcessSiteSpec spec;
+    spec.id = static_cast<SiteId>(i);
+    spec.protocol = kinds[i].participant;
+    spec.coordinator = kinds[i].coordinator;
+    spec.address = opts.transport == "uds"
+                       ? "uds:" + dir + "/site" + std::to_string(i) + ".sock"
+                       : "tcp:127.0.0.1:" +
+                             std::to_string(base_port + static_cast<int>(i));
+    config.sites.push_back(std::move(spec));
+  }
+
+  harness::ProcessCluster cluster(config);
+  Status launched = cluster.LaunchAll();
+  if (!launched.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n",
+                 launched.ToString().c_str());
+    return 1;
+  }
+
+  auto sleep_ms = [](uint64_t ms) {
+    usleep(static_cast<useconds_t>(ms * 1000));
+  };
+  bool restarted_ok = true;
+  if (opts.crash_site.has_value()) {
+    if (*opts.crash_site >= config.sites.size()) {
+      std::fprintf(stderr, "--crash-site=%u: no such site (have %zu)\n",
+                   *opts.crash_site, config.sites.size());
+      return 1;
+    }
+    // Kill for real mid-load, leave it down for the requested downtime,
+    // then relaunch against the same WAL (the server re-runs recovery
+    // and the §4.2 procedure over the sockets).
+    sleep_ms(opts.duration_ms * 2 / 5);
+    cluster.KillSite(*opts.crash_site);
+    sleep_ms(opts.downtime / 1000);
+    Status restart = cluster.RestartSite(*opts.crash_site);
+    if (!restart.ok()) {
+      std::fprintf(stderr, "restart failed: %s\n",
+                   restart.ToString().c_str());
+      restarted_ok = false;
+    }
+    // The restarted incarnation runs a fresh full-length load window.
+    sleep_ms(opts.duration_ms + 500);
+  } else {
+    sleep_ms(opts.duration_ms + 300);
+  }
+  cluster.SignalAll(SIGTERM);
+  const bool clean_exit = cluster.WaitAll(60'000'000);
+
+  harness::ClusterLoadTotals totals = cluster.CollectTotals();
+  EventLog merged;
+  const size_t events = cluster.MergeHistories(&merged);
+  AtomicityReport atomicity = AtomicityChecker::Check(merged);
+
+  std::printf("runtime:        live, %zu site processes over %s\n",
+              config.sites.size(), opts.transport.c_str());
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    std::map<std::string, std::string> result =
+        cluster.ResultFor(static_cast<SiteId>(i));
+    std::printf("  site %zu %-5s  committed=%-6s aborted=%-6s "
+                "timeouts=%-4s incarnation=%s\n",
+                i, kinds[i].label, result["committed"].c_str(),
+                result["aborted"].c_str(), result["timeouts"].c_str(),
+                result["incarnation"].c_str());
+    if (result.count("wal_records_recovered")) {
+      std::printf("         recovery: %s records replayed, torn tail: %s\n",
+                  result["wal_records_recovered"].c_str(),
+                  result["wal_tail_truncated"] == "1" ? "yes" : "no");
+    }
+  }
+  std::printf("transactions:   %llu committed, %llu aborted, %llu "
+              "timeouts, %llu dropped\n",
+              static_cast<unsigned long long>(totals.committed),
+              static_cast<unsigned long long>(totals.aborted),
+              static_cast<unsigned long long>(totals.timeouts),
+              static_cast<unsigned long long>(totals.dropped));
+  std::printf("merged history: %zu events from %zu processes\n", events,
+              config.sites.size());
+  if (opts.show_history) {
+    std::printf("=== history ===\n%s\n", merged.ToString().c_str());
+  }
+  std::printf("atomicity:      %s\n", atomicity.ok() ? "ok" : "VIOLATED");
+  if (!atomicity.ok()) {
+    std::fprintf(stderr, "%s", atomicity.ToString().c_str());
+  }
+  if (!clean_exit) {
+    std::fprintf(stderr, "WARNING: a site process exited uncleanly or "
+                         "had to be killed\n");
+  }
+
+  if (temp_dir) {
+    for (size_t i = 0; i < config.sites.size(); ++i) {
+      const std::string base = dir + "/site" + std::to_string(i);
+      unlink((base + ".wal").c_str());
+      unlink((base + ".result").c_str());
+      unlink((base + ".history").c_str());
+      unlink((base + ".sock").c_str());
+    }
+    rmdir(dir.c_str());
+  }
+
+  const bool ok = clean_exit && restarted_ok && atomicity.ok() &&
+                  totals.committed > 0;
+  return ok ? 0 : 1;
 }
 
 int RunScenarioLive(const Options& opts) {
@@ -505,6 +695,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!prany::ValidateLiveOptions(opts)) return 2;
+  if (opts.live && !opts.transport.empty()) {
+    return prany::RunClusterLive(opts);
+  }
   if (opts.live) return prany::RunScenarioLive(opts);
   return prany::RunScenario(opts);
 }

@@ -1,0 +1,280 @@
+// One site of a multi-process cluster: hosts a single LiveSystem site on
+// a socket transport, generates closed-loop load coordinating locally
+// with participants drawn from the whole topology, then keeps serving
+// (participants answer inquiries, coordinators resend decisions) until
+// SIGTERM. On a clean exit it dumps its load counters and its partial
+// significant-event history to files the ProcessCluster harness merges.
+//
+// Launched by harness::ProcessCluster (tests) and prany_cli --transport
+// (interactive runs); see src/harness/process_cluster.h for the argv
+// contract. Exits 0 on a clean run, 2 on bad usage.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "harness/process_cluster.h"
+#include "runtime/live_system.h"
+#include "runtime/load_gen.h"
+
+namespace prany {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+struct ServerOptions {
+  SiteId site = kInvalidSite;
+  ProtocolKind protocol = ProtocolKind::kPrN;
+  /// Coordinator kind; defaults to `protocol` (set at parse end).
+  std::optional<ProtocolKind> coordinator;
+  std::string listen;
+  std::vector<runtime::LiveSystemConfig::RemoteSite> peers;
+  std::string log_dir = ".";
+  std::string result_path;
+  std::string history_path;
+  uint64_t duration_us = 1'000'000;
+  int clients = 2;  ///< 0 = serve only, generate no load.
+  int participants_per_txn = 2;
+  double abort_fraction = 0.0;
+  uint64_t await_timeout_us = 10'000'000;
+  uint64_t seed = 1;
+  int incarnation = 0;
+};
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "prany_site_server: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: prany_site_server --site=N --protocol=PrC --listen=ADDR\n"
+      "         [--coordinator=PrAny]\n"
+      "         [--peer=ID:PROTO:ADDR]... [--log-dir=DIR] [--result=FILE]\n"
+      "         [--history=FILE] [--duration-us=N] [--clients=N]\n"
+      "         [--participants=N] [--abort-fraction=F]\n"
+      "         [--await-timeout-us=N] [--seed=N] [--incarnation=N]\n"
+      "ADDR is uds:<path> or tcp:host:port.\n");
+  return 2;
+}
+
+bool ParsePeer(const std::string& value, runtime::LiveSystemConfig::RemoteSite* out) {
+  const size_t c1 = value.find(':');
+  if (c1 == std::string::npos) return false;
+  const size_t c2 = value.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  char* end = nullptr;
+  const unsigned long id = std::strtoul(value.c_str(), &end, 10);
+  if (end != value.c_str() + c1) return false;
+  out->id = static_cast<SiteId>(id);
+  if (!ParseProtocolKind(value.substr(c1 + 1, c2 - c1 - 1),
+                         &out->participant_protocol)) {
+    return false;
+  }
+  out->address = value.substr(c2 + 1);  // addresses contain ':' (tcp)
+  return !out->address.empty();
+}
+
+/// --flag=value argv convention; returns the value when `arg` matches.
+bool FlagValue(const char* arg, const char* flag, std::string* value) {
+  const size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+int RunServer(const ServerOptions& options) {
+  runtime::LiveSystemConfig config;
+  config.log_dir = options.log_dir;
+  config.listen_address = options.listen;
+  config.remote_sites = options.peers;
+  // Globally unique ids across processes *and* incarnations: a restarted
+  // process must not reuse ids its predecessor already spent.
+  config.txn_id_base =
+      (static_cast<TxnId>(options.site) + 1) << 40 |
+      static_cast<TxnId>(options.incarnation) << 32;
+
+  runtime::LiveSystem system(std::move(config));
+  CoordinatorSpec spec;
+  spec.kind = options.coordinator.value_or(options.protocol);
+  runtime::LiveSite* ls =
+      system.AddSiteWithId(options.site, options.protocol, spec);
+
+  if (options.incarnation > 0) {
+    // The WAL Open() above already rescanned the file and truncated any
+    // torn tail the SIGKILL left; now rebuild engine state from it and
+    // run the paper's §4.2 procedure — redo decisions, re-inquire
+    // in-doubt transactions — over the live sockets.
+    ls->RunInline([&]() { ls->site()->RecoverNow(); });
+  }
+
+  runtime::LoadGenReport report;
+  if (options.clients > 0) {
+    runtime::LoadGenConfig gen_config;
+    gen_config.clients = options.clients;
+    gen_config.duration_us = options.duration_us;
+    gen_config.participants_per_txn = options.participants_per_txn;
+    gen_config.abort_fraction = options.abort_fraction;
+    gen_config.await_timeout_us = options.await_timeout_us;
+    gen_config.seed = options.seed;
+    gen_config.sites.push_back(options.site);
+    for (const runtime::LiveSystemConfig::RemoteSite& peer : options.peers) {
+      gen_config.sites.push_back(peer.id);
+    }
+    gen_config.coordinators = {options.site};
+    runtime::LoadGen gen(&system, gen_config);
+    // A SIGTERM during the load must end the run promptly, not after the
+    // full configured duration. g_stop is never cleared — a signal that
+    // lands mid-load also satisfies the serve loop below.
+    std::atomic<bool> load_done{false};
+    std::thread stopper([&gen, &load_done]() {
+      while (!g_stop.load() && !load_done.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (g_stop.load()) gen.Stop();
+    });
+    report = gen.Run();
+    load_done.store(true);
+    stopper.join();
+  }
+
+  // Load done, but remote coordinators may still need this participant
+  // (inquiries, decision resends — §4.2 depends on survivors answering).
+  // Serve until the harness says everyone is finished.
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Drain in-flight work best-effort; peers may already be gone, so a
+  // timeout here is not an error.
+  system.Quiesce(5'000'000);
+
+  if (!options.history_path.empty()) {
+    // Dump via a temp file + rename: the harness must never parse a
+    // half-written dump if this process dies mid-write.
+    const std::string tmp = options.history_path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    for (const SigEvent& event : system.history().events()) {
+      out << harness::SerializeSigEvent(event) << "\n";
+    }
+    out.close();
+    if (!out || std::rename(tmp.c_str(), options.history_path.c_str()) != 0) {
+      std::fprintf(stderr, "prany_site_server: history dump failed\n");
+      return 1;
+    }
+  }
+  if (!options.result_path.empty()) {
+    const std::string tmp = options.result_path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << "site=" << options.site << "\n"
+        << "incarnation=" << options.incarnation << "\n"
+        << "submitted=" << report.submitted << "\n"
+        << "committed=" << report.committed << "\n"
+        << "aborted=" << report.aborted << "\n"
+        << "timeouts=" << report.timeouts << "\n"
+        << "dropped=" << report.dropped << "\n";
+    if (runtime::SocketTransport* socket = system.socket_transport()) {
+      runtime::SocketTransportStats stats = socket->stats();
+      out << "net_messages_delivered=" << stats.messages_delivered << "\n"
+          << "net_connects_completed=" << stats.connects_completed << "\n"
+          << "net_accepts=" << stats.accepts << "\n"
+          << "net_frames_dropped_corrupt=" << stats.frames_dropped_corrupt
+          << "\n";
+    }
+    if (options.incarnation > 0) {
+      const WalRecoveryInfo& recovery = ls->wal()->recovery_info();
+      out << "wal_records_recovered=" << recovery.records_recovered << "\n"
+          << "wal_tail_truncated=" << (recovery.tail_truncated ? 1 : 0)
+          << "\n";
+    }
+    out.close();
+    if (!out || std::rename(tmp.c_str(), options.result_path.c_str()) != 0) {
+      std::fprintf(stderr, "prany_site_server: result dump failed\n");
+      return 1;
+    }
+  }
+  system.Stop();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  ServerOptions options;
+  bool have_site = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (FlagValue(argv[i], "--site", &value)) {
+      options.site = static_cast<SiteId>(std::strtoul(value.c_str(),
+                                                      nullptr, 10));
+      have_site = true;
+    } else if (FlagValue(argv[i], "--protocol", &value)) {
+      if (!ParseProtocolKind(value, &options.protocol)) {
+        return Usage(("unknown protocol: " + value).c_str());
+      }
+    } else if (FlagValue(argv[i], "--coordinator", &value)) {
+      ProtocolKind kind;
+      if (!ParseProtocolKind(value, &kind)) {
+        return Usage(("unknown protocol: " + value).c_str());
+      }
+      options.coordinator = kind;
+    } else if (FlagValue(argv[i], "--listen", &value)) {
+      options.listen = value;
+    } else if (FlagValue(argv[i], "--peer", &value)) {
+      runtime::LiveSystemConfig::RemoteSite peer;
+      if (!ParsePeer(value, &peer)) {
+        return Usage(("bad --peer (want ID:PROTO:ADDR): " + value).c_str());
+      }
+      options.peers.push_back(std::move(peer));
+    } else if (FlagValue(argv[i], "--log-dir", &value)) {
+      options.log_dir = value;
+    } else if (FlagValue(argv[i], "--result", &value)) {
+      options.result_path = value;
+    } else if (FlagValue(argv[i], "--history", &value)) {
+      options.history_path = value;
+    } else if (FlagValue(argv[i], "--duration-us", &value)) {
+      options.duration_us = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--clients", &value)) {
+      options.clients = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--participants", &value)) {
+      options.participants_per_txn = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--abort-fraction", &value)) {
+      options.abort_fraction = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--await-timeout-us", &value)) {
+      options.await_timeout_us = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--incarnation", &value)) {
+      options.incarnation = std::atoi(value.c_str());
+    } else {
+      return Usage((std::string("unknown flag: ") + argv[i]).c_str());
+    }
+  }
+  if (!have_site) return Usage("--site is required");
+  if (options.listen.empty()) return Usage("--listen is required");
+  if (options.clients > 0 &&
+      options.peers.size() <
+          static_cast<size_t>(options.participants_per_txn)) {
+    return Usage("need at least participants-per-txn peers");
+  }
+
+  struct sigaction action = {};
+  action.sa_handler = OnSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  return RunServer(options);
+}
+
+}  // namespace
+}  // namespace prany
+
+int main(int argc, char** argv) { return prany::Main(argc, argv); }
