@@ -29,7 +29,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -156,6 +158,9 @@ struct LiveCell {
   /// post-run correctness checkers so it isolates the serving path.
   double user_cpu_us = 0.0;
   double sys_cpu_us = 0.0;
+  /// Mean group-commit linger the adaptive policy actually chose
+  /// (wal.batch_window_us distribution, all sites pooled).
+  double adaptive_window_us_mean = 0.0;
   runtime::LiveTransportStats transport;
 
   double PerCommit(uint64_t n) const {
@@ -177,8 +182,14 @@ struct LiveBenchOptions {
   size_t trigger = 48;       ///< early-cut queue depth
   int sites = 4;
   std::vector<int> client_counts = {8, 32, 128};
+  /// Offered-load points for the latency sweep (closed-loop clients).
+  std::vector<int> latency_client_counts = {1, 4, 8, 16, 32};
   uint64_t crash_every_us = 0;  ///< --crash-every-ms: kill/restart cadence
   std::string socket_transport = "uds";  ///< --transport: socket sweep kind
+  /// --latency-smoke=FILE: regression-gate mode. Runs only the 8-client
+  /// latency cell per protocol and exits nonzero if any p50 exceeds 2x
+  /// the committed baseline in FILE (see bench/latency_baseline.json).
+  std::string latency_smoke_baseline;
 };
 
 LiveCell RunLiveCell(const char* label, ProtocolKind participant,
@@ -202,16 +213,15 @@ LiveCell RunLiveCell(const char* label, ProtocolKind participant,
   // Worker depth bounds how many forces can be in flight per site, and
   // with sticky batching the batch size is exactly the forces that arrive
   // during one fsync — so the pool must be deep enough that a parked
-  // durability wait never starves message processing. At high client
-  // counts a short linger window with a deep early-cut trigger batches
-  // better than sticky mode alone; at low counts the window only adds
-  // latency (see docs/RUNTIME.md for the measurements behind these
-  // defaults).
+  // durability wait never starves message processing. The group-commit
+  // window is left on the adaptive policy (batch_window_us == 0): it
+  // derives the linger from observed arrival rate and fsync duration, so
+  // the old per-client-count fixed-window heuristic is gone.
+  // --gc-window-us still forces the legacy fixed window for comparison.
   config.workers_per_site =
       opts.workers > 0 ? opts.workers
                        : (clients >= 96 ? 24 : (clients >= 32 ? 16 : 4));
-  config.group_commit.batch_window_us =
-      opts.window_us > 0 ? opts.window_us : (clients >= 96 ? 200 : 0);
+  config.group_commit.batch_window_us = opts.window_us;
   config.group_commit.queue_depth_trigger = opts.trigger;
   runtime::LiveSystem system(config);
   for (SiteId i = 0; i < kSites; ++i) system.AddSite(participant, coordinator);
@@ -260,6 +270,8 @@ LiveCell RunLiveCell(const char* label, ProtocolKind participant,
   cell.transport = system.transport().stats();
 
   cell.latency = system.metrics().Summarize("livegen.latency_us");
+  cell.adaptive_window_us_mean =
+      system.metrics().Summarize("wal.batch_window_us").mean;
   for (SiteId s = 0; s < kSites; ++s) {
     cell.forced_appends +=
         system.live_site(s)->wal()->stats().forced_appends;
@@ -294,6 +306,8 @@ struct SocketCell {
   runtime::LoadGenReport report;  ///< Summed over the three nodes.
   uint64_t net_frames_delivered = 0;
   uint64_t net_bytes_sent = 0;
+  uint64_t net_frames_dropped_backlog = 0;  ///< Outbound queue overflow.
+  uint64_t net_frames_dropped_corrupt = 0;  ///< Inbound stream desync.
   bool correct = false;
 };
 
@@ -371,6 +385,8 @@ SocketCell RunSocketCell(const char* label, ProtocolKind participant,
         nodes[i]->socket_transport()->stats();
     cell.net_frames_delivered += stats.messages_delivered;
     cell.net_bytes_sent += stats.bytes_sent;
+    cell.net_frames_dropped_backlog += stats.frames_dropped_backlog;
+    cell.net_frames_dropped_corrupt += stats.frames_dropped_corrupt;
   }
   // The checkers' view of a multi-process run: per-node partial histories
   // concatenated (sound — the atomicity criterion never relies on
@@ -392,6 +408,8 @@ SocketCell RunSocketCell(const char* label, ProtocolKind participant,
 }
 
 void WriteLiveJson(const std::vector<LiveCell>& cells,
+                   const std::vector<LiveCell>& latency_cells,
+                   uint64_t latency_duration_us,
                    const std::vector<SocketCell>& socket_cells,
                    const std::string& socket_transport, uint64_t duration_us,
                    const char* path) {
@@ -424,6 +442,28 @@ void WriteLiveJson(const std::vector<LiveCell>& cells,
         c.PerCommit(c.fsyncs), c.latency.p50, c.latency.p95, c.latency.p99,
         c.correct ? "true" : "false", i + 1 < cells.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  // Offered load vs commit latency, adaptive group commit. The knee in
+  // each protocol's p50 is where queueing at the device overtakes the
+  // protocol's own forced-write chain.
+  std::fprintf(f, "  \"latency_sweep_duration_us\": %llu,\n",
+               static_cast<unsigned long long>(latency_duration_us));
+  std::fprintf(f, "  \"latency_sweep\": [\n");
+  for (size_t i = 0; i < latency_cells.size(); ++i) {
+    const LiveCell& c = latency_cells[i];
+    std::fprintf(
+        f,
+        "    {\"protocol\": \"%s\", \"clients\": %d, \"committed\": %llu, "
+        "\"commits_per_sec\": %.1f, \"latency_us\": {\"p50\": %.1f, "
+        "\"p95\": %.1f, \"p99\": %.1f}, \"adaptive_window_us_mean\": %.1f, "
+        "\"correct\": %s}%s\n",
+        c.label, c.clients,
+        static_cast<unsigned long long>(c.report.committed),
+        c.report.commits_per_sec(), c.latency.p50, c.latency.p95,
+        c.latency.p99, c.adaptive_window_us_mean,
+        c.correct ? "true" : "false",
+        i + 1 < latency_cells.size() ? "," : "");
+  }
   if (socket_cells.empty()) {
     std::fprintf(f, "  ]\n}\n");
   } else {
@@ -443,7 +483,9 @@ void WriteLiveJson(const std::vector<LiveCell>& cells,
           "\"nodes\": 3, \"submitted\": %llu, \"committed\": %llu, "
           "\"aborted\": %llu, \"timeouts\": %llu, \"dropped\": %llu, "
           "\"commits_per_sec\": %.1f, \"net_frames_delivered\": %llu, "
-          "\"net_bytes_sent\": %llu, \"correct\": %s}%s\n",
+          "\"net_bytes_sent\": %llu, "
+          "\"net_frames_dropped_backlog\": %llu, "
+          "\"net_frames_dropped_corrupt\": %llu, \"correct\": %s}%s\n",
           c.label, c.clients_per_node,
           static_cast<unsigned long long>(c.report.submitted),
           static_cast<unsigned long long>(c.report.committed),
@@ -453,6 +495,8 @@ void WriteLiveJson(const std::vector<LiveCell>& cells,
           c.report.commits_per_sec(),
           static_cast<unsigned long long>(c.net_frames_delivered),
           static_cast<unsigned long long>(c.net_bytes_sent),
+          static_cast<unsigned long long>(c.net_frames_dropped_backlog),
+          static_cast<unsigned long long>(c.net_frames_dropped_corrupt),
           c.correct ? "true" : "false",
           i + 1 < socket_cells.size() ? "," : "");
     }
@@ -605,6 +649,43 @@ void RunLive(const LiveBenchOptions& opts) {
       "group commit coalescing concurrent forces into one fdatasync.\n"
       "user/sys us/c is the load window's getrusage delta per decided\n"
       "txn; pool hit is the wire-buffer pool reuse rate.\n\n");
+  // Latency sweep: offered load (closed-loop client count) vs commit
+  // latency percentiles, adaptive group commit throughout. Shorter cells
+  // than the throughput sweep — percentiles stabilize in a few hundred
+  // milliseconds of closed-loop traffic and the sweep has 5 points per
+  // protocol.
+  const uint64_t latency_duration_us =
+      opts.duration_set ? opts.duration_us : 600'000;
+  std::printf("== latency sweep: offered load vs commit-latency "
+              "percentiles (adaptive group commit) ==\n\n");
+  LiveBenchOptions lat_opts = opts;
+  lat_opts.duration_us = latency_duration_us;
+  std::vector<LiveCell> latency_cells;
+  std::vector<std::vector<std::string>> lrows;
+  lrows.push_back({"protocol", "clients", "commits/s", "p50 us", "p95 us",
+                   "p99 us", "window us", "checks"});
+  int lat_index = 0;
+  for (const P& p : protocols) {
+    for (int clients : opts.latency_client_counts) {
+      std::string dir = opts.log_dir + "/lat" + std::to_string(lat_index++);
+      LiveCell cell = RunLiveCell(p.label, p.participant, p.coordinator,
+                                  clients, lat_opts, dir);
+      lrows.push_back({cell.label, std::to_string(clients),
+                       StrFormat("%.0f", cell.report.commits_per_sec()),
+                       StrFormat("%.0f", cell.latency.p50),
+                       StrFormat("%.0f", cell.latency.p95),
+                       StrFormat("%.0f", cell.latency.p99),
+                       StrFormat("%.1f", cell.adaptive_window_us_mean),
+                       cell.correct ? "ok" : "FAIL"});
+      latency_cells.push_back(cell);
+    }
+  }
+  std::printf("%s\n", RenderTable(lrows).c_str());
+  std::printf(
+      "Note: window us is the mean linger the adaptive policy chose —\n"
+      "near zero while arrivals are sparse (a second fsync is cheaper\n"
+      "than waiting out an inter-arrival gap), rising toward the fsync\n"
+      "duration as the offered load outpaces the device.\n\n");
   // The socket sweep: same four protocols, every message over a real
   // kernel socket. One client count per protocol — this section measures
   // the transport, not the protocol/client surface the table above covers.
@@ -613,7 +694,7 @@ void RunLive(const LiveBenchOptions& opts) {
   std::vector<SocketCell> socket_cells;
   std::vector<std::vector<std::string>> srows;
   srows.push_back({"protocol", "clients/node", "commits/s", "frames",
-                   "kB sent", "checks"});
+                   "kB sent", "net drops", "checks"});
   for (size_t i = 0; i < protocols.size(); ++i) {
     const P& p = protocols[i];
     SocketCell cell = RunSocketCell(
@@ -626,13 +707,92 @@ void RunLive(const LiveBenchOptions& opts) {
                      StrFormat("%.0f",
                                static_cast<double>(cell.net_bytes_sent) /
                                    1024.0),
+                     std::to_string(cell.net_frames_dropped_backlog +
+                                    cell.net_frames_dropped_corrupt),
                      cell.correct ? "ok" : "FAIL"});
     socket_cells.push_back(cell);
   }
   std::printf("%s\n", RenderTable(srows).c_str());
-  WriteLiveJson(cells, socket_cells, opts.socket_transport,
-                opts.duration_us, "BENCH_live_commit.json");
+  WriteLiveJson(cells, latency_cells, latency_duration_us, socket_cells,
+                opts.socket_transport, opts.duration_us,
+                "BENCH_live_commit.json");
   WriteLiveCpuJson(cells, opts.duration_us, "BENCH_live_cpu.json");
+}
+
+// ---------------------------------------------------------------------------
+// Latency-smoke mode (--latency-smoke=FILE): the CI regression gate.
+// One 8-client cell per protocol at a small budget; fails (exit 1) if any
+// protocol's p50 regresses past 2x the committed baseline, or any cell
+// breaks a correctness check. The 2x bar is deliberately loose — CI boxes
+// are noisy and the gate is for order-of-magnitude latency-path breakage
+// (a lost wakeup, an accidental fixed window), not for 10% drift.
+
+/// Pulls `"<key>": <number>` out of a flat JSON object. Good enough for
+/// the baseline file this bench itself writes; returns NaN if absent.
+double JsonNumberField(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  pos = text.find(':', pos + needle.size());
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + pos + 1, nullptr);
+}
+
+bool RunLatencySmoke(LiveBenchOptions opts) {
+  std::string baseline_text;
+  if (FILE* f = std::fopen(opts.latency_smoke_baseline.c_str(), "r")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      baseline_text.append(buf, n);
+    }
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot read baseline %s\n",
+                 opts.latency_smoke_baseline.c_str());
+    return false;
+  }
+  if (!opts.duration_set) opts.duration_us = 800'000;
+  const int clients = 8;
+  std::printf("== bench_throughput --latency-smoke: p50 at %d clients vs "
+              "2x baseline (%s) ==\n\n",
+              clients, opts.latency_smoke_baseline.c_str());
+  struct P {
+    const char* label;
+    ProtocolKind participant;
+    ProtocolKind coordinator;
+  };
+  const std::vector<P> protocols = {
+      {"PrN", ProtocolKind::kPrN, ProtocolKind::kPrN},
+      {"PrA", ProtocolKind::kPrA, ProtocolKind::kPrA},
+      {"PrC", ProtocolKind::kPrC, ProtocolKind::kPrC},
+      {"PrAny", ProtocolKind::kPrN, ProtocolKind::kPrAny},
+  };
+  bool ok = true;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "p50 us", "baseline us", "limit us",
+                  "commits/s", "verdict"});
+  int index = 0;
+  for (const P& p : protocols) {
+    const double base = JsonNumberField(baseline_text, p.label);
+    if (std::isnan(base) || base <= 0.0) {
+      std::fprintf(stderr, "baseline has no p50 for %s\n", p.label);
+      return false;
+    }
+    std::string dir = opts.log_dir + "/smoke" + std::to_string(index++);
+    LiveCell cell = RunLiveCell(p.label, p.participant, p.coordinator,
+                                clients, opts, dir);
+    const double limit = 2.0 * base;
+    const bool cell_ok =
+        cell.correct && cell.latency.p50 > 0.0 && cell.latency.p50 <= limit;
+    ok = ok && cell_ok;
+    rows.push_back({p.label, StrFormat("%.0f", cell.latency.p50),
+                    StrFormat("%.0f", base), StrFormat("%.0f", limit),
+                    StrFormat("%.0f", cell.report.commits_per_sec()),
+                    cell_ok ? "ok" : (cell.correct ? "REGRESSED" : "FAIL")});
+  }
+  std::printf("%s\n", RenderTable(rows).c_str());
+  return ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -765,6 +925,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--transport must be uds or tcp\n");
         return 2;
       }
+    } else if (std::strncmp(arg, "--latency-smoke=", 16) == 0) {
+      opts.latency_smoke_baseline = arg + 16;
+      live = true;
     } else if (std::strncmp(arg, "--log-dir=", 10) == 0) {
       opts.log_dir = arg + 10;
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
@@ -795,8 +958,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag %s (expect --runtime=sim|live "
                    "--transport=uds|tcp --duration-ms=N --crash-every-ms=N "
-                   "--log-dir=DIR --workers=N --gc-window-us=N "
-                   "--gc-trigger=N --sites=N --clients=A,B,C)\n",
+                   "--latency-smoke=BASELINE.json --log-dir=DIR --workers=N "
+                   "--gc-window-us=N --gc-trigger=N --sites=N "
+                   "--clients=A,B,C)\n",
                    arg);
       return 2;
     }
@@ -807,6 +971,9 @@ int main(int argc, char** argv) {
   }
   if (live) {
     mkdir(opts.log_dir.c_str(), 0755);
+    if (!opts.latency_smoke_baseline.empty()) {
+      return prany::RunLatencySmoke(opts) ? 0 : 1;
+    }
     if (opts.crash_every_us > 0) {
       return prany::RunLiveCrash(opts) ? 0 : 1;
     }

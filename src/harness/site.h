@@ -95,6 +95,16 @@ class Site : public NetworkEndpoint {
       std::function<std::optional<SimDuration>(SiteId, CrashPoint, TxnId)>;
   void SetCrashProbeHandler(CrashProbeHandler handler);
 
+  /// Switches both engines to pipelined forced writes (see
+  /// EngineContext::pipeline_forces). `post_task` must run its closure
+  /// under this site's engine serialization domain. Live runtime only;
+  /// call after construction, before traffic.
+  void EnablePipelinedForces(
+      std::function<void(std::function<void()>)> post_task) {
+    coordinator_->EnablePipelinedForces(post_task);
+    participant_->EnablePipelinedForces(std::move(post_task));
+  }
+
   CoordinatorBase* coordinator() { return coordinator_.get(); }
   const CoordinatorBase* coordinator() const { return coordinator_.get(); }
   ParticipantEngine* participant() { return participant_.get(); }

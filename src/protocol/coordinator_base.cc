@@ -17,7 +17,23 @@ TraceEvent CoordEvent(TraceEventKind kind, TxnId txn) {
 }  // namespace
 
 CoordinatorBase::CoordinatorBase(EngineContext ctx, ProtocolKind kind)
-    : ctx_(std::move(ctx)), kind_(kind) {}
+    : ctx_(std::move(ctx)), kind_(kind) {
+  // Resolve hot-path metric handles at construction, not lazily at first
+  // use: the lazy branches sat on the measured begin/forget paths, and a
+  // fresh site's first transactions are exactly what a cold-start latency
+  // cell measures. Per-mode counters stay lazy — they are keyed by the
+  // modes actually exercised, and pre-creating all of them would invent
+  // zero rows in every metrics export.
+  if (ctx_.metrics != nullptr) {
+    m_begin_ = ctx_.metrics->CounterHandle("coord.begin");
+    m_forget_ = ctx_.metrics->CounterHandle("coord.forget");
+    m_latency_ = ctx_.metrics->DistributionHandle("coord.latency_us");
+    m_commit_latency_ =
+        ctx_.metrics->DistributionHandle("coord.commit_latency_us");
+    m_abort_latency_ =
+        ctx_.metrics->DistributionHandle("coord.abort_latency_us");
+  }
+}
 
 CoordinatorBase::~CoordinatorBase() = default;
 
@@ -46,9 +62,6 @@ void CoordinatorBase::BeginCommit(const Transaction& txn) {
                                 .site = ctx_.self,
                                 .txn = txn.id});
   if (ctx_.metrics != nullptr) {
-    if (m_begin_ == nullptr) {
-      m_begin_ = ctx_.metrics->CounterHandle("coord.begin");
-    }
     m_begin_->fetch_add(1, std::memory_order_relaxed);
     MetricsRegistry::Counter*& mode_counter =
         m_mode_[static_cast<size_t>(mode)];
@@ -68,6 +81,27 @@ void CoordinatorBase::BeginCommit(const Transaction& txn) {
 
   SimDuration send_delay = 0;
   if (WritesInitiation(mode)) {
+    if (ctx_.pipeline_forces) {
+      // Pipelined initiation force: queue the record and return; the WAL
+      // sync thread releases the PREPAREs the moment the fdatasync
+      // covering the record is acknowledged (force-before-send holds
+      // physically — no participant can become prepared for a
+      // transaction whose initiation the coordinator could fail to
+      // recover). The completion task then re-enters the engine to arm
+      // the vote timer.
+      TxnId id = txn.id;
+      std::vector<ParticipantInfo> participants = txn.participants;
+      entry.prepares_sent = false;
+      ctx_.log->AppendPipelined(
+          LogRecord::Initiation(id, mode, participants),
+          [this, id, participants]() {
+            for (const ParticipantInfo& p : participants) {
+              ctx_.Send(Message::Prepare(id, ctx_.self, p.site));
+            }
+            ctx_.PostTask([this, id]() { FinishPipelinedBegin(id); });
+          });
+      return;
+    }
     ctx_.log->Append(
         LogRecord::Initiation(txn.id, mode, txn.participants),
         /*force=*/true);
@@ -83,6 +117,34 @@ void CoordinatorBase::BeginCommit(const Transaction& txn) {
   if (ctx_.MaybeCrash(CrashPoint::kCoordAfterPreparesSent, txn.id)) return;
 
   StartVoteTimer(txn.id);
+}
+
+void CoordinatorBase::FinishPipelinedBegin(TxnId txn) {
+  ctx_.log->ReconcileDurability();
+  if (ctx_.MaybeCrash(CrashPoint::kCoordAfterInitiationLogged, txn)) return;
+  if (ctx_.MaybeCrash(CrashPoint::kCoordAfterPreparesSent, txn)) return;
+  CoordTxnState* st = table_.Find(txn);
+  if (st == nullptr || st->phase != CoordPhase::kVoting) {
+    // The site crashed and wiped the entry (the crash teardown re-drives
+    // everything from the stable prefix) — no timer to arm.
+    return;
+  }
+  // Decisions were held back while the PREPAREs were in flight (see
+  // CoordTxnState::prepares_sent); votes that arrived in that window are
+  // in the tally. Re-evaluate the decision condition now, under the
+  // engine lock, so any decision message is sent strictly after every
+  // PREPARE.
+  st->prepares_sent = true;
+  if (!st->no_votes.empty()) {
+    Decide(txn, Outcome::kAbort);
+    return;
+  }
+  if (st->yes_votes.size() + st->read_only.size() ==
+      st->participants.size()) {
+    Decide(txn, Outcome::kCommit);
+    return;
+  }
+  StartVoteTimer(txn);
 }
 
 void CoordinatorBase::OnVote(const Message& msg) {
@@ -120,6 +182,10 @@ void CoordinatorBase::OnVote(const Message& msg) {
 void CoordinatorBase::Decide(TxnId txn, Outcome outcome) {
   CoordTxnState* st = table_.Find(txn);
   if (st == nullptr || st->phase != CoordPhase::kVoting) return;
+  // PREPAREs still leaving the site (pipelined initiation): deciding now
+  // could put a DECISION on a link ahead of its PREPARE. The votes are
+  // already tallied; FinishPipelinedBegin re-evaluates.
+  if (!st->prepares_sent) return;
 
   st->phase = CoordPhase::kDeciding;
   st->decision = outcome;
@@ -142,6 +208,49 @@ void CoordinatorBase::Decide(TxnId txn, Outcome outcome) {
     // there is no decision phase to recover, so nothing is logged — the
     // fully-read-only fast path of the R* optimization.
     policy = DecisionLogPolicy::kNone;
+  }
+  if (policy == DecisionLogPolicy::kForced && ctx_.pipeline_forces) {
+    // Pipelined decision force: queue the record and return. The WAL
+    // sync thread records the Decide on the history (waking the awaiting
+    // client — the commit latency path ends at the fdatasync, not at a
+    // worker wakeup) and releases the decision messages, still strictly
+    // after durability; the completion task re-enters the engine for the
+    // ack bookkeeping. The ack sets are computed *now*, before any
+    // decision leaves, because an ack can race back and be dispatched
+    // ahead of the completion task.
+    std::set<SiteId> ackers = ExpectedAckers(*st, outcome);
+    st->pending_acks.clear();
+    for (SiteId s : ackers) {
+      if (recipients.count(s) > 0) st->pending_acks.insert(s);
+    }
+    st->acks_expected = !st->pending_acks.empty();
+
+    LogRecord rec = DecisionNamesParticipants(st->mode)
+                        ? LogRecord::DecisionWithParticipants(
+                              txn, outcome, st->participants)
+                        : LogRecord::Decision(txn, outcome);
+    ProtocolKind mode = st->mode;
+    ctx_.log->AppendPipelined(
+        rec, [this, txn, outcome, mode, recipients]() {
+          ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                        .type = SigEventType::kCoordDecide,
+                                        .site = ctx_.self,
+                                        .txn = txn,
+                                        .outcome = outcome});
+          {
+            TraceEvent e = CoordEvent(TraceEventKind::kCoordDecide, txn);
+            e.protocol = mode;
+            e.outcome = outcome;
+            ctx_.Event(std::move(e));
+          }
+          for (SiteId site : recipients) {
+            ctx_.Send(Message::Decision(txn, ctx_.self, site, outcome));
+          }
+          ctx_.PostTask([this, txn, outcome]() {
+            FinishPipelinedDecide(txn, outcome);
+          });
+        });
+    return;
   }
   if (policy == DecisionLogPolicy::kForced) {
     LogRecord rec = DecisionNamesParticipants(st->mode)
@@ -182,6 +291,30 @@ void CoordinatorBase::Decide(TxnId txn, Outcome outcome) {
   SendDecisionMessages(*st, recipients, delay);
   if (ctx_.MaybeCrash(CrashPoint::kCoordAfterDecisionSent, txn)) return;
 
+  if (!st->pending_acks.empty()) {
+    StartResendTimer(txn);
+  }
+  MaybeComplete(txn);
+}
+
+void CoordinatorBase::FinishPipelinedDecide(TxnId txn, Outcome outcome) {
+  // Promote the mirror past the decision record first: if the entry was
+  // already forgotten below, its Truncate ran while the record still sat
+  // in the volatile buffer and deliberately left the release mark behind.
+  ctx_.log->ReconcileDurability();
+  ctx_.Count(outcome == Outcome::kCommit ? "coord.decide_commit"
+                                         : "coord.decide_abort");
+  if (ctx_.MaybeCrash(CrashPoint::kCoordAfterDecisionMade, txn)) return;
+  if (ctx_.MaybeCrash(CrashPoint::kCoordAfterDecisionSent, txn)) return;
+  CoordTxnState* st = table_.Find(txn);
+  if (st == nullptr || st->phase != CoordPhase::kDeciding ||
+      !st->decision.has_value() || *st->decision != outcome) {
+    // Every expected ack raced the completion task and MaybeComplete
+    // already forgot the transaction — collect its now-promoted records.
+    ctx_.log->Truncate();
+    return;
+  }
+  st->decision_durable = true;
   if (!st->pending_acks.empty()) {
     StartResendTimer(txn);
   }
@@ -238,22 +371,10 @@ void CoordinatorBase::MaybeComplete(TxnId txn) {
   if (ctx_.metrics != nullptr) {
     double latency =
         static_cast<double>(ctx_.sim->Now() - st->begin_time);
-    if (m_latency_ == nullptr) {
-      m_latency_ = ctx_.metrics->DistributionHandle("coord.latency_us");
-    }
     m_latency_->Observe(latency);
-    MetricsRegistry::Distribution*& by_outcome =
-        *st->decision == Outcome::kCommit ? m_commit_latency_
-                                          : m_abort_latency_;
-    if (by_outcome == nullptr) {
-      by_outcome = ctx_.metrics->DistributionHandle(
-          *st->decision == Outcome::kCommit ? "coord.commit_latency_us"
-                                            : "coord.abort_latency_us");
-    }
-    by_outcome->Observe(latency);
-    if (m_forget_ == nullptr) {
-      m_forget_ = ctx_.metrics->CounterHandle("coord.forget");
-    }
+    (*st->decision == Outcome::kCommit ? m_commit_latency_
+                                       : m_abort_latency_)
+        ->Observe(latency);
     m_forget_->fetch_add(1, std::memory_order_relaxed);
   }
   {

@@ -84,6 +84,18 @@ class CoordinatorBase {
   /// The volatile protocol table (exposed for checkers and tests).
   const ProtocolTable& table() const { return table_; }
 
+  /// Switches this engine to pipelined forced writes (see
+  /// EngineContext::pipeline_forces): the decision and initiation forces
+  /// stop blocking the handler; the sends they gate run from the WAL
+  /// sync thread's durability callback and the engine-side completion
+  /// (ack bookkeeping, timers, forget) continues via `post_task`.
+  /// Installed by the live runtime after construction, before traffic.
+  void EnablePipelinedForces(
+      std::function<void(std::function<void()>)> post_task) {
+    ctx_.pipeline_forces = true;
+    ctx_.post_task = std::move(post_task);
+  }
+
  protected:
   // ---- policy hooks -----------------------------------------------------
 
@@ -142,6 +154,17 @@ class CoordinatorBase {
   void StartVoteTimer(TxnId txn);
   void StartResendTimer(TxnId txn);
   void MaybeComplete(TxnId txn);
+
+  /// Engine-side completion of a pipelined decision force (runs under
+  /// the engine lock, posted by the durability callback): reconciles the
+  /// WAL mirror, marks the decision durable, arms retransmission and
+  /// completes if the acks already raced in.
+  void FinishPipelinedDecide(TxnId txn, Outcome outcome);
+
+  /// Ditto for a pipelined initiation force: arms the vote timer unless
+  /// the votes (sent only after the durability callback released the
+  /// PREPAREs) already produced a decision.
+  void FinishPipelinedBegin(TxnId txn);
 
   EngineContext ctx_;
   ProtocolKind kind_;

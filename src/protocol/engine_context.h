@@ -59,9 +59,35 @@ struct EngineContext {
   /// Liveness query for deferred sends (null means "always up").
   std::function<bool()> is_up;
 
+  /// Posts a closure onto the engine's serialization domain (the live
+  /// site's worker queue; runs under the engine mutex). Installed by the
+  /// live runtime alongside `pipeline_forces`; null means "run inline".
+  /// Used by the pipelined decision path to get back under the engine
+  /// lock after a durability callback fired on the WAL sync thread.
+  std::function<void(std::function<void()>)> post_task;
+
+  /// When true, engines detach the durability wait of latency-critical
+  /// forced writes (StableLog::AppendPipelined): the handler returns as
+  /// soon as the record is queued, and the send the force gates runs as
+  /// a callback from the log's sync thread immediately after the
+  /// fdatasync — physically preserving force-before-send (R1-R4) while
+  /// skipping the worker wakeup on the commit path. Default off: the
+  /// simulator keeps the exact synchronous schedule.
+  bool pipeline_forces = false;
+
   /// Convenience: probe the failure injector at `point`.
   bool MaybeCrash(CrashPoint point, TxnId txn) const {
     return crash_probe != nullptr && crash_probe(point, txn);
+  }
+
+  /// Runs `fn` under the engine serialization domain: posted through
+  /// `post_task` when installed, inline otherwise.
+  void PostTask(std::function<void()> fn) const {
+    if (post_task != nullptr) {
+      post_task(std::move(fn));
+    } else {
+      fn();
+    }
   }
 
   void Count(const std::string& name, int64_t delta = 1) const {

@@ -22,6 +22,11 @@ ParticipantEngine::ParticipantEngine(EngineContext ctx, ProtocolKind protocol)
     : ctx_(std::move(ctx)), protocol_(protocol) {
   PRANY_CHECK_MSG(IsBaseProtocol(protocol),
                   "participants speak PrN, PrA or PrC");
+  // Resolved up-front so the first prepare of a fresh site pays no
+  // string-keyed registry lookup on its measured path.
+  if (ctx_.metrics != nullptr) {
+    m_prepared_ = ctx_.metrics->CounterHandle("part.prepared");
+  }
 }
 
 ParticipantEngine::~ParticipantEngine() = default;
@@ -36,6 +41,15 @@ void ParticipantEngine::OnPrepare(const Message& msg) {
 
   auto it = prepared_.find(txn);
   if (it != prepared_.end()) {
+    if (it->second.inquiry_timer == nullptr) {
+      // A pipelined PREPARED force for this transaction is still in
+      // flight (the entry exists but its timer is only armed by the
+      // completion task). The original yes-vote has not left the site
+      // yet — resending here would leak a vote for a not-yet-durable
+      // record. Drop the duplicate; the in-flight vote answers it.
+      ctx_.Count("part.duplicate_prepare_inflight");
+      return;
+    }
     // Duplicate PREPARE (network duplication): we are prepared, so the
     // original vote was yes — resend it.
     ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kYes));
@@ -94,6 +108,45 @@ void ParticipantEngine::OnPrepare(const Message& msg) {
 
   // Vote yes: force-write PREPARED before the vote leaves the site
   // (Figures 1-4: every variant forces the prepared record).
+  if (ctx_.pipeline_forces) {
+    // Pipelined: queue the force and return; the WAL sync thread
+    // releases the vote right after the covering fdatasync, preserving
+    // force-before-send without a worker wakeup on the vote path. The
+    // prepared entry is inserted *now* — a decision can arrive the
+    // moment the vote is out, racing the completion task — with its
+    // inquiry timer unarmed; the completion task arms it back under the
+    // engine lock (see the duplicate-PREPARE guard above for the
+    // timer-as-in-flight-marker convention).
+    SiteId coordinator = msg.from;
+    PreparedTxn entry;
+    entry.coordinator = coordinator;
+    prepared_[txn] = std::move(entry);
+    ctx_.log->AppendPipelined(
+        LogRecord::Prepared(txn, coordinator),
+        [this, txn, coordinator]() {
+          ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
+                                        .type = SigEventType::kPartPrepared,
+                                        .site = ctx_.self,
+                                        .txn = txn});
+          {
+            TraceEvent e = PartEvent(TraceEventKind::kPartPrepared, txn);
+            e.peer = coordinator;
+            ctx_.Event(std::move(e));
+          }
+          {
+            TraceEvent e = PartEvent(TraceEventKind::kPartVote, txn);
+            e.peer = coordinator;
+            e.detail = ToString(Vote::kYes);
+            ctx_.Event(std::move(e));
+          }
+          ctx_.Send(
+              Message::MakeVote(txn, ctx_.self, coordinator, Vote::kYes));
+          ctx_.PostTask([this, txn, coordinator]() {
+            FinishPipelinedPrepare(txn, coordinator);
+          });
+        });
+    return;
+  }
   ctx_.log->Append(LogRecord::Prepared(txn, msg.from), /*force=*/true);
   ctx_.history->Record(SigEvent{.time = ctx_.sim->Now(),
                                 .type = SigEventType::kPartPrepared,
@@ -108,9 +161,6 @@ void ParticipantEngine::OnPrepare(const Message& msg) {
 
   StartInquiryTimer(txn, msg.from);
   if (ctx_.metrics != nullptr) {
-    if (m_prepared_ == nullptr) {
-      m_prepared_ = ctx_.metrics->CounterHandle("part.prepared");
-    }
     m_prepared_->fetch_add(1, std::memory_order_relaxed);
   }
   {
@@ -122,6 +172,29 @@ void ParticipantEngine::OnPrepare(const Message& msg) {
   ctx_.Send(Message::MakeVote(txn, ctx_.self, msg.from, Vote::kYes),
             ctx_.timing.forced_write_latency);
   if (ctx_.MaybeCrash(CrashPoint::kPartAfterVoteSent, txn)) return;
+}
+
+void ParticipantEngine::FinishPipelinedPrepare(TxnId txn,
+                                               SiteId coordinator) {
+  // Promote the mirror past the PREPARED record; if the decision raced
+  // ahead and the entry is already enforced-and-forgotten, its Truncate
+  // left the release mark for exactly this promotion.
+  ctx_.log->ReconcileDurability();
+  if (ctx_.MaybeCrash(CrashPoint::kPartAfterPreparedLogged, txn)) return;
+  if (ctx_.MaybeCrash(CrashPoint::kPartAfterVoteSent, txn)) return;
+  if (ctx_.metrics != nullptr) {
+    m_prepared_->fetch_add(1, std::memory_order_relaxed);
+  }
+  auto it = prepared_.find(txn);
+  if (it == prepared_.end()) {
+    // Decided (and forgotten) before the completion task ran: collect
+    // the now-promoted released records.
+    ctx_.log->Truncate();
+    return;
+  }
+  if (it->second.inquiry_timer == nullptr) {
+    StartInquiryTimer(txn, coordinator);
+  }
 }
 
 void ParticipantEngine::OnDecision(const Message& msg) {

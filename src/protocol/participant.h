@@ -58,6 +58,17 @@ class ParticipantEngine {
   void OnDecision(const Message& msg);        // kDecision
   void OnInquiryReply(const Message& msg);    // kInquiryReply
 
+  /// Switches this engine to pipelined forced writes: the PREPARED force
+  /// stops blocking the handler and the yes-vote rides the WAL sync
+  /// thread's durability callback instead (see
+  /// CoordinatorBase::EnablePipelinedForces). Installed by the live
+  /// runtime after construction, before traffic.
+  void EnablePipelinedForces(
+      std::function<void(std::function<void()>)> post_task) {
+    ctx_.pipeline_forces = true;
+    ctx_.post_task = std::move(post_task);
+  }
+
   /// Site crash: volatile state is wiped (the stable log is crashed by the
   /// Site, which owns it).
   void Crash();
@@ -90,6 +101,11 @@ class ParticipantEngine {
   void StartInquiryTimer(TxnId txn, SiteId coordinator);
   void SendAckIfExpected(TxnId txn, SiteId coordinator, Outcome outcome);
   void EnforceAndForget(TxnId txn, Outcome outcome);
+
+  /// Engine-side completion of a pipelined PREPARED force (posted by the
+  /// durability callback): arms the in-doubt inquiry timer unless the
+  /// decision already arrived and the entry is gone.
+  void FinishPipelinedPrepare(TxnId txn, SiteId coordinator);
 
   EngineContext ctx_;
   ProtocolKind protocol_;

@@ -338,7 +338,16 @@ LiveSite* LiveSystem::AddSiteWithId(SiteId id,
   sites_.push_back(std::make_unique<LiveSite>(
       std::move(site), wal_raw, net_, config_.workers_per_site));
   site_index_[id] = sites_.size() - 1;
-  return sites_.back().get();
+  LiveSite* ls = sites_.back().get();
+  if (config_.pipeline_forces) {
+    // The completion seam: durability callbacks re-enter the engine by
+    // posting onto the site's worker queue. The raw pointer is safe —
+    // callbacks drain before the WAL closes, which precedes sites_
+    // destruction (see Stop()).
+    ls->site()->EnablePipelinedForces(
+        [ls](std::function<void()> fn) { ls->PostTask(std::move(fn)); });
+  }
+  return ls;
 }
 
 Transaction LiveSystem::MakeTransaction(
@@ -452,7 +461,11 @@ bool LiveSystem::Quiesce(uint64_t timeout_us) {
                                                 : transport_.Idle();
     if (idle) {
       for (const auto& site : sites_) {
-        if (!site->QueueIdle()) {
+        // Pipeline before queue: a durability callback still running can
+        // post a completion task, which the QueueIdle check then sees; a
+        // task enqueued between the two checks implies a busy pipeline
+        // (or an executing handler) that its own check caught.
+        if (!site->wal()->PipelineIdle() || !site->QueueIdle()) {
           idle = false;
           break;
         }

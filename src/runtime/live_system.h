@@ -70,6 +70,13 @@ struct LiveSystemConfig {
   /// durability waits release the engine mutex.
   int workers_per_site = 4;
   GroupCommitConfig group_commit;
+  /// Pipeline latency-critical forced writes (see
+  /// EngineContext::pipeline_forces): the decision/initiation/PREPARED
+  /// forces stop blocking engine workers, and the sends they gate run
+  /// from the WAL sync thread immediately after the fdatasync.
+  /// Force-before-send (R1-R4) holds physically either way; this only
+  /// removes scheduler hops from the commit latency path.
+  bool pipeline_forces = true;
   /// Directory for per-site WAL files (site<N>.wal). Must exist.
   std::string log_dir = ".";
 
@@ -122,6 +129,11 @@ class LiveSite : public NetworkEndpoint {
   /// `fn` fire under this site's serialization). Used for submissions and
   /// quiescent-state reads.
   void RunInline(const std::function<void()>& fn);
+
+  /// Posts `fn` onto the worker queue (it runs under the engine mutex,
+  /// like a timer callback). Thread-safe; dropped once the site is
+  /// stopping. The engines' pipelined-force completion seam.
+  void PostTask(std::function<void()> fn) { executor_(std::move(fn)); }
 
   /// Drains and joins the worker pool. Tasks/messages enqueued afterwards
   /// are dropped. Idempotent.

@@ -88,7 +88,12 @@ void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
     if (sites[i] == coordinator) coord_index = i;
   }
   Rng rng(config_.seed * 1000003 + static_cast<uint64_t>(client_index));
-  MetricsRegistry::Distribution* latency_dist = nullptr;
+  // Resolve the distribution handle at worker startup, not lazily on the
+  // first commit: the lazy branch put a string-keyed registry lookup (and
+  // its branch) on the measured latency path of the first transactions of
+  // every client — exactly the cold-start cells a latency sweep reads.
+  MetricsRegistry::Distribution* latency_dist =
+      system_->metrics().DistributionHandle("livegen.latency_us");
 
   // Relaxed: a client may run one extra iteration after Stop(); nothing
   // is published through this flag.
@@ -140,12 +145,6 @@ void LoadGen::ClientMain(int client_index, LoadGenReport* report) {
         std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
             t1 - t0)
             .count();
-    // Resolve the distribution handle once; the per-commit observe is then
-    // one push under the distribution's own lock instead of a string-keyed
-    // lookup under the registry mutex.
-    if (latency_dist == nullptr) {
-      latency_dist = system_->metrics().DistributionHandle("livegen.latency_us");
-    }
     latency_dist->Observe(latency_us);
     if (*outcome == Outcome::kCommit) {
       ++report->committed;

@@ -7,6 +7,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -24,6 +25,11 @@ namespace {
 /// Read-side chunk; large enough that one recv() drains a burst of
 /// protocol frames (each is tens of bytes).
 constexpr size_t kRecvChunk = 64 * 1024;
+
+/// Write-side coalescing: frames folded into one sendmsg() per flush
+/// pass. Well under IOV_MAX (1024) and plenty for any decision/ack burst
+/// a single group-commit fsync can release.
+constexpr int kFlushIovBatch = 64;
 
 int SetNoDelay(int fd) {
   int one = 1;
@@ -446,15 +452,36 @@ void SocketTransport::FlushLink(Link* link) {
   {
     MutexLock lock(link->mu);
     while (!link->queue.empty()) {
-      const std::vector<uint8_t>& front = link->queue.front();
-      const ssize_t n =
-          ::send(link->fd, front.data() + link->write_off,
-                 front.size() - link->write_off, MSG_NOSIGNAL);
+      // Coalesce queued frames into one writev: a group-commit fsync
+      // releases a burst of decisions/acks onto the same link, and one
+      // syscall carrying the whole burst beats one send() per frame
+      // (syscall overhead dominates for our ~100-byte frames; Nagle is
+      // off). write_off tracks bytes into the *first* queued frame only.
+      iovec iov[kFlushIovBatch];
+      int iov_cnt = 0;
+      for (const std::vector<uint8_t>& f : link->queue) {
+        if (iov_cnt == kFlushIovBatch) break;
+        const size_t off = (iov_cnt == 0) ? link->write_off : 0;
+        iov[iov_cnt].iov_base = const_cast<uint8_t*>(f.data()) + off;
+        iov[iov_cnt].iov_len = f.size() - off;
+        ++iov_cnt;
+      }
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = static_cast<size_t>(iov_cnt);
+      const ssize_t n = ::sendmsg(link->fd, &mh, MSG_NOSIGNAL);
       if (n > 0) {
-        link->write_off += static_cast<size_t>(n);
-        if (link->write_off == front.size()) {
+        size_t remaining = static_cast<size_t>(n);
+        while (remaining > 0) {
+          const size_t front_left =
+              link->queue.front().size() - link->write_off;
+          if (remaining < front_left) {
+            link->write_off += remaining;
+            break;
+          }
           // Popped only when fully written: an interrupted connection
           // rewinds write_off and resends the frame whole.
+          remaining -= front_left;
           link->queue.pop_front();
           link->write_off = 0;
         }

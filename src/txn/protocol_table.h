@@ -46,6 +46,17 @@ struct CoordTxnState {
   /// excluded from the decision phase (§5's read-only optimization).
   std::set<SiteId> read_only;
 
+  /// False while a pipelined initiation force is in flight: the PREPAREs
+  /// leave from the WAL sync thread, and until the completion task
+  /// confirms they are all out, no decision may be made — a decision
+  /// message racing ahead of a still-unsent PREPARE on the same link
+  /// inverts the per-link PREPARE-before-DECISION order that footnote 5's
+  /// no-memory acknowledgment relies on (the late PREPARE would prepare a
+  /// participant into a transaction the coordinator already forgot).
+  /// Votes accumulate normally in the meantime; FinishPipelinedBegin
+  /// re-evaluates the decision condition once the sends are confirmed.
+  bool prepares_sent = true;
+
   /// Decision, once made.
   std::optional<Outcome> decision;
 

@@ -101,6 +101,13 @@ uint64_t StableLog::Append(const LogRecord& record, bool force) {
   return lsn;
 }
 
+uint64_t StableLog::AppendPipelined(const LogRecord& record,
+                                    std::function<void()> on_durable) {
+  uint64_t lsn = Append(record, /*force=*/true);
+  if (on_durable) on_durable();
+  return lsn;
+}
+
 void StableLog::PromoteStableUpTo(uint64_t lsn) {
   // The buffer is in LSN order, so the promotable records are a prefix;
   // move them in one pass instead of erasing the front repeatedly (which

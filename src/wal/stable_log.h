@@ -69,6 +69,24 @@ class StableLog {
   /// the record (and all earlier buffered records) is durable on return.
   virtual uint64_t Append(const LogRecord& record, bool force);
 
+  /// Appends `record` as a *forced* write whose durability wait is
+  /// detached: returns the LSN without blocking and invokes `on_durable`
+  /// exactly once after the record (and everything buffered before it)
+  /// is durable — or never, if a crash discards the batch first (the
+  /// record was not durable, so the action the callback guards must not
+  /// happen; recovery re-drives it from the stable prefix). The base
+  /// (simulator) implementation is synchronous: force, then run the
+  /// callback inline, so sim schedules are unchanged. Durable
+  /// implementations may run the callback on their sync thread, outside
+  /// any engine lock — it must only do thread-safe work.
+  virtual uint64_t AppendPipelined(const LogRecord& record,
+                                   std::function<void()> on_durable);
+
+  /// Folds any asynchronously-completed durability into the readable
+  /// mirror (see FileStableLog::ReconcileDurability). No-op for the
+  /// in-memory log, whose Append already completes synchronously.
+  virtual void ReconcileDurability() {}
+
   /// Flushes the volatile buffer (group write). No-op if empty.
   virtual void Flush();
 

@@ -17,6 +17,7 @@
 //  * PrAny— PrC participant under a PrAny coordinator: the coordinator
 //           adopts the inquirer's presumption from the stable PCP (§4.2).
 
+#include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <map>
@@ -122,14 +123,29 @@ TEST_P(CrashRestartTest, SoakUnderLoadStaysAtomic) {
 
   // Phase B: random-instant kills across all sites. These land mid-batch
   // under load, so recovery sees genuinely torn tails; keep cycling until
-  // one did (bounded — the odds per cycle are high).
+  // one did (bounded — the odds per cycle are high). A kill only tears a
+  // tail if it lands while some sync is in flight, so before each kill
+  // wait for fresh WAL flush traffic: on an oversubscribed CI box the
+  // load threads can starve between back-to-back kills, and killing an
+  // idle WAL ninety times in a row never tears anything.
+  auto wal_flushes = [&system]() {
+    const auto counters = system.metrics().counters();
+    const auto it = counters.find("wal.flushes");
+    return it == counters.end() ? int64_t{0} : it->second;
+  };
   SiteId next = 0;
   CrashStats stats = system.crash_stats();
+  int64_t flushes_before = wal_flushes();
   while (stats.cycles < kTargetCycles ||
          (stats.torn_tail_cycles == 0 && stats.cycles < kMaxCycles)) {
+    for (int spins = 0; spins < 2'000; ++spins) {
+      if (wal_flushes() >= flushes_before + 8) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     system.CrashRestartSite(next, kDowntimeUs);
     next = static_cast<SiteId>((next + 1) % kSites);
     stats = system.crash_stats();
+    flushes_before = wal_flushes();
   }
 
   gen.Stop();

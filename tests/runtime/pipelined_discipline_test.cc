@@ -1,0 +1,116 @@
+// WAL-discipline oracles over live traces with decision pipelining on.
+//
+// Pipelining moves the protocol's sends off the worker thread and into
+// the WAL sync thread's post-fdatasync continuation: the vote leaves in
+// the PREPARED record's continuation, the decision in the decision
+// record's. The R1-R4 rules (history/wal_discipline_checker.h) are
+// exactly the orderings this restructuring could break — a decision
+// message outrunning its force, a vote outrunning its PREPARED — so each
+// protocol's live trace is run through the checker with pipelining
+// explicitly enabled, and once with it disabled as the control.
+//
+// PrC is the interesting commit path: its abort decisions are legally
+// non-forced (initiation-without-commit already means abort at
+// recovery), so the abort DECISION may overlap any in-flight batch — R1
+// only binds the *forced* records, and the checker must accept that
+// overlap while still holding PrN/PrA to force-before-notify.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "history/wal_discipline_checker.h"
+#include "runtime/live_system.h"
+#include "runtime/load_gen.h"
+
+namespace prany {
+namespace runtime {
+namespace {
+
+std::string MakeTempDir() {
+  std::string templ = ::testing::TempDir() + "prany_pipe_XXXXXX";
+  char* dir = mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return templ;
+}
+
+struct PipelineCase {
+  const char* name;
+  ProtocolKind participant;
+  ProtocolKind coordinator;
+  bool pipeline_forces;
+};
+
+class PipelinedDisciplineTest
+    : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelinedDisciplineTest, TracesHoldR1ThroughR4) {
+  const PipelineCase& pc = GetParam();
+
+  LiveSystemConfig config;
+  config.log_dir = MakeTempDir();
+  config.pipeline_forces = pc.pipeline_forces;
+  LiveSystem system(config);
+  system.loop().trace().Enable();
+  constexpr int kSites = 3;
+  for (int i = 0; i < kSites; ++i) {
+    system.AddSite(pc.participant, pc.coordinator);
+  }
+
+  LoadGenConfig lg;
+  lg.clients = 6;
+  lg.duration_us = 400'000;
+  lg.participants_per_txn = 2;
+  // Aborts matter: PrC's non-forced abort decision and PrA's unlogged
+  // abort are the paths where a too-strict checker would false-positive
+  // and a too-lax pipeline would hide a real inversion.
+  lg.abort_fraction = 0.25;
+  lg.dual_role_fraction = 0.3;
+  lg.await_timeout_us = 2'000'000;
+  LoadGen gen(&system, lg);
+  LoadGenReport report = gen.Run();
+  ASSERT_TRUE(system.Quiesce(20'000'000));
+
+  EXPECT_GT(report.committed, 0u);
+  EXPECT_GT(report.aborted, 0u);
+
+  AtomicityReport atomicity = system.CheckAtomicity();
+  EXPECT_TRUE(atomicity.ok()) << atomicity.ToString();
+  SafeStateReport safe = system.CheckSafeState();
+  EXPECT_TRUE(safe.ok()) << safe.ToString();
+  OperationalReport operational = system.CheckOperational();
+  EXPECT_TRUE(operational.ok()) << operational.ToString();
+
+  std::map<SiteId, ProtocolKind> protocols;
+  for (SiteId s = 0; s < kSites; ++s) {
+    protocols[s] = system.site(s)->participant_protocol();
+  }
+  WalDisciplineReport wal = WalDisciplineChecker::Check(
+      system.loop().trace().events(), protocols);
+  EXPECT_TRUE(wal.ok()) << wal.ToString();
+  EXPECT_GT(wal.events_checked, 0u);
+
+  system.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presumptions, PipelinedDisciplineTest,
+    ::testing::Values(
+        PipelineCase{"PrN", ProtocolKind::kPrN, ProtocolKind::kPrN, true},
+        PipelineCase{"PrA", ProtocolKind::kPrA, ProtocolKind::kPrA, true},
+        PipelineCase{"PrC", ProtocolKind::kPrC, ProtocolKind::kPrC, true},
+        PipelineCase{"PrAny", ProtocolKind::kPrN, ProtocolKind::kPrAny,
+                     true},
+        PipelineCase{"PrN_blocking", ProtocolKind::kPrN, ProtocolKind::kPrN,
+                     false},
+        PipelineCase{"PrC_blocking", ProtocolKind::kPrC, ProtocolKind::kPrC,
+                     false}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace runtime
+}  // namespace prany
